@@ -1,0 +1,149 @@
+//! T3 — wall-clock benchmarks (the TPIE-style table).
+//!
+//! I/O counts are the model-level currency; this bench grounds them in real
+//! time on both the RAM-backed simulator and a real file-backed device.
+//! The shapes to look for:
+//!
+//! * external merge sort degrades gracefully as N passes M (one extra pass
+//!   per fan-in factor), on both devices;
+//! * B-tree point ops and hash point ops differ by the tree's height factor;
+//! * the external priority queue sustains high op throughput because almost
+//!   every op is memory-resident.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use em_core::{EmConfig, ExtVec};
+use emhash::ExtendibleHash;
+use emsort::{merge_sort, SortConfig};
+use emtree::{BTree, ExtPriorityQueue};
+use pdm::{BufferPool, EvictionPolicy, FileDisk, SharedDevice};
+use rand::prelude::*;
+
+fn tmpfile(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("extmem-bench-{tag}-{}.bin", std::process::id()));
+    p
+}
+
+fn random_vec(device: &SharedDevice, n: u64, seed: u64) -> ExtVec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+    ExtVec::from_slice(device.clone(), &data).unwrap()
+}
+
+fn bench_external_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("external_sort");
+    group.sample_size(10);
+    let cfg = EmConfig::new(64 * 1024, 64); // B = 8192 u64s, M = 512k records
+    let m = cfg.mem_records::<u64>();
+    for &n in &[200_000u64, 1_000_000, 4_000_000] {
+        group.throughput(Throughput::Elements(n));
+        // RAM-backed device: pure CPU + model overhead.
+        group.bench_with_input(BenchmarkId::new("ramdisk", n), &n, |b, &n| {
+            let device = cfg.ram_disk();
+            let input = random_vec(&device, n, n);
+            b.iter(|| {
+                let out = merge_sort(&input, &SortConfig::new(m)).unwrap();
+                out.free().unwrap();
+            });
+        });
+        // File-backed device: real I/O.
+        group.bench_with_input(BenchmarkId::new("filedisk", n), &n, |b, &n| {
+            let path = tmpfile(&format!("sort{n}"));
+            let device = FileDisk::create(&path, 64 * 1024).unwrap() as SharedDevice;
+            let input = random_vec(&device, n, n);
+            b.iter(|| {
+                let out = merge_sort(&input, &SortConfig::new(m)).unwrap();
+                out.free().unwrap();
+            });
+            std::fs::remove_file(path).ok();
+        });
+        // Baseline: fully internal std sort (ignores the memory budget).
+        group.bench_with_input(BenchmarkId::new("internal_std_sort", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(n);
+            let data: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+            b.iter(|| {
+                let mut v = data.clone();
+                v.sort_unstable();
+                v
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_btree_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    group.sample_size(10);
+    let n = 200_000u64;
+
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("bulk_load_200k_filedisk", |b| {
+        b.iter(|| {
+            let path = tmpfile("btree-bl");
+            let device = FileDisk::create(&path, 4096).unwrap() as SharedDevice;
+            let pool = BufferPool::new(device, 64, EvictionPolicy::Lru);
+            let t: BTree<u64, u64> = BTree::bulk_load(pool, (0..n).map(|k| (k, k))).unwrap();
+            std::fs::remove_file(path).ok();
+            t.len()
+        });
+    });
+
+    let path = tmpfile("btree-get");
+    let device = FileDisk::create(&path, 4096).unwrap() as SharedDevice;
+    let pool = BufferPool::new(device, 64, EvictionPolicy::Lru);
+    let tree: BTree<u64, u64> = BTree::bulk_load(pool, (0..n).map(|k| (k, k))).unwrap();
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("point_lookup_filedisk", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| tree.get(&rng.gen_range(0..n)).unwrap());
+    });
+    group.finish();
+    std::fs::remove_file(path).ok();
+}
+
+fn bench_priority_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("priority_queue");
+    group.sample_size(10);
+    let n = 500_000u64;
+    group.throughput(Throughput::Elements(2 * n));
+    group.bench_function("push_pop_500k_ramdisk", |b| {
+        let cfg = EmConfig::new(64 * 1024, 64);
+        b.iter(|| {
+            let device = cfg.ram_disk();
+            let mut pq: ExtPriorityQueue<u64> = ExtPriorityQueue::new(device, cfg.mem_records::<u64>());
+            let mut rng = StdRng::seed_from_u64(9);
+            for _ in 0..n {
+                pq.push(rng.gen()).unwrap();
+            }
+            let mut last = 0;
+            for _ in 0..n {
+                last = pq.pop().unwrap().unwrap();
+            }
+            last
+        });
+    });
+    group.finish();
+}
+
+fn bench_hash_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extendible_hash");
+    group.sample_size(10);
+    let n = 200_000u64;
+    let path = tmpfile("hash");
+    let device = FileDisk::create(&path, 4096).unwrap() as SharedDevice;
+    let pool = BufferPool::new(device, 64, EvictionPolicy::Lru);
+    let mut h: ExtendibleHash<u64, u64> = ExtendibleHash::new(pool).unwrap();
+    for k in 0..n {
+        h.insert(k, k).unwrap();
+    }
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("point_lookup_filedisk", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| h.get(&rng.gen_range(0..n)).unwrap());
+    });
+    group.finish();
+    std::fs::remove_file(path).ok();
+}
+
+criterion_group!(benches, bench_external_sort, bench_btree_ops, bench_priority_queue, bench_hash_ops);
+criterion_main!(benches);

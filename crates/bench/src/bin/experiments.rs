@@ -1,0 +1,23 @@
+//! Regenerate the survey's tables and figures from the instrumented
+//! simulator.
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments -- all
+//! cargo run --release -p bench --bin experiments -- f3 f9
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: experiments <id>…   (ids: t1 f1 f2 f3 f4 f5 t2 f6 f7 f8 f9 f10 f11 f12 f13 f14 f15 | all)");
+        std::process::exit(2);
+    }
+    println!("# External Memory Algorithms — experiment results");
+    println!("\n(Deterministic I/O counts from the instrumented PDM simulator; see DESIGN.md for the experiment index.)");
+    for id in &args {
+        if !bench::experiments::run(&id.to_lowercase()) {
+            eprintln!("unknown experiment id: {id}");
+            std::process::exit(2);
+        }
+    }
+}

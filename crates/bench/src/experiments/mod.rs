@@ -1,0 +1,44 @@
+//! One module per experiment family; ids match DESIGN.md's index.
+
+pub mod fundamentals;
+pub mod geometry;
+pub mod graphs;
+pub mod hashing;
+pub mod permute;
+pub mod sorting;
+pub mod text;
+pub mod transpose;
+pub mod trees;
+
+/// Run one experiment by id; returns false if the id is unknown.
+pub fn run(id: &str) -> bool {
+    match id {
+        "t1" => fundamentals::t1_fundamental_bounds(),
+        "f1" => sorting::f1_merge_sort_scaling(),
+        "f2" => sorting::f2_merge_vs_distribution(),
+        "f3" => permute::f3_permute_crossover(),
+        "f4" => transpose::f4_transpose(),
+        "f5" => sorting::f5_striping_vs_independent(),
+        "t2" => trees::t2_btree_search(),
+        "f6" => trees::f6_buffer_tree_amortization(),
+        "f7" => trees::f7_priority_queue(),
+        "f8" => trees::f8_stack_queue(),
+        "f9" => graphs::f9_list_ranking(),
+        "f10" => graphs::f10_bfs(),
+        "f11" => graphs::f11_connected_components(),
+        "f12" => geometry::f12_distribution_sweeping(),
+        "f13" => hashing::f13_extendible_hashing(),
+        "f14" => graphs::f14_time_forward(),
+        "f15" => text::f15_suffix_array(),
+        "all" => {
+            for id in [
+                "t1", "f1", "f2", "f3", "f4", "f5", "t2", "f6", "f7", "f8", "f9", "f10", "f11",
+                "f12", "f13", "f14", "f15",
+            ] {
+                run(id);
+            }
+        }
+        _ => return false,
+    }
+    true
+}

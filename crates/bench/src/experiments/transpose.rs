@@ -1,0 +1,59 @@
+//! F4 — matrix transposition: naive vs blocked vs the bound.
+
+use em_core::{bounds, EmConfig, ExtVec};
+use emsort::{transpose_blocked, transpose_naive, SortConfig};
+
+use crate::{fmt, measure, table};
+
+pub fn f4_transpose() {
+    let cfg = EmConfig::new(1024, 64); // B = 128, M = 8192 ≥ 4B² is false (4B²=65536)…
+    let b = cfg.block_records::<u64>();
+    let mut rows = Vec::new();
+    for &p in &[64u64, 128, 256, 512] {
+        let q = p;
+        let n = p * q;
+        let device = cfg.ram_disk();
+        let data: Vec<u64> = (0..n).collect();
+        let input = ExtVec::from_slice(device.clone(), &data).unwrap();
+        // Tall-memory configuration: M = 2·(tile)² with tile ≥ B.
+        let m = (2 * (2 * b) * (2 * b)).max(cfg.mem_records::<u64>());
+        let sc = SortConfig::new(m);
+        let (_, dblk) = measure(&device, || transpose_blocked(&input, p, q, &sc).unwrap());
+        let (_, dnv) = measure(&device, || transpose_naive(&input, p, q).unwrap());
+        rows.push(vec![
+            format!("{p}×{q}"),
+            dnv.total().to_string(),
+            dblk.total().to_string(),
+            fmt(bounds::transpose(p, q, m, b)),
+            fmt(dblk.total() as f64 / bounds::scan(n, b)),
+        ]);
+    }
+    table(
+        "F4 — square matrix transpose (B=128): naive Θ(N) vs blocked Θ(N/B) in the tall-memory regime",
+        &["matrix", "naive I/Os", "blocked I/Os", "Θ bound", "blocked / scan(N)"],
+        &rows,
+    );
+
+    // Small-memory regime: M < 4B² forces the sort-based fallback.
+    let mut rows = Vec::new();
+    for &p in &[128u64, 256] {
+        let q = p;
+        let device = cfg.ram_disk();
+        let data: Vec<u64> = (0..p * q).collect();
+        let input = ExtVec::from_slice(device.clone(), &data).unwrap();
+        let m_small = 8 * b; // M = 1024 < 4B² = 65536
+        let sc = SortConfig::new(m_small);
+        let (_, d) = measure(&device, || transpose_blocked(&input, p, q, &sc).unwrap());
+        rows.push(vec![
+            format!("{p}×{q}"),
+            m_small.to_string(),
+            d.total().to_string(),
+            fmt(bounds::sort(p * q, m_small, b)),
+        ]);
+    }
+    table(
+        "F4a — small-memory regime (M < 4B²): sort-based transposition, Θ(Sort(N))",
+        &["matrix", "M", "measured I/Os", "Θ Sort(N)"],
+        &rows,
+    );
+}

@@ -1,0 +1,200 @@
+//! An append-and-rescan external buffer.
+//!
+//! Several algorithms (buffer-tree style structures, distribution sweeping's
+//! active lists) need a container supporting two operations at `O(1/B)`
+//! amortized I/Os each:
+//!
+//! * `push` — append a record (one in-memory tail block, spilled when full);
+//! * `retain` — stream every record through a predicate, keeping only the
+//!   matches (used for the "report or die" scan of sweep active lists).
+//!
+//! The amortized analysis of distribution sweeping hinges on `retain`:
+//! every scanned record either produces output or is dropped forever.
+
+use pdm::{BlockId, Result, SharedDevice};
+
+use crate::record::Record;
+
+/// Unordered external buffer with buffered appends and filtered rescans.
+pub struct AppendBuffer<R: Record> {
+    device: SharedDevice,
+    /// Full spilled blocks.
+    blocks: Vec<BlockId>,
+    /// In-memory tail (< one block).
+    tail: Vec<R>,
+    per_block: usize,
+    byte_buf: Box<[u8]>,
+}
+
+impl<R: Record> AppendBuffer<R> {
+    /// Create an empty buffer on `device`.
+    pub fn new(device: SharedDevice) -> Self {
+        let per_block = (device.block_size() / R::BYTES).max(1);
+        assert!(device.block_size() / R::BYTES >= 1, "record larger than block");
+        let byte_buf = vec![0u8; device.block_size()].into_boxed_slice();
+        AppendBuffer { device, blocks: Vec::new(), tail: Vec::with_capacity(per_block), per_block, byte_buf }
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> u64 {
+        (self.blocks.len() * self.per_block + self.tail.len()) as u64
+    }
+
+    /// True if no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty() && self.tail.is_empty()
+    }
+
+    /// Append a record; spills a full tail block (`O(1/B)` amortized).
+    pub fn push(&mut self, r: R) -> Result<()> {
+        self.tail.push(r);
+        if self.tail.len() == self.per_block {
+            for (i, rec) in self.tail.iter().enumerate() {
+                rec.write_to(&mut self.byte_buf[i * R::BYTES..(i + 1) * R::BYTES]);
+            }
+            let id = self.device.allocate()?;
+            self.device.write_block(id, &self.byte_buf)?;
+            self.blocks.push(id);
+            self.tail.clear();
+        }
+        Ok(())
+    }
+
+    /// Stream every record through `visit`; records for which it returns
+    /// `false` are removed.  Costs one read of every old block plus one
+    /// write per surviving block.
+    pub fn retain<F: FnMut(&R) -> bool>(&mut self, mut visit: F) -> Result<()> {
+        let old_blocks = std::mem::take(&mut self.blocks);
+        let old_tail = std::mem::take(&mut self.tail);
+        self.tail = Vec::with_capacity(self.per_block);
+        for id in old_blocks {
+            self.device.read_block(id, &mut self.byte_buf)?;
+            // Decode before reusing byte_buf for writes.
+            let records: Vec<R> = (0..self.per_block)
+                .map(|i| R::read_from(&self.byte_buf[i * R::BYTES..(i + 1) * R::BYTES]))
+                .collect();
+            self.device.free(id)?;
+            for r in records {
+                if visit(&r) {
+                    self.push(r)?;
+                }
+            }
+        }
+        for r in old_tail {
+            if visit(&r) {
+                self.push(r)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Load everything into memory (test helper; ignores the budget).
+    pub fn to_vec(&self) -> Result<Vec<R>> {
+        let mut out = Vec::with_capacity(self.len() as usize);
+        let mut buf = vec![0u8; self.byte_buf.len()].into_boxed_slice();
+        for id in &self.blocks {
+            self.device.read_block(*id, &mut buf)?;
+            for i in 0..self.per_block {
+                out.push(R::read_from(&buf[i * R::BYTES..(i + 1) * R::BYTES]));
+            }
+        }
+        out.extend(self.tail.iter().cloned());
+        Ok(out)
+    }
+
+    /// Release all blocks.
+    pub fn clear(&mut self) -> Result<()> {
+        for id in self.blocks.drain(..) {
+            self.device.free(id)?;
+        }
+        self.tail.clear();
+        Ok(())
+    }
+}
+
+impl<R: Record> Drop for AppendBuffer<R> {
+    fn drop(&mut self) {
+        let _ = self.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EmConfig;
+
+    fn device() -> SharedDevice {
+        EmConfig::new(64, 8).ram_disk() // 8 u64s per block
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut b = AppendBuffer::new(device());
+        for i in 0..100u64 {
+            b.push(i).unwrap();
+        }
+        assert_eq!(b.len(), 100);
+        let mut v = b.to_vec().unwrap();
+        v.sort_unstable();
+        assert_eq!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn retain_filters_and_compacts() {
+        let mut b = AppendBuffer::new(device());
+        for i in 0..50u64 {
+            b.push(i).unwrap();
+        }
+        let mut seen = 0;
+        b.retain(|&x| {
+            seen += 1;
+            x % 2 == 0
+        })
+        .unwrap();
+        assert_eq!(seen, 50);
+        assert_eq!(b.len(), 25);
+        let mut v = b.to_vec().unwrap();
+        v.sort_unstable();
+        assert_eq!(v, (0..50).step_by(2).collect::<Vec<_>>());
+        // Buffer stays usable after retain.
+        b.push(999).unwrap();
+        assert_eq!(b.len(), 26);
+    }
+
+    #[test]
+    fn retain_everything_dropped_frees_blocks() {
+        let d = device();
+        let mut b = AppendBuffer::new(d.clone());
+        for i in 0..100u64 {
+            b.push(i).unwrap();
+        }
+        assert!(d.allocated_blocks() > 0);
+        b.retain(|_| false).unwrap();
+        assert_eq!(b.len(), 0);
+        assert_eq!(d.allocated_blocks(), 0);
+    }
+
+    #[test]
+    fn push_io_is_amortized() {
+        let d = device();
+        let mut b = AppendBuffer::new(d.clone());
+        let before = d.stats().snapshot();
+        for i in 0..800u64 {
+            b.push(i).unwrap();
+        }
+        let ios = d.stats().snapshot().since(&before).total();
+        assert_eq!(ios, 100, "one write per full block");
+    }
+
+    #[test]
+    fn drop_releases() {
+        let d = device();
+        {
+            let mut b = AppendBuffer::new(d.clone());
+            for i in 0..100u64 {
+                b.push(i).unwrap();
+            }
+        }
+        assert_eq!(d.allocated_blocks(), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Closed-form I/O bounds from the survey.
+//!
+//! These are the formulas the experiment harness overlays on measured I/O
+//! counts.  All take record-counted parameters (`N`, `M`, `B` in records) and
+//! return the bound *without* its hidden constant, as an `f64` — experiments
+//! report the measured/predicted ratio, which should be a small constant if
+//! the implementation matches the theory.
+//!
+//! ```text
+//! Scan(N)    = N/B                                      (one disk; /D for D disks)
+//! Sort(N)    = (N/B) · log_{M/B}(N/B)
+//! Search(N)  = log_B N
+//! Output(Z)  = max(1, Z/B)
+//! Permute(N) = min(N, Sort(N))
+//! Transpose  = (N/B) · log_m min(M, p, q, N/M)          (p×q matrix, N = pq)
+//! ```
+
+/// `Scan(N) = ⌈N/B⌉` — touch every record once.
+pub fn scan(n: u64, b: usize) -> f64 {
+    (n as f64 / b as f64).ceil()
+}
+
+/// `Sort(N) = (N/B) · log_{M/B}(N/B)` — the sorting bound (Θ-form, no
+/// constant).  Returns at least `N/B` (one pass) for inputs that fit in one
+/// memory load.
+pub fn sort(n: u64, m: usize, b: usize) -> f64 {
+    let nb = n as f64 / b as f64;
+    let mb = (m as f64 / b as f64).max(2.0);
+    nb * (nb.ln() / mb.ln()).max(1.0)
+}
+
+/// `Search(N) = ⌈log_B N⌉` — one root-to-leaf B-tree path.
+pub fn search(n: u64, b: usize) -> f64 {
+    if n <= 1 {
+        return 1.0;
+    }
+    ((n as f64).ln() / (b as f64).ln()).ceil().max(1.0)
+}
+
+/// `Output(Z) = max(1, ⌈Z/B⌉)` — report `Z` answers.
+pub fn output(z: u64, b: usize) -> f64 {
+    (z as f64 / b as f64).ceil().max(1.0)
+}
+
+/// `Permute(N) = min(N, Sort(N))` — the permutation bound; for realistic
+/// `B` sorting wins, for tiny `B` moving records one at a time wins.
+pub fn permute(n: u64, m: usize, b: usize) -> f64 {
+    (n as f64).min(sort(n, m, b))
+}
+
+/// Matrix transpose bound for a `p × q` matrix (`N = p·q`):
+/// `(N/B) · log_m min(M, p, q, N/M)`, with the log clamped to ≥ 1
+/// (at least one pass).
+pub fn transpose(p: u64, q: u64, m: usize, b: usize) -> f64 {
+    let n = p * q;
+    let nb = n as f64 / b as f64;
+    let mb = (m as f64 / b as f64).max(2.0);
+    let inner = (m as f64).min(p as f64).min(q as f64).min((n as f64 / m as f64).max(2.0));
+    nb * (inner.ln() / mb.ln()).max(1.0)
+}
+
+/// Number of passes an `k`-way merge sort performs over the data:
+/// `1 (run formation) + ⌈log_k(runs)⌉` where `runs = ⌈N/M⌉`.
+/// Useful as an exact overlay for the merge-sort experiments.
+pub fn merge_passes(n: u64, m: usize, fan_in: usize) -> u32 {
+    let runs = (n as f64 / m as f64).ceil().max(1.0);
+    if runs <= 1.0 {
+        return 1;
+    }
+    1 + (runs.ln() / (fan_in as f64).ln()).ceil() as u32
+}
+
+/// Exact predicted I/O count for a `k`-way merge sort that reads and writes
+/// every block once per pass: `2 · ⌈N/B⌉ · passes`.
+pub fn merge_sort_ios(n: u64, m: usize, b: usize, fan_in: usize) -> f64 {
+    2.0 * scan(n, b) * merge_passes(n, m, fan_in) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_is_ceiling_division() {
+        assert_eq!(scan(1000, 100), 10.0);
+        assert_eq!(scan(1001, 100), 11.0);
+        assert_eq!(scan(0, 100), 0.0);
+    }
+
+    #[test]
+    fn sort_is_at_least_one_pass() {
+        // N ≤ M: one memory load, bound degenerates to N/B.
+        assert_eq!(sort(100, 1000, 10), 10.0);
+    }
+
+    #[test]
+    fn sort_grows_linearithmically() {
+        let m = 1 << 10;
+        let b = 1 << 5;
+        let s1 = sort(1 << 20, m, b);
+        let s2 = sort(1 << 21, m, b);
+        // doubling N slightly more than doubles Sort(N)
+        assert!(s2 > 2.0 * s1);
+        assert!(s2 < 2.5 * s1);
+    }
+
+    #[test]
+    fn search_matches_logb() {
+        assert_eq!(search(1, 100), 1.0);
+        assert_eq!(search(100, 100), 1.0);
+        assert_eq!(search(10_000, 100), 2.0);
+        assert_eq!(search(10_001, 100), 3.0);
+    }
+
+    #[test]
+    fn permute_crossover() {
+        // Tiny B: naive (N I/Os) wins.
+        assert_eq!(permute(1000, 8, 2), sort(1000, 8, 2).min(1000.0));
+        // Realistic B: sorting wins by far.
+        let p = permute(1 << 20, 1 << 14, 1 << 8);
+        assert!(p < (1 << 20) as f64);
+        assert_eq!(p, sort(1 << 20, 1 << 14, 1 << 8));
+    }
+
+    #[test]
+    fn output_at_least_one() {
+        assert_eq!(output(0, 100), 1.0);
+        assert_eq!(output(250, 100), 3.0);
+    }
+
+    #[test]
+    fn merge_passes_counts_run_formation() {
+        // Fits in memory: a single pass.
+        assert_eq!(merge_passes(100, 1000, 7), 1);
+        // 10 runs, fan-in 10: run formation + 1 merge pass.
+        assert_eq!(merge_passes(10_000, 1000, 10), 2);
+        // 100 runs, fan-in 10: run formation + 2 merge passes.
+        assert_eq!(merge_passes(100_000, 1000, 10), 3);
+    }
+
+    #[test]
+    fn transpose_bounds_sane() {
+        // Square matrix far bigger than memory.
+        let t = transpose(1 << 10, 1 << 10, 1 << 12, 1 << 6);
+        assert!(t >= scan(1 << 20, 1 << 6));
+        assert!(t <= sort(1 << 20, 1 << 12, 1 << 6) * 2.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Explicit internal-memory accounting.
+//!
+//! The I/O model's results only hold if the algorithm really keeps at most
+//! `M` records resident.  Algorithms in this workspace *charge* their
+//! in-memory buffers against a [`MemBudget`]; exceeding the budget panics,
+//! turning a silent model violation into a loud test failure.  (Online
+//! structures running on a [`pdm::BufferPool`] get the same enforcement from
+//! the pool's bounded frame count instead.)
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A budget of `capacity` records of internal memory.
+#[derive(Debug)]
+pub struct MemBudget {
+    capacity: usize,
+    used: AtomicUsize,
+    high_water: AtomicUsize,
+}
+
+impl MemBudget {
+    /// Create a budget of `capacity` records.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(MemBudget {
+            capacity,
+            used: AtomicUsize::new(0),
+            high_water: AtomicUsize::new(0),
+        })
+    }
+
+    /// Total capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records currently charged.
+    pub fn used(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Records still available.
+    pub fn available(&self) -> usize {
+        self.capacity - self.used()
+    }
+
+    /// Peak charged usage over the budget's lifetime.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Charge `records` against the budget; the charge is released when the
+    /// returned guard drops.
+    ///
+    /// # Panics
+    /// If the charge would exceed the capacity — that is a model violation
+    /// by the calling algorithm.
+    pub fn charge(self: &Arc<Self>, records: usize) -> BudgetGuard {
+        let prev = self.used.fetch_add(records, Ordering::Relaxed);
+        let now = prev + records;
+        assert!(
+            now <= self.capacity,
+            "memory budget exceeded: {now} records charged, capacity {}",
+            self.capacity
+        );
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+        BudgetGuard { budget: Arc::clone(self), records }
+    }
+}
+
+/// Releases its charge on drop.
+#[derive(Debug)]
+pub struct BudgetGuard {
+    budget: Arc<MemBudget>,
+    records: usize,
+}
+
+impl BudgetGuard {
+    /// Size of this charge, in records.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+}
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        self.budget.used.fetch_sub(self.records, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_release() {
+        let b = MemBudget::new(100);
+        let g1 = b.charge(60);
+        assert_eq!(b.used(), 60);
+        assert_eq!(b.available(), 40);
+        let g2 = b.charge(40);
+        assert_eq!(b.available(), 0);
+        drop(g1);
+        assert_eq!(b.used(), 40);
+        drop(g2);
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.high_water(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory budget exceeded")]
+    fn over_charge_panics() {
+        let b = MemBudget::new(10);
+        let _g = b.charge(5);
+        let _h = b.charge(6);
+    }
+
+    #[test]
+    fn zero_charge_is_free() {
+        let b = MemBudget::new(1);
+        let _g = b.charge(0);
+        assert_eq!(b.used(), 0);
+    }
+}

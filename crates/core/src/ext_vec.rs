@@ -1,0 +1,416 @@
+//! Typed external arrays.
+//!
+//! An [`ExtVec<R>`] is a sequence of `N` records stored across
+//! `⌈N/B⌉` device blocks — the universal on-disk container the workspace's
+//! algorithms consume and produce.  Access is block-granular: `get`/`set`
+//! cost one/two I/Os, [`reader`](ExtVec::reader) streams sequentially at
+//! `1/B` I/Os per record, and whole-block reads/writes support algorithms
+//! (transpose, distribution) that manage their own blocking.
+//!
+//! The block-id table (`⌈N/B⌉` ids) lives in internal memory.  This mirrors
+//! practice (STXXL and TPIE both keep block maps resident) and is accounted
+//! for in DESIGN.md; it is `O(N/B)` words, asymptotically below the `Ω(B)`
+//! memory the model already grants.
+
+use std::marker::PhantomData;
+
+use pdm::{BlockId, Result, SharedDevice};
+
+use crate::record::Record;
+use crate::stream::{ExtVecReader, ExtVecWriter};
+
+/// A typed external array of records on a block device.
+pub struct ExtVec<R: Record> {
+    device: SharedDevice,
+    blocks: Vec<BlockId>,
+    len: u64,
+    _marker: PhantomData<fn() -> R>,
+}
+
+impl<R: Record> ExtVec<R> {
+    /// Records per block on `device`.
+    pub fn per_block_on(device: &SharedDevice) -> usize {
+        let b = device.block_size() / R::BYTES;
+        assert!(b >= 1, "record larger than device block");
+        b
+    }
+
+    /// An empty array on `device`.
+    pub fn new(device: SharedDevice) -> Self {
+        ExtVec { device, blocks: Vec::new(), len: 0, _marker: PhantomData }
+    }
+
+    /// Build from an in-memory slice (streams through a one-block writer).
+    pub fn from_slice(device: SharedDevice, records: &[R]) -> Result<Self> {
+        let mut w = ExtVecWriter::new(device);
+        for r in records {
+            w.push(r.clone())?;
+        }
+        w.finish()
+    }
+
+    /// Allocate an array of `len` zero-encoded records without performing
+    /// any I/O (fresh blocks are zeroed by the device).
+    pub fn with_len(device: SharedDevice, len: u64) -> Result<Self> {
+        let per = Self::per_block_on(&device);
+        let nblocks = (len as usize).div_ceil(per);
+        let mut blocks = Vec::with_capacity(nblocks);
+        for _ in 0..nblocks {
+            blocks.push(device.allocate()?);
+        }
+        Ok(ExtVec { device, blocks, len, _marker: PhantomData })
+    }
+
+    /// (internal) Assemble from parts; used by the writer.
+    pub(crate) fn from_parts(device: SharedDevice, blocks: Vec<BlockId>, len: u64) -> Self {
+        ExtVec { device, blocks, len, _marker: PhantomData }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the array holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Records per block (`B` for this record type and device).
+    pub fn per_block(&self) -> usize {
+        Self::per_block_on(&self.device)
+    }
+
+    /// Number of device blocks backing the array.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The backing device.
+    pub fn device(&self) -> &SharedDevice {
+        &self.device
+    }
+
+    /// Records stored in block index `bi` (the last block may be partial).
+    pub fn records_in_block(&self, bi: usize) -> usize {
+        let per = self.per_block() as u64;
+        let start = bi as u64 * per;
+        assert!(start < self.len || (self.len == 0 && bi == 0), "block index out of range");
+        ((self.len - start).min(per)) as usize
+    }
+
+    /// Random-access read of record `idx`.  Costs one I/O.
+    pub fn get(&self, idx: u64) -> Result<R> {
+        assert!(idx < self.len, "index {idx} out of range (len {})", self.len);
+        let per = self.per_block() as u64;
+        let (bi, off) = ((idx / per) as usize, (idx % per) as usize);
+        let mut buf = self.block_buf();
+        self.device.read_block(self.blocks[bi], &mut buf)?;
+        Ok(R::read_from(&buf[off * R::BYTES..(off + 1) * R::BYTES]))
+    }
+
+    /// Random-access overwrite of record `idx`.  Costs two I/Os
+    /// (read-modify-write of the containing block).
+    pub fn set(&self, idx: u64, value: &R) -> Result<()> {
+        assert!(idx < self.len, "index {idx} out of range (len {})", self.len);
+        let per = self.per_block() as u64;
+        let (bi, off) = ((idx / per) as usize, (idx % per) as usize);
+        let mut buf = self.block_buf();
+        self.device.read_block(self.blocks[bi], &mut buf)?;
+        value.write_to(&mut buf[off * R::BYTES..(off + 1) * R::BYTES]);
+        self.device.write_block(self.blocks[bi], &buf)
+    }
+
+    /// Read the records of block `bi` into `out` (cleared first).
+    /// Costs one I/O.
+    pub fn read_block_into(&self, bi: usize, out: &mut Vec<R>) -> Result<()> {
+        let count = self.records_in_block(bi);
+        let mut buf = self.block_buf();
+        self.device.read_block(self.blocks[bi], &mut buf)?;
+        out.clear();
+        out.reserve(count);
+        for i in 0..count {
+            out.push(R::read_from(&buf[i * R::BYTES..(i + 1) * R::BYTES]));
+        }
+        Ok(())
+    }
+
+    /// Overwrite block `bi` with `records` (must match
+    /// [`records_in_block`](Self::records_in_block)).  Costs one I/O.
+    pub fn write_block(&self, bi: usize, records: &[R]) -> Result<()> {
+        assert_eq!(records.len(), self.records_in_block(bi), "wrong record count for block {bi}");
+        let mut buf = self.block_buf();
+        for (i, r) in records.iter().enumerate() {
+            r.write_to(&mut buf[i * R::BYTES..(i + 1) * R::BYTES]);
+        }
+        self.device.write_block(self.blocks[bi], &buf)
+    }
+
+    /// Read `count` records starting at record `start` into `out` (cleared
+    /// first).  Costs one I/O per touched block:
+    /// `⌈(start+count)/B⌉ − ⌊start/B⌋`.
+    pub fn read_range(&self, start: u64, count: usize, out: &mut Vec<R>) -> Result<()> {
+        assert!(start + count as u64 <= self.len, "range out of bounds");
+        out.clear();
+        if count == 0 {
+            return Ok(());
+        }
+        out.reserve(count);
+        let per = self.per_block() as u64;
+        let first_block = (start / per) as usize;
+        let last_block = ((start + count as u64 - 1) / per) as usize;
+        let mut buf = self.block_buf();
+        for bi in first_block..=last_block {
+            self.device.read_block(self.blocks[bi], &mut buf)?;
+            let block_start = bi as u64 * per;
+            let lo = start.max(block_start) - block_start;
+            let hi = (start + count as u64).min(block_start + per) - block_start;
+            for i in lo..hi {
+                let i = i as usize;
+                out.push(R::read_from(&buf[i * R::BYTES..(i + 1) * R::BYTES]));
+            }
+        }
+        Ok(())
+    }
+
+    /// Overwrite `records.len()` records starting at `start`.  Fully covered
+    /// blocks are written with one I/O; partially covered edge blocks incur a
+    /// read-modify-write (one extra read each).
+    pub fn write_range(&self, start: u64, records: &[R]) -> Result<()> {
+        assert!(start + records.len() as u64 <= self.len, "range out of bounds");
+        if records.is_empty() {
+            return Ok(());
+        }
+        let per = self.per_block() as u64;
+        let end = start + records.len() as u64;
+        let first_block = (start / per) as usize;
+        let last_block = ((end - 1) / per) as usize;
+        let mut buf = self.block_buf();
+        for bi in first_block..=last_block {
+            let block_start = bi as u64 * per;
+            let block_records = self.records_in_block(bi) as u64;
+            let lo = start.max(block_start);
+            let hi = end.min(block_start + per);
+            let covers_whole_block = lo == block_start && hi - block_start >= block_records;
+            if !covers_whole_block {
+                self.device.read_block(self.blocks[bi], &mut buf)?;
+            }
+            for i in lo..hi {
+                let r = &records[(i - start) as usize];
+                let off = (i - block_start) as usize;
+                r.write_to(&mut buf[off * R::BYTES..(off + 1) * R::BYTES]);
+            }
+            self.device.write_block(self.blocks[bi], &buf)?;
+        }
+        Ok(())
+    }
+
+    /// Sequential reader from the first record.
+    pub fn reader(&self) -> ExtVecReader<'_, R> {
+        ExtVecReader::new(self, 0)
+    }
+
+    /// Sequential reader starting at record `start`.
+    pub fn reader_at(&self, start: u64) -> ExtVecReader<'_, R> {
+        ExtVecReader::new(self, start)
+    }
+
+    /// Load the whole array into memory.  **Test/verification helper** — it
+    /// deliberately ignores the memory budget.
+    pub fn to_vec(&self) -> Result<Vec<R>> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        let mut block = Vec::new();
+        for bi in 0..self.num_blocks() {
+            self.read_block_into(bi, &mut block)?;
+            out.append(&mut block);
+        }
+        Ok(out)
+    }
+
+    /// Release all backing blocks.
+    pub fn free(self) -> Result<()> {
+        for id in &self.blocks {
+            self.device.free(*id)?;
+        }
+        Ok(())
+    }
+
+    fn block_buf(&self) -> Box<[u8]> {
+        vec![0u8; self.device.block_size()].into_boxed_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EmConfig;
+
+    fn dev() -> SharedDevice {
+        EmConfig::new(64, 4).ram_disk() // 8 u64s per block
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let data: Vec<u64> = (0..100).collect();
+        let v = ExtVec::from_slice(dev(), &data).unwrap();
+        assert_eq!(v.len(), 100);
+        assert_eq!(v.num_blocks(), 13);
+        assert_eq!(v.to_vec().unwrap(), data);
+    }
+
+    #[test]
+    fn get_and_set() {
+        let data: Vec<u64> = (0..20).collect();
+        let v = ExtVec::from_slice(dev(), &data).unwrap();
+        assert_eq!(v.get(0).unwrap(), 0);
+        assert_eq!(v.get(19).unwrap(), 19);
+        v.set(7, &777).unwrap();
+        assert_eq!(v.get(7).unwrap(), 777);
+        assert_eq!(v.get(6).unwrap(), 6, "neighbours untouched");
+        assert_eq!(v.get(8).unwrap(), 8);
+    }
+
+    #[test]
+    fn get_costs_one_io_set_costs_two() {
+        let device = dev();
+        let v = ExtVec::from_slice(device.clone(), &(0u64..64).collect::<Vec<_>>()).unwrap();
+        let before = device.stats().snapshot();
+        v.get(33).unwrap();
+        let after_get = device.stats().snapshot();
+        assert_eq!(after_get.since(&before).total(), 1);
+        v.set(33, &1).unwrap();
+        let after_set = device.stats().snapshot();
+        assert_eq!(after_set.since(&after_get).total(), 2);
+    }
+
+    #[test]
+    fn partial_last_block() {
+        let v = ExtVec::from_slice(dev(), &(0u64..10).collect::<Vec<_>>()).unwrap();
+        assert_eq!(v.records_in_block(0), 8);
+        assert_eq!(v.records_in_block(1), 2);
+        let mut out = Vec::new();
+        v.read_block_into(1, &mut out).unwrap();
+        assert_eq!(out, vec![8, 9]);
+    }
+
+    #[test]
+    fn write_block_replaces_contents() {
+        let v = ExtVec::from_slice(dev(), &(0u64..16).collect::<Vec<_>>()).unwrap();
+        v.write_block(1, &[90, 91, 92, 93, 94, 95, 96, 97]).unwrap();
+        assert_eq!(v.to_vec().unwrap()[8..], [90, 91, 92, 93, 94, 95, 96, 97]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong record count")]
+    fn write_block_wrong_size_panics() {
+        let v = ExtVec::from_slice(dev(), &(0u64..16).collect::<Vec<_>>()).unwrap();
+        v.write_block(0, &[1, 2, 3]).unwrap();
+    }
+
+    #[test]
+    fn with_len_is_zeroed_and_costs_no_io() {
+        let device = dev();
+        let before = device.stats().snapshot();
+        let v: ExtVec<u64> = ExtVec::with_len(device.clone(), 30).unwrap();
+        assert_eq!(device.stats().snapshot().since(&before).total(), 0);
+        assert_eq!(v.len(), 30);
+        assert!(v.to_vec().unwrap().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn free_releases_blocks() {
+        let device = dev();
+        let v = ExtVec::from_slice(device.clone(), &(0u64..64).collect::<Vec<_>>()).unwrap();
+        assert_eq!(device.allocated_blocks(), 8);
+        v.free().unwrap();
+        assert_eq!(device.allocated_blocks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = ExtVec::from_slice(dev(), &[1u64, 2, 3]).unwrap();
+        let _ = v.get(3);
+    }
+
+    #[test]
+    fn empty_vec() {
+        let v: ExtVec<u64> = ExtVec::new(dev());
+        assert!(v.is_empty());
+        assert_eq!(v.num_blocks(), 0);
+        assert_eq!(v.to_vec().unwrap(), Vec::<u64>::new());
+    }
+}
+
+#[cfg(test)]
+mod range_tests {
+    use super::*;
+    use crate::EmConfig;
+
+    fn dev() -> SharedDevice {
+        EmConfig::new(64, 4).ram_disk() // 8 u64s per block
+    }
+
+    #[test]
+    fn read_range_contents_and_cost() {
+        let device = dev();
+        let v = ExtVec::from_slice(device.clone(), &(0u64..40).collect::<Vec<_>>()).unwrap();
+        let mut out = Vec::new();
+        let before = device.stats().snapshot();
+        v.read_range(5, 10, &mut out).unwrap(); // spans blocks 0 and 1
+        assert_eq!(out, (5..15).collect::<Vec<u64>>());
+        assert_eq!(device.stats().snapshot().since(&before).reads(), 2);
+        v.read_range(8, 8, &mut out).unwrap(); // exactly block 1
+        assert_eq!(out, (8..16).collect::<Vec<u64>>());
+        v.read_range(0, 0, &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn write_range_full_blocks_skip_read() {
+        let device = dev();
+        let v: ExtVec<u64> = ExtVec::with_len(device.clone(), 40).unwrap();
+        let before = device.stats().snapshot();
+        // records 8..24 = blocks 1 and 2 fully covered
+        v.write_range(8, &(100u64..116).collect::<Vec<_>>()).unwrap();
+        let d = device.stats().snapshot().since(&before);
+        assert_eq!(d.writes(), 2);
+        assert_eq!(d.reads(), 0, "fully covered blocks need no read");
+        assert_eq!(v.to_vec().unwrap()[8..24], (100..116).collect::<Vec<u64>>()[..]);
+    }
+
+    #[test]
+    fn write_range_partial_edges_rmw() {
+        let device = dev();
+        let v = ExtVec::from_slice(device.clone(), &(0u64..24).collect::<Vec<_>>()).unwrap();
+        let before = device.stats().snapshot();
+        v.write_range(5, &[50, 51, 52, 53, 54, 55]).unwrap(); // spans blocks 0,1 partially
+        let d = device.stats().snapshot().since(&before);
+        assert_eq!(d.reads(), 2, "both edge blocks RMW");
+        assert_eq!(d.writes(), 2);
+        let all = v.to_vec().unwrap();
+        assert_eq!(all[4], 4);
+        assert_eq!(all[5..11], [50, 51, 52, 53, 54, 55]);
+        assert_eq!(all[11], 11);
+    }
+
+    #[test]
+    fn write_range_partial_last_block_of_vec() {
+        let device = dev();
+        let v = ExtVec::from_slice(device.clone(), &(0u64..10).collect::<Vec<_>>()).unwrap();
+        // block 1 holds records 8..10; covering both is "whole block"
+        let before = device.stats().snapshot();
+        v.write_range(8, &[80, 90]).unwrap();
+        let d = device.stats().snapshot().since(&before);
+        assert_eq!(d.reads(), 0);
+        assert_eq!(v.to_vec().unwrap()[8..], [80, 90]);
+    }
+
+    #[test]
+    #[should_panic(expected = "range out of bounds")]
+    fn read_range_oob_panics() {
+        let v = ExtVec::from_slice(dev(), &[1u64, 2, 3]).unwrap();
+        let mut out = Vec::new();
+        v.read_range(2, 2, &mut out).unwrap();
+    }
+}

@@ -1,0 +1,241 @@
+//! Buffered sequential streams over external arrays.
+//!
+//! A reader or writer holds exactly **one block** of records in memory, so a
+//! `k`-way merge with one output stream holds `(k+1)·B` records — the
+//! accounting that gives merge sort its `Θ(M/B)` fan-in.  Callers charge
+//! these buffers against their [`MemBudget`](crate::MemBudget).
+
+use pdm::{BlockId, Result, SharedDevice};
+
+use crate::ext_vec::ExtVec;
+use crate::record::Record;
+
+/// Streaming writer: buffers one block, flushing when full.
+///
+/// Costs `⌈N/B⌉` write I/Os to emit `N` records.
+pub struct ExtVecWriter<R: Record> {
+    device: SharedDevice,
+    blocks: Vec<BlockId>,
+    buf: Vec<R>,
+    byte_buf: Box<[u8]>,
+    per_block: usize,
+    len: u64,
+}
+
+impl<R: Record> ExtVecWriter<R> {
+    /// Start writing a new external array on `device`.
+    pub fn new(device: SharedDevice) -> Self {
+        let per_block = ExtVec::<R>::per_block_on(&device);
+        let byte_buf = vec![0u8; device.block_size()].into_boxed_slice();
+        ExtVecWriter { device, blocks: Vec::new(), buf: Vec::with_capacity(per_block), byte_buf, per_block, len: 0 }
+    }
+
+    /// Records written so far.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Records per block (`B`).
+    pub fn per_block(&self) -> usize {
+        self.per_block
+    }
+
+    /// Append one record, flushing a full buffer to a fresh block.
+    pub fn push(&mut self, r: R) -> Result<()> {
+        self.buf.push(r);
+        self.len += 1;
+        if self.buf.len() == self.per_block {
+            self.flush_buf()?;
+        }
+        Ok(())
+    }
+
+    /// Finish, flushing any partial block, and return the completed array.
+    pub fn finish(mut self) -> Result<ExtVec<R>> {
+        if !self.buf.is_empty() {
+            self.flush_buf()?;
+        }
+        Ok(ExtVec::from_parts(self.device, self.blocks, self.len))
+    }
+
+    fn flush_buf(&mut self) -> Result<()> {
+        for (i, r) in self.buf.iter().enumerate() {
+            r.write_to(&mut self.byte_buf[i * R::BYTES..(i + 1) * R::BYTES]);
+        }
+        // Zero the tail of a partial block so the encoding is deterministic.
+        for b in self.byte_buf[self.buf.len() * R::BYTES..].iter_mut() {
+            *b = 0;
+        }
+        let id = self.device.allocate()?;
+        self.device.write_block(id, &self.byte_buf)?;
+        self.blocks.push(id);
+        self.buf.clear();
+        Ok(())
+    }
+}
+
+/// Streaming reader: buffers one block, refilling as it advances.
+///
+/// Costs `⌈N/B⌉` read I/Os to consume `N` records.
+pub struct ExtVecReader<'a, R: Record> {
+    vec: &'a ExtVec<R>,
+    buf: Vec<R>,
+    pos: usize,
+    consumed: u64,
+}
+
+impl<'a, R: Record> ExtVecReader<'a, R> {
+    pub(crate) fn new(vec: &'a ExtVec<R>, start: u64) -> Self {
+        assert!(start <= vec.len(), "start beyond end");
+        // The buffer starts empty; `fill` lazily loads the block that
+        // `consumed` points into on first access.
+        ExtVecReader { vec, buf: Vec::new(), pos: 0, consumed: start }
+    }
+
+    /// Records not yet returned.
+    pub fn remaining(&self) -> u64 {
+        self.vec.len() - self.consumed
+    }
+
+    /// Look at the next record without consuming it.  Costs an I/O only at
+    /// block boundaries.
+    pub fn peek(&mut self) -> Result<Option<&R>> {
+        if self.remaining() == 0 {
+            return Ok(None);
+        }
+        if self.pos >= self.buf.len() {
+            self.fill()?;
+        }
+        Ok(Some(&self.buf[self.pos]))
+    }
+
+    /// Consume and return the next record.
+    pub fn try_next(&mut self) -> Result<Option<R>> {
+        if self.remaining() == 0 {
+            return Ok(None);
+        }
+        if self.pos >= self.buf.len() {
+            self.fill()?;
+        }
+        let r = self.buf[self.pos].clone();
+        self.pos += 1;
+        self.consumed += 1;
+        Ok(Some(r))
+    }
+
+    fn fill(&mut self) -> Result<()> {
+        // `consumed` points at the record we need; load its block.
+        let per = self.vec.per_block() as u64;
+        let bi = (self.consumed / per) as usize;
+        self.vec.read_block_into(bi, &mut self.buf)?;
+        self.pos = (self.consumed % per) as usize;
+        Ok(())
+    }
+}
+
+impl<R: Record> Iterator for ExtVecReader<'_, R> {
+    type Item = R;
+
+    /// Iterator convenience; panics on device error (which, for a correctly
+    /// used simulator device, indicates a bug).  Use
+    /// [`try_next`](Self::try_next) to handle errors.
+    fn next(&mut self) -> Option<R> {
+        self.try_next().expect("device read failed")
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let r = self.remaining() as usize;
+        (r, Some(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EmConfig;
+
+    fn dev() -> SharedDevice {
+        EmConfig::new(64, 4).ram_disk() // 8 u64s per block
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let device = dev();
+        let mut w = ExtVecWriter::new(device.clone());
+        for i in 0..1000u64 {
+            w.push(i).unwrap();
+        }
+        let v = w.finish().unwrap();
+        let collected: Vec<u64> = v.reader().collect();
+        assert_eq!(collected, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_io_is_one_per_block() {
+        let device = dev();
+        let v = ExtVec::from_slice(device.clone(), &(0u64..80).collect::<Vec<_>>()).unwrap();
+        let before = device.stats().snapshot();
+        let _: Vec<u64> = v.reader().collect();
+        let delta = device.stats().snapshot().since(&before);
+        assert_eq!(delta.reads(), 10); // 80 records / 8 per block
+        assert_eq!(delta.writes(), 0);
+    }
+
+    #[test]
+    fn writer_io_is_one_per_block() {
+        let device = dev();
+        let before = device.stats().snapshot();
+        let mut w = ExtVecWriter::new(device.clone());
+        for i in 0..17u64 {
+            w.push(i).unwrap();
+        }
+        let _v = w.finish().unwrap();
+        let delta = device.stats().snapshot().since(&before);
+        assert_eq!(delta.writes(), 3); // 2 full + 1 partial block
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let v = ExtVec::from_slice(dev(), &[10u64, 20, 30]).unwrap();
+        let mut r = v.reader();
+        assert_eq!(r.peek().unwrap(), Some(&10));
+        assert_eq!(r.peek().unwrap(), Some(&10));
+        assert_eq!(r.try_next().unwrap(), Some(10));
+        assert_eq!(r.peek().unwrap(), Some(&20));
+        assert_eq!(r.remaining(), 2);
+    }
+
+    #[test]
+    fn reader_at_offset() {
+        let v = ExtVec::from_slice(dev(), &(0u64..30).collect::<Vec<_>>()).unwrap();
+        let collected: Vec<u64> = v.reader_at(13).collect();
+        assert_eq!(collected, (13..30).collect::<Vec<_>>());
+        // Starting exactly at a block boundary.
+        let collected: Vec<u64> = v.reader_at(16).collect();
+        assert_eq!(collected, (16..30).collect::<Vec<_>>());
+        // Starting at the end yields nothing.
+        assert_eq!(v.reader_at(30).count(), 0);
+    }
+
+    #[test]
+    fn empty_reader() {
+        let v: ExtVec<u64> = ExtVec::new(dev());
+        let mut r = v.reader();
+        assert_eq!(r.peek().unwrap(), None);
+        assert_eq!(r.try_next().unwrap(), None);
+    }
+
+    #[test]
+    fn size_hint_exact() {
+        let v = ExtVec::from_slice(dev(), &(0u64..5).collect::<Vec<_>>()).unwrap();
+        let mut r = v.reader();
+        assert_eq!(r.size_hint(), (5, Some(5)));
+        r.next();
+        assert_eq!(r.size_hint(), (4, Some(4)));
+    }
+}

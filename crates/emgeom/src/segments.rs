@@ -1,0 +1,470 @@
+//! Orthogonal segment intersection by distribution sweeping.
+//!
+//! The survey's canonical batched-geometry example: given horizontal and
+//! vertical axis-parallel segments, report all intersecting pairs in
+//! `O(Sort(N) + Z/B)` I/Os.
+//!
+//! The plane is recursively partitioned into `Θ(M/B)` vertical slabs; all
+//! events are processed in increasing-`y` order.  A vertical segment becomes
+//! *active* in its slab when the sweep passes its lower endpoint.  A
+//! horizontal segment is matched, at the highest recursion level possible,
+//! against the active lists of every slab it spans *completely*; its two
+//! clipped end pieces recurse.  The key amortization: when a horizontal
+//! spans a slab completely, every live vertical in that slab's active list
+//! *must* intersect it — so each scan step either reports an answer or
+//! permanently deletes a dead (passed) vertical.
+
+use em_core::{AppendBuffer, ExtVec, ExtVecWriter, Record};
+use pdm::Result;
+
+use emsort::{merge_sort_by, SortConfig};
+
+/// A horizontal segment `[x1, x2] × {y}` (inclusive endpoints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HSeg {
+    /// Caller-chosen identifier, reported in answers.
+    pub id: u64,
+    /// The segment's y coordinate.
+    pub y: i64,
+    /// Left x (must be ≤ `x2`).
+    pub x1: i64,
+    /// Right x.
+    pub x2: i64,
+}
+
+/// A vertical segment `{x} × [y1, y2]` (inclusive endpoints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VSeg {
+    /// Caller-chosen identifier, reported in answers.
+    pub id: u64,
+    /// The segment's x coordinate.
+    pub x: i64,
+    /// Lower y (must be ≤ `y2`).
+    pub y1: i64,
+    /// Upper y.
+    pub y2: i64,
+}
+
+macro_rules! four_field_record {
+    ($t:ty, $f0:ident, $f1:ident, $f2:ident, $f3:ident) => {
+        impl Record for $t {
+            const BYTES: usize = 32;
+            fn write_to(&self, buf: &mut [u8]) {
+                buf[0..8].copy_from_slice(&self.$f0.to_le_bytes());
+                buf[8..16].copy_from_slice(&self.$f1.to_le_bytes());
+                buf[16..24].copy_from_slice(&self.$f2.to_le_bytes());
+                buf[24..32].copy_from_slice(&self.$f3.to_le_bytes());
+            }
+            fn read_from(buf: &[u8]) -> Self {
+                Self {
+                    $f0: u64::from_le_bytes(buf[0..8].try_into().expect("8")),
+                    $f1: i64::from_le_bytes(buf[8..16].try_into().expect("8")),
+                    $f2: i64::from_le_bytes(buf[16..24].try_into().expect("8")),
+                    $f3: i64::from_le_bytes(buf[24..32].try_into().expect("8")),
+                }
+            }
+        }
+    };
+}
+
+four_field_record!(HSeg, id, y, x1, x2);
+four_field_record!(VSeg, id, x, y1, y2);
+
+/// Sweep event: vertical insertion or horizontal query, ordered by
+/// `(y, kind)` with verticals (kind 0) before horizontals (kind 1) at equal
+/// `y`, so that a vertical starting exactly at a horizontal's height counts
+/// as intersecting.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    y: i64,
+    kind: u8, // 0 = vertical, 1 = horizontal
+    id: u64,
+    a: i64, // vertical: x        horizontal: x1
+    b: i64, // vertical: y_top    horizontal: x2
+}
+
+impl Record for Event {
+    const BYTES: usize = 33;
+    fn write_to(&self, buf: &mut [u8]) {
+        buf[0..8].copy_from_slice(&self.y.to_le_bytes());
+        buf[8] = self.kind;
+        buf[9..17].copy_from_slice(&self.id.to_le_bytes());
+        buf[17..25].copy_from_slice(&self.a.to_le_bytes());
+        buf[25..33].copy_from_slice(&self.b.to_le_bytes());
+    }
+    fn read_from(buf: &[u8]) -> Self {
+        Event {
+            y: i64::from_le_bytes(buf[0..8].try_into().expect("8")),
+            kind: buf[8],
+            id: u64::from_le_bytes(buf[9..17].try_into().expect("8")),
+            a: i64::from_le_bytes(buf[17..25].try_into().expect("8")),
+            b: i64::from_le_bytes(buf[25..33].try_into().expect("8")),
+        }
+    }
+}
+
+/// Report every intersecting (horizontal id, vertical id) pair.
+///
+/// `O(Sort(N) + Z/B)` I/Os; output order is unspecified.
+pub fn segment_intersections(
+    hs: &ExtVec<HSeg>,
+    vs: &ExtVec<VSeg>,
+    cfg: &SortConfig,
+) -> Result<ExtVec<(u64, u64)>> {
+    let device = hs.device().clone();
+    // Build the event stream.
+    let mut w: ExtVecWriter<Event> = ExtVecWriter::new(device.clone());
+    {
+        let mut r = vs.reader();
+        while let Some(v) = r.try_next()? {
+            assert!(v.y1 <= v.y2, "vertical segment with y1 > y2");
+            w.push(Event { y: v.y1, kind: 0, id: v.id, a: v.x, b: v.y2 })?;
+        }
+        let mut r = hs.reader();
+        while let Some(h) = r.try_next()? {
+            assert!(h.x1 <= h.x2, "horizontal segment with x1 > x2");
+            w.push(Event { y: h.y, kind: 1, id: h.id, a: h.x1, b: h.x2 })?;
+        }
+    }
+    let unsorted = w.finish()?;
+    let events = merge_sort_by(&unsorted, cfg, |p, q| (p.y, p.kind) < (q.y, q.kind))?;
+    unsorted.free()?;
+
+    let mut out: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device);
+    sweep(events, cfg, &mut out, 0)?;
+    out.finish()
+}
+
+/// Recursive distribution sweep over a y-sorted event stream (consumed).
+fn sweep(events: ExtVec<Event>, cfg: &SortConfig, out: &mut ExtVecWriter<(u64, u64)>, depth: u32) -> Result<()> {
+    assert!(depth < 64, "distribution sweep failed to make progress");
+    let device = events.device().clone();
+    let n = events.len() as usize;
+
+    if n <= cfg.mem_records {
+        solve_in_memory(&events, out)?;
+        return events.free();
+    }
+
+    // Slab boundaries from the vertical/horizontal x coordinates present.
+    let per_block = events.per_block();
+    let m_blocks = (cfg.mem_records / per_block).max(6);
+    let k = ((m_blocks - 2) / 2).clamp(2, 64);
+    let pivots = sample_pivots(&events, k - 1)?;
+    if pivots.is_empty() {
+        // Degenerate x-distribution: fall back to the in-memory solver in
+        // chunks is impossible without slabs, so solve directly (documented
+        // limitation: needs the degenerate instance to fit in memory).
+        solve_in_memory(&events, out)?;
+        return events.free();
+    }
+    // slab(i) = [bounds[i], bounds[i+1]) with virtual ±∞ at the ends.
+    let nslabs = pivots.len() + 1;
+    let slab_of = |x: i64| pivots.partition_point(|&p| p <= x);
+    let slab_lo = |i: usize| if i == 0 { i64::MIN } else { pivots[i - 1] };
+    let slab_hi = |i: usize| if i == nslabs - 1 { i64::MAX } else { pivots[i] - 1 };
+
+    let mut down: Vec<ExtVecWriter<Event>> =
+        (0..nslabs).map(|_| ExtVecWriter::new(device.clone())).collect();
+    // Active verticals per slab: (vertical id, y_top).
+    let mut active: Vec<AppendBuffer<(u64, i64)>> =
+        (0..nslabs).map(|_| AppendBuffer::new(device.clone())).collect();
+
+    {
+        let mut r = events.reader();
+        while let Some(e) = r.try_next()? {
+            if e.kind == 0 {
+                // Vertical: active here, and recursed into its slab.
+                let s = slab_of(e.a);
+                active[s].push((e.id, e.b))?;
+                down[s].push(e)?;
+            } else {
+                let (x1, x2) = (e.a, e.b);
+                let s1 = slab_of(x1);
+                let s2 = slab_of(x2);
+                for s in s1..=s2 {
+                    let full = x1 <= slab_lo(s) && slab_hi(s) <= x2;
+                    if full {
+                        // Every live vertical here intersects; dead ones die.
+                        let h_id = e.id;
+                        let y = e.y;
+                        let mut push_err: Option<pdm::PdmError> = None;
+                        active[s].retain(|&(v_id, y_top)| {
+                            if y_top >= y {
+                                // Live ⇒ intersects (h spans the whole slab).
+                                if push_err.is_none() {
+                                    if let Err(err) = out.push((h_id, v_id)) {
+                                        push_err = Some(err);
+                                    }
+                                }
+                                true
+                            } else {
+                                false
+                            }
+                        })?;
+                        if let Some(err) = push_err {
+                            return Err(err);
+                        }
+                    } else {
+                        // Clip the stub to this slab and recurse.
+                        let cx1 = x1.max(slab_lo(s));
+                        let cx2 = x2.min(slab_hi(s));
+                        if cx1 <= cx2 {
+                            down[s].push(Event { a: cx1, b: cx2, ..e })?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    events.free()?;
+    for buf in &mut active {
+        buf.clear()?;
+    }
+    drop(active);
+    for w in down {
+        let sub = w.finish()?;
+        if sub.is_empty() {
+            sub.free()?;
+        } else {
+            sweep(sub, cfg, out, depth + 1)?;
+        }
+    }
+    Ok(())
+}
+
+/// In-memory base case: classic plane sweep with a balanced tree.
+fn solve_in_memory(events: &ExtVec<Event>, out: &mut ExtVecWriter<(u64, u64)>) -> Result<()> {
+    use std::collections::BTreeMap;
+    let all = events.to_vec()?;
+    // Active verticals keyed by (x, id) → y_top.
+    let mut active: BTreeMap<(i64, u64), i64> = BTreeMap::new();
+    for e in all {
+        if e.kind == 0 {
+            active.insert((e.a, e.id), e.b);
+        } else {
+            let mut dead = Vec::new();
+            for (&(x, v_id), &y_top) in active.range((e.a, 0)..=(e.b, u64::MAX)) {
+                if y_top >= e.y {
+                    out.push((e.id, v_id))?;
+                } else {
+                    dead.push((x, v_id));
+                }
+            }
+            for key in dead {
+                active.remove(&key);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Evenly-spaced distinct x pivots sampled from a scan of the events.
+fn sample_pivots(events: &ExtVec<Event>, want: usize) -> Result<Vec<i64>> {
+    // Systematic sample: every ⌈n/(8·want)⌉-th x coordinate.
+    let n = events.len() as usize;
+    let stride = (n / (8 * want.max(1))).max(1);
+    let mut xs: Vec<i64> = Vec::new();
+    let mut r = events.reader();
+    let mut i = 0usize;
+    while let Some(e) = r.try_next()? {
+        if i.is_multiple_of(stride) {
+            xs.push(e.a);
+            if e.kind == 1 {
+                xs.push(e.b);
+            }
+        }
+        i += 1;
+    }
+    xs.sort_unstable();
+    xs.dedup();
+    if xs.len() <= 1 {
+        return Ok(Vec::new());
+    }
+    let mut pivots = Vec::with_capacity(want);
+    for j in 1..=want {
+        let idx = j * xs.len() / (want + 1);
+        let cand = xs[idx.min(xs.len() - 1)];
+        if pivots.last() != Some(&cand) {
+            pivots.push(cand);
+        }
+    }
+    Ok(pivots)
+}
+
+/// Baseline: block-nested-loop join of the two segment sets —
+/// `O((H/B)·(V/B)·B)` I/Os, quadratic in the input.
+pub fn segment_intersections_naive(hs: &ExtVec<HSeg>, vs: &ExtVec<VSeg>) -> Result<ExtVec<(u64, u64)>> {
+    let mut out: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(hs.device().clone());
+    let mut hblock = Vec::new();
+    for hb in 0..hs.num_blocks() {
+        hs.read_block_into(hb, &mut hblock)?;
+        let mut r = vs.reader();
+        while let Some(v) = r.try_next()? {
+            for h in &hblock {
+                if v.x >= h.x1 && v.x <= h.x2 && h.y >= v.y1 && h.y <= v.y2 {
+                    out.push((h.id, v.id))?;
+                }
+            }
+        }
+    }
+    out.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::EmConfig;
+    use pdm::SharedDevice;
+    use rand::prelude::*;
+
+    fn device() -> SharedDevice {
+        EmConfig::new(256, 16).ram_disk()
+    }
+
+    fn random_instance(
+        d: &SharedDevice,
+        nh: u64,
+        nv: u64,
+        span: i64,
+        seed: u64,
+    ) -> (ExtVec<HSeg>, ExtVec<VSeg>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hs: Vec<HSeg> = (0..nh)
+            .map(|id| {
+                let x = rng.gen_range(-span..span);
+                let len = rng.gen_range(0..span / 2);
+                HSeg { id, y: rng.gen_range(-span..span), x1: x, x2: x + len }
+            })
+            .collect();
+        let vs: Vec<VSeg> = (0..nv)
+            .map(|id| {
+                let y = rng.gen_range(-span..span);
+                let len = rng.gen_range(0..span / 2);
+                VSeg { id, x: rng.gen_range(-span..span), y1: y, y2: y + len }
+            })
+            .collect();
+        (
+            ExtVec::from_slice(d.clone(), &hs).unwrap(),
+            ExtVec::from_slice(d.clone(), &vs).unwrap(),
+        )
+    }
+
+    fn as_sorted(v: ExtVec<(u64, u64)>) -> Vec<(u64, u64)> {
+        let mut x = v.to_vec().unwrap();
+        x.sort_unstable();
+        x
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let h = HSeg { id: 7, y: -3, x1: -10, x2: 10 };
+        let mut buf = [0u8; 32];
+        h.write_to(&mut buf);
+        assert_eq!(HSeg::read_from(&buf), h);
+        let v = VSeg { id: 9, x: 5, y1: -2, y2: 2 };
+        v.write_to(&mut buf);
+        assert_eq!(VSeg::read_from(&buf), v);
+    }
+
+    #[test]
+    fn simple_cross() {
+        let d = device();
+        let hs = ExtVec::from_slice(d.clone(), &[HSeg { id: 1, y: 0, x1: -5, x2: 5 }]).unwrap();
+        let vs = ExtVec::from_slice(d, &[VSeg { id: 2, x: 0, y1: -5, y2: 5 }]).unwrap();
+        let got = segment_intersections(&hs, &vs, &SortConfig::new(256)).unwrap();
+        assert_eq!(got.to_vec().unwrap(), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn touching_endpoints_count() {
+        let d = device();
+        // Vertical starts exactly on the horizontal; horizontal ends exactly
+        // on the vertical's x.
+        let hs = ExtVec::from_slice(d.clone(), &[HSeg { id: 1, y: 0, x1: 0, x2: 4 }]).unwrap();
+        let vs = ExtVec::from_slice(
+            d,
+            &[VSeg { id: 2, x: 4, y1: 0, y2: 9 }, VSeg { id: 3, x: 0, y1: -9, y2: 0 }],
+        )
+        .unwrap();
+        let got = as_sorted(segment_intersections(&hs, &vs, &SortConfig::new(256)).unwrap());
+        assert_eq!(got, vec![(1, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn disjoint_segments_report_nothing() {
+        let d = device();
+        let hs = ExtVec::from_slice(d.clone(), &[HSeg { id: 1, y: 0, x1: 0, x2: 1 }]).unwrap();
+        let vs = ExtVec::from_slice(d, &[VSeg { id: 2, x: 5, y1: 5, y2: 6 }]).unwrap();
+        let got = segment_intersections(&hs, &vs, &SortConfig::new(256)).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn random_matches_naive_small() {
+        let d = device();
+        let (hs, vs) = random_instance(&d, 150, 150, 100, 131);
+        let cfg = SortConfig::new(64); // force recursion
+        let smart = as_sorted(segment_intersections(&hs, &vs, &cfg).unwrap());
+        let naive = as_sorted(segment_intersections_naive(&hs, &vs).unwrap());
+        assert_eq!(smart, naive);
+        assert!(!naive.is_empty(), "instance should have intersections");
+    }
+
+    #[test]
+    fn random_matches_naive_larger() {
+        let d = device();
+        let (hs, vs) = random_instance(&d, 800, 800, 400, 133);
+        let cfg = SortConfig::new(128);
+        let smart = as_sorted(segment_intersections(&hs, &vs, &cfg).unwrap());
+        let naive = as_sorted(segment_intersections_naive(&hs, &vs).unwrap());
+        assert_eq!(smart, naive);
+    }
+
+    #[test]
+    fn grid_instance_every_pair_intersects() {
+        let d = device();
+        let k = 20u64;
+        let hs: Vec<HSeg> =
+            (0..k).map(|i| HSeg { id: i, y: i as i64, x1: -100, x2: 100 }).collect();
+        let vs: Vec<VSeg> =
+            (0..k).map(|i| VSeg { id: i, x: i as i64, y1: -100, y2: 100 }).collect();
+        let hv = ExtVec::from_slice(d.clone(), &hs).unwrap();
+        let vv = ExtVec::from_slice(d, &vs).unwrap();
+        let got = segment_intersections(&hv, &vv, &SortConfig::new(64)).unwrap();
+        assert_eq!(got.len(), k * k, "grid must produce k² intersections");
+    }
+
+    #[test]
+    fn sweep_beats_naive_io_on_sparse_instance() {
+        let d = EmConfig::new(4096, 16).ram_disk();
+        // Sparse: few intersections, so Z/B is negligible.
+        let (hs, vs) = random_instance(&d, 20_000, 20_000, 2_000_000, 137);
+        let cfg = SortConfig::new(16_384);
+
+        let before = d.stats().snapshot();
+        let a = segment_intersections(&hs, &vs, &cfg).unwrap();
+        let smart = d.stats().snapshot().since(&before).total();
+
+        let before = d.stats().snapshot();
+        let b = segment_intersections_naive(&hs, &vs).unwrap();
+        let naive = d.stats().snapshot().since(&before).total();
+
+        assert_eq!(as_sorted(a), as_sorted(b));
+        // The gap is quadratic-vs-linearithmic, so it widens with N; at
+        // this size a 1.5× margin is already decisive and robust.
+        assert!(
+            smart * 3 < naive * 2,
+            "sweep ({smart}) should be below nested loops ({naive})"
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let d = device();
+        let hs: ExtVec<HSeg> = ExtVec::new(d.clone());
+        let vs: ExtVec<VSeg> = ExtVec::new(d);
+        let got = segment_intersections(&hs, &vs, &SortConfig::new(256)).unwrap();
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,389 @@
+//! Connected components by hook-and-contract (Borůvka-style) rounds.
+//!
+//! Each round: every component label *hooks* onto its minimum neighbouring
+//! label; the resulting parent forest is compressed by pointer doubling
+//! (each step a sort + join, not a pointer chase); labels and edges are
+//! rewritten through the compressed map; intra-component edges vanish.  The
+//! number of live labels at least halves per round, so
+//!
+//! ```text
+//! I/Os = O(Sort(E) · log(V))
+//! ```
+//!
+//! (the survey also covers `O(Sort(E) · log(V/M))` refinements that switch
+//! to an internal-memory algorithm once the contracted graph fits; the
+//! implementation does exactly that as its base case).
+
+use em_core::{ExtVec, ExtVecWriter};
+use emsort::{merge_sort_by, SortConfig};
+use pdm::Result;
+
+use crate::util::join_left;
+
+/// Component label of every vertex of the undirected graph `edges` (dense
+/// vertex ids `0..n`): `(vertex, label)` sorted by vertex, where the label
+/// is the minimum vertex id of the component.
+pub fn connected_components(
+    edges: &ExtVec<(u64, u64)>,
+    n: u64,
+    cfg: &SortConfig,
+) -> Result<ExtVec<(u64, u64)>> {
+    let device = edges.device().clone();
+
+    // labels: (vertex, current label), sorted by vertex.
+    let mut labels = {
+        let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+        for v in 0..n {
+            w.push((v, v))?;
+        }
+        w.finish()?
+    };
+    // Live inter-label edges.
+    let mut cur_edges = {
+        let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+        let mut r = edges.reader();
+        while let Some((u, v)) = r.try_next()? {
+            assert!(u < n && v < n, "vertex id out of range");
+            if u != v {
+                w.push((u, v))?;
+            }
+        }
+        w.finish()?
+    };
+
+    for round in 0.. {
+        assert!(round < 64, "component labelling failed to converge");
+        if cur_edges.is_empty() {
+            break;
+        }
+        // Base case: the contracted edge set fits in memory.
+        if cur_edges.len() as usize <= cfg.mem_records / 2 {
+            let parents = in_memory_components(&cur_edges)?;
+            cur_edges.free()?;
+            cur_edges = ExtVec::new(device.clone());
+            labels = apply_map(labels, &parents, cfg)?;
+            parents.free()?;
+            break;
+        }
+
+        // Hook: each label points to its minimum neighbour if smaller.
+        let arcs = {
+            let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+            let mut r = cur_edges.reader();
+            while let Some((a, b)) = r.try_next()? {
+                w.push((a, b))?;
+                w.push((b, a))?;
+            }
+            let unsorted = w.finish()?;
+            let sorted = merge_sort_by(&unsorted, cfg, |x, y| x < y)?;
+            unsorted.free()?;
+            sorted
+        };
+        let mut hooks_w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+        {
+            let mut r = arcs.reader();
+            let mut group: Option<(u64, u64)> = None; // (src, min_dst)
+            while let Some((src, dst)) = r.try_next()? {
+                match &mut group {
+                    Some((gsrc, min_dst)) if *gsrc == src => {
+                        *min_dst = (*min_dst).min(dst);
+                    }
+                    _ => {
+                        if let Some((gsrc, min_dst)) = group {
+                            if min_dst < gsrc {
+                                hooks_w.push((gsrc, min_dst))?;
+                            }
+                        }
+                        group = Some((src, dst));
+                    }
+                }
+            }
+            if let Some((gsrc, min_dst)) = group {
+                if min_dst < gsrc {
+                    hooks_w.push((gsrc, min_dst))?;
+                }
+            }
+        }
+        arcs.free()?;
+        let hooks = hooks_w.finish()?; // sorted by src, src strictly decreases to parent
+
+        // Compress the parent forest by pointer doubling.
+        let parents = compress(hooks, cfg)?;
+
+        // Rewrite labels and edges through the parent map.
+        labels = apply_map(labels, &parents, cfg)?;
+        cur_edges = relabel_edges(cur_edges, &parents, cfg)?;
+        parents.free()?;
+    }
+    cur_edges.free()?;
+    Ok(labels)
+}
+
+/// Pointer-double the parent map `(x, p)` (sorted by x, `p < x`) until every
+/// entry points at a root.  `O(Sort(P) · log depth)` I/Os.
+fn compress(mut parents: ExtVec<(u64, u64)>, cfg: &SortConfig) -> Result<ExtVec<(u64, u64)>> {
+    loop {
+        // new_p(x) = p(p(x)), where unmapped values are roots.
+        // Build (p, x) sorted by p, join with parents (keyed by x).
+        let device = parents.device().clone();
+        let swapped = {
+            let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+            let mut r = parents.reader();
+            while let Some((x, p)) = r.try_next()? {
+                w.push((p, x))?;
+            }
+            let unsorted = w.finish()?;
+            let sorted = merge_sort_by(&unsorted, cfg, |a, b| a.0 < b.0)?;
+            unsorted.free()?;
+            sorted
+        };
+        let joined = join_left(&swapped, &parents, u64::MAX)?; // (p, x, pp | MAX)
+        swapped.free()?;
+        let mut changed = false;
+        let next = {
+            let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+            let mut r = joined.reader();
+            while let Some((p, x, pp)) = r.try_next()? {
+                if pp == u64::MAX {
+                    w.push((x, p))?; // p is a root
+                } else {
+                    changed = true;
+                    w.push((x, pp))?;
+                }
+            }
+            let unsorted = w.finish()?;
+            let sorted = merge_sort_by(&unsorted, cfg, |a, b| a.0 < b.0)?;
+            unsorted.free()?;
+            sorted
+        };
+        joined.free()?;
+        parents.free()?;
+        parents = next;
+        if !changed {
+            return Ok(parents);
+        }
+    }
+}
+
+/// Rewrite the label column of `(vertex, label)` through the parent map
+/// (labels not present in the map are unchanged).  Consumes `labels`.
+fn apply_map(
+    labels: ExtVec<(u64, u64)>,
+    parents: &ExtVec<(u64, u64)>,
+    cfg: &SortConfig,
+) -> Result<ExtVec<(u64, u64)>> {
+    let device = labels.device().clone();
+    // Key by label: (label, vertex).
+    let by_label = {
+        let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+        let mut r = labels.reader();
+        while let Some((v, l)) = r.try_next()? {
+            w.push((l, v))?;
+        }
+        let unsorted = w.finish()?;
+        let sorted = merge_sort_by(&unsorted, cfg, |a, b| a.0 < b.0)?;
+        unsorted.free()?;
+        sorted
+    };
+    labels.free()?;
+    let joined = join_left(&by_label, parents, u64::MAX)?; // (label, vertex, parent | MAX)
+    by_label.free()?;
+    let remapped = {
+        let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+        let mut r = joined.reader();
+        while let Some((l, v, p)) = r.try_next()? {
+            w.push((v, if p == u64::MAX { l } else { p }))?;
+        }
+        let unsorted = w.finish()?;
+        let sorted = merge_sort_by(&unsorted, cfg, |a, b| a.0 < b.0)?;
+        unsorted.free()?;
+        sorted
+    };
+    joined.free()?;
+    Ok(remapped)
+}
+
+/// Rewrite both endpoints of the label-graph edges through the parent map,
+/// dropping self-edges and duplicates.  Consumes `edges`.
+fn relabel_edges(
+    edges: ExtVec<(u64, u64)>,
+    parents: &ExtVec<(u64, u64)>,
+    cfg: &SortConfig,
+) -> Result<ExtVec<(u64, u64)>> {
+    let device = edges.device().clone();
+    // Map the first endpoint.
+    let by_a = merge_sort_by(&edges, cfg, |x, y| x.0 < y.0)?;
+    edges.free()?;
+    let ja = join_left(&by_a, parents, u64::MAX)?; // (a, b, pa | MAX)
+    by_a.free()?;
+    let half = {
+        let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+        let mut r = ja.reader();
+        while let Some((a, b, pa)) = r.try_next()? {
+            let a2 = if pa == u64::MAX { a } else { pa };
+            w.push((b, a2))?; // keyed by b for the second join
+        }
+        let unsorted = w.finish()?;
+        let sorted = merge_sort_by(&unsorted, cfg, |x, y| x.0 < y.0)?;
+        unsorted.free()?;
+        sorted
+    };
+    ja.free()?;
+    let jb = join_left(&half, parents, u64::MAX)?; // (b, a2, pb | MAX)
+    half.free()?;
+    let full = {
+        let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+        let mut r = jb.reader();
+        while let Some((b, a2, pb)) = r.try_next()? {
+            let b2 = if pb == u64::MAX { b } else { pb };
+            if a2 != b2 {
+                w.push((a2.min(b2), a2.max(b2)))?;
+            }
+        }
+        let unsorted = w.finish()?;
+        let sorted = merge_sort_by(&unsorted, cfg, |x, y| x < y)?;
+        unsorted.free()?;
+        sorted
+    };
+    jb.free()?;
+    // Dedup.
+    let deduped = {
+        let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+        let mut r = full.reader();
+        let mut last: Option<(u64, u64)> = None;
+        while let Some(e) = r.try_next()? {
+            if last != Some(e) {
+                w.push(e)?;
+                last = Some(e);
+            }
+        }
+        w.finish()?
+    };
+    full.free()?;
+    Ok(deduped)
+}
+
+/// In-memory union-find base case; returns a `(label, root)` map for every
+/// label that appears in `edges`, sorted by label.
+fn in_memory_components(edges: &ExtVec<(u64, u64)>) -> Result<ExtVec<(u64, u64)>> {
+    let pairs = edges.to_vec()?;
+    let mut parent: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    fn find(parent: &mut std::collections::HashMap<u64, u64>, x: u64) -> u64 {
+        let p = *parent.entry(x).or_insert(x);
+        if p == x {
+            return x;
+        }
+        let root = find(parent, p);
+        parent.insert(x, root);
+        root
+    }
+    for (a, b) in pairs {
+        let ra = find(&mut parent, a);
+        let rb = find(&mut parent, b);
+        if ra != rb {
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            parent.insert(hi, lo);
+        }
+    }
+    let keys: Vec<u64> = parent.keys().copied().collect();
+    let mut out: Vec<(u64, u64)> = keys.into_iter().map(|k| (k, find(&mut parent, k))).collect();
+    out.sort_unstable();
+    ExtVec::from_slice(edges.device().clone(), &out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{grid_graph, planted_components, random_graph};
+    use em_core::EmConfig;
+    use pdm::SharedDevice;
+
+    fn device() -> SharedDevice {
+        EmConfig::new(128, 16).ram_disk()
+    }
+
+    fn reference_cc(edges: &[(u64, u64)], n: u64) -> Vec<(u64, u64)> {
+        let mut parent: Vec<u64> = (0..n).collect();
+        fn find(p: &mut Vec<u64>, x: u64) -> u64 {
+            if p[x as usize] != x {
+                let r = find(p, p[x as usize]);
+                p[x as usize] = r;
+            }
+            p[x as usize]
+        }
+        for &(a, b) in edges {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                let (lo, hi) = (ra.min(rb), ra.max(rb));
+                parent[hi as usize] = lo;
+            }
+        }
+        (0..n).map(|v| (v, find(&mut parent, v))).collect()
+    }
+
+    #[test]
+    fn planted_components_found() {
+        let d = device();
+        let g = planted_components(d.clone(), 5, 100, 121).unwrap();
+        // Force external rounds with a small memory budget.
+        let got = connected_components(&g, 500, &SortConfig::new(128)).unwrap();
+        let expect: Vec<(u64, u64)> = (0..500u64).map(|v| (v, (v / 100) * 100)).collect();
+        assert_eq!(got.to_vec().unwrap(), expect);
+    }
+
+    #[test]
+    fn path_collapses_to_single_label() {
+        let d = device();
+        let edges: Vec<(u64, u64)> = (0..499u64).map(|i| (i, i + 1)).collect();
+        let g = ExtVec::from_slice(d, &edges).unwrap();
+        let got = connected_components(&g, 500, &SortConfig::new(128)).unwrap();
+        assert!(got.to_vec().unwrap().iter().all(|&(_, l)| l == 0));
+    }
+
+    #[test]
+    fn grid_is_one_component() {
+        let d = device();
+        let g = grid_graph(d.clone(), 20, 20).unwrap();
+        let got = connected_components(&g, 400, &SortConfig::new(128)).unwrap();
+        assert!(got.to_vec().unwrap().iter().all(|&(_, l)| l == 0));
+    }
+
+    #[test]
+    fn random_graph_matches_union_find() {
+        let d = device();
+        let n = 1000u64;
+        let g = random_graph(d.clone(), n, 1.5, 123).unwrap(); // sparse → many components
+        let got = connected_components(&g, n, &SortConfig::new(256)).unwrap();
+        assert_eq!(got.to_vec().unwrap(), reference_cc(&g.to_vec().unwrap(), n));
+    }
+
+    #[test]
+    fn isolated_vertices_keep_own_label() {
+        let d = device();
+        let g = ExtVec::from_slice(d, &[(0u64, 1u64)]).unwrap();
+        let got = connected_components(&g, 4, &SortConfig::new(128)).unwrap();
+        assert_eq!(got.to_vec().unwrap(), vec![(0, 0), (1, 0), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let d = device();
+        let g: ExtVec<(u64, u64)> = ExtVec::new(d);
+        let got = connected_components(&g, 3, &SortConfig::new(128)).unwrap();
+        assert_eq!(got.to_vec().unwrap(), vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn io_scales_with_sort_times_log() {
+        // Realistic block size so Sort(E)·log ≪ E.
+        let d = EmConfig::new(4096, 16).ram_disk();
+        let n = 3000u64;
+        let g = random_graph(d.clone(), n, 3.0, 125).unwrap();
+        let e = g.len();
+        let before = d.stats().snapshot();
+        connected_components(&g, n, &SortConfig::new(2048)).unwrap();
+        let ios = d.stats().snapshot().since(&before).total();
+        // Generous constant, but must be far below 1 I/O per edge per round.
+        assert!((ios as f64) < 1.2 * e as f64, "CC used {ios} I/Os for {e} edges");
+    }
+}

@@ -1,0 +1,358 @@
+//! The Euler-tour technique for external-memory tree problems.
+//!
+//! A tree on `N` vertices becomes a linked list of its `2(N−1)` arcs: the
+//! successor of arc `(u, v)` is the arc after `(v, u)` in `v`'s circular
+//! adjacency order.  That list is exactly an Euler tour of the tree, and
+//! tree statistics reduce to list ranking over it:
+//!
+//! * depth: weight forward arcs `+1` and back arcs `−1`; the weighted rank
+//!   at the forward arc into `v` is `depth(v) − 1`.
+//! * subtree size, pre/post-order numbers, … follow the same pattern.
+//!
+//! All construction steps are sorts and scans — `O(Sort(N))` I/Os total —
+//! which is the whole point: no per-edge pointer chasing.
+
+use em_core::{ExtVec, ExtVecWriter};
+use emsort::{merge_sort_by, SortConfig};
+use pdm::Result;
+
+use crate::list_ranking::{list_rank, list_rank_weighted, NIL};
+
+/// An Euler tour of a tree, as a linked list of arcs.
+pub struct EulerTour {
+    /// All `2(N−1)` arcs, sorted by `(src, dst)`; the arc's id is its index.
+    pub arcs: ExtVec<(u64, u64)>,
+    /// `(arc_id, successor_arc_id)` sorted by arc id; the final arc of the
+    /// tour has successor [`NIL`].
+    pub succ: ExtVec<(u64, u64)>,
+    /// Arc id where the tour starts (the root's first out-arc).
+    pub head: u64,
+}
+
+impl EulerTour {
+    /// Release all external storage.
+    pub fn free(self) -> Result<()> {
+        self.arcs.free()?;
+        self.succ.free()
+    }
+}
+
+/// Build the Euler tour of the tree given by undirected `edges`, rooted at
+/// `root`.  `O(Sort(N))` I/Os.
+pub fn euler_tour(edges: &ExtVec<(u64, u64)>, root: u64, cfg: &SortConfig) -> Result<EulerTour> {
+    let device = edges.device().clone();
+    assert!(!edges.is_empty(), "tree must have at least one edge");
+
+    // 1. Symmetrize and sort: arcs ordered by (src, dst); id = position.
+    let arcs = {
+        let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+        let mut r = edges.reader();
+        while let Some((u, v)) = r.try_next()? {
+            assert_ne!(u, v, "self loop in tree");
+            w.push((u, v))?;
+            w.push((v, u))?;
+        }
+        let unsorted = w.finish()?;
+        let sorted = merge_sort_by(&unsorted, cfg, |a, b| a < b)?;
+        unsorted.free()?;
+        sorted
+    };
+
+    // 2. Per source group, link the circular order: the successor of arc
+    //    (x_i, v) is v's next out-arc after (v, x_i).  Emit keyed by the
+    //    *predecessor twin* (x_i, v): records (x_i, v, succ_arc_id).
+    //    Also note the root's first out-arc (the tour head).
+    let mut head: Option<u64> = None;
+    let rel = {
+        let mut w: ExtVecWriter<(u64, u64, u64)> = ExtVecWriter::new(device.clone());
+        let mut r = arcs.reader();
+        let mut idx = 0u64;
+        let mut group: Option<(u64, u64, u64)> = None; // (src, first_arc_id, prev_dst)
+        while let Some((src, dst)) = r.try_next()? {
+            match &mut group {
+                Some((gsrc, _first_id, prev_dst)) if *gsrc == src => {
+                    // The arc after (src, prev_dst) in src's circular order
+                    // is this one, so it is the tour successor of the twin
+                    // arc (prev_dst, src).
+                    w.push((*prev_dst, src, idx))?;
+                    *prev_dst = dst;
+                }
+                _ => {
+                    if let Some((gsrc, first_id, prev_dst)) = group {
+                        // Close the previous group's circle.
+                        w.push((prev_dst, gsrc, first_id))?;
+                    }
+                    if src == root && head.is_none() {
+                        head = Some(idx);
+                    }
+                    group = Some((src, idx, dst));
+                }
+            }
+            idx += 1;
+        }
+        if let Some((gsrc, first_id, prev_dst)) = group {
+            w.push((prev_dst, gsrc, first_id))?;
+        }
+        let unsorted = w.finish()?;
+        let sorted = merge_sort_by(&unsorted, cfg, |a, b| (a.0, a.1) < (b.0, b.1))?;
+        unsorted.free()?;
+        sorted
+    };
+    let head = head.expect("root has no incident edge");
+
+    // 3. Zip: `rel` sorted by (x, v) runs parallel to `arcs` sorted by
+    //    (src, dst); position i in `arcs` is arc id i.  Break the cycle at
+    //    the arc whose successor is the head.
+    let succ = {
+        let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+        let mut ra = arcs.reader();
+        let mut rr = rel.reader();
+        let mut idx = 0u64;
+        while let Some((src, dst)) = ra.try_next()? {
+            let (x, v, next) = rr.try_next()?.expect("one relation record per arc");
+            debug_assert_eq!((x, v), (src, dst), "relation misaligned with arcs");
+            w.push((idx, if next == head { NIL } else { next }))?;
+            idx += 1;
+        }
+        w.finish()?
+    };
+    rel.free()?;
+
+    Ok(EulerTour { arcs, succ, head })
+}
+
+/// Depth of every vertex of the tree `edges` rooted at `root`, via Euler
+/// tour + weighted list ranking: `O(Sort(N))` I/Os.  Returns
+/// `(vertex, depth)` sorted by vertex id, with `depth(root) = 0`.
+pub fn tree_depths(edges: &ExtVec<(u64, u64)>, root: u64, cfg: &SortConfig) -> Result<ExtVec<(u64, u64)>> {
+    let device = edges.device().clone();
+    if edges.is_empty() {
+        return ExtVec::from_slice(device, &[(root, 0u64)]);
+    }
+    let tour = euler_tour(edges, root, cfg)?;
+
+    // Unit ranks order the arcs along the tour.
+    let unit_ranks = list_rank(&tour.succ, tour.head, cfg)?; // (arc_id, position), sorted by arc id
+
+    // Pair twin arcs by normalized endpoints to classify direction:
+    // records (min, max, dst, arc_id, position), sorted by (min, max).
+    let tagged = {
+        let mut w: ExtVecWriter<(u64, u64, u64, u64)> = ExtVecWriter::new(device.clone());
+        // arcs and unit_ranks are both in arc-id order; zip them.
+        let mut ra = tour.arcs.reader();
+        let mut rr = unit_ranks.reader();
+        let mut idx = 0u64;
+        while let Some((u, v)) = ra.try_next()? {
+            let (aid, pos) = rr.try_next()?.expect("rank for every arc");
+            debug_assert_eq!(aid, idx);
+            let (lo, hi) = (u.min(v), u.max(v));
+            w.push((lo, hi, pos, idx))?;
+            idx += 1;
+        }
+        let unsorted = w.finish()?;
+        let sorted = merge_sort_by(&unsorted, cfg, |a, b| (a.0, a.1, a.2) < (b.0, b.1, b.2))?;
+        unsorted.free()?;
+        sorted
+    };
+    unit_ranks.free()?;
+
+    // Each consecutive pair in `tagged` shares (lo, hi): the arc with the
+    // smaller position is the forward (descending) arc.  Emit per-arc
+    // weights and remember the forward arc's destination vertex.
+    let mut weights_w: ExtVecWriter<(u64, i64)> = ExtVecWriter::new(device.clone()); // (arc_id, ±1)
+    let mut fwd_w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone()); // (forward_arc_id, child vertex)
+    {
+        let mut rt = tagged.reader();
+        while let Some(first) = rt.try_next()? {
+            let second = rt.try_next()?.expect("arcs come in twin pairs");
+            debug_assert_eq!((first.0, first.1), (second.0, second.1), "twin pairing broken");
+            // first.2 < second.2 (sorted by position): first is forward.
+            let fwd_arc = first.3;
+            let back_arc = second.3;
+            weights_w.push((fwd_arc, 1))?;
+            weights_w.push((back_arc, -1))?;
+            // The forward arc descends from parent to child; we need its
+            // dst.  Recover it: the forward arc is (parent, child) and the
+            // twin (child, parent); the shared endpoints are {lo, hi}.  The
+            // child is the dst of the forward arc — we did not store dst,
+            // but arcs are sorted by (src, dst) and arc ids are positions,
+            // so we can join against `arcs` afterwards instead.
+            fwd_w.push((fwd_arc, 0))?;
+        }
+    }
+    tagged.free()?;
+    let weights = {
+        let unsorted = weights_w.finish()?;
+        let sorted = merge_sort_by(&unsorted, cfg, |a, b| a.0 < b.0)?;
+        unsorted.free()?;
+        sorted
+    };
+    let fwd = {
+        let unsorted = fwd_w.finish()?;
+        let sorted = merge_sort_by(&unsorted, cfg, |a, b| a.0 < b.0)?;
+        unsorted.free()?;
+        sorted
+    };
+
+    // Weighted list over arcs: (arc_id, succ, weight).
+    let nodes = {
+        let mut w: ExtVecWriter<(u64, u64, i64)> = ExtVecWriter::new(device.clone());
+        let mut rs = tour.succ.reader();
+        let mut rw = weights.reader();
+        while let Some((aid, s)) = rs.try_next()? {
+            let (wid, weight) = rw.try_next()?.expect("weight for every arc");
+            debug_assert_eq!(wid, aid);
+            w.push((aid, s, weight))?;
+        }
+        w.finish()?
+    };
+    weights.free()?;
+    let wranks = list_rank_weighted(&nodes, tour.head, cfg)?; // (arc_id, weighted rank)
+    nodes.free()?;
+
+    // depth(child of forward arc a) = wrank(a) + 1.  Join forward arcs with
+    // their dst (via `arcs`, arc-id order) and with wranks (arc-id order).
+    let mut depths_w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+    depths_w.push((root, 0))?;
+    {
+        let mut ra = tour.arcs.reader();
+        let mut rr = wranks.reader();
+        let mut rf = fwd.reader();
+        let mut cur_fwd: Option<(u64, u64)> = rf.try_next()?;
+        let mut idx = 0u64;
+        while let Some((_src, dst)) = ra.try_next()? {
+            let (aid, wrank) = rr.try_next()?.expect("rank for every arc");
+            debug_assert_eq!(aid, idx);
+            if cur_fwd.is_some_and(|(f, _)| f == idx) {
+                depths_w.push((dst, (wrank + 1) as u64))?;
+                cur_fwd = rf.try_next()?;
+            }
+            idx += 1;
+        }
+    }
+    wranks.free()?;
+    fwd.free()?;
+    tour.free()?;
+    let unsorted = depths_w.finish()?;
+    let sorted = merge_sort_by(&unsorted, cfg, |a, b| a.0 < b.0)?;
+    unsorted.free()?;
+    Ok(sorted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_tree;
+    use em_core::EmConfig;
+    use pdm::SharedDevice;
+
+    fn device() -> SharedDevice {
+        EmConfig::new(128, 8).ram_disk()
+    }
+
+    fn reference_depths(edges: &[(u64, u64)], root: u64, n: u64) -> Vec<(u64, u64)> {
+        let mut adj = vec![Vec::new(); n as usize];
+        for &(u, v) in edges {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        let mut depth = vec![u64::MAX; n as usize];
+        depth[root as usize] = 0;
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u as usize] {
+                if depth[v as usize] == u64::MAX {
+                    depth[v as usize] = depth[u as usize] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        (0..n).map(|v| (v, depth[v as usize])).collect()
+    }
+
+    #[test]
+    fn tour_visits_every_arc_once() {
+        let d = device();
+        let edges = random_tree(d.clone(), 50, 91).unwrap();
+        let tour = euler_tour(&edges, 0, &SortConfig::new(128)).unwrap();
+        assert_eq!(tour.arcs.len(), 2 * 49);
+        let succ: std::collections::HashMap<u64, u64> =
+            tour.succ.to_vec().unwrap().into_iter().collect();
+        let mut cur = tour.head;
+        let mut visited = std::collections::HashSet::new();
+        while cur != NIL {
+            assert!(visited.insert(cur), "arc visited twice");
+            cur = succ[&cur];
+        }
+        assert_eq!(visited.len() as u64, tour.arcs.len(), "tour misses arcs");
+    }
+
+    #[test]
+    fn tour_is_contiguous_walk() {
+        // Each consecutive pair of arcs must share the middle vertex.
+        let d = device();
+        let edges = random_tree(d.clone(), 30, 92).unwrap();
+        let tour = euler_tour(&edges, 0, &SortConfig::new(128)).unwrap();
+        let arcs = tour.arcs.to_vec().unwrap();
+        let succ: std::collections::HashMap<u64, u64> =
+            tour.succ.to_vec().unwrap().into_iter().collect();
+        let mut cur = tour.head;
+        assert_eq!(arcs[cur as usize].0, 0, "tour starts at the root");
+        while succ[&cur] != NIL {
+            let nxt = succ[&cur];
+            assert_eq!(arcs[cur as usize].1, arcs[nxt as usize].0, "walk breaks");
+            cur = nxt;
+        }
+        assert_eq!(arcs[cur as usize].1, 0, "tour ends back at the root");
+    }
+
+    #[test]
+    fn depths_path_graph() {
+        let d = device();
+        let edges: Vec<(u64, u64)> = (0..9u64).map(|i| (i, i + 1)).collect();
+        let ev = ExtVec::from_slice(d, &edges).unwrap();
+        let depths = tree_depths(&ev, 0, &SortConfig::new(128)).unwrap();
+        assert_eq!(depths.to_vec().unwrap(), (0..10u64).map(|v| (v, v)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn depths_star_graph() {
+        let d = device();
+        let edges: Vec<(u64, u64)> = (1..20u64).map(|i| (0, i)).collect();
+        let ev = ExtVec::from_slice(d, &edges).unwrap();
+        let depths = tree_depths(&ev, 0, &SortConfig::new(128)).unwrap();
+        let got = depths.to_vec().unwrap();
+        assert_eq!(got[0], (0, 0));
+        assert!(got[1..].iter().all(|&(_, dep)| dep == 1));
+    }
+
+    #[test]
+    fn depths_random_trees_match_bfs() {
+        let d = device();
+        for (n, seed) in [(100u64, 93u64), (1000, 94), (2500, 95)] {
+            let edges = random_tree(d.clone(), n, seed).unwrap();
+            let depths = tree_depths(&edges, 0, &SortConfig::new(200)).unwrap();
+            assert_eq!(
+                depths.to_vec().unwrap(),
+                reference_depths(&edges.to_vec().unwrap(), 0, n),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn depths_with_nonzero_root() {
+        let d = device();
+        let edges = ExtVec::from_slice(d, &[(0u64, 1u64), (1, 2), (2, 3)]).unwrap();
+        let depths = tree_depths(&edges, 2, &SortConfig::new(128)).unwrap();
+        assert_eq!(depths.to_vec().unwrap(), vec![(0, 2), (1, 1), (2, 0), (3, 1)]);
+    }
+
+    #[test]
+    fn single_edge_tree() {
+        let d = device();
+        let edges = ExtVec::from_slice(d, &[(0u64, 1u64)]).unwrap();
+        let depths = tree_depths(&edges, 0, &SortConfig::new(128)).unwrap();
+        assert_eq!(depths.to_vec().unwrap(), vec![(0, 0), (1, 1)]);
+    }
+}

@@ -1,0 +1,49 @@
+//! # `emgraph` — external-memory graph algorithms
+//!
+//! The survey's batched graph-processing toolkit.  The unifying theme is
+//! that *pointer chasing is death* in external memory (`Ω(1)` I/Os per
+//! hop), so every algorithm here is recast as a short pipeline of sorts,
+//! scans and merge-joins over edge lists — paying `O(Sort(N))` total instead
+//! of `O(N)`:
+//!
+//! * [`list_rank`] / [`list_rank_weighted`] — list ranking by randomized
+//!   independent-set contraction: `O(Sort(N))` I/Os (experiment F9), versus
+//!   the naive `Θ(N)` pointer walk.
+//! * [`euler_tour`] and [`tree_depths`] — the Euler-tour technique: tree
+//!   problems (depth, subtree membership) become list-ranking problems.
+//! * [`time_forward`] — evaluate a topologically-ordered DAG by shipping
+//!   values "forward in time" through an external priority queue:
+//!   `O(Sort(E))` I/Os (experiment F14).
+//! * [`bfs_mr`] — Munagala–Ranade breadth-first search:
+//!   `O(V + Sort(E))` I/Os versus the naive `Ω(E)` (experiment F10).
+//! * [`connected_components`] — hook-and-contract (Borůvka-style) labeling
+//!   in `O(Sort(E) · log(V))` I/Os (experiment F11).
+//! * [`gen`] — deterministic workload generators (lists, trees, random
+//!   graphs, grids) shared by tests, examples and benches.
+//!
+//! Graphs are plain external edge lists: `ExtVec<(u64, u64)>` with dense
+//! vertex ids `0..V`.  Undirected graphs store each edge once; algorithms
+//! symmetrize internally when they need arcs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bfs;
+mod cc;
+mod euler;
+pub mod gen;
+mod list_ranking;
+mod mis;
+mod mst;
+mod sssp;
+mod time_forward;
+mod util;
+
+pub use bfs::{bfs_mr, bfs_naive};
+pub use cc::connected_components;
+pub use euler::{euler_tour, tree_depths, EulerTour};
+pub use list_ranking::{list_rank, list_rank_naive, list_rank_weighted};
+pub use mis::maximal_independent_set;
+pub use mst::minimum_spanning_forest;
+pub use sssp::sssp;
+pub use time_forward::time_forward;

@@ -1,0 +1,505 @@
+//! # `emrel` — batched relational operators in the I/O model
+//!
+//! The survey's motivating application domain is database systems: every
+//! engine's batch query operators are external-memory algorithms.  This
+//! crate assembles the workspace's sorting machinery into the classic
+//! operator set, each costing `O(Sort(N))` (or a scan, where noted):
+//!
+//! * [`sort_by_key`] — order a relation by an extracted key.
+//! * [`sort_merge_join`] — equi-join two relations (duplicates on both
+//!   sides supported; one key group of the *right* side is buffered in
+//!   memory, the standard assumption for sort-merge join).
+//! * [`semi_join`] / [`anti_join`] — filtering joins.
+//! * [`group_aggregate`] — sort-based grouping with a streaming fold.
+//! * [`distinct`] — duplicate elimination.
+//! * [`filter_map_scan`] — one-pass selection/projection (`O(Scan(N))`).
+//! * [`top_k_by`] — the k smallest records in one scan.
+//! * [`concat`] — bag union (`O(Scan)`).
+//!
+//! Keys are extracted by closures and compared in memory; outputs are new
+//! external arrays on the input's device.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use em_core::{ExtVec, ExtVecWriter, MemBudget, Record};
+use emsort::{merge_sort_by, SortConfig};
+use pdm::Result;
+
+/// The `k` smallest records by an extracted key, in key order — a selection
+/// heap of `k` records over one scan: `O(Scan(N))` I/Os, `k ≤ M` memory.
+pub fn top_k_by<R, K, KF>(input: &ExtVec<R>, k: usize, cfg: &SortConfig, key: KF) -> Result<ExtVec<R>>
+where
+    R: Record,
+    K: Ord,
+    KF: Fn(&R) -> K + Copy,
+{
+    let budget = MemBudget::new(cfg.mem_records);
+    let _charge = budget.charge(k + input.per_block());
+    // Max-heap of the k best so far, keyed for O(log k) replacement; a
+    // sequence number breaks ties to keep the heap total-ordered.
+    let mut heap: std::collections::BinaryHeap<HeapEntry<K, R>> =
+        std::collections::BinaryHeap::with_capacity(k + 1);
+    let mut r = input.reader();
+    let mut seq = 0u64;
+    while let Some(rec) = r.try_next()? {
+        heap.push(HeapEntry { key: key(&rec), seq, rec });
+        seq += 1;
+        if heap.len() > k {
+            heap.pop(); // drop the current worst
+        }
+    }
+    let mut best: Vec<HeapEntry<K, R>> = heap.into_vec();
+    best.sort_by(|a, b| a.key.cmp(&b.key).then(a.seq.cmp(&b.seq)));
+    let mut out: ExtVecWriter<R> = ExtVecWriter::new(input.device().clone());
+    for e in best {
+        out.push(e.rec)?;
+    }
+    out.finish()
+}
+
+struct HeapEntry<K, R> {
+    key: K,
+    seq: u64,
+    rec: R,
+}
+
+impl<K: Ord, R> PartialEq for HeapEntry<K, R> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl<K: Ord, R> Eq for HeapEntry<K, R> {}
+impl<K: Ord, R> PartialOrd for HeapEntry<K, R> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K: Ord, R> Ord for HeapEntry<K, R> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Sort a relation by an extracted key (`O(Sort(N))`).
+pub fn sort_by_key<R, K, KF>(input: &ExtVec<R>, cfg: &SortConfig, key: KF) -> Result<ExtVec<R>>
+where
+    R: Record,
+    K: Ord,
+    KF: Fn(&R) -> K + Copy,
+{
+    merge_sort_by(input, cfg, move |a, b| key(a) < key(b))
+}
+
+/// One-pass selection + projection: apply `f` to every record, keeping the
+/// `Some` results.  `O(Scan(N))` I/Os.
+pub fn filter_map_scan<R, O, F>(input: &ExtVec<R>, mut f: F) -> Result<ExtVec<O>>
+where
+    R: Record,
+    O: Record,
+    F: FnMut(&R) -> Option<O>,
+{
+    let mut out: ExtVecWriter<O> = ExtVecWriter::new(input.device().clone());
+    let mut r = input.reader();
+    while let Some(rec) = r.try_next()? {
+        if let Some(o) = f(&rec) {
+            out.push(o)?;
+        }
+    }
+    out.finish()
+}
+
+/// Bag union: concatenate relations in order.  `O(Scan(ΣN))` I/Os.
+pub fn concat<R: Record>(inputs: &[&ExtVec<R>]) -> Result<ExtVec<R>> {
+    assert!(!inputs.is_empty(), "concat of nothing");
+    let mut out: ExtVecWriter<R> = ExtVecWriter::new(inputs[0].device().clone());
+    for v in inputs {
+        let mut r = v.reader();
+        while let Some(rec) = r.try_next()? {
+            out.push(rec)?;
+        }
+    }
+    out.finish()
+}
+
+/// Duplicate elimination by natural order (`O(Sort(N))`).
+pub fn distinct<R: Record + Ord>(input: &ExtVec<R>, cfg: &SortConfig) -> Result<ExtVec<R>> {
+    let sorted = merge_sort_by(input, cfg, |a, b| a < b)?;
+    let mut out: ExtVecWriter<R> = ExtVecWriter::new(input.device().clone());
+    {
+        let mut r = sorted.reader();
+        let mut last: Option<R> = None;
+        while let Some(rec) = r.try_next()? {
+            if last.as_ref() != Some(&rec) {
+                out.push(rec.clone())?;
+                last = Some(rec);
+            }
+        }
+    }
+    sorted.free()?;
+    out.finish()
+}
+
+/// Sort-based group-by with a streaming fold: records are grouped by `key`;
+/// each group is folded left-to-right (in key order) with `fold` starting
+/// from `init`, and `finish` turns `(key, accumulator, group_size)` into an
+/// output record.  `O(Sort(N))` I/Os; memory per group is one accumulator.
+pub fn group_aggregate<R, K, O, KF, Acc, FoldF, FinF>(
+    input: &ExtVec<R>,
+    cfg: &SortConfig,
+    key: KF,
+    init: Acc,
+    mut fold: FoldF,
+    mut finish: FinF,
+) -> Result<ExtVec<O>>
+where
+    R: Record,
+    O: Record,
+    K: Ord + Clone,
+    KF: Fn(&R) -> K + Copy,
+    Acc: Clone,
+    FoldF: FnMut(&mut Acc, &R),
+    FinF: FnMut(K, Acc, u64) -> O,
+{
+    let sorted = sort_by_key(input, cfg, key)?;
+    let mut out: ExtVecWriter<O> = ExtVecWriter::new(input.device().clone());
+    {
+        let mut r = sorted.reader();
+        let mut cur: Option<(K, Acc, u64)> = None;
+        while let Some(rec) = r.try_next()? {
+            let k = key(&rec);
+            match &mut cur {
+                Some((ck, acc, count)) if *ck == k => {
+                    fold(acc, &rec);
+                    *count += 1;
+                }
+                _ => {
+                    if let Some((ck, acc, count)) = cur.take() {
+                        out.push(finish(ck, acc, count))?;
+                    }
+                    let mut acc = init.clone();
+                    fold(&mut acc, &rec);
+                    cur = Some((k, acc, 1));
+                }
+            }
+        }
+        if let Some((ck, acc, count)) = cur {
+            out.push(finish(ck, acc, count))?;
+        }
+    }
+    sorted.free()?;
+    out.finish()
+}
+
+/// Sort-merge equi-join: emit `make(l, r)` for every pair with equal keys.
+///
+/// Duplicate keys are supported on both sides; the current *right* key
+/// group is buffered in memory and charged against the memory budget (the
+/// standard sort-merge-join assumption — a right group larger than `M`
+/// panics via the budget).  `O(Sort(L) + Sort(R) + Output)` I/Os.
+pub fn sort_merge_join<L, R, K, O, KL, KR, MK>(
+    left: &ExtVec<L>,
+    right: &ExtVec<R>,
+    cfg: &SortConfig,
+    key_l: KL,
+    key_r: KR,
+    mut make: MK,
+) -> Result<ExtVec<O>>
+where
+    L: Record,
+    R: Record,
+    O: Record,
+    K: Ord + Clone,
+    KL: Fn(&L) -> K + Copy,
+    KR: Fn(&R) -> K + Copy,
+    MK: FnMut(&L, &R) -> O,
+{
+    let budget = MemBudget::new(cfg.mem_records);
+    let ls = sort_by_key(left, cfg, key_l)?;
+    let rs = sort_by_key(right, cfg, key_r)?;
+    let mut out: ExtVecWriter<O> = ExtVecWriter::new(left.device().clone());
+    {
+        let mut lr = ls.reader();
+        let mut rr = rs.reader();
+        let mut group: Vec<R> = Vec::new();
+        let mut group_key: Option<K> = None;
+        let mut group_charge = None;
+        let mut cur_r: Option<R> = rr.try_next()?;
+        while let Some(l) = lr.try_next()? {
+            let kl = key_l(&l);
+            // Advance the right side to the first record with key ≥ kl,
+            // loading the matching group when we reach it.
+            if group_key.as_ref() != Some(&kl) {
+                // Skip right records below kl.
+                while cur_r.as_ref().is_some_and(|r| key_r(r) < kl) {
+                    cur_r = rr.try_next()?;
+                }
+                group.clear();
+                drop(group_charge.take());
+                while cur_r.as_ref().is_some_and(|r| key_r(r) == kl) {
+                    group.push(cur_r.take().expect("checked"));
+                    cur_r = rr.try_next()?;
+                }
+                group_charge = Some(budget.charge(group.len()));
+                group_key = Some(kl.clone());
+            }
+            for r in &group {
+                out.push(make(&l, r))?;
+            }
+        }
+    }
+    ls.free()?;
+    rs.free()?;
+    out.finish()
+}
+
+/// Semi-join: keep the left records whose key appears in `right_keys`
+/// (`O(Sort)` both sides).
+pub fn semi_join<L, K, KL, KR, R>(
+    left: &ExtVec<L>,
+    right: &ExtVec<R>,
+    cfg: &SortConfig,
+    key_l: KL,
+    key_r: KR,
+) -> Result<ExtVec<L>>
+where
+    L: Record,
+    R: Record,
+    K: Ord,
+    KL: Fn(&L) -> K + Copy,
+    KR: Fn(&R) -> K + Copy,
+{
+    filtering_join(left, right, cfg, key_l, key_r, true)
+}
+
+/// Anti-join: keep the left records whose key does **not** appear in
+/// `right` (`O(Sort)` both sides).
+pub fn anti_join<L, K, KL, KR, R>(
+    left: &ExtVec<L>,
+    right: &ExtVec<R>,
+    cfg: &SortConfig,
+    key_l: KL,
+    key_r: KR,
+) -> Result<ExtVec<L>>
+where
+    L: Record,
+    R: Record,
+    K: Ord,
+    KL: Fn(&L) -> K + Copy,
+    KR: Fn(&R) -> K + Copy,
+{
+    filtering_join(left, right, cfg, key_l, key_r, false)
+}
+
+fn filtering_join<L, K, KL, KR, R>(
+    left: &ExtVec<L>,
+    right: &ExtVec<R>,
+    cfg: &SortConfig,
+    key_l: KL,
+    key_r: KR,
+    keep_matches: bool,
+) -> Result<ExtVec<L>>
+where
+    L: Record,
+    R: Record,
+    K: Ord,
+    KL: Fn(&L) -> K + Copy,
+    KR: Fn(&R) -> K + Copy,
+{
+    let ls = sort_by_key(left, cfg, key_l)?;
+    let rs = sort_by_key(right, cfg, key_r)?;
+    let mut out: ExtVecWriter<L> = ExtVecWriter::new(left.device().clone());
+    {
+        let mut lr = ls.reader();
+        let mut rr = rs.reader();
+        let mut cur_r: Option<R> = rr.try_next()?;
+        while let Some(l) = lr.try_next()? {
+            let kl = key_l(&l);
+            while cur_r.as_ref().is_some_and(|r| key_r(r) < kl) {
+                cur_r = rr.try_next()?;
+            }
+            let matches = cur_r.as_ref().is_some_and(|r| key_r(r) == kl);
+            if matches == keep_matches {
+                out.push(l)?;
+            }
+        }
+    }
+    ls.free()?;
+    rs.free()?;
+    out.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::EmConfig;
+    use pdm::SharedDevice;
+    use rand::prelude::*;
+
+    fn device() -> SharedDevice {
+        EmConfig::new(256, 16).ram_disk()
+    }
+
+    fn cfg() -> SortConfig {
+        SortConfig::new(256)
+    }
+
+    #[test]
+    fn filter_map_projects() {
+        let d = device();
+        let rel = ExtVec::from_slice(d, &(0u64..100).collect::<Vec<_>>()).unwrap();
+        let evens = filter_map_scan(&rel, |&x| (x % 2 == 0).then_some(x * 10)).unwrap();
+        assert_eq!(evens.to_vec().unwrap(), (0..100).step_by(2).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concat_keeps_order() {
+        let d = device();
+        let a = ExtVec::from_slice(d.clone(), &[1u64, 2]).unwrap();
+        let b = ExtVec::from_slice(d.clone(), &[3u64]).unwrap();
+        let c = ExtVec::from_slice(d, &[4u64, 5]).unwrap();
+        let all = concat(&[&a, &b, &c]).unwrap();
+        assert_eq!(all.to_vec().unwrap(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let d = device();
+        let mut rng = StdRng::seed_from_u64(201);
+        let data: Vec<u64> = (0..5000).map(|_| rng.gen_range(0..100)).collect();
+        let rel = ExtVec::from_slice(d, &data).unwrap();
+        let got = distinct(&rel, &cfg()).unwrap().to_vec().unwrap();
+        let mut expect: Vec<u64> = data;
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn group_aggregate_sums() {
+        let d = device();
+        let mut rng = StdRng::seed_from_u64(202);
+        let data: Vec<(u64, u64)> = (0..8000).map(|_| (rng.gen_range(0..50), rng.gen_range(0..10))).collect();
+        let rel = ExtVec::from_slice(d, &data).unwrap();
+        // (key, sum, count) per group.
+        let got = group_aggregate(
+            &rel,
+            &cfg(),
+            |r| r.0,
+            0u64,
+            |acc, r| *acc += r.1,
+            |k, acc, count| (k, acc, count),
+        )
+        .unwrap()
+        .to_vec()
+        .unwrap();
+        let mut expect: std::collections::BTreeMap<u64, (u64, u64)> = Default::default();
+        for (k, v) in data {
+            let e = expect.entry(k).or_insert((0, 0));
+            e.0 += v;
+            e.1 += 1;
+        }
+        let expect: Vec<(u64, u64, u64)> = expect.into_iter().map(|(k, (s, c))| (k, s, c)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn join_matches_nested_loop_reference() {
+        let d = device();
+        let mut rng = StdRng::seed_from_u64(203);
+        let left: Vec<(u64, u64)> = (0..2000).map(|i| (rng.gen_range(0..300), i)).collect();
+        let right: Vec<(u64, u64)> = (0..1500).map(|i| (rng.gen_range(0..300), i + 10_000)).collect();
+        let lv = ExtVec::from_slice(d.clone(), &left).unwrap();
+        let rv = ExtVec::from_slice(d, &right).unwrap();
+        let got = sort_merge_join(&lv, &rv, &cfg(), |l| l.0, |r| r.0, |l, r| (l.0, l.1, r.1))
+            .unwrap()
+            .to_vec()
+            .unwrap();
+        let mut expect = Vec::new();
+        for l in &left {
+            for r in &right {
+                if l.0 == r.0 {
+                    expect.push((l.0, l.1, r.1));
+                }
+            }
+        }
+        let mut got_s = got;
+        got_s.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(got_s, expect);
+    }
+
+    #[test]
+    fn join_with_no_matches_is_empty() {
+        let d = device();
+        let lv = ExtVec::from_slice(d.clone(), &[(1u64, 1u64), (2, 2)]).unwrap();
+        let rv = ExtVec::from_slice(d, &[(3u64, 3u64)]).unwrap();
+        let got = sort_merge_join(&lv, &rv, &cfg(), |l| l.0, |r| r.0, |l, r| (l.1, r.1)).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn semi_and_anti_join_partition_left() {
+        let d = device();
+        let mut rng = StdRng::seed_from_u64(204);
+        let left: Vec<(u64, u64)> = (0..3000).map(|i| (rng.gen_range(0..200), i)).collect();
+        let right: Vec<u64> = (0..100).map(|_| rng.gen_range(0..200)).collect();
+        let lv = ExtVec::from_slice(d.clone(), &left).unwrap();
+        let rv = ExtVec::from_slice(d, &right).unwrap();
+        let semi = semi_join(&lv, &rv, &cfg(), |l| l.0, |&r| r).unwrap().to_vec().unwrap();
+        let anti = anti_join(&lv, &rv, &cfg(), |l| l.0, |&r| r).unwrap().to_vec().unwrap();
+        let keys: std::collections::BTreeSet<u64> = right.into_iter().collect();
+        assert!(semi.iter().all(|l| keys.contains(&l.0)));
+        assert!(anti.iter().all(|l| !keys.contains(&l.0)));
+        assert_eq!(semi.len() + anti.len(), left.len());
+    }
+
+    #[test]
+    fn top_k_returns_smallest_in_order() {
+        let d = device();
+        let mut rng = StdRng::seed_from_u64(206);
+        let data: Vec<(u64, u64)> = (0..5000u64).map(|i| (rng.gen_range(0..100_000), i)).collect();
+        let rel = ExtVec::from_slice(d, &data).unwrap();
+        let got = top_k_by(&rel, 25, &cfg(), |r| r.0).unwrap().to_vec().unwrap();
+        let mut expect = data;
+        expect.sort_by_key(|r| r.0);
+        expect.truncate(25);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn top_k_larger_than_input_returns_all_sorted() {
+        let d = device();
+        let rel = ExtVec::from_slice(d, &[(5u64, 0u64), (1, 1), (3, 2)]).unwrap();
+        let got = top_k_by(&rel, 10, &cfg(), |r| r.0).unwrap().to_vec().unwrap();
+        assert_eq!(got, vec![(1, 1), (3, 2), (5, 0)]);
+    }
+
+    #[test]
+    fn top_k_io_is_one_scan() {
+        let d = EmConfig::new(4096, 16).ram_disk();
+        let data: Vec<u64> = (0..100_000u64).rev().collect();
+        let rel = ExtVec::from_slice(d.clone(), &data).unwrap();
+        let before = d.stats().snapshot();
+        top_k_by(&rel, 100, &SortConfig::new(8192), |&x| x).unwrap();
+        let ios = d.stats().snapshot().since(&before).total();
+        assert!(ios <= rel.num_blocks() as u64 + 2, "top-k used {ios} I/Os");
+    }
+
+    #[test]
+    fn join_io_is_sort_bound_not_quadratic() {
+        let d = EmConfig::new(4096, 16).ram_disk();
+        let mut rng = StdRng::seed_from_u64(205);
+        let n = 50_000u64;
+        let left: Vec<(u64, u64)> = (0..n).map(|i| (rng.gen_range(0..n), i)).collect();
+        let right: Vec<(u64, u64)> = (0..n).map(|i| (rng.gen_range(0..n), i)).collect();
+        let lv = ExtVec::from_slice(d.clone(), &left).unwrap();
+        let rv = ExtVec::from_slice(d.clone(), &right).unwrap();
+        let before = d.stats().snapshot();
+        let out = sort_merge_join(&lv, &rv, &SortConfig::new(8192), |l| l.0, |r| r.0, |l, r| (l.1, r.1)).unwrap();
+        let ios = d.stats().snapshot().since(&before).total();
+        // Block-nested loops would cost (L/B)·(R/B) ≈ 38k I/Os; sort-merge
+        // stays near a few sorts.
+        assert!(ios < 8_000, "join used {ios} I/Os for {} outputs", out.len());
+    }
+}

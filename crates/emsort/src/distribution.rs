@@ -1,0 +1,304 @@
+//! Distribution (sample) sort.
+//!
+//! The dual of merge sort: instead of combining sorted runs, split the input
+//! around `Θ(M/B)` sampled pivots into buckets, recurse on each bucket, and
+//! concatenate.  Each level of recursion scans the data a constant number of
+//! times (sample + partition), and the bucket count per level is `Θ(M/B)`,
+//! so the total cost is `Θ((N/B) · log_{M/B}(N/B))` — the same sorting bound
+//! as merge sort, reached from the other side (experiment F2 compares the
+//! constants).
+//!
+//! Pivot handling follows the classic three-way discipline: records
+//! equivalent to a pivot form their own *equal zone* which is emitted
+//! verbatim.  Since every pivot is drawn from the bucket, each equal zone is
+//! non-empty and every recursive zone is strictly smaller than its parent —
+//! progress is guaranteed even on duplicate-heavy inputs.
+
+use std::sync::Arc;
+
+use em_core::{ExtVec, ExtVecWriter, MemBudget, Record};
+use pdm::Result;
+use rand::prelude::*;
+
+use crate::runs::cmp_from_less;
+use crate::SortConfig;
+
+/// Sort `input` by natural ordering using distribution sort.
+pub fn distribution_sort<R: Record + Ord>(input: &ExtVec<R>, cfg: &SortConfig) -> Result<ExtVec<R>> {
+    distribution_sort_by(input, cfg, |a, b| a < b)
+}
+
+/// Sort `input` by a strict-less predicate using distribution sort.
+///
+/// The input is left untouched; the result is a new array on the same
+/// device.  Pivot sampling is deterministic (fixed seed) so experiment runs
+/// are reproducible.  Intermediate buckets are freed as soon as they have
+/// been partitioned, so peak disk usage stays `O(N/B)` blocks beyond the
+/// input.
+pub fn distribution_sort_by<R, F>(input: &ExtVec<R>, cfg: &SortConfig, less: F) -> Result<ExtVec<R>>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy,
+{
+    let ctx = Ctx {
+        budget: MemBudget::new(cfg.mem_records),
+        cfg: *cfg,
+        rng: std::cell::RefCell::new(StdRng::seed_from_u64(0xD157_0507)),
+    };
+    let mut out = ExtVecWriter::new(input.device().clone());
+    if input.len() as usize <= cfg.mem_records {
+        emit_sorted_in_memory(input, &mut out, &ctx, less)?;
+    } else {
+        let (open, equal) = partition(input, &ctx, less)?;
+        recurse_zones(open, equal, &mut out, &ctx, less, 1)?;
+    }
+    out.finish()
+}
+
+struct Ctx {
+    budget: Arc<MemBudget>,
+    cfg: SortConfig,
+    rng: std::cell::RefCell<StdRng>,
+}
+
+/// Base case: the bucket fits in memory — load, sort, append to `out`.
+fn emit_sorted_in_memory<R, F>(bucket: &ExtVec<R>, out: &mut ExtVecWriter<R>, ctx: &Ctx, less: F) -> Result<()>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy,
+{
+    let _charge = ctx.budget.charge(bucket.len() as usize);
+    let mut records = bucket.to_vec()?;
+    records.sort_by(|x, y| cmp_from_less(less, x, y));
+    for r in records {
+        out.push(r)?;
+    }
+    Ok(())
+}
+
+/// Open zones and equal zones produced by one partition level.
+type Zones<R> = (Vec<ExtVec<R>>, Vec<ExtVec<R>>);
+
+/// Split `bucket` around sampled pivots into `P+1` open zones and `P` equal
+/// zones.  Costs two scans of the bucket plus one write of every record.
+fn partition<R, F>(bucket: &ExtVec<R>, ctx: &Ctx, less: F) -> Result<Zones<R>>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy,
+{
+    let m = ctx.budget.capacity();
+    let b = bucket.per_block();
+    let m_blocks = m / b;
+    assert!(m_blocks >= 6, "distribution sort needs at least 6 blocks of memory");
+    // 2P+1 zone writers + 1 reader block must fit in M.
+    let p = ctx
+        .cfg
+        .fan_in
+        .map(|k| k.saturating_sub(1) / 2)
+        .unwrap_or((m_blocks - 2) / 2)
+        .max(1);
+
+    // Pass 1: reservoir-sample pivot candidates.
+    let sample_target = (p * 4).min(m / 2).max(p.min(m / 2)).max(1);
+    let mut sample: Vec<R> = Vec::with_capacity(sample_target);
+    {
+        let _charge = ctx.budget.charge(sample_target + b);
+        let mut rng = ctx.rng.borrow_mut();
+        let mut seen = 0u64;
+        let mut reader = bucket.reader();
+        while let Some(r) = reader.try_next()? {
+            seen += 1;
+            if sample.len() < sample_target {
+                sample.push(r);
+            } else {
+                let j = rng.gen_range(0..seen);
+                if (j as usize) < sample_target {
+                    sample[j as usize] = r;
+                }
+            }
+        }
+    }
+    sample.sort_by(|x, y| cmp_from_less(less, x, y));
+    // P evenly spaced pivots, equivalents dropped.
+    let mut pivots: Vec<R> = Vec::with_capacity(p);
+    for i in 1..=p {
+        let idx = (i * sample.len()) / (p + 1);
+        let cand = sample[idx.min(sample.len() - 1)].clone();
+        if pivots.last().is_none_or(|last| less(last, &cand)) {
+            pivots.push(cand);
+        }
+    }
+    let np = pivots.len();
+
+    // Pass 2: distribute.
+    let mut open: Vec<ExtVecWriter<R>> =
+        (0..=np).map(|_| ExtVecWriter::new(bucket.device().clone())).collect();
+    let mut equal: Vec<ExtVecWriter<R>> =
+        (0..np).map(|_| ExtVecWriter::new(bucket.device().clone())).collect();
+    {
+        let _charge = ctx.budget.charge((2 * np + 2) * b);
+        let mut reader = bucket.reader();
+        while let Some(r) = reader.try_next()? {
+            let lo = pivots.partition_point(|pv| less(pv, &r));
+            if lo < np && !less(&r, &pivots[lo]) {
+                equal[lo].push(r)?;
+            } else {
+                open[lo].push(r)?;
+            }
+        }
+    }
+    let open = open.into_iter().map(|w| w.finish()).collect::<Result<Vec<_>>>()?;
+    let equal = equal.into_iter().map(|w| w.finish()).collect::<Result<Vec<_>>>()?;
+    Ok((open, equal))
+}
+
+/// Emit zones in sorted order: recurse on open zones, stream equal zones.
+fn recurse_zones<R, F>(
+    open: Vec<ExtVec<R>>,
+    equal: Vec<ExtVec<R>>,
+    out: &mut ExtVecWriter<R>,
+    ctx: &Ctx,
+    less: F,
+    depth: u32,
+) -> Result<()>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy,
+{
+    assert!(depth < 64, "distribution sort failed to make progress");
+    let mut equal_iter = equal.into_iter();
+    for zone in open {
+        sort_owned(zone, out, ctx, less, depth)?;
+        if let Some(eq) = equal_iter.next() {
+            // Records equivalent to the pivot need no further sorting.
+            let _charge = ctx.budget.charge(2 * eq.per_block());
+            let mut reader = eq.reader();
+            while let Some(r) = reader.try_next()? {
+                out.push(r)?;
+            }
+            drop(reader);
+            eq.free()?;
+        }
+    }
+    Ok(())
+}
+
+/// Sort an owned bucket into `out`, freeing its blocks as soon as its
+/// records have been copied onward.
+fn sort_owned<R, F>(bucket: ExtVec<R>, out: &mut ExtVecWriter<R>, ctx: &Ctx, less: F, depth: u32) -> Result<()>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy,
+{
+    if bucket.len() as usize <= ctx.budget.capacity() {
+        emit_sorted_in_memory(&bucket, out, ctx, less)?;
+        return bucket.free();
+    }
+    let (open, equal) = partition(&bucket, ctx, less)?;
+    bucket.free()?;
+    recurse_zones(open, equal, out, ctx, less, depth + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::{bounds, EmConfig};
+
+    fn device_b8() -> pdm::SharedDevice {
+        EmConfig::new(64, 8).ram_disk()
+    }
+
+    fn check_sort(data: Vec<u64>, m: usize) {
+        let device = device_b8();
+        let input = ExtVec::from_slice(device, &data).unwrap();
+        let out = distribution_sort(&input, &SortConfig::new(m)).unwrap();
+        let mut expect = data;
+        expect.sort_unstable();
+        assert_eq!(out.to_vec().unwrap(), expect);
+    }
+
+    #[test]
+    fn sorts_random_input() {
+        let mut rng = StdRng::seed_from_u64(11);
+        check_sort((0..5000).map(|_| rng.gen()).collect(), 64);
+    }
+
+    #[test]
+    fn sorts_sorted_and_reversed() {
+        check_sort((0..2000).collect(), 64);
+        check_sort((0..2000).rev().collect(), 64);
+    }
+
+    #[test]
+    fn duplicate_heavy_terminates() {
+        let mut rng = StdRng::seed_from_u64(12);
+        check_sort((0..4000).map(|_| rng.gen_range(0..3)).collect(), 64);
+    }
+
+    #[test]
+    fn all_equal_input() {
+        check_sort(vec![7u64; 3000], 48);
+    }
+
+    #[test]
+    fn small_inputs() {
+        for n in [0u64, 1, 5, 64] {
+            check_sort((0..n).rev().collect(), 64);
+        }
+    }
+
+    #[test]
+    fn custom_comparator() {
+        let device = device_b8();
+        let mut rng = StdRng::seed_from_u64(13);
+        let data: Vec<u64> = (0..2000).map(|_| rng.gen()).collect();
+        let input = ExtVec::from_slice(device, &data).unwrap();
+        let out = distribution_sort_by(&input, &SortConfig::new(64), |a, b| a > b).unwrap();
+        let mut expect = data;
+        expect.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(out.to_vec().unwrap(), expect);
+    }
+
+    #[test]
+    fn io_within_constant_of_sort_bound() {
+        let device = device_b8();
+        let mut rng = StdRng::seed_from_u64(14);
+        let n = 20_000u64;
+        let m = 128usize;
+        let b = 8usize;
+        let data: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        let input = ExtVec::from_slice(device.clone(), &data).unwrap();
+        let before = device.stats().snapshot();
+        let out = distribution_sort(&input, &SortConfig::new(m)).unwrap();
+        let d = device.stats().snapshot().since(&before);
+        assert_eq!(out.len(), n);
+        let bound = bounds::sort(n, m, b);
+        let ratio = d.total() as f64 / bound;
+        assert!(ratio < 8.0, "distribution sort used {}, bound {bound}, ratio {ratio}", d.total());
+    }
+
+    #[test]
+    fn temporaries_are_freed() {
+        let device = device_b8();
+        let mut rng = StdRng::seed_from_u64(15);
+        let data: Vec<u64> = (0..5000).map(|_| rng.gen()).collect();
+        let input = ExtVec::from_slice(device.clone(), &data).unwrap();
+        let before = device.allocated_blocks();
+        let out = distribution_sort(&input, &SortConfig::new(64)).unwrap();
+        assert_eq!(device.allocated_blocks() - before, out.num_blocks() as u64);
+    }
+
+    #[test]
+    fn fan_in_override_narrows_partitions() {
+        // With fan_in 3 → P = 1 pivot per level; still sorts correctly.
+        let device = device_b8();
+        let mut rng = StdRng::seed_from_u64(16);
+        let data: Vec<u64> = (0..3000).map(|_| rng.gen()).collect();
+        let input = ExtVec::from_slice(device, &data).unwrap();
+        let out =
+            distribution_sort_by(&input, &SortConfig::new(64).with_fan_in(3), |a, b| a < b).unwrap();
+        let mut expect = data;
+        expect.sort_unstable();
+        assert_eq!(out.to_vec().unwrap(), expect);
+    }
+}

@@ -1,0 +1,100 @@
+//! # `emsort` — external sorting, permuting, and matrix transposition
+//!
+//! The algorithms behind the survey's central result, the sorting bound
+//!
+//! ```text
+//! Sort(N) = Θ((N/B) · log_{M/B}(N/B))
+//! ```
+//!
+//! and its relatives:
+//!
+//! * [`merge_sort`] / [`merge_sort_by`] — run formation followed by
+//!   `Θ(M/B)`-way merging; run formation is either *load–sort–store* (runs of
+//!   exactly `M` records) or *replacement selection* (runs averaging `2M` on
+//!   random input) — an ablation the experiments measure.
+//! * [`distribution_sort`] / [`distribution_sort_by`] — the dual approach:
+//!   sample pivots, partition into `Θ(M/B)` buckets, recurse.
+//! * [`permute_naive`] / [`permute_by_sort`] — both sides of the permutation
+//!   bound `Permute(N) = Θ(min(N, Sort(N)))`.
+//! * [`bmmc_permute`] — the survey's structured-permutation class (bit
+//!   reversal, perfect shuffles, …) with on-the-fly target computation.
+//! * [`transpose_naive`] / [`transpose_blocked`] — matrix transposition; the
+//!   blocked algorithm achieves `O(N/B)` I/Os whenever `M ≥ 4B²` (the
+//!   "tall-memory" regime) and falls back to sort-based transposition
+//!   (`O(Sort(N))`) below it.
+//!
+//! Every entry point takes a [`SortConfig`] carrying the memory budget `M`
+//! (in records); buffers are charged against an [`em_core::MemBudget`] so
+//! exceeding the declared memory is a panic, not a silent cheat.
+//!
+//! Multi-disk behaviour needs no extra code: running any of these on a
+//! striped [`pdm::DiskArray`](em_core::pdm::DiskArray) models disk striping
+//! (block size `D·B`, fan-in `M/(DB)`), while running them on an independent
+//! array spreads each run's blocks round-robin so the parallel I/O time
+//! approaches `total/D` — the comparison of experiment F5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bmmc;
+mod distribution;
+mod heap;
+mod merge;
+mod permute;
+mod runs;
+mod select;
+mod transpose;
+
+pub use bmmc::{bit_reversal, bmmc_permute, perfect_shuffle, BmmcMatrix};
+pub use distribution::{distribution_sort, distribution_sort_by};
+pub use merge::{merge_runs_by, merge_sort, merge_sort_by};
+pub use permute::{invert_permutation, permute_by_sort, permute_naive};
+pub use runs::{form_runs, RunFormation};
+pub use select::{median, select, select_by};
+pub use transpose::{transpose_blocked, transpose_naive};
+
+/// Parameters of one external sort.
+#[derive(Debug, Clone, Copy)]
+pub struct SortConfig {
+    /// Internal memory budget `M`, in records of the type being sorted.
+    pub mem_records: usize,
+    /// Merge fan-in / distribution bucket-count override.  `None` uses the
+    /// maximum the memory budget allows (`M/B − 1`).
+    pub fan_in: Option<usize>,
+    /// How initial runs are formed.
+    pub run_formation: RunFormation,
+}
+
+impl SortConfig {
+    /// A configuration with the given memory budget, maximum fan-in and
+    /// load–sort–store run formation.
+    pub fn new(mem_records: usize) -> Self {
+        SortConfig { mem_records, fan_in: None, run_formation: RunFormation::LoadSort }
+    }
+
+    /// Builder: override the merge fan-in.
+    pub fn with_fan_in(mut self, fan_in: usize) -> Self {
+        self.fan_in = Some(fan_in);
+        self
+    }
+
+    /// Builder: select the run-formation strategy.
+    pub fn with_run_formation(mut self, rf: RunFormation) -> Self {
+        self.run_formation = rf;
+        self
+    }
+
+    /// The fan-in actually used for a record type with `per_block` records
+    /// per block: the override if given, else `M/B − 1` (one block per input
+    /// run plus one output block), clamped to at least 2.
+    pub fn effective_fan_in(&self, per_block: usize) -> usize {
+        let max = (self.mem_records / per_block).saturating_sub(1).max(2);
+        match self.fan_in {
+            Some(k) => {
+                assert!(k >= 2, "fan-in must be at least 2");
+                k.min(max)
+            }
+            None => max,
+        }
+    }
+}

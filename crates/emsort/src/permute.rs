@@ -1,0 +1,235 @@
+//! External permuting — both sides of `Permute(N) = Θ(min(N, Sort(N)))`.
+//!
+//! Given records `x_0 … x_{N−1}` and destinations `d_0 … d_{N−1}` (a
+//! permutation of `0 … N−1`), produce the array with `out[d_i] = x_i`.
+//!
+//! * [`permute_naive`] moves one record at a time: a scan of the input plus a
+//!   random-access write per record — `Θ(N)` I/Os.  In internal memory this
+//!   is optimal; in external memory it is the *baseline* the sorting-based
+//!   method beats whenever `B` is non-trivial.
+//! * [`permute_by_sort`] tags each record with its destination and sorts by
+//!   it — `Θ(Sort(N))` I/Os.
+//!
+//! The crossover between the two as `B` grows is experiment F3, one of the
+//! survey's signature "external memory is different" results.
+
+use em_core::{ExtVec, ExtVecWriter, Record};
+use pdm::Result;
+
+use crate::{merge_sort_by, SortConfig};
+
+/// Apply a permutation one record at a time: `Θ(N)` I/Os.
+///
+/// `dest` must have the same length as `input` and hold a permutation of
+/// `0..N`; `out[dest[i]] = input[i]`.  Costs `2·⌈N/B⌉` sequential reads plus
+/// `2N` random I/Os (read-modify-write per record).
+pub fn permute_naive<R: Record>(input: &ExtVec<R>, dest: &ExtVec<u64>) -> Result<ExtVec<R>> {
+    assert_eq!(input.len(), dest.len(), "destination vector length mismatch");
+    let out = ExtVec::with_len(input.device().clone(), input.len())?;
+    let mut records = input.reader();
+    let mut dests = dest.reader();
+    while let (Some(r), Some(d)) = (records.try_next()?, dests.try_next()?) {
+        assert!(d < input.len(), "destination {d} out of range");
+        out.set(d, &r)?;
+    }
+    Ok(out)
+}
+
+/// Apply a permutation by sorting `(destination, record)` pairs:
+/// `Θ(Sort(N))` I/Os.
+///
+/// `cfg.mem_records` is interpreted in records of `R`; the internal pair
+/// records are bigger, so the pair-sort budget is scaled down to keep the
+/// byte budget identical.
+pub fn permute_by_sort<R: Record>(
+    input: &ExtVec<R>,
+    dest: &ExtVec<u64>,
+    cfg: &SortConfig,
+) -> Result<ExtVec<R>> {
+    assert_eq!(input.len(), dest.len(), "destination vector length mismatch");
+    let device = input.device().clone();
+
+    // Tag: (destination, record).
+    let mut w: ExtVecWriter<(u64, R)> = ExtVecWriter::new(device.clone());
+    {
+        let mut records = input.reader();
+        let mut dests = dest.reader();
+        while let (Some(r), Some(d)) = (records.try_next()?, dests.try_next()?) {
+            assert!(d < input.len(), "destination {d} out of range");
+            w.push((d, r))?;
+        }
+    }
+    let tagged = w.finish()?;
+
+    // Sort by destination with a byte-equivalent memory budget.
+    let pair_cfg = scale_config::<R>(cfg);
+    let sorted = merge_sort_by(&tagged, &pair_cfg, |a, b| a.0 < b.0)?;
+    tagged.free()?;
+
+    // Strip tags.
+    let mut out: ExtVecWriter<R> = ExtVecWriter::new(device);
+    let mut reader = sorted.reader();
+    while let Some((_, r)) = reader.try_next()? {
+        out.push(r)?;
+    }
+    drop(reader);
+    sorted.free()?;
+    out.finish()
+}
+
+/// Compute the inverse permutation: `inv[perm[i]] = i`, in `Θ(Sort(N))`
+/// I/Os.  Building block for the graph algorithms (rank → position maps).
+pub fn invert_permutation(perm: &ExtVec<u64>, cfg: &SortConfig) -> Result<ExtVec<u64>> {
+    let device = perm.device().clone();
+    let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+    {
+        let mut reader = perm.reader();
+        let mut i = 0u64;
+        while let Some(p) = reader.try_next()? {
+            w.push((p, i))?;
+            i += 1;
+        }
+    }
+    let tagged = w.finish()?;
+    let pair_cfg = scale_config::<u64>(cfg);
+    let sorted = merge_sort_by(&tagged, &pair_cfg, |a, b| a.0 < b.0)?;
+    tagged.free()?;
+    let mut out: ExtVecWriter<u64> = ExtVecWriter::new(device);
+    let mut reader = sorted.reader();
+    while let Some((_, i)) = reader.try_next()? {
+        out.push(i)?;
+    }
+    drop(reader);
+    sorted.free()?;
+    out.finish()
+}
+
+/// Scale a record-count budget for `R` down to the equivalent budget for
+/// `(u64, R)` pairs (same byte budget).
+fn scale_config<R: Record>(cfg: &SortConfig) -> SortConfig {
+    let scaled = (cfg.mem_records * R::BYTES / (u64::BYTES + R::BYTES)).max(1);
+    SortConfig { mem_records: scaled, ..*cfg }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::{bounds, EmConfig};
+    use rand::prelude::*;
+
+    fn device_b8() -> pdm::SharedDevice {
+        EmConfig::new(64, 8).ram_disk()
+    }
+
+    fn random_perm(n: u64, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p: Vec<u64> = (0..n).collect();
+        p.shuffle(&mut rng);
+        p
+    }
+
+    fn apply_in_memory<R: Clone + Default>(data: &[R], dest: &[u64]) -> Vec<R> {
+        let mut out = vec![R::default(); data.len()];
+        for (r, &d) in data.iter().zip(dest) {
+            out[d as usize] = r.clone();
+        }
+        out
+    }
+
+    #[test]
+    fn naive_matches_reference() {
+        let device = device_b8();
+        let n = 500u64;
+        let data: Vec<u64> = (0..n).map(|i| i * 10).collect();
+        let perm = random_perm(n, 21);
+        let input = ExtVec::from_slice(device.clone(), &data).unwrap();
+        let dest = ExtVec::from_slice(device, &perm).unwrap();
+        let out = permute_naive(&input, &dest).unwrap();
+        assert_eq!(out.to_vec().unwrap(), apply_in_memory(&data, &perm));
+    }
+
+    #[test]
+    fn sort_based_matches_reference() {
+        let device = device_b8();
+        let n = 3000u64;
+        let data: Vec<u64> = (0..n).map(|i| i * 7 + 1).collect();
+        let perm = random_perm(n, 22);
+        let input = ExtVec::from_slice(device.clone(), &data).unwrap();
+        let dest = ExtVec::from_slice(device, &perm).unwrap();
+        let out = permute_by_sort(&input, &dest, &SortConfig::new(128)).unwrap();
+        assert_eq!(out.to_vec().unwrap(), apply_in_memory(&data, &perm));
+    }
+
+    #[test]
+    fn both_agree_on_identity_and_reverse() {
+        let device = device_b8();
+        let n = 200u64;
+        let data: Vec<u64> = (0..n).collect();
+        for perm in [(0..n).collect::<Vec<_>>(), (0..n).rev().collect()] {
+            let input = ExtVec::from_slice(device.clone(), &data).unwrap();
+            let dest = ExtVec::from_slice(device.clone(), &perm).unwrap();
+            let a = permute_naive(&input, &dest).unwrap().to_vec().unwrap();
+            let b = permute_by_sort(&input, &dest, &SortConfig::new(64)).unwrap().to_vec().unwrap();
+            assert_eq!(a, b);
+            assert_eq!(a, apply_in_memory(&data, &perm));
+        }
+    }
+
+    #[test]
+    fn naive_costs_theta_n_sort_costs_sort_n() {
+        // Use a realistic block size (B = 32 records) so the crossover of
+        // Permute(N) = min(N, Sort(N)) is clearly on the sorting side.
+        let device = EmConfig::new(256, 16).ram_disk();
+        let n = 4096u64;
+        let b = 32usize;
+        let m = 512usize;
+        let data: Vec<u64> = (0..n).collect();
+        let perm = random_perm(n, 23);
+        let input = ExtVec::from_slice(device.clone(), &data).unwrap();
+        let dest = ExtVec::from_slice(device.clone(), &perm).unwrap();
+
+        let before = device.stats().snapshot();
+        permute_naive(&input, &dest).unwrap();
+        let naive = device.stats().snapshot().since(&before).total();
+
+        let before = device.stats().snapshot();
+        permute_by_sort(&input, &dest, &SortConfig::new(m)).unwrap();
+        let sorted = device.stats().snapshot().since(&before).total();
+
+        // Naive ≈ 2N random I/Os (+ scans); sort-based ≈ O(Sort).
+        assert!(naive as f64 >= 2.0 * n as f64, "naive={naive}");
+        assert!((sorted as f64) < bounds::sort(n, m, b) * 20.0, "sorted={sorted}");
+        assert!(sorted < naive, "with B=8 sorting should already win: {sorted} vs {naive}");
+    }
+
+    #[test]
+    fn invert_permutation_round_trips() {
+        let device = device_b8();
+        let n = 1000u64;
+        let perm = random_perm(n, 24);
+        let pv = ExtVec::from_slice(device.clone(), &perm).unwrap();
+        let inv = invert_permutation(&pv, &SortConfig::new(64)).unwrap();
+        let inv_v = inv.to_vec().unwrap();
+        for (i, &p) in perm.iter().enumerate() {
+            assert_eq!(inv_v[p as usize], i as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let device = device_b8();
+        let input = ExtVec::from_slice(device.clone(), &[1u64, 2, 3]).unwrap();
+        let dest = ExtVec::from_slice(device, &[0u64, 1]).unwrap();
+        let _ = permute_naive(&input, &dest);
+    }
+
+    #[test]
+    fn empty_permutation() {
+        let device = device_b8();
+        let input: ExtVec<u64> = ExtVec::new(device.clone());
+        let dest: ExtVec<u64> = ExtVec::new(device);
+        assert_eq!(permute_naive(&input, &dest).unwrap().len(), 0);
+        assert_eq!(permute_by_sort(&input, &dest, &SortConfig::new(64)).unwrap().len(), 0);
+    }
+}

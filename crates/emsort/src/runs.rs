@@ -1,0 +1,306 @@
+//! Run formation: turning unsorted input into sorted runs.
+//!
+//! Merge sort's first pass produces sorted runs that later passes merge.
+//! The survey discusses two classic strategies, both implemented here so the
+//! experiments can compare them:
+//!
+//! * **Load–sort–store** — fill memory (`M` records), sort internally, write
+//!   out; produces `⌈N/M⌉` runs of exactly `M` records (except the last).
+//! * **Replacement selection** — keep an `M`-record selection heap; each
+//!   emitted record is replaced by a fresh input record, which joins the
+//!   current run if it can still be emitted in order, or is earmarked for the
+//!   next run otherwise.  On random input the expected run length is `2M`
+//!   (Knuth's snow-plough argument), halving the number of runs and sometimes
+//!   saving an entire merge pass — the ablation of experiment F1.
+
+use std::sync::Arc;
+
+use em_core::{ExtVec, ExtVecWriter, MemBudget, Record};
+use pdm::Result;
+
+use crate::heap::MinHeap;
+use crate::SortConfig;
+
+/// Strategy for the run-formation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunFormation {
+    /// Fill memory, sort, write: runs of exactly `M` records.
+    #[default]
+    LoadSort,
+    /// Selection heap with run tagging: runs average `2M` on random input.
+    ReplacementSelection,
+}
+
+/// Produce sorted runs from `input` under `cfg`'s memory budget.
+///
+/// Each returned [`ExtVec`] is sorted according to `less` and lives on the
+/// same device as the input.  The concatenation of the runs is a permutation
+/// of the input.  Costs one read and one write of every block
+/// (`2·⌈N/B⌉` I/Os).
+pub fn form_runs<R, F>(input: &ExtVec<R>, cfg: &SortConfig, less: F) -> Result<Vec<ExtVec<R>>>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy,
+{
+    let budget = MemBudget::new(cfg.mem_records);
+    match cfg.run_formation {
+        RunFormation::LoadSort => load_sort_runs(input, &budget, less),
+        RunFormation::ReplacementSelection => replacement_selection_runs(input, &budget, less),
+    }
+}
+
+fn load_sort_runs<R, F>(input: &ExtVec<R>, budget: &Arc<MemBudget>, less: F) -> Result<Vec<ExtVec<R>>>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy,
+{
+    let m = budget.capacity();
+    assert!(m >= 2 * input.per_block(), "memory must hold at least two blocks");
+    let _charge = budget.charge(m);
+    let mut runs = Vec::new();
+    let mut chunk: Vec<R> = Vec::with_capacity(m);
+    let mut reader = input.reader();
+    loop {
+        chunk.clear();
+        while chunk.len() < m {
+            match reader.try_next()? {
+                Some(r) => chunk.push(r),
+                None => break,
+            }
+        }
+        if chunk.is_empty() {
+            break;
+        }
+        chunk.sort_by(|a, b| cmp_from_less(less, a, b));
+        let mut w = ExtVecWriter::new(input.device().clone());
+        for r in chunk.drain(..) {
+            w.push(r)?;
+        }
+        runs.push(w.finish()?);
+    }
+    Ok(runs)
+}
+
+fn replacement_selection_runs<R, F>(
+    input: &ExtVec<R>,
+    budget: &Arc<MemBudget>,
+    less: F,
+) -> Result<Vec<ExtVec<R>>>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy,
+{
+    let b = input.per_block();
+    let m = budget.capacity();
+    assert!(m >= 4 * b, "replacement selection needs at least 4 blocks of memory");
+    // Heap gets M − 2B records; one block each for the input reader and the
+    // run writer.
+    let heap_cap = m - 2 * b;
+    let _charge = budget.charge(m);
+
+    // Heap entries are (run_id, record); an entry for a later run orders
+    // after every entry of the current run.
+    let mut heap: MinHeap<(u64, R), _> = MinHeap::with_capacity(heap_cap, move |a: &(u64, R), b: &(u64, R)| {
+        a.0 < b.0 || (a.0 == b.0 && less(&a.1, &b.1))
+    });
+
+    let mut reader = input.reader();
+    while heap.len() < heap_cap {
+        match reader.try_next()? {
+            Some(r) => heap.push((0, r)),
+            None => break,
+        }
+    }
+
+    let mut runs = Vec::new();
+    if heap.is_empty() {
+        return Ok(runs);
+    }
+
+    let mut current_run = 0u64;
+    let mut writer = ExtVecWriter::new(input.device().clone());
+    let mut last_emitted: Option<R> = None;
+    while let Some(run_id) = heap.peek().map(|e| e.0) {
+        if run_id != current_run {
+            // Current run is exhausted inside the heap; seal it.
+            runs.push(std::mem::replace(&mut writer, ExtVecWriter::new(input.device().clone())).finish()?);
+            current_run = run_id;
+            last_emitted = None;
+        }
+        let (_, rec) = match reader.try_next()? {
+            Some(next) => {
+                // Decide which run the replacement joins: it can extend the
+                // current run only if it is not smaller than the record we
+                // are about to emit.
+                let out = heap.peek().expect("nonempty").1.clone();
+                let next_run = if less(&next, &out) { current_run + 1 } else { current_run };
+                heap.replace_min((next_run, next))
+            }
+            None => heap.pop().expect("nonempty"),
+        };
+        debug_assert!(
+            last_emitted.as_ref().is_none_or(|p| !less(&rec, p)),
+            "replacement selection emitted out of order"
+        );
+        last_emitted = Some(rec.clone());
+        writer.push(rec)?;
+    }
+    runs.push(writer.finish()?);
+    Ok(runs)
+}
+
+/// Turn a strict-less predicate into a total `Ordering` (equal when neither
+/// argument is less).
+pub(crate) fn cmp_from_less<R, F>(less: F, a: &R, b: &R) -> std::cmp::Ordering
+where
+    F: Fn(&R, &R) -> bool,
+{
+    if less(a, b) {
+        std::cmp::Ordering::Less
+    } else if less(b, a) {
+        std::cmp::Ordering::Greater
+    } else {
+        std::cmp::Ordering::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::EmConfig;
+    use rand::prelude::*;
+
+    fn setup(n: u64) -> (ExtVec<u64>, Vec<u64>) {
+        let cfg = EmConfig::new(64, 8); // B = 8 u64s
+        let device = cfg.ram_disk();
+        let mut rng = StdRng::seed_from_u64(42);
+        let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
+        (ExtVec::from_slice(device, &data).unwrap(), data)
+    }
+
+    fn check_runs(runs: &[ExtVec<u64>], original: &[u64]) {
+        let mut all = Vec::new();
+        for run in runs {
+            let v = run.to_vec().unwrap();
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "run not sorted");
+            all.extend(v);
+        }
+        let mut all_sorted = all.clone();
+        all_sorted.sort_unstable();
+        let mut orig_sorted = original.to_vec();
+        orig_sorted.sort_unstable();
+        assert_eq!(all_sorted, orig_sorted, "runs are not a permutation of input");
+    }
+
+    #[test]
+    fn load_sort_run_sizes() {
+        let (input, data) = setup(100);
+        let cfg = SortConfig::new(32); // M = 32 records → 4 runs of 32 + 1 of 4
+        let runs = form_runs(&input, &cfg, |a, b| a < b).unwrap();
+        assert_eq!(runs.len(), 4);
+        assert!(runs[..3].iter().all(|r| r.len() == 32));
+        assert_eq!(runs[3].len(), 4);
+        check_runs(&runs, &data);
+    }
+
+    #[test]
+    fn replacement_selection_longer_runs() {
+        let (input, data) = setup(2000);
+        let m = 128;
+        let ls = form_runs(&input, &SortConfig::new(m), |a, b| a < b).unwrap();
+        let rs = form_runs(
+            &input,
+            &SortConfig::new(m).with_run_formation(RunFormation::ReplacementSelection),
+            |a, b| a < b,
+        )
+        .unwrap();
+        check_runs(&ls, &data);
+        check_runs(&rs, &data);
+        // Snow-plough: RS runs average ~2·heap = ~2(M−2B); expect clearly
+        // fewer runs than load-sort.
+        assert!(
+            rs.len() * 3 <= ls.len() * 2,
+            "expected replacement selection to produce ≥1.5× fewer runs: rs={} ls={}",
+            rs.len(),
+            ls.len()
+        );
+    }
+
+    #[test]
+    fn replacement_selection_sorted_input_single_run() {
+        let cfg = EmConfig::new(64, 8);
+        let device = cfg.ram_disk();
+        let data: Vec<u64> = (0..500).collect();
+        let input = ExtVec::from_slice(device, &data).unwrap();
+        let runs = form_runs(
+            &input,
+            &SortConfig::new(40).with_run_formation(RunFormation::ReplacementSelection),
+            |a, b| a < b,
+        )
+        .unwrap();
+        assert_eq!(runs.len(), 1, "sorted input snow-ploughs into one run");
+        assert_eq!(runs[0].to_vec().unwrap(), data);
+    }
+
+    #[test]
+    fn reverse_sorted_input_rs_runs_of_heap_size() {
+        let cfg = EmConfig::new(64, 8);
+        let device = cfg.ram_disk();
+        let data: Vec<u64> = (0..400).rev().collect();
+        let input = ExtVec::from_slice(device, &data).unwrap();
+        let m = 48; // heap = 48 − 16 = 32
+        let runs = form_runs(
+            &input,
+            &SortConfig::new(m).with_run_formation(RunFormation::ReplacementSelection),
+            |a, b| a < b,
+        )
+        .unwrap();
+        // Worst case: every replacement starts a new run → runs of exactly
+        // heap size.
+        assert_eq!(runs.len(), 400 / 32 + 1);
+        let mut all = Vec::new();
+        for r in &runs {
+            all.extend(r.to_vec().unwrap());
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_no_runs() {
+        let cfg = EmConfig::new(64, 8);
+        let input: ExtVec<u64> = ExtVec::new(cfg.ram_disk());
+        for rf in [RunFormation::LoadSort, RunFormation::ReplacementSelection] {
+            let runs =
+                form_runs(&input, &SortConfig::new(64).with_run_formation(rf), |a, b| a < b).unwrap();
+            assert!(runs.is_empty());
+        }
+    }
+
+    #[test]
+    fn run_formation_io_is_two_scans() {
+        let (input, _) = setup(512);
+        let device = input.device().clone();
+        for rf in [RunFormation::LoadSort, RunFormation::ReplacementSelection] {
+            let before = device.stats().snapshot();
+            let runs =
+                form_runs(&input, &SortConfig::new(64).with_run_formation(rf), |a, b| a < b).unwrap();
+            let d = device.stats().snapshot().since(&before);
+            assert_eq!(d.reads(), 64, "one read per input block");
+            // Writes: one per run block; runs may have partial last blocks.
+            let run_blocks: u64 = runs.iter().map(|r| r.num_blocks() as u64).sum();
+            assert_eq!(d.writes(), run_blocks);
+            assert!(run_blocks <= 64 + runs.len() as u64);
+        }
+    }
+
+    #[test]
+    fn custom_comparator_descending() {
+        let (input, _) = setup(100);
+        let runs = form_runs(&input, &SortConfig::new(64), |a, b| a > b).unwrap();
+        for r in &runs {
+            let v = r.to_vec().unwrap();
+            assert!(v.windows(2).all(|w| w[0] >= w[1]));
+        }
+    }
+}

@@ -1,0 +1,872 @@
+//! External B+-tree.
+//!
+//! The survey's canonical *online* search structure: a balanced tree with
+//! `Θ(B)` fan-out whose every operation touches one root-to-leaf path —
+//! `Θ(log_B N)` I/Os, matching the `Search(N)` lower bound for comparison-
+//! based external dictionaries (experiment T2).
+//!
+//! Records live in leaves, which are chained for range scans; internal nodes
+//! hold routing keys only.  All node accesses go through a bounded
+//! [`BufferPool`], so the memory budget is enforced by the pool's frame
+//! capacity and repeated accesses to hot nodes (the root, mostly) are served
+//! without I/O.
+//!
+//! Deletion rebalances: an underfull node first borrows from a sibling and
+//! merges only when both siblings are at minimum occupancy, keeping every
+//! non-root node at least half full.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use em_core::Record;
+use pdm::{BlockId, BufferPool, Result};
+
+const NO_NEXT: u64 = u64::MAX;
+
+/// Result of a recursive insert: replaced value, plus split info
+/// `(separator, new right sibling)` if the child split.
+type InsertOutcome<K, V> = (Option<V>, Option<(K, pdm::BlockId)>);
+
+/// Decoded form of one tree node.
+enum Node<K, V> {
+    Leaf { next: Option<BlockId>, entries: Vec<(K, V)> },
+    Internal { keys: Vec<K>, children: Vec<BlockId> },
+}
+
+/// An external-memory B+-tree mapping fixed-size keys to fixed-size values.
+///
+/// ```
+/// use em_core::EmConfig;
+/// use emtree::BTree;
+/// use pdm::{BufferPool, EvictionPolicy};
+///
+/// let pool = BufferPool::new(EmConfig::new(512, 8).ram_disk(), 8, EvictionPolicy::Lru);
+/// let mut tree: BTree<u64, u64> = BTree::new(pool)?;
+/// tree.insert(7, 70)?;
+/// tree.insert(3, 30)?;
+/// assert_eq!(tree.get(&7)?, Some(70));
+/// assert_eq!(tree.range(&0, &10)?, vec![(3, 30), (7, 70)]);
+/// assert_eq!(tree.remove(&3)?, Some(30));
+/// # Ok::<(), pdm::PdmError>(())
+/// ```
+pub struct BTree<K: Record + Ord, V: Record> {
+    pool: Arc<BufferPool>,
+    root: BlockId,
+    height: u32,
+    len: u64,
+    leaf_cap: usize,
+    internal_cap: usize, // max keys in an internal node
+    _marker: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K: Record + Ord, V: Record> BTree<K, V> {
+    /// Create an empty tree whose nodes are cached by `pool`.
+    pub fn new(pool: Arc<BufferPool>) -> Result<Self> {
+        let bs = pool.device().block_size();
+        let leaf_cap = (bs - 11) / (K::BYTES + V::BYTES);
+        let internal_cap = (bs - 11) / (K::BYTES + 8);
+        assert!(leaf_cap >= 4 && internal_cap >= 4, "block too small for this key/value size");
+        let mut tree = BTree {
+            pool,
+            root: 0,
+            height: 1,
+            len: 0,
+            leaf_cap,
+            internal_cap,
+            _marker: PhantomData,
+        };
+        let empty = Node::Leaf { next: None, entries: Vec::new() };
+        tree.root = tree.alloc_node(&empty)?;
+        Ok(tree)
+    }
+
+    /// Number of key-value pairs.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the tree holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height in levels (1 = the root is a leaf).  A lookup reads exactly
+    /// `height` blocks (through the pool).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Maximum entries per leaf (the effective `B` of this tree).
+    pub fn leaf_capacity(&self) -> usize {
+        self.leaf_cap
+    }
+
+    /// The buffer pool backing this tree.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Look up `key`, returning its value if present.  Costs ≤ `height`
+    /// I/Os (fewer when upper levels are cached).
+    pub fn get(&self, key: &K) -> Result<Option<V>> {
+        let mut id = self.root;
+        loop {
+            match self.read_node(id)? {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k <= key);
+                    id = children[idx];
+                }
+                Node::Leaf { entries, .. } => {
+                    return Ok(entries
+                        .binary_search_by(|(k, _)| k.cmp(key))
+                        .ok()
+                        .map(|i| entries[i].1.clone()));
+                }
+            }
+        }
+    }
+
+    /// True if `key` is present.
+    pub fn contains(&self, key: &K) -> Result<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    /// Insert or replace; returns the previous value if the key was present.
+    pub fn insert(&mut self, key: K, value: V) -> Result<Option<V>> {
+        let (old, split) = self.insert_rec(self.root, key, value)?;
+        if let Some((sep, right)) = split {
+            let new_root = Node::Internal { keys: vec![sep], children: vec![self.root, right] };
+            self.root = self.alloc_node(&new_root)?;
+            self.height += 1;
+        }
+        if old.is_none() {
+            self.len += 1;
+        }
+        Ok(old)
+    }
+
+    fn insert_rec(&mut self, id: BlockId, key: K, value: V) -> Result<InsertOutcome<K, V>> {
+        match self.read_node(id)? {
+            Node::Leaf { next, mut entries } => {
+                match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+                    Ok(i) => {
+                        let old = std::mem::replace(&mut entries[i].1, value);
+                        self.write_node(id, &Node::Leaf { next, entries })?;
+                        Ok((Some(old), None))
+                    }
+                    Err(i) => {
+                        entries.insert(i, (key, value));
+                        if entries.len() <= self.leaf_cap {
+                            self.write_node(id, &Node::Leaf { next, entries })?;
+                            return Ok((None, None));
+                        }
+                        // Split: right half moves to a fresh node.
+                        let mid = entries.len() / 2;
+                        let right_entries = entries.split_off(mid);
+                        let sep = right_entries[0].0.clone();
+                        let right = Node::Leaf { next, entries: right_entries };
+                        let right_id = self.alloc_node(&right)?;
+                        self.write_node(id, &Node::Leaf { next: Some(right_id), entries })?;
+                        Ok((None, Some((sep, right_id))))
+                    }
+                }
+            }
+            Node::Internal { mut keys, mut children } => {
+                let idx = keys.partition_point(|k| k <= &key);
+                let (old, split) = self.insert_rec(children[idx], key, value)?;
+                if let Some((sep, right_id)) = split {
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, right_id);
+                    if keys.len() <= self.internal_cap {
+                        self.write_node(id, &Node::Internal { keys, children })?;
+                        return Ok((old, None));
+                    }
+                    let mid = keys.len() / 2;
+                    let sep_up = keys[mid].clone();
+                    let right_keys = keys.split_off(mid + 1);
+                    keys.pop(); // drop the separator that moved up
+                    let right_children = children.split_off(mid + 1);
+                    let right_id =
+                        self.alloc_node(&Node::Internal { keys: right_keys, children: right_children })?;
+                    self.write_node(id, &Node::Internal { keys, children })?;
+                    return Ok((old, Some((sep_up, right_id))));
+                }
+                Ok((old, None))
+            }
+        }
+    }
+
+    /// Remove `key`, returning its value if it was present.  Rebalances so
+    /// every non-root node stays at least half full.
+    pub fn remove(&mut self, key: &K) -> Result<Option<V>> {
+        let old = self.remove_rec(self.root, key)?;
+        if old.is_some() {
+            self.len -= 1;
+        }
+        // Collapse a root that lost all its keys.
+        if let Node::Internal { keys, children } = self.read_node(self.root)? {
+            if keys.is_empty() {
+                let only = children[0];
+                self.free_node(self.root)?;
+                self.root = only;
+                self.height -= 1;
+            }
+        }
+        Ok(old)
+    }
+
+    fn remove_rec(&mut self, id: BlockId, key: &K) -> Result<Option<V>> {
+        match self.read_node(id)? {
+            Node::Leaf { next, mut entries } => match entries.binary_search_by(|(k, _)| k.cmp(key)) {
+                Ok(i) => {
+                    let (_, v) = entries.remove(i);
+                    self.write_node(id, &Node::Leaf { next, entries })?;
+                    Ok(Some(v))
+                }
+                Err(_) => Ok(None),
+            },
+            Node::Internal { mut keys, mut children } => {
+                let idx = keys.partition_point(|k| k <= key);
+                let old = self.remove_rec(children[idx], key)?;
+                if old.is_some() && self.is_underfull(children[idx])? {
+                    self.fix_child(&mut keys, &mut children, idx)?;
+                    self.write_node(id, &Node::Internal { keys, children })?;
+                }
+                Ok(old)
+            }
+        }
+    }
+
+    fn is_underfull(&self, id: BlockId) -> Result<bool> {
+        Ok(match self.read_node(id)? {
+            Node::Leaf { entries, .. } => entries.len() < self.leaf_cap.div_ceil(2).max(1),
+            Node::Internal { keys, .. } => keys.len() < self.internal_cap / 2,
+        })
+    }
+
+    /// Restore the invariant for `children[idx]` by borrowing from or
+    /// merging with a sibling.  `keys`/`children` are the parent's decoded
+    /// vectors, mutated in place (caller re-writes the parent).
+    fn fix_child(&mut self, keys: &mut Vec<K>, children: &mut Vec<BlockId>, idx: usize) -> Result<()> {
+        // Prefer the left sibling.
+        if idx > 0 && self.try_borrow_or_merge(keys, children, idx - 1)? {
+            return Ok(());
+        }
+        if idx + 1 < children.len() {
+            self.try_borrow_or_merge(keys, children, idx)?;
+        }
+        Ok(())
+    }
+
+    /// Rebalance the pair `(children[i], children[i+1])` around parent key
+    /// `keys[i]`.  Returns true if anything was done.
+    fn try_borrow_or_merge(&mut self, keys: &mut Vec<K>, children: &mut Vec<BlockId>, i: usize) -> Result<bool> {
+        let (lid, rid) = (children[i], children[i + 1]);
+        match (self.read_node(lid)?, self.read_node(rid)?) {
+            (
+                Node::Leaf { next: lnext, entries: mut le },
+                Node::Leaf { next: rnext, entries: mut re },
+            ) => {
+                let min = self.leaf_cap.div_ceil(2).max(1);
+                if le.len() + re.len() <= self.leaf_cap {
+                    // Merge right into left.
+                    le.append(&mut re);
+                    self.write_node(lid, &Node::Leaf { next: rnext, entries: le })?;
+                    self.free_node(rid)?;
+                    keys.remove(i);
+                    children.remove(i + 1);
+                } else if le.len() < min {
+                    // Borrow from right.
+                    le.push(re.remove(0));
+                    keys[i] = re[0].0.clone();
+                    self.write_node(lid, &Node::Leaf { next: lnext, entries: le })?;
+                    self.write_node(rid, &Node::Leaf { next: rnext, entries: re })?;
+                } else if re.len() < min {
+                    // Borrow from left.
+                    re.insert(0, le.pop().expect("left nonempty"));
+                    keys[i] = re[0].0.clone();
+                    self.write_node(lid, &Node::Leaf { next: lnext, entries: le })?;
+                    self.write_node(rid, &Node::Leaf { next: rnext, entries: re })?;
+                } else {
+                    return Ok(false);
+                }
+                Ok(true)
+            }
+            (
+                Node::Internal { keys: mut lk, children: mut lc },
+                Node::Internal { keys: mut rk, children: mut rc },
+            ) => {
+                let min = self.internal_cap / 2;
+                if lk.len() + rk.len() < self.internal_cap {
+                    // Merge: left + sep + right.
+                    lk.push(keys[i].clone());
+                    lk.append(&mut rk);
+                    lc.append(&mut rc);
+                    self.write_node(lid, &Node::Internal { keys: lk, children: lc })?;
+                    self.free_node(rid)?;
+                    keys.remove(i);
+                    children.remove(i + 1);
+                } else if lk.len() < min {
+                    // Rotate left: sep comes down, right's first key goes up.
+                    lk.push(keys[i].clone());
+                    keys[i] = rk.remove(0);
+                    lc.push(rc.remove(0));
+                    self.write_node(lid, &Node::Internal { keys: lk, children: lc })?;
+                    self.write_node(rid, &Node::Internal { keys: rk, children: rc })?;
+                } else if rk.len() < min {
+                    // Rotate right.
+                    rk.insert(0, keys[i].clone());
+                    keys[i] = lk.pop().expect("left nonempty");
+                    rc.insert(0, lc.pop().expect("left nonempty"));
+                    self.write_node(lid, &Node::Internal { keys: lk, children: lc })?;
+                    self.write_node(rid, &Node::Internal { keys: rk, children: rc })?;
+                } else {
+                    return Ok(false);
+                }
+                Ok(true)
+            }
+            _ => unreachable!("siblings at different levels"),
+        }
+    }
+
+    /// The smallest key and its value (`O(log_B N)` I/Os).
+    pub fn first(&self) -> Result<Option<(K, V)>> {
+        let mut id = self.root;
+        loop {
+            match self.read_node(id)? {
+                Node::Internal { children, .. } => id = children[0],
+                Node::Leaf { entries, .. } => return Ok(entries.first().cloned()),
+            }
+        }
+    }
+
+    /// The largest key and its value (`O(log_B N)` I/Os).
+    pub fn last(&self) -> Result<Option<(K, V)>> {
+        let mut id = self.root;
+        loop {
+            match self.read_node(id)? {
+                Node::Internal { children, .. } => id = *children.last().expect("children"),
+                Node::Leaf { entries, .. } => return Ok(entries.last().cloned()),
+            }
+        }
+    }
+
+    /// Stream all pairs with `lo ≤ key ≤ hi` through `f` in key order
+    /// without materializing them — the answer-set-sized `O(Z)` memory of
+    /// [`range`](Self::range) becomes `O(B)`.
+    pub fn for_each_range<F: FnMut(&K, &V)>(&self, lo: &K, hi: &K, mut f: F) -> Result<()> {
+        if hi < lo {
+            return Ok(());
+        }
+        let mut id = self.root;
+        while let Node::Internal { keys, children } = self.read_node(id)? {
+            let idx = keys.partition_point(|k| k <= lo);
+            id = children[idx];
+        }
+        loop {
+            let Node::Leaf { next, entries } = self.read_node(id)? else {
+                unreachable!("leaf chain contains internal node")
+            };
+            for (k, v) in &entries {
+                if k > hi {
+                    return Ok(());
+                }
+                if k >= lo {
+                    f(k, v);
+                }
+            }
+            match next {
+                Some(n) => id = n,
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// All pairs with `lo ≤ key ≤ hi`, in order: one root-to-leaf descent
+    /// plus a walk along the leaf chain — `O(log_B N + Z/B)` I/Os.
+    pub fn range(&self, lo: &K, hi: &K) -> Result<Vec<(K, V)>> {
+        let mut out = Vec::new();
+        if hi < lo {
+            return Ok(out);
+        }
+        // Descend to the leaf that would contain `lo`.
+        let mut id = self.root;
+        while let Node::Internal { keys, children } = self.read_node(id)? {
+            let idx = keys.partition_point(|k| k <= lo);
+            id = children[idx];
+        }
+        // Walk the chain.
+        loop {
+            let Node::Leaf { next, entries } = self.read_node(id)? else {
+                unreachable!("leaf chain contains internal node")
+            };
+            for (k, v) in entries {
+                if &k > hi {
+                    return Ok(out);
+                }
+                if &k >= lo {
+                    out.push((k, v));
+                }
+            }
+            match next {
+                Some(n) => id = n,
+                None => return Ok(out),
+            }
+        }
+    }
+
+    /// Build a tree from key-sorted pairs, writing each block exactly once
+    /// (`O(N/B)` I/Os) — far cheaper than `N` inserts.
+    ///
+    /// # Panics
+    /// If the input is not strictly increasing by key.
+    pub fn bulk_load<I>(pool: Arc<BufferPool>, sorted: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (K, V)>,
+    {
+        let mut tree = BTree::new(pool)?;
+        // Phase 1: fill leaves left to right.
+        let mut leaves: Vec<(K, BlockId)> = Vec::new(); // (first key, id)
+        let mut current: Vec<(K, V)> = Vec::new();
+        let mut last_key: Option<K> = None;
+        let mut count = 0u64;
+        let fill = tree.leaf_cap.max(2) - tree.leaf_cap / 4; // ~3/4 full
+        let flush =
+            |tree: &mut Self, current: &mut Vec<(K, V)>, leaves: &mut Vec<(K, BlockId)>| -> Result<()> {
+                if current.is_empty() {
+                    return Ok(());
+                }
+                let first = current[0].0.clone();
+                let id = tree.alloc_node(&Node::Leaf { next: None, entries: std::mem::take(current) })?;
+                leaves.push((first, id));
+                Ok(())
+            };
+        for (k, v) in sorted {
+            if let Some(prev) = &last_key {
+                assert!(prev < &k, "bulk_load input must be strictly increasing");
+            }
+            last_key = Some(k.clone());
+            current.push((k, v));
+            count += 1;
+            if current.len() == fill {
+                flush(&mut tree, &mut current, &mut leaves)?;
+            }
+        }
+        // Avoid an underfull final leaf by stealing from the previous one.
+        if !current.is_empty() && !leaves.is_empty() && current.len() < fill.div_ceil(2) {
+            let (_, prev_id) = leaves.pop().expect("nonempty");
+            let Node::Leaf { entries: mut prev_entries, .. } = tree.read_node(prev_id)? else {
+                unreachable!()
+            };
+            prev_entries.append(&mut current);
+            let half = prev_entries.len() / 2;
+            current = prev_entries.split_off(half);
+            let first = prev_entries[0].0.clone();
+            tree.write_node(prev_id, &Node::Leaf { next: None, entries: prev_entries })?;
+            leaves.push((first, prev_id));
+        }
+        flush(&mut tree, &mut current, &mut leaves)?;
+
+        if leaves.is_empty() {
+            return Ok(tree); // empty input: keep the fresh empty root
+        }
+        // Chain the leaves.
+        for w in leaves.windows(2) {
+            let (_, id) = &w[0];
+            let Node::Leaf { entries, .. } = tree.read_node(*id)? else { unreachable!() };
+            tree.write_node(*id, &Node::Leaf { next: Some(w[1].1), entries })?;
+        }
+        // Phase 2: build internal levels.
+        tree.free_node(tree.root)?; // drop the placeholder empty root
+        let mut level: Vec<(K, BlockId)> = leaves;
+        let mut height = 1;
+        let group = tree.internal_cap / 2 + 1; // children per internal node (~half full)
+        while level.len() > 1 {
+            let mut next_level = Vec::with_capacity(level.len() / group + 1);
+            let mut i = 0;
+            while i < level.len() {
+                let mut take = group.min(level.len() - i);
+                // Never leave a single orphan child for the next group.
+                if level.len() - i - take == 1 {
+                    take -= 1;
+                }
+                let slice = &level[i..i + take];
+                let keys: Vec<K> = slice[1..].iter().map(|(k, _)| k.clone()).collect();
+                let children: Vec<BlockId> = slice.iter().map(|(_, id)| *id).collect();
+                let first = slice[0].0.clone();
+                let id = tree.alloc_node(&Node::Internal { keys, children })?;
+                next_level.push((first, id));
+                i += take;
+            }
+            level = next_level;
+            height += 1;
+        }
+        tree.root = level[0].1;
+        tree.height = height;
+        tree.len = count;
+        Ok(tree)
+    }
+
+    /// Verify structural invariants (sorted keys, occupancy, leaf chain,
+    /// uniform depth); test support.  Costs a full tree scan.
+    pub fn check_invariants(&self) -> Result<()> {
+        let mut leaf_depths = Vec::new();
+        self.check_rec(self.root, 1, None, None, &mut leaf_depths)?;
+        assert!(leaf_depths.windows(2).all(|w| w[0] == w[1]), "leaves at differing depths");
+        if let Some(&d) = leaf_depths.first() {
+            assert_eq!(d, self.height, "height mismatch");
+        }
+        Ok(())
+    }
+
+    fn check_rec(
+        &self,
+        id: BlockId,
+        depth: u32,
+        lo: Option<&K>,
+        hi: Option<&K>,
+        leaf_depths: &mut Vec<u32>,
+    ) -> Result<u64> {
+        match self.read_node(id)? {
+            Node::Leaf { entries, .. } => {
+                assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "leaf keys unsorted");
+                for (k, _) in &entries {
+                    assert!(lo.is_none_or(|l| l <= k), "key below subtree range");
+                    assert!(hi.is_none_or(|h| k < h), "key above subtree range");
+                }
+                if id != self.root {
+                    assert!(
+                        entries.len() >= self.leaf_cap.div_ceil(2).max(1).saturating_sub(1),
+                        "underfull leaf"
+                    );
+                }
+                leaf_depths.push(depth);
+                Ok(entries.len() as u64)
+            }
+            Node::Internal { keys, children } => {
+                assert!(!keys.is_empty() || id == self.root, "empty internal node");
+                assert_eq!(children.len(), keys.len() + 1);
+                assert!(keys.windows(2).all(|w| w[0] < w[1]), "internal keys unsorted");
+                let mut total = 0;
+                for (i, child) in children.iter().enumerate() {
+                    let clo = if i == 0 { lo } else { Some(&keys[i - 1]) };
+                    let chi = if i == keys.len() { hi } else { Some(&keys[i]) };
+                    total += self.check_rec(*child, depth + 1, clo, chi, leaf_depths)?;
+                }
+                Ok(total)
+            }
+        }
+    }
+
+    // ---- node (de)serialization ----------------------------------------
+
+    fn read_node(&self, id: BlockId) -> Result<Node<K, V>> {
+        let frame = self.pool.read(id)?;
+        Ok(Self::decode(&frame))
+    }
+
+    fn write_node(&self, id: BlockId, node: &Node<K, V>) -> Result<()> {
+        let mut frame = self.pool.write(id)?;
+        Self::encode(node, &mut frame);
+        Ok(())
+    }
+
+    fn alloc_node(&self, node: &Node<K, V>) -> Result<BlockId> {
+        let (id, mut frame) = self.pool.allocate()?;
+        Self::encode(node, &mut frame);
+        Ok(id)
+    }
+
+    fn free_node(&self, id: BlockId) -> Result<()> {
+        self.pool.discard(id);
+        self.pool.device().free(id)
+    }
+
+    fn decode(buf: &[u8]) -> Node<K, V> {
+        let tag = buf[0];
+        let count = u16::from_le_bytes([buf[1], buf[2]]) as usize;
+        if tag == 0 {
+            let next_raw = u64::from_le_bytes(buf[3..11].try_into().expect("8 bytes"));
+            let next = if next_raw == NO_NEXT { None } else { Some(next_raw) };
+            let mut entries = Vec::with_capacity(count);
+            let mut at = 11;
+            for _ in 0..count {
+                let k = K::read_from(&buf[at..at + K::BYTES]);
+                at += K::BYTES;
+                let v = V::read_from(&buf[at..at + V::BYTES]);
+                at += V::BYTES;
+                entries.push((k, v));
+            }
+            Node::Leaf { next, entries }
+        } else {
+            let mut keys = Vec::with_capacity(count);
+            let mut at = 3;
+            for _ in 0..count {
+                keys.push(K::read_from(&buf[at..at + K::BYTES]));
+                at += K::BYTES;
+            }
+            let mut children = Vec::with_capacity(count + 1);
+            for _ in 0..count + 1 {
+                children.push(u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes")));
+                at += 8;
+            }
+            Node::Internal { keys, children }
+        }
+    }
+
+    fn encode(node: &Node<K, V>, buf: &mut [u8]) {
+        buf.fill(0);
+        match node {
+            Node::Leaf { next, entries } => {
+                buf[0] = 0;
+                buf[1..3].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+                buf[3..11].copy_from_slice(&next.unwrap_or(NO_NEXT).to_le_bytes());
+                let mut at = 11;
+                for (k, v) in entries {
+                    k.write_to(&mut buf[at..at + K::BYTES]);
+                    at += K::BYTES;
+                    v.write_to(&mut buf[at..at + V::BYTES]);
+                    at += V::BYTES;
+                }
+            }
+            Node::Internal { keys, children } => {
+                debug_assert_eq!(children.len(), keys.len() + 1);
+                buf[0] = 1;
+                buf[1..3].copy_from_slice(&(keys.len() as u16).to_le_bytes());
+                let mut at = 3;
+                for k in keys {
+                    k.write_to(&mut buf[at..at + K::BYTES]);
+                    at += K::BYTES;
+                }
+                for c in children {
+                    buf[at..at + 8].copy_from_slice(&c.to_le_bytes());
+                    at += 8;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::EmConfig;
+    use pdm::EvictionPolicy;
+    use rand::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn pool(block_bytes: usize, frames: usize) -> Arc<BufferPool> {
+        let device = EmConfig::new(block_bytes, frames.max(4)).ram_disk();
+        BufferPool::new(device, frames, EvictionPolicy::Lru)
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut t: BTree<u64, u64> = BTree::new(pool(128, 8)).unwrap();
+        assert_eq!(t.insert(5, 50).unwrap(), None);
+        assert_eq!(t.insert(3, 30).unwrap(), None);
+        assert_eq!(t.insert(5, 55).unwrap(), Some(50), "replace returns old value");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&5).unwrap(), Some(55));
+        assert_eq!(t.get(&3).unwrap(), Some(30));
+        assert_eq!(t.get(&4).unwrap(), None);
+    }
+
+    #[test]
+    fn many_inserts_match_model() {
+        let mut t: BTree<u64, u64> = BTree::new(pool(128, 16)).unwrap();
+        let mut model = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..3000 {
+            let k = rng.gen_range(0..1000u64);
+            let v = rng.gen();
+            assert_eq!(t.insert(k, v).unwrap(), model.insert(k, v));
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len() as usize, model.len());
+        for k in 0..1000u64 {
+            assert_eq!(t.get(&k).unwrap(), model.get(&k).copied(), "key {k}");
+        }
+    }
+
+    #[test]
+    fn deletes_match_model_with_rebalancing() {
+        let mut t: BTree<u64, u64> = BTree::new(pool(128, 16)).unwrap();
+        let mut model = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(43);
+        for _ in 0..2000 {
+            let k = rng.gen_range(0..500u64);
+            let v = rng.gen();
+            t.insert(k, v).unwrap();
+            model.insert(k, v);
+        }
+        for _ in 0..3000 {
+            let k = rng.gen_range(0..500u64);
+            assert_eq!(t.remove(&k).unwrap(), model.remove(&k), "remove {k}");
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len() as usize, model.len());
+        for k in 0..500u64 {
+            assert_eq!(t.get(&k).unwrap(), model.get(&k).copied());
+        }
+    }
+
+    #[test]
+    fn delete_everything_collapses_to_leaf_root() {
+        let mut t: BTree<u64, u64> = BTree::new(pool(128, 16)).unwrap();
+        for k in 0..500u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert!(t.height() > 1);
+        for k in 0..500u64 {
+            assert_eq!(t.remove(&k).unwrap(), Some(k));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        t.check_invariants().unwrap();
+        // Tree remains usable.
+        t.insert(7, 70).unwrap();
+        assert_eq!(t.get(&7).unwrap(), Some(70));
+    }
+
+    #[test]
+    fn range_scan_inclusive() {
+        let mut t: BTree<u64, u64> = BTree::new(pool(128, 16)).unwrap();
+        for k in (0..1000u64).step_by(2) {
+            t.insert(k, k * 10).unwrap();
+        }
+        let got = t.range(&100, &120).unwrap();
+        let expect: Vec<(u64, u64)> = (100..=120).step_by(2).map(|k| (k, k * 10)).collect();
+        assert_eq!(got, expect);
+        assert_eq!(t.range(&7, &7).unwrap(), vec![]);
+        assert_eq!(t.range(&8, &8).unwrap(), vec![(8, 80)]);
+        assert!(t.range(&10, &5).unwrap().is_empty(), "inverted range is empty");
+        // Full range covers everything.
+        assert_eq!(t.range(&0, &u64::MAX).unwrap().len() as u64, t.len());
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        let pairs: Vec<(u64, u64)> = (0..2500u64).map(|k| (k * 3, k)).collect();
+        let t = BTree::bulk_load(pool(128, 16), pairs.iter().cloned()).unwrap();
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), 2500);
+        for (k, v) in &pairs {
+            assert_eq!(t.get(k).unwrap(), Some(*v));
+        }
+        assert_eq!(t.get(&1).unwrap(), None);
+        assert_eq!(t.range(&0, &u64::MAX).unwrap(), pairs);
+    }
+
+    #[test]
+    fn bulk_load_small_inputs() {
+        for n in [0u64, 1, 2, 5, 7, 8] {
+            let pairs: Vec<(u64, u64)> = (0..n).map(|k| (k, k)).collect();
+            let t = BTree::bulk_load(pool(128, 8), pairs.iter().cloned()).unwrap();
+            t.check_invariants().unwrap();
+            assert_eq!(t.len(), n);
+            assert_eq!(t.range(&0, &u64::MAX).unwrap(), pairs, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn bulk_load_rejects_unsorted() {
+        let _ = BTree::<u64, u64>::bulk_load(pool(128, 8), vec![(2, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn bulk_load_io_is_linear() {
+        let p = pool(128, 8);
+        let device = p.device().clone();
+        let n = 4000u64;
+        let before = device.stats().snapshot();
+        let t = BTree::bulk_load(p, (0..n).map(|k| (k, k))).unwrap();
+        t.pool().flush().unwrap();
+        let d = device.stats().snapshot().since(&before);
+        // Leaf cap = (128-11)/16 = 7, ~3/4 fill → ~800 leaves; internal
+        // nodes add ~25%.  Anything near N/leaf-fill is linear; reject a
+        // log-factor blow-up.
+        assert!(d.writes() < 2200, "bulk load wrote {} blocks", d.writes());
+    }
+
+    #[test]
+    fn lookup_io_matches_height() {
+        let p = pool(128, 4); // tiny pool: only 4 frames
+        let device = p.device().clone();
+        let t = BTree::bulk_load(p, (0..50_000u64).map(|k| (k, k))).unwrap();
+        let height = t.height();
+        // B_effective = 7..8 → height ≈ log_7(50_000 / 5) ≈ 5.
+        assert!((4..=8).contains(&height), "height {height}");
+        let mut rng = StdRng::seed_from_u64(44);
+        let mut worst = 0;
+        for _ in 0..50 {
+            let k = rng.gen_range(0..50_000u64);
+            let before = device.stats().snapshot();
+            assert_eq!(t.get(&k).unwrap(), Some(k));
+            let ios = device.stats().snapshot().since(&before).reads();
+            worst = worst.max(ios);
+        }
+        assert!(worst <= height as u64, "lookup took {worst} I/Os, height {height}");
+    }
+
+    #[test]
+    fn hot_root_is_cached() {
+        let p = pool(128, 16);
+        let device = p.device().clone();
+        let t = BTree::bulk_load(p, (0..1000u64).map(|k| (k, k))).unwrap();
+        // Warm the pool.
+        t.get(&500).unwrap();
+        let before = device.stats().snapshot();
+        t.get(&500).unwrap();
+        let d = device.stats().snapshot().since(&before);
+        assert_eq!(d.reads(), 0, "repeated lookup should be fully cached");
+    }
+
+    #[test]
+    fn first_and_last() {
+        let mut t: BTree<u64, u64> = BTree::new(pool(128, 16)).unwrap();
+        assert_eq!(t.first().unwrap(), None);
+        assert_eq!(t.last().unwrap(), None);
+        for k in [50u64, 10, 90, 30, 70] {
+            t.insert(k, k * 2).unwrap();
+        }
+        assert_eq!(t.first().unwrap(), Some((10, 20)));
+        assert_eq!(t.last().unwrap(), Some((90, 180)));
+        // Survives splits.
+        for k in 100..1000u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert_eq!(t.first().unwrap(), Some((10, 20)));
+        assert_eq!(t.last().unwrap(), Some((999, 999)));
+    }
+
+    #[test]
+    fn for_each_range_streams_in_order() {
+        let t = BTree::bulk_load(pool(128, 16), (0..500u64).map(|k| (k * 2, k))).unwrap();
+        let mut got = Vec::new();
+        t.for_each_range(&100, &140, |k, v| got.push((*k, *v))).unwrap();
+        assert_eq!(got, (50..=70).map(|k| (k * 2, k)).collect::<Vec<_>>());
+        // Agrees with the materializing variant everywhere.
+        let mut all = Vec::new();
+        t.for_each_range(&0, &u64::MAX, |k, v| all.push((*k, *v))).unwrap();
+        assert_eq!(all, t.range(&0, &u64::MAX).unwrap());
+        // Inverted range is a no-op.
+        let mut none = Vec::new();
+        t.for_each_range(&10, &5, |k, v| none.push((*k, *v))).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn string_like_keys_via_fixed_tuples() {
+        // Composite keys work as long as they implement Record + Ord.
+        let mut t: BTree<(u32, u32), u64> = BTree::new(pool(128, 8)).unwrap();
+        t.insert((1, 2), 12).unwrap();
+        t.insert((1, 1), 11).unwrap();
+        t.insert((0, 9), 9).unwrap();
+        assert_eq!(
+            t.range(&(0, 0), &(1, 1)).unwrap(),
+            vec![((0, 9), 9), ((1, 1), 11)]
+        );
+    }
+}

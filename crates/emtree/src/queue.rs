@@ -1,0 +1,206 @@
+//! External FIFO queue: `O(1/B)` amortized I/Os per operation.
+//!
+//! Two one-block memory buffers — one at the head (for pops) and one at the
+//! tail (for pushes) — plus a chain of full blocks on disk between them.
+//! Every record is written at most once and read at most once, so any
+//! sequence of `S` operations costs `O(S/B)` I/Os (experiment F8).
+
+use std::collections::VecDeque;
+
+use em_core::Record;
+use pdm::{BlockId, Result, SharedDevice};
+
+/// An unbounded FIFO queue of records on a block device, holding at most
+/// two blocks of records in memory.
+pub struct ExtQueue<R: Record> {
+    device: SharedDevice,
+    /// Full spilled blocks, front of the queue first.
+    blocks: VecDeque<BlockId>,
+    /// Records ready to pop (front of queue).
+    head: VecDeque<R>,
+    /// Records recently pushed (back of queue).
+    tail: Vec<R>,
+    per_block: usize,
+    len: u64,
+    byte_buf: Box<[u8]>,
+}
+
+impl<R: Record> ExtQueue<R> {
+    /// Create an empty queue on `device`.
+    pub fn new(device: SharedDevice) -> Self {
+        let per_block = (device.block_size() / R::BYTES).max(1);
+        assert!(device.block_size() / R::BYTES >= 1, "record larger than block");
+        let byte_buf = vec![0u8; device.block_size()].into_boxed_slice();
+        ExtQueue {
+            device,
+            blocks: VecDeque::new(),
+            head: VecDeque::new(),
+            tail: Vec::with_capacity(per_block),
+            per_block,
+            len: 0,
+            byte_buf,
+        }
+    }
+
+    /// Number of records in the queue.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append a record at the back.
+    pub fn push(&mut self, r: R) -> Result<()> {
+        self.tail.push(r);
+        self.len += 1;
+        if self.tail.len() == self.per_block {
+            // Spill the tail buffer as one full block.
+            for (i, rec) in self.tail.iter().enumerate() {
+                rec.write_to(&mut self.byte_buf[i * R::BYTES..(i + 1) * R::BYTES]);
+            }
+            let id = self.device.allocate()?;
+            self.device.write_block(id, &self.byte_buf)?;
+            self.blocks.push_back(id);
+            self.tail.clear();
+        }
+        Ok(())
+    }
+
+    /// Remove and return the front record.
+    pub fn pop(&mut self) -> Result<Option<R>> {
+        self.refill_head()?;
+        let r = self.head.pop_front();
+        if r.is_some() {
+            self.len -= 1;
+        }
+        Ok(r)
+    }
+
+    /// Peek at the front record.
+    pub fn peek(&mut self) -> Result<Option<&R>> {
+        self.refill_head()?;
+        Ok(self.head.front())
+    }
+
+    fn refill_head(&mut self) -> Result<()> {
+        if !self.head.is_empty() {
+            return Ok(());
+        }
+        if let Some(id) = self.blocks.pop_front() {
+            self.device.read_block(id, &mut self.byte_buf)?;
+            self.device.free(id)?;
+            for i in 0..self.per_block {
+                self.head.push_back(R::read_from(&self.byte_buf[i * R::BYTES..(i + 1) * R::BYTES]));
+            }
+        } else if !self.tail.is_empty() {
+            // No full blocks between head and tail: drain the tail directly.
+            self.head.extend(self.tail.drain(..));
+        }
+        Ok(())
+    }
+
+    /// Release all spilled blocks.
+    pub fn clear(&mut self) -> Result<()> {
+        for id in self.blocks.drain(..) {
+            self.device.free(id)?;
+        }
+        self.head.clear();
+        self.tail.clear();
+        self.len = 0;
+        Ok(())
+    }
+}
+
+impl<R: Record> Drop for ExtQueue<R> {
+    fn drop(&mut self) {
+        let _ = self.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::EmConfig;
+    use rand::prelude::*;
+
+    fn device() -> SharedDevice {
+        EmConfig::new(64, 8).ram_disk() // B = 8 u64s
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = ExtQueue::new(device());
+        for i in 0..100u64 {
+            q.push(i).unwrap();
+        }
+        for i in 0..100u64 {
+            assert_eq!(q.pop().unwrap(), Some(i));
+        }
+        assert_eq!(q.pop().unwrap(), None);
+    }
+
+    #[test]
+    fn randomized_against_vecdeque() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut q = ExtQueue::new(device());
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next = 0u64;
+        for _ in 0..5000 {
+            if rng.gen_bool(0.55) || model.is_empty() {
+                q.push(next).unwrap();
+                model.push_back(next);
+                next += 1;
+            } else {
+                assert_eq!(q.pop().unwrap(), model.pop_front());
+            }
+            assert_eq!(q.len() as usize, model.len());
+        }
+        while let Some(expect) = model.pop_front() {
+            assert_eq!(q.pop().unwrap(), Some(expect));
+        }
+    }
+
+    #[test]
+    fn amortized_io_is_one_over_b() {
+        let device = device();
+        let mut q = ExtQueue::new(device.clone());
+        let n = 8000u64;
+        let before = device.stats().snapshot();
+        for i in 0..n {
+            q.push(i).unwrap();
+        }
+        for _ in 0..n {
+            q.pop().unwrap().unwrap();
+        }
+        let d = device.stats().snapshot().since(&before);
+        assert!(d.total() <= 2 * n / 8 + 4, "queue used {} I/Os", d.total());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = ExtQueue::new(device());
+        assert_eq!(q.peek().unwrap(), None);
+        q.push(1u64).unwrap();
+        q.push(2u64).unwrap();
+        assert_eq!(q.peek().unwrap(), Some(&1));
+        assert_eq!(q.peek().unwrap(), Some(&1));
+        assert_eq!(q.pop().unwrap(), Some(1));
+        assert_eq!(q.peek().unwrap(), Some(&2));
+    }
+
+    #[test]
+    fn drop_releases_blocks() {
+        let device = device();
+        {
+            let mut q = ExtQueue::new(device.clone());
+            for i in 0..1000u64 {
+                q.push(i).unwrap();
+            }
+            assert!(device.allocated_blocks() > 0);
+        }
+        assert_eq!(device.allocated_blocks(), 0);
+    }
+}

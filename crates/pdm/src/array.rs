@@ -1,0 +1,335 @@
+//! Multi-disk arrays: striping versus independent disks.
+//!
+//! The survey highlights two ways to use `D` disks:
+//!
+//! * **Disk striping** treats the array as one logical disk with block size
+//!   `D·B`: every logical transfer moves one physical block on *each* disk,
+//!   in parallel.  Striping is simple and gives perfect parallelism on every
+//!   I/O, but because the effective block size grows to `D·B` it shrinks the
+//!   merge/distribution fan-in from `Θ(M/B)` to `Θ(M/(DB))` — which is where
+//!   the well-known `log` factor loss of striped sorting comes from
+//!   (experiment F5).
+//! * **Independent disks** keep block size `B` and place each logical block
+//!   on a single disk; the algorithm is responsible for spreading accesses so
+//!   the parallel I/O time `max_d(transfers_d)` approaches `total/D`.
+//!
+//! `DiskArray` implements [`BlockDevice`] in both modes, so every algorithm
+//! in the workspace runs unchanged on 1 disk, a striped array, or an
+//! independent array.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::device::{BlockDevice, BlockId};
+use crate::error::{PdmError, Result};
+use crate::file_disk::FileDisk;
+use crate::ram_disk::RamDisk;
+use crate::stats::IoStats;
+
+/// How logical blocks map onto the member disks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// One logical block = `D` physical blocks, one per disk (block size
+    /// `D·B`); every I/O touches every disk.
+    Striped,
+    /// One logical block = one physical block on one disk (block size `B`);
+    /// blocks are spread round-robin unless placed explicitly with
+    /// [`DiskArray::allocate_on`].
+    Independent,
+}
+
+/// An array of `D` disks (RAM- or file-backed) sharing one [`IoStats`]
+/// with a lane per disk.
+pub struct DiskArray {
+    disks: Vec<Box<dyn BlockDevice>>,
+    placement: Placement,
+    physical_block: usize,
+    stats: Arc<IoStats>,
+    next_disk: AtomicUsize,
+}
+
+impl DiskArray {
+    /// Create an array of `d` RAM disks with physical block size
+    /// `physical_block` bytes.
+    pub fn new_ram(d: usize, physical_block: usize, placement: Placement) -> Arc<Self> {
+        assert!(d >= 1, "need at least one disk");
+        assert!(physical_block > 0);
+        let stats = IoStats::new(d, physical_block);
+        let disks = (0..d)
+            .map(|lane| {
+                Box::new(RamDisk::with_stats(physical_block, Arc::clone(&stats), lane))
+                    as Box<dyn BlockDevice>
+            })
+            .collect();
+        Arc::new(DiskArray { disks, placement, physical_block, stats, next_disk: AtomicUsize::new(0) })
+    }
+
+    /// Create an array of `d` file-backed disks under `dir` (one file per
+    /// disk — the real parallel-disk layout) with physical block size
+    /// `physical_block` bytes.
+    pub fn new_file(
+        dir: &std::path::Path,
+        d: usize,
+        physical_block: usize,
+        placement: Placement,
+    ) -> Result<Arc<Self>> {
+        assert!(d >= 1, "need at least one disk");
+        assert!(physical_block > 0);
+        std::fs::create_dir_all(dir)?;
+        let stats = IoStats::new(d, physical_block);
+        let mut disks: Vec<Box<dyn BlockDevice>> = Vec::with_capacity(d);
+        for lane in 0..d {
+            let path = dir.join(format!("disk{lane}.bin"));
+            disks.push(Box::new(FileDisk::create_with_stats(
+                path,
+                physical_block,
+                Arc::clone(&stats),
+                lane,
+            )?));
+        }
+        Ok(Arc::new(DiskArray { disks, placement, physical_block, stats, next_disk: AtomicUsize::new(0) }))
+    }
+
+    /// Number of member disks.
+    pub fn disks(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// The placement mode of this array.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// Which disk an independent-mode logical block lives on.
+    ///
+    /// Panics if the array is striped (striped blocks live on every disk).
+    pub fn disk_of(&self, id: BlockId) -> usize {
+        assert_eq!(self.placement, Placement::Independent);
+        (id % self.disks.len() as u64) as usize
+    }
+
+    /// Allocate an independent-mode block on a specific disk.
+    ///
+    /// Independent-disk algorithms (e.g. randomized striped merging) use this
+    /// to control data placement.  Panics if the array is striped.
+    pub fn allocate_on(&self, disk: usize) -> Result<BlockId> {
+        assert_eq!(self.placement, Placement::Independent);
+        let d = self.disks.len() as u64;
+        let phys = self.disks[disk].allocate()?;
+        Ok(phys * d + disk as u64)
+    }
+
+    fn split_independent(&self, id: BlockId) -> (usize, BlockId) {
+        let d = self.disks.len() as u64;
+        ((id % d) as usize, id / d)
+    }
+}
+
+impl BlockDevice for DiskArray {
+    fn block_size(&self) -> usize {
+        match self.placement {
+            Placement::Striped => self.physical_block * self.disks.len(),
+            Placement::Independent => self.physical_block,
+        }
+    }
+
+    fn allocated_blocks(&self) -> u64 {
+        match self.placement {
+            Placement::Striped => self.disks[0].allocated_blocks(),
+            Placement::Independent => self.disks.iter().map(|d| d.allocated_blocks()).sum(),
+        }
+    }
+
+    fn allocate(&self) -> Result<BlockId> {
+        match self.placement {
+            Placement::Striped => {
+                // Keep member disks in lockstep: the logical id is the common
+                // physical id on every disk.
+                let first = self.disks[0].allocate()?;
+                for disk in &self.disks[1..] {
+                    let id = disk.allocate()?;
+                    debug_assert_eq!(id, first, "striped disks out of lockstep");
+                }
+                Ok(first)
+            }
+            Placement::Independent => {
+                let disk = self.next_disk.fetch_add(1, Ordering::Relaxed) % self.disks.len();
+                self.allocate_on(disk)
+            }
+        }
+    }
+
+    fn free(&self, id: BlockId) -> Result<()> {
+        match self.placement {
+            Placement::Striped => {
+                for disk in &self.disks {
+                    disk.free(id)?;
+                }
+                Ok(())
+            }
+            Placement::Independent => {
+                let (disk, phys) = self.split_independent(id);
+                self.disks[disk].free(phys)
+            }
+        }
+    }
+
+    fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<()> {
+        let bs = self.block_size();
+        if buf.len() != bs {
+            return Err(PdmError::SizeMismatch { expected: bs, actual: buf.len() });
+        }
+        match self.placement {
+            Placement::Striped => {
+                for (d, chunk) in buf.chunks_mut(self.physical_block).enumerate() {
+                    self.disks[d].read_block(id, chunk)?;
+                }
+                Ok(())
+            }
+            Placement::Independent => {
+                let (disk, phys) = self.split_independent(id);
+                self.disks[disk].read_block(phys, buf)
+            }
+        }
+    }
+
+    fn write_block(&self, id: BlockId, buf: &[u8]) -> Result<()> {
+        let bs = self.block_size();
+        if buf.len() != bs {
+            return Err(PdmError::SizeMismatch { expected: bs, actual: buf.len() });
+        }
+        match self.placement {
+            Placement::Striped => {
+                for (d, chunk) in buf.chunks(self.physical_block).enumerate() {
+                    self.disks[d].write_block(id, chunk)?;
+                }
+                Ok(())
+            }
+            Placement::Independent => {
+                let (disk, phys) = self.split_independent(id);
+                self.disks[disk].write_block(phys, buf)
+            }
+        }
+    }
+
+    fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn striped_block_size_is_d_times_b() {
+        let arr = DiskArray::new_ram(4, 64, Placement::Striped);
+        assert_eq!(arr.block_size(), 256);
+    }
+
+    #[test]
+    fn striped_io_touches_every_disk() {
+        let arr = DiskArray::new_ram(3, 8, Placement::Striped);
+        let id = arr.allocate().unwrap();
+        let data: Vec<u8> = (0..24).collect();
+        arr.write_block(id, &data).unwrap();
+        let mut out = vec![0u8; 24];
+        arr.read_block(id, &mut out).unwrap();
+        assert_eq!(out, data);
+        let snap = arr.stats().snapshot();
+        // one logical read + one logical write = 1 transfer per disk each
+        assert_eq!(snap.total(), 6);
+        assert_eq!(snap.parallel_time(), 2);
+        for d in 0..3 {
+            assert_eq!(snap.reads_on(d), 1);
+            assert_eq!(snap.writes_on(d), 1);
+        }
+    }
+
+    #[test]
+    fn independent_round_robin_spreads_blocks() {
+        let arr = DiskArray::new_ram(2, 8, Placement::Independent);
+        assert_eq!(arr.block_size(), 8);
+        let a = arr.allocate().unwrap();
+        let b = arr.allocate().unwrap();
+        assert_ne!(arr.disk_of(a), arr.disk_of(b));
+        arr.write_block(a, &[1u8; 8]).unwrap();
+        arr.write_block(b, &[2u8; 8]).unwrap();
+        let mut out = [0u8; 8];
+        arr.read_block(a, &mut out).unwrap();
+        assert_eq!(out, [1u8; 8]);
+        arr.read_block(b, &mut out).unwrap();
+        assert_eq!(out, [2u8; 8]);
+        let snap = arr.stats().snapshot();
+        assert_eq!(snap.total(), 4);
+        assert_eq!(snap.parallel_time(), 2, "balanced load halves parallel time");
+    }
+
+    #[test]
+    fn allocate_on_places_explicitly() {
+        let arr = DiskArray::new_ram(4, 8, Placement::Independent);
+        let id = arr.allocate_on(3).unwrap();
+        assert_eq!(arr.disk_of(id), 3);
+        arr.write_block(id, &[5u8; 8]).unwrap();
+        let snap = arr.stats().snapshot();
+        assert_eq!(snap.writes_on(3), 1);
+        assert_eq!(snap.writes_on(0), 0);
+    }
+
+    #[test]
+    fn independent_free_and_reuse() {
+        let arr = DiskArray::new_ram(2, 8, Placement::Independent);
+        let a = arr.allocate_on(1).unwrap();
+        arr.free(a).unwrap();
+        let b = arr.allocate_on(1).unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod file_array_tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pdm-array-{tag}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn file_backed_striped_round_trip() {
+        let dir = tmpdir("striped");
+        let arr = DiskArray::new_file(&dir, 3, 16, Placement::Striped).unwrap();
+        assert_eq!(arr.block_size(), 48);
+        let id = arr.allocate().unwrap();
+        let data: Vec<u8> = (0..48).collect();
+        arr.write_block(id, &data).unwrap();
+        let mut out = vec![0u8; 48];
+        arr.read_block(id, &mut out).unwrap();
+        assert_eq!(out, data);
+        // One backing file per disk exists.
+        for lane in 0..3 {
+            assert!(dir.join(format!("disk{lane}.bin")).exists());
+        }
+        let snap = arr.stats().snapshot();
+        assert_eq!(snap.parallel_time(), 2); // 1 read + 1 write per disk
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn file_backed_independent_round_trip() {
+        let dir = tmpdir("indep");
+        let arr = DiskArray::new_file(&dir, 2, 16, Placement::Independent).unwrap();
+        let a = arr.allocate().unwrap();
+        let b = arr.allocate().unwrap();
+        assert_ne!(arr.disk_of(a), arr.disk_of(b));
+        arr.write_block(a, &[7u8; 16]).unwrap();
+        arr.write_block(b, &[8u8; 16]).unwrap();
+        let mut out = [0u8; 16];
+        arr.read_block(a, &mut out).unwrap();
+        assert_eq!(out, [7u8; 16]);
+        arr.read_block(b, &mut out).unwrap();
+        assert_eq!(out, [8u8; 16]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

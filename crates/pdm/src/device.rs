@@ -1,0 +1,48 @@
+//! The block-device abstraction.
+
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::stats::IoStats;
+
+/// Identifier of one block on a device.
+///
+/// Ids are allocated by [`BlockDevice::allocate`] and remain valid until
+/// [`BlockDevice::free`].  They carry no locality meaning by themselves; a
+/// device is free to reuse freed ids.
+pub type BlockId = u64;
+
+/// A device transferring data in fixed-size blocks — the "disk" of the
+/// Parallel Disk Model.
+///
+/// All transfers move exactly [`block_size`](Self::block_size) bytes and are
+/// counted in the device's [`IoStats`].  Implementations must be safe to
+/// share across threads behind an `Arc` (interior mutability), because the
+/// higher layers clone [`SharedDevice`] handles freely.
+pub trait BlockDevice: Send + Sync {
+    /// Size of one block, in bytes.
+    fn block_size(&self) -> usize;
+
+    /// Number of currently allocated blocks.
+    fn allocated_blocks(&self) -> u64;
+
+    /// Allocate a fresh zeroed block and return its id.
+    fn allocate(&self) -> Result<BlockId>;
+
+    /// Release a block.  Reading a freed block is an error.
+    fn free(&self, id: BlockId) -> Result<()>;
+
+    /// Read block `id` into `buf` (`buf.len()` must equal the block size).
+    /// Counts as one I/O.
+    fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<()>;
+
+    /// Write `buf` to block `id` (`buf.len()` must equal the block size).
+    /// Counts as one I/O.
+    fn write_block(&self, id: BlockId, buf: &[u8]) -> Result<()>;
+
+    /// The statistics handle transfers are recorded into.
+    fn stats(&self) -> Arc<IoStats>;
+}
+
+/// Shared handle to a block device.
+pub type SharedDevice = Arc<dyn BlockDevice>;

@@ -1,0 +1,58 @@
+//! Error type shared by the PDM substrate.
+
+use std::fmt;
+
+/// Errors raised by block devices and the buffer pool.
+#[derive(Debug)]
+pub enum PdmError {
+    /// A block id referred to a block that was never allocated or has been
+    /// freed.
+    InvalidBlock(super::BlockId),
+    /// A read or write buffer did not match the device block size.
+    SizeMismatch {
+        /// Block size of the device, in bytes.
+        expected: usize,
+        /// Size of the buffer handed to the device, in bytes.
+        actual: usize,
+    },
+    /// The device ran out of capacity (only possible for bounded devices).
+    OutOfSpace,
+    /// Every frame in the buffer pool is pinned, so nothing can be evicted.
+    PoolExhausted,
+    /// An underlying file operation failed (file-backed devices only).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for PdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdmError::InvalidBlock(id) => write!(f, "invalid block id {id}"),
+            PdmError::SizeMismatch { expected, actual } => {
+                write!(f, "buffer size {actual} does not match block size {expected}")
+            }
+            PdmError::OutOfSpace => write!(f, "device out of space"),
+            PdmError::PoolExhausted => {
+                write!(f, "buffer pool exhausted: all frames pinned")
+            }
+            PdmError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PdmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PdmError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PdmError {
+    fn from(e: std::io::Error) -> Self {
+        PdmError::Io(e)
+    }
+}
+
+/// Convenient result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, PdmError>;

@@ -1,0 +1,190 @@
+//! A file-backed block device.
+//!
+//! `FileDisk` stores blocks in a single backing file at offset
+//! `id * block_size`.  It is used by the wall-time benchmarks (experiment T3)
+//! to ground the I/O-count results in real time measurements; the model-level
+//! behaviour (counting, allocation) is identical to [`RamDisk`](crate::RamDisk).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::device::{BlockDevice, BlockId};
+use crate::error::{PdmError, Result};
+use crate::stats::IoStats;
+
+struct Inner {
+    file: File,
+    len_blocks: u64,
+    free_list: Vec<BlockId>,
+    allocated: u64,
+}
+
+/// [`BlockDevice`] backed by a single file.
+pub struct FileDisk {
+    block_size: usize,
+    inner: Mutex<Inner>,
+    stats: Arc<IoStats>,
+    /// Which lane of `stats` this disk records into (disk-array members use
+    /// their own lane; standalone disks use lane 0).
+    lane: usize,
+    zero: Box<[u8]>,
+}
+
+impl FileDisk {
+    /// Create (truncating) a file-backed disk at `path` with the given block
+    /// size in bytes.
+    pub fn create<P: AsRef<Path>>(path: P, block_size: usize) -> Result<Arc<Self>> {
+        let stats = IoStats::new(1, block_size);
+        Ok(Arc::new(Self::create_with_stats(path, block_size, stats, 0)?))
+    }
+
+    /// Create a file disk recording into lane `lane` of an existing
+    /// statistics handle (used by disk arrays).
+    pub(crate) fn create_with_stats<P: AsRef<Path>>(
+        path: P,
+        block_size: usize,
+        stats: Arc<IoStats>,
+        lane: usize,
+    ) -> Result<Self> {
+        assert!(block_size > 0, "block size must be positive");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileDisk {
+            block_size,
+            inner: Mutex::new(Inner { file, len_blocks: 0, free_list: Vec::new(), allocated: 0 }),
+            stats,
+            lane,
+            zero: vec![0u8; block_size].into_boxed_slice(),
+        })
+    }
+
+    fn offset(&self, id: BlockId) -> u64 {
+        id * self.block_size as u64
+    }
+}
+
+impl BlockDevice for FileDisk {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn allocated_blocks(&self) -> u64 {
+        self.inner.lock().allocated
+    }
+
+    fn allocate(&self) -> Result<BlockId> {
+        let mut inner = self.inner.lock();
+        inner.allocated += 1;
+        if let Some(id) = inner.free_list.pop() {
+            return Ok(id);
+        }
+        let id = inner.len_blocks;
+        inner.len_blocks += 1;
+        // Extend the file with a zero block so reads of fresh blocks succeed.
+        let off = self.offset(id);
+        inner.file.seek(SeekFrom::Start(off))?;
+        inner.file.write_all(&self.zero)?;
+        Ok(id)
+    }
+
+    fn free(&self, id: BlockId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if id >= inner.len_blocks || inner.free_list.contains(&id) {
+            return Err(PdmError::InvalidBlock(id));
+        }
+        inner.free_list.push(id);
+        inner.allocated -= 1;
+        Ok(())
+    }
+
+    fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<()> {
+        if buf.len() != self.block_size {
+            return Err(PdmError::SizeMismatch { expected: self.block_size, actual: buf.len() });
+        }
+        let mut inner = self.inner.lock();
+        if id >= inner.len_blocks {
+            return Err(PdmError::InvalidBlock(id));
+        }
+        let off = self.offset(id);
+        inner.file.seek(SeekFrom::Start(off))?;
+        inner.file.read_exact(buf)?;
+        self.stats.record_read(self.lane);
+        Ok(())
+    }
+
+    fn write_block(&self, id: BlockId, buf: &[u8]) -> Result<()> {
+        if buf.len() != self.block_size {
+            return Err(PdmError::SizeMismatch { expected: self.block_size, actual: buf.len() });
+        }
+        let mut inner = self.inner.lock();
+        if id >= inner.len_blocks {
+            return Err(PdmError::InvalidBlock(id));
+        }
+        let off = self.offset(id);
+        inner.file.seek(SeekFrom::Start(off))?;
+        inner.file.write_all(buf)?;
+        self.stats.record_write(self.lane);
+        Ok(())
+    }
+
+    fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pdm-filedisk-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip() {
+        let path = tmp("rt");
+        let disk = FileDisk::create(&path, 32).unwrap();
+        let a = disk.allocate().unwrap();
+        let b = disk.allocate().unwrap();
+        disk.write_block(b, &[3u8; 32]).unwrap();
+        disk.write_block(a, &[9u8; 32]).unwrap();
+        let mut out = [0u8; 32];
+        disk.read_block(a, &mut out).unwrap();
+        assert_eq!(out, [9u8; 32]);
+        disk.read_block(b, &mut out).unwrap();
+        assert_eq!(out, [3u8; 32]);
+        assert_eq!(disk.stats().snapshot().total(), 4);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn out_of_range_block_rejected() {
+        let path = tmp("oor");
+        let disk = FileDisk::create(&path, 32).unwrap();
+        let mut out = [0u8; 32];
+        assert!(disk.read_block(5, &mut out).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn free_list_reuse() {
+        let path = tmp("fl");
+        let disk = FileDisk::create(&path, 32).unwrap();
+        let a = disk.allocate().unwrap();
+        disk.free(a).unwrap();
+        assert!(disk.free(a).is_err(), "double free rejected");
+        let b = disk.allocate().unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(path).ok();
+    }
+}

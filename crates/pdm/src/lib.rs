@@ -1,0 +1,48 @@
+//! # `pdm` — an instrumented Parallel Disk Model substrate
+//!
+//! This crate implements the machine model that the external-memory
+//! (I/O-model) literature analyses algorithms in: a computer with a small,
+//! fast internal memory of capacity `M` records and one or more disks from
+//! which data is transferred in blocks of `B` records.  The survey this
+//! repository reproduces ("External Memory Algorithms", PODS 1998) states all
+//! of its results as counts of such block transfers, so the substrate's job
+//! is to make those counts *observable and exact*:
+//!
+//! * [`BlockDevice`] — the disk abstraction: fixed-size blocks addressed by
+//!   [`BlockId`], with allocate/free/read/write.  Two implementations are
+//!   provided: [`RamDisk`] (deterministic, used by tests and the experiment
+//!   harness) and [`FileDisk`] (one backing file, used by the wall-time
+//!   benchmarks).
+//! * [`IoStats`] — per-disk read/write counters shared by every device; the
+//!   experiment harness reads these to regenerate the survey's tables.
+//! * [`DiskArray`] — `D` devices exposed either *striped* (the classic
+//!   disk-striping trick: one logical device with block size `D·B`) or
+//!   *independent* (each logical block lives on one disk), so the survey's
+//!   striping-versus-independent-disks comparison can be measured.
+//! * [`BufferPool`] — a frame cache of at most `m = M/B` blocks with
+//!   pluggable eviction ([`EvictionPolicy`]); online structures (B-trees,
+//!   hash directories) run on top of it, and it *enforces* the memory budget
+//!   instead of trusting the algorithm.
+//!
+//! The crate is deliberately free of any algorithmic content; everything
+//! above it (sorting, trees, graphs, geometry, hashing) lives in the other
+//! workspace crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod device;
+mod error;
+mod file_disk;
+mod pool;
+mod ram_disk;
+mod stats;
+
+pub use array::{DiskArray, Placement};
+pub use device::{BlockDevice, BlockId, SharedDevice};
+pub use error::{PdmError, Result};
+pub use file_disk::FileDisk;
+pub use pool::{BufferPool, EvictionPolicy, FrameGuard, FrameGuardMut, PoolStats};
+pub use ram_disk::RamDisk;
+pub use stats::{IoSnapshot, IoStats};

@@ -1,0 +1,438 @@
+//! A bounded frame cache (buffer pool) over a block device.
+//!
+//! Online external-memory structures — B-trees, hash directories — are
+//! analysed assuming the machine can hold `m = M/B` blocks in memory.  The
+//! `BufferPool` *enforces* that assumption: it holds at most `capacity`
+//! frames, serves repeated accesses to resident blocks without I/O, and
+//! evicts (writing back dirty frames) when full.  Cache hits and misses are
+//! tracked separately from device I/O so experiments can report both.
+//!
+//! Pinning: a [`FrameGuard`]/[`FrameGuardMut`] pins its frame for its
+//! lifetime; pinned frames are never evicted.  If every frame is pinned an
+//! access to a non-resident block fails with [`PdmError::PoolExhausted`] —
+//! an algorithm that triggers this has exceeded its declared memory budget,
+//! which is exactly the bug the pool exists to surface.
+
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::device::{BlockId, SharedDevice};
+use crate::error::{PdmError, Result};
+
+/// Which unpinned frame to evict when the pool is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Evict the least recently *used* unpinned frame.
+    Lru,
+    /// Evict the least recently *loaded* unpinned frame.
+    Fifo,
+}
+
+/// Cache-level counters (device I/O is counted by the device itself).
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
+}
+
+impl PoolStats {
+    /// Accesses served from a resident frame.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+    /// Accesses that had to read from the device.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+    /// Frames evicted to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+    /// Dirty frames written back to the device.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks.load(Ordering::Relaxed)
+    }
+}
+
+struct FrameCell {
+    data: Arc<RwLock<Box<[u8]>>>,
+    pins: AtomicU32,
+    dirty: AtomicBool,
+}
+
+struct Slot {
+    block: BlockId,
+    cell: Arc<FrameCell>,
+    loaded_at: u64,
+    last_use: u64,
+}
+
+struct Inner {
+    map: HashMap<BlockId, usize>,
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    tick: u64,
+}
+
+/// A bounded cache of block frames over a [`SharedDevice`].
+pub struct BufferPool {
+    device: SharedDevice,
+    capacity: usize,
+    policy: EvictionPolicy,
+    inner: Mutex<Inner>,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// Create a pool holding at most `capacity` frames (must be ≥ 1).
+    pub fn new(device: SharedDevice, capacity: usize, policy: EvictionPolicy) -> Arc<Self> {
+        assert!(capacity >= 1, "pool needs at least one frame");
+        Arc::new(BufferPool {
+            device,
+            capacity,
+            policy,
+            inner: Mutex::new(Inner {
+                map: HashMap::with_capacity(capacity),
+                slots: (0..capacity).map(|_| None).collect(),
+                free: (0..capacity).rev().collect(),
+                tick: 0,
+            }),
+            stats: PoolStats::default(),
+        })
+    }
+
+    /// Maximum number of resident frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &SharedDevice {
+        &self.device
+    }
+
+    /// Cache counters.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// Pin block `id` for reading.
+    pub fn read(self: &Arc<Self>, id: BlockId) -> Result<FrameGuard> {
+        let cell = self.pin(id, false)?;
+        let guard = parking_lot::RwLock::read_arc(&cell.data);
+        Ok(FrameGuard { _pin: PinHandle { cell }, guard })
+    }
+
+    /// Pin block `id` for writing; the frame is marked dirty.
+    pub fn write(self: &Arc<Self>, id: BlockId) -> Result<FrameGuardMut> {
+        let cell = self.pin(id, true)?;
+        cell.dirty.store(true, Ordering::Relaxed);
+        let guard = parking_lot::RwLock::write_arc(&cell.data);
+        Ok(FrameGuardMut { _pin: PinHandle { cell }, guard })
+    }
+
+    /// Allocate a fresh zeroed block on the device and pin it for writing
+    /// *without* reading it back (the frame starts zeroed in memory).
+    pub fn allocate(self: &Arc<Self>) -> Result<(BlockId, FrameGuardMut)> {
+        let id = self.device.allocate()?;
+        let cell = self.install_fresh(id)?;
+        cell.dirty.store(true, Ordering::Relaxed);
+        let guard = parking_lot::RwLock::write_arc(&cell.data);
+        Ok((id, FrameGuardMut { _pin: PinHandle { cell }, guard }))
+    }
+
+    /// Write back every dirty frame (frames stay resident).
+    pub fn flush(&self) -> Result<()> {
+        let inner = self.inner.lock();
+        for slot in inner.slots.iter().flatten() {
+            if slot.cell.dirty.swap(false, Ordering::Relaxed) {
+                let data = slot.cell.data.read();
+                self.device.write_block(slot.block, &data)?;
+                self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop block `id` from the pool without writing it back (used after
+    /// freeing the block on the device).
+    pub fn discard(&self, id: BlockId) {
+        let mut inner = self.inner.lock();
+        if let Some(idx) = inner.map.remove(&id) {
+            let slot = inner.slots[idx].take().expect("mapped slot present");
+            assert_eq!(slot.cell.pins.load(Ordering::Relaxed), 0, "discarding pinned block");
+            inner.free.push(idx);
+        }
+    }
+
+    fn pin(&self, id: BlockId, _write: bool) -> Result<Arc<FrameCell>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(&idx) = inner.map.get(&id) {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            let slot = inner.slots[idx].as_mut().expect("mapped slot present");
+            slot.last_use = tick;
+            slot.cell.pins.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(&slot.cell));
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let idx = self.acquire_slot(&mut inner)?;
+        // Read outside any frame lock but under the pool lock: simple and
+        // race-free (single structural lock).
+        let mut buf = vec![0u8; self.device.block_size()].into_boxed_slice();
+        self.device.read_block(id, &mut buf)?;
+        let cell = Arc::new(FrameCell {
+            data: Arc::new(RwLock::new(buf)),
+            pins: AtomicU32::new(1),
+            dirty: AtomicBool::new(false),
+        });
+        inner.slots[idx] = Some(Slot { block: id, cell: Arc::clone(&cell), loaded_at: tick, last_use: tick });
+        inner.map.insert(id, idx);
+        Ok(cell)
+    }
+
+    fn install_fresh(&self, id: BlockId) -> Result<Arc<FrameCell>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let idx = self.acquire_slot(&mut inner)?;
+        let buf = vec![0u8; self.device.block_size()].into_boxed_slice();
+        let cell = Arc::new(FrameCell {
+            data: Arc::new(RwLock::new(buf)),
+            pins: AtomicU32::new(1),
+            dirty: AtomicBool::new(false),
+        });
+        inner.slots[idx] = Some(Slot { block: id, cell: Arc::clone(&cell), loaded_at: tick, last_use: tick });
+        inner.map.insert(id, idx);
+        Ok(cell)
+    }
+
+    /// Find a free slot, evicting if necessary.  Caller holds the pool lock.
+    fn acquire_slot(&self, inner: &mut Inner) -> Result<usize> {
+        if let Some(idx) = inner.free.pop() {
+            return Ok(idx);
+        }
+        // Choose an unpinned victim.  Pins only increase under the pool
+        // lock, so a frame observed unpinned here cannot become pinned
+        // before we remove it.
+        let victim = inner
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|s| (i, s)))
+            .filter(|(_, s)| s.cell.pins.load(Ordering::Relaxed) == 0)
+            .min_by_key(|(_, s)| match self.policy {
+                EvictionPolicy::Lru => s.last_use,
+                EvictionPolicy::Fifo => s.loaded_at,
+            })
+            .map(|(i, _)| i)
+            .ok_or(PdmError::PoolExhausted)?;
+        let slot = inner.slots[victim].take().expect("victim present");
+        inner.map.remove(&slot.block);
+        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        if slot.cell.dirty.load(Ordering::Relaxed) {
+            let data = slot.cell.data.read();
+            self.device.write_block(slot.block, &data)?;
+            self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(victim)
+    }
+}
+
+impl Drop for BufferPool {
+    fn drop(&mut self) {
+        // Best-effort write-back so dropping a pool never loses data.
+        let _ = self.flush();
+    }
+}
+
+/// Decrements the frame pin count on drop.
+struct PinHandle {
+    cell: Arc<FrameCell>,
+}
+
+impl Drop for PinHandle {
+    fn drop(&mut self) {
+        self.cell.pins.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Shared (read) access to a pinned frame.
+pub struct FrameGuard {
+    _pin: PinHandle,
+    guard: parking_lot::ArcRwLockReadGuard<parking_lot::RawRwLock, Box<[u8]>>,
+}
+
+impl Deref for FrameGuard {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.guard
+    }
+}
+
+/// Exclusive (write) access to a pinned frame.
+pub struct FrameGuardMut {
+    _pin: PinHandle,
+    guard: parking_lot::ArcRwLockWriteGuard<parking_lot::RawRwLock, Box<[u8]>>,
+}
+
+impl Deref for FrameGuardMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.guard
+    }
+}
+
+impl DerefMut for FrameGuardMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::BlockDevice;
+    use crate::ram_disk::RamDisk;
+
+    fn setup(capacity: usize, policy: EvictionPolicy) -> (Arc<RamDisk>, Arc<BufferPool>, Vec<BlockId>) {
+        let disk = RamDisk::new(8);
+        let mut ids = Vec::new();
+        for i in 0..6u8 {
+            let id = disk.allocate().unwrap();
+            disk.write_block(id, &[i; 8]).unwrap();
+            ids.push(id);
+        }
+        disk.stats().reset();
+        let pool = BufferPool::new(disk.clone() as SharedDevice, capacity, policy);
+        (disk, pool, ids)
+    }
+
+    #[test]
+    fn repeated_reads_hit_cache() {
+        let (disk, pool, ids) = setup(2, EvictionPolicy::Lru);
+        for _ in 0..5 {
+            let g = pool.read(ids[0]).unwrap();
+            assert_eq!(&*g, &[0u8; 8]);
+        }
+        assert_eq!(disk.stats().snapshot().reads(), 1, "only the first read hits the device");
+        assert_eq!(pool.stats().hits(), 4);
+        assert_eq!(pool.stats().misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let (disk, pool, ids) = setup(2, EvictionPolicy::Lru);
+        pool.read(ids[0]).unwrap();
+        pool.read(ids[1]).unwrap();
+        pool.read(ids[0]).unwrap(); // 0 more recent than 1
+        pool.read(ids[2]).unwrap(); // evicts 1
+        pool.read(ids[0]).unwrap(); // still resident
+        assert_eq!(disk.stats().snapshot().reads(), 3);
+        pool.read(ids[1]).unwrap(); // must re-read
+        assert_eq!(disk.stats().snapshot().reads(), 4);
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_loaded() {
+        let (disk, pool, ids) = setup(2, EvictionPolicy::Fifo);
+        pool.read(ids[0]).unwrap();
+        pool.read(ids[1]).unwrap();
+        pool.read(ids[0]).unwrap(); // touch 0; FIFO ignores this
+        pool.read(ids[2]).unwrap(); // evicts 0 (oldest load)
+        pool.read(ids[1]).unwrap(); // resident
+        assert_eq!(disk.stats().snapshot().reads(), 3);
+        pool.read(ids[0]).unwrap(); // re-read
+        assert_eq!(disk.stats().snapshot().reads(), 4);
+    }
+
+    #[test]
+    fn dirty_frames_written_back_on_eviction() {
+        let (disk, pool, ids) = setup(1, EvictionPolicy::Lru);
+        {
+            let mut g = pool.write(ids[0]).unwrap();
+            g.copy_from_slice(&[0xAB; 8]);
+        }
+        pool.read(ids[1]).unwrap(); // evicts dirty frame 0
+        assert_eq!(pool.stats().writebacks(), 1);
+        let mut out = [0u8; 8];
+        disk.read_block(ids[0], &mut out).unwrap();
+        assert_eq!(out, [0xAB; 8]);
+    }
+
+    #[test]
+    fn flush_writes_dirty_frames() {
+        let (disk, pool, ids) = setup(2, EvictionPolicy::Lru);
+        {
+            let mut g = pool.write(ids[3]).unwrap();
+            g[0] = 0xCD;
+        }
+        pool.flush().unwrap();
+        let mut out = [0u8; 8];
+        disk.read_block(ids[3], &mut out).unwrap();
+        assert_eq!(out[0], 0xCD);
+        // Flushing twice writes nothing new.
+        let w = disk.stats().snapshot().writes();
+        pool.flush().unwrap();
+        assert_eq!(disk.stats().snapshot().writes(), w);
+    }
+
+    #[test]
+    fn pinned_frames_are_not_evicted() {
+        let (_disk, pool, ids) = setup(1, EvictionPolicy::Lru);
+        let _g = pool.read(ids[0]).unwrap();
+        assert!(matches!(pool.read(ids[1]), Err(PdmError::PoolExhausted)));
+        drop(_g);
+        assert!(pool.read(ids[1]).is_ok());
+    }
+
+    #[test]
+    fn allocate_starts_zeroed_and_dirty() {
+        let (disk, pool, _) = setup(2, EvictionPolicy::Lru);
+        let (id, mut g) = pool.allocate().unwrap();
+        assert!(g.iter().all(|&b| b == 0));
+        g[7] = 9;
+        drop(g);
+        pool.flush().unwrap();
+        let mut out = [0u8; 8];
+        disk.read_block(id, &mut out).unwrap();
+        assert_eq!(out[7], 9);
+    }
+
+    #[test]
+    fn discard_forgets_without_writeback() {
+        let (disk, pool, ids) = setup(2, EvictionPolicy::Lru);
+        {
+            let mut g = pool.write(ids[0]).unwrap();
+            g[0] = 0xEE;
+        }
+        let writes_before = disk.stats().snapshot().writes();
+        pool.discard(ids[0]);
+        pool.flush().unwrap();
+        assert_eq!(disk.stats().snapshot().writes(), writes_before);
+        let mut out = [0u8; 8];
+        disk.read_block(ids[0], &mut out).unwrap();
+        assert_eq!(out[0], 0, "discarded write never reached the device");
+    }
+
+    #[test]
+    fn drop_flushes() {
+        let disk = RamDisk::new(8);
+        let id = disk.allocate().unwrap();
+        {
+            let pool = BufferPool::new(disk.clone() as SharedDevice, 2, EvictionPolicy::Lru);
+            let mut g = pool.write(id).unwrap();
+            g[0] = 42;
+        }
+        let mut out = [0u8; 8];
+        disk.read_block(id, &mut out).unwrap();
+        assert_eq!(out[0], 42);
+    }
+}

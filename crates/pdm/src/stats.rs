@@ -1,0 +1,201 @@
+//! I/O accounting.
+//!
+//! Every [`BlockDevice`](crate::BlockDevice) carries an [`IoStats`] handle and
+//! bumps it on each block transfer.  The experiment harness reads a
+//! [`IoSnapshot`] before and after running an algorithm and subtracts; since
+//! the simulator is deterministic the resulting counts are exact, which is
+//! what lets the survey's asymptotic tables be regenerated as real numbers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-disk read/write counters.
+///
+/// Cloning the `Arc<IoStats>` shares the counters; a [`DiskArray`]
+/// (crate::DiskArray) gives each member disk its own lane so that *parallel
+/// I/O time* — `max` over disks of that disk's transfers — can be computed,
+/// which is the cost measure of the Parallel Disk Model.
+#[derive(Debug)]
+pub struct IoStats {
+    reads: Vec<AtomicU64>,
+    writes: Vec<AtomicU64>,
+    block_bytes: usize,
+}
+
+impl IoStats {
+    /// Create counters for `disks` independent disks, each transferring
+    /// blocks of `block_bytes` bytes.
+    pub fn new(disks: usize, block_bytes: usize) -> Arc<Self> {
+        assert!(disks >= 1, "at least one disk");
+        Arc::new(IoStats {
+            reads: (0..disks).map(|_| AtomicU64::new(0)).collect(),
+            writes: (0..disks).map(|_| AtomicU64::new(0)).collect(),
+            block_bytes,
+        })
+    }
+
+    /// Number of disks being tracked.
+    pub fn disks(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Record one block read on disk `disk`.
+    #[inline]
+    pub fn record_read(&self, disk: usize) {
+        self.reads[disk].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one block write on disk `disk`.
+    #[inline]
+    pub fn record_write(&self, disk: usize) {
+        self.writes[disk].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Capture the current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            writes: self.writes.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            block_bytes: self.block_bytes,
+        }
+    }
+
+    /// Reset all counters to zero.  Prefer snapshot subtraction in
+    /// measurement code; reset exists for test hygiene.
+    pub fn reset(&self) {
+        for c in self.reads.iter().chain(self.writes.iter()) {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of [`IoStats`], supporting subtraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoSnapshot {
+    reads: Vec<u64>,
+    writes: Vec<u64>,
+    block_bytes: usize,
+}
+
+impl IoSnapshot {
+    /// Total block reads across all disks.
+    pub fn reads(&self) -> u64 {
+        self.reads.iter().sum()
+    }
+
+    /// Total block writes across all disks.
+    pub fn writes(&self) -> u64 {
+        self.writes.iter().sum()
+    }
+
+    /// Total block transfers (reads + writes) across all disks.
+    pub fn total(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+
+    /// Reads on one specific disk.
+    pub fn reads_on(&self, disk: usize) -> u64 {
+        self.reads[disk]
+    }
+
+    /// Writes on one specific disk.
+    pub fn writes_on(&self, disk: usize) -> u64 {
+        self.writes[disk]
+    }
+
+    /// Parallel I/O time: the maximum, over disks, of that disk's total
+    /// transfers.  With a single disk this equals [`total`](Self::total);
+    /// with `D` well-balanced disks it approaches `total / D`.
+    pub fn parallel_time(&self) -> u64 {
+        (0..self.reads.len())
+            .map(|d| self.reads[d] + self.writes[d])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total bytes transferred.
+    pub fn bytes(&self) -> u64 {
+        self.total() * self.block_bytes as u64
+    }
+
+    /// Element-wise difference `self - earlier`; panics if `earlier` has a
+    /// different disk count or any counter exceeds `self`'s.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        assert_eq!(self.reads.len(), earlier.reads.len(), "disk count mismatch");
+        IoSnapshot {
+            reads: self
+                .reads
+                .iter()
+                .zip(&earlier.reads)
+                .map(|(a, b)| a.checked_sub(*b).expect("snapshot went backwards"))
+                .collect(),
+            writes: self
+                .writes
+                .iter()
+                .zip(&earlier.writes)
+                .map(|(a, b)| a.checked_sub(*b).expect("snapshot went backwards"))
+                .collect(),
+            block_bytes: self.block_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_disk() {
+        let stats = IoStats::new(3, 4096);
+        stats.record_read(0);
+        stats.record_read(0);
+        stats.record_write(2);
+        let snap = stats.snapshot();
+        assert_eq!(snap.reads(), 2);
+        assert_eq!(snap.writes(), 1);
+        assert_eq!(snap.total(), 3);
+        assert_eq!(snap.reads_on(0), 2);
+        assert_eq!(snap.reads_on(1), 0);
+        assert_eq!(snap.writes_on(2), 1);
+        assert_eq!(snap.bytes(), 3 * 4096);
+    }
+
+    #[test]
+    fn parallel_time_is_max_over_disks() {
+        let stats = IoStats::new(2, 64);
+        for _ in 0..5 {
+            stats.record_read(0);
+        }
+        stats.record_write(1);
+        assert_eq!(stats.snapshot().parallel_time(), 5);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let stats = IoStats::new(1, 64);
+        stats.record_read(0);
+        let a = stats.snapshot();
+        stats.record_read(0);
+        stats.record_write(0);
+        let b = stats.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.reads(), 1);
+        assert_eq!(d.writes(), 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let stats = IoStats::new(1, 64);
+        stats.record_read(0);
+        stats.reset();
+        assert_eq!(stats.snapshot().total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "disk count mismatch")]
+    fn since_rejects_mismatched_disk_count() {
+        let a = IoStats::new(1, 64).snapshot();
+        let b = IoStats::new(2, 64).snapshot();
+        let _ = b.since(&a);
+    }
+}

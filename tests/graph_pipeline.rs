@@ -1,0 +1,80 @@
+//! Cross-crate graph pipeline: the same structural facts computed through
+//! independent algorithm stacks must agree.
+
+use em_core::{EmConfig, ExtVec};
+use emgraph::{bfs_mr, connected_components, gen, list_rank, time_forward, tree_depths};
+use emsort::SortConfig;
+
+#[test]
+fn euler_depths_equal_bfs_distances_on_trees() {
+    // On a tree, BFS hop distance from the root *is* the rooted depth, so
+    // the Euler-tour/list-ranking stack and the MR-BFS stack must agree.
+    let cfg = EmConfig::new(512, 16);
+    let device = cfg.ram_disk();
+    let sc = SortConfig::new(1024);
+    for seed in [5u64, 6, 7] {
+        let n = 3000;
+        let tree = gen::random_tree(device.clone(), n, seed).unwrap();
+        let depths = tree_depths(&tree, 0, &sc).unwrap().to_vec().unwrap();
+        let dists = bfs_mr(&tree, n, 0, &sc).unwrap().to_vec().unwrap();
+        assert_eq!(depths, dists, "seed {seed}");
+    }
+}
+
+#[test]
+fn list_ranking_orders_a_bfs_level_chain() {
+    // Build a path graph, compute BFS distances, and independently rank the
+    // path as a linked list — the two orders must match.
+    let cfg = EmConfig::new(512, 16);
+    let device = cfg.ram_disk();
+    let sc = SortConfig::new(1024);
+    let n = 5000u64;
+    let edges: Vec<(u64, u64)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    let g = ExtVec::from_slice(device.clone(), &edges).unwrap();
+    let dists = bfs_mr(&g, n, 0, &sc).unwrap().to_vec().unwrap();
+
+    let succ: Vec<(u64, u64)> =
+        (0..n).map(|i| (i, if i + 1 < n { i + 1 } else { u64::MAX })).collect();
+    let sv = ExtVec::from_slice(device, &succ).unwrap();
+    let ranks = list_rank(&sv, 0, &sc).unwrap().to_vec().unwrap();
+    assert_eq!(dists, ranks);
+}
+
+#[test]
+fn components_count_matches_forest_structure() {
+    // k disjoint random trees ⇒ exactly k components, and each tree's
+    // depths remain internally consistent.
+    let cfg = EmConfig::new(512, 16);
+    let device = cfg.ram_disk();
+    let sc = SortConfig::new(1024);
+    let k = 7u64;
+    let n_each = 500u64;
+    let g = gen::planted_components(device.clone(), k, n_each, 11).unwrap();
+    let labels = connected_components(&g, k * n_each, &sc).unwrap().to_vec().unwrap();
+    let mut distinct: Vec<u64> = labels.iter().map(|&(_, l)| l).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    assert_eq!(distinct.len() as u64, k);
+    // Labels are the component minima: exactly the multiples of n_each.
+    assert_eq!(distinct, (0..k).map(|c| c * n_each).collect::<Vec<_>>());
+}
+
+#[test]
+fn time_forward_computes_bfs_layers_on_a_dag() {
+    // Orient a path 0→1→…→n-1 as a DAG: the longest-path value at v equals
+    // v, which equals its BFS distance in the undirected path.
+    let cfg = EmConfig::new(512, 16);
+    let device = cfg.ram_disk();
+    let sc = SortConfig::new(1024);
+    let n = 4000u64;
+    let edges: Vec<(u64, u64)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    let dag = ExtVec::from_slice(device.clone(), &edges).unwrap();
+    let labels: Vec<(u64, u64)> = (0..n).map(|v| (v, 0)).collect();
+    let lv = ExtVec::from_slice(device.clone(), &labels).unwrap();
+    let values = time_forward(&lv, &dag, &sc, |_, _, inc| inc.iter().max().map_or(0, |m| m + 1))
+        .unwrap()
+        .to_vec()
+        .unwrap();
+    let dists = bfs_mr(&dag, n, 0, &sc).unwrap().to_vec().unwrap();
+    assert_eq!(values, dists);
+}

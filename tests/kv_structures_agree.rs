@@ -1,0 +1,103 @@
+//! Differential test: the three external dictionaries (B-tree, buffer tree,
+//! extendible hash) replay the same randomized operation tape and must end
+//! in identical states — and match `std::collections` models.
+
+use em_core::EmConfig;
+use emhash::ExtendibleHash;
+use emtree::{BTree, BufferTree};
+use pdm::{BufferPool, EvictionPolicy};
+use rand::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u64, u64),
+    Delete(u64),
+}
+
+fn random_tape(len: usize, key_space: u64, seed: u64) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let k = rng.gen_range(0..key_space);
+            if rng.gen_bool(0.7) {
+                Op::Insert(k, rng.gen())
+            } else {
+                Op::Delete(k)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn all_three_dictionaries_converge() {
+    let tape = random_tape(25_000, 3_000, 3001);
+    let cfg = EmConfig::new(512, 64);
+
+    // Reference.
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in &tape {
+        match *op {
+            Op::Insert(k, v) => {
+                model.insert(k, v);
+            }
+            Op::Delete(k) => {
+                model.remove(&k);
+            }
+        }
+    }
+    let expect: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+
+    // B-tree.
+    let pool = BufferPool::new(cfg.ram_disk(), 16, EvictionPolicy::Lru);
+    let mut bt: BTree<u64, u64> = BTree::new(pool).unwrap();
+    for op in &tape {
+        match *op {
+            Op::Insert(k, v) => {
+                bt.insert(k, v).unwrap();
+            }
+            Op::Delete(k) => {
+                bt.remove(&k).unwrap();
+            }
+        }
+    }
+    bt.check_invariants().unwrap();
+    assert_eq!(bt.range(&0, &u64::MAX).unwrap(), expect, "B-tree state");
+
+    // Buffer tree.
+    let mut bft: BufferTree<u64, u64> = BufferTree::new(cfg.ram_disk(), 2048);
+    for op in &tape {
+        match *op {
+            Op::Insert(k, v) => bft.insert(k, v).unwrap(),
+            Op::Delete(k) => bft.delete(k).unwrap(),
+        }
+    }
+    assert_eq!(bft.to_sorted_ext_vec().unwrap().to_vec().unwrap(), expect, "buffer tree state");
+
+    // Extendible hash.
+    let pool = BufferPool::new(cfg.ram_disk(), 16, EvictionPolicy::Lru);
+    let mut eh: ExtendibleHash<u64, u64> = ExtendibleHash::new(pool).unwrap();
+    for op in &tape {
+        match *op {
+            Op::Insert(k, v) => {
+                eh.insert(k, v).unwrap();
+            }
+            Op::Delete(k) => {
+                eh.remove(&k).unwrap();
+            }
+        }
+    }
+    let mut hashed = eh.to_vec().unwrap();
+    hashed.sort_unstable();
+    assert_eq!(hashed, expect, "hash state");
+
+    // Spot point lookups across all three.
+    let mut rng = StdRng::seed_from_u64(3002);
+    for _ in 0..200 {
+        let k = rng.gen_range(0..3_000u64);
+        let want = model.get(&k).copied();
+        assert_eq!(bt.get(&k).unwrap(), want);
+        assert_eq!(bft.get(&k).unwrap(), want);
+        assert_eq!(eh.get(&k).unwrap(), want);
+    }
+}

@@ -1,0 +1,108 @@
+//! Cross-crate relational pipeline: emrel operators over emsort machinery,
+//! indexed by emtree — an end-to-end "mini warehouse" query checked against
+//! an in-memory reference.
+
+use em_core::{EmConfig, ExtVec};
+use emrel::{anti_join, distinct, filter_map_scan, group_aggregate, semi_join, sort_merge_join};
+use emsort::SortConfig;
+use emtree::BTree;
+use pdm::{BufferPool, EvictionPolicy};
+use rand::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Orders (order_id, customer_id, amount) joined to customers
+/// (customer_id, region), aggregated per region, indexed, and queried.
+#[test]
+fn star_join_group_by_index() {
+    let cfg = EmConfig::new(512, 16);
+    let device = cfg.ram_disk();
+    let sc = SortConfig::new(cfg.mem_records::<u64>());
+    let mut rng = StdRng::seed_from_u64(4001);
+
+    let n_orders = 20_000u64;
+    let n_customers = 1_000u64;
+    let n_regions = 50u64;
+
+    let orders: Vec<(u64, u64, u64)> = (0..n_orders)
+        .map(|id| (id, rng.gen_range(0..n_customers), rng.gen_range(1..1000)))
+        .collect();
+    let customers: Vec<(u64, u64)> =
+        (0..n_customers).map(|id| (id, rng.gen_range(0..n_regions))).collect();
+
+    let orders_v = ExtVec::from_slice(device.clone(), &orders).unwrap();
+    let customers_v = ExtVec::from_slice(device.clone(), &customers).unwrap();
+
+    // Join: (region, amount) per order.
+    let joined = sort_merge_join(
+        &orders_v,
+        &customers_v,
+        &sc,
+        |o| o.1,
+        |c| c.0,
+        |o, c| (c.1, o.2),
+    )
+    .unwrap();
+    assert_eq!(joined.len(), n_orders, "every order has exactly one customer");
+
+    // Group by region: total revenue.
+    let revenue = group_aggregate(
+        &joined,
+        &sc,
+        |r| r.0,
+        0u64,
+        |acc, r| *acc += r.1,
+        |region, total, _count| (region, total),
+    )
+    .unwrap();
+
+    // Reference.
+    let cust_region: BTreeMap<u64, u64> = customers.iter().copied().collect();
+    let mut expect: BTreeMap<u64, u64> = BTreeMap::new();
+    for &(_, cid, amount) in &orders {
+        *expect.entry(cust_region[&cid]).or_default() += amount;
+    }
+    let expect: Vec<(u64, u64)> = expect.into_iter().collect();
+    assert_eq!(revenue.to_vec().unwrap(), expect);
+
+    // Index the aggregate in a B-tree and query a band of regions.
+    let pool = BufferPool::new(device, 8, EvictionPolicy::Lru);
+    let tree: BTree<u64, u64> = BTree::bulk_load(pool, revenue.reader()).unwrap();
+    let band = tree.range(&10, &19).unwrap();
+    let expect_band: Vec<(u64, u64)> =
+        expect.iter().copied().filter(|&(r, _)| (10..=19).contains(&r)).collect();
+    assert_eq!(band, expect_band);
+}
+
+#[test]
+fn semi_anti_distinct_pipeline() {
+    let cfg = EmConfig::new(512, 16);
+    let device = cfg.ram_disk();
+    let sc = SortConfig::new(cfg.mem_records::<u64>());
+    let mut rng = StdRng::seed_from_u64(4002);
+
+    // Events with user ids; a blocklist of users.
+    let events: Vec<(u64, u64)> = (0..15_000).map(|i| (rng.gen_range(0..2_000u64), i)).collect();
+    let blocked: Vec<u64> = (0..300).map(|_| rng.gen_range(0..2_000)).collect();
+    let ev = ExtVec::from_slice(device.clone(), &events).unwrap();
+    let bl = ExtVec::from_slice(device.clone(), &blocked).unwrap();
+
+    let allowed = anti_join(&ev, &bl, &sc, |e| e.0, |&b| b).unwrap();
+    let flagged = semi_join(&ev, &bl, &sc, |e| e.0, |&b| b).unwrap();
+    assert_eq!(allowed.len() + flagged.len(), ev.len());
+
+    // Distinct active allowed users.
+    let allowed_users = filter_map_scan(&allowed, |e| Some(e.0)).unwrap();
+    let uniq = distinct(&allowed_users, &sc).unwrap().to_vec().unwrap();
+
+    // Reference.
+    let blockset: BTreeSet<u64> = blocked.into_iter().collect();
+    let mut expect: Vec<u64> = events
+        .iter()
+        .map(|e| e.0)
+        .filter(|u| !blockset.contains(u))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    expect.sort_unstable();
+    assert_eq!(uniq, expect);
+}
