@@ -65,6 +65,29 @@ impl MemBudget {
         self.high_water.fetch_max(now, Ordering::Relaxed);
         BudgetGuard { budget: Arc::clone(self), records }
     }
+
+    /// Charge `records` if capacity allows, or return `None` charging
+    /// nothing.
+    ///
+    /// Opportunistic consumers use this — read-ahead and write-behind
+    /// buffers shrink to whatever the budget has left (possibly zero) rather
+    /// than violating the model.
+    pub fn try_charge(self: &Arc<Self>, records: usize) -> Option<BudgetGuard> {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let now = cur.checked_add(records)?;
+            if now > self.capacity {
+                return None;
+            }
+            match self.used.compare_exchange_weak(cur, now, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => {
+                    self.high_water.fetch_max(now, Ordering::Relaxed);
+                    return Some(BudgetGuard { budget: Arc::clone(self), records });
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
 }
 
 /// Releases its charge on drop.
@@ -119,5 +142,17 @@ mod tests {
         let b = MemBudget::new(1);
         let _g = b.charge(0);
         assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn try_charge_succeeds_within_capacity_and_refuses_beyond() {
+        let b = MemBudget::new(100);
+        let g = b.try_charge(70).expect("fits");
+        assert_eq!(g.records(), 70);
+        assert_eq!(b.used(), 70);
+        assert!(b.try_charge(31).is_none(), "over capacity refused");
+        assert_eq!(b.used(), 70, "failed try_charge charges nothing");
+        drop(g);
+        assert!(b.try_charge(100).is_some());
     }
 }

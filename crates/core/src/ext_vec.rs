@@ -13,9 +13,11 @@
 //! memory the model already grants.
 
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 use pdm::{BlockId, Result, SharedDevice};
 
+use crate::budget::MemBudget;
 use crate::record::Record;
 use crate::stream::{ExtVecReader, ExtVecWriter};
 
@@ -89,6 +91,25 @@ impl<R: Record> ExtVec<R> {
     /// The backing device.
     pub fn device(&self) -> &SharedDevice {
         &self.device
+    }
+
+    /// (internal) Device block id backing block index `bi`.
+    pub(crate) fn block_id(&self, bi: usize) -> BlockId {
+        self.blocks[bi]
+    }
+
+    /// (internal) Decode the raw bytes of block `bi` into `out` (cleared
+    /// first).  Used by the prefetching reader, which obtains the bytes from
+    /// an asynchronous read ticket instead of [`read_block_into`].
+    ///
+    /// [`read_block_into`]: Self::read_block_into
+    pub(crate) fn decode_block(&self, bi: usize, bytes: &[u8], out: &mut Vec<R>) {
+        let count = self.records_in_block(bi);
+        out.clear();
+        out.reserve(count);
+        for i in 0..count {
+            out.push(R::read_from(&bytes[i * R::BYTES..(i + 1) * R::BYTES]));
+        }
     }
 
     /// Records stored in block index `bi` (the last block may be partial).
@@ -213,6 +234,26 @@ impl<R: Record> ExtVec<R> {
     /// Sequential reader starting at record `start`.
     pub fn reader_at(&self, start: u64) -> ExtVecReader<'_, R> {
         ExtVecReader::new(self, start)
+    }
+
+    /// Sequential reader that keeps up to `depth` blocks of read-ahead in
+    /// flight, charged against `budget` with
+    /// [`try_charge`](MemBudget::try_charge) (the depth degrades — possibly
+    /// to 0, i.e. a plain reader — if the budget is short).  The reads issued
+    /// are exactly those of [`reader`](Self::reader), merely submitted early.
+    pub fn reader_prefetch(&self, depth: usize, budget: &Arc<MemBudget>) -> ExtVecReader<'_, R> {
+        ExtVecReader::with_prefetch(self, 0, depth, budget)
+    }
+
+    /// Prefetching reader starting at record `start`; see
+    /// [`reader_prefetch`](Self::reader_prefetch).
+    pub fn reader_at_prefetch(
+        &self,
+        start: u64,
+        depth: usize,
+        budget: &Arc<MemBudget>,
+    ) -> ExtVecReader<'_, R> {
+        ExtVecReader::with_prefetch(self, start, depth, budget)
     }
 
     /// Load the whole array into memory.  **Test/verification helper** — it

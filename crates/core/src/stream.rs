@@ -4,15 +4,60 @@
 //! `k`-way merge with one output stream holds `(k+1)·B` records — the
 //! accounting that gives merge sort its `Θ(M/B)` fan-in.  Callers charge
 //! these buffers against their [`MemBudget`](crate::MemBudget).
+//!
+//! Both streams optionally *overlap* their I/O with the caller's
+//! computation: a reader built with
+//! [`ExtVec::reader_prefetch`](crate::ExtVec::reader_prefetch) keeps up to
+//! `k` read-ahead blocks in flight via
+//! [`BlockDevice::submit_read`](pdm::BlockDevice::submit_read), and a writer
+//! built with [`ExtVecWriter::with_write_behind`] retires full blocks
+//! asynchronously instead of blocking on each flush.  The extra buffers are
+//! charged against the [`MemBudget`](crate::MemBudget) with
+//! [`try_charge`](crate::MemBudget::try_charge), so the depth silently
+//! degrades (down to the synchronous depth 0) rather than exceeding `M`.
+//! Overlap never changes *which* transfers happen — a prefetched block is
+//! exactly the read the reader was about to issue — so block-transfer counts
+//! are identical to the synchronous path.
 
-use pdm::{BlockId, Result, SharedDevice};
+use std::collections::VecDeque;
+use std::sync::Arc;
 
+use pdm::{BlockId, IoTicket, Result, SharedDevice};
+
+use crate::budget::{BudgetGuard, MemBudget};
 use crate::ext_vec::ExtVec;
 use crate::record::Record;
 
+/// Encode `records` into `out`, zeroing the tail of a partial block so the
+/// encoding is deterministic.
+fn encode_block<R: Record>(records: &[R], out: &mut [u8]) {
+    for (i, r) in records.iter().enumerate() {
+        r.write_to(&mut out[i * R::BYTES..(i + 1) * R::BYTES]);
+    }
+    for b in out[records.len() * R::BYTES..].iter_mut() {
+        *b = 0;
+    }
+}
+
+/// Charge `depth` blocks of `per_block` records against `budget`, degrading
+/// to the largest depth that fits (possibly 0).
+fn charge_overlap(
+    budget: &Arc<MemBudget>,
+    depth: usize,
+    per_block: usize,
+) -> (usize, Option<BudgetGuard>) {
+    for d in (1..=depth).rev() {
+        if let Some(guard) = budget.try_charge(d * per_block) {
+            return (d, Some(guard));
+        }
+    }
+    (0, None)
+}
+
 /// Streaming writer: buffers one block, flushing when full.
 ///
-/// Costs `⌈N/B⌉` write I/Os to emit `N` records.
+/// Costs `⌈N/B⌉` write I/Os to emit `N` records, whether or not write-behind
+/// is enabled.
 pub struct ExtVecWriter<R: Record> {
     device: SharedDevice,
     blocks: Vec<BlockId>,
@@ -20,6 +65,14 @@ pub struct ExtVecWriter<R: Record> {
     byte_buf: Box<[u8]>,
     per_block: usize,
     len: u64,
+    /// Maximum write-behind depth; 0 = synchronous flush.
+    depth: usize,
+    /// Full blocks handed to the device but not yet confirmed written.
+    inflight: VecDeque<IoTicket>,
+    /// Completed write buffers ready for reuse.
+    spare: Vec<Box<[u8]>>,
+    /// Budget charge covering the write-behind buffers.
+    _reserve: Option<BudgetGuard>,
 }
 
 impl<R: Record> ExtVecWriter<R> {
@@ -27,7 +80,33 @@ impl<R: Record> ExtVecWriter<R> {
     pub fn new(device: SharedDevice) -> Self {
         let per_block = ExtVec::<R>::per_block_on(&device);
         let byte_buf = vec![0u8; device.block_size()].into_boxed_slice();
-        ExtVecWriter { device, blocks: Vec::new(), buf: Vec::with_capacity(per_block), byte_buf, per_block, len: 0 }
+        ExtVecWriter {
+            device,
+            blocks: Vec::new(),
+            buf: Vec::with_capacity(per_block),
+            byte_buf,
+            per_block,
+            len: 0,
+            depth: 0,
+            inflight: VecDeque::new(),
+            spare: Vec::new(),
+            _reserve: None,
+        }
+    }
+
+    /// Start a writer that retires up to `depth` full blocks asynchronously
+    /// (write-behind), charging the extra buffers against `budget`.
+    ///
+    /// The depth degrades to whatever the budget has room for; with no room
+    /// (or `depth == 0`) the writer behaves exactly like [`new`](Self::new).
+    /// [`finish`](Self::finish) waits for every outstanding write, so the
+    /// returned array is always fully durable.
+    pub fn with_write_behind(device: SharedDevice, depth: usize, budget: &Arc<MemBudget>) -> Self {
+        let mut w = Self::new(device);
+        let (granted, reserve) = charge_overlap(budget, depth, w.per_block);
+        w.depth = granted;
+        w._reserve = reserve;
+        w
     }
 
     /// Records written so far.
@@ -45,6 +124,11 @@ impl<R: Record> ExtVecWriter<R> {
         self.per_block
     }
 
+    /// The write-behind depth actually granted by the budget.
+    pub fn write_behind_depth(&self) -> usize {
+        self.depth
+    }
+
     /// Append one record, flushing a full buffer to a fresh block.
     pub fn push(&mut self, r: R) -> Result<()> {
         self.buf.push(r);
@@ -55,24 +139,36 @@ impl<R: Record> ExtVecWriter<R> {
         Ok(())
     }
 
-    /// Finish, flushing any partial block, and return the completed array.
+    /// Finish, flushing any partial block and waiting out all in-flight
+    /// writes, and return the completed array.
     pub fn finish(mut self) -> Result<ExtVec<R>> {
         if !self.buf.is_empty() {
             self.flush_buf()?;
+        }
+        while let Some(ticket) = self.inflight.pop_front() {
+            ticket.wait()?;
         }
         Ok(ExtVec::from_parts(self.device, self.blocks, self.len))
     }
 
     fn flush_buf(&mut self) -> Result<()> {
-        for (i, r) in self.buf.iter().enumerate() {
-            r.write_to(&mut self.byte_buf[i * R::BYTES..(i + 1) * R::BYTES]);
-        }
-        // Zero the tail of a partial block so the encoding is deterministic.
-        for b in self.byte_buf[self.buf.len() * R::BYTES..].iter_mut() {
-            *b = 0;
-        }
         let id = self.device.allocate()?;
-        self.device.write_block(id, &self.byte_buf)?;
+        if self.depth == 0 {
+            encode_block(&self.buf, &mut self.byte_buf);
+            self.device.write_block(id, &self.byte_buf)?;
+        } else {
+            // Reuse a completed buffer, grow up to `depth` in-flight blocks,
+            // or wait for the oldest write to retire its buffer.
+            let mut out = match self.spare.pop() {
+                Some(buf) => buf,
+                None if self.inflight.len() < self.depth => {
+                    vec![0u8; self.device.block_size()].into_boxed_slice()
+                }
+                None => self.inflight.pop_front().expect("inflight nonempty").wait()?,
+            };
+            encode_block(&self.buf, &mut out);
+            self.inflight.push_back(self.device.submit_write(id, out));
+        }
         self.blocks.push(id);
         self.buf.clear();
         Ok(())
@@ -81,12 +177,26 @@ impl<R: Record> ExtVecWriter<R> {
 
 /// Streaming reader: buffers one block, refilling as it advances.
 ///
-/// Costs `⌈N/B⌉` read I/Os to consume `N` records.
+/// Costs `⌈N/B⌉` read I/Os to consume `N` records.  With read-ahead (see
+/// [`ExtVec::reader_prefetch`](crate::ExtVec::reader_prefetch)) the same
+/// reads are merely *submitted early*; a reader dropped before exhausting
+/// the array records any unconsumed in-flight blocks as
+/// [`prefetch_wasted`](pdm::IoSnapshot::prefetch_wasted).
 pub struct ExtVecReader<'a, R: Record> {
     vec: &'a ExtVec<R>,
     buf: Vec<R>,
     pos: usize,
     consumed: u64,
+    /// Maximum read-ahead depth; 0 = demand reads only.
+    depth: usize,
+    /// In-flight prefetches, in block order: (block index, ticket).
+    pending: VecDeque<(usize, IoTicket)>,
+    /// Next block index to prefetch.
+    next_fetch: usize,
+    /// Consumed prefetch buffers ready for reuse.
+    spare: Vec<Box<[u8]>>,
+    /// Budget charge covering the read-ahead buffers.
+    _reserve: Option<BudgetGuard>,
 }
 
 impl<'a, R: Record> ExtVecReader<'a, R> {
@@ -94,12 +204,48 @@ impl<'a, R: Record> ExtVecReader<'a, R> {
         assert!(start <= vec.len(), "start beyond end");
         // The buffer starts empty; `fill` lazily loads the block that
         // `consumed` points into on first access.
-        ExtVecReader { vec, buf: Vec::new(), pos: 0, consumed: start }
+        ExtVecReader {
+            vec,
+            buf: Vec::new(),
+            pos: 0,
+            consumed: start,
+            depth: 0,
+            pending: VecDeque::new(),
+            next_fetch: 0,
+            spare: Vec::new(),
+            _reserve: None,
+        }
+    }
+
+    pub(crate) fn with_prefetch(
+        vec: &'a ExtVec<R>,
+        start: u64,
+        depth: usize,
+        budget: &Arc<MemBudget>,
+    ) -> Self {
+        let mut r = Self::new(vec, start);
+        let (granted, reserve) = charge_overlap(budget, depth, vec.per_block());
+        r.depth = granted;
+        r._reserve = reserve;
+        r.next_fetch = (start / vec.per_block() as u64) as usize;
+        // Prime the pipeline immediately so the first `fill` already
+        // overlaps with whatever the caller does before consuming.  A reader
+        // with nothing left must not submit reads the synchronous path never
+        // would (start == len can still point into the last partial block).
+        if r.remaining() > 0 {
+            r.top_up();
+        }
+        r
     }
 
     /// Records not yet returned.
     pub fn remaining(&self) -> u64 {
         self.vec.len() - self.consumed
+    }
+
+    /// The read-ahead depth actually granted by the budget.
+    pub fn prefetch_depth(&self) -> usize {
+        self.depth
     }
 
     /// Look at the next record without consuming it.  Costs an I/O only at
@@ -128,13 +274,61 @@ impl<'a, R: Record> ExtVecReader<'a, R> {
         Ok(Some(r))
     }
 
+    /// Keep `depth` sequential blocks in flight.
+    fn top_up(&mut self) {
+        if self.depth == 0 {
+            return;
+        }
+        let nblocks = self.vec.num_blocks();
+        while self.pending.len() < self.depth && self.next_fetch < nblocks {
+            let buf = self
+                .spare
+                .pop()
+                .unwrap_or_else(|| vec![0u8; self.vec.device().block_size()].into_boxed_slice());
+            let ticket = self.vec.device().submit_read(self.vec.block_id(self.next_fetch), buf);
+            self.vec.device().stats().record_prefetch();
+            self.pending.push_back((self.next_fetch, ticket));
+            self.next_fetch += 1;
+        }
+    }
+
     fn fill(&mut self) -> Result<()> {
         // `consumed` points at the record we need; load its block.
         let per = self.vec.per_block() as u64;
         let bi = (self.consumed / per) as usize;
-        self.vec.read_block_into(bi, &mut self.buf)?;
         self.pos = (self.consumed % per) as usize;
-        Ok(())
+        if self.depth > 0 {
+            if let Some(&(front_bi, _)) = self.pending.front() {
+                if front_bi == bi {
+                    let (_, ticket) = self.pending.pop_front().expect("front present");
+                    let bytes = ticket.wait()?;
+                    self.vec.decode_block(bi, &bytes, &mut self.buf);
+                    self.vec.device().stats().record_prefetch_hit();
+                    self.spare.push(bytes);
+                    self.top_up();
+                    return Ok(());
+                }
+            }
+            // The needed block is not at the head of the pipeline (possible
+            // only for a freshly constructed reader whose budget granted
+            // depth 0 mid-stream, or after `pending` was drained at the
+            // array's end): read on demand and realign the pipeline.
+            self.next_fetch = self.next_fetch.max(bi + 1);
+            self.vec.read_block_into(bi, &mut self.buf)?;
+            self.top_up();
+            return Ok(());
+        }
+        self.vec.read_block_into(bi, &mut self.buf)
+    }
+}
+
+impl<R: Record> Drop for ExtVecReader<'_, R> {
+    fn drop(&mut self) {
+        // In-flight prefetches still execute (and count) on the device even
+        // though nobody will consume them; make that observable.
+        if !self.pending.is_empty() {
+            self.vec.device().stats().record_prefetch_wasted(self.pending.len() as u64);
+        }
     }
 }
 
@@ -237,5 +431,115 @@ mod tests {
         assert_eq!(r.size_hint(), (5, Some(5)));
         r.next();
         assert_eq!(r.size_hint(), (4, Some(4)));
+    }
+}
+
+#[cfg(test)]
+mod overlap_tests {
+    use super::*;
+    use crate::EmConfig;
+
+    fn dev() -> SharedDevice {
+        EmConfig::new(64, 8).ram_disk() // 8 u64s per block
+    }
+
+    #[test]
+    fn prefetching_reader_matches_plain_reader() {
+        let device = dev();
+        let v = ExtVec::from_slice(device.clone(), &(0u64..100).collect::<Vec<_>>()).unwrap();
+        let budget = MemBudget::new(64);
+        let before = device.stats().snapshot();
+        let r = v.reader_prefetch(3, &budget);
+        assert_eq!(r.prefetch_depth(), 3);
+        let collected: Vec<u64> = r.collect();
+        assert_eq!(collected, (0..100).collect::<Vec<_>>());
+        let delta = device.stats().snapshot().since(&before);
+        assert_eq!(delta.reads(), 13, "prefetch must not change read counts");
+        assert_eq!(delta.prefetched(), 13);
+        assert_eq!(delta.prefetch_hits(), 13);
+        assert_eq!(delta.prefetch_wasted(), 0);
+        assert_eq!(budget.used(), 0, "reserve released when the reader drops");
+    }
+
+    #[test]
+    fn prefetching_reader_at_offset() {
+        let v = ExtVec::from_slice(dev(), &(0u64..50).collect::<Vec<_>>()).unwrap();
+        let budget = MemBudget::new(64);
+        let collected: Vec<u64> = v.reader_at_prefetch(19, 2, &budget).collect();
+        assert_eq!(collected, (19..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn prefetch_degrades_to_zero_without_budget() {
+        let device = dev();
+        let v = ExtVec::from_slice(device.clone(), &(0u64..40).collect::<Vec<_>>()).unwrap();
+        let budget = MemBudget::new(4); // less than one block of u64s
+        let before = device.stats().snapshot();
+        let r = v.reader_prefetch(3, &budget);
+        assert_eq!(r.prefetch_depth(), 0, "no budget, no read-ahead");
+        let collected: Vec<u64> = r.collect();
+        assert_eq!(collected, (0..40).collect::<Vec<_>>());
+        let delta = device.stats().snapshot().since(&before);
+        assert_eq!(delta.reads(), 5);
+        assert_eq!(delta.prefetched(), 0);
+    }
+
+    #[test]
+    fn dropped_reader_records_wasted_prefetches() {
+        let device = dev();
+        let v = ExtVec::from_slice(device.clone(), &(0u64..80).collect::<Vec<_>>()).unwrap();
+        let budget = MemBudget::new(64);
+        {
+            let mut r = v.reader_prefetch(4, &budget);
+            let _ = r.try_next().unwrap(); // consumes from block 0
+        }
+        let snap = device.stats().snapshot();
+        assert_eq!(snap.prefetch_hits(), 1);
+        // After the hit on block 0 the pipeline topped back up to depth 4
+        // (blocks 1..=4), none of which were consumed.
+        assert_eq!(snap.prefetched(), 5);
+        assert_eq!(snap.prefetch_wasted(), 4);
+    }
+
+    #[test]
+    fn write_behind_writer_matches_plain_writer() {
+        let device = dev();
+        let budget = MemBudget::new(64);
+        let before = device.stats().snapshot();
+        let mut w = ExtVecWriter::with_write_behind(device.clone(), 2, &budget);
+        assert_eq!(w.write_behind_depth(), 2);
+        for i in 0..100u64 {
+            w.push(i).unwrap();
+        }
+        let v = w.finish().unwrap();
+        let delta = device.stats().snapshot().since(&before);
+        assert_eq!(delta.writes(), 13, "write-behind must not change write counts");
+        assert_eq!(v.to_vec().unwrap(), (0..100).collect::<Vec<_>>());
+        assert_eq!(budget.used(), 0, "reserve released when the writer finishes");
+    }
+
+    #[test]
+    fn write_behind_degrades_to_zero_without_budget() {
+        let device = dev();
+        let budget = MemBudget::new(0);
+        let mut w = ExtVecWriter::with_write_behind(device.clone(), 3, &budget);
+        assert_eq!(w.write_behind_depth(), 0);
+        for i in 0..20u64 {
+            w.push(i).unwrap();
+        }
+        let v = w.finish().unwrap();
+        assert_eq!(v.to_vec().unwrap(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn overlap_depth_clamps_to_available_budget() {
+        let device = dev();
+        let budget = MemBudget::new(20); // room for 2 blocks of 8, not 3
+        let r_vec = ExtVec::from_slice(device.clone(), &(0u64..40).collect::<Vec<_>>()).unwrap();
+        let r = r_vec.reader_prefetch(5, &budget);
+        assert_eq!(r.prefetch_depth(), 2);
+        drop(r);
+        let w = ExtVecWriter::<u64>::with_write_behind(device, 5, &budget);
+        assert_eq!(w.write_behind_depth(), 2);
     }
 }

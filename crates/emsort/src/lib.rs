@@ -53,6 +53,57 @@ pub use runs::{form_runs, RunFormation};
 pub use select::{median, select, select_by};
 pub use transpose::{transpose_blocked, transpose_naive};
 
+/// Read-ahead / write-behind depths for the sort's streaming I/O.
+///
+/// With nonzero depths, run formation and merging keep that many extra
+/// blocks in flight per stream (issued via asynchronous device tickets), so
+/// on an overlapped [`pdm::DiskArray`](em_core::pdm::DiskArray) the disks
+/// work while the CPU merges.  The overlap buffers are charged against the
+/// sort's [`em_core::MemBudget`] *in addition to* the `M` records of
+/// [`SortConfig::mem_records`] — they are pipeline slack, not working
+/// memory — and degrade to zero if even that slack is unavailable.  Overlap
+/// never changes which block transfers happen, so I/O counts are identical
+/// with it on or off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverlapConfig {
+    /// Blocks of read-ahead per input stream (0 = demand reads).
+    pub read_ahead: usize,
+    /// Blocks of write-behind per output stream (0 = synchronous flush).
+    pub write_behind: usize,
+}
+
+impl OverlapConfig {
+    /// No overlap: every transfer is synchronous (the default).
+    pub fn off() -> Self {
+        OverlapConfig::default()
+    }
+
+    /// The same depth for read-ahead and write-behind.
+    pub fn symmetric(depth: usize) -> Self {
+        OverlapConfig { read_ahead: depth, write_behind: depth }
+    }
+
+    /// True if any overlap is requested.
+    pub fn enabled(&self) -> bool {
+        self.read_ahead > 0 || self.write_behind > 0
+    }
+}
+
+/// The process-wide default overlap, read once from the `EMSORT_OVERLAP`
+/// environment variable: unset or unparsable means no overlap, `N` means
+/// [`OverlapConfig::symmetric`]`(N)`.  Lets CI run the whole test suite with
+/// the overlapped pipeline forced on without touching call sites.
+fn env_overlap() -> OverlapConfig {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<OverlapConfig> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        match std::env::var("EMSORT_OVERLAP").ok().and_then(|s| s.trim().parse::<usize>().ok()) {
+            Some(d) => OverlapConfig::symmetric(d),
+            None => OverlapConfig::off(),
+        }
+    })
+}
+
 /// Parameters of one external sort.
 #[derive(Debug, Clone, Copy)]
 pub struct SortConfig {
@@ -63,13 +114,21 @@ pub struct SortConfig {
     pub fan_in: Option<usize>,
     /// How initial runs are formed.
     pub run_formation: RunFormation,
+    /// Read-ahead / write-behind depths (defaults to `EMSORT_OVERLAP`, which
+    /// itself defaults to off).
+    pub overlap: OverlapConfig,
 }
 
 impl SortConfig {
-    /// A configuration with the given memory budget, maximum fan-in and
-    /// load–sort–store run formation.
+    /// A configuration with the given memory budget, maximum fan-in,
+    /// load–sort–store run formation, and the environment-default overlap.
     pub fn new(mem_records: usize) -> Self {
-        SortConfig { mem_records, fan_in: None, run_formation: RunFormation::LoadSort }
+        SortConfig {
+            mem_records,
+            fan_in: None,
+            run_formation: RunFormation::LoadSort,
+            overlap: env_overlap(),
+        }
     }
 
     /// Builder: override the merge fan-in.
@@ -81,6 +140,12 @@ impl SortConfig {
     /// Builder: select the run-formation strategy.
     pub fn with_run_formation(mut self, rf: RunFormation) -> Self {
         self.run_formation = rf;
+        self
+    }
+
+    /// Builder: set the read-ahead / write-behind depths.
+    pub fn with_overlap(mut self, overlap: OverlapConfig) -> Self {
+        self.overlap = overlap;
         self
     }
 

@@ -19,7 +19,7 @@ use pdm::Result;
 
 use crate::heap::MinHeap;
 use crate::runs::form_runs;
-use crate::SortConfig;
+use crate::{OverlapConfig, SortConfig};
 
 /// Sort `input` into a new external array on the same device, using natural
 /// ordering.  See [`merge_sort_by`].
@@ -52,13 +52,18 @@ where
         return Ok(ExtVec::new(input.device().clone()));
     }
     let k = cfg.effective_fan_in(input.per_block());
-    let budget = MemBudget::new(cfg.mem_records);
+    let ov = cfg.overlap;
+    // Overlap headroom beyond M: read-ahead for each of the k input runs
+    // plus write-behind for the one output stream.  Fan-in and run sizes are
+    // computed from `mem_records` alone, so counts match the sync pipeline.
+    let reserve = (k * ov.read_ahead + ov.write_behind) * input.per_block();
+    let budget = MemBudget::new(cfg.mem_records + reserve);
 
     let mut queue: VecDeque<ExtVec<R>> = form_runs(input, cfg, less)?.into();
     while queue.len() > 1 {
         let take = k.min(queue.len());
         let group: Vec<ExtVec<R>> = queue.drain(..take).collect();
-        let merged = merge_runs_by(&group, &budget, less)?;
+        let merged = merge_runs_inner(&group, &budget, ov, less)?;
         for run in group {
             run.free()?;
         }
@@ -78,12 +83,30 @@ where
     R: Record,
     F: Fn(&R, &R) -> bool + Copy,
 {
+    merge_runs_inner(runs, budget, OverlapConfig::off(), less)
+}
+
+/// One k-way merge with optional read-ahead on each run and write-behind on
+/// the output.  The overlap buffers come from `budget` headroom via
+/// `try_charge`, so a tight budget silently degrades to the synchronous
+/// merge; the transfers performed are identical either way.
+fn merge_runs_inner<R, F>(
+    runs: &[ExtVec<R>],
+    budget: &std::sync::Arc<MemBudget>,
+    ov: OverlapConfig,
+    less: F,
+) -> Result<ExtVec<R>>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy,
+{
     assert!(!runs.is_empty(), "nothing to merge");
     let device = runs[0].device().clone();
     let b = runs[0].per_block();
     let _charge = budget.charge((runs.len() + 1) * b);
 
-    let mut readers: Vec<ExtVecReader<R>> = runs.iter().map(|r| r.reader()).collect();
+    let mut readers: Vec<ExtVecReader<R>> =
+        runs.iter().map(|r| r.reader_at_prefetch(0, ov.read_ahead, budget)).collect();
     // Heap of (record, reader index); ties broken by reader index so the
     // merge is stable across runs.
     let mut heap: MinHeap<(R, usize), _> = MinHeap::with_capacity(runs.len(), move |a: &(R, usize), b: &(R, usize)| {
@@ -94,7 +117,7 @@ where
             heap.push((r, i));
         }
     }
-    let mut w = ExtVecWriter::new(device);
+    let mut w = ExtVecWriter::with_write_behind(device, ov.write_behind, budget);
     while let Some((rec, i)) = heap.pop() {
         w.push(rec)?;
         if let Some(next) = readers[i].try_next()? {
@@ -317,6 +340,40 @@ mod multi_disk_tests {
         data.sort_unstable();
         assert_eq!(out.to_vec().unwrap(), data);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn overlapped_pipeline_matches_sync_output_and_per_disk_counts() {
+        // The tentpole invariant: switching on worker threads, read-ahead and
+        // write-behind moves wall-clock time only — every disk performs
+        // exactly the transfers of the synchronous pipeline.
+        use crate::OverlapConfig;
+        use pdm::IoMode;
+        for placement in [Placement::Striped, Placement::Independent] {
+            let d = 4;
+            let sync_dev = DiskArray::new_ram(d, 64, placement) as SharedDevice;
+            let ov_dev =
+                DiskArray::new_ram_with(d, 64, placement, IoMode::Overlapped) as SharedDevice;
+            let (sync_in, _) = random_input(&sync_dev, 5000, 31);
+            let (ov_in, mut data) = random_input(&ov_dev, 5000, 31);
+            let sync_cfg = SortConfig::new(512).with_overlap(OverlapConfig::off());
+            let ov_cfg = SortConfig::new(512).with_overlap(OverlapConfig::symmetric(2));
+            let before_sync = sync_dev.stats().snapshot();
+            let before_ov = ov_dev.stats().snapshot();
+            let sync_out = merge_sort(&sync_in, &sync_cfg).unwrap();
+            let ov_out = merge_sort(&ov_in, &ov_cfg).unwrap();
+            data.sort_unstable();
+            assert_eq!(sync_out.to_vec().unwrap(), data);
+            assert_eq!(ov_out.to_vec().unwrap(), data, "{placement:?}");
+            let ds = sync_dev.stats().snapshot().since(&before_sync);
+            let dov = ov_dev.stats().snapshot().since(&before_ov);
+            for lane in 0..d {
+                assert_eq!(ds.reads_on(lane), dov.reads_on(lane), "{placement:?} lane {lane}");
+                assert_eq!(ds.writes_on(lane), dov.writes_on(lane), "{placement:?} lane {lane}");
+            }
+            assert_eq!(ds.parallel_time(), dov.parallel_time());
+            assert_eq!(dov.prefetch_wasted(), 0, "sort consumes every prefetched block");
+        }
     }
 
     #[test]

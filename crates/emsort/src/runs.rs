@@ -19,7 +19,7 @@ use em_core::{ExtVec, ExtVecWriter, MemBudget, Record};
 use pdm::Result;
 
 use crate::heap::MinHeap;
-use crate::SortConfig;
+use crate::{OverlapConfig, SortConfig};
 
 /// Strategy for the run-formation pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -36,30 +36,43 @@ pub enum RunFormation {
 /// Each returned [`ExtVec`] is sorted according to `less` and lives on the
 /// same device as the input.  The concatenation of the runs is a permutation
 /// of the input.  Costs one read and one write of every block
-/// (`2·⌈N/B⌉` I/Os).
+/// (`2·⌈N/B⌉` I/Os) — with or without overlap; `cfg.overlap` only changes
+/// *when* transfers are issued, never how many.
 pub fn form_runs<R, F>(input: &ExtVec<R>, cfg: &SortConfig, less: F) -> Result<Vec<ExtVec<R>>>
 where
     R: Record,
     F: Fn(&R, &R) -> bool + Copy,
 {
-    let budget = MemBudget::new(cfg.mem_records);
+    let ov = cfg.overlap;
+    // The overlap buffers (one input stream, one output stream) live in
+    // budget headroom beyond the algorithm's M working records; they shrink
+    // to fit whatever is actually available.
+    let reserve = (ov.read_ahead + ov.write_behind) * input.per_block();
+    let budget = MemBudget::new(cfg.mem_records + reserve);
     match cfg.run_formation {
-        RunFormation::LoadSort => load_sort_runs(input, &budget, less),
-        RunFormation::ReplacementSelection => replacement_selection_runs(input, &budget, less),
+        RunFormation::LoadSort => load_sort_runs(input, &budget, cfg.mem_records, ov, less),
+        RunFormation::ReplacementSelection => {
+            replacement_selection_runs(input, &budget, cfg.mem_records, ov, less)
+        }
     }
 }
 
-fn load_sort_runs<R, F>(input: &ExtVec<R>, budget: &Arc<MemBudget>, less: F) -> Result<Vec<ExtVec<R>>>
+fn load_sort_runs<R, F>(
+    input: &ExtVec<R>,
+    budget: &Arc<MemBudget>,
+    m: usize,
+    ov: OverlapConfig,
+    less: F,
+) -> Result<Vec<ExtVec<R>>>
 where
     R: Record,
     F: Fn(&R, &R) -> bool + Copy,
 {
-    let m = budget.capacity();
     assert!(m >= 2 * input.per_block(), "memory must hold at least two blocks");
     let _charge = budget.charge(m);
     let mut runs = Vec::new();
     let mut chunk: Vec<R> = Vec::with_capacity(m);
-    let mut reader = input.reader();
+    let mut reader = input.reader_at_prefetch(0, ov.read_ahead, budget);
     loop {
         chunk.clear();
         while chunk.len() < m {
@@ -72,7 +85,7 @@ where
             break;
         }
         chunk.sort_by(|a, b| cmp_from_less(less, a, b));
-        let mut w = ExtVecWriter::new(input.device().clone());
+        let mut w = ExtVecWriter::with_write_behind(input.device().clone(), ov.write_behind, budget);
         for r in chunk.drain(..) {
             w.push(r)?;
         }
@@ -84,6 +97,8 @@ where
 fn replacement_selection_runs<R, F>(
     input: &ExtVec<R>,
     budget: &Arc<MemBudget>,
+    m: usize,
+    ov: OverlapConfig,
     less: F,
 ) -> Result<Vec<ExtVec<R>>>
 where
@@ -91,7 +106,6 @@ where
     F: Fn(&R, &R) -> bool + Copy,
 {
     let b = input.per_block();
-    let m = budget.capacity();
     assert!(m >= 4 * b, "replacement selection needs at least 4 blocks of memory");
     // Heap gets M − 2B records; one block each for the input reader and the
     // run writer.
@@ -104,7 +118,7 @@ where
         a.0 < b.0 || (a.0 == b.0 && less(&a.1, &b.1))
     });
 
-    let mut reader = input.reader();
+    let mut reader = input.reader_at_prefetch(0, ov.read_ahead, budget);
     while heap.len() < heap_cap {
         match reader.try_next()? {
             Some(r) => heap.push((0, r)),
@@ -118,12 +132,17 @@ where
     }
 
     let mut current_run = 0u64;
-    let mut writer = ExtVecWriter::new(input.device().clone());
+    let mut writer = ExtVecWriter::with_write_behind(input.device().clone(), ov.write_behind, budget);
     let mut last_emitted: Option<R> = None;
     while let Some(run_id) = heap.peek().map(|e| e.0) {
         if run_id != current_run {
-            // Current run is exhausted inside the heap; seal it.
-            runs.push(std::mem::replace(&mut writer, ExtVecWriter::new(input.device().clone())).finish()?);
+            // Current run is exhausted inside the heap; seal it.  Finish the
+            // old writer *before* building the next one so its write-behind
+            // reserve is back in the budget when the successor asks for it
+            // (the interim plain writer is a free placeholder).
+            let old = std::mem::replace(&mut writer, ExtVecWriter::new(input.device().clone()));
+            runs.push(old.finish()?);
+            writer = ExtVecWriter::with_write_behind(input.device().clone(), ov.write_behind, budget);
             current_run = run_id;
             last_emitted = None;
         }
@@ -291,6 +310,32 @@ mod tests {
             let run_blocks: u64 = runs.iter().map(|r| r.num_blocks() as u64).sum();
             assert_eq!(d.writes(), run_blocks);
             assert!(run_blocks <= 64 + runs.len() as u64);
+        }
+    }
+
+    #[test]
+    fn overlap_changes_neither_runs_nor_io_counts() {
+        let (input, _) = setup(512);
+        let device = input.device().clone();
+        for rf in [RunFormation::LoadSort, RunFormation::ReplacementSelection] {
+            let base = SortConfig::new(64).with_run_formation(rf);
+            let sync_cfg = base.with_overlap(OverlapConfig::off());
+            let ov_cfg = base.with_overlap(OverlapConfig::symmetric(2));
+            let before = device.stats().snapshot();
+            let sync_runs = form_runs(&input, &sync_cfg, |a, b| a < b).unwrap();
+            let mid = device.stats().snapshot();
+            let ov_runs = form_runs(&input, &ov_cfg, |a, b| a < b).unwrap();
+            let after = device.stats().snapshot();
+            let (d_sync, d_ov) = (mid.since(&before), after.since(&mid));
+            assert_eq!(d_sync.reads(), d_ov.reads(), "overlap changed read count ({rf:?})");
+            assert_eq!(d_sync.writes(), d_ov.writes(), "overlap changed write count ({rf:?})");
+            assert_eq!(sync_runs.len(), ov_runs.len());
+            for (a, b) in sync_runs.iter().zip(&ov_runs) {
+                assert_eq!(a.to_vec().unwrap(), b.to_vec().unwrap(), "runs differ ({rf:?})");
+            }
+            for r in sync_runs.into_iter().chain(ov_runs) {
+                r.free().unwrap();
+            }
         }
     }
 

@@ -16,6 +16,14 @@
 //! `DiskArray` implements [`BlockDevice`] in both modes, so every algorithm
 //! in the workspace runs unchanged on 1 disk, a striped array, or an
 //! independent array.
+//!
+//! An array additionally carries an [`IoMode`]: in
+//! [`Overlapped`](IoMode::Overlapped) mode an [`IoScheduler`] runs one worker
+//! thread per member disk, so a striped transfer really does move its `D`
+//! physical blocks concurrently, and [`submit_read`](BlockDevice::submit_read)
+//! / [`submit_write`](BlockDevice::submit_write) give independent-mode
+//! callers queue depth > 1 per disk.  Transfer *counts* are identical in both
+//! modes — only wall-clock time and the queue-depth statistics differ.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -24,6 +32,7 @@ use crate::device::{BlockDevice, BlockId};
 use crate::error::{PdmError, Result};
 use crate::file_disk::FileDisk;
 use crate::ram_disk::RamDisk;
+use crate::sched::{IoMode, IoScheduler, IoTicket};
 use crate::stats::IoStats;
 
 /// How logical blocks map onto the member disks.
@@ -41,53 +50,93 @@ pub enum Placement {
 /// An array of `D` disks (RAM- or file-backed) sharing one [`IoStats`]
 /// with a lane per disk.
 pub struct DiskArray {
-    disks: Vec<Box<dyn BlockDevice>>,
+    disks: Vec<Arc<dyn BlockDevice>>,
     placement: Placement,
     physical_block: usize,
     stats: Arc<IoStats>,
     next_disk: AtomicUsize,
+    /// Present in overlapped mode.  When set, *every* transfer — including
+    /// the synchronous `read_block`/`write_block` entry points — is routed
+    /// through the per-lane worker queues, so one lane's transfers always
+    /// complete in submission order regardless of how they were issued.
+    sched: Option<IoScheduler>,
 }
 
 impl DiskArray {
     /// Create an array of `d` RAM disks with physical block size
-    /// `physical_block` bytes.
+    /// `physical_block` bytes, executing transfers synchronously.
     pub fn new_ram(d: usize, physical_block: usize, placement: Placement) -> Arc<Self> {
+        Self::new_ram_with(d, physical_block, placement, IoMode::Synchronous)
+    }
+
+    /// Create an array of `d` RAM disks with an explicit [`IoMode`].
+    pub fn new_ram_with(
+        d: usize,
+        physical_block: usize,
+        placement: Placement,
+        mode: IoMode,
+    ) -> Arc<Self> {
         assert!(d >= 1, "need at least one disk");
         assert!(physical_block > 0);
         let stats = IoStats::new(d, physical_block);
-        let disks = (0..d)
+        let disks: Vec<Arc<dyn BlockDevice>> = (0..d)
             .map(|lane| {
-                Box::new(RamDisk::with_stats(physical_block, Arc::clone(&stats), lane))
-                    as Box<dyn BlockDevice>
+                Arc::new(RamDisk::with_stats(physical_block, Arc::clone(&stats), lane))
+                    as Arc<dyn BlockDevice>
             })
             .collect();
-        Arc::new(DiskArray { disks, placement, physical_block, stats, next_disk: AtomicUsize::new(0) })
+        Arc::new(Self::assemble(disks, placement, physical_block, stats, mode))
     }
 
     /// Create an array of `d` file-backed disks under `dir` (one file per
     /// disk — the real parallel-disk layout) with physical block size
-    /// `physical_block` bytes.
+    /// `physical_block` bytes, executing transfers synchronously.
     pub fn new_file(
         dir: &std::path::Path,
         d: usize,
         physical_block: usize,
         placement: Placement,
     ) -> Result<Arc<Self>> {
+        Self::new_file_with(dir, d, physical_block, placement, IoMode::Synchronous)
+    }
+
+    /// Create an array of `d` file-backed disks with an explicit [`IoMode`].
+    pub fn new_file_with(
+        dir: &std::path::Path,
+        d: usize,
+        physical_block: usize,
+        placement: Placement,
+        mode: IoMode,
+    ) -> Result<Arc<Self>> {
         assert!(d >= 1, "need at least one disk");
         assert!(physical_block > 0);
         std::fs::create_dir_all(dir)?;
         let stats = IoStats::new(d, physical_block);
-        let mut disks: Vec<Box<dyn BlockDevice>> = Vec::with_capacity(d);
+        let mut disks: Vec<Arc<dyn BlockDevice>> = Vec::with_capacity(d);
         for lane in 0..d {
             let path = dir.join(format!("disk{lane}.bin"));
-            disks.push(Box::new(FileDisk::create_with_stats(
+            disks.push(Arc::new(FileDisk::create_with_stats(
                 path,
                 physical_block,
                 Arc::clone(&stats),
                 lane,
             )?));
         }
-        Ok(Arc::new(DiskArray { disks, placement, physical_block, stats, next_disk: AtomicUsize::new(0) }))
+        Ok(Arc::new(Self::assemble(disks, placement, physical_block, stats, mode)))
+    }
+
+    fn assemble(
+        disks: Vec<Arc<dyn BlockDevice>>,
+        placement: Placement,
+        physical_block: usize,
+        stats: Arc<IoStats>,
+        mode: IoMode,
+    ) -> Self {
+        let sched = match mode {
+            IoMode::Synchronous => None,
+            IoMode::Overlapped => Some(IoScheduler::new(&disks, Arc::clone(&stats))),
+        };
+        DiskArray { disks, placement, physical_block, stats, next_disk: AtomicUsize::new(0), sched }
     }
 
     /// Number of member disks.
@@ -98,6 +147,15 @@ impl DiskArray {
     /// The placement mode of this array.
     pub fn placement(&self) -> Placement {
         self.placement
+    }
+
+    /// The I/O execution mode of this array.
+    pub fn io_mode(&self) -> IoMode {
+        if self.sched.is_some() {
+            IoMode::Overlapped
+        } else {
+            IoMode::Synchronous
+        }
     }
 
     /// Which disk an independent-mode logical block lives on.
@@ -122,6 +180,18 @@ impl DiskArray {
     fn split_independent(&self, id: BlockId) -> (usize, BlockId) {
         let d = self.disks.len() as u64;
         ((id % d) as usize, id / d)
+    }
+
+    fn size_check(&self, len: usize) -> Result<()> {
+        let bs = self.block_size();
+        if len != bs {
+            return Err(PdmError::SizeMismatch { expected: bs, actual: len });
+        }
+        Ok(())
+    }
+
+    fn phys_buf(&self) -> Box<[u8]> {
+        vec![0u8; self.physical_block].into_boxed_slice()
     }
 }
 
@@ -175,39 +245,119 @@ impl BlockDevice for DiskArray {
     }
 
     fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<()> {
-        let bs = self.block_size();
-        if buf.len() != bs {
-            return Err(PdmError::SizeMismatch { expected: bs, actual: buf.len() });
-        }
-        match self.placement {
-            Placement::Striped => {
+        self.size_check(buf.len())?;
+        match (&self.sched, self.placement) {
+            (None, Placement::Striped) => {
                 for (d, chunk) in buf.chunks_mut(self.physical_block).enumerate() {
                     self.disks[d].read_block(id, chunk)?;
                 }
                 Ok(())
             }
-            Placement::Independent => {
+            (None, Placement::Independent) => {
                 let (disk, phys) = self.split_independent(id);
                 self.disks[disk].read_block(phys, buf)
+            }
+            (Some(sched), Placement::Striped) => {
+                // Fan the logical read out to all D lanes, then gather: the
+                // member transfers proceed concurrently.
+                let parts: Vec<_> =
+                    (0..self.disks.len()).map(|d| sched.submit_raw(d, false, id, self.phys_buf())).collect();
+                for (rx, chunk) in parts.into_iter().zip(buf.chunks_mut(self.physical_block)) {
+                    let part = rx.recv().map_err(|_| {
+                        PdmError::Io(std::io::Error::other("I/O worker thread terminated"))
+                    })??;
+                    chunk.copy_from_slice(&part);
+                }
+                Ok(())
+            }
+            (Some(sched), Placement::Independent) => {
+                let (disk, phys) = self.split_independent(id);
+                let out = sched.submit_read(disk, phys, self.phys_buf()).wait()?;
+                buf.copy_from_slice(&out);
+                Ok(())
             }
         }
     }
 
     fn write_block(&self, id: BlockId, buf: &[u8]) -> Result<()> {
-        let bs = self.block_size();
-        if buf.len() != bs {
-            return Err(PdmError::SizeMismatch { expected: bs, actual: buf.len() });
-        }
-        match self.placement {
-            Placement::Striped => {
+        self.size_check(buf.len())?;
+        match (&self.sched, self.placement) {
+            (None, Placement::Striped) => {
                 for (d, chunk) in buf.chunks(self.physical_block).enumerate() {
                     self.disks[d].write_block(id, chunk)?;
                 }
                 Ok(())
             }
-            Placement::Independent => {
+            (None, Placement::Independent) => {
                 let (disk, phys) = self.split_independent(id);
                 self.disks[disk].write_block(phys, buf)
+            }
+            (Some(sched), Placement::Striped) => {
+                let parts: Vec<_> = buf
+                    .chunks(self.physical_block)
+                    .enumerate()
+                    .map(|(d, chunk)| {
+                        sched.submit_raw(d, true, id, chunk.to_vec().into_boxed_slice())
+                    })
+                    .collect();
+                for rx in parts {
+                    rx.recv().map_err(|_| {
+                        PdmError::Io(std::io::Error::other("I/O worker thread terminated"))
+                    })??;
+                }
+                Ok(())
+            }
+            (Some(sched), Placement::Independent) => {
+                let (disk, phys) = self.split_independent(id);
+                sched.submit_write(disk, phys, buf.to_vec().into_boxed_slice()).wait()?;
+                Ok(())
+            }
+        }
+    }
+
+    fn submit_read(&self, id: BlockId, mut buf: Box<[u8]>) -> IoTicket {
+        if let Err(e) = self.size_check(buf.len()) {
+            return IoTicket::ready(Err(e));
+        }
+        match (&self.sched, self.placement) {
+            (None, _) => {
+                let res = self.read_block(id, &mut buf).map(|()| buf);
+                IoTicket::ready(res)
+            }
+            (Some(sched), Placement::Striped) => {
+                let parts: Vec<_> =
+                    (0..self.disks.len()).map(|d| sched.submit_raw(d, false, id, self.phys_buf())).collect();
+                IoTicket::gather(parts, buf, self.physical_block)
+            }
+            (Some(sched), Placement::Independent) => {
+                let (disk, phys) = self.split_independent(id);
+                sched.submit_read(disk, phys, buf)
+            }
+        }
+    }
+
+    fn submit_write(&self, id: BlockId, buf: Box<[u8]>) -> IoTicket {
+        if let Err(e) = self.size_check(buf.len()) {
+            return IoTicket::ready(Err(e));
+        }
+        match (&self.sched, self.placement) {
+            (None, _) => {
+                let res = self.write_block(id, &buf).map(|()| buf);
+                IoTicket::ready(res)
+            }
+            (Some(sched), Placement::Striped) => {
+                let parts: Vec<_> = buf
+                    .chunks(self.physical_block)
+                    .enumerate()
+                    .map(|(d, chunk)| {
+                        sched.submit_raw(d, true, id, chunk.to_vec().into_boxed_slice())
+                    })
+                    .collect();
+                IoTicket::join(parts, buf)
+            }
+            (Some(sched), Placement::Independent) => {
+                let (disk, phys) = self.split_independent(id);
+                sched.submit_write(disk, phys, buf)
             }
         }
     }
@@ -287,6 +437,84 @@ mod tests {
 }
 
 #[cfg(test)]
+mod overlapped_tests {
+    use super::*;
+
+    /// Run the same deterministic workload on a synchronous and an overlapped
+    /// array; contents must match and the per-lane transfer counts must be
+    /// identical.
+    fn workload(arr: &Arc<DiskArray>) -> Vec<Vec<u8>> {
+        let bs = arr.block_size();
+        let ids: Vec<BlockId> = (0..10).map(|_| arr.allocate().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let data = vec![i as u8 + 1; bs];
+            arr.write_block(id, &data).unwrap();
+        }
+        let mut out = Vec::new();
+        for &id in &ids {
+            let mut buf = vec![0u8; bs];
+            arr.read_block(id, &mut buf).unwrap();
+            out.push(buf);
+        }
+        out
+    }
+
+    #[test]
+    fn overlapped_matches_sync_in_both_placements() {
+        for placement in [Placement::Striped, Placement::Independent] {
+            let sync = DiskArray::new_ram(3, 16, placement);
+            let over = DiskArray::new_ram_with(3, 16, placement, IoMode::Overlapped);
+            assert_eq!(over.io_mode(), IoMode::Overlapped);
+            let a = workload(&sync);
+            let b = workload(&over);
+            assert_eq!(a, b, "contents differ ({placement:?})");
+            let s = sync.stats().snapshot();
+            let o = over.stats().snapshot();
+            for d in 0..3 {
+                assert_eq!(s.reads_on(d), o.reads_on(d), "reads lane {d} ({placement:?})");
+                assert_eq!(s.writes_on(d), o.writes_on(d), "writes lane {d} ({placement:?})");
+            }
+            assert_eq!(s.parallel_time(), o.parallel_time());
+        }
+    }
+
+    #[test]
+    fn overlapped_async_submit_round_trip() {
+        for placement in [Placement::Striped, Placement::Independent] {
+            let arr = DiskArray::new_ram_with(2, 16, placement, IoMode::Overlapped);
+            let bs = arr.block_size();
+            let ids: Vec<BlockId> = (0..6).map(|_| arr.allocate().unwrap()).collect();
+            // Queue all writes before waiting on any of them.
+            let tickets: Vec<IoTicket> = ids
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| arr.submit_write(id, vec![i as u8 + 1; bs].into_boxed_slice()))
+                .collect();
+            for t in tickets {
+                t.wait().unwrap();
+            }
+            // Queue all reads before waiting on any of them.
+            let tickets: Vec<IoTicket> =
+                ids.iter().map(|&id| arr.submit_read(id, vec![0u8; bs].into_boxed_slice())).collect();
+            for (i, t) in tickets.into_iter().enumerate() {
+                let buf = t.wait().unwrap();
+                assert_eq!(&*buf, &vec![i as u8 + 1; bs][..], "{placement:?}");
+            }
+            let snap = arr.stats().snapshot();
+            assert!(snap.max_queue_depth() >= 1);
+        }
+    }
+
+    #[test]
+    fn overlapped_submit_rejects_wrong_size() {
+        let arr = DiskArray::new_ram_with(2, 16, Placement::Striped, IoMode::Overlapped);
+        let id = arr.allocate().unwrap();
+        let res = arr.submit_write(id, vec![0u8; 7].into_boxed_slice()).wait();
+        assert!(matches!(res, Err(PdmError::SizeMismatch { .. })));
+    }
+}
+
+#[cfg(test)]
 mod file_array_tests {
     use super::*;
 
@@ -330,6 +558,22 @@ mod file_array_tests {
         assert_eq!(out, [7u8; 16]);
         arr.read_block(b, &mut out).unwrap();
         assert_eq!(out, [8u8; 16]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn file_backed_overlapped_round_trip() {
+        let dir = tmpdir("overlapped");
+        let arr =
+            DiskArray::new_file_with(&dir, 2, 16, Placement::Striped, IoMode::Overlapped).unwrap();
+        let id = arr.allocate().unwrap();
+        let data: Vec<u8> = (0..32).collect();
+        arr.write_block(id, &data).unwrap();
+        let mut out = vec![0u8; 32];
+        arr.read_block(id, &mut out).unwrap();
+        assert_eq!(out, data);
+        let snap = arr.stats().snapshot();
+        assert_eq!(snap.parallel_time(), 2);
         std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use crate::error::Result;
+use crate::sched::IoTicket;
 use crate::stats::IoStats;
 
 /// Identifier of one block on a device.
@@ -42,6 +43,29 @@ pub trait BlockDevice: Send + Sync {
 
     /// The statistics handle transfers are recorded into.
     fn stats(&self) -> Arc<IoStats>;
+
+    /// Submit an asynchronous read of block `id` into the owned buffer; the
+    /// filled buffer comes back through the returned [`IoTicket`].
+    ///
+    /// The default implementation executes the read inline and returns an
+    /// already-completed ticket — the sequential fallback every device gets
+    /// for free.  Overlapping devices (a [`DiskArray`](crate::DiskArray) in
+    /// overlapped mode) override this to queue the transfer on a per-disk
+    /// worker thread.  Either way the transfer counts exactly one I/O per
+    /// physical block, identical to [`read_block`](Self::read_block).
+    fn submit_read(&self, id: BlockId, mut buf: Box<[u8]>) -> IoTicket {
+        let res = self.read_block(id, &mut buf).map(|()| buf);
+        IoTicket::ready(res)
+    }
+
+    /// Submit an asynchronous write of the owned buffer to block `id`; the
+    /// buffer is handed back through the returned [`IoTicket`] on completion.
+    ///
+    /// Default: executes inline (see [`submit_read`](Self::submit_read)).
+    fn submit_write(&self, id: BlockId, buf: Box<[u8]>) -> IoTicket {
+        let res = self.write_block(id, &buf).map(|()| buf);
+        IoTicket::ready(res)
+    }
 }
 
 /// Shared handle to a block device.

@@ -4,9 +4,16 @@
 //! `id * block_size`.  It is used by the wall-time benchmarks (experiment T3)
 //! to ground the I/O-count results in real time measurements; the model-level
 //! behaviour (counting, allocation) is identical to [`RamDisk`](crate::RamDisk).
+//!
+//! Transfers use *positioned* I/O (`pread`/`pwrite` via
+//! [`std::os::unix::fs::FileExt`]): each call carries its own offset instead
+//! of seeking a shared cursor first.  That keeps concurrent transfers from
+//! the per-disk worker threads of an overlapped
+//! [`DiskArray`](crate::DiskArray) — and any other multi-threaded caller —
+//! from racing on the file position; only the allocation metadata needs a
+//! lock.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -16,8 +23,9 @@ use crate::device::{BlockDevice, BlockId};
 use crate::error::{PdmError, Result};
 use crate::stats::IoStats;
 
-struct Inner {
-    file: File,
+/// Allocation metadata; the backing file itself is accessed lock-free via
+/// positioned reads/writes.
+struct Meta {
     len_blocks: u64,
     free_list: Vec<BlockId>,
     allocated: u64,
@@ -26,12 +34,16 @@ struct Inner {
 /// [`BlockDevice`] backed by a single file.
 pub struct FileDisk {
     block_size: usize,
-    inner: Mutex<Inner>,
+    file: File,
+    meta: Mutex<Meta>,
     stats: Arc<IoStats>,
     /// Which lane of `stats` this disk records into (disk-array members use
     /// their own lane; standalone disks use lane 0).
     lane: usize,
     zero: Box<[u8]>,
+    /// Non-unix fallback: serializes seek-then-transfer pairs.
+    #[cfg(not(unix))]
+    cursor: Mutex<()>,
 }
 
 impl FileDisk {
@@ -59,15 +71,57 @@ impl FileDisk {
             .open(path)?;
         Ok(FileDisk {
             block_size,
-            inner: Mutex::new(Inner { file, len_blocks: 0, free_list: Vec::new(), allocated: 0 }),
+            file,
+            meta: Mutex::new(Meta { len_blocks: 0, free_list: Vec::new(), allocated: 0 }),
             stats,
             lane,
             zero: vec![0u8; block_size].into_boxed_slice(),
+            #[cfg(not(unix))]
+            cursor: Mutex::new(()),
         })
     }
 
     fn offset(&self, id: BlockId) -> u64 {
         id * self.block_size as u64
+    }
+
+    fn check_in_range(&self, id: BlockId) -> Result<()> {
+        if id >= self.meta.lock().len_blocks {
+            return Err(PdmError::InvalidBlock(id));
+        }
+        Ok(())
+    }
+
+    #[cfg(unix)]
+    fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, off)?;
+        Ok(())
+    }
+
+    #[cfg(unix)]
+    fn write_at(&self, buf: &[u8], off: u64) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(buf, off)?;
+        Ok(())
+    }
+
+    #[cfg(not(unix))]
+    fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        use std::io::{Read, Seek, SeekFrom};
+        let _cursor = self.cursor.lock();
+        (&self.file).seek(SeekFrom::Start(off))?;
+        (&self.file).read_exact(buf)?;
+        Ok(())
+    }
+
+    #[cfg(not(unix))]
+    fn write_at(&self, buf: &[u8], off: u64) -> Result<()> {
+        use std::io::{Seek, SeekFrom, Write};
+        let _cursor = self.cursor.lock();
+        (&self.file).seek(SeekFrom::Start(off))?;
+        (&self.file).write_all(buf)?;
+        Ok(())
     }
 }
 
@@ -77,31 +131,29 @@ impl BlockDevice for FileDisk {
     }
 
     fn allocated_blocks(&self) -> u64 {
-        self.inner.lock().allocated
+        self.meta.lock().allocated
     }
 
     fn allocate(&self) -> Result<BlockId> {
-        let mut inner = self.inner.lock();
-        inner.allocated += 1;
-        if let Some(id) = inner.free_list.pop() {
+        let mut meta = self.meta.lock();
+        meta.allocated += 1;
+        if let Some(id) = meta.free_list.pop() {
             return Ok(id);
         }
-        let id = inner.len_blocks;
-        inner.len_blocks += 1;
+        let id = meta.len_blocks;
+        meta.len_blocks += 1;
         // Extend the file with a zero block so reads of fresh blocks succeed.
-        let off = self.offset(id);
-        inner.file.seek(SeekFrom::Start(off))?;
-        inner.file.write_all(&self.zero)?;
+        self.write_at(&self.zero, self.offset(id))?;
         Ok(id)
     }
 
     fn free(&self, id: BlockId) -> Result<()> {
-        let mut inner = self.inner.lock();
-        if id >= inner.len_blocks || inner.free_list.contains(&id) {
+        let mut meta = self.meta.lock();
+        if id >= meta.len_blocks || meta.free_list.contains(&id) {
             return Err(PdmError::InvalidBlock(id));
         }
-        inner.free_list.push(id);
-        inner.allocated -= 1;
+        meta.free_list.push(id);
+        meta.allocated -= 1;
         Ok(())
     }
 
@@ -109,13 +161,8 @@ impl BlockDevice for FileDisk {
         if buf.len() != self.block_size {
             return Err(PdmError::SizeMismatch { expected: self.block_size, actual: buf.len() });
         }
-        let mut inner = self.inner.lock();
-        if id >= inner.len_blocks {
-            return Err(PdmError::InvalidBlock(id));
-        }
-        let off = self.offset(id);
-        inner.file.seek(SeekFrom::Start(off))?;
-        inner.file.read_exact(buf)?;
+        self.check_in_range(id)?;
+        self.read_at(buf, self.offset(id))?;
         self.stats.record_read(self.lane);
         Ok(())
     }
@@ -124,13 +171,8 @@ impl BlockDevice for FileDisk {
         if buf.len() != self.block_size {
             return Err(PdmError::SizeMismatch { expected: self.block_size, actual: buf.len() });
         }
-        let mut inner = self.inner.lock();
-        if id >= inner.len_blocks {
-            return Err(PdmError::InvalidBlock(id));
-        }
-        let off = self.offset(id);
-        inner.file.seek(SeekFrom::Start(off))?;
-        inner.file.write_all(buf)?;
+        self.check_in_range(id)?;
+        self.write_at(buf, self.offset(id))?;
         self.stats.record_write(self.lane);
         Ok(())
     }
@@ -185,6 +227,36 @@ mod tests {
         assert!(disk.free(a).is_err(), "double free rejected");
         let b = disk.allocate().unwrap();
         assert_eq!(a, b);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn concurrent_positioned_io_does_not_interleave() {
+        // Positioned I/O has no shared cursor: many threads hammering
+        // disjoint blocks must never observe torn or misplaced data.
+        let path = tmp("conc");
+        let disk = FileDisk::create(&path, 64).unwrap();
+        let ids: Vec<BlockId> = (0..16).map(|_| disk.allocate().unwrap()).collect();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let disk = Arc::clone(&disk);
+                let ids = ids.clone();
+                std::thread::spawn(move || {
+                    for round in 0..20u8 {
+                        for (i, &id) in ids.iter().enumerate().filter(|(i, _)| i % 4 == t) {
+                            let pattern = [i as u8 ^ round; 64];
+                            disk.write_block(id, &pattern).unwrap();
+                            let mut out = [0u8; 64];
+                            disk.read_block(id, &mut out).unwrap();
+                            assert_eq!(out, pattern);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
         std::fs::remove_file(path).ok();
     }
 }

@@ -27,6 +27,34 @@
 //! The crate is deliberately free of any algorithmic content; everything
 //! above it (sorting, trees, graphs, geometry, hashing) lives in the other
 //! workspace crates.
+//!
+//! ## Simulated vs. real parallelism
+//!
+//! Two different kinds of numbers come out of this substrate, and they must
+//! not be conflated:
+//!
+//! * **Model counts** are exact block-transfer tallies kept by [`IoStats`].
+//!   [`IoSnapshot::parallel_time`] is the PDM cost measure `max_d
+//!   (transfers_d)` — it *assumes* the `D` disks work concurrently, and is
+//!   identical whether transfers actually overlapped or not.  Every table the
+//!   experiment harness regenerates from the survey is stated in these.
+//! * **Wall-clock measurements** (the `bench` crate) reflect what really
+//!   happened on the hardware.  In the default [`IoMode::Synchronous`] mode
+//!   every transfer runs inline on the calling thread, so a striped array's
+//!   "parallel" transfer is, in real time, `D` sequential copies.  In
+//!   [`IoMode::Overlapped`] mode an [`IoScheduler`] runs one worker thread
+//!   per member disk: striped transfers really fan out across all `D` disks,
+//!   and asynchronous [`BlockDevice::submit_read`] /
+//!   [`BlockDevice::submit_write`] tickets let streaming layers keep several
+//!   transfers in flight per disk (read-ahead / write-behind) while the CPU
+//!   computes.
+//!
+//! Switching modes never changes the model counts — the overlapped path
+//! issues exactly the transfers the synchronous path would — so
+//! `parallel_time` stays a prediction and the wall clock tells you how close
+//! the hardware got to it.  The achieved overlap is observable through
+//! [`IoSnapshot::queue_depth_hwm`], [`IoSnapshot::prefetched`],
+//! [`IoSnapshot::prefetch_hits`] and [`IoSnapshot::prefetch_wasted`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +65,7 @@ mod error;
 mod file_disk;
 mod pool;
 mod ram_disk;
+mod sched;
 mod stats;
 
 pub use array::{DiskArray, Placement};
@@ -45,4 +74,5 @@ pub use error::{PdmError, Result};
 pub use file_disk::FileDisk;
 pub use pool::{BufferPool, EvictionPolicy, FrameGuard, FrameGuardMut, PoolStats};
 pub use ram_disk::RamDisk;
+pub use sched::{IoMode, IoScheduler, IoTicket};
 pub use stats::{IoSnapshot, IoStats};

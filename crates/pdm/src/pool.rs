@@ -22,6 +22,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::device::{BlockId, SharedDevice};
 use crate::error::{PdmError, Result};
+use crate::sched::IoTicket;
 
 /// Which unpinned frame to evict when the pool is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +79,10 @@ struct Inner {
     slots: Vec<Option<Slot>>,
     free: Vec<usize>,
     tick: u64,
+    /// Write-backs submitted to the device but not yet confirmed complete.
+    /// A block with an entry here must not be re-read from the device (the
+    /// data may not have landed) until its ticket has been waited on.
+    inflight: HashMap<BlockId, IoTicket>,
 }
 
 /// A bounded cache of block frames over a [`SharedDevice`].
@@ -102,6 +107,7 @@ impl BufferPool {
                 slots: (0..capacity).map(|_| None).collect(),
                 free: (0..capacity).rev().collect(),
                 tick: 0,
+                inflight: HashMap::new(),
             }),
             stats: PoolStats::default(),
         })
@@ -148,14 +154,25 @@ impl BufferPool {
     }
 
     /// Write back every dirty frame (frames stay resident).
+    ///
+    /// Dirty frames are submitted to the device as asynchronous writes first
+    /// and waited on together, so on an overlapped [`DiskArray`]
+    /// (crate::DiskArray) a flush drives all member disks concurrently.
     pub fn flush(&self) -> Result<()> {
-        let inner = self.inner.lock();
+        let mut inner = self.inner.lock();
+        Self::drain_all_inflight(&mut inner)?;
+        let mut tickets = Vec::new();
         for slot in inner.slots.iter().flatten() {
             if slot.cell.dirty.swap(false, Ordering::Relaxed) {
                 let data = slot.cell.data.read();
-                self.device.write_block(slot.block, &data)?;
+                let buf: Box<[u8]> = data.clone();
+                drop(data);
+                tickets.push(self.device.submit_write(slot.block, buf));
                 self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
             }
+        }
+        for t in tickets {
+            t.wait()?;
         }
         Ok(())
     }
@@ -164,10 +181,30 @@ impl BufferPool {
     /// freeing the block on the device).
     pub fn discard(&self, id: BlockId) {
         let mut inner = self.inner.lock();
+        if let Some(ticket) = inner.inflight.remove(&id) {
+            // An earlier eviction already queued a write-back; let it land
+            // (the block's contents no longer matter) so a later reuse of
+            // the id cannot race with the stale write.
+            let _ = ticket.wait();
+        }
         if let Some(idx) = inner.map.remove(&id) {
             let slot = inner.slots[idx].take().expect("mapped slot present");
             assert_eq!(slot.cell.pins.load(Ordering::Relaxed), 0, "discarding pinned block");
             inner.free.push(idx);
+        }
+    }
+
+    /// Wait out every in-flight write-back.  Caller holds the pool lock.
+    fn drain_all_inflight(inner: &mut Inner) -> Result<()> {
+        let mut first_err = None;
+        for (_, ticket) in inner.inflight.drain() {
+            if let Err(e) = ticket.wait() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
         }
     }
 
@@ -183,7 +220,17 @@ impl BufferPool {
             return Ok(Arc::clone(&slot.cell));
         }
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        // If this block was evicted dirty and its write-back is still in
+        // flight, the device copy may be stale: wait for the write to land
+        // before re-reading.
+        if let Some(ticket) = inner.inflight.remove(&id) {
+            ticket.wait()?;
+        }
         let idx = self.acquire_slot(&mut inner)?;
+        debug_assert!(
+            !inner.inflight.contains_key(&id),
+            "frame handed out while its write-back is in flight"
+        );
         // Read outside any frame lock but under the pool lock: simple and
         // race-free (single structural lock).
         let mut buf = vec![0u8; self.device.block_size()].into_boxed_slice();
@@ -202,6 +249,12 @@ impl BufferPool {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
+        // A freshly allocated id can only collide with an in-flight
+        // write-back if the caller freed the block without `discard`ing it;
+        // wait the stale write out rather than let it clobber the new data.
+        if let Some(ticket) = inner.inflight.remove(&id) {
+            let _ = ticket.wait();
+        }
         let idx = self.acquire_slot(&mut inner)?;
         let buf = vec![0u8; self.device.block_size()].into_boxed_slice();
         let cell = Arc::new(FrameCell {
@@ -238,8 +291,16 @@ impl BufferPool {
         inner.map.remove(&slot.block);
         self.stats.evictions.fetch_add(1, Ordering::Relaxed);
         if slot.cell.dirty.load(Ordering::Relaxed) {
+            // Submit the write-back asynchronously and remember the ticket:
+            // on an overlapped device the eviction overlaps with the caller's
+            // demand read, and `pin` refuses to re-serve this block from the
+            // device until the ticket has been waited on.
             let data = slot.cell.data.read();
-            self.device.write_block(slot.block, &data)?;
+            let buf: Box<[u8]> = data.clone();
+            drop(data);
+            let ticket = self.device.submit_write(slot.block, buf);
+            let prev = inner.inflight.insert(slot.block, ticket);
+            debug_assert!(prev.is_none(), "double in-flight write-back for one block");
             self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
         }
         Ok(victim)
@@ -420,6 +481,36 @@ mod tests {
         let mut out = [0u8; 8];
         disk.read_block(ids[0], &mut out).unwrap();
         assert_eq!(out[0], 0, "discarded write never reached the device");
+    }
+
+    #[test]
+    fn writeback_gating_on_overlapped_device() {
+        // Evictions on an overlapped device queue their write-backs on
+        // worker threads; a subsequent miss on the same block must wait for
+        // the write to land before re-reading, or it would see stale data.
+        use crate::array::{DiskArray, Placement};
+        use crate::sched::IoMode;
+        let arr = DiskArray::new_ram_with(2, 8, Placement::Independent, IoMode::Overlapped);
+        let device = arr.clone() as SharedDevice;
+        let ids: Vec<BlockId> = (0..6).map(|_| device.allocate().unwrap()).collect();
+        let pool = BufferPool::new(device.clone(), 2, EvictionPolicy::Lru);
+        for round in 0..50u8 {
+            for (i, &id) in ids.iter().enumerate() {
+                let mut g = pool.write(id).unwrap();
+                g.copy_from_slice(&[i as u8 ^ round; 8]);
+            }
+            for (i, &id) in ids.iter().enumerate() {
+                let g = pool.read(id).unwrap();
+                assert_eq!(&*g, &[i as u8 ^ round; 8], "stale read after write-behind");
+            }
+        }
+        pool.flush().unwrap();
+        // After a flush every device copy is current.
+        for (i, &id) in ids.iter().enumerate() {
+            let mut out = [0u8; 8];
+            device.read_block(id, &mut out).unwrap();
+            assert_eq!(out, [i as u8 ^ 49; 8]);
+        }
     }
 
     #[test]

@@ -19,6 +19,16 @@ use std::sync::Arc;
 pub struct IoStats {
     reads: Vec<AtomicU64>,
     writes: Vec<AtomicU64>,
+    /// Transfers currently queued or executing per lane (overlapped mode).
+    depth: Vec<AtomicU64>,
+    /// Lifetime maximum of `depth` per lane.
+    depth_hwm: Vec<AtomicU64>,
+    /// Blocks fetched ahead of demand by streaming readers.
+    prefetched: AtomicU64,
+    /// Prefetched blocks that were consumed by the reader.
+    prefetch_hits: AtomicU64,
+    /// Prefetched blocks discarded unconsumed (reader dropped early).
+    prefetch_wasted: AtomicU64,
     block_bytes: usize,
 }
 
@@ -30,6 +40,11 @@ impl IoStats {
         Arc::new(IoStats {
             reads: (0..disks).map(|_| AtomicU64::new(0)).collect(),
             writes: (0..disks).map(|_| AtomicU64::new(0)).collect(),
+            depth: (0..disks).map(|_| AtomicU64::new(0)).collect(),
+            depth_hwm: (0..disks).map(|_| AtomicU64::new(0)).collect(),
+            prefetched: AtomicU64::new(0),
+            prefetch_hits: AtomicU64::new(0),
+            prefetch_wasted: AtomicU64::new(0),
             block_bytes,
         })
     }
@@ -51,11 +66,46 @@ impl IoStats {
         self.writes[disk].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a transfer entering lane `disk`'s queue (overlapped mode).
+    #[inline]
+    pub fn record_submit(&self, disk: usize) {
+        let now = self.depth[disk].fetch_add(1, Ordering::Relaxed) + 1;
+        self.depth_hwm[disk].fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Record a transfer leaving lane `disk`'s queue (overlapped mode).
+    #[inline]
+    pub fn record_complete(&self, disk: usize) {
+        self.depth[disk].fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Record one block fetched ahead of demand by a streaming reader.
+    #[inline]
+    pub fn record_prefetch(&self) {
+        self.prefetched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one prefetched block consumed by its reader.
+    #[inline]
+    pub fn record_prefetch_hit(&self) {
+        self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` prefetched blocks discarded without being consumed.
+    #[inline]
+    pub fn record_prefetch_wasted(&self, n: u64) {
+        self.prefetch_wasted.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Capture the current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
             reads: self.reads.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
             writes: self.writes.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            depth_hwm: self.depth_hwm.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            prefetched: self.prefetched.load(Ordering::Relaxed),
+            prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
+            prefetch_wasted: self.prefetch_wasted.load(Ordering::Relaxed),
             block_bytes: self.block_bytes,
         }
     }
@@ -63,9 +113,18 @@ impl IoStats {
     /// Reset all counters to zero.  Prefer snapshot subtraction in
     /// measurement code; reset exists for test hygiene.
     pub fn reset(&self) {
-        for c in self.reads.iter().chain(self.writes.iter()) {
+        for c in self
+            .reads
+            .iter()
+            .chain(self.writes.iter())
+            .chain(self.depth.iter())
+            .chain(self.depth_hwm.iter())
+        {
             c.store(0, Ordering::Relaxed);
         }
+        self.prefetched.store(0, Ordering::Relaxed);
+        self.prefetch_hits.store(0, Ordering::Relaxed);
+        self.prefetch_wasted.store(0, Ordering::Relaxed);
     }
 }
 
@@ -74,6 +133,10 @@ impl IoStats {
 pub struct IoSnapshot {
     reads: Vec<u64>,
     writes: Vec<u64>,
+    depth_hwm: Vec<u64>,
+    prefetched: u64,
+    prefetch_hits: u64,
+    prefetch_wasted: u64,
     block_bytes: usize,
 }
 
@@ -118,8 +181,41 @@ impl IoSnapshot {
         self.total() * self.block_bytes as u64
     }
 
+    /// Queue-depth high-water mark of one lane: the most transfers that were
+    /// ever simultaneously queued or executing on that disk.  `1` means the
+    /// lane never overlapped transfers; `0` means it never saw an overlapped
+    /// submission at all (synchronous mode).
+    pub fn queue_depth_hwm(&self, disk: usize) -> u64 {
+        self.depth_hwm[disk]
+    }
+
+    /// Maximum queue-depth high-water mark over all lanes.
+    pub fn max_queue_depth(&self) -> u64 {
+        self.depth_hwm.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Blocks fetched ahead of demand by streaming readers.
+    pub fn prefetched(&self) -> u64 {
+        self.prefetched
+    }
+
+    /// Prefetched blocks that a reader actually consumed.
+    pub fn prefetch_hits(&self) -> u64 {
+        self.prefetch_hits
+    }
+
+    /// Prefetched blocks discarded unconsumed.  Nonzero means a reader was
+    /// dropped with reads in flight — those transfers were still counted, so
+    /// this is how a count deviation from the synchronous path would show up.
+    pub fn prefetch_wasted(&self) -> u64 {
+        self.prefetch_wasted
+    }
+
     /// Element-wise difference `self - earlier`; panics if `earlier` has a
     /// different disk count or any counter exceeds `self`'s.
+    ///
+    /// Queue-depth high-water marks are *not* subtracted (a maximum has no
+    /// meaningful difference); the result keeps `self`'s lifetime marks.
     pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
         assert_eq!(self.reads.len(), earlier.reads.len(), "disk count mismatch");
         IoSnapshot {
@@ -135,6 +231,10 @@ impl IoSnapshot {
                 .zip(&earlier.writes)
                 .map(|(a, b)| a.checked_sub(*b).expect("snapshot went backwards"))
                 .collect(),
+            depth_hwm: self.depth_hwm.clone(),
+            prefetched: self.prefetched.saturating_sub(earlier.prefetched),
+            prefetch_hits: self.prefetch_hits.saturating_sub(earlier.prefetch_hits),
+            prefetch_wasted: self.prefetch_wasted.saturating_sub(earlier.prefetch_wasted),
             block_bytes: self.block_bytes,
         }
     }
@@ -189,6 +289,35 @@ mod tests {
         stats.record_read(0);
         stats.reset();
         assert_eq!(stats.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn overlap_counters_track_depth_and_prefetch() {
+        let stats = IoStats::new(2, 64);
+        stats.record_submit(0);
+        stats.record_submit(0);
+        stats.record_submit(1);
+        stats.record_complete(0);
+        stats.record_submit(0); // depth back to 2, hwm stays 2
+        let snap = stats.snapshot();
+        assert_eq!(snap.queue_depth_hwm(0), 2);
+        assert_eq!(snap.queue_depth_hwm(1), 1);
+        assert_eq!(snap.max_queue_depth(), 2);
+
+        stats.record_prefetch();
+        stats.record_prefetch();
+        stats.record_prefetch_hit();
+        stats.record_prefetch_wasted(1);
+        let before = snap;
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.prefetched(), 2);
+        assert_eq!(delta.prefetch_hits(), 1);
+        assert_eq!(delta.prefetch_wasted(), 1);
+
+        stats.reset();
+        let zero = stats.snapshot();
+        assert_eq!(zero.max_queue_depth(), 0);
+        assert_eq!(zero.prefetched(), 0);
     }
 
     #[test]
