@@ -83,7 +83,11 @@ fn bench_overlapped_sort(c: &mut Criterion) {
     group.throughput(Throughput::Elements(n));
     for (label, mode, overlap) in [
         ("sync_d4", IoMode::Synchronous, OverlapConfig::off()),
-        ("overlapped_d4", IoMode::Overlapped, OverlapConfig::symmetric(2)),
+        (
+            "overlapped_d4",
+            IoMode::Overlapped,
+            OverlapConfig::symmetric(2),
+        ),
     ] {
         group.bench_function(label, |b| {
             let mut dir = std::env::temp_dir();
@@ -145,7 +149,8 @@ fn bench_priority_queue(c: &mut Criterion) {
         let cfg = EmConfig::new(64 * 1024, 64);
         b.iter(|| {
             let device = cfg.ram_disk();
-            let mut pq: ExtPriorityQueue<u64> = ExtPriorityQueue::new(device, cfg.mem_records::<u64>());
+            let mut pq: ExtPriorityQueue<u64> =
+                ExtPriorityQueue::new(device, cfg.mem_records::<u64>());
             let mut rng = StdRng::seed_from_u64(9);
             for _ in 0..n {
                 pq.push(rng.gen()).unwrap();

@@ -17,7 +17,11 @@ use crate::{fmt, measure, table};
 pub fn t1_fundamental_bounds() {
     let mut rows = Vec::new();
     // (block bytes, memory blocks, N records)
-    for &(bb, mb, n) in &[(512usize, 16usize, 50_000u64), (1024, 32, 100_000), (4096, 32, 400_000)] {
+    for &(bb, mb, n) in &[
+        (512usize, 16usize, 50_000u64),
+        (1024, 32, 100_000),
+        (4096, 32, 400_000),
+    ] {
         let cfg = EmConfig::new(bb, mb);
         let b = cfg.block_records::<u64>();
         let m = cfg.mem_records::<u64>();

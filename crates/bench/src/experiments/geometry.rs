@@ -23,13 +23,23 @@ pub fn f12_distribution_sweeping() {
         let hs: Vec<HSeg> = (0..n)
             .map(|id| {
                 let x = rng.gen_range(-span..span);
-                HSeg { id, y: rng.gen_range(-span..span), x1: x, x2: x + rng.gen_range(0..span / 2) }
+                HSeg {
+                    id,
+                    y: rng.gen_range(-span..span),
+                    x1: x,
+                    x2: x + rng.gen_range(0..span / 2),
+                }
             })
             .collect();
         let vs: Vec<VSeg> = (0..n)
             .map(|id| {
                 let y = rng.gen_range(-span..span);
-                VSeg { id, x: rng.gen_range(-span..span), y1: y, y2: y + rng.gen_range(0..span / 2) }
+                VSeg {
+                    id,
+                    x: rng.gen_range(-span..span),
+                    y1: y,
+                    y2: y + rng.gen_range(0..span / 2),
+                }
             })
             .collect();
         let hv = ExtVec::from_slice(device.clone(), &hs).unwrap();
@@ -49,7 +59,13 @@ pub fn f12_distribution_sweeping() {
     }
     table(
         "F12 — orthogonal segment intersection: distribution sweep vs nested loops",
-        &["N segments", "Z answers", "sweep I/Os", "naive I/Os", "Θ Sort(N)+Z/B"],
+        &[
+            "N segments",
+            "Z answers",
+            "sweep I/Os",
+            "naive I/Os",
+            "Θ Sort(N)+Z/B",
+        ],
         &rows,
     );
 
@@ -61,7 +77,11 @@ pub fn f12_distribution_sweeping() {
         let span = 100_000i64;
         let mut rng = StdRng::seed_from_u64(121);
         let pts: Vec<Point> = (0..n)
-            .map(|id| Point { id, x: rng.gen_range(-span..span), y: rng.gen_range(-span..span) })
+            .map(|id| Point {
+                id,
+                x: rng.gen_range(-span..span),
+                y: rng.gen_range(-span..span),
+            })
             .collect();
         let qs: Vec<Rect> = (0..n / 4)
             .map(|id| {
@@ -69,7 +89,13 @@ pub fn f12_distribution_sweeping() {
                 let y = rng.gen_range(-span..span);
                 let w = rng.gen_range(0..span / size_div);
                 let h = rng.gen_range(0..span / size_div);
-                Rect { id, x1: x, x2: x + w, y1: y, y2: y + h }
+                Rect {
+                    id,
+                    x1: x,
+                    x2: x + w,
+                    y1: y,
+                    y2: y + h,
+                }
             })
             .collect();
         let pv = ExtVec::from_slice(device.clone(), &pts).unwrap();
@@ -88,7 +114,13 @@ pub fn f12_distribution_sweeping() {
     }
     table(
         "F12a — batched range reporting, output sensitivity (N=10k points, Q=2.5k rects)",
-        &["rect size", "Z answers", "sweep I/Os", "naive I/Os", "I/Os per z/B"],
+        &[
+            "rect size",
+            "Z answers",
+            "sweep I/Os",
+            "naive I/Os",
+            "I/Os per z/B",
+        ],
         &rows,
     );
 }

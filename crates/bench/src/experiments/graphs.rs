@@ -32,7 +32,13 @@ pub fn f9_list_ranking() {
     }
     table(
         "F9 — list ranking (B=512, M=16384): pointer chase vs independent-set contraction",
-        &["N", "naive I/Os", "contraction I/Os", "speedup", "Θ Sort(N)"],
+        &[
+            "N",
+            "naive I/Os",
+            "contraction I/Os",
+            "speedup",
+            "Θ Sort(N)",
+        ],
         &rows,
     );
 }
@@ -110,7 +116,12 @@ pub fn f11_connected_components() {
         let sc = SortConfig::new(m);
         let (labels, d) = measure(&device, || connected_components(&g, n, &sc).unwrap());
         // Count components for the record.
-        let mut comps = labels.to_vec().unwrap().into_iter().map(|(_, l)| l).collect::<Vec<_>>();
+        let mut comps = labels
+            .to_vec()
+            .unwrap()
+            .into_iter()
+            .map(|(_, l)| l)
+            .collect::<Vec<_>>();
         comps.sort_unstable();
         comps.dedup();
         let overlay = bounds::sort(e, m, b) * (n as f64).log2();
@@ -125,7 +136,14 @@ pub fn f11_connected_components() {
     }
     table(
         "F11 — connected components (avg degree 3): hook-and-contract",
-        &["V", "E", "components", "measured I/Os", "Sort(E)·log₂V", "ratio"],
+        &[
+            "V",
+            "E",
+            "components",
+            "measured I/Os",
+            "Sort(E)·log₂V",
+            "ratio",
+        ],
         &rows,
     );
 
@@ -147,7 +165,9 @@ pub fn f11_connected_components() {
         };
         let e = weighted.len();
         let sc = SortConfig::new(m);
-        let (msf, d) = measure(&device, || minimum_spanning_forest(&weighted, n, &sc).unwrap());
+        let (msf, d) = measure(&device, || {
+            minimum_spanning_forest(&weighted, n, &sc).unwrap()
+        });
         rows.push(vec![
             n.to_string(),
             e.to_string(),

@@ -32,7 +32,14 @@ pub fn f13_extendible_hashing() {
     }
     table(
         "F13 — extendible hashing growth (4 KiB buckets, 255 entries each)",
-        &["N inserts", "I/Os per insert", "directory", "splits", "doublings", "load factor"],
+        &[
+            "N inserts",
+            "I/Os per insert",
+            "directory",
+            "splits",
+            "doublings",
+            "load factor",
+        ],
         &rows,
     );
 
@@ -73,7 +80,12 @@ pub fn f13_extendible_hashing() {
     }
     table(
         "F13a — cold point lookups, hash vs B-tree (N=1M)",
-        &["block", "hash I/Os per lookup", "B-tree I/Os per lookup", "tree height"],
+        &[
+            "block",
+            "hash I/Os per lookup",
+            "B-tree I/Os per lookup",
+            "tree height",
+        ],
         &rows,
     );
 }

@@ -27,8 +27,14 @@ pub fn f3_permute_crossover() {
         let dest = ExtVec::from_slice(device.clone(), &perm).unwrap();
 
         let (_, dn) = measure(&device, || permute_naive(&input, &dest).unwrap());
-        let (_, ds) = measure(&device, || permute_by_sort(&input, &dest, &SortConfig::new(m)).unwrap());
-        let winner = if dn.total() < ds.total() { "naive" } else { "sort" };
+        let (_, ds) = measure(&device, || {
+            permute_by_sort(&input, &dest, &SortConfig::new(m)).unwrap()
+        });
+        let winner = if dn.total() < ds.total() {
+            "naive"
+        } else {
+            "sort"
+        };
         rows.push(vec![
             b.to_string(),
             m.to_string(),
@@ -40,7 +46,14 @@ pub fn f3_permute_crossover() {
     }
     table(
         "F3 — permuting N=65536 records: naive (Θ(N)) vs sort-based (Θ(Sort(N))) as B grows",
-        &["B (records)", "M", "naive I/Os", "sort-based I/Os", "Θ min(N, Sort(N))", "winner"],
+        &[
+            "B (records)",
+            "M",
+            "naive I/Os",
+            "sort-based I/Os",
+            "Θ min(N, Sort(N))",
+            "winner",
+        ],
         &rows,
     );
 }

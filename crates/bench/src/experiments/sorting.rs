@@ -39,14 +39,24 @@ pub fn f1_merge_sort_scaling() {
     }
     table(
         "F1 — merge sort: measured I/Os vs N (B=128, M=4096, fan-in=31)",
-        &["N", "measured", "2·(N/B)·passes", "ratio", "Θ Sort(N)", "measured/Θ"],
+        &[
+            "N",
+            "measured",
+            "2·(N/B)·passes",
+            "ratio",
+            "Θ Sort(N)",
+            "measured/Θ",
+        ],
         &rows,
     );
 
     // Ablation: run formation strategy.
     let mut rows = Vec::new();
     let n = 640_000u64;
-    for (name, rf) in [("load-sort-store", RunFormation::LoadSort), ("replacement-selection", RunFormation::ReplacementSelection)] {
+    for (name, rf) in [
+        ("load-sort-store", RunFormation::LoadSort),
+        ("replacement-selection", RunFormation::ReplacementSelection),
+    ] {
         let device = cfg.ram_disk();
         let input = random_input(&device, n, 77);
         let sc = SortConfig::new(m).with_run_formation(rf);
@@ -113,7 +123,13 @@ pub fn f2_merge_vs_distribution() {
     }
     table(
         "F2 — merge vs distribution sort (B=128, M=4096)",
-        &["N", "merge I/Os", "distribution I/Os", "dist/merge", "Θ Sort(N)"],
+        &[
+            "N",
+            "merge I/Os",
+            "distribution I/Os",
+            "dist/merge",
+            "Θ Sort(N)",
+        ],
         &rows,
     );
 }

@@ -32,7 +32,13 @@ pub fn f15_suffix_array() {
     }
     table(
         "F15 — (extension) suffix array by prefix doubling (6-letter alphabet)",
-        &["N bytes", "build I/Os", "Sort(N)·log₂N", "ratio", "search \"abc\""],
+        &[
+            "N bytes",
+            "build I/Os",
+            "Sort(N)·log₂N",
+            "ratio",
+            "search \"abc\"",
+        ],
         &rows,
     );
 }

@@ -11,7 +11,12 @@ use crate::{fmt, measure, table};
 /// LRU-vs-FIFO buffer-pool ablation.
 pub fn t2_btree_search() {
     let mut rows = Vec::new();
-    for &(bb, n) in &[(256usize, 10_000u64), (256, 1_000_000), (1024, 1_000_000), (4096, 1_000_000)] {
+    for &(bb, n) in &[
+        (256usize, 10_000u64),
+        (256, 1_000_000),
+        (1024, 1_000_000),
+        (4096, 1_000_000),
+    ] {
         let cfg = EmConfig::new(bb, 8);
         let device = cfg.ram_disk();
         let pool = BufferPool::new(device.clone(), 4, EvictionPolicy::Lru); // cold-ish
@@ -38,7 +43,13 @@ pub fn t2_btree_search() {
     }
     table(
         "T2 — B-tree point lookups: height tracks ⌈log_B N⌉",
-        &["machine", "tree height", "worst I/Os", "mean I/Os", "⌈log_B N⌉"],
+        &[
+            "machine",
+            "tree height",
+            "worst I/Os",
+            "mean I/Os",
+            "⌈log_B N⌉",
+        ],
         &rows,
     );
 
@@ -54,7 +65,11 @@ pub fn t2_btree_search() {
         let before = device.stats().snapshot();
         for _ in 0..5000 {
             // 90% of lookups in a hot 1% key range.
-            let k = if rng.gen_bool(0.9) { rng.gen_range(0..n / 100) } else { rng.gen_range(0..n) };
+            let k = if rng.gen_bool(0.9) {
+                rng.gen_range(0..n / 100)
+            } else {
+                rng.gen_range(0..n)
+            };
             tree.get(&k).unwrap();
         }
         let d = device.stats().snapshot().since(&before);
@@ -115,7 +130,13 @@ pub fn f6_buffer_tree_amortization() {
     }
     table(
         "F6 — amortized I/Os per insert (N=200k): online B-tree vs buffer tree",
-        &["block", "B-tree I/Os/op", "buffer tree I/Os/op", "speedup", "Sort(N)/N"],
+        &[
+            "block",
+            "B-tree I/Os/op",
+            "buffer tree I/Os/op",
+            "speedup",
+            "Sort(N)/N",
+        ],
         &rows,
     );
 }

@@ -30,9 +30,18 @@ impl<R: Record> AppendBuffer<R> {
     /// Create an empty buffer on `device`.
     pub fn new(device: SharedDevice) -> Self {
         let per_block = (device.block_size() / R::BYTES).max(1);
-        assert!(device.block_size() / R::BYTES >= 1, "record larger than block");
+        assert!(
+            device.block_size() / R::BYTES >= 1,
+            "record larger than block"
+        );
         let byte_buf = vec![0u8; device.block_size()].into_boxed_slice();
-        AppendBuffer { device, blocks: Vec::new(), tail: Vec::with_capacity(per_block), per_block, byte_buf }
+        AppendBuffer {
+            device,
+            blocks: Vec::new(),
+            tail: Vec::with_capacity(per_block),
+            per_block,
+            byte_buf,
+        }
     }
 
     /// Number of records held.

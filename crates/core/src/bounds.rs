@@ -55,7 +55,10 @@ pub fn transpose(p: u64, q: u64, m: usize, b: usize) -> f64 {
     let n = p * q;
     let nb = n as f64 / b as f64;
     let mb = (m as f64 / b as f64).max(2.0);
-    let inner = (m as f64).min(p as f64).min(q as f64).min((n as f64 / m as f64).max(2.0));
+    let inner = (m as f64)
+        .min(p as f64)
+        .min(q as f64)
+        .min((n as f64 / m as f64).max(2.0));
     nb * (inner.ln() / mb.ln()).max(1.0)
 }
 

@@ -63,7 +63,30 @@ impl MemBudget {
             self.capacity
         );
         self.high_water.fetch_max(now, Ordering::Relaxed);
-        BudgetGuard { budget: Arc::clone(self), records }
+        BudgetGuard {
+            budget: Arc::clone(self),
+            records,
+        }
+    }
+
+    /// Charge the largest multiple of `unit` records that fits, up to
+    /// `max_units · unit`, or `None` if not even one unit fits.
+    ///
+    /// This is the degrading charge used for block-granular pipeline
+    /// buffers: a prefetch pool that wants `k·depth` blocks shrinks to
+    /// whatever whole number of blocks the budget has left rather than
+    /// violating the model.
+    pub fn try_charge_units(
+        self: &Arc<Self>,
+        max_units: usize,
+        unit: usize,
+    ) -> Option<BudgetGuard> {
+        for units in (1..=max_units).rev() {
+            if let Some(guard) = self.try_charge(units * unit) {
+                return Some(guard);
+            }
+        }
+        None
     }
 
     /// Charge `records` if capacity allows, or return `None` charging
@@ -79,10 +102,16 @@ impl MemBudget {
             if now > self.capacity {
                 return None;
             }
-            match self.used.compare_exchange_weak(cur, now, Ordering::Relaxed, Ordering::Relaxed) {
+            match self
+                .used
+                .compare_exchange_weak(cur, now, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => {
                     self.high_water.fetch_max(now, Ordering::Relaxed);
-                    return Some(BudgetGuard { budget: Arc::clone(self), records });
+                    return Some(BudgetGuard {
+                        budget: Arc::clone(self),
+                        records,
+                    });
                 }
                 Err(actual) => cur = actual,
             }
@@ -142,6 +171,16 @@ mod tests {
         let b = MemBudget::new(1);
         let _g = b.charge(0);
         assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn try_charge_units_degrades_to_largest_fit() {
+        let b = MemBudget::new(25);
+        let g = b.try_charge_units(5, 8).expect("three blocks fit");
+        assert_eq!(g.records(), 24, "granted ⌊25/8⌋ = 3 units");
+        assert!(b.try_charge_units(2, 8).is_none(), "no whole unit left");
+        drop(g);
+        assert_eq!(b.try_charge_units(1, 8).unwrap().records(), 8);
     }
 
     #[test]

@@ -25,7 +25,10 @@ impl EmConfig {
     pub fn new(block_bytes: usize, mem_blocks: usize) -> Self {
         assert!(block_bytes > 0, "block size must be positive");
         assert!(mem_blocks >= 4, "need at least 4 blocks of memory");
-        EmConfig { block_bytes, mem_blocks }
+        EmConfig {
+            block_bytes,
+            mem_blocks,
+        }
     }
 
     /// Internal memory capacity in bytes.

@@ -11,6 +11,13 @@
 //! practice (STXXL and TPIE both keep block maps resident) and is accounted
 //! for in DESIGN.md; it is `O(N/B)` words, asymptotically below the `Ω(B)`
 //! memory the model already grants.
+//!
+//! Arrays produced by a streaming writer additionally carry **forecast
+//! metadata**: the leading (first) record of every block, recorded for free
+//! as the block is encoded.  This is the "smallest key in each run's next
+//! block" that Vitter's merge sort consults to decide which block to fetch
+//! next; like the block map it is `O(N/B)` records of resident memory, in
+//! the same accounting class.
 
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -26,6 +33,9 @@ pub struct ExtVec<R: Record> {
     device: SharedDevice,
     blocks: Vec<BlockId>,
     len: u64,
+    /// Leading record of each block (forecast metadata); empty when the
+    /// array was not produced by a streaming writer.
+    heads: Vec<R>,
     _marker: PhantomData<fn() -> R>,
 }
 
@@ -39,7 +49,13 @@ impl<R: Record> ExtVec<R> {
 
     /// An empty array on `device`.
     pub fn new(device: SharedDevice) -> Self {
-        ExtVec { device, blocks: Vec::new(), len: 0, _marker: PhantomData }
+        ExtVec {
+            device,
+            blocks: Vec::new(),
+            len: 0,
+            heads: Vec::new(),
+            _marker: PhantomData,
+        }
     }
 
     /// Build from an in-memory slice (streams through a one-block writer).
@@ -60,12 +76,31 @@ impl<R: Record> ExtVec<R> {
         for _ in 0..nblocks {
             blocks.push(device.allocate()?);
         }
-        Ok(ExtVec { device, blocks, len, _marker: PhantomData })
+        Ok(ExtVec {
+            device,
+            blocks,
+            len,
+            heads: Vec::new(),
+            _marker: PhantomData,
+        })
     }
 
-    /// (internal) Assemble from parts; used by the writer.
-    pub(crate) fn from_parts(device: SharedDevice, blocks: Vec<BlockId>, len: u64) -> Self {
-        ExtVec { device, blocks, len, _marker: PhantomData }
+    /// (internal) Assemble from parts; used by the writer.  `heads` carries
+    /// the leading record of each block (or is empty for no metadata).
+    pub(crate) fn from_parts(
+        device: SharedDevice,
+        blocks: Vec<BlockId>,
+        len: u64,
+        heads: Vec<R>,
+    ) -> Self {
+        debug_assert!(heads.is_empty() || heads.len() == blocks.len());
+        ExtVec {
+            device,
+            blocks,
+            len,
+            heads,
+            _marker: PhantomData,
+        }
     }
 
     /// Number of records.
@@ -98,6 +133,19 @@ impl<R: Record> ExtVec<R> {
         self.blocks[bi]
     }
 
+    /// Leading (first) record of block `bi`, if forecast metadata was
+    /// recorded when the array was written.  Costs no I/O.
+    pub fn block_head(&self, bi: usize) -> Option<&R> {
+        self.heads.get(bi)
+    }
+
+    /// True if every block's leading record is known without I/O (the array
+    /// was produced by a streaming writer).  Required for forecasting-driven
+    /// prefetch; an empty array vacuously qualifies.
+    pub fn has_block_heads(&self) -> bool {
+        self.heads.len() == self.blocks.len()
+    }
+
     /// (internal) Decode the raw bytes of block `bi` into `out` (cleared
     /// first).  Used by the prefetching reader, which obtains the bytes from
     /// an asynchronous read ticket instead of [`read_block_into`].
@@ -116,13 +164,20 @@ impl<R: Record> ExtVec<R> {
     pub fn records_in_block(&self, bi: usize) -> usize {
         let per = self.per_block() as u64;
         let start = bi as u64 * per;
-        assert!(start < self.len || (self.len == 0 && bi == 0), "block index out of range");
+        assert!(
+            start < self.len || (self.len == 0 && bi == 0),
+            "block index out of range"
+        );
         ((self.len - start).min(per)) as usize
     }
 
     /// Random-access read of record `idx`.  Costs one I/O.
     pub fn get(&self, idx: u64) -> Result<R> {
-        assert!(idx < self.len, "index {idx} out of range (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "index {idx} out of range (len {})",
+            self.len
+        );
         let per = self.per_block() as u64;
         let (bi, off) = ((idx / per) as usize, (idx % per) as usize);
         let mut buf = self.block_buf();
@@ -133,7 +188,11 @@ impl<R: Record> ExtVec<R> {
     /// Random-access overwrite of record `idx`.  Costs two I/Os
     /// (read-modify-write of the containing block).
     pub fn set(&self, idx: u64, value: &R) -> Result<()> {
-        assert!(idx < self.len, "index {idx} out of range (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "index {idx} out of range (len {})",
+            self.len
+        );
         let per = self.per_block() as u64;
         let (bi, off) = ((idx / per) as usize, (idx % per) as usize);
         let mut buf = self.block_buf();
@@ -159,7 +218,11 @@ impl<R: Record> ExtVec<R> {
     /// Overwrite block `bi` with `records` (must match
     /// [`records_in_block`](Self::records_in_block)).  Costs one I/O.
     pub fn write_block(&self, bi: usize, records: &[R]) -> Result<()> {
-        assert_eq!(records.len(), self.records_in_block(bi), "wrong record count for block {bi}");
+        assert_eq!(
+            records.len(),
+            self.records_in_block(bi),
+            "wrong record count for block {bi}"
+        );
         let mut buf = self.block_buf();
         for (i, r) in records.iter().enumerate() {
             r.write_to(&mut buf[i * R::BYTES..(i + 1) * R::BYTES]);
@@ -198,7 +261,10 @@ impl<R: Record> ExtVec<R> {
     /// blocks are written with one I/O; partially covered edge blocks incur a
     /// read-modify-write (one extra read each).
     pub fn write_range(&self, start: u64, records: &[R]) -> Result<()> {
-        assert!(start + records.len() as u64 <= self.len, "range out of bounds");
+        assert!(
+            start + records.len() as u64 <= self.len,
+            "range out of bounds"
+        );
         if records.is_empty() {
             return Ok(());
         }
@@ -254,6 +320,19 @@ impl<R: Record> ExtVec<R> {
         budget: &Arc<MemBudget>,
     ) -> ExtVecReader<'_, R> {
         ExtVecReader::with_prefetch(self, start, depth, budget)
+    }
+
+    /// Externally managed prefetching reader: it never submits read-ahead on
+    /// its own — a forecaster calls
+    /// [`prefetch_one`](ExtVecReader::prefetch_one) to put up to `cap`
+    /// blocks in flight, ordered across streams by
+    /// [`next_fetch_head`](ExtVecReader::next_fetch_head).  The buffer pool
+    /// backing `cap` is the *caller's* charge (shared across readers), so no
+    /// budget is taken here.  The reads issued are still exactly those of
+    /// [`reader`](Self::reader), merely submitted early and in
+    /// forecaster-chosen order.
+    pub fn reader_forecast(&self, start: u64, cap: usize) -> ExtVecReader<'_, R> {
+        ExtVecReader::with_forecast(self, start, cap)
     }
 
     /// Load the whole array into memory.  **Test/verification helper** — it
@@ -413,11 +492,15 @@ mod range_tests {
         let v: ExtVec<u64> = ExtVec::with_len(device.clone(), 40).unwrap();
         let before = device.stats().snapshot();
         // records 8..24 = blocks 1 and 2 fully covered
-        v.write_range(8, &(100u64..116).collect::<Vec<_>>()).unwrap();
+        v.write_range(8, &(100u64..116).collect::<Vec<_>>())
+            .unwrap();
         let d = device.stats().snapshot().since(&before);
         assert_eq!(d.writes(), 2);
         assert_eq!(d.reads(), 0, "fully covered blocks need no read");
-        assert_eq!(v.to_vec().unwrap()[8..24], (100..116).collect::<Vec<u64>>()[..]);
+        assert_eq!(
+            v.to_vec().unwrap()[8..24],
+            (100..116).collect::<Vec<u64>>()[..]
+        );
     }
 
     #[test]

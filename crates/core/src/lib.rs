@@ -47,8 +47,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod bounds;
 mod append_buffer;
+pub mod bounds;
 mod budget;
 mod config;
 mod ext_vec;
@@ -60,7 +60,7 @@ pub use budget::{BudgetGuard, MemBudget};
 pub use config::EmConfig;
 pub use ext_vec::ExtVec;
 pub use record::Record;
-pub use stream::{ExtVecReader, ExtVecWriter};
+pub use stream::{ExtVecReader, ExtVecWriter, IoWaitSink};
 
 // Re-export the substrate so dependents need only one import path.
 pub use pdm;

@@ -20,13 +20,36 @@
 //! are identical to the synchronous path.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use pdm::{BlockId, IoTicket, Result, SharedDevice};
 
 use crate::budget::{BudgetGuard, MemBudget};
 use crate::ext_vec::ExtVec;
 use crate::record::Record;
+
+/// Shared nanosecond accumulator for time spent blocked on device I/O.
+///
+/// Attach one to any number of readers/writers with their
+/// `set_io_wait_sink`; every synchronous transfer and every
+/// [`IoTicket::wait`] they perform adds its duration, letting a caller split
+/// a phase's wall time into CPU work vs. I/O wait.
+pub type IoWaitSink = Arc<AtomicU64>;
+
+/// Run `f`, adding its duration to `sink` (when one is attached).
+fn timed<T>(sink: &Option<IoWaitSink>, f: impl FnOnce() -> T) -> T {
+    match sink {
+        None => f(),
+        Some(s) => {
+            let t0 = Instant::now();
+            let out = f();
+            s.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            out
+        }
+    }
+}
 
 /// Encode `records` into `out`, zeroing the tail of a partial block so the
 /// encoding is deterministic.
@@ -71,6 +94,10 @@ pub struct ExtVecWriter<R: Record> {
     inflight: VecDeque<IoTicket>,
     /// Completed write buffers ready for reuse.
     spare: Vec<Box<[u8]>>,
+    /// Leading record of each flushed block (forecast metadata).
+    heads: Vec<R>,
+    /// Accumulates time spent blocked on device transfers.
+    wait_sink: Option<IoWaitSink>,
     /// Budget charge covering the write-behind buffers.
     _reserve: Option<BudgetGuard>,
 }
@@ -90,6 +117,8 @@ impl<R: Record> ExtVecWriter<R> {
             depth: 0,
             inflight: VecDeque::new(),
             spare: Vec::new(),
+            heads: Vec::new(),
+            wait_sink: None,
             _reserve: None,
         }
     }
@@ -129,6 +158,12 @@ impl<R: Record> ExtVecWriter<R> {
         self.depth
     }
 
+    /// Attach an [`IoWaitSink`]; subsequent blocking transfers (including
+    /// the waits inside [`finish`](Self::finish)) add their duration to it.
+    pub fn set_io_wait_sink(&mut self, sink: IoWaitSink) {
+        self.wait_sink = Some(sink);
+    }
+
     /// Append one record, flushing a full buffer to a fresh block.
     pub fn push(&mut self, r: R) -> Result<()> {
         self.buf.push(r);
@@ -146,16 +181,25 @@ impl<R: Record> ExtVecWriter<R> {
             self.flush_buf()?;
         }
         while let Some(ticket) = self.inflight.pop_front() {
-            ticket.wait()?;
+            timed(&self.wait_sink, || ticket.wait())?;
         }
-        Ok(ExtVec::from_parts(self.device, self.blocks, self.len))
+        let heads = std::mem::take(&mut self.heads);
+        Ok(ExtVec::from_parts(
+            self.device,
+            std::mem::take(&mut self.blocks),
+            self.len,
+            heads,
+        ))
     }
 
     fn flush_buf(&mut self) -> Result<()> {
         let id = self.device.allocate()?;
+        self.heads.push(self.buf[0].clone());
         if self.depth == 0 {
             encode_block(&self.buf, &mut self.byte_buf);
-            self.device.write_block(id, &self.byte_buf)?;
+            timed(&self.wait_sink, || {
+                self.device.write_block(id, &self.byte_buf)
+            })?;
         } else {
             // Reuse a completed buffer, grow up to `depth` in-flight blocks,
             // or wait for the oldest write to retire its buffer.
@@ -164,7 +208,10 @@ impl<R: Record> ExtVecWriter<R> {
                 None if self.inflight.len() < self.depth => {
                     vec![0u8; self.device.block_size()].into_boxed_slice()
                 }
-                None => self.inflight.pop_front().expect("inflight nonempty").wait()?,
+                None => {
+                    let ticket = self.inflight.pop_front().expect("inflight nonempty");
+                    timed(&self.wait_sink, || ticket.wait())?
+                }
             };
             encode_block(&self.buf, &mut out);
             self.inflight.push_back(self.device.submit_write(id, out));
@@ -195,6 +242,12 @@ pub struct ExtVecReader<'a, R: Record> {
     next_fetch: usize,
     /// Consumed prefetch buffers ready for reuse.
     spare: Vec<Box<[u8]>>,
+    /// Externally managed (forecast) mode: the reader never tops itself up;
+    /// a forecaster calls [`prefetch_one`](Self::prefetch_one) instead, and
+    /// its buffers belong to the forecaster's shared pool.
+    managed: bool,
+    /// Accumulates time spent blocked on device transfers.
+    wait_sink: Option<IoWaitSink>,
     /// Budget charge covering the read-ahead buffers.
     _reserve: Option<BudgetGuard>,
 }
@@ -213,6 +266,8 @@ impl<'a, R: Record> ExtVecReader<'a, R> {
             pending: VecDeque::new(),
             next_fetch: 0,
             spare: Vec::new(),
+            managed: false,
+            wait_sink: None,
             _reserve: None,
         }
     }
@@ -238,6 +293,18 @@ impl<'a, R: Record> ExtVecReader<'a, R> {
         r
     }
 
+    /// Externally managed (forecast-mode) reader: read-ahead capacity `cap`,
+    /// but nothing is ever submitted except through
+    /// [`prefetch_one`](Self::prefetch_one).  No budget is charged — the
+    /// managing forecaster owns the shared pool charge.
+    pub(crate) fn with_forecast(vec: &'a ExtVec<R>, start: u64, cap: usize) -> Self {
+        let mut r = Self::new(vec, start);
+        r.depth = cap;
+        r.managed = true;
+        r.next_fetch = (start / vec.per_block() as u64) as usize;
+        r
+    }
+
     /// Records not yet returned.
     pub fn remaining(&self) -> u64 {
         self.vec.len() - self.consumed
@@ -246,6 +313,62 @@ impl<'a, R: Record> ExtVecReader<'a, R> {
     /// The read-ahead depth actually granted by the budget.
     pub fn prefetch_depth(&self) -> usize {
         self.depth
+    }
+
+    /// Attach an [`IoWaitSink`]; subsequent blocking transfers add their
+    /// duration to it.
+    pub fn set_io_wait_sink(&mut self, sink: IoWaitSink) {
+        self.wait_sink = Some(sink);
+    }
+
+    /// Prefetches currently in flight (or complete but unconsumed).
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if sequential blocks remain that have not been submitted yet.
+    pub fn has_unfetched(&self) -> bool {
+        self.next_fetch < self.vec.num_blocks()
+    }
+
+    /// Leading key of the next block this reader would prefetch — the
+    /// forecast datum of Vitter's merge sort.  `None` once every block has
+    /// been submitted, or if the array carries no block-head metadata.
+    pub fn next_fetch_head(&self) -> Option<&R> {
+        if self.next_fetch < self.vec.num_blocks() {
+            self.vec.block_head(self.next_fetch)
+        } else {
+            None
+        }
+    }
+
+    /// (Forecast mode) Submit the single next sequential block, if capacity
+    /// allows and unfetched blocks remain.  Returns whether a read was
+    /// submitted.  Only meaningful on a reader built by
+    /// [`ExtVec::reader_forecast`]; the issued read is one the plain reader
+    /// would perform anyway, merely submitted early.
+    pub fn prefetch_one(&mut self) -> bool {
+        if !self.managed
+            || self.depth == 0
+            || self.pending.len() >= self.depth
+            || self.next_fetch >= self.vec.num_blocks()
+        {
+            return false;
+        }
+        let buf = self
+            .spare
+            .pop()
+            .unwrap_or_else(|| vec![0u8; self.vec.device().block_size()].into_boxed_slice());
+        let ticket = self
+            .vec
+            .device()
+            .submit_read(self.vec.block_id(self.next_fetch), buf);
+        let stats = self.vec.device().stats();
+        stats.record_prefetch();
+        stats.record_forecast_issued();
+        self.pending.push_back((self.next_fetch, ticket));
+        self.next_fetch += 1;
+        true
     }
 
     /// Look at the next record without consuming it.  Costs an I/O only at
@@ -274,9 +397,10 @@ impl<'a, R: Record> ExtVecReader<'a, R> {
         Ok(Some(r))
     }
 
-    /// Keep `depth` sequential blocks in flight.
+    /// Keep `depth` sequential blocks in flight.  (No-op in forecast mode,
+    /// where the managing forecaster decides when to submit.)
     fn top_up(&mut self) {
-        if self.depth == 0 {
+        if self.depth == 0 || self.managed {
             return;
         }
         let nblocks = self.vec.num_blocks();
@@ -285,7 +409,10 @@ impl<'a, R: Record> ExtVecReader<'a, R> {
                 .spare
                 .pop()
                 .unwrap_or_else(|| vec![0u8; self.vec.device().block_size()].into_boxed_slice());
-            let ticket = self.vec.device().submit_read(self.vec.block_id(self.next_fetch), buf);
+            let ticket = self
+                .vec
+                .device()
+                .submit_read(self.vec.block_id(self.next_fetch), buf);
             self.vec.device().stats().record_prefetch();
             self.pending.push_back((self.next_fetch, ticket));
             self.next_fetch += 1;
@@ -301,24 +428,38 @@ impl<'a, R: Record> ExtVecReader<'a, R> {
             if let Some(&(front_bi, _)) = self.pending.front() {
                 if front_bi == bi {
                     let (_, ticket) = self.pending.pop_front().expect("front present");
-                    let bytes = ticket.wait()?;
+                    let bytes = timed(&self.wait_sink, || ticket.wait())?;
                     self.vec.decode_block(bi, &bytes, &mut self.buf);
-                    self.vec.device().stats().record_prefetch_hit();
-                    self.spare.push(bytes);
+                    let stats = self.vec.device().stats();
+                    stats.record_prefetch_hit();
+                    if self.managed {
+                        // The forecaster predicted this block and had it in
+                        // flight when demanded.  Its buffer returns to the
+                        // shared pool by being dropped (per-reader spare
+                        // hoards would let total buffers exceed the pool).
+                        stats.record_forecast_hit();
+                    } else {
+                        self.spare.push(bytes);
+                    }
                     self.top_up();
                     return Ok(());
                 }
             }
             // The needed block is not at the head of the pipeline (possible
             // only for a freshly constructed reader whose budget granted
-            // depth 0 mid-stream, or after `pending` was drained at the
+            // depth 0 mid-stream, for a forecast-mode reader the forecaster
+            // has not fed yet, or after `pending` was drained at the
             // array's end): read on demand and realign the pipeline.
             self.next_fetch = self.next_fetch.max(bi + 1);
-            self.vec.read_block_into(bi, &mut self.buf)?;
+            timed(&self.wait_sink, || {
+                self.vec.read_block_into(bi, &mut self.buf)
+            })?;
             self.top_up();
             return Ok(());
         }
-        self.vec.read_block_into(bi, &mut self.buf)
+        timed(&self.wait_sink, || {
+            self.vec.read_block_into(bi, &mut self.buf)
+        })
     }
 }
 
@@ -327,7 +468,10 @@ impl<R: Record> Drop for ExtVecReader<'_, R> {
         // In-flight prefetches still execute (and count) on the device even
         // though nobody will consume them; make that observable.
         if !self.pending.is_empty() {
-            self.vec.device().stats().record_prefetch_wasted(self.pending.len() as u64);
+            self.vec
+                .device()
+                .stats()
+                .record_prefetch_wasted(self.pending.len() as u64);
         }
     }
 }
@@ -513,9 +657,17 @@ mod overlap_tests {
         }
         let v = w.finish().unwrap();
         let delta = device.stats().snapshot().since(&before);
-        assert_eq!(delta.writes(), 13, "write-behind must not change write counts");
+        assert_eq!(
+            delta.writes(),
+            13,
+            "write-behind must not change write counts"
+        );
         assert_eq!(v.to_vec().unwrap(), (0..100).collect::<Vec<_>>());
-        assert_eq!(budget.used(), 0, "reserve released when the writer finishes");
+        assert_eq!(
+            budget.used(),
+            0,
+            "reserve released when the writer finishes"
+        );
     }
 
     #[test]
@@ -529,6 +681,77 @@ mod overlap_tests {
         }
         let v = w.finish().unwrap();
         assert_eq!(v.to_vec().unwrap(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn writer_records_block_heads() {
+        let device = dev();
+        let mut w = ExtVecWriter::new(device);
+        for i in 0..20u64 {
+            w.push(i).unwrap();
+        }
+        let v = w.finish().unwrap();
+        assert!(v.has_block_heads());
+        assert_eq!(v.block_head(0), Some(&0));
+        assert_eq!(v.block_head(1), Some(&8));
+        assert_eq!(
+            v.block_head(2),
+            Some(&16),
+            "partial last block still has a head"
+        );
+        assert_eq!(v.block_head(3), None);
+    }
+
+    #[test]
+    fn forecast_reader_submits_only_on_demand_from_manager() {
+        let device = dev();
+        let v = ExtVec::from_slice(device.clone(), &(0u64..40).collect::<Vec<_>>()).unwrap();
+        let before = device.stats().snapshot();
+        let mut r = v.reader_forecast(0, 2);
+        assert_eq!(r.in_flight(), 0, "nothing submitted at construction");
+        assert_eq!(r.next_fetch_head(), Some(&0));
+        assert!(r.prefetch_one());
+        assert_eq!(r.next_fetch_head(), Some(&8));
+        assert!(r.prefetch_one());
+        assert!(!r.prefetch_one(), "at capacity");
+        assert_eq!(r.in_flight(), 2);
+        let collected: Vec<u64> = std::iter::from_fn(|| r.try_next().unwrap()).collect();
+        assert_eq!(collected, (0..40).collect::<Vec<_>>());
+        let delta = device.stats().snapshot().since(&before);
+        assert_eq!(
+            delta.reads(),
+            5,
+            "forecast mode must not change read counts"
+        );
+        assert_eq!(delta.prefetched(), 2);
+        assert_eq!(delta.forecast_issued(), 2);
+        assert_eq!(
+            delta.forecast_hits(),
+            2,
+            "both forecast blocks were consumed"
+        );
+        assert_eq!(delta.prefetch_wasted(), 0);
+    }
+
+    #[test]
+    fn io_wait_sink_accumulates_on_blocking_transfers() {
+        use std::sync::atomic::Ordering;
+        let device = dev();
+        let sink: IoWaitSink = Arc::new(AtomicU64::new(0));
+        let mut w = ExtVecWriter::new(device.clone());
+        w.set_io_wait_sink(Arc::clone(&sink));
+        for i in 0..40u64 {
+            w.push(i).unwrap();
+        }
+        let v = w.finish().unwrap();
+        let wrote = sink.load(Ordering::Relaxed);
+        let mut r = v.reader();
+        r.set_io_wait_sink(Arc::clone(&sink));
+        let _: Vec<u64> = std::iter::from_fn(|| r.try_next().unwrap()).collect();
+        assert!(
+            sink.load(Ordering::Relaxed) >= wrote,
+            "reader adds to the same sink"
+        );
     }
 
     #[test]

@@ -67,11 +67,23 @@ pub fn dominance_count(
     {
         let mut r = points.reader();
         while let Some(p) = r.try_next()? {
-            w.push(Event { y: p.y, kind: 0, id: p.id, x: p.x, acc: 0 })?;
+            w.push(Event {
+                y: p.y,
+                kind: 0,
+                id: p.id,
+                x: p.x,
+                acc: 0,
+            })?;
         }
         let mut r = queries.reader();
         while let Some(q) = r.try_next()? {
-            w.push(Event { y: q.y, kind: 1, id: q.id, x: q.x, acc: 0 })?;
+            w.push(Event {
+                y: q.y,
+                kind: 1,
+                id: q.id,
+                x: q.x,
+                acc: 0,
+            })?;
         }
     }
     let unsorted = w.finish()?;
@@ -86,7 +98,12 @@ pub fn dominance_count(
     Ok(sorted)
 }
 
-fn sweep(events: ExtVec<Event>, cfg: &SortConfig, out: &mut ExtVecWriter<(u64, u64)>, depth: u32) -> Result<()> {
+fn sweep(
+    events: ExtVec<Event>,
+    cfg: &SortConfig,
+    out: &mut ExtVecWriter<(u64, u64)>,
+    depth: u32,
+) -> Result<()> {
     assert!(depth < 64, "distribution sweep failed to make progress");
     let device = events.device().clone();
     let n = events.len() as usize;
@@ -106,8 +123,9 @@ fn sweep(events: ExtVec<Event>, cfg: &SortConfig, out: &mut ExtVecWriter<(u64, u
     let nslabs = pivots.len() + 1;
     let slab_of = |x: i64| pivots.partition_point(|&p| p <= x);
 
-    let mut down: Vec<ExtVecWriter<Event>> =
-        (0..nslabs).map(|_| ExtVecWriter::new(device.clone())).collect();
+    let mut down: Vec<ExtVecWriter<Event>> = (0..nslabs)
+        .map(|_| ExtVecWriter::new(device.clone()))
+        .collect();
     let mut counters = vec![0u64; nslabs];
     {
         let mut r = events.reader();
@@ -181,7 +199,10 @@ fn sample_pivots(events: &ExtVec<Event>, want: usize) -> Result<Vec<i64>> {
 }
 
 /// Baseline: block-nested loops — quadratic I/Os and comparisons.
-pub fn dominance_count_naive(points: &ExtVec<Point>, queries: &ExtVec<Point>) -> Result<ExtVec<(u64, u64)>> {
+pub fn dominance_count_naive(
+    points: &ExtVec<Point>,
+    queries: &ExtVec<Point>,
+) -> Result<ExtVec<(u64, u64)>> {
     let mut out: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(points.device().clone());
     let mut qblock = Vec::new();
     for qb in 0..queries.num_blocks() {
@@ -248,13 +269,18 @@ mod tests {
     fn random_matches_naive() {
         let d = device();
         let mut rng = StdRng::seed_from_u64(301);
-        let points: Vec<(u64, i64, i64)> =
-            (0..1200).map(|id| (id, rng.gen_range(-500..500), rng.gen_range(-500..500))).collect();
-        let queries: Vec<(u64, i64, i64)> =
-            (0..800).map(|id| (id, rng.gen_range(-500..500), rng.gen_range(-500..500))).collect();
+        let points: Vec<(u64, i64, i64)> = (0..1200)
+            .map(|id| (id, rng.gen_range(-500..500), rng.gen_range(-500..500)))
+            .collect();
+        let queries: Vec<(u64, i64, i64)> = (0..800)
+            .map(|id| (id, rng.gen_range(-500..500), rng.gen_range(-500..500)))
+            .collect();
         let pv = pts(&d, &points);
         let qv = pts(&d, &queries);
-        let smart = dominance_count(&pv, &qv, &SortConfig::new(96)).unwrap().to_vec().unwrap();
+        let smart = dominance_count(&pv, &qv, &SortConfig::new(96))
+            .unwrap()
+            .to_vec()
+            .unwrap();
         let naive = dominance_count_naive(&pv, &qv).unwrap().to_vec().unwrap();
         assert_eq!(smart, naive);
     }
@@ -266,18 +292,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(302);
         let n = 50_000u64;
         let points: Vec<Point> = (0..n)
-            .map(|id| Point { id, x: rng.gen_range(-1000..1000), y: rng.gen_range(-1000..1000) })
+            .map(|id| Point {
+                id,
+                x: rng.gen_range(-1000..1000),
+                y: rng.gen_range(-1000..1000),
+            })
             .collect();
         // Queries in the top-right corner: each dominates ~all points.
-        let queries: Vec<Point> =
-            (0..n / 5).map(|id| Point { id, x: 900, y: 900 }).collect();
+        let queries: Vec<Point> = (0..n / 5).map(|id| Point { id, x: 900, y: 900 }).collect();
         let pv = ExtVec::from_slice(d.clone(), &points).unwrap();
         let qv = ExtVec::from_slice(d.clone(), &queries).unwrap();
         let before = d.stats().snapshot();
         let got = dominance_count(&pv, &qv, &SortConfig::new(16_384)).unwrap();
         let ios = d.stats().snapshot().since(&before).total();
         let total: u64 = got.reader().map(|(_, c)| c).sum();
-        assert!(total > (n / 5) * (n / 2), "answers should be enormous: {total}");
+        assert!(
+            total > (n / 5) * (n / 2),
+            "answers should be enormous: {total}"
+        );
         // …yet the I/O cost is a few sorts of N+Q.
         // ≈10 scans of N+Q (event build + sorts + recursion); a reporting
         // version would pay ~Z/B ≈ 2assert!(ios < 3000, "counting used {ios} I/Os");#47;… millions more.
@@ -289,7 +321,9 @@ mod tests {
         let d = device();
         let none: ExtVec<Point> = ExtVec::new(d.clone());
         let one = pts(&d, &[(1, 0, 0)]);
-        assert!(dominance_count(&none, &none, &SortConfig::new(256)).unwrap().is_empty());
+        assert!(dominance_count(&none, &none, &SortConfig::new(256))
+            .unwrap()
+            .is_empty());
         let got = dominance_count(&none, &one, &SortConfig::new(256)).unwrap();
         assert_eq!(got.to_vec().unwrap(), vec![(1, 0)]);
     }

@@ -122,11 +122,25 @@ pub fn batched_range_reporting(
         let mut r = rects.reader();
         while let Some(q) = r.try_next()? {
             assert!(q.x1 <= q.x2 && q.y1 <= q.y2, "malformed rectangle");
-            w.push(Event { y: q.y1, kind: 0, id: q.id, a: q.x1, b: q.x2, c: q.y2 })?;
+            w.push(Event {
+                y: q.y1,
+                kind: 0,
+                id: q.id,
+                a: q.x1,
+                b: q.x2,
+                c: q.y2,
+            })?;
         }
         let mut r = points.reader();
         while let Some(p) = r.try_next()? {
-            w.push(Event { y: p.y, kind: 1, id: p.id, a: p.x, b: 0, c: 0 })?;
+            w.push(Event {
+                y: p.y,
+                kind: 1,
+                id: p.id,
+                a: p.x,
+                b: 0,
+                c: 0,
+            })?;
         }
     }
     let unsorted = w.finish()?;
@@ -138,7 +152,12 @@ pub fn batched_range_reporting(
     out.finish()
 }
 
-fn sweep(events: ExtVec<Event>, cfg: &SortConfig, out: &mut ExtVecWriter<(u64, u64)>, depth: u32) -> Result<()> {
+fn sweep(
+    events: ExtVec<Event>,
+    cfg: &SortConfig,
+    out: &mut ExtVecWriter<(u64, u64)>,
+    depth: u32,
+) -> Result<()> {
     assert!(depth < 64, "distribution sweep failed to make progress");
     let device = events.device().clone();
     let n = events.len() as usize;
@@ -159,13 +178,21 @@ fn sweep(events: ExtVec<Event>, cfg: &SortConfig, out: &mut ExtVecWriter<(u64, u
     let nslabs = pivots.len() + 1;
     let slab_of = |x: i64| pivots.partition_point(|&p| p <= x);
     let slab_lo = |i: usize| if i == 0 { i64::MIN } else { pivots[i - 1] };
-    let slab_hi = |i: usize| if i == nslabs - 1 { i64::MAX } else { pivots[i] - 1 };
+    let slab_hi = |i: usize| {
+        if i == nslabs - 1 {
+            i64::MAX
+        } else {
+            pivots[i] - 1
+        }
+    };
 
-    let mut down: Vec<ExtVecWriter<Event>> =
-        (0..nslabs).map(|_| ExtVecWriter::new(device.clone())).collect();
+    let mut down: Vec<ExtVecWriter<Event>> = (0..nslabs)
+        .map(|_| ExtVecWriter::new(device.clone()))
+        .collect();
     // Active rectangles per slab: (rect id, y_top).
-    let mut active: Vec<AppendBuffer<(u64, i64)>> =
-        (0..nslabs).map(|_| AppendBuffer::new(device.clone())).collect();
+    let mut active: Vec<AppendBuffer<(u64, i64)>> = (0..nslabs)
+        .map(|_| AppendBuffer::new(device.clone()))
+        .collect();
 
     {
         let mut r = events.reader();
@@ -183,7 +210,11 @@ fn sweep(events: ExtVec<Event>, cfg: &SortConfig, out: &mut ExtVecWriter<(u64, u
                         let cx1 = x1.max(slab_lo(s));
                         let cx2 = x2.min(slab_hi(s));
                         if cx1 <= cx2 {
-                            down[s].push(Event { a: cx1, b: cx2, ..e })?;
+                            down[s].push(Event {
+                                a: cx1,
+                                b: cx2,
+                                ..e
+                            })?;
                         }
                     }
                 }
@@ -317,20 +348,39 @@ mod tests {
         EmConfig::new(256, 16).ram_disk()
     }
 
-    fn random_instance(d: &SharedDevice, np: u64, nq: u64, span: i64, seed: u64) -> (ExtVec<Point>, ExtVec<Rect>) {
+    fn random_instance(
+        d: &SharedDevice,
+        np: u64,
+        nq: u64,
+        span: i64,
+        seed: u64,
+    ) -> (ExtVec<Point>, ExtVec<Rect>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let pts: Vec<Point> = (0..np)
-            .map(|id| Point { id, x: rng.gen_range(-span..span), y: rng.gen_range(-span..span) })
+            .map(|id| Point {
+                id,
+                x: rng.gen_range(-span..span),
+                y: rng.gen_range(-span..span),
+            })
             .collect();
         let qs: Vec<Rect> = (0..nq)
             .map(|id| {
                 let x = rng.gen_range(-span..span);
                 let y = rng.gen_range(-span..span);
                 let (w, h) = (rng.gen_range(0..span / 4), rng.gen_range(0..span / 4));
-                Rect { id, x1: x, x2: x + w, y1: y, y2: y + h }
+                Rect {
+                    id,
+                    x1: x,
+                    x2: x + w,
+                    y1: y,
+                    y2: y + h,
+                }
             })
             .collect();
-        (ExtVec::from_slice(d.clone(), &pts).unwrap(), ExtVec::from_slice(d.clone(), &qs).unwrap())
+        (
+            ExtVec::from_slice(d.clone(), &pts).unwrap(),
+            ExtVec::from_slice(d.clone(), &qs).unwrap(),
+        )
     }
 
     fn as_sorted(v: ExtVec<(u64, u64)>) -> Vec<(u64, u64)> {
@@ -345,7 +395,13 @@ mod tests {
         let mut buf = [0u8; 24];
         p.write_to(&mut buf);
         assert_eq!(Point::read_from(&buf), p);
-        let q = Rect { id: 2, x1: -1, x2: 1, y1: -2, y2: 2 };
+        let q = Rect {
+            id: 2,
+            x1: -1,
+            x2: 1,
+            y1: -2,
+            y2: 2,
+        };
         let mut buf = [0u8; 40];
         q.write_to(&mut buf);
         assert_eq!(Rect::read_from(&buf), q);
@@ -359,7 +415,17 @@ mod tests {
             &[Point { id: 10, x: 0, y: 0 }, Point { id: 11, x: 9, y: 9 }],
         )
         .unwrap();
-        let qs = ExtVec::from_slice(d, &[Rect { id: 1, x1: -1, x2: 1, y1: -1, y2: 1 }]).unwrap();
+        let qs = ExtVec::from_slice(
+            d,
+            &[Rect {
+                id: 1,
+                x1: -1,
+                x2: 1,
+                y1: -1,
+                y2: 1,
+            }],
+        )
+        .unwrap();
         let got = batched_range_reporting(&pts, &qs, &SortConfig::new(256)).unwrap();
         assert_eq!(got.to_vec().unwrap(), vec![(1, 10)]);
     }
@@ -370,15 +436,25 @@ mod tests {
         let pts = ExtVec::from_slice(
             d.clone(),
             &[
-                Point { id: 0, x: -1, y: 0 },  // left edge
-                Point { id: 1, x: 1, y: 0 },   // right edge
-                Point { id: 2, x: 0, y: -1 },  // bottom edge
-                Point { id: 3, x: 0, y: 1 },   // top edge
-                Point { id: 4, x: 1, y: 1 },   // corner
+                Point { id: 0, x: -1, y: 0 }, // left edge
+                Point { id: 1, x: 1, y: 0 },  // right edge
+                Point { id: 2, x: 0, y: -1 }, // bottom edge
+                Point { id: 3, x: 0, y: 1 },  // top edge
+                Point { id: 4, x: 1, y: 1 },  // corner
             ],
         )
         .unwrap();
-        let qs = ExtVec::from_slice(d, &[Rect { id: 9, x1: -1, x2: 1, y1: -1, y2: 1 }]).unwrap();
+        let qs = ExtVec::from_slice(
+            d,
+            &[Rect {
+                id: 9,
+                x1: -1,
+                x2: 1,
+                y1: -1,
+                y2: 1,
+            }],
+        )
+        .unwrap();
         let got = as_sorted(batched_range_reporting(&pts, &qs, &SortConfig::new(256)).unwrap());
         assert_eq!(got, vec![(9, 0), (9, 1), (9, 2), (9, 3), (9, 4)]);
     }
@@ -420,7 +496,10 @@ mod tests {
 
         assert_eq!(as_sorted(a), as_sorted(b));
         // Quadratic-vs-linearithmic: the margin widens with N.
-        assert!(smart * 3 < naive * 2, "sweep ({smart}) vs nested loops ({naive})");
+        assert!(
+            smart * 3 < naive * 2,
+            "sweep ({smart}) vs nested loops ({naive})"
+        );
     }
 
     #[test]
@@ -428,6 +507,8 @@ mod tests {
         let d = device();
         let pts: ExtVec<Point> = ExtVec::new(d.clone());
         let qs: ExtVec<Rect> = ExtVec::new(d);
-        assert!(batched_range_reporting(&pts, &qs, &SortConfig::new(256)).unwrap().is_empty());
+        assert!(batched_range_reporting(&pts, &qs, &SortConfig::new(256))
+            .unwrap()
+            .is_empty());
     }
 }

@@ -118,12 +118,24 @@ pub fn segment_intersections(
         let mut r = vs.reader();
         while let Some(v) = r.try_next()? {
             assert!(v.y1 <= v.y2, "vertical segment with y1 > y2");
-            w.push(Event { y: v.y1, kind: 0, id: v.id, a: v.x, b: v.y2 })?;
+            w.push(Event {
+                y: v.y1,
+                kind: 0,
+                id: v.id,
+                a: v.x,
+                b: v.y2,
+            })?;
         }
         let mut r = hs.reader();
         while let Some(h) = r.try_next()? {
             assert!(h.x1 <= h.x2, "horizontal segment with x1 > x2");
-            w.push(Event { y: h.y, kind: 1, id: h.id, a: h.x1, b: h.x2 })?;
+            w.push(Event {
+                y: h.y,
+                kind: 1,
+                id: h.id,
+                a: h.x1,
+                b: h.x2,
+            })?;
         }
     }
     let unsorted = w.finish()?;
@@ -136,7 +148,12 @@ pub fn segment_intersections(
 }
 
 /// Recursive distribution sweep over a y-sorted event stream (consumed).
-fn sweep(events: ExtVec<Event>, cfg: &SortConfig, out: &mut ExtVecWriter<(u64, u64)>, depth: u32) -> Result<()> {
+fn sweep(
+    events: ExtVec<Event>,
+    cfg: &SortConfig,
+    out: &mut ExtVecWriter<(u64, u64)>,
+    depth: u32,
+) -> Result<()> {
     assert!(depth < 64, "distribution sweep failed to make progress");
     let device = events.device().clone();
     let n = events.len() as usize;
@@ -162,13 +179,21 @@ fn sweep(events: ExtVec<Event>, cfg: &SortConfig, out: &mut ExtVecWriter<(u64, u
     let nslabs = pivots.len() + 1;
     let slab_of = |x: i64| pivots.partition_point(|&p| p <= x);
     let slab_lo = |i: usize| if i == 0 { i64::MIN } else { pivots[i - 1] };
-    let slab_hi = |i: usize| if i == nslabs - 1 { i64::MAX } else { pivots[i] - 1 };
+    let slab_hi = |i: usize| {
+        if i == nslabs - 1 {
+            i64::MAX
+        } else {
+            pivots[i] - 1
+        }
+    };
 
-    let mut down: Vec<ExtVecWriter<Event>> =
-        (0..nslabs).map(|_| ExtVecWriter::new(device.clone())).collect();
+    let mut down: Vec<ExtVecWriter<Event>> = (0..nslabs)
+        .map(|_| ExtVecWriter::new(device.clone()))
+        .collect();
     // Active verticals per slab: (vertical id, y_top).
-    let mut active: Vec<AppendBuffer<(u64, i64)>> =
-        (0..nslabs).map(|_| AppendBuffer::new(device.clone())).collect();
+    let mut active: Vec<AppendBuffer<(u64, i64)>> = (0..nslabs)
+        .map(|_| AppendBuffer::new(device.clone()))
+        .collect();
 
     {
         let mut r = events.reader();
@@ -210,7 +235,11 @@ fn sweep(events: ExtVec<Event>, cfg: &SortConfig, out: &mut ExtVecWriter<(u64, u
                         let cx1 = x1.max(slab_lo(s));
                         let cx2 = x2.min(slab_hi(s));
                         if cx1 <= cx2 {
-                            down[s].push(Event { a: cx1, b: cx2, ..e })?;
+                            down[s].push(Event {
+                                a: cx1,
+                                b: cx2,
+                                ..e
+                            })?;
                         }
                     }
                 }
@@ -294,7 +323,10 @@ fn sample_pivots(events: &ExtVec<Event>, want: usize) -> Result<Vec<i64>> {
 
 /// Baseline: block-nested-loop join of the two segment sets —
 /// `O((H/B)·(V/B)·B)` I/Os, quadratic in the input.
-pub fn segment_intersections_naive(hs: &ExtVec<HSeg>, vs: &ExtVec<VSeg>) -> Result<ExtVec<(u64, u64)>> {
+pub fn segment_intersections_naive(
+    hs: &ExtVec<HSeg>,
+    vs: &ExtVec<VSeg>,
+) -> Result<ExtVec<(u64, u64)>> {
     let mut out: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(hs.device().clone());
     let mut hblock = Vec::new();
     for hb in 0..hs.num_blocks() {
@@ -334,14 +366,24 @@ mod tests {
             .map(|id| {
                 let x = rng.gen_range(-span..span);
                 let len = rng.gen_range(0..span / 2);
-                HSeg { id, y: rng.gen_range(-span..span), x1: x, x2: x + len }
+                HSeg {
+                    id,
+                    y: rng.gen_range(-span..span),
+                    x1: x,
+                    x2: x + len,
+                }
             })
             .collect();
         let vs: Vec<VSeg> = (0..nv)
             .map(|id| {
                 let y = rng.gen_range(-span..span);
                 let len = rng.gen_range(0..span / 2);
-                VSeg { id, x: rng.gen_range(-span..span), y1: y, y2: y + len }
+                VSeg {
+                    id,
+                    x: rng.gen_range(-span..span),
+                    y1: y,
+                    y2: y + len,
+                }
             })
             .collect();
         (
@@ -358,11 +400,21 @@ mod tests {
 
     #[test]
     fn record_round_trips() {
-        let h = HSeg { id: 7, y: -3, x1: -10, x2: 10 };
+        let h = HSeg {
+            id: 7,
+            y: -3,
+            x1: -10,
+            x2: 10,
+        };
         let mut buf = [0u8; 32];
         h.write_to(&mut buf);
         assert_eq!(HSeg::read_from(&buf), h);
-        let v = VSeg { id: 9, x: 5, y1: -2, y2: 2 };
+        let v = VSeg {
+            id: 9,
+            x: 5,
+            y1: -2,
+            y2: 2,
+        };
         v.write_to(&mut buf);
         assert_eq!(VSeg::read_from(&buf), v);
     }
@@ -370,8 +422,26 @@ mod tests {
     #[test]
     fn simple_cross() {
         let d = device();
-        let hs = ExtVec::from_slice(d.clone(), &[HSeg { id: 1, y: 0, x1: -5, x2: 5 }]).unwrap();
-        let vs = ExtVec::from_slice(d, &[VSeg { id: 2, x: 0, y1: -5, y2: 5 }]).unwrap();
+        let hs = ExtVec::from_slice(
+            d.clone(),
+            &[HSeg {
+                id: 1,
+                y: 0,
+                x1: -5,
+                x2: 5,
+            }],
+        )
+        .unwrap();
+        let vs = ExtVec::from_slice(
+            d,
+            &[VSeg {
+                id: 2,
+                x: 0,
+                y1: -5,
+                y2: 5,
+            }],
+        )
+        .unwrap();
         let got = segment_intersections(&hs, &vs, &SortConfig::new(256)).unwrap();
         assert_eq!(got.to_vec().unwrap(), vec![(1, 2)]);
     }
@@ -381,10 +451,32 @@ mod tests {
         let d = device();
         // Vertical starts exactly on the horizontal; horizontal ends exactly
         // on the vertical's x.
-        let hs = ExtVec::from_slice(d.clone(), &[HSeg { id: 1, y: 0, x1: 0, x2: 4 }]).unwrap();
+        let hs = ExtVec::from_slice(
+            d.clone(),
+            &[HSeg {
+                id: 1,
+                y: 0,
+                x1: 0,
+                x2: 4,
+            }],
+        )
+        .unwrap();
         let vs = ExtVec::from_slice(
             d,
-            &[VSeg { id: 2, x: 4, y1: 0, y2: 9 }, VSeg { id: 3, x: 0, y1: -9, y2: 0 }],
+            &[
+                VSeg {
+                    id: 2,
+                    x: 4,
+                    y1: 0,
+                    y2: 9,
+                },
+                VSeg {
+                    id: 3,
+                    x: 0,
+                    y1: -9,
+                    y2: 0,
+                },
+            ],
         )
         .unwrap();
         let got = as_sorted(segment_intersections(&hs, &vs, &SortConfig::new(256)).unwrap());
@@ -394,8 +486,26 @@ mod tests {
     #[test]
     fn disjoint_segments_report_nothing() {
         let d = device();
-        let hs = ExtVec::from_slice(d.clone(), &[HSeg { id: 1, y: 0, x1: 0, x2: 1 }]).unwrap();
-        let vs = ExtVec::from_slice(d, &[VSeg { id: 2, x: 5, y1: 5, y2: 6 }]).unwrap();
+        let hs = ExtVec::from_slice(
+            d.clone(),
+            &[HSeg {
+                id: 1,
+                y: 0,
+                x1: 0,
+                x2: 1,
+            }],
+        )
+        .unwrap();
+        let vs = ExtVec::from_slice(
+            d,
+            &[VSeg {
+                id: 2,
+                x: 5,
+                y1: 5,
+                y2: 6,
+            }],
+        )
+        .unwrap();
         let got = segment_intersections(&hs, &vs, &SortConfig::new(256)).unwrap();
         assert!(got.is_empty());
     }
@@ -425,10 +535,22 @@ mod tests {
     fn grid_instance_every_pair_intersects() {
         let d = device();
         let k = 20u64;
-        let hs: Vec<HSeg> =
-            (0..k).map(|i| HSeg { id: i, y: i as i64, x1: -100, x2: 100 }).collect();
-        let vs: Vec<VSeg> =
-            (0..k).map(|i| VSeg { id: i, x: i as i64, y1: -100, y2: 100 }).collect();
+        let hs: Vec<HSeg> = (0..k)
+            .map(|i| HSeg {
+                id: i,
+                y: i as i64,
+                x1: -100,
+                x2: 100,
+            })
+            .collect();
+        let vs: Vec<VSeg> = (0..k)
+            .map(|i| VSeg {
+                id: i,
+                x: i as i64,
+                y1: -100,
+                y2: 100,
+            })
+            .collect();
         let hv = ExtVec::from_slice(d.clone(), &hs).unwrap();
         let vv = ExtVec::from_slice(d, &vs).unwrap();
         let got = segment_intersections(&hv, &vv, &SortConfig::new(64)).unwrap();

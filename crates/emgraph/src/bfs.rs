@@ -233,7 +233,10 @@ mod tests {
                 }
             }
         }
-        (0..n).filter(|&v| dist[v as usize] != u64::MAX).map(|v| (v, dist[v as usize])).collect()
+        (0..n)
+            .filter(|&v| dist[v as usize] != u64::MAX)
+            .map(|v| (v, dist[v as usize]))
+            .collect()
     }
 
     #[test]
@@ -243,8 +246,7 @@ mod tests {
         let g = grid_graph(d.clone(), w, h).unwrap();
         let got = bfs_mr(&g, w * h, 0, &SortConfig::new(256)).unwrap();
         // Manhattan distance from the corner.
-        let expect: Vec<(u64, u64)> =
-            (0..w * h).map(|v| (v, v % w + v / w)).collect();
+        let expect: Vec<(u64, u64)> = (0..w * h).map(|v| (v, v % w + v / w)).collect();
         assert_eq!(got.to_vec().unwrap(), expect);
     }
 
@@ -254,7 +256,10 @@ mod tests {
         let n = 1500u64;
         let g = random_connected_graph(d.clone(), n, 2000, 111).unwrap();
         let got = bfs_mr(&g, n, 3, &SortConfig::new(256)).unwrap();
-        assert_eq!(got.to_vec().unwrap(), reference_bfs(&g.to_vec().unwrap(), n, 3));
+        assert_eq!(
+            got.to_vec().unwrap(),
+            reference_bfs(&g.to_vec().unwrap(), n, 3)
+        );
     }
 
     #[test]
@@ -297,7 +302,10 @@ mod tests {
         bfs_mr(&g, n, 0, &cfg).unwrap();
         let mr = d.stats().snapshot().since(&before).total();
 
-        assert!(naive as f64 >= 1.5 * e as f64, "naive pays per edge: {naive} for {e} edges");
+        assert!(
+            naive as f64 >= 1.5 * e as f64,
+            "naive pays per edge: {naive} for {e} edges"
+        );
         assert!(mr < naive, "MR ({mr}) should beat per-edge I/O ({naive})");
     }
 

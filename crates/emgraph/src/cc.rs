@@ -286,7 +286,10 @@ fn in_memory_components(edges: &ExtVec<(u64, u64)>) -> Result<ExtVec<(u64, u64)>
         }
     }
     let keys: Vec<u64> = parent.keys().copied().collect();
-    let mut out: Vec<(u64, u64)> = keys.into_iter().map(|k| (k, find(&mut parent, k))).collect();
+    let mut out: Vec<(u64, u64)> = keys
+        .into_iter()
+        .map(|k| (k, find(&mut parent, k)))
+        .collect();
     out.sort_unstable();
     ExtVec::from_slice(edges.device().clone(), &out)
 }
@@ -384,6 +387,9 @@ mod tests {
         connected_components(&g, n, &SortConfig::new(2048)).unwrap();
         let ios = d.stats().snapshot().since(&before).total();
         // Generous constant, but must be far below 1 I/O per edge per round.
-        assert!((ios as f64) < 1.2 * e as f64, "CC used {ios} I/Os for {e} edges");
+        assert!(
+            (ios as f64) < 1.2 * e as f64,
+            "CC used {ios} I/Os for {e} edges"
+        );
     }
 }

@@ -124,7 +124,11 @@ pub fn euler_tour(edges: &ExtVec<(u64, u64)>, root: u64, cfg: &SortConfig) -> Re
 /// Depth of every vertex of the tree `edges` rooted at `root`, via Euler
 /// tour + weighted list ranking: `O(Sort(N))` I/Os.  Returns
 /// `(vertex, depth)` sorted by vertex id, with `depth(root) = 0`.
-pub fn tree_depths(edges: &ExtVec<(u64, u64)>, root: u64, cfg: &SortConfig) -> Result<ExtVec<(u64, u64)>> {
+pub fn tree_depths(
+    edges: &ExtVec<(u64, u64)>,
+    root: u64,
+    cfg: &SortConfig,
+) -> Result<ExtVec<(u64, u64)>> {
     let device = edges.device().clone();
     if edges.is_empty() {
         return ExtVec::from_slice(device, &[(root, 0u64)]);
@@ -165,7 +169,11 @@ pub fn tree_depths(edges: &ExtVec<(u64, u64)>, root: u64, cfg: &SortConfig) -> R
         let mut rt = tagged.reader();
         while let Some(first) = rt.try_next()? {
             let second = rt.try_next()?.expect("arcs come in twin pairs");
-            debug_assert_eq!((first.0, first.1), (second.0, second.1), "twin pairing broken");
+            debug_assert_eq!(
+                (first.0, first.1),
+                (second.0, second.1),
+                "twin pairing broken"
+            );
             // first.2 < second.2 (sorted by position): first is forward.
             let fwd_arc = first.3;
             let back_arc = second.3;
@@ -312,7 +320,10 @@ mod tests {
         let edges: Vec<(u64, u64)> = (0..9u64).map(|i| (i, i + 1)).collect();
         let ev = ExtVec::from_slice(d, &edges).unwrap();
         let depths = tree_depths(&ev, 0, &SortConfig::new(128)).unwrap();
-        assert_eq!(depths.to_vec().unwrap(), (0..10u64).map(|v| (v, v)).collect::<Vec<_>>());
+        assert_eq!(
+            depths.to_vec().unwrap(),
+            (0..10u64).map(|v| (v, v)).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -345,7 +356,10 @@ mod tests {
         let d = device();
         let edges = ExtVec::from_slice(d, &[(0u64, 1u64), (1, 2), (2, 3)]).unwrap();
         let depths = tree_depths(&edges, 2, &SortConfig::new(128)).unwrap();
-        assert_eq!(depths.to_vec().unwrap(), vec![(0, 2), (1, 1), (2, 0), (3, 1)]);
+        assert_eq!(
+            depths.to_vec().unwrap(),
+            vec![(0, 2), (1, 1), (2, 0), (3, 1)]
+        );
     }
 
     #[test]

@@ -137,7 +137,12 @@ pub fn planted_components(
 /// A random DAG on topologically-numbered vertices `0..n`: each vertex
 /// `v ≥ 1` receives `deg_in` edges from uniformly random earlier vertices
 /// (duplicates removed).  Returned sorted by `(src, dst)`.
-pub fn random_dag(device: SharedDevice, n: u64, deg_in: u64, seed: u64) -> Result<ExtVec<(u64, u64)>> {
+pub fn random_dag(
+    device: SharedDevice,
+    n: u64,
+    deg_in: u64,
+    seed: u64,
+) -> Result<ExtVec<(u64, u64)>> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut edges = std::collections::BTreeSet::new();
     for v in 1..n {

@@ -28,7 +28,11 @@ pub const NIL: u64 = u64::MAX;
 /// Rank the list `succ` (pairs `(node, successor)`, sorted by node id, tail
 /// successor = [`NIL`]) from `head` with unit weights: the head gets rank 0,
 /// its successor 1, and so on.  Returns `(node, rank)` sorted by node id.
-pub fn list_rank(succ: &ExtVec<(u64, u64)>, head: u64, cfg: &SortConfig) -> Result<ExtVec<(u64, u64)>> {
+pub fn list_rank(
+    succ: &ExtVec<(u64, u64)>,
+    head: u64,
+    cfg: &SortConfig,
+) -> Result<ExtVec<(u64, u64)>> {
     // Attach unit weights.
     let mut w: ExtVecWriter<(u64, u64, i64)> = ExtVecWriter::new(succ.device().clone());
     let mut r = succ.reader();
@@ -124,9 +128,7 @@ fn rank_rec(
                 Some((t, p)) if t == id => Some(p),
                 _ => None,
             };
-            let removable = id != head
-                && coin(level, id)
-                && pred.is_some_and(|p| !coin(level, p));
+            let removable = id != head && coin(level, id) && pred.is_some_and(|p| !coin(level, p));
             if removable {
                 let p = pred.expect("removable implies pred");
                 splices.push((p, s, w))?;
@@ -278,7 +280,10 @@ mod tests {
         let (list, head) = random_list(d.clone(), 2000, 71).unwrap();
         let cfg = SortConfig::new(128);
         let ranks = list_rank(&list, head, &cfg).unwrap();
-        assert_eq!(ranks.to_vec().unwrap(), reference_ranks(&list.to_vec().unwrap(), head));
+        assert_eq!(
+            ranks.to_vec().unwrap(),
+            reference_ranks(&list.to_vec().unwrap(), head)
+        );
     }
 
     #[test]
@@ -287,7 +292,11 @@ mod tests {
         for n in [1u64, 2, 5, 64] {
             let (list, head) = random_list(d.clone(), n, n).unwrap();
             let ranks = list_rank(&list, head, &SortConfig::new(128)).unwrap();
-            assert_eq!(ranks.to_vec().unwrap(), reference_ranks(&list.to_vec().unwrap(), head), "n={n}");
+            assert_eq!(
+                ranks.to_vec().unwrap(),
+                reference_ranks(&list.to_vec().unwrap(), head),
+                "n={n}"
+            );
         }
     }
 
@@ -301,7 +310,10 @@ mod tests {
         )
         .unwrap();
         let ranks = list_rank_weighted(&nodes, 0, &SortConfig::new(128)).unwrap();
-        assert_eq!(ranks.to_vec().unwrap(), vec![(0, 0), (1, 5), (2, 3), (3, 10)]);
+        assert_eq!(
+            ranks.to_vec().unwrap(),
+            vec![(0, 0), (1, 5), (2, 3), (3, 10)]
+        );
     }
 
     #[test]
@@ -316,7 +328,10 @@ mod tests {
         }
         let nodes = w.finish().unwrap();
         let cfg = SortConfig::new(100); // << N: forces many contraction levels
-        let ranks = list_rank_weighted(&nodes, head, &cfg).unwrap().to_vec().unwrap();
+        let ranks = list_rank_weighted(&nodes, head, &cfg)
+            .unwrap()
+            .to_vec()
+            .unwrap();
         // Reference.
         let pairs = list.to_vec().unwrap();
         let succ: std::collections::HashMap<u64, u64> = pairs.iter().copied().collect();
@@ -338,7 +353,10 @@ mod tests {
         let (list, head) = random_list(d.clone(), 800, 77).unwrap();
         let cfg = SortConfig::new(128);
         let a = list_rank(&list, head, &cfg).unwrap().to_vec().unwrap();
-        let b = list_rank_naive(&list, head, &cfg).unwrap().to_vec().unwrap();
+        let b = list_rank_naive(&list, head, &cfg)
+            .unwrap()
+            .to_vec()
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -360,8 +378,14 @@ mod tests {
         list_rank(&list, head, &cfg).unwrap();
         let smart = d.stats().snapshot().since(&before).total();
 
-        assert!(naive as f64 >= n as f64, "naive must pay ~1 I/O per hop, got {naive}");
-        assert!(smart < naive, "contraction ({smart}) should beat pointer chasing ({naive})");
+        assert!(
+            naive as f64 >= n as f64,
+            "naive must pay ~1 I/O per hop, got {naive}"
+        );
+        assert!(
+            smart < naive,
+            "contraction ({smart}) should beat pointer chasing ({naive})"
+        );
         // And stay within a constant of Sort(N).  The constant is genuinely
         // large (~4 sorts per contraction level over ~4N total records, and
         // the triple records are 3× the size of the u64s the bound counts);

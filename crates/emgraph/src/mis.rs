@@ -89,7 +89,9 @@ mod tests {
         // Lexicographically-first: matches the greedy reference.
         let mut greedy = vec![false; n as usize];
         for v in 0..n as usize {
-            greedy[v] = adj[v].iter().all(|&u| u as usize >= v || !greedy[u as usize]);
+            greedy[v] = adj[v]
+                .iter()
+                .all(|&u| u as usize >= v || !greedy[u as usize]);
         }
         assert_eq!(in_set, greedy, "not the greedy MIS");
     }
@@ -101,7 +103,12 @@ mod tests {
         let g = ExtVec::from_slice(d, &edges).unwrap();
         let flags = maximal_independent_set(&g, 10, &SortConfig::new(256)).unwrap();
         let got = flags.to_vec().unwrap();
-        assert_eq!(got, (0..10u64).map(|v| (v, (v % 2 == 0) as u64)).collect::<Vec<_>>());
+        assert_eq!(
+            got,
+            (0..10u64)
+                .map(|v| (v, (v % 2 == 0) as u64))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -267,7 +267,9 @@ fn relabel(
             }
         }
         let unsorted = w.finish()?;
-        let sorted = merge_sort_by(&unsorted, cfg, |x, y| (x.0, x.1, x.2, x.3) < (y.0, y.1, y.2, y.3))?;
+        let sorted = merge_sort_by(&unsorted, cfg, |x, y| {
+            (x.0, x.1, x.2, x.3) < (y.0, y.1, y.2, y.3)
+        })?;
         unsorted.free()?;
         sorted
     };
@@ -451,7 +453,9 @@ mod tests {
     fn empty_and_single_edge() {
         let d = device();
         let g: ExtVec<(u64, u64, u64)> = ExtVec::new(d.clone());
-        assert!(minimum_spanning_forest(&g, 3, &SortConfig::new(256)).unwrap().is_empty());
+        assert!(minimum_spanning_forest(&g, 3, &SortConfig::new(256))
+            .unwrap()
+            .is_empty());
         let g = ExtVec::from_slice(d, &[(0u64, 1u64, 9u64)]).unwrap();
         let msf = minimum_spanning_forest(&g, 2, &SortConfig::new(256)).unwrap();
         assert_eq!(msf.to_vec().unwrap(), vec![(0, 1, 9)]);

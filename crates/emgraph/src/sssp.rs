@@ -151,7 +151,10 @@ mod tests {
                 }
             }
         }
-        (0..n).filter(|&v| dist[v as usize] != u64::MAX).map(|v| (v, dist[v as usize])).collect()
+        (0..n)
+            .filter(|&v| dist[v as usize] != u64::MAX)
+            .map(|v| (v, dist[v as usize]))
+            .collect()
     }
 
     fn random_weighted(d: &SharedDevice, n: u64, extra: u64, seed: u64) -> ExtVec<(u64, u64, u64)> {
@@ -187,7 +190,11 @@ mod tests {
             let n = 800;
             let g = random_weighted(&d, n, 1600, seed);
             let got = sssp(&g, n, 0, &SortConfig::new(512)).unwrap();
-            assert_eq!(got.to_vec().unwrap(), reference_dijkstra(&g.to_vec().unwrap(), n, 0), "seed {seed}");
+            assert_eq!(
+                got.to_vec().unwrap(),
+                reference_dijkstra(&g.to_vec().unwrap(), n, 0),
+                "seed {seed}"
+            );
         }
     }
 

@@ -71,7 +71,10 @@ where
             "edge source out of topological order"
         );
     }
-    assert!(pending_edge.is_none(), "edge references vertex beyond the label array");
+    assert!(
+        pending_edge.is_none(),
+        "edge references vertex beyond the label array"
+    );
     drop(edge_reader);
     sorted_edges.free()?;
     out.finish()
@@ -167,7 +170,10 @@ mod tests {
             label
         })
         .unwrap();
-        assert_eq!(got.to_vec().unwrap(), (0..5u64).map(|v| (v, v + 100)).collect::<Vec<_>>());
+        assert_eq!(
+            got.to_vec().unwrap(),
+            (0..5u64).map(|v| (v, v + 100)).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -188,9 +194,15 @@ mod tests {
         let labels = vertex_labels(&d, n, |_| 0);
         let e = dag.len();
         let before = d.stats().snapshot();
-        time_forward(&labels, &dag, &SortConfig::new(4096), |_, _, inc| inc.len() as u64).unwrap();
+        time_forward(&labels, &dag, &SortConfig::new(4096), |_, _, inc| {
+            inc.len() as u64
+        })
+        .unwrap();
         let ios = d.stats().snapshot().since(&before).total();
         // Must be far below 1 I/O per edge.
-        assert!((ios as f64) < 0.5 * e as f64, "time-forward used {ios} I/Os for {e} edges");
+        assert!(
+            (ios as f64) < 0.5 * e as f64,
+            "time-forward used {ios} I/Os for {e} edges"
+        );
     }
 }

@@ -74,7 +74,10 @@ mod tests {
         let a = ExtVec::from_slice(d.clone(), &[(1u64, 10u64), (2, 20), (2, 21), (5, 50)]).unwrap();
         let b = ExtVec::from_slice(d, &[(1u64, 100u64), (2, 200), (3, 300)]).unwrap();
         let j = join_unique(&a, &b).unwrap();
-        assert_eq!(j.to_vec().unwrap(), vec![(1, 10, 100), (2, 20, 200), (2, 21, 200)]);
+        assert_eq!(
+            j.to_vec().unwrap(),
+            vec![(1, 10, 100), (2, 20, 200), (2, 21, 200)]
+        );
     }
 
     #[test]
@@ -95,7 +98,10 @@ mod tests {
         let a2 = ExtVec::from_slice(d.clone(), &[(1u64, 1u64)]).unwrap();
         let b2: ExtVec<(u64, u64)> = ExtVec::new(d);
         assert!(join_unique(&a2, &b2).unwrap().is_empty());
-        assert_eq!(join_left(&a2, &b2, 9u64).unwrap().to_vec().unwrap(), vec![(1, 1, 9)]);
+        assert_eq!(
+            join_left(&a2, &b2, 9u64).unwrap().to_vec().unwrap(),
+            vec![(1, 1, 9)]
+        );
     }
 
     #[test]

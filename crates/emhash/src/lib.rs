@@ -174,7 +174,10 @@ impl<K: Record + Eq, V: Record> ExtendibleHash<K, V> {
         let h = self.hash(key);
         let id = self.directory[self.dir_index(h)];
         let (_, entries) = self.read_bucket(id)?;
-        Ok(entries.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone()))
+        Ok(entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone()))
     }
 
     /// True if `key` is present.

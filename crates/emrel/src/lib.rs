@@ -28,7 +28,12 @@ use pdm::Result;
 
 /// The `k` smallest records by an extracted key, in key order — a selection
 /// heap of `k` records over one scan: `O(Scan(N))` I/Os, `k ≤ M` memory.
-pub fn top_k_by<R, K, KF>(input: &ExtVec<R>, k: usize, cfg: &SortConfig, key: KF) -> Result<ExtVec<R>>
+pub fn top_k_by<R, K, KF>(
+    input: &ExtVec<R>,
+    k: usize,
+    cfg: &SortConfig,
+    key: KF,
+) -> Result<ExtVec<R>>
 where
     R: Record,
     K: Ord,
@@ -43,7 +48,11 @@ where
     let mut r = input.reader();
     let mut seq = 0u64;
     while let Some(rec) = r.try_next()? {
-        heap.push(HeapEntry { key: key(&rec), seq, rec });
+        heap.push(HeapEntry {
+            key: key(&rec),
+            seq,
+            rec,
+        });
         seq += 1;
         if heap.len() > k {
             heap.pop(); // drop the current worst
@@ -349,7 +358,10 @@ mod tests {
         let d = device();
         let rel = ExtVec::from_slice(d, &(0u64..100).collect::<Vec<_>>()).unwrap();
         let evens = filter_map_scan(&rel, |&x| (x % 2 == 0).then_some(x * 10)).unwrap();
-        assert_eq!(evens.to_vec().unwrap(), (0..100).step_by(2).map(|x| x * 10).collect::<Vec<_>>());
+        assert_eq!(
+            evens.to_vec().unwrap(),
+            (0..100).step_by(2).map(|x| x * 10).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -379,7 +391,9 @@ mod tests {
     fn group_aggregate_sums() {
         let d = device();
         let mut rng = StdRng::seed_from_u64(202);
-        let data: Vec<(u64, u64)> = (0..8000).map(|_| (rng.gen_range(0..50), rng.gen_range(0..10))).collect();
+        let data: Vec<(u64, u64)> = (0..8000)
+            .map(|_| (rng.gen_range(0..50), rng.gen_range(0..10)))
+            .collect();
         let rel = ExtVec::from_slice(d, &data).unwrap();
         // (key, sum, count) per group.
         let got = group_aggregate(
@@ -399,7 +413,8 @@ mod tests {
             e.0 += v;
             e.1 += 1;
         }
-        let expect: Vec<(u64, u64, u64)> = expect.into_iter().map(|(k, (s, c))| (k, s, c)).collect();
+        let expect: Vec<(u64, u64, u64)> =
+            expect.into_iter().map(|(k, (s, c))| (k, s, c)).collect();
         assert_eq!(got, expect);
     }
 
@@ -408,7 +423,9 @@ mod tests {
         let d = device();
         let mut rng = StdRng::seed_from_u64(203);
         let left: Vec<(u64, u64)> = (0..2000).map(|i| (rng.gen_range(0..300), i)).collect();
-        let right: Vec<(u64, u64)> = (0..1500).map(|i| (rng.gen_range(0..300), i + 10_000)).collect();
+        let right: Vec<(u64, u64)> = (0..1500)
+            .map(|i| (rng.gen_range(0..300), i + 10_000))
+            .collect();
         let lv = ExtVec::from_slice(d.clone(), &left).unwrap();
         let rv = ExtVec::from_slice(d, &right).unwrap();
         let got = sort_merge_join(&lv, &rv, &cfg(), |l| l.0, |r| r.0, |l, r| (l.0, l.1, r.1))
@@ -446,8 +463,14 @@ mod tests {
         let right: Vec<u64> = (0..100).map(|_| rng.gen_range(0..200)).collect();
         let lv = ExtVec::from_slice(d.clone(), &left).unwrap();
         let rv = ExtVec::from_slice(d, &right).unwrap();
-        let semi = semi_join(&lv, &rv, &cfg(), |l| l.0, |&r| r).unwrap().to_vec().unwrap();
-        let anti = anti_join(&lv, &rv, &cfg(), |l| l.0, |&r| r).unwrap().to_vec().unwrap();
+        let semi = semi_join(&lv, &rv, &cfg(), |l| l.0, |&r| r)
+            .unwrap()
+            .to_vec()
+            .unwrap();
+        let anti = anti_join(&lv, &rv, &cfg(), |l| l.0, |&r| r)
+            .unwrap()
+            .to_vec()
+            .unwrap();
         let keys: std::collections::BTreeSet<u64> = right.into_iter().collect();
         assert!(semi.iter().all(|l| keys.contains(&l.0)));
         assert!(anti.iter().all(|l| !keys.contains(&l.0)));
@@ -458,9 +481,14 @@ mod tests {
     fn top_k_returns_smallest_in_order() {
         let d = device();
         let mut rng = StdRng::seed_from_u64(206);
-        let data: Vec<(u64, u64)> = (0..5000u64).map(|i| (rng.gen_range(0..100_000), i)).collect();
+        let data: Vec<(u64, u64)> = (0..5000u64)
+            .map(|i| (rng.gen_range(0..100_000), i))
+            .collect();
         let rel = ExtVec::from_slice(d, &data).unwrap();
-        let got = top_k_by(&rel, 25, &cfg(), |r| r.0).unwrap().to_vec().unwrap();
+        let got = top_k_by(&rel, 25, &cfg(), |r| r.0)
+            .unwrap()
+            .to_vec()
+            .unwrap();
         let mut expect = data;
         expect.sort_by_key(|r| r.0);
         expect.truncate(25);
@@ -471,7 +499,10 @@ mod tests {
     fn top_k_larger_than_input_returns_all_sorted() {
         let d = device();
         let rel = ExtVec::from_slice(d, &[(5u64, 0u64), (1, 1), (3, 2)]).unwrap();
-        let got = top_k_by(&rel, 10, &cfg(), |r| r.0).unwrap().to_vec().unwrap();
+        let got = top_k_by(&rel, 10, &cfg(), |r| r.0)
+            .unwrap()
+            .to_vec()
+            .unwrap();
         assert_eq!(got, vec![(1, 1), (3, 2), (5, 0)]);
     }
 
@@ -496,10 +527,22 @@ mod tests {
         let lv = ExtVec::from_slice(d.clone(), &left).unwrap();
         let rv = ExtVec::from_slice(d.clone(), &right).unwrap();
         let before = d.stats().snapshot();
-        let out = sort_merge_join(&lv, &rv, &SortConfig::new(8192), |l| l.0, |r| r.0, |l, r| (l.1, r.1)).unwrap();
+        let out = sort_merge_join(
+            &lv,
+            &rv,
+            &SortConfig::new(8192),
+            |l| l.0,
+            |r| r.0,
+            |l, r| (l.1, r.1),
+        )
+        .unwrap();
         let ios = d.stats().snapshot().since(&before).total();
         // Block-nested loops would cost (L/B)·(R/B) ≈ 38k I/Os; sort-merge
         // stays near a few sorts.
-        assert!(ios < 8_000, "join used {ios} I/Os for {} outputs", out.len());
+        assert!(
+            ios < 8_000,
+            "join used {ios} I/Os for {} outputs",
+            out.len()
+        );
     }
 }

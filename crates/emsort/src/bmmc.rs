@@ -45,7 +45,10 @@ impl BmmcMatrix {
     /// permutation).
     pub fn new(rows: Vec<u64>, complement: u64) -> Self {
         assert!(rows.len() <= 64, "at most 64 address bits");
-        assert!(Self::is_nonsingular(&rows), "BMMC matrix must be nonsingular over GF(2)");
+        assert!(
+            Self::is_nonsingular(&rows),
+            "BMMC matrix must be nonsingular over GF(2)"
+        );
         BmmcMatrix { rows, complement }
     }
 
@@ -163,7 +166,10 @@ mod tests {
         let d = device();
         let data: Vec<u64> = (0..n).map(|i| i * 3).collect();
         let v = ExtVec::from_slice(d, &data).unwrap();
-        let out = bmmc_permute(&v, &bit_reversal(bits), &SortConfig::new(128)).unwrap().to_vec().unwrap();
+        let out = bmmc_permute(&v, &bit_reversal(bits), &SortConfig::new(128))
+            .unwrap()
+            .to_vec()
+            .unwrap();
         for i in 0..n {
             let rev = i.reverse_bits() >> (64 - bits);
             assert_eq!(out[rev as usize], data[i as usize], "i={i}");
@@ -191,7 +197,10 @@ mod tests {
         let d = device();
         let data: Vec<u64> = (0..n).collect();
         let v = ExtVec::from_slice(d, &data).unwrap();
-        let out = bmmc_permute(&v, &perfect_shuffle(bits), &SortConfig::new(64)).unwrap().to_vec().unwrap();
+        let out = bmmc_permute(&v, &perfect_shuffle(bits), &SortConfig::new(64))
+            .unwrap()
+            .to_vec()
+            .unwrap();
         for i in 0..n / 2 {
             assert_eq!(out[(2 * i) as usize], i, "first-half card {i}");
             assert_eq!(out[(2 * i + 1) as usize], n / 2 + i, "second-half card {i}");
@@ -206,7 +215,10 @@ mod tests {
         let data: Vec<u64> = (0..n).collect();
         let v = ExtVec::from_slice(d, &data).unwrap();
         let m = BmmcMatrix::new((0..bits).map(|i| 1u64 << i).collect(), 0b10101);
-        let out = bmmc_permute(&v, &m, &SortConfig::new(64)).unwrap().to_vec().unwrap();
+        let out = bmmc_permute(&v, &m, &SortConfig::new(64))
+            .unwrap()
+            .to_vec()
+            .unwrap();
         for i in 0..n {
             assert_eq!(out[(i ^ 0b10101) as usize], i);
         }

@@ -24,7 +24,10 @@ use crate::runs::cmp_from_less;
 use crate::SortConfig;
 
 /// Sort `input` by natural ordering using distribution sort.
-pub fn distribution_sort<R: Record + Ord>(input: &ExtVec<R>, cfg: &SortConfig) -> Result<ExtVec<R>> {
+pub fn distribution_sort<R: Record + Ord>(
+    input: &ExtVec<R>,
+    cfg: &SortConfig,
+) -> Result<ExtVec<R>> {
     distribution_sort_by(input, cfg, |a, b| a < b)
 }
 
@@ -62,7 +65,12 @@ struct Ctx {
 }
 
 /// Base case: the bucket fits in memory — load, sort, append to `out`.
-fn emit_sorted_in_memory<R, F>(bucket: &ExtVec<R>, out: &mut ExtVecWriter<R>, ctx: &Ctx, less: F) -> Result<()>
+fn emit_sorted_in_memory<R, F>(
+    bucket: &ExtVec<R>,
+    out: &mut ExtVecWriter<R>,
+    ctx: &Ctx,
+    less: F,
+) -> Result<()>
 where
     R: Record,
     F: Fn(&R, &R) -> bool + Copy,
@@ -89,7 +97,10 @@ where
     let m = ctx.budget.capacity();
     let b = bucket.per_block();
     let m_blocks = m / b;
-    assert!(m_blocks >= 6, "distribution sort needs at least 6 blocks of memory");
+    assert!(
+        m_blocks >= 6,
+        "distribution sort needs at least 6 blocks of memory"
+    );
     // 2P+1 zone writers + 1 reader block must fit in M.
     let p = ctx
         .cfg
@@ -131,10 +142,12 @@ where
     let np = pivots.len();
 
     // Pass 2: distribute.
-    let mut open: Vec<ExtVecWriter<R>> =
-        (0..=np).map(|_| ExtVecWriter::new(bucket.device().clone())).collect();
-    let mut equal: Vec<ExtVecWriter<R>> =
-        (0..np).map(|_| ExtVecWriter::new(bucket.device().clone())).collect();
+    let mut open: Vec<ExtVecWriter<R>> = (0..=np)
+        .map(|_| ExtVecWriter::new(bucket.device().clone()))
+        .collect();
+    let mut equal: Vec<ExtVecWriter<R>> = (0..np)
+        .map(|_| ExtVecWriter::new(bucket.device().clone()))
+        .collect();
     {
         let _charge = ctx.budget.charge((2 * np + 2) * b);
         let mut reader = bucket.reader();
@@ -147,8 +160,14 @@ where
             }
         }
     }
-    let open = open.into_iter().map(|w| w.finish()).collect::<Result<Vec<_>>>()?;
-    let equal = equal.into_iter().map(|w| w.finish()).collect::<Result<Vec<_>>>()?;
+    let open = open
+        .into_iter()
+        .map(|w| w.finish())
+        .collect::<Result<Vec<_>>>()?;
+    let equal = equal
+        .into_iter()
+        .map(|w| w.finish())
+        .collect::<Result<Vec<_>>>()?;
     Ok((open, equal))
 }
 
@@ -185,7 +204,13 @@ where
 
 /// Sort an owned bucket into `out`, freeing its blocks as soon as its
 /// records have been copied onward.
-fn sort_owned<R, F>(bucket: ExtVec<R>, out: &mut ExtVecWriter<R>, ctx: &Ctx, less: F, depth: u32) -> Result<()>
+fn sort_owned<R, F>(
+    bucket: ExtVec<R>,
+    out: &mut ExtVecWriter<R>,
+    ctx: &Ctx,
+    less: F,
+    depth: u32,
+) -> Result<()>
 where
     R: Record,
     F: Fn(&R, &R) -> bool + Copy,
@@ -274,7 +299,11 @@ mod tests {
         assert_eq!(out.len(), n);
         let bound = bounds::sort(n, m, b);
         let ratio = d.total() as f64 / bound;
-        assert!(ratio < 8.0, "distribution sort used {}, bound {bound}, ratio {ratio}", d.total());
+        assert!(
+            ratio < 8.0,
+            "distribution sort used {}, bound {bound}, ratio {ratio}",
+            d.total()
+        );
     }
 
     #[test]
@@ -295,8 +324,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(16);
         let data: Vec<u64> = (0..3000).map(|_| rng.gen()).collect();
         let input = ExtVec::from_slice(device, &data).unwrap();
-        let out =
-            distribution_sort_by(&input, &SortConfig::new(64).with_fan_in(3), |a, b| a < b).unwrap();
+        let out = distribution_sort_by(&input, &SortConfig::new(64).with_fan_in(3), |a, b| a < b)
+            .unwrap();
         let mut expect = data;
         expect.sort_unstable();
         assert_eq!(out.to_vec().unwrap(), expect);

@@ -1,0 +1,192 @@
+//! Forecasting: key-directed prefetch scheduling for the k-way merge.
+//!
+//! With `D` independent disks, a merge that read-ahead-buffers each run
+//! uniformly wastes its memory on runs that will not be consumed for a long
+//! time.  Vitter's survey (§3.2, §5.1) describes the classical fix,
+//! *forecasting*: because each run is consumed in order, the run whose next
+//! unbuffered block carries the **smallest leading key** is the one the merge
+//! will demand first — so that block should be fetched first.  The leading
+//! keys are recorded for free when the runs are written (see
+//! [`em_core::ExtVec`] block-head metadata), and a [`Forecaster`] uses them
+//! to order prefetch submissions across all `k` runs sharing one buffer
+//! pool.
+//!
+//! Forecasting is pure *scheduling*: every block it submits is one the
+//! demand-paged merge would read anyway, merely issued earlier and in a
+//! smarter order.  Transfer counts are therefore identical with forecasting
+//! on or off, and — because the merge consumes every run to its end — no
+//! prefetched block is ever wasted.
+
+use std::sync::Arc;
+
+use em_core::{BudgetGuard, ExtVecReader, MemBudget, Record};
+
+/// Shared prefetch pool for the readers of one k-way merge, scheduled by
+/// leading key.
+///
+/// The pool holds up to `pool` blocks in flight across *all* runs; each call
+/// to [`pump`](Self::pump) tops it up by repeatedly submitting the most
+/// urgent unfetched block (smallest leading key, ties toward the lower run
+/// index).  Memory honesty: the pool's blocks are charged against the
+/// sort's [`MemBudget`] here, once, and the managed readers deliberately
+/// hold no per-reader spares — see
+/// [`ExtVec::reader_forecast`](em_core::ExtVec::reader_forecast).
+pub(crate) struct Forecaster {
+    pool: usize,
+    _reserve: Option<BudgetGuard>,
+}
+
+impl Forecaster {
+    /// Charge up to `k·depth` blocks of `per_block` records from `budget`
+    /// headroom, degrading to whatever whole number of blocks fits (possibly
+    /// zero, in which case forecasting is a no-op and the merge runs
+    /// synchronously).
+    pub fn new(budget: &Arc<MemBudget>, k: usize, depth: usize, per_block: usize) -> Self {
+        let reserve = budget.try_charge_units(k * depth, per_block);
+        let pool = reserve.as_ref().map_or(0, |g| g.records() / per_block);
+        Forecaster {
+            pool,
+            _reserve: reserve,
+        }
+    }
+
+    /// Blocks the pool may keep in flight.
+    pub fn pool(&self) -> usize {
+        self.pool
+    }
+
+    /// Top the pool up: while capacity remains, submit the next unfetched
+    /// block of the run whose leading key is smallest under `less` (ties
+    /// toward the lower run index).  Runs without block-head metadata or
+    /// with every block already submitted are skipped.
+    pub fn pump<R, F>(&self, readers: &mut [ExtVecReader<'_, R>], less: F)
+    where
+        R: Record,
+        F: Fn(&R, &R) -> bool + Copy,
+    {
+        if self.pool == 0 {
+            return;
+        }
+        let mut in_flight: usize = readers.iter().map(|r| r.in_flight()).sum();
+        while in_flight < self.pool {
+            let mut best: Option<usize> = None;
+            for (i, rd) in readers.iter().enumerate() {
+                let Some(head) = rd.next_fetch_head() else {
+                    continue;
+                };
+                match best {
+                    None => best = Some(i),
+                    Some(b) => {
+                        let best_head = readers[b].next_fetch_head().expect("best has a head");
+                        if less(head, best_head) {
+                            best = Some(i);
+                        }
+                    }
+                }
+            }
+            let Some(i) = best else { return };
+            if !readers[i].prefetch_one() {
+                return; // per-reader capacity exhausted; pool effectively full
+            }
+            in_flight += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::{EmConfig, ExtVec};
+
+    /// Two runs, B = 8: run 0 holds small keys, run 1 large ones.  The
+    /// forecaster must spend the whole pool on run 0 first.
+    #[test]
+    fn pump_prioritizes_smallest_leading_key() {
+        let cfg = EmConfig::new(64, 16);
+        let device = cfg.ram_disk();
+        let small: Vec<u64> = (0..32).collect();
+        let large: Vec<u64> = (1000..1032).collect();
+        let a = ExtVec::from_slice(device.clone(), &small).unwrap();
+        let b = ExtVec::from_slice(device.clone(), &large).unwrap();
+        assert!(a.has_block_heads() && b.has_block_heads());
+
+        let budget = MemBudget::new(64);
+        let fc = Forecaster::new(&budget, 2, 2, 8);
+        assert_eq!(fc.pool(), 4);
+        let mut readers = vec![
+            a.reader_forecast(0, fc.pool()),
+            b.reader_forecast(0, fc.pool()),
+        ];
+        fc.pump(&mut readers, |x: &u64, y: &u64| x < y);
+        // All four of run 0's blocks beat run 1's first block (head 1000).
+        assert_eq!(
+            readers[0].in_flight(),
+            4,
+            "every pool slot goes to the small-key run"
+        );
+        assert_eq!(readers[1].in_flight(), 0);
+
+        // Drain run 0 completely; the pool then shifts to run 1.
+        while readers[0].try_next().unwrap().is_some() {
+            fc.pump(&mut readers, |x: &u64, y: &u64| x < y);
+        }
+        assert_eq!(readers[0].in_flight(), 0);
+        assert_eq!(readers[1].in_flight(), 4);
+        while readers[1].try_next().unwrap().is_some() {}
+        let snap = device.stats().snapshot();
+        assert_eq!(snap.prefetch_wasted(), 0);
+        assert_eq!(
+            snap.forecast_issued(),
+            8,
+            "every block was forecast-submitted"
+        );
+        assert_eq!(snap.forecast_hits(), 8);
+    }
+
+    #[test]
+    fn interleaved_keys_alternate_submissions() {
+        let cfg = EmConfig::new(64, 16);
+        let device = cfg.ram_disk();
+        // Block heads: run 0 → 0, 20, 40, 60; run 1 → 10, 30, 50, 70.
+        let r0: Vec<u64> = (0..32).map(|i| (i / 8) * 20 + i % 8).collect();
+        let r1: Vec<u64> = (0..32).map(|i| 10 + (i / 8) * 20 + i % 8).collect();
+        let a = ExtVec::from_slice(device.clone(), &r0).unwrap();
+        let b = ExtVec::from_slice(device.clone(), &r1).unwrap();
+        let budget = MemBudget::new(32);
+        let fc = Forecaster::new(&budget, 2, 2, 8);
+        assert_eq!(fc.pool(), 4);
+        let mut readers = vec![
+            a.reader_forecast(0, fc.pool()),
+            b.reader_forecast(0, fc.pool()),
+        ];
+        fc.pump(&mut readers, |x: &u64, y: &u64| x < y);
+        // Urgency order 0,10,20,30 → two blocks in flight per run.
+        assert_eq!(readers[0].in_flight(), 2);
+        assert_eq!(readers[1].in_flight(), 2);
+    }
+
+    #[test]
+    fn zero_pool_is_a_noop() {
+        let cfg = EmConfig::new(64, 16);
+        let device = cfg.ram_disk();
+        let a = ExtVec::from_slice(device.clone(), &(0u64..16).collect::<Vec<_>>()).unwrap();
+        let budget = MemBudget::new(4); // less than one block
+        let fc = Forecaster::new(&budget, 1, 2, 8);
+        assert_eq!(fc.pool(), 0);
+        let mut readers = vec![a.reader_forecast(0, 0)];
+        fc.pump(&mut readers, |x: &u64, y: &u64| x < y);
+        assert_eq!(readers[0].in_flight(), 0);
+        // Demand reads still work and count normally.
+        assert_eq!(readers[0].by_ref().count(), 16);
+        assert_eq!(device.stats().snapshot().forecast_issued(), 0);
+    }
+
+    #[test]
+    fn pool_degrades_to_budget_headroom() {
+        let budget = MemBudget::new(100);
+        let _working = budget.charge(80);
+        let fc = Forecaster::new(&budget, 4, 3, 8); // wants 12 blocks, 2 fit
+        assert_eq!(fc.pool(), 2);
+        assert_eq!(budget.used(), 96);
+    }
+}

@@ -16,12 +16,18 @@ impl<T, F: FnMut(&T, &T) -> bool> MinHeap<T, F> {
     /// strictly before `b`.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn new(less: F) -> Self {
-        MinHeap { items: Vec::new(), less }
+        MinHeap {
+            items: Vec::new(),
+            less,
+        }
     }
 
     /// Create with pre-reserved capacity.
     pub fn with_capacity(cap: usize, less: F) -> Self {
-        MinHeap { items: Vec::with_capacity(cap), less }
+        MinHeap {
+            items: Vec::with_capacity(cap),
+            less,
+        }
     }
 
     pub fn len(&self) -> usize {

@@ -38,7 +38,9 @@
 
 mod bmmc;
 mod distribution;
+mod forecast;
 mod heap;
+mod losertree;
 mod merge;
 mod permute;
 mod runs;
@@ -47,7 +49,9 @@ mod transpose;
 
 pub use bmmc::{bit_reversal, bmmc_permute, perfect_shuffle, BmmcMatrix};
 pub use distribution::{distribution_sort, distribution_sort_by};
-pub use merge::{merge_runs_by, merge_sort, merge_sort_by};
+pub use merge::{
+    merge_runs_by, merge_runs_with, merge_sort, merge_sort_by, merge_sort_with_metrics, SortMetrics,
+};
 pub use permute::{invert_permutation, permute_by_sort, permute_naive};
 pub use runs::{form_runs, RunFormation};
 pub use select::{median, select, select_by};
@@ -80,7 +84,10 @@ impl OverlapConfig {
 
     /// The same depth for read-ahead and write-behind.
     pub fn symmetric(depth: usize) -> Self {
-        OverlapConfig { read_ahead: depth, write_behind: depth }
+        OverlapConfig {
+            read_ahead: depth,
+            write_behind: depth,
+        }
     }
 
     /// True if any overlap is requested.
@@ -97,11 +104,32 @@ fn env_overlap() -> OverlapConfig {
     use std::sync::OnceLock;
     static CACHE: OnceLock<OverlapConfig> = OnceLock::new();
     *CACHE.get_or_init(|| {
-        match std::env::var("EMSORT_OVERLAP").ok().and_then(|s| s.trim().parse::<usize>().ok()) {
+        match std::env::var("EMSORT_OVERLAP")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+        {
             Some(d) => OverlapConfig::symmetric(d),
             None => OverlapConfig::off(),
         }
     })
+}
+
+/// Which comparison kernel drives the k-way merge.
+///
+/// Both kernels produce *identical* output (ties always resolve toward the
+/// lower run index) and perform identical I/O; they differ only in
+/// comparisons per record: the binary heap pays up to `2·log₂ k`, the loser
+/// tree exactly `⌈log₂ k⌉` — less on duplicate-heavy data thanks to its
+/// block-drain fast path.  The enum exists so experiments can A/B them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeKernel {
+    /// Loser tree for `k ≥ 3`, binary heap below (where a tree has no edge).
+    #[default]
+    Auto,
+    /// Always the binary heap (one `replace_min` sift per record).
+    Heap,
+    /// Always the loser tree.
+    LoserTree,
 }
 
 /// Parameters of one external sort.
@@ -117,6 +145,17 @@ pub struct SortConfig {
     /// Read-ahead / write-behind depths (defaults to `EMSORT_OVERLAP`, which
     /// itself defaults to off).
     pub overlap: OverlapConfig,
+    /// Comparison kernel for the merge phase.
+    pub kernel: MergeKernel,
+    /// Worker threads for the in-memory sort of run formation; `0` = the
+    /// machine's available parallelism (capped at 8), `1` = sequential.
+    /// Never changes run contents or I/O counts — wall-clock only.
+    pub run_threads: usize,
+    /// Schedule merge read-ahead by block leading keys (Vitter's
+    /// forecasting) instead of uniform per-run depth.  Only takes effect
+    /// when `overlap.read_ahead > 0`; transfer counts are identical either
+    /// way.
+    pub forecast: bool,
 }
 
 impl SortConfig {
@@ -128,6 +167,9 @@ impl SortConfig {
             fan_in: None,
             run_formation: RunFormation::LoadSort,
             overlap: env_overlap(),
+            kernel: MergeKernel::Auto,
+            run_threads: 0,
+            forecast: true,
         }
     }
 
@@ -147,6 +189,38 @@ impl SortConfig {
     pub fn with_overlap(mut self, overlap: OverlapConfig) -> Self {
         self.overlap = overlap;
         self
+    }
+
+    /// Builder: select the merge comparison kernel.
+    pub fn with_merge_kernel(mut self, kernel: MergeKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Builder: set the run-formation worker-thread count (`0` = auto).
+    pub fn with_run_threads(mut self, threads: usize) -> Self {
+        self.run_threads = threads;
+        self
+    }
+
+    /// Builder: enable or disable forecasting-driven merge prefetch.
+    pub fn with_forecast(mut self, forecast: bool) -> Self {
+        self.forecast = forecast;
+        self
+    }
+
+    /// Worker threads run formation actually uses: the explicit value, or —
+    /// when `run_threads` is 0 — the machine's available parallelism capped
+    /// at 8.
+    pub fn effective_run_threads(&self) -> usize {
+        if self.run_threads != 0 {
+            self.run_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        }
     }
 
     /// The fan-in actually used for a record type with `per_block` records

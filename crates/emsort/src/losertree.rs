@@ -1,0 +1,299 @@
+//! Loser (tournament) tree: the k-way merge kernel.
+//!
+//! A binary min-heap pays up to two sift passes per merged record (`pop`
+//! then `push`), and each sift level costs *two* comparisons (left child,
+//! right child).  A loser tree stores, at every internal node, the *loser*
+//! of the match played there, with the overall winner cached at the root.
+//! Replacing the winner's key is then a single leaf-to-root pass of exactly
+//! `⌈log₂ k⌉` matches, each a **single** comparison — the classic kernel of
+//! replacement-selection tape sorts (Knuth Vol. 3, §5.4.1) and of every
+//! serious external merge implementation since.
+//!
+//! Two further properties matter for the merge loop in [`crate::merge`]:
+//!
+//! * **Free tie-break by run index.**  Leaves are identified with run
+//!   indices, and a match between runs `i < j` is decided by one call
+//!   `less(key_j, key_i)` — `i` wins unless `j` is *strictly* smaller.
+//!   Ties therefore always resolve toward the lower run index without a
+//!   second comparison, which is what makes the merge stable across runs.
+//! * **A cheap challenger bound.**  Every run that could overtake the
+//!   current winner lost to it somewhere on the winner's leaf-to-root path,
+//!   so the minimum over that path's `⌈log₂ k⌉` stored losers is exactly
+//!   the second-best run.  The merge uses it as a drain threshold: records
+//!   from the winner's block keep flowing with *one* comparison each (and no
+//!   tree pass at all) until one would lose to the challenger.
+
+/// Tournament tree of losers over `k` runs with an explicit comparator.
+///
+/// Exhausted runs are represented by `None` keys, which lose every match
+/// (they compare as `+∞`), so the tree needs no separate removal operation:
+/// feeding `None` into [`replace_winner`](Self::replace_winner) retires the
+/// run in the same leaf-to-root pass.
+pub(crate) struct LoserTree<R, F> {
+    k: usize,
+    /// Current key of each run; `None` = exhausted.
+    keys: Vec<Option<R>>,
+    /// `tree[1..k]` hold the losers of the internal matches (conceptual node
+    /// `c` has children `2c` and `2c+1`, leaves live at `k..2k`); `tree[0]`
+    /// caches the overall winner.  All entries are run indices.
+    tree: Vec<usize>,
+    less: F,
+}
+
+impl<R, F: Fn(&R, &R) -> bool> LoserTree<R, F> {
+    /// Build the tournament over the initial `keys` (one per run, `None`
+    /// for an empty run).  Costs `k − 1` comparisons.
+    pub fn new(keys: Vec<Option<R>>, less: F) -> Self {
+        let k = keys.len();
+        assert!(k >= 1, "loser tree needs at least one run");
+        let mut lt = LoserTree {
+            k,
+            keys,
+            tree: vec![0; k],
+            less,
+        };
+        lt.tree[0] = lt.build(1);
+        lt
+    }
+
+    /// Play the subtournament rooted at conceptual node `c`, storing losers,
+    /// and return its winner.
+    fn build(&mut self, c: usize) -> usize {
+        if self.k == 1 {
+            return 0;
+        }
+        if c >= self.k {
+            return c - self.k; // leaf: conceptual node k+j is run j
+        }
+        let a = self.build(2 * c);
+        let b = self.build(2 * c + 1);
+        let (winner, loser) = if self.beats(a, b) { (a, b) } else { (b, a) };
+        self.tree[c] = loser;
+        winner
+    }
+
+    /// Does run `i`'s current key win a match against run `j`'s?  `None`
+    /// keys lose to everything (two exhausted runs tie toward the lower
+    /// index); ties between live keys resolve toward the lower run index
+    /// with a single `less` call.
+    fn beats(&self, i: usize, j: usize) -> bool {
+        match (&self.keys[i], &self.keys[j]) {
+            (None, None) => i < j,
+            (None, Some(_)) => false,
+            (Some(_), None) => true,
+            (Some(a), Some(b)) => {
+                if i < j {
+                    !(self.less)(b, a)
+                } else {
+                    (self.less)(a, b)
+                }
+            }
+        }
+    }
+
+    /// The run holding the smallest current key, or `None` if every run is
+    /// exhausted.
+    pub fn winner(&self) -> Option<usize> {
+        let w = self.tree[0];
+        self.keys[w].as_ref().map(|_| w)
+    }
+
+    /// The current winner's key (`None` once all runs are exhausted).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn winner_key(&self) -> Option<&R> {
+        self.keys[self.tree[0]].as_ref()
+    }
+
+    /// The second-best run and its key: the best among the losers stored on
+    /// the winner's leaf-to-root path.  `None` when no other live run
+    /// remains (then the winner may drain unconditionally).  Costs at most
+    /// `⌈log₂ k⌉ − 1` comparisons.
+    pub fn challenger(&self) -> Option<(usize, &R)> {
+        let w = self.tree[0];
+        let mut best: Option<usize> = None;
+        let mut node = (self.k + w) / 2;
+        while node >= 1 {
+            let c = self.tree[node];
+            if best.is_none_or(|b| self.beats(c, b)) {
+                best = Some(c);
+            }
+            node /= 2;
+        }
+        let b = best?;
+        self.keys[b].as_ref().map(|key| (b, key))
+    }
+
+    /// Replace the winner's key with `next` (`None` = run exhausted), fix
+    /// the tournament with one leaf-to-root pass (`⌈log₂ k⌉` comparisons),
+    /// and return the displaced key.
+    ///
+    /// # Panics
+    /// If every run is already exhausted.
+    pub fn replace_winner(&mut self, next: Option<R>) -> R {
+        let w = self.tree[0];
+        let old = self.keys[w]
+            .take()
+            .expect("replace_winner on exhausted tree");
+        self.keys[w] = next;
+        let mut winner = w;
+        let mut node = (self.k + w) / 2;
+        while node >= 1 {
+            if self.beats(self.tree[node], winner) {
+                std::mem::swap(&mut winner, &mut self.tree[node]);
+            }
+            node /= 2;
+        }
+        self.tree[0] = winner;
+        old
+    }
+
+    /// Fast path: swap `next` into the winner's leaf **without** a tree
+    /// pass, returning the displaced key.  Sound only when `next` still
+    /// beats the [`challenger`](Self::challenger) (with the winner's run
+    /// index as tie-break) — then every match on the winner's path would
+    /// replay identically, so the tree needs no adjustment.
+    ///
+    /// # Panics
+    /// If every run is already exhausted.
+    pub fn swap_winner(&mut self, next: R) -> R {
+        let w = self.tree[0];
+        self.keys[w]
+            .replace(next)
+            .expect("swap_winner on exhausted tree")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drain a tree built over `runs` by feeding each winner its run's next
+    /// record, mimicking the merge loop (slow path only).
+    fn merge_all(runs: Vec<Vec<u32>>) -> Vec<u32> {
+        let mut cursors = vec![1usize; runs.len()];
+        let keys: Vec<Option<u32>> = runs.iter().map(|r| r.first().copied()).collect();
+        let mut lt = LoserTree::new(keys, |a: &u32, b: &u32| a < b);
+        let mut out = Vec::new();
+        while let Some(w) = lt.winner() {
+            let next = runs[w].get(cursors[w]).copied();
+            cursors[w] += 1;
+            out.push(lt.replace_winner(next));
+        }
+        out
+    }
+
+    #[test]
+    fn k1_single_run_drains_in_order() {
+        assert_eq!(merge_all(vec![vec![1, 2, 3]]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn k2_interleaves() {
+        assert_eq!(
+            merge_all(vec![vec![1, 4, 6], vec![2, 3, 5]]),
+            vec![1, 2, 3, 4, 5, 6]
+        );
+    }
+
+    #[test]
+    fn empty_runs_are_skipped() {
+        assert_eq!(
+            merge_all(vec![vec![], vec![2, 4], vec![], vec![1, 3]]),
+            vec![1, 2, 3, 4]
+        );
+        assert_eq!(merge_all(vec![vec![], vec![]]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn duplicate_heavy_ties_resolve_by_run_index() {
+        // All-equal keys: the stable-merge order is ALL of run 0's records,
+        // then run 1's, then run 2's — a lower-index run keeps winning ties
+        // until it is exhausted.
+        let out = merge_all(vec![vec![7, 7], vec![7, 7], vec![7, 7]]);
+        assert_eq!(out, vec![7; 6]);
+        let mut cursors = [1usize; 3];
+        let mut lt = LoserTree::new(vec![Some((7u32, 0)), Some((7, 1)), Some((7, 2))], |a, b| {
+            a.0 < b.0
+        });
+        let mut tagged = Vec::new();
+        while let Some(w) = lt.winner() {
+            let next = if cursors[w] < 2 { Some((7, w)) } else { None };
+            cursors[w] += 1;
+            tagged.push(lt.replace_winner(next).1);
+        }
+        assert_eq!(
+            tagged,
+            vec![0, 0, 1, 1, 2, 2],
+            "equal keys drain run-by-run, lowest first"
+        );
+    }
+
+    #[test]
+    fn descending_comparator() {
+        let out = {
+            let runs = [vec![9u32, 5, 1], vec![8, 4, 2]];
+            let keys: Vec<Option<u32>> = runs.iter().map(|r| r.first().copied()).collect();
+            let mut cursors = [1usize; 2];
+            let mut lt = LoserTree::new(keys, |a: &u32, b: &u32| a > b);
+            let mut out = Vec::new();
+            while let Some(w) = lt.winner() {
+                let next = runs[w].get(cursors[w]).copied();
+                cursors[w] += 1;
+                out.push(lt.replace_winner(next));
+            }
+            out
+        };
+        assert_eq!(out, vec![9, 8, 5, 4, 2, 1]);
+    }
+
+    #[test]
+    fn challenger_is_true_second_best() {
+        // Construct the lopsided case where the root loser is NOT the
+        // second-best: w=1 beats a=2 first, then b=10 at the root.
+        let lt = LoserTree::new(vec![Some(1u32), Some(2), Some(10), Some(20)], |a, b| a < b);
+        assert_eq!(lt.winner(), Some(0));
+        let (ci, ck) = lt.challenger().expect("live challenger");
+        assert_eq!((ci, *ck), (1, 2), "challenger must be the global runner-up");
+    }
+
+    #[test]
+    fn challenger_none_when_all_others_exhausted() {
+        let mut lt = LoserTree::new(vec![Some(5u32), Some(1)], |a, b| a < b);
+        assert_eq!(lt.replace_winner(None), 1);
+        assert_eq!(lt.winner(), Some(0));
+        assert!(lt.challenger().is_none(), "no live second run");
+        let single = LoserTree::new(vec![Some(3u32)], |a: &u32, b: &u32| a < b);
+        assert!(single.challenger().is_none(), "k = 1 has no challenger");
+    }
+
+    #[test]
+    fn swap_winner_fast_path_preserves_order() {
+        let mut lt = LoserTree::new(vec![Some(1u32), Some(50), Some(60)], |a, b| a < b);
+        // 1 < 10 < 50 (challenger): swapping 10 in keeps run 0 the winner.
+        assert_eq!(lt.swap_winner(10), 1);
+        assert_eq!(lt.winner(), Some(0));
+        assert_eq!(lt.winner_key(), Some(&10));
+        assert_eq!(lt.replace_winner(None), 10);
+        assert_eq!(lt.winner(), Some(1));
+    }
+
+    #[test]
+    fn random_runs_match_sorted_reference() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..50 {
+            let k: usize = rng.gen_range(1..10);
+            let runs: Vec<Vec<u32>> = (0..k)
+                .map(|_| {
+                    let len = rng.gen_range(0..40);
+                    let mut v: Vec<u32> = (0..len).map(|_| rng.gen_range(0..100)).collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect();
+            let mut expect: Vec<u32> = runs.iter().flatten().copied().collect();
+            expect.sort_unstable();
+            assert_eq!(merge_all(runs), expect, "trial {trial}");
+        }
+    }
+}

@@ -11,15 +11,28 @@
 //!
 //! which matches the lower bound — the headline result the experiment
 //! harness (F1/F2) verifies against [`em_core::bounds::merge_sort_ios`].
+//!
+//! The compute side of the merge is a [loser tree](crate::losertree) —
+//! `⌈log₂ k⌉` comparisons per record with a block-drain fast path — with a
+//! binary-heap kernel kept for tiny fan-ins and A/B experiments
+//! ([`MergeKernel`]).  The I/O side is schedule by *forecasting*
+//! ([`crate::forecast`]): each run's block-head keys decide which run's next
+//! block is prefetched first.  Neither choice changes which transfers
+//! happen — only when, and how much CPU sits between them.
 
 use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
 
-use em_core::{ExtVec, ExtVecReader, ExtVecWriter, MemBudget, Record};
+use em_core::{ExtVec, ExtVecReader, ExtVecWriter, IoWaitSink, MemBudget, Record};
 use pdm::Result;
 
+use crate::forecast::Forecaster;
 use crate::heap::MinHeap;
-use crate::runs::form_runs;
-use crate::{OverlapConfig, SortConfig};
+use crate::losertree::LoserTree;
+use crate::runs::form_runs_impl;
+use crate::{MergeKernel, OverlapConfig, SortConfig};
 
 /// Sort `input` into a new external array on the same device, using natural
 /// ordering.  See [`merge_sort_by`].
@@ -46,10 +59,62 @@ pub fn merge_sort<R: Record + Ord>(input: &ExtVec<R>, cfg: &SortConfig) -> Resul
 pub fn merge_sort_by<R, F>(input: &ExtVec<R>, cfg: &SortConfig, less: F) -> Result<ExtVec<R>>
 where
     R: Record,
-    F: Fn(&R, &R) -> bool + Copy,
+    F: Fn(&R, &R) -> bool + Copy + Send,
 {
+    merge_sort_impl(input, cfg, less, false).map(|(out, _)| out)
+}
+
+/// Wall-clock and I/O-wait breakdown of one sort, phase by phase.
+///
+/// `*_secs` are wall-clock; `*_io_wait_secs` are the portions of those spent
+/// blocked on device transfers (everything else is CPU: sorting chunks,
+/// running the merge kernel).  A sort is compute-bound in a phase when its
+/// I/O wait is a small fraction of its wall time — the regime distinction
+/// discussed in `DESIGN.md`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SortMetrics {
+    /// Wall-clock seconds spent forming initial runs.
+    pub run_formation_secs: f64,
+    /// Seconds of `run_formation_secs` spent blocked on transfers.
+    pub run_formation_io_wait_secs: f64,
+    /// Wall-clock seconds spent in merge passes.
+    pub merge_secs: f64,
+    /// Seconds of `merge_secs` spent blocked on transfers.
+    pub merge_io_wait_secs: f64,
+    /// Number of merge levels (times the data is rewritten after run
+    /// formation); 0 when run formation already yields a single run.
+    pub merge_passes: u32,
+}
+
+/// [`merge_sort_by`] plus a per-phase [`SortMetrics`] breakdown.
+///
+/// The instrumentation wraps every blocking device wait in a timestamp pair;
+/// the sort itself is bit-identical to the unmetered one.
+pub fn merge_sort_with_metrics<R, F>(
+    input: &ExtVec<R>,
+    cfg: &SortConfig,
+    less: F,
+) -> Result<(ExtVec<R>, SortMetrics)>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy + Send,
+{
+    merge_sort_impl(input, cfg, less, true)
+}
+
+fn merge_sort_impl<R, F>(
+    input: &ExtVec<R>,
+    cfg: &SortConfig,
+    less: F,
+    timed: bool,
+) -> Result<(ExtVec<R>, SortMetrics)>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy + Send,
+{
+    let mut metrics = SortMetrics::default();
     if input.is_empty() {
-        return Ok(ExtVec::new(input.device().clone()));
+        return Ok((ExtVec::new(input.device().clone()), metrics));
     }
     let k = cfg.effective_fan_in(input.per_block());
     let ov = cfg.overlap;
@@ -59,17 +124,50 @@ where
     let reserve = (k * ov.read_ahead + ov.write_behind) * input.per_block();
     let budget = MemBudget::new(cfg.mem_records + reserve);
 
-    let mut queue: VecDeque<ExtVec<R>> = form_runs(input, cfg, less)?.into();
+    let nanos_of = |sink: &Option<IoWaitSink>| {
+        sink.as_ref()
+            .map_or(0.0, |s| s.load(Ordering::Relaxed) as f64 / 1e9)
+    };
+
+    let run_wait: Option<IoWaitSink> = timed.then(IoWaitSink::default);
+    let t0 = Instant::now();
+    let mut queue: VecDeque<ExtVec<R>> =
+        form_runs_impl(input, cfg, less, run_wait.as_ref())?.into();
+    metrics.run_formation_secs = t0.elapsed().as_secs_f64();
+    metrics.run_formation_io_wait_secs = nanos_of(&run_wait);
+
+    // Merge levels: ⌈log_k(initial runs)⌉.
+    let mut remaining = queue.len();
+    while remaining > 1 {
+        remaining = remaining.div_ceil(k);
+        metrics.merge_passes += 1;
+    }
+
+    let merge_wait: Option<IoWaitSink> = timed.then(IoWaitSink::default);
+    let t1 = Instant::now();
     while queue.len() > 1 {
         let take = k.min(queue.len());
         let group: Vec<ExtVec<R>> = queue.drain(..take).collect();
-        let merged = merge_runs_inner(&group, &budget, ov, less)?;
+        let merged = merge_runs_inner(
+            &group,
+            &budget,
+            ov,
+            cfg.kernel,
+            cfg.forecast,
+            merge_wait.as_ref(),
+            less,
+        )?;
         for run in group {
             run.free()?;
         }
         queue.push_back(merged);
     }
-    Ok(queue.pop_front().expect("nonempty input yields a run"))
+    metrics.merge_secs = t1.elapsed().as_secs_f64();
+    metrics.merge_io_wait_secs = nanos_of(&merge_wait);
+    Ok((
+        queue.pop_front().expect("nonempty input yields a run"),
+        metrics,
+    ))
 }
 
 /// Merge already-sorted `runs` into one sorted array, charging
@@ -77,23 +175,72 @@ where
 ///
 /// Exposed because other crates reuse single merges (e.g. merging delta runs
 /// in graph pipelines).  Costs one read of every input block and one write
-/// of every output block.
-pub fn merge_runs_by<R, F>(runs: &[ExtVec<R>], budget: &std::sync::Arc<MemBudget>, less: F) -> Result<ExtVec<R>>
+/// of every output block.  Runs synchronously with the default kernel; use
+/// [`merge_runs_with`] to choose overlap, kernel, and forecasting.
+pub fn merge_runs_by<R, F>(
+    runs: &[ExtVec<R>],
+    budget: &Arc<MemBudget>,
+    less: F,
+) -> Result<ExtVec<R>>
 where
     R: Record,
     F: Fn(&R, &R) -> bool + Copy,
 {
-    merge_runs_inner(runs, budget, OverlapConfig::off(), less)
+    merge_runs_inner(
+        runs,
+        budget,
+        OverlapConfig::off(),
+        MergeKernel::Auto,
+        false,
+        None,
+        less,
+    )
+}
+
+/// One k-way merge under `cfg`'s overlap, kernel, and forecasting choices.
+///
+/// Charges `(k+1)·B` records against `budget`, plus (when overlap is on)
+/// whatever read-ahead pool the budget's headroom allows.  Like every
+/// overlap feature in this workspace, kernel and forecasting choices move
+/// wall-clock time only: the transfers performed are identical for every
+/// combination.
+pub fn merge_runs_with<R, F>(
+    runs: &[ExtVec<R>],
+    budget: &Arc<MemBudget>,
+    cfg: &SortConfig,
+    less: F,
+) -> Result<ExtVec<R>>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy,
+{
+    merge_runs_inner(
+        runs,
+        budget,
+        cfg.overlap,
+        cfg.kernel,
+        cfg.forecast,
+        None,
+        less,
+    )
 }
 
 /// One k-way merge with optional read-ahead on each run and write-behind on
 /// the output.  The overlap buffers come from `budget` headroom via
 /// `try_charge`, so a tight budget silently degrades to the synchronous
 /// merge; the transfers performed are identical either way.
+///
+/// With `forecast` on (and read-ahead requested, and block-head metadata
+/// present on every run), the per-run read-ahead buffers become one shared
+/// pool scheduled by a [`Forecaster`]: the run whose next block has the
+/// smallest leading key gets the next buffer.
 fn merge_runs_inner<R, F>(
     runs: &[ExtVec<R>],
-    budget: &std::sync::Arc<MemBudget>,
+    budget: &Arc<MemBudget>,
     ov: OverlapConfig,
+    kernel: MergeKernel,
+    forecast: bool,
+    io_wait: Option<&IoWaitSink>,
     less: F,
 ) -> Result<ExtVec<R>>
 where
@@ -103,25 +250,127 @@ where
     assert!(!runs.is_empty(), "nothing to merge");
     let device = runs[0].device().clone();
     let b = runs[0].per_block();
-    let _charge = budget.charge((runs.len() + 1) * b);
+    let k = runs.len();
+    let _charge = budget.charge((k + 1) * b);
 
-    let mut readers: Vec<ExtVecReader<R>> =
-        runs.iter().map(|r| r.reader_at_prefetch(0, ov.read_ahead, budget)).collect();
-    // Heap of (record, reader index); ties broken by reader index so the
-    // merge is stable across runs.
-    let mut heap: MinHeap<(R, usize), _> = MinHeap::with_capacity(runs.len(), move |a: &(R, usize), b: &(R, usize)| {
-        less(&a.0, &b.0) || (!less(&b.0, &a.0) && a.1 < b.1)
-    });
-    for (i, rd) in readers.iter_mut().enumerate() {
-        if let Some(r) = rd.try_next()? {
-            heap.push((r, i));
+    let use_forecast =
+        forecast && ov.read_ahead > 0 && k >= 2 && runs.iter().all(|r| r.has_block_heads());
+    let fc = use_forecast.then(|| Forecaster::new(budget, k, ov.read_ahead, b));
+
+    let mut readers: Vec<ExtVecReader<R>> = match &fc {
+        Some(fc) => runs
+            .iter()
+            .map(|r| r.reader_forecast(0, fc.pool()))
+            .collect(),
+        None => runs
+            .iter()
+            .map(|r| r.reader_at_prefetch(0, ov.read_ahead, budget))
+            .collect(),
+    };
+    if let Some(sink) = io_wait {
+        for rd in &mut readers {
+            rd.set_io_wait_sink(sink.clone());
         }
     }
+    if let Some(fc) = &fc {
+        fc.pump(&mut readers, less);
+    }
+
     let mut w = ExtVecWriter::with_write_behind(device, ov.write_behind, budget);
-    while let Some((rec, i)) = heap.pop() {
-        w.push(rec)?;
-        if let Some(next) = readers[i].try_next()? {
-            heap.push((next, i));
+    if let Some(sink) = io_wait {
+        w.set_io_wait_sink(sink.clone());
+    }
+
+    // Loser tree wins from k = 3 up (at k ≤ 2 the tree is the comparison).
+    let use_tree = match kernel {
+        MergeKernel::LoserTree => true,
+        MergeKernel::Heap => false,
+        MergeKernel::Auto => k >= 3,
+    };
+
+    // Re-pump the forecaster roughly once per emitted block; exact cadence
+    // is irrelevant for correctness (a missed pump is just a demand read).
+    let mut since_pump = 0usize;
+    macro_rules! tick {
+        () => {
+            since_pump += 1;
+            if since_pump >= b {
+                since_pump = 0;
+                if let Some(fc) = &fc {
+                    fc.pump(&mut readers, less);
+                }
+            }
+        };
+    }
+
+    if use_tree {
+        let keys: Vec<Option<R>> = readers
+            .iter_mut()
+            .map(|rd| rd.try_next())
+            .collect::<Result<_>>()?;
+        let mut lt = LoserTree::new(keys, less);
+        while let Some(wi) = lt.winner() {
+            // Clone the challenger key so the tree is free to mutate while
+            // we drain against it (one O(1) clone per winner switch).
+            let challenger = lt.challenger().map(|(ci, ck)| (ci, ck.clone()));
+            match challenger {
+                None => {
+                    // Sole surviving run: stream it straight to the writer.
+                    w.push(lt.replace_winner(None))?;
+                    while let Some(r) = readers[wi].try_next()? {
+                        w.push(r)?;
+                        tick!();
+                    }
+                }
+                Some((ci, ck)) => {
+                    // Drain run `wi` with one comparison per record until a
+                    // record loses to the challenger (then one tree pass).
+                    loop {
+                        match readers[wi].try_next()? {
+                            Some(n) => {
+                                let still_wins = if wi < ci {
+                                    !less(&ck, &n)
+                                } else {
+                                    less(&n, &ck)
+                                };
+                                if still_wins {
+                                    w.push(lt.swap_winner(n))?;
+                                } else {
+                                    w.push(lt.replace_winner(Some(n)))?;
+                                    break;
+                                }
+                            }
+                            None => {
+                                w.push(lt.replace_winner(None))?;
+                                break;
+                            }
+                        }
+                        tick!();
+                    }
+                }
+            }
+        }
+    } else {
+        // Heap of (record, reader index); ties broken by reader index so the
+        // merge is stable across runs — the same order the loser tree
+        // produces, which the kernel-equivalence tests assert.
+        let mut heap: MinHeap<(R, usize), _> =
+            MinHeap::with_capacity(k, move |a: &(R, usize), b: &(R, usize)| {
+                less(&a.0, &b.0) || (!less(&b.0, &a.0) && a.1 < b.1)
+            });
+        for (i, rd) in readers.iter_mut().enumerate() {
+            if let Some(r) = rd.try_next()? {
+                heap.push((r, i));
+            }
+        }
+        while let Some(e) = heap.peek() {
+            let i = e.1;
+            let rec = match readers[i].try_next()? {
+                Some(next) => heap.replace_min((next, i)).0,
+                None => heap.pop().expect("nonempty").0,
+            };
+            w.push(rec)?;
+            tick!();
         }
     }
     w.finish()
@@ -166,7 +415,10 @@ mod tests {
     #[test]
     fn already_sorted_and_reverse_inputs() {
         let device = device_b8();
-        for data in [(0u64..1000).collect::<Vec<_>>(), (0u64..1000).rev().collect()] {
+        for data in [
+            (0u64..1000).collect::<Vec<_>>(),
+            (0u64..1000).rev().collect(),
+        ] {
             let input = ExtVec::from_slice(device.clone(), &data).unwrap();
             let out = merge_sort(&input, &SortConfig::new(64)).unwrap();
             let mut expect = data.clone();
@@ -266,10 +518,11 @@ mod tests {
     fn sorts_tuples_by_key() {
         let device = EmConfig::new(64, 8).ram_disk();
         let mut rng = StdRng::seed_from_u64(8);
-        let data: Vec<(u64, u64)> = (0..1000u64).map(|i| (rng.gen_range(0..100u64), i)).collect();
+        let data: Vec<(u64, u64)> = (0..1000u64)
+            .map(|i| (rng.gen_range(0..100u64), i))
+            .collect();
         let input = ExtVec::from_slice(device, &data).unwrap();
-        let out =
-            merge_sort_by(&input, &SortConfig::new(64), |a, b| a.0 < b.0).unwrap();
+        let out = merge_sort_by(&input, &SortConfig::new(64), |a, b| a.0 < b.0).unwrap();
         let v = out.to_vec().unwrap();
         assert!(v.windows(2).all(|w| w[0].0 <= w[1].0));
         let mut expect = data;
@@ -279,6 +532,123 @@ mod tests {
         expect.sort_by_key(|p| (p.0, p.1));
         got.sort_by_key(|p| (p.0, p.1));
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn kernels_produce_identical_output_and_counts() {
+        let device = device_b8();
+        let (input, mut data) = random_input(&device, 6000, 9);
+        data.sort_unstable();
+        let mut baseline: Option<(Vec<u64>, u64, u64)> = None;
+        for kernel in [MergeKernel::Heap, MergeKernel::LoserTree, MergeKernel::Auto] {
+            let before = device.stats().snapshot();
+            let out = merge_sort(&input, &SortConfig::new(64).with_merge_kernel(kernel)).unwrap();
+            let d = device.stats().snapshot().since(&before);
+            let got = (out.to_vec().unwrap(), d.reads(), d.writes());
+            assert_eq!(got.0, data, "{kernel:?} output");
+            match &baseline {
+                None => baseline = Some(got),
+                Some(b) => {
+                    assert_eq!(&got.1, &b.1, "{kernel:?} reads");
+                    assert_eq!(&got.2, &b.2, "{kernel:?} writes");
+                }
+            }
+            out.free().unwrap();
+        }
+    }
+
+    #[test]
+    fn stability_identical_across_kernels() {
+        // Key-only comparator on (key, payload) pairs: equal keys must come
+        // out in identical (run-index) order from both kernels.
+        let device = EmConfig::new(64, 8).ram_disk();
+        let mut rng = StdRng::seed_from_u64(10);
+        let data: Vec<(u64, u64)> = (0..2000u64).map(|i| (rng.gen_range(0..8u64), i)).collect();
+        let input = ExtVec::from_slice(device, &data).unwrap();
+        let heap = merge_sort_by(
+            &input,
+            &SortConfig::new(64).with_merge_kernel(MergeKernel::Heap),
+            |a, b| a.0 < b.0,
+        )
+        .unwrap();
+        let tree = merge_sort_by(
+            &input,
+            &SortConfig::new(64).with_merge_kernel(MergeKernel::LoserTree),
+            |a, b| a.0 < b.0,
+        )
+        .unwrap();
+        assert_eq!(heap.to_vec().unwrap(), tree.to_vec().unwrap());
+    }
+
+    #[test]
+    fn forecast_counters_light_up_with_overlap() {
+        let device = device_b8();
+        let (input, mut data) = random_input(&device, 4000, 11);
+        let cfg = SortConfig::new(64).with_overlap(OverlapConfig::symmetric(2));
+        let before = device.stats().snapshot();
+        let out = merge_sort(&input, &cfg).unwrap();
+        let d = device.stats().snapshot().since(&before);
+        data.sort_unstable();
+        assert_eq!(out.to_vec().unwrap(), data);
+        assert!(
+            d.forecast_issued() > 0,
+            "forecasting should drive the merge prefetches"
+        );
+        assert_eq!(
+            d.forecast_hits(),
+            d.forecast_issued(),
+            "every forecast block is consumed"
+        );
+        assert_eq!(d.prefetch_wasted(), 0);
+    }
+
+    #[test]
+    fn forecast_off_still_sorts_with_identical_counts() {
+        let device = device_b8();
+        let (input, mut data) = random_input(&device, 4000, 12);
+        let base = SortConfig::new(64).with_overlap(OverlapConfig::symmetric(2));
+        let before = device.stats().snapshot();
+        let with_fc = merge_sort(&input, &base).unwrap();
+        let mid = device.stats().snapshot();
+        let without = merge_sort(&input, &base.with_forecast(false)).unwrap();
+        let after = device.stats().snapshot();
+        data.sort_unstable();
+        assert_eq!(with_fc.to_vec().unwrap(), data);
+        assert_eq!(without.to_vec().unwrap(), data);
+        let (d1, d2) = (mid.since(&before), after.since(&mid));
+        assert_eq!(d1.reads(), d2.reads());
+        assert_eq!(d1.writes(), d2.writes());
+        assert_eq!(d2.forecast_issued(), 0, "forecast off issues nothing");
+    }
+
+    #[test]
+    fn metrics_report_phases() {
+        let device = device_b8();
+        let (input, mut data) = random_input(&device, 5000, 13);
+        let (out, m) = merge_sort_with_metrics(&input, &SortConfig::new(64), |a, b| a < b).unwrap();
+        data.sort_unstable();
+        assert_eq!(out.to_vec().unwrap(), data);
+        assert!(m.run_formation_secs > 0.0);
+        assert!(m.merge_secs > 0.0);
+        assert!(m.merge_passes >= 1, "5000 records at M=64 need merging");
+        assert!(m.run_formation_io_wait_secs >= 0.0 && m.merge_io_wait_secs >= 0.0);
+        assert!(m.run_formation_io_wait_secs <= m.run_formation_secs);
+        assert!(m.merge_io_wait_secs <= m.merge_secs);
+    }
+
+    #[test]
+    fn merge_runs_with_respects_config() {
+        let device = device_b8();
+        let runs: Vec<ExtVec<u64>> = (0..4u64)
+            .map(|i| {
+                let data: Vec<u64> = (0..100).map(|j| j * 4 + i).collect();
+                ExtVec::from_slice(device.clone(), &data).unwrap()
+            })
+            .collect();
+        let cfg = SortConfig::new(64).with_overlap(OverlapConfig::symmetric(2));
+        let budget = MemBudget::new(64 + 4 * 2 * 8 + 2 * 8);
+        let out = merge_runs_with(&runs, &budget, &cfg, |a, b| a < b).unwrap();
+        assert_eq!(out.to_vec().unwrap(), (0..400).collect::<Vec<u64>>());
     }
 }
 
@@ -324,10 +694,15 @@ mod multi_disk_tests {
         assert_eq!(out.to_vec().unwrap(), data);
         // Round-robin placement keeps the disks within ~25% of each other.
         let snap = device.stats().snapshot();
-        let per: Vec<u64> = (0..4).map(|d| snap.reads_on(d) + snap.writes_on(d)).collect();
+        let per: Vec<u64> = (0..4)
+            .map(|d| snap.reads_on(d) + snap.writes_on(d))
+            .collect();
         let (lo, hi) = (per.iter().min().unwrap(), per.iter().max().unwrap());
         assert!(*hi as f64 <= 1.25 * *lo as f64, "imbalanced: {per:?}");
-        assert!(snap.parallel_time() <= snap.total() / 3, "no parallel speedup: {per:?}");
+        assert!(
+            snap.parallel_time() <= snap.total() / 3,
+            "no parallel speedup: {per:?}"
+        );
     }
 
     #[test]
@@ -344,9 +719,9 @@ mod multi_disk_tests {
 
     #[test]
     fn overlapped_pipeline_matches_sync_output_and_per_disk_counts() {
-        // The tentpole invariant: switching on worker threads, read-ahead and
-        // write-behind moves wall-clock time only — every disk performs
-        // exactly the transfers of the synchronous pipeline.
+        // The tentpole invariant: switching on worker threads, read-ahead,
+        // write-behind and forecasting moves wall-clock time only — every
+        // disk performs exactly the transfers of the synchronous pipeline.
         use crate::OverlapConfig;
         use pdm::IoMode;
         for placement in [Placement::Striped, Placement::Independent] {
@@ -368,11 +743,27 @@ mod multi_disk_tests {
             let ds = sync_dev.stats().snapshot().since(&before_sync);
             let dov = ov_dev.stats().snapshot().since(&before_ov);
             for lane in 0..d {
-                assert_eq!(ds.reads_on(lane), dov.reads_on(lane), "{placement:?} lane {lane}");
-                assert_eq!(ds.writes_on(lane), dov.writes_on(lane), "{placement:?} lane {lane}");
+                assert_eq!(
+                    ds.reads_on(lane),
+                    dov.reads_on(lane),
+                    "{placement:?} lane {lane}"
+                );
+                assert_eq!(
+                    ds.writes_on(lane),
+                    dov.writes_on(lane),
+                    "{placement:?} lane {lane}"
+                );
             }
             assert_eq!(ds.parallel_time(), dov.parallel_time());
-            assert_eq!(dov.prefetch_wasted(), 0, "sort consumes every prefetched block");
+            assert_eq!(
+                dov.prefetch_wasted(),
+                0,
+                "sort consumes every prefetched block"
+            );
+            assert!(
+                dov.forecast_issued() > 0,
+                "{placement:?}: forecasting active"
+            );
         }
     }
 

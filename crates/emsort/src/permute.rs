@@ -24,7 +24,11 @@ use crate::{merge_sort_by, SortConfig};
 /// `0..N`; `out[dest[i]] = input[i]`.  Costs `2·⌈N/B⌉` sequential reads plus
 /// `2N` random I/Os (read-modify-write per record).
 pub fn permute_naive<R: Record>(input: &ExtVec<R>, dest: &ExtVec<u64>) -> Result<ExtVec<R>> {
-    assert_eq!(input.len(), dest.len(), "destination vector length mismatch");
+    assert_eq!(
+        input.len(),
+        dest.len(),
+        "destination vector length mismatch"
+    );
     let out = ExtVec::with_len(input.device().clone(), input.len())?;
     let mut records = input.reader();
     let mut dests = dest.reader();
@@ -46,7 +50,11 @@ pub fn permute_by_sort<R: Record>(
     dest: &ExtVec<u64>,
     cfg: &SortConfig,
 ) -> Result<ExtVec<R>> {
-    assert_eq!(input.len(), dest.len(), "destination vector length mismatch");
+    assert_eq!(
+        input.len(),
+        dest.len(),
+        "destination vector length mismatch"
+    );
     let device = input.device().clone();
 
     // Tag: (destination, record).
@@ -108,7 +116,10 @@ pub fn invert_permutation(perm: &ExtVec<u64>, cfg: &SortConfig) -> Result<ExtVec
 /// `(u64, R)` pairs (same byte budget).
 fn scale_config<R: Record>(cfg: &SortConfig) -> SortConfig {
     let scaled = (cfg.mem_records * R::BYTES / (u64::BYTES + R::BYTES)).max(1);
-    SortConfig { mem_records: scaled, ..*cfg }
+    SortConfig {
+        mem_records: scaled,
+        ..*cfg
+    }
 }
 
 #[cfg(test)]
@@ -169,7 +180,10 @@ mod tests {
             let input = ExtVec::from_slice(device.clone(), &data).unwrap();
             let dest = ExtVec::from_slice(device.clone(), &perm).unwrap();
             let a = permute_naive(&input, &dest).unwrap().to_vec().unwrap();
-            let b = permute_by_sort(&input, &dest, &SortConfig::new(64)).unwrap().to_vec().unwrap();
+            let b = permute_by_sort(&input, &dest, &SortConfig::new(64))
+                .unwrap()
+                .to_vec()
+                .unwrap();
             assert_eq!(a, b);
             assert_eq!(a, apply_in_memory(&data, &perm));
         }
@@ -198,8 +212,14 @@ mod tests {
 
         // Naive ≈ 2N random I/Os (+ scans); sort-based ≈ O(Sort).
         assert!(naive as f64 >= 2.0 * n as f64, "naive={naive}");
-        assert!((sorted as f64) < bounds::sort(n, m, b) * 20.0, "sorted={sorted}");
-        assert!(sorted < naive, "with B=8 sorting should already win: {sorted} vs {naive}");
+        assert!(
+            (sorted as f64) < bounds::sort(n, m, b) * 20.0,
+            "sorted={sorted}"
+        );
+        assert!(
+            sorted < naive,
+            "with B=8 sorting should already win: {sorted} vs {naive}"
+        );
     }
 
     #[test]
@@ -230,6 +250,11 @@ mod tests {
         let input: ExtVec<u64> = ExtVec::new(device.clone());
         let dest: ExtVec<u64> = ExtVec::new(device);
         assert_eq!(permute_naive(&input, &dest).unwrap().len(), 0);
-        assert_eq!(permute_by_sort(&input, &dest, &SortConfig::new(64)).unwrap().len(), 0);
+        assert_eq!(
+            permute_by_sort(&input, &dest, &SortConfig::new(64))
+                .unwrap()
+                .len(),
+            0
+        );
     }
 }

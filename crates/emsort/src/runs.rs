@@ -12,14 +12,28 @@
 //!   next run otherwise.  On random input the expected run length is `2M`
 //!   (Knuth's snow-plough argument), halving the number of runs and sometimes
 //!   saving an entire merge pass — the ablation of experiment F1.
+//!
+//! Load–sort–store additionally parallelizes the in-memory sort across
+//! [`SortConfig::run_threads`] scoped worker threads: the `M`-record chunk is
+//! split into contiguous pieces, each piece is stably sorted on its own
+//! thread, and the pieces are merged straight into the run writer with a
+//! piece-index tie-break.  Because the pieces are contiguous and the merge is
+//! stable, the written run is **byte-identical** to the sequential
+//! `sort_by` — thread count changes wall-clock time only, never run contents
+//! or I/O counts (the equivalence tests below assert exactly this).
 
 use std::sync::Arc;
 
-use em_core::{ExtVec, ExtVecWriter, MemBudget, Record};
+use em_core::{ExtVec, ExtVecWriter, IoWaitSink, MemBudget, Record};
 use pdm::Result;
 
 use crate::heap::MinHeap;
+use crate::losertree::LoserTree;
 use crate::{OverlapConfig, SortConfig};
+
+/// Pieces smaller than this sort faster than a thread spawn costs; chunks
+/// below `2·MIN_PIECE` records stay sequential.
+const MIN_PIECE: usize = 4096;
 
 /// Strategy for the run-formation pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -41,7 +55,20 @@ pub enum RunFormation {
 pub fn form_runs<R, F>(input: &ExtVec<R>, cfg: &SortConfig, less: F) -> Result<Vec<ExtVec<R>>>
 where
     R: Record,
-    F: Fn(&R, &R) -> bool + Copy,
+    F: Fn(&R, &R) -> bool + Copy + Send,
+{
+    form_runs_impl(input, cfg, less, None)
+}
+
+pub(crate) fn form_runs_impl<R, F>(
+    input: &ExtVec<R>,
+    cfg: &SortConfig,
+    less: F,
+    io_wait: Option<&IoWaitSink>,
+) -> Result<Vec<ExtVec<R>>>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy + Send,
 {
     let ov = cfg.overlap;
     // The overlap buffers (one input stream, one output stream) live in
@@ -50,9 +77,12 @@ where
     let reserve = (ov.read_ahead + ov.write_behind) * input.per_block();
     let budget = MemBudget::new(cfg.mem_records + reserve);
     match cfg.run_formation {
-        RunFormation::LoadSort => load_sort_runs(input, &budget, cfg.mem_records, ov, less),
+        RunFormation::LoadSort => {
+            let threads = cfg.effective_run_threads();
+            load_sort_runs(input, &budget, cfg.mem_records, ov, threads, io_wait, less)
+        }
         RunFormation::ReplacementSelection => {
-            replacement_selection_runs(input, &budget, cfg.mem_records, ov, less)
+            replacement_selection_runs(input, &budget, cfg.mem_records, ov, io_wait, less)
         }
     }
 }
@@ -62,17 +92,25 @@ fn load_sort_runs<R, F>(
     budget: &Arc<MemBudget>,
     m: usize,
     ov: OverlapConfig,
+    threads: usize,
+    io_wait: Option<&IoWaitSink>,
     less: F,
 ) -> Result<Vec<ExtVec<R>>>
 where
     R: Record,
-    F: Fn(&R, &R) -> bool + Copy,
+    F: Fn(&R, &R) -> bool + Copy + Send,
 {
-    assert!(m >= 2 * input.per_block(), "memory must hold at least two blocks");
+    assert!(
+        m >= 2 * input.per_block(),
+        "memory must hold at least two blocks"
+    );
     let _charge = budget.charge(m);
     let mut runs = Vec::new();
     let mut chunk: Vec<R> = Vec::with_capacity(m);
     let mut reader = input.reader_at_prefetch(0, ov.read_ahead, budget);
+    if let Some(sink) = io_wait {
+        reader.set_io_wait_sink(sink.clone());
+    }
     loop {
         chunk.clear();
         while chunk.len() < m {
@@ -84,14 +122,66 @@ where
         if chunk.is_empty() {
             break;
         }
-        chunk.sort_by(|a, b| cmp_from_less(less, a, b));
-        let mut w = ExtVecWriter::with_write_behind(input.device().clone(), ov.write_behind, budget);
-        for r in chunk.drain(..) {
-            w.push(r)?;
+        let mut w =
+            ExtVecWriter::with_write_behind(input.device().clone(), ov.write_behind, budget);
+        if let Some(sink) = io_wait {
+            w.set_io_wait_sink(sink.clone());
         }
+        write_sorted_chunk(&mut chunk, threads, less, &mut w)?;
         runs.push(w.finish()?);
     }
     Ok(runs)
+}
+
+/// Sort `chunk` and push it to `w`, using up to `threads` scoped workers.
+///
+/// The parallel path splits the chunk into contiguous pieces, stably sorts
+/// each piece on its own thread, and merges the pieces into the writer with
+/// a [`LoserTree`] whose ties resolve toward the lower piece index.  Equal
+/// records therefore leave in original-position order — exactly the
+/// sequential stable `sort_by` output.
+fn write_sorted_chunk<R, F>(
+    chunk: &mut Vec<R>,
+    threads: usize,
+    less: F,
+    w: &mut ExtVecWriter<R>,
+) -> Result<()>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy + Send,
+{
+    let t = threads.min(chunk.len() / MIN_PIECE);
+    if t <= 1 {
+        chunk.sort_by(|a, b| cmp_from_less(less, a, b));
+        for r in chunk.drain(..) {
+            w.push(r)?;
+        }
+        return Ok(());
+    }
+    let piece_len = chunk.len().div_ceil(t);
+    std::thread::scope(|s| {
+        for piece in chunk.chunks_mut(piece_len) {
+            s.spawn(move || piece.sort_by(|a, b| cmp_from_less(less, a, b)));
+        }
+    });
+    // Merge the sorted pieces straight into the writer — no scratch buffer,
+    // so memory stays at the chunk's M records (plus t in-tree keys).
+    let starts: Vec<usize> = (0..t).map(|i| i * piece_len).collect();
+    let ends: Vec<usize> = (0..t)
+        .map(|i| ((i + 1) * piece_len).min(chunk.len()))
+        .collect();
+    let mut cursors: Vec<usize> = starts.iter().map(|&s| s + 1).collect();
+    let keys: Vec<Option<R>> = (0..t)
+        .map(|i| (starts[i] < ends[i]).then(|| chunk[starts[i]].clone()))
+        .collect();
+    let mut lt = LoserTree::new(keys, less);
+    while let Some(wi) = lt.winner() {
+        let next = (cursors[wi] < ends[wi]).then(|| chunk[cursors[wi]].clone());
+        cursors[wi] += 1;
+        w.push(lt.replace_winner(next))?;
+    }
+    chunk.clear();
+    Ok(())
 }
 
 fn replacement_selection_runs<R, F>(
@@ -99,6 +189,7 @@ fn replacement_selection_runs<R, F>(
     budget: &Arc<MemBudget>,
     m: usize,
     ov: OverlapConfig,
+    io_wait: Option<&IoWaitSink>,
     less: F,
 ) -> Result<Vec<ExtVec<R>>>
 where
@@ -106,7 +197,10 @@ where
     F: Fn(&R, &R) -> bool + Copy,
 {
     let b = input.per_block();
-    assert!(m >= 4 * b, "replacement selection needs at least 4 blocks of memory");
+    assert!(
+        m >= 4 * b,
+        "replacement selection needs at least 4 blocks of memory"
+    );
     // Heap gets M − 2B records; one block each for the input reader and the
     // run writer.
     let heap_cap = m - 2 * b;
@@ -114,11 +208,15 @@ where
 
     // Heap entries are (run_id, record); an entry for a later run orders
     // after every entry of the current run.
-    let mut heap: MinHeap<(u64, R), _> = MinHeap::with_capacity(heap_cap, move |a: &(u64, R), b: &(u64, R)| {
-        a.0 < b.0 || (a.0 == b.0 && less(&a.1, &b.1))
-    });
+    let mut heap: MinHeap<(u64, R), _> =
+        MinHeap::with_capacity(heap_cap, move |a: &(u64, R), b: &(u64, R)| {
+            a.0 < b.0 || (a.0 == b.0 && less(&a.1, &b.1))
+        });
 
     let mut reader = input.reader_at_prefetch(0, ov.read_ahead, budget);
+    if let Some(sink) = io_wait {
+        reader.set_io_wait_sink(sink.clone());
+    }
     while heap.len() < heap_cap {
         match reader.try_next()? {
             Some(r) => heap.push((0, r)),
@@ -132,7 +230,11 @@ where
     }
 
     let mut current_run = 0u64;
-    let mut writer = ExtVecWriter::with_write_behind(input.device().clone(), ov.write_behind, budget);
+    let mut writer =
+        ExtVecWriter::with_write_behind(input.device().clone(), ov.write_behind, budget);
+    if let Some(sink) = io_wait {
+        writer.set_io_wait_sink(sink.clone());
+    }
     let mut last_emitted: Option<R> = None;
     while let Some(run_id) = heap.peek().map(|e| e.0) {
         if run_id != current_run {
@@ -142,7 +244,11 @@ where
             // (the interim plain writer is a free placeholder).
             let old = std::mem::replace(&mut writer, ExtVecWriter::new(input.device().clone()));
             runs.push(old.finish()?);
-            writer = ExtVecWriter::with_write_behind(input.device().clone(), ov.write_behind, budget);
+            writer =
+                ExtVecWriter::with_write_behind(input.device().clone(), ov.write_behind, budget);
+            if let Some(sink) = io_wait {
+                writer.set_io_wait_sink(sink.clone());
+            }
             current_run = run_id;
             last_emitted = None;
         }
@@ -152,7 +258,11 @@ where
                 // current run only if it is not smaller than the record we
                 // are about to emit.
                 let out = heap.peek().expect("nonempty").1.clone();
-                let next_run = if less(&next, &out) { current_run + 1 } else { current_run };
+                let next_run = if less(&next, &out) {
+                    current_run + 1
+                } else {
+                    current_run
+                };
                 heap.replace_min((next_run, next))
             }
             None => heap.pop().expect("nonempty"),
@@ -208,7 +318,10 @@ mod tests {
         all_sorted.sort_unstable();
         let mut orig_sorted = original.to_vec();
         orig_sorted.sort_unstable();
-        assert_eq!(all_sorted, orig_sorted, "runs are not a permutation of input");
+        assert_eq!(
+            all_sorted, orig_sorted,
+            "runs are not a permutation of input"
+        );
     }
 
     #[test]
@@ -290,8 +403,12 @@ mod tests {
         let cfg = EmConfig::new(64, 8);
         let input: ExtVec<u64> = ExtVec::new(cfg.ram_disk());
         for rf in [RunFormation::LoadSort, RunFormation::ReplacementSelection] {
-            let runs =
-                form_runs(&input, &SortConfig::new(64).with_run_formation(rf), |a, b| a < b).unwrap();
+            let runs = form_runs(
+                &input,
+                &SortConfig::new(64).with_run_formation(rf),
+                |a, b| a < b,
+            )
+            .unwrap();
             assert!(runs.is_empty());
         }
     }
@@ -302,8 +419,12 @@ mod tests {
         let device = input.device().clone();
         for rf in [RunFormation::LoadSort, RunFormation::ReplacementSelection] {
             let before = device.stats().snapshot();
-            let runs =
-                form_runs(&input, &SortConfig::new(64).with_run_formation(rf), |a, b| a < b).unwrap();
+            let runs = form_runs(
+                &input,
+                &SortConfig::new(64).with_run_formation(rf),
+                |a, b| a < b,
+            )
+            .unwrap();
             let d = device.stats().snapshot().since(&before);
             assert_eq!(d.reads(), 64, "one read per input block");
             // Writes: one per run block; runs may have partial last blocks.
@@ -327,15 +448,69 @@ mod tests {
             let ov_runs = form_runs(&input, &ov_cfg, |a, b| a < b).unwrap();
             let after = device.stats().snapshot();
             let (d_sync, d_ov) = (mid.since(&before), after.since(&mid));
-            assert_eq!(d_sync.reads(), d_ov.reads(), "overlap changed read count ({rf:?})");
-            assert_eq!(d_sync.writes(), d_ov.writes(), "overlap changed write count ({rf:?})");
+            assert_eq!(
+                d_sync.reads(),
+                d_ov.reads(),
+                "overlap changed read count ({rf:?})"
+            );
+            assert_eq!(
+                d_sync.writes(),
+                d_ov.writes(),
+                "overlap changed write count ({rf:?})"
+            );
             assert_eq!(sync_runs.len(), ov_runs.len());
             for (a, b) in sync_runs.iter().zip(&ov_runs) {
-                assert_eq!(a.to_vec().unwrap(), b.to_vec().unwrap(), "runs differ ({rf:?})");
+                assert_eq!(
+                    a.to_vec().unwrap(),
+                    b.to_vec().unwrap(),
+                    "runs differ ({rf:?})"
+                );
             }
             for r in sync_runs.into_iter().chain(ov_runs) {
                 r.free().unwrap();
             }
+        }
+    }
+
+    #[test]
+    fn parallel_run_formation_is_byte_identical_to_sequential() {
+        // M = 16 Ki records → chunks large enough to engage the scoped
+        // worker threads; the written runs and I/O counts must not move.
+        let cfg = EmConfig::new(64, 8);
+        let device = cfg.ram_disk();
+        let mut rng = StdRng::seed_from_u64(77);
+        // Narrow key range → massive duplication, so any instability in the
+        // piece merge would reorder records and fail the equality below.
+        let data: Vec<(u64, u64)> = (0..40_000u64)
+            .map(|i| (rng.gen_range(0..64u64), i))
+            .collect();
+        let input = ExtVec::from_slice(device.clone(), &data).unwrap();
+        let m = 16 * 1024;
+        let base = SortConfig::new(m);
+        let before = device.stats().snapshot();
+        let seq = form_runs(&input, &base.with_run_threads(1), |a: &(u64, u64), b| {
+            a.0 < b.0
+        })
+        .unwrap();
+        let mid = device.stats().snapshot();
+        let par = form_runs(&input, &base.with_run_threads(4), |a: &(u64, u64), b| {
+            a.0 < b.0
+        })
+        .unwrap();
+        let after = device.stats().snapshot();
+        let (d_seq, d_par) = (mid.since(&before), after.since(&mid));
+        assert_eq!(d_seq.reads(), d_par.reads());
+        assert_eq!(d_seq.writes(), d_par.writes());
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(
+                a.to_vec().unwrap(),
+                b.to_vec().unwrap(),
+                "parallel run differs"
+            );
+        }
+        for r in seq.into_iter().chain(par) {
+            r.free().unwrap();
         }
     }
 

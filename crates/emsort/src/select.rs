@@ -26,7 +26,11 @@ where
     R: Record,
     F: Fn(&R, &R) -> bool + Copy,
 {
-    assert!(k < input.len(), "selection index {k} out of range (len {})", input.len());
+    assert!(
+        k < input.len(),
+        "selection index {k} out of range (len {})",
+        input.len()
+    );
     let budget = MemBudget::new(cfg.mem_records);
     let mut rng = StdRng::seed_from_u64(0x005E_1EC7);
 
@@ -136,7 +140,11 @@ mod tests {
         sorted.sort_unstable();
         let cfg = SortConfig::new(64);
         for k in 0..data.len() as u64 {
-            assert_eq!(select(&input, k, &cfg).unwrap(), sorted[k as usize], "k={k}");
+            assert_eq!(
+                select(&input, k, &cfg).unwrap(),
+                sorted[k as usize],
+                "k={k}"
+            );
         }
     }
 
@@ -150,7 +158,11 @@ mod tests {
         sorted.sort_unstable();
         let cfg = SortConfig::new(128);
         for k in [0u64, 1, 9_999, 19_998, 19_999] {
-            assert_eq!(select(&input, k, &cfg).unwrap(), sorted[k as usize], "k={k}");
+            assert_eq!(
+                select(&input, k, &cfg).unwrap(),
+                sorted[k as usize],
+                "k={k}"
+            );
         }
     }
 
@@ -181,7 +193,10 @@ mod tests {
         let data: Vec<u64> = (0..1000).collect();
         let input = ExtVec::from_slice(d, &data).unwrap();
         // Descending order: rank 0 is the maximum.
-        assert_eq!(select_by(&input, 0, &SortConfig::new(64), |a, b| a > b).unwrap(), 999);
+        assert_eq!(
+            select_by(&input, 0, &SortConfig::new(64), |a, b| a > b).unwrap(),
+            999
+        );
     }
 
     #[test]

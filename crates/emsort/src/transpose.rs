@@ -96,7 +96,12 @@ fn transpose_tiled<R: Record>(
     Ok(out)
 }
 
-fn transpose_by_sort<R: Record>(input: &ExtVec<R>, p: u64, q: u64, cfg: &SortConfig) -> Result<ExtVec<R>> {
+fn transpose_by_sort<R: Record>(
+    input: &ExtVec<R>,
+    p: u64,
+    q: u64,
+    cfg: &SortConfig,
+) -> Result<ExtVec<R>> {
     let device = input.device().clone();
     let mut w: ExtVecWriter<(u64, R)> = ExtVecWriter::new(device.clone());
     {
@@ -216,7 +221,10 @@ mod tests {
         let n = p * q;
         let scan = n / 8;
         assert!(naive >= 2 * n, "naive is ~2 I/Os per record: {naive}");
-        assert!(blocked <= 8 * scan, "blocked should be O(N/B): {blocked} vs scan {scan}");
+        assert!(
+            blocked <= 8 * scan,
+            "blocked should be O(N/B): {blocked} vs scan {scan}"
+        );
     }
 
     #[test]
@@ -225,7 +233,11 @@ mod tests {
         let data = matrix(1, 30);
         let input = ExtVec::from_slice(device, &data).unwrap();
         let out = transpose_blocked(&input, 1, 30, &SortConfig::new(64)).unwrap();
-        assert_eq!(out.to_vec().unwrap(), data, "transpose of a row vector is the same sequence");
+        assert_eq!(
+            out.to_vec().unwrap(),
+            data,
+            "transpose of a row vector is the same sequence"
+        );
     }
 
     #[test]

@@ -139,17 +139,17 @@ fn cmp_pattern(text: &ExtVec<u8>, pos: u64, pattern: &[u8]) -> Result<std::cmp::
     }
     // Pattern exhausted → prefix match; suffix exhausted first → pattern is
     // longer, i.e. greater.
-    Ok(if take == pattern.len() { Ordering::Equal } else { Ordering::Greater })
+    Ok(if take == pattern.len() {
+        Ordering::Equal
+    } else {
+        Ordering::Greater
+    })
 }
 
 /// All positions where `pattern` occurs in `text`, in increasing order,
 /// found by binary search over the suffix array:
 /// `O(log₂ N · ⌈P/B⌉ + Z/B)` I/Os.
-pub fn find_occurrences(
-    text: &ExtVec<u8>,
-    sa: &ExtVec<u64>,
-    pattern: &[u8],
-) -> Result<Vec<u64>> {
+pub fn find_occurrences(text: &ExtVec<u8>, sa: &ExtVec<u64>, pattern: &[u8]) -> Result<Vec<u64>> {
     use std::cmp::Ordering;
     assert!(!pattern.is_empty(), "empty pattern matches everywhere");
     let n = sa.len();
@@ -208,7 +208,12 @@ mod tests {
         let d = device();
         let tv = ExtVec::from_slice(d, text).unwrap();
         let sa = suffix_array(&tv, &SortConfig::new(512)).unwrap();
-        assert_eq!(sa.to_vec().unwrap(), reference_sa(text), "text {:?}", String::from_utf8_lossy(text));
+        assert_eq!(
+            sa.to_vec().unwrap(),
+            reference_sa(text),
+            "text {:?}",
+            String::from_utf8_lossy(text)
+        );
     }
 
     #[test]
@@ -253,7 +258,10 @@ mod tests {
         let sa = suffix_array(&tv, &SortConfig::new(512)).unwrap();
         assert_eq!(find_occurrences(&tv, &sa, b"the").unwrap(), vec![0, 31, 45]);
         assert_eq!(find_occurrences(&tv, &sa, b"fox").unwrap(), vec![16]);
-        assert_eq!(find_occurrences(&tv, &sa, b"cat").unwrap(), Vec::<u64>::new());
+        assert_eq!(
+            find_occurrences(&tv, &sa, b"cat").unwrap(),
+            Vec::<u64>::new()
+        );
         assert_eq!(find_occurrences(&tv, &sa, b".").unwrap(), vec![52]);
     }
 
@@ -272,7 +280,12 @@ mod tests {
                 .filter(|&i| &text[i..i + plen] == pattern)
                 .map(|i| i as u64)
                 .collect();
-            assert_eq!(got, expect, "pattern {:?}", String::from_utf8_lossy(pattern));
+            assert_eq!(
+                got,
+                expect,
+                "pattern {:?}",
+                String::from_utf8_lossy(pattern)
+            );
         }
     }
 
@@ -304,7 +317,8 @@ mod tests {
     #[test]
     fn temporaries_freed() {
         let d = device();
-        let tv = ExtVec::from_slice(d.clone(), b"the rain in spain stays mainly in the plain").unwrap();
+        let tv =
+            ExtVec::from_slice(d.clone(), b"the rain in spain stays mainly in the plain").unwrap();
         let before = d.allocated_blocks();
         let sa = suffix_array(&tv, &SortConfig::new(512)).unwrap();
         assert_eq!(d.allocated_blocks(), before + sa.num_blocks() as u64);

@@ -29,8 +29,14 @@ type InsertOutcome<K, V> = (Option<V>, Option<(K, pdm::BlockId)>);
 
 /// Decoded form of one tree node.
 enum Node<K, V> {
-    Leaf { next: Option<BlockId>, entries: Vec<(K, V)> },
-    Internal { keys: Vec<K>, children: Vec<BlockId> },
+    Leaf {
+        next: Option<BlockId>,
+        entries: Vec<(K, V)>,
+    },
+    Internal {
+        keys: Vec<K>,
+        children: Vec<BlockId>,
+    },
 }
 
 /// An external-memory B+-tree mapping fixed-size keys to fixed-size values.
@@ -65,7 +71,10 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
         let bs = pool.device().block_size();
         let leaf_cap = (bs - 11) / (K::BYTES + V::BYTES);
         let internal_cap = (bs - 11) / (K::BYTES + 8);
-        assert!(leaf_cap >= 4 && internal_cap >= 4, "block too small for this key/value size");
+        assert!(
+            leaf_cap >= 4 && internal_cap >= 4,
+            "block too small for this key/value size"
+        );
         let mut tree = BTree {
             pool,
             root: 0,
@@ -75,7 +84,10 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
             internal_cap,
             _marker: PhantomData,
         };
-        let empty = Node::Leaf { next: None, entries: Vec::new() };
+        let empty = Node::Leaf {
+            next: None,
+            entries: Vec::new(),
+        };
         tree.root = tree.alloc_node(&empty)?;
         Ok(tree)
     }
@@ -135,7 +147,10 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
     pub fn insert(&mut self, key: K, value: V) -> Result<Option<V>> {
         let (old, split) = self.insert_rec(self.root, key, value)?;
         if let Some((sep, right)) = split {
-            let new_root = Node::Internal { keys: vec![sep], children: vec![self.root, right] };
+            let new_root = Node::Internal {
+                keys: vec![sep],
+                children: vec![self.root, right],
+            };
             self.root = self.alloc_node(&new_root)?;
             self.height += 1;
         }
@@ -164,14 +179,26 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
                         let mid = entries.len() / 2;
                         let right_entries = entries.split_off(mid);
                         let sep = right_entries[0].0.clone();
-                        let right = Node::Leaf { next, entries: right_entries };
+                        let right = Node::Leaf {
+                            next,
+                            entries: right_entries,
+                        };
                         let right_id = self.alloc_node(&right)?;
-                        self.write_node(id, &Node::Leaf { next: Some(right_id), entries })?;
+                        self.write_node(
+                            id,
+                            &Node::Leaf {
+                                next: Some(right_id),
+                                entries,
+                            },
+                        )?;
                         Ok((None, Some((sep, right_id))))
                     }
                 }
             }
-            Node::Internal { mut keys, mut children } => {
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
                 let idx = keys.partition_point(|k| k <= &key);
                 let (old, split) = self.insert_rec(children[idx], key, value)?;
                 if let Some((sep, right_id)) = split {
@@ -186,8 +213,10 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
                     let right_keys = keys.split_off(mid + 1);
                     keys.pop(); // drop the separator that moved up
                     let right_children = children.split_off(mid + 1);
-                    let right_id =
-                        self.alloc_node(&Node::Internal { keys: right_keys, children: right_children })?;
+                    let right_id = self.alloc_node(&Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    })?;
                     self.write_node(id, &Node::Internal { keys, children })?;
                     return Ok((old, Some((sep_up, right_id))));
                 }
@@ -217,7 +246,8 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
 
     fn remove_rec(&mut self, id: BlockId, key: &K) -> Result<Option<V>> {
         match self.read_node(id)? {
-            Node::Leaf { next, mut entries } => match entries.binary_search_by(|(k, _)| k.cmp(key)) {
+            Node::Leaf { next, mut entries } => match entries.binary_search_by(|(k, _)| k.cmp(key))
+            {
                 Ok(i) => {
                     let (_, v) = entries.remove(i);
                     self.write_node(id, &Node::Leaf { next, entries })?;
@@ -225,7 +255,10 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
                 }
                 Err(_) => Ok(None),
             },
-            Node::Internal { mut keys, mut children } => {
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
                 let idx = keys.partition_point(|k| k <= key);
                 let old = self.remove_rec(children[idx], key)?;
                 if old.is_some() && self.is_underfull(children[idx])? {
@@ -247,7 +280,12 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
     /// Restore the invariant for `children[idx]` by borrowing from or
     /// merging with a sibling.  `keys`/`children` are the parent's decoded
     /// vectors, mutated in place (caller re-writes the parent).
-    fn fix_child(&mut self, keys: &mut Vec<K>, children: &mut Vec<BlockId>, idx: usize) -> Result<()> {
+    fn fix_child(
+        &mut self,
+        keys: &mut Vec<K>,
+        children: &mut Vec<BlockId>,
+        idx: usize,
+    ) -> Result<()> {
         // Prefer the left sibling.
         if idx > 0 && self.try_borrow_or_merge(keys, children, idx - 1)? {
             return Ok(());
@@ -260,18 +298,35 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
 
     /// Rebalance the pair `(children[i], children[i+1])` around parent key
     /// `keys[i]`.  Returns true if anything was done.
-    fn try_borrow_or_merge(&mut self, keys: &mut Vec<K>, children: &mut Vec<BlockId>, i: usize) -> Result<bool> {
+    fn try_borrow_or_merge(
+        &mut self,
+        keys: &mut Vec<K>,
+        children: &mut Vec<BlockId>,
+        i: usize,
+    ) -> Result<bool> {
         let (lid, rid) = (children[i], children[i + 1]);
         match (self.read_node(lid)?, self.read_node(rid)?) {
             (
-                Node::Leaf { next: lnext, entries: mut le },
-                Node::Leaf { next: rnext, entries: mut re },
+                Node::Leaf {
+                    next: lnext,
+                    entries: mut le,
+                },
+                Node::Leaf {
+                    next: rnext,
+                    entries: mut re,
+                },
             ) => {
                 let min = self.leaf_cap.div_ceil(2).max(1);
                 if le.len() + re.len() <= self.leaf_cap {
                     // Merge right into left.
                     le.append(&mut re);
-                    self.write_node(lid, &Node::Leaf { next: rnext, entries: le })?;
+                    self.write_node(
+                        lid,
+                        &Node::Leaf {
+                            next: rnext,
+                            entries: le,
+                        },
+                    )?;
                     self.free_node(rid)?;
                     keys.remove(i);
                     children.remove(i + 1);
@@ -279,22 +334,52 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
                     // Borrow from right.
                     le.push(re.remove(0));
                     keys[i] = re[0].0.clone();
-                    self.write_node(lid, &Node::Leaf { next: lnext, entries: le })?;
-                    self.write_node(rid, &Node::Leaf { next: rnext, entries: re })?;
+                    self.write_node(
+                        lid,
+                        &Node::Leaf {
+                            next: lnext,
+                            entries: le,
+                        },
+                    )?;
+                    self.write_node(
+                        rid,
+                        &Node::Leaf {
+                            next: rnext,
+                            entries: re,
+                        },
+                    )?;
                 } else if re.len() < min {
                     // Borrow from left.
                     re.insert(0, le.pop().expect("left nonempty"));
                     keys[i] = re[0].0.clone();
-                    self.write_node(lid, &Node::Leaf { next: lnext, entries: le })?;
-                    self.write_node(rid, &Node::Leaf { next: rnext, entries: re })?;
+                    self.write_node(
+                        lid,
+                        &Node::Leaf {
+                            next: lnext,
+                            entries: le,
+                        },
+                    )?;
+                    self.write_node(
+                        rid,
+                        &Node::Leaf {
+                            next: rnext,
+                            entries: re,
+                        },
+                    )?;
                 } else {
                     return Ok(false);
                 }
                 Ok(true)
             }
             (
-                Node::Internal { keys: mut lk, children: mut lc },
-                Node::Internal { keys: mut rk, children: mut rc },
+                Node::Internal {
+                    keys: mut lk,
+                    children: mut lc,
+                },
+                Node::Internal {
+                    keys: mut rk,
+                    children: mut rc,
+                },
             ) => {
                 let min = self.internal_cap / 2;
                 if lk.len() + rk.len() < self.internal_cap {
@@ -302,7 +387,13 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
                     lk.push(keys[i].clone());
                     lk.append(&mut rk);
                     lc.append(&mut rc);
-                    self.write_node(lid, &Node::Internal { keys: lk, children: lc })?;
+                    self.write_node(
+                        lid,
+                        &Node::Internal {
+                            keys: lk,
+                            children: lc,
+                        },
+                    )?;
                     self.free_node(rid)?;
                     keys.remove(i);
                     children.remove(i + 1);
@@ -311,15 +402,39 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
                     lk.push(keys[i].clone());
                     keys[i] = rk.remove(0);
                     lc.push(rc.remove(0));
-                    self.write_node(lid, &Node::Internal { keys: lk, children: lc })?;
-                    self.write_node(rid, &Node::Internal { keys: rk, children: rc })?;
+                    self.write_node(
+                        lid,
+                        &Node::Internal {
+                            keys: lk,
+                            children: lc,
+                        },
+                    )?;
+                    self.write_node(
+                        rid,
+                        &Node::Internal {
+                            keys: rk,
+                            children: rc,
+                        },
+                    )?;
                 } else if rk.len() < min {
                     // Rotate right.
                     rk.insert(0, keys[i].clone());
                     keys[i] = lk.pop().expect("left nonempty");
                     rc.insert(0, lc.pop().expect("left nonempty"));
-                    self.write_node(lid, &Node::Internal { keys: lk, children: lc })?;
-                    self.write_node(rid, &Node::Internal { keys: rk, children: rc })?;
+                    self.write_node(
+                        lid,
+                        &Node::Internal {
+                            keys: lk,
+                            children: lc,
+                        },
+                    )?;
+                    self.write_node(
+                        rid,
+                        &Node::Internal {
+                            keys: rk,
+                            children: rc,
+                        },
+                    )?;
                 } else {
                     return Ok(false);
                 }
@@ -431,16 +546,21 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
         let mut last_key: Option<K> = None;
         let mut count = 0u64;
         let fill = tree.leaf_cap.max(2) - tree.leaf_cap / 4; // ~3/4 full
-        let flush =
-            |tree: &mut Self, current: &mut Vec<(K, V)>, leaves: &mut Vec<(K, BlockId)>| -> Result<()> {
-                if current.is_empty() {
-                    return Ok(());
-                }
-                let first = current[0].0.clone();
-                let id = tree.alloc_node(&Node::Leaf { next: None, entries: std::mem::take(current) })?;
-                leaves.push((first, id));
-                Ok(())
-            };
+        let flush = |tree: &mut Self,
+                     current: &mut Vec<(K, V)>,
+                     leaves: &mut Vec<(K, BlockId)>|
+         -> Result<()> {
+            if current.is_empty() {
+                return Ok(());
+            }
+            let first = current[0].0.clone();
+            let id = tree.alloc_node(&Node::Leaf {
+                next: None,
+                entries: std::mem::take(current),
+            })?;
+            leaves.push((first, id));
+            Ok(())
+        };
         for (k, v) in sorted {
             if let Some(prev) = &last_key {
                 assert!(prev < &k, "bulk_load input must be strictly increasing");
@@ -455,14 +575,24 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
         // Avoid an underfull final leaf by stealing from the previous one.
         if !current.is_empty() && !leaves.is_empty() && current.len() < fill.div_ceil(2) {
             let (_, prev_id) = leaves.pop().expect("nonempty");
-            let Node::Leaf { entries: mut prev_entries, .. } = tree.read_node(prev_id)? else {
+            let Node::Leaf {
+                entries: mut prev_entries,
+                ..
+            } = tree.read_node(prev_id)?
+            else {
                 unreachable!()
             };
             prev_entries.append(&mut current);
             let half = prev_entries.len() / 2;
             current = prev_entries.split_off(half);
             let first = prev_entries[0].0.clone();
-            tree.write_node(prev_id, &Node::Leaf { next: None, entries: prev_entries })?;
+            tree.write_node(
+                prev_id,
+                &Node::Leaf {
+                    next: None,
+                    entries: prev_entries,
+                },
+            )?;
             leaves.push((first, prev_id));
         }
         flush(&mut tree, &mut current, &mut leaves)?;
@@ -473,8 +603,16 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
         // Chain the leaves.
         for w in leaves.windows(2) {
             let (_, id) = &w[0];
-            let Node::Leaf { entries, .. } = tree.read_node(*id)? else { unreachable!() };
-            tree.write_node(*id, &Node::Leaf { next: Some(w[1].1), entries })?;
+            let Node::Leaf { entries, .. } = tree.read_node(*id)? else {
+                unreachable!()
+            };
+            tree.write_node(
+                *id,
+                &Node::Leaf {
+                    next: Some(w[1].1),
+                    entries,
+                },
+            )?;
         }
         // Phase 2: build internal levels.
         tree.free_node(tree.root)?; // drop the placeholder empty root
@@ -512,7 +650,10 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
     pub fn check_invariants(&self) -> Result<()> {
         let mut leaf_depths = Vec::new();
         self.check_rec(self.root, 1, None, None, &mut leaf_depths)?;
-        assert!(leaf_depths.windows(2).all(|w| w[0] == w[1]), "leaves at differing depths");
+        assert!(
+            leaf_depths.windows(2).all(|w| w[0] == w[1]),
+            "leaves at differing depths"
+        );
         if let Some(&d) = leaf_depths.first() {
             assert_eq!(d, self.height, "height mismatch");
         }
@@ -529,7 +670,10 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
     ) -> Result<u64> {
         match self.read_node(id)? {
             Node::Leaf { entries, .. } => {
-                assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "leaf keys unsorted");
+                assert!(
+                    entries.windows(2).all(|w| w[0].0 < w[1].0),
+                    "leaf keys unsorted"
+                );
                 for (k, _) in &entries {
                     assert!(lo.is_none_or(|l| l <= k), "key below subtree range");
                     assert!(hi.is_none_or(|h| k < h), "key above subtree range");
@@ -546,7 +690,10 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
             Node::Internal { keys, children } => {
                 assert!(!keys.is_empty() || id == self.root, "empty internal node");
                 assert_eq!(children.len(), keys.len() + 1);
-                assert!(keys.windows(2).all(|w| w[0] < w[1]), "internal keys unsorted");
+                assert!(
+                    keys.windows(2).all(|w| w[0] < w[1]),
+                    "internal keys unsorted"
+                );
                 let mut total = 0;
                 for (i, child) in children.iter().enumerate() {
                     let clo = if i == 0 { lo } else { Some(&keys[i - 1]) };
@@ -587,7 +734,11 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
         let count = u16::from_le_bytes([buf[1], buf[2]]) as usize;
         if tag == 0 {
             let next_raw = u64::from_le_bytes(buf[3..11].try_into().expect("8 bytes"));
-            let next = if next_raw == NO_NEXT { None } else { Some(next_raw) };
+            let next = if next_raw == NO_NEXT {
+                None
+            } else {
+                Some(next_raw)
+            };
             let mut entries = Vec::with_capacity(count);
             let mut at = 11;
             for _ in 0..count {
@@ -607,7 +758,9 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
             }
             let mut children = Vec::with_capacity(count + 1);
             for _ in 0..count + 1 {
-                children.push(u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes")));
+                children.push(u64::from_le_bytes(
+                    buf[at..at + 8].try_into().expect("8 bytes"),
+                ));
                 at += 8;
             }
             Node::Internal { keys, children }
@@ -665,7 +818,11 @@ mod tests {
         let mut t: BTree<u64, u64> = BTree::new(pool(128, 8)).unwrap();
         assert_eq!(t.insert(5, 50).unwrap(), None);
         assert_eq!(t.insert(3, 30).unwrap(), None);
-        assert_eq!(t.insert(5, 55).unwrap(), Some(50), "replace returns old value");
+        assert_eq!(
+            t.insert(5, 55).unwrap(),
+            Some(50),
+            "replace returns old value"
+        );
         assert_eq!(t.len(), 2);
         assert_eq!(t.get(&5).unwrap(), Some(55));
         assert_eq!(t.get(&3).unwrap(), Some(30));
@@ -740,7 +897,10 @@ mod tests {
         assert_eq!(got, expect);
         assert_eq!(t.range(&7, &7).unwrap(), vec![]);
         assert_eq!(t.range(&8, &8).unwrap(), vec![(8, 80)]);
-        assert!(t.range(&10, &5).unwrap().is_empty(), "inverted range is empty");
+        assert!(
+            t.range(&10, &5).unwrap().is_empty(),
+            "inverted range is empty"
+        );
         // Full range covers everything.
         assert_eq!(t.range(&0, &u64::MAX).unwrap().len() as u64, t.len());
     }
@@ -807,7 +967,10 @@ mod tests {
             let ios = device.stats().snapshot().since(&before).reads();
             worst = worst.max(ios);
         }
-        assert!(worst <= height as u64, "lookup took {worst} I/Os, height {height}");
+        assert!(
+            worst <= height as u64,
+            "lookup took {worst} I/Os, height {height}"
+        );
     }
 
     #[test]
@@ -845,15 +1008,18 @@ mod tests {
     fn for_each_range_streams_in_order() {
         let t = BTree::bulk_load(pool(128, 16), (0..500u64).map(|k| (k * 2, k))).unwrap();
         let mut got = Vec::new();
-        t.for_each_range(&100, &140, |k, v| got.push((*k, *v))).unwrap();
+        t.for_each_range(&100, &140, |k, v| got.push((*k, *v)))
+            .unwrap();
         assert_eq!(got, (50..=70).map(|k| (k * 2, k)).collect::<Vec<_>>());
         // Agrees with the materializing variant everywhere.
         let mut all = Vec::new();
-        t.for_each_range(&0, &u64::MAX, |k, v| all.push((*k, *v))).unwrap();
+        t.for_each_range(&0, &u64::MAX, |k, v| all.push((*k, *v)))
+            .unwrap();
         assert_eq!(all, t.range(&0, &u64::MAX).unwrap());
         // Inverted range is a no-op.
         let mut none = Vec::new();
-        t.for_each_range(&10, &5, |k, v| none.push((*k, *v))).unwrap();
+        t.for_each_range(&10, &5, |k, v| none.push((*k, *v)))
+            .unwrap();
         assert!(none.is_empty());
     }
 

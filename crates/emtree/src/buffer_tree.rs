@@ -49,7 +49,13 @@ struct DiskBuffer<E: Record> {
 impl<E: Record> DiskBuffer<E> {
     fn new(device: SharedDevice) -> Self {
         let per_block = (device.block_size() / E::BYTES).max(1);
-        DiskBuffer { device, blocks: Vec::new(), len: 0, per_block, _marker: std::marker::PhantomData }
+        DiskBuffer {
+            device,
+            blocks: Vec::new(),
+            len: 0,
+            per_block,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     fn len(&self) -> usize {
@@ -386,7 +392,9 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
         // strictly below keys[i]).
         let (keys, children) = {
             let node = self.node(id);
-            let NodeKind::Internal { children } = &node.kind else { unreachable!() };
+            let NodeKind::Internal { children } = &node.kind else {
+                unreachable!()
+            };
             (node.keys.clone(), children.clone())
         };
         let mut start = 0;
@@ -410,11 +418,18 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
                     continue;
                 }
                 let node = self.node_mut(id);
-                let NodeKind::Internal { children } = &mut node.kind else { unreachable!() };
-                let pos = children.iter().position(|&c| c == child).expect("child present");
+                let NodeKind::Internal { children } = &mut node.kind else {
+                    unreachable!()
+                };
+                let pos = children
+                    .iter()
+                    .position(|&c| c == child)
+                    .expect("child present");
                 for (off, (k, nid)) in extras.into_iter().enumerate() {
                     node.keys.insert(pos + off, k);
-                    let NodeKind::Internal { children } = &mut node.kind else { unreachable!() };
+                    let NodeKind::Internal { children } = &mut node.kind else {
+                        unreachable!()
+                    };
                     children.insert(pos + 1 + off, nid);
                 }
             }
@@ -429,7 +444,9 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
         }
         let old_leaves = {
             let node = self.node_mut(id);
-            let NodeKind::Bottom { leaves } = &mut node.kind else { unreachable!() };
+            let NodeKind::Bottom { leaves } = &mut node.kind else {
+                unreachable!()
+            };
             std::mem::take(leaves)
         };
         let total_old: usize = old_leaves.iter().map(|l| l.len() as usize).sum();
@@ -501,7 +518,9 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
         }
         let (keys, leaves) = {
             let node = self.node_mut(id);
-            let NodeKind::Bottom { leaves } = &mut node.kind else { unreachable!() };
+            let NodeKind::Bottom { leaves } = &mut node.kind else {
+                unreachable!()
+            };
             (std::mem::take(&mut node.keys), std::mem::take(leaves))
         };
         let groups = split_points(leaves.len(), (self.fanout / 2).max(2));
@@ -519,13 +538,17 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
             if first_group {
                 let node = self.node_mut(id);
                 node.keys = group_keys;
-                node.kind = NodeKind::Bottom { leaves: group_leaves };
+                node.kind = NodeKind::Bottom {
+                    leaves: group_leaves,
+                };
                 first_group = false;
             } else {
                 let min_key = keys[start - 1].clone();
                 let nid = self.alloc_node(Node {
                     keys: group_keys,
-                    kind: NodeKind::Bottom { leaves: group_leaves },
+                    kind: NodeKind::Bottom {
+                        leaves: group_leaves,
+                    },
                     buffer: DiskBuffer::new(self.device.clone()),
                 });
                 extras.push((min_key, nid));
@@ -545,10 +568,16 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
         if child_count <= self.fanout {
             return Ok(Vec::new());
         }
-        debug_assert_eq!(self.node(id).buffer.len(), 0, "splitting a node with a non-empty buffer");
+        debug_assert_eq!(
+            self.node(id).buffer.len(),
+            0,
+            "splitting a node with a non-empty buffer"
+        );
         let (keys, children) = {
             let node = self.node_mut(id);
-            let NodeKind::Internal { children } = &mut node.kind else { unreachable!() };
+            let NodeKind::Internal { children } = &mut node.kind else {
+                unreachable!()
+            };
             (std::mem::take(&mut node.keys), std::mem::take(children))
         };
         let groups = split_points(children.len(), (self.fanout / 2).max(2));
@@ -563,13 +592,17 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
             if first_group {
                 let node = self.node_mut(id);
                 node.keys = group_keys;
-                node.kind = NodeKind::Internal { children: group_children };
+                node.kind = NodeKind::Internal {
+                    children: group_children,
+                };
                 first_group = false;
             } else {
                 let min_key = keys[start - 1].clone();
                 let nid = self.alloc_node(Node {
                     keys: group_keys,
-                    kind: NodeKind::Internal { children: group_children },
+                    kind: NodeKind::Internal {
+                        children: group_children,
+                    },
                     buffer: DiskBuffer::new(self.device.clone()),
                 });
                 extras.push((min_key, nid));
@@ -753,11 +786,17 @@ mod tests {
         t.flush_all().unwrap();
         let d = device.stats().snapshot().since(&before);
         let per_op = d.total() as f64 / n as f64;
-        assert!(per_op < 1.0, "buffer tree insert cost {per_op} I/Os/op — should be ≪ 1");
+        assert!(
+            per_op < 1.0,
+            "buffer tree insert cost {per_op} I/Os/op — should be ≪ 1"
+        );
         // And within a constant of the Sort(N)/N prediction.
         let b_ev = 512 / 24; // event record = 24 bytes, block = 512 bytes
         let predicted = bounds::sort(n, m, b_ev) / n as f64;
-        assert!(per_op < 40.0 * predicted, "per_op {per_op} vs Sort/N {predicted}");
+        assert!(
+            per_op < 40.0 * predicted,
+            "per_op {per_op} vs Sort/N {predicted}"
+        );
     }
 
     #[test]
@@ -768,8 +807,10 @@ mod tests {
         }
         t.delete(100).unwrap();
         let got = t.range(&95, &105).unwrap();
-        let expect: Vec<(u64, u64)> =
-            (95..=105).filter(|&k| k != 100).map(|k| (k, k * 3)).collect();
+        let expect: Vec<(u64, u64)> = (95..=105)
+            .filter(|&k| k != 100)
+            .map(|k| (k, k * 3))
+            .collect();
         assert_eq!(got, expect);
         assert!(t.range(&10, &5).unwrap().is_empty());
         assert_eq!(t.range(&0, &u64::MAX).unwrap().len(), 3999);

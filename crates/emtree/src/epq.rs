@@ -35,7 +35,12 @@ struct Run<R: Record> {
 
 impl<R: Record + Ord> Run<R> {
     fn new(data: ExtVec<R>) -> Self {
-        Run { data, pos: 0, buf: Vec::new(), buf_start: 0 }
+        Run {
+            data,
+            pos: 0,
+            buf: Vec::new(),
+            buf_start: 0,
+        }
     }
 
     fn remaining(&self) -> u64 {
@@ -95,7 +100,10 @@ impl<R: Record + Ord> ExtPriorityQueue<R> {
     /// `mem_records` records (at least 8 blocks' worth).
     pub fn new(device: SharedDevice, mem_records: usize) -> Self {
         let per_block = (device.block_size() / R::BYTES).max(1);
-        assert!(mem_records >= 8 * per_block, "priority queue needs at least 8 blocks of memory");
+        assert!(
+            mem_records >= 8 * per_block,
+            "priority queue needs at least 8 blocks of memory"
+        );
         let insertion_cap = mem_records / 2;
         let max_runs = (mem_records / (2 * per_block)).saturating_sub(1).max(2);
         ExtPriorityQueue {
@@ -168,7 +176,10 @@ impl<R: Record + Ord> ExtPriorityQueue<R> {
     }
 
     fn min_source(&mut self) -> Result<Option<MinSource>> {
-        let mut best: Option<(R, MinSource)> = self.insertion.peek().map(|Reverse(r)| (r.clone(), MinSource::Insertion));
+        let mut best: Option<(R, MinSource)> = self
+            .insertion
+            .peek()
+            .map(|Reverse(r)| (r.clone(), MinSource::Insertion));
         for i in 0..self.runs.len() {
             if let Some(front) = self.runs[i].front()? {
                 if best.as_ref().is_none_or(|(b, _)| front < b) {
@@ -362,7 +373,11 @@ mod tests {
         let d = device.stats().snapshot().since(&before);
         let bound = bounds::sort(n, m, b);
         let ratio = d.total() as f64 / bound;
-        assert!(ratio < 8.0, "EPQ used {} I/Os, Sort(N) = {bound}, ratio {ratio}", d.total());
+        assert!(
+            ratio < 8.0,
+            "EPQ used {} I/Os, Sort(N) = {bound}, ratio {ratio}",
+            d.total()
+        );
     }
 
     #[test]

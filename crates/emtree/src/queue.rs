@@ -29,7 +29,10 @@ impl<R: Record> ExtQueue<R> {
     /// Create an empty queue on `device`.
     pub fn new(device: SharedDevice) -> Self {
         let per_block = (device.block_size() / R::BYTES).max(1);
-        assert!(device.block_size() / R::BYTES >= 1, "record larger than block");
+        assert!(
+            device.block_size() / R::BYTES >= 1,
+            "record larger than block"
+        );
         let byte_buf = vec![0u8; device.block_size()].into_boxed_slice();
         ExtQueue {
             device,
@@ -93,7 +96,9 @@ impl<R: Record> ExtQueue<R> {
             self.device.read_block(id, &mut self.byte_buf)?;
             self.device.free(id)?;
             for i in 0..self.per_block {
-                self.head.push_back(R::read_from(&self.byte_buf[i * R::BYTES..(i + 1) * R::BYTES]));
+                self.head.push_back(R::read_from(
+                    &self.byte_buf[i * R::BYTES..(i + 1) * R::BYTES],
+                ));
             }
         } else if !self.tail.is_empty() {
             // No full blocks between head and tail: drain the tail directly.

@@ -26,9 +26,19 @@ impl<R: Record> ExtStack<R> {
     /// Create an empty stack on `device`.
     pub fn new(device: SharedDevice) -> Self {
         let per_block = (device.block_size() / R::BYTES).max(1);
-        assert!(device.block_size() / R::BYTES >= 1, "record larger than block");
+        assert!(
+            device.block_size() / R::BYTES >= 1,
+            "record larger than block"
+        );
         let byte_buf = vec![0u8; device.block_size()].into_boxed_slice();
-        ExtStack { device, blocks: Vec::new(), buf: Vec::with_capacity(2 * per_block), per_block, len: 0, byte_buf }
+        ExtStack {
+            device,
+            blocks: Vec::new(),
+            buf: Vec::with_capacity(2 * per_block),
+            per_block,
+            len: 0,
+            byte_buf,
+        }
     }
 
     /// Number of records on the stack.
@@ -67,7 +77,9 @@ impl<R: Record> ExtStack<R> {
             self.device.read_block(id, &mut self.byte_buf)?;
             self.device.free(id)?;
             for i in 0..self.per_block {
-                self.buf.push(R::read_from(&self.byte_buf[i * R::BYTES..(i + 1) * R::BYTES]));
+                self.buf.push(R::read_from(
+                    &self.byte_buf[i * R::BYTES..(i + 1) * R::BYTES],
+                ));
             }
         }
         let r = self.buf.pop();
@@ -88,7 +100,9 @@ impl<R: Record> ExtStack<R> {
             self.device.read_block(id, &mut self.byte_buf)?;
             self.device.free(id)?;
             for i in 0..self.per_block {
-                self.buf.push(R::read_from(&self.byte_buf[i * R::BYTES..(i + 1) * R::BYTES]));
+                self.buf.push(R::read_from(
+                    &self.byte_buf[i * R::BYTES..(i + 1) * R::BYTES],
+                ));
             }
         }
         Ok(self.buf.last())

@@ -81,11 +81,20 @@ impl DiskArray {
         let stats = IoStats::new(d, physical_block);
         let disks: Vec<Arc<dyn BlockDevice>> = (0..d)
             .map(|lane| {
-                Arc::new(RamDisk::with_stats(physical_block, Arc::clone(&stats), lane))
-                    as Arc<dyn BlockDevice>
+                Arc::new(RamDisk::with_stats(
+                    physical_block,
+                    Arc::clone(&stats),
+                    lane,
+                )) as Arc<dyn BlockDevice>
             })
             .collect();
-        Arc::new(Self::assemble(disks, placement, physical_block, stats, mode))
+        Arc::new(Self::assemble(
+            disks,
+            placement,
+            physical_block,
+            stats,
+            mode,
+        ))
     }
 
     /// Create an array of `d` file-backed disks under `dir` (one file per
@@ -108,6 +117,34 @@ impl DiskArray {
         placement: Placement,
         mode: IoMode,
     ) -> Result<Arc<Self>> {
+        Self::new_file_with_service(
+            dir,
+            d,
+            physical_block,
+            placement,
+            mode,
+            std::time::Duration::ZERO,
+        )
+    }
+
+    /// Create an array of `d` file-backed disks whose every block transfer
+    /// additionally occupies its disk for `service` of wall-clock time.
+    ///
+    /// This is the wall-clock grounding of the PDM cost model: with the OS
+    /// page cache absorbing small benchmark files, raw file transfers are
+    /// nearly free and every configuration looks compute-bound.  A per-
+    /// transfer service time makes each member disk a genuine serial
+    /// resource, so `D`-disk parallelism and overlapped I/O recover real
+    /// time exactly where the model says they should.  Transfer counts are
+    /// identical to a zero-service array.
+    pub fn new_file_with_service(
+        dir: &std::path::Path,
+        d: usize,
+        physical_block: usize,
+        placement: Placement,
+        mode: IoMode,
+        service: std::time::Duration,
+    ) -> Result<Arc<Self>> {
         assert!(d >= 1, "need at least one disk");
         assert!(physical_block > 0);
         std::fs::create_dir_all(dir)?;
@@ -120,9 +157,16 @@ impl DiskArray {
                 physical_block,
                 Arc::clone(&stats),
                 lane,
+                service,
             )?));
         }
-        Ok(Arc::new(Self::assemble(disks, placement, physical_block, stats, mode)))
+        Ok(Arc::new(Self::assemble(
+            disks,
+            placement,
+            physical_block,
+            stats,
+            mode,
+        )))
     }
 
     fn assemble(
@@ -136,7 +180,14 @@ impl DiskArray {
             IoMode::Synchronous => None,
             IoMode::Overlapped => Some(IoScheduler::new(&disks, Arc::clone(&stats))),
         };
-        DiskArray { disks, placement, physical_block, stats, next_disk: AtomicUsize::new(0), sched }
+        DiskArray {
+            disks,
+            placement,
+            physical_block,
+            stats,
+            next_disk: AtomicUsize::new(0),
+            sched,
+        }
     }
 
     /// Number of member disks.
@@ -185,7 +236,10 @@ impl DiskArray {
     fn size_check(&self, len: usize) -> Result<()> {
         let bs = self.block_size();
         if len != bs {
-            return Err(PdmError::SizeMismatch { expected: bs, actual: len });
+            return Err(PdmError::SizeMismatch {
+                expected: bs,
+                actual: len,
+            });
         }
         Ok(())
     }
@@ -260,8 +314,9 @@ impl BlockDevice for DiskArray {
             (Some(sched), Placement::Striped) => {
                 // Fan the logical read out to all D lanes, then gather: the
                 // member transfers proceed concurrently.
-                let parts: Vec<_> =
-                    (0..self.disks.len()).map(|d| sched.submit_raw(d, false, id, self.phys_buf())).collect();
+                let parts: Vec<_> = (0..self.disks.len())
+                    .map(|d| sched.submit_raw(d, false, id, self.phys_buf()))
+                    .collect();
                 for (rx, chunk) in parts.into_iter().zip(buf.chunks_mut(self.physical_block)) {
                     let part = rx.recv().map_err(|_| {
                         PdmError::Io(std::io::Error::other("I/O worker thread terminated"))
@@ -309,7 +364,9 @@ impl BlockDevice for DiskArray {
             }
             (Some(sched), Placement::Independent) => {
                 let (disk, phys) = self.split_independent(id);
-                sched.submit_write(disk, phys, buf.to_vec().into_boxed_slice()).wait()?;
+                sched
+                    .submit_write(disk, phys, buf.to_vec().into_boxed_slice())
+                    .wait()?;
                 Ok(())
             }
         }
@@ -325,8 +382,9 @@ impl BlockDevice for DiskArray {
                 IoTicket::ready(res)
             }
             (Some(sched), Placement::Striped) => {
-                let parts: Vec<_> =
-                    (0..self.disks.len()).map(|d| sched.submit_raw(d, false, id, self.phys_buf())).collect();
+                let parts: Vec<_> = (0..self.disks.len())
+                    .map(|d| sched.submit_raw(d, false, id, self.phys_buf()))
+                    .collect();
                 IoTicket::gather(parts, buf, self.physical_block)
             }
             (Some(sched), Placement::Independent) => {
@@ -412,7 +470,11 @@ mod tests {
         assert_eq!(out, [2u8; 8]);
         let snap = arr.stats().snapshot();
         assert_eq!(snap.total(), 4);
-        assert_eq!(snap.parallel_time(), 2, "balanced load halves parallel time");
+        assert_eq!(
+            snap.parallel_time(),
+            2,
+            "balanced load halves parallel time"
+        );
     }
 
     #[test]
@@ -471,8 +533,16 @@ mod overlapped_tests {
             let s = sync.stats().snapshot();
             let o = over.stats().snapshot();
             for d in 0..3 {
-                assert_eq!(s.reads_on(d), o.reads_on(d), "reads lane {d} ({placement:?})");
-                assert_eq!(s.writes_on(d), o.writes_on(d), "writes lane {d} ({placement:?})");
+                assert_eq!(
+                    s.reads_on(d),
+                    o.reads_on(d),
+                    "reads lane {d} ({placement:?})"
+                );
+                assert_eq!(
+                    s.writes_on(d),
+                    o.writes_on(d),
+                    "writes lane {d} ({placement:?})"
+                );
             }
             assert_eq!(s.parallel_time(), o.parallel_time());
         }
@@ -494,8 +564,10 @@ mod overlapped_tests {
                 t.wait().unwrap();
             }
             // Queue all reads before waiting on any of them.
-            let tickets: Vec<IoTicket> =
-                ids.iter().map(|&id| arr.submit_read(id, vec![0u8; bs].into_boxed_slice())).collect();
+            let tickets: Vec<IoTicket> = ids
+                .iter()
+                .map(|&id| arr.submit_read(id, vec![0u8; bs].into_boxed_slice()))
+                .collect();
             for (i, t) in tickets.into_iter().enumerate() {
                 let buf = t.wait().unwrap();
                 assert_eq!(&*buf, &vec![i as u8 + 1; bs][..], "{placement:?}");

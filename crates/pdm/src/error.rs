@@ -28,7 +28,10 @@ impl fmt::Display for PdmError {
         match self {
             PdmError::InvalidBlock(id) => write!(f, "invalid block id {id}"),
             PdmError::SizeMismatch { expected, actual } => {
-                write!(f, "buffer size {actual} does not match block size {expected}")
+                write!(
+                    f,
+                    "buffer size {actual} does not match block size {expected}"
+                )
             }
             PdmError::OutOfSpace => write!(f, "device out of space"),
             PdmError::PoolExhausted => {

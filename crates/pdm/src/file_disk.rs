@@ -16,6 +16,7 @@
 use std::fs::{File, OpenOptions};
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -40,6 +41,9 @@ pub struct FileDisk {
     /// Which lane of `stats` this disk records into (disk-array members use
     /// their own lane; standalone disks use lane 0).
     lane: usize,
+    /// Simulated per-transfer device service time (seek + rotation +
+    /// transfer), added to every counted block read/write.  Zero by default.
+    service: Duration,
     zero: Box<[u8]>,
     /// Non-unix fallback: serializes seek-then-transfer pairs.
     #[cfg(not(unix))]
@@ -50,8 +54,28 @@ impl FileDisk {
     /// Create (truncating) a file-backed disk at `path` with the given block
     /// size in bytes.
     pub fn create<P: AsRef<Path>>(path: P, block_size: usize) -> Result<Arc<Self>> {
+        Self::create_with_service(path, block_size, Duration::ZERO)
+    }
+
+    /// Create a file-backed disk whose every counted transfer additionally
+    /// takes `service` of wall-clock time.
+    ///
+    /// The OS page cache makes small benchmark files essentially free to
+    /// read and write, which hides the *structure* of an external-memory
+    /// algorithm's I/O.  A nonzero service time restores the PDM cost model
+    /// in wall-clock terms — each block transfer occupies its disk for a
+    /// fixed interval, so a `D`-disk array genuinely serves `D` transfers at
+    /// once and overlap genuinely hides I/O behind compute.  Transfer
+    /// *counts* are unaffected.
+    pub fn create_with_service<P: AsRef<Path>>(
+        path: P,
+        block_size: usize,
+        service: Duration,
+    ) -> Result<Arc<Self>> {
         let stats = IoStats::new(1, block_size);
-        Ok(Arc::new(Self::create_with_stats(path, block_size, stats, 0)?))
+        Ok(Arc::new(Self::create_with_stats(
+            path, block_size, stats, 0, service,
+        )?))
     }
 
     /// Create a file disk recording into lane `lane` of an existing
@@ -61,6 +85,7 @@ impl FileDisk {
         block_size: usize,
         stats: Arc<IoStats>,
         lane: usize,
+        service: Duration,
     ) -> Result<Self> {
         assert!(block_size > 0, "block size must be positive");
         let file = OpenOptions::new()
@@ -72,9 +97,14 @@ impl FileDisk {
         Ok(FileDisk {
             block_size,
             file,
-            meta: Mutex::new(Meta { len_blocks: 0, free_list: Vec::new(), allocated: 0 }),
+            meta: Mutex::new(Meta {
+                len_blocks: 0,
+                free_list: Vec::new(),
+                allocated: 0,
+            }),
             stats,
             lane,
+            service,
             zero: vec![0u8; block_size].into_boxed_slice(),
             #[cfg(not(unix))]
             cursor: Mutex::new(()),
@@ -159,20 +189,32 @@ impl BlockDevice for FileDisk {
 
     fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<()> {
         if buf.len() != self.block_size {
-            return Err(PdmError::SizeMismatch { expected: self.block_size, actual: buf.len() });
+            return Err(PdmError::SizeMismatch {
+                expected: self.block_size,
+                actual: buf.len(),
+            });
         }
         self.check_in_range(id)?;
         self.read_at(buf, self.offset(id))?;
+        if !self.service.is_zero() {
+            std::thread::sleep(self.service);
+        }
         self.stats.record_read(self.lane);
         Ok(())
     }
 
     fn write_block(&self, id: BlockId, buf: &[u8]) -> Result<()> {
         if buf.len() != self.block_size {
-            return Err(PdmError::SizeMismatch { expected: self.block_size, actual: buf.len() });
+            return Err(PdmError::SizeMismatch {
+                expected: self.block_size,
+                actual: buf.len(),
+            });
         }
         self.check_in_range(id)?;
         self.write_at(buf, self.offset(id))?;
+        if !self.service.is_zero() {
+            std::thread::sleep(self.service);
+        }
         self.stats.record_write(self.lane);
         Ok(())
     }
@@ -227,6 +269,27 @@ mod tests {
         assert!(disk.free(a).is_err(), "double free rejected");
         let b = disk.allocate().unwrap();
         assert_eq!(a, b);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn service_time_delays_transfers_without_changing_counts() {
+        let path = tmp("svc");
+        let disk = FileDisk::create_with_service(&path, 32, Duration::from_millis(2)).unwrap();
+        let a = disk.allocate().unwrap();
+        let start = std::time::Instant::now();
+        let mut out = [0u8; 32];
+        disk.write_block(a, &[1u8; 32]).unwrap();
+        disk.read_block(a, &mut out).unwrap();
+        assert!(
+            start.elapsed() >= Duration::from_millis(4),
+            "2 transfers × 2ms service"
+        );
+        assert_eq!(
+            disk.stats().snapshot().total(),
+            2,
+            "service time never changes counts"
+        );
         std::fs::remove_file(path).ok();
     }
 

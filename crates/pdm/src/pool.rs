@@ -132,7 +132,10 @@ impl BufferPool {
     pub fn read(self: &Arc<Self>, id: BlockId) -> Result<FrameGuard> {
         let cell = self.pin(id, false)?;
         let guard = parking_lot::RwLock::read_arc(&cell.data);
-        Ok(FrameGuard { _pin: PinHandle { cell }, guard })
+        Ok(FrameGuard {
+            _pin: PinHandle { cell },
+            guard,
+        })
     }
 
     /// Pin block `id` for writing; the frame is marked dirty.
@@ -140,7 +143,10 @@ impl BufferPool {
         let cell = self.pin(id, true)?;
         cell.dirty.store(true, Ordering::Relaxed);
         let guard = parking_lot::RwLock::write_arc(&cell.data);
-        Ok(FrameGuardMut { _pin: PinHandle { cell }, guard })
+        Ok(FrameGuardMut {
+            _pin: PinHandle { cell },
+            guard,
+        })
     }
 
     /// Allocate a fresh zeroed block on the device and pin it for writing
@@ -150,7 +156,13 @@ impl BufferPool {
         let cell = self.install_fresh(id)?;
         cell.dirty.store(true, Ordering::Relaxed);
         let guard = parking_lot::RwLock::write_arc(&cell.data);
-        Ok((id, FrameGuardMut { _pin: PinHandle { cell }, guard }))
+        Ok((
+            id,
+            FrameGuardMut {
+                _pin: PinHandle { cell },
+                guard,
+            },
+        ))
     }
 
     /// Write back every dirty frame (frames stay resident).
@@ -189,7 +201,11 @@ impl BufferPool {
         }
         if let Some(idx) = inner.map.remove(&id) {
             let slot = inner.slots[idx].take().expect("mapped slot present");
-            assert_eq!(slot.cell.pins.load(Ordering::Relaxed), 0, "discarding pinned block");
+            assert_eq!(
+                slot.cell.pins.load(Ordering::Relaxed),
+                0,
+                "discarding pinned block"
+            );
             inner.free.push(idx);
         }
     }
@@ -240,7 +256,12 @@ impl BufferPool {
             pins: AtomicU32::new(1),
             dirty: AtomicBool::new(false),
         });
-        inner.slots[idx] = Some(Slot { block: id, cell: Arc::clone(&cell), loaded_at: tick, last_use: tick });
+        inner.slots[idx] = Some(Slot {
+            block: id,
+            cell: Arc::clone(&cell),
+            loaded_at: tick,
+            last_use: tick,
+        });
         inner.map.insert(id, idx);
         Ok(cell)
     }
@@ -262,7 +283,12 @@ impl BufferPool {
             pins: AtomicU32::new(1),
             dirty: AtomicBool::new(false),
         });
-        inner.slots[idx] = Some(Slot { block: id, cell: Arc::clone(&cell), loaded_at: tick, last_use: tick });
+        inner.slots[idx] = Some(Slot {
+            block: id,
+            cell: Arc::clone(&cell),
+            loaded_at: tick,
+            last_use: tick,
+        });
         inner.map.insert(id, idx);
         Ok(cell)
     }
@@ -363,7 +389,10 @@ mod tests {
     use crate::device::BlockDevice;
     use crate::ram_disk::RamDisk;
 
-    fn setup(capacity: usize, policy: EvictionPolicy) -> (Arc<RamDisk>, Arc<BufferPool>, Vec<BlockId>) {
+    fn setup(
+        capacity: usize,
+        policy: EvictionPolicy,
+    ) -> (Arc<RamDisk>, Arc<BufferPool>, Vec<BlockId>) {
         let disk = RamDisk::new(8);
         let mut ids = Vec::new();
         for i in 0..6u8 {
@@ -383,7 +412,11 @@ mod tests {
             let g = pool.read(ids[0]).unwrap();
             assert_eq!(&*g, &[0u8; 8]);
         }
-        assert_eq!(disk.stats().snapshot().reads(), 1, "only the first read hits the device");
+        assert_eq!(
+            disk.stats().snapshot().reads(),
+            1,
+            "only the first read hits the device"
+        );
         assert_eq!(pool.stats().hits(), 4);
         assert_eq!(pool.stats().misses(), 1);
     }

@@ -44,7 +44,11 @@ impl RamDisk {
     pub(crate) fn with_stats(block_size: usize, stats: Arc<IoStats>, lane: usize) -> Self {
         RamDisk {
             block_size,
-            inner: Mutex::new(Inner { blocks: Vec::new(), free_list: Vec::new(), allocated: 0 }),
+            inner: Mutex::new(Inner {
+                blocks: Vec::new(),
+                free_list: Vec::new(),
+                allocated: 0,
+            }),
             stats,
             lane,
         }
@@ -68,7 +72,9 @@ impl BlockDevice for RamDisk {
             return Ok(id);
         }
         let id = inner.blocks.len() as BlockId;
-        inner.blocks.push(Some(vec![0u8; self.block_size].into_boxed_slice()));
+        inner
+            .blocks
+            .push(Some(vec![0u8; self.block_size].into_boxed_slice()));
         Ok(id)
     }
 
@@ -88,7 +94,10 @@ impl BlockDevice for RamDisk {
 
     fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<()> {
         if buf.len() != self.block_size {
-            return Err(PdmError::SizeMismatch { expected: self.block_size, actual: buf.len() });
+            return Err(PdmError::SizeMismatch {
+                expected: self.block_size,
+                actual: buf.len(),
+            });
         }
         let inner = self.inner.lock();
         let block = inner
@@ -103,7 +112,10 @@ impl BlockDevice for RamDisk {
 
     fn write_block(&self, id: BlockId, buf: &[u8]) -> Result<()> {
         if buf.len() != self.block_size {
-            return Err(PdmError::SizeMismatch { expected: self.block_size, actual: buf.len() });
+            return Err(PdmError::SizeMismatch {
+                expected: self.block_size,
+                actual: buf.len(),
+            });
         }
         let mut inner = self.inner.lock();
         let block = inner
@@ -154,7 +166,10 @@ mod tests {
         let id = disk.allocate().unwrap();
         disk.free(id).unwrap();
         let mut out = [0u8; 8];
-        assert!(matches!(disk.read_block(id, &mut out), Err(PdmError::InvalidBlock(_))));
+        assert!(matches!(
+            disk.read_block(id, &mut out),
+            Err(PdmError::InvalidBlock(_))
+        ));
     }
 
     #[test]
@@ -185,7 +200,10 @@ mod tests {
         let mut small = [0u8; 4];
         assert!(matches!(
             disk.read_block(id, &mut small),
-            Err(PdmError::SizeMismatch { expected: 8, actual: 4 })
+            Err(PdmError::SizeMismatch {
+                expected: 8,
+                actual: 4
+            })
         ));
         assert!(disk.write_block(id, &[0u8; 12]).is_err());
     }

@@ -22,6 +22,12 @@
 //! synchronous path, so block-transfer totals are byte-for-byte identical in
 //! both modes; the scheduler additionally records per-lane queue depth into
 //! [`IoStats`] so experiments can report how much overlap they achieved.
+//!
+//! The scheduler is policy-free: lanes execute whatever order callers submit.
+//! Higher layers choose that order — e.g. `emsort`'s forecaster submits run
+//! prefetches smallest-leading-key-first (Vitter's forecasting technique),
+//! which reaches this module as nothing more than a different FIFO sequence
+//! per lane, so the count invariants above hold for any submission policy.
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
@@ -66,10 +72,17 @@ enum TicketInner {
     Pending(Receiver<Result<Box<[u8]>>>),
     /// A striped logical read: `parts[d]` supplies bytes
     /// `[d·chunk, (d+1)·chunk)` of `buf`.
-    Gather { parts: Vec<Receiver<Result<Box<[u8]>>>>, buf: Box<[u8]>, chunk: usize },
+    Gather {
+        parts: Vec<Receiver<Result<Box<[u8]>>>>,
+        buf: Box<[u8]>,
+        chunk: usize,
+    },
     /// A striped logical write: the logical buffer is returned once every
     /// per-disk part has landed.
-    Join { parts: Vec<Receiver<Result<Box<[u8]>>>>, buf: Box<[u8]> },
+    Join {
+        parts: Vec<Receiver<Result<Box<[u8]>>>>,
+        buf: Box<[u8]>,
+    },
 }
 
 /// Completion handle for a submitted transfer.
@@ -84,19 +97,31 @@ pub struct IoTicket {
 impl IoTicket {
     /// Wrap an already-completed transfer (the synchronous fallback).
     pub fn ready(result: Result<Box<[u8]>>) -> Self {
-        IoTicket { inner: TicketInner::Ready(result) }
+        IoTicket {
+            inner: TicketInner::Ready(result),
+        }
     }
 
     fn pending(rx: Receiver<Result<Box<[u8]>>>) -> Self {
-        IoTicket { inner: TicketInner::Pending(rx) }
+        IoTicket {
+            inner: TicketInner::Pending(rx),
+        }
     }
 
-    pub(crate) fn gather(parts: Vec<Receiver<Result<Box<[u8]>>>>, buf: Box<[u8]>, chunk: usize) -> Self {
-        IoTicket { inner: TicketInner::Gather { parts, buf, chunk } }
+    pub(crate) fn gather(
+        parts: Vec<Receiver<Result<Box<[u8]>>>>,
+        buf: Box<[u8]>,
+        chunk: usize,
+    ) -> Self {
+        IoTicket {
+            inner: TicketInner::Gather { parts, buf, chunk },
+        }
     }
 
     pub(crate) fn join(parts: Vec<Receiver<Result<Box<[u8]>>>>, buf: Box<[u8]>) -> Self {
-        IoTicket { inner: TicketInner::Join { parts, buf } }
+        IoTicket {
+            inner: TicketInner::Join { parts, buf },
+        }
     }
 
     /// Block until the transfer completes, returning the buffer (filled with
@@ -105,7 +130,11 @@ impl IoTicket {
         match self.inner {
             TicketInner::Ready(res) => res,
             TicketInner::Pending(rx) => rx.recv().map_err(|_| worker_died())?,
-            TicketInner::Gather { parts, mut buf, chunk } => {
+            TicketInner::Gather {
+                parts,
+                mut buf,
+                chunk,
+            } => {
                 for (d, rx) in parts.into_iter().enumerate() {
                     let part = rx.recv().map_err(|_| worker_died())??;
                     buf[d * chunk..(d + 1) * chunk].copy_from_slice(&part);
@@ -146,7 +175,13 @@ impl IoScheduler {
             let handle = std::thread::Builder::new()
                 .name(format!("pdm-io-{lane}"))
                 .spawn(move || {
-                    while let Ok(Job { write, id, mut buf, reply }) = rx.recv() {
+                    while let Ok(Job {
+                        write,
+                        id,
+                        mut buf,
+                        reply,
+                    }) = rx.recv()
+                    {
                         let res = if write {
                             device.write_block(id, &buf).map(|()| buf)
                         } else {
@@ -162,7 +197,11 @@ impl IoScheduler {
             lanes.push(tx);
             workers.push(handle);
         }
-        IoScheduler { lanes, workers, stats }
+        IoScheduler {
+            lanes,
+            workers,
+            stats,
+        }
     }
 
     /// Number of lanes (member disks).
@@ -199,7 +238,12 @@ impl IoScheduler {
         self.stats.record_submit(lane);
         let (reply, rx) = channel();
         self.lanes[lane]
-            .send(Job { write, id, buf, reply })
+            .send(Job {
+                write,
+                id,
+                buf,
+                reply,
+            })
             .expect("I/O worker thread alive");
         rx
     }
@@ -225,7 +269,8 @@ mod tests {
         let stats = IoStats::new(d, block);
         let devices = (0..d)
             .map(|lane| {
-                Arc::new(RamDisk::with_stats(block, Arc::clone(&stats), lane)) as Arc<dyn BlockDevice>
+                Arc::new(RamDisk::with_stats(block, Arc::clone(&stats), lane))
+                    as Arc<dyn BlockDevice>
             })
             .collect();
         (devices, stats)
@@ -245,7 +290,10 @@ mod tests {
         // Never wait on the write; the read is queued behind it on the same
         // lane and must observe its data.
         let _w = sched.submit_write(1, id, vec![0xCD; 16].into_boxed_slice());
-        let out = sched.submit_read(1, id, vec![0u8; 16].into_boxed_slice()).wait().unwrap();
+        let out = sched
+            .submit_read(1, id, vec![0u8; 16].into_boxed_slice())
+            .wait()
+            .unwrap();
         assert_eq!(&*out, &[0xCDu8; 16]);
         let snap = stats.snapshot();
         assert_eq!(snap.reads_on(1), 1);
@@ -258,7 +306,9 @@ mod tests {
         let (devices, stats) = lanes(1, 16);
         let sched = IoScheduler::new(&devices, stats);
         // Block 99 was never allocated.
-        let res = sched.submit_read(0, 99, vec![0u8; 16].into_boxed_slice()).wait();
+        let res = sched
+            .submit_read(0, 99, vec![0u8; 16].into_boxed_slice())
+            .wait();
         assert!(matches!(res, Err(PdmError::InvalidBlock(99))));
     }
 
@@ -299,12 +349,15 @@ mod tests {
         let ram = Arc::new(RamDisk::with_stats(8, Arc::clone(&stats), 0));
         let id = ram.allocate().unwrap();
         let (open, gate) = channel();
-        let gated =
-            vec![Arc::new(Gated { inner: ram, gate: std::sync::Mutex::new(gate) }) as Arc<dyn BlockDevice>];
+        let gated = vec![Arc::new(Gated {
+            inner: ram,
+            gate: std::sync::Mutex::new(gate),
+        }) as Arc<dyn BlockDevice>];
         let sched = IoScheduler::new(&gated, Arc::clone(&stats));
 
-        let tickets: Vec<IoTicket> =
-            (0..4).map(|_| sched.submit_read(0, id, vec![0u8; 8].into_boxed_slice())).collect();
+        let tickets: Vec<IoTicket> = (0..4)
+            .map(|_| sched.submit_read(0, id, vec![0u8; 8].into_boxed_slice()))
+            .collect();
         assert_eq!(stats.snapshot().queue_depth_hwm(0), 4);
         for _ in 0..4 {
             open.send(()).unwrap();

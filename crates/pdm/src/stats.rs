@@ -29,6 +29,12 @@ pub struct IoStats {
     prefetch_hits: AtomicU64,
     /// Prefetched blocks discarded unconsumed (reader dropped early).
     prefetch_wasted: AtomicU64,
+    /// Prefetches whose submission order was chosen by a forecaster (the
+    /// smallest-leading-key-first policy of Vitter's merge sort) rather than
+    /// uniform per-stream round-robin.
+    forecast_issued: AtomicU64,
+    /// Demand fills satisfied by a block the forecaster had put in flight.
+    forecast_hits: AtomicU64,
     block_bytes: usize,
 }
 
@@ -45,6 +51,8 @@ impl IoStats {
             prefetched: AtomicU64::new(0),
             prefetch_hits: AtomicU64::new(0),
             prefetch_wasted: AtomicU64::new(0),
+            forecast_issued: AtomicU64::new(0),
+            forecast_hits: AtomicU64::new(0),
             block_bytes,
         })
     }
@@ -97,15 +105,41 @@ impl IoStats {
         self.prefetch_wasted.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record one prefetch whose submission was ordered by a forecaster.
+    #[inline]
+    pub fn record_forecast_issued(&self) {
+        self.forecast_issued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one demand fill served by a forecaster-issued block.
+    #[inline]
+    pub fn record_forecast_hit(&self) {
+        self.forecast_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Capture the current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
-            reads: self.reads.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
-            writes: self.writes.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
-            depth_hwm: self.depth_hwm.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            reads: self
+                .reads
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            writes: self
+                .writes
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            depth_hwm: self
+                .depth_hwm
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
             prefetched: self.prefetched.load(Ordering::Relaxed),
             prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
             prefetch_wasted: self.prefetch_wasted.load(Ordering::Relaxed),
+            forecast_issued: self.forecast_issued.load(Ordering::Relaxed),
+            forecast_hits: self.forecast_hits.load(Ordering::Relaxed),
             block_bytes: self.block_bytes,
         }
     }
@@ -125,6 +159,8 @@ impl IoStats {
         self.prefetched.store(0, Ordering::Relaxed);
         self.prefetch_hits.store(0, Ordering::Relaxed);
         self.prefetch_wasted.store(0, Ordering::Relaxed);
+        self.forecast_issued.store(0, Ordering::Relaxed);
+        self.forecast_hits.store(0, Ordering::Relaxed);
     }
 }
 
@@ -137,6 +173,8 @@ pub struct IoSnapshot {
     prefetched: u64,
     prefetch_hits: u64,
     prefetch_wasted: u64,
+    forecast_issued: u64,
+    forecast_hits: u64,
     block_bytes: usize,
 }
 
@@ -211,6 +249,19 @@ impl IoSnapshot {
         self.prefetch_wasted
     }
 
+    /// Prefetches whose submission order was chosen by a forecaster (subset
+    /// of [`prefetched`](Self::prefetched)).
+    pub fn forecast_issued(&self) -> u64 {
+        self.forecast_issued
+    }
+
+    /// Demand fills served by a forecaster-issued block: the forecaster
+    /// predicted the block would be needed and it was in flight (or already
+    /// complete) when the merge asked for it.
+    pub fn forecast_hits(&self) -> u64 {
+        self.forecast_hits
+    }
+
     /// Element-wise difference `self - earlier`; panics if `earlier` has a
     /// different disk count or any counter exceeds `self`'s.
     ///
@@ -235,6 +286,8 @@ impl IoSnapshot {
             prefetched: self.prefetched.saturating_sub(earlier.prefetched),
             prefetch_hits: self.prefetch_hits.saturating_sub(earlier.prefetch_hits),
             prefetch_wasted: self.prefetch_wasted.saturating_sub(earlier.prefetch_wasted),
+            forecast_issued: self.forecast_issued.saturating_sub(earlier.forecast_issued),
+            forecast_hits: self.forecast_hits.saturating_sub(earlier.forecast_hits),
             block_bytes: self.block_bytes,
         }
     }
@@ -308,16 +361,22 @@ mod tests {
         stats.record_prefetch();
         stats.record_prefetch_hit();
         stats.record_prefetch_wasted(1);
+        stats.record_forecast_issued();
+        stats.record_forecast_hit();
         let before = snap;
         let delta = stats.snapshot().since(&before);
         assert_eq!(delta.prefetched(), 2);
         assert_eq!(delta.prefetch_hits(), 1);
         assert_eq!(delta.prefetch_wasted(), 1);
+        assert_eq!(delta.forecast_issued(), 1);
+        assert_eq!(delta.forecast_hits(), 1);
 
         stats.reset();
         let zero = stats.snapshot();
         assert_eq!(zero.max_queue_depth(), 0);
         assert_eq!(zero.prefetched(), 0);
+        assert_eq!(zero.forecast_issued(), 0);
+        assert_eq!(zero.forecast_hits(), 0);
     }
 
     #[test]

@@ -51,7 +51,11 @@ fn main() {
 
     let path = std::env::temp_dir().join(format!("extmem-logs-{}.bin", std::process::id()));
     let device = FileDisk::create(&path, block_bytes).unwrap() as SharedDevice;
-    println!("generating {n} log records (~{} MiB) on {:?} …", n * 24 / (1 << 20), path);
+    println!(
+        "generating {n} log records (~{} MiB) on {:?} …",
+        n * 24 / (1 << 20),
+        path
+    );
 
     // Generate in timestamp order with a Zipf-ish user distribution.
     let mut rng = StdRng::seed_from_u64(404);
@@ -106,7 +110,11 @@ fn main() {
     }
     let per_user = aggregates.finish().unwrap();
     let d = device.stats().snapshot().since(&before);
-    println!("aggregate     : {} I/Os, {} distinct users (one scan)", d.total(), per_user.len());
+    println!(
+        "aggregate     : {} I/Os, {} distinct users (one scan)",
+        d.total(),
+        per_user.len()
+    );
 
     // Pass 3: top-10 by bytes with an external priority queue (max via
     // negated key).
@@ -122,7 +130,10 @@ fn main() {
     println!("\ntop 10 users by traffic:");
     for rank in 1..=10 {
         if let Some((neg, user)) = pq.pop().unwrap() {
-            println!("  {rank:>2}. user {user:>6} — {} MiB", (u64::MAX - neg) / (1 << 20));
+            println!(
+                "  {rank:>2}. user {user:>6} — {} MiB",
+                (u64::MAX - neg) / (1 << 20)
+            );
         }
     }
     let d = device.stats().snapshot().since(&before);

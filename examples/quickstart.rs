@@ -31,7 +31,11 @@ fn main() {
     let before = device.stats().snapshot();
     let input = ExtVec::from_slice(device.clone(), &data).unwrap();
     let d = device.stats().snapshot().since(&before);
-    println!("write dataset : {:>7} I/Os   (Scan(N) = {})", d.total(), bounds::scan(n, b));
+    println!(
+        "write dataset : {:>7} I/Os   (Scan(N) = {})",
+        d.total(),
+        bounds::scan(n, b)
+    );
 
     // 2. Sort it externally.
     let before = device.stats().snapshot();
@@ -50,7 +54,10 @@ fn main() {
     // Make keys strictly increasing (k is nondecreasing, so k + i works).
     let tree: BTree<u64, u64> = BTree::bulk_load(
         pool,
-        sorted.reader().enumerate().map(|(i, k)| (k + i as u64, i as u64)),
+        sorted
+            .reader()
+            .enumerate()
+            .map(|(i, k)| (k + i as u64, i as u64)),
     )
     .unwrap();
     let d = device.stats().snapshot().since(&before);
@@ -66,7 +73,11 @@ fn main() {
     let before = device.stats().snapshot();
     assert!(tree.get(&key).unwrap().is_some());
     let d = device.stats().snapshot().since(&before);
-    println!("point lookup  : {:>7} I/Os   (Search(N) = {:.0}, warm cache does better)", d.reads(), bounds::search(n, tree.leaf_capacity()));
+    println!(
+        "point lookup  : {:>7} I/Os   (Search(N) = {:.0}, warm cache does better)",
+        d.reads(),
+        bounds::search(n, tree.leaf_capacity())
+    );
 
     let before = device.stats().snapshot();
     let hits = tree.range(&0, &1_000_000).unwrap();
@@ -78,7 +89,9 @@ fn main() {
         bounds::output(hits.len() as u64, tree.leaf_capacity()),
     );
 
-    println!("\ntotal device traffic: {} block transfers ({} bytes)",
+    println!(
+        "\ntotal device traffic: {} block transfers ({} bytes)",
         device.stats().snapshot().total(),
-        device.stats().snapshot().bytes());
+        device.stats().snapshot().bytes()
+    );
 }

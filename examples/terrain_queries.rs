@@ -25,7 +25,11 @@ fn main() {
     // Survey points.
     let n_pts = 200_000u64;
     let pts: Vec<Point> = (0..n_pts)
-        .map(|id| Point { id, x: rng.gen_range(-span..span), y: rng.gen_range(-span..span) })
+        .map(|id| Point {
+            id,
+            x: rng.gen_range(-span..span),
+            y: rng.gen_range(-span..span),
+        })
         .collect();
     let points = ExtVec::from_slice(device.clone(), &pts).unwrap();
 
@@ -35,7 +39,13 @@ fn main() {
         .map(|id| {
             let x = rng.gen_range(-span..span);
             let y = rng.gen_range(-span..span);
-            Rect { id, x1: x, x2: x + rng.gen_range(100..20_000), y1: y, y2: y + rng.gen_range(100..20_000) }
+            Rect {
+                id,
+                x1: x,
+                x2: x + rng.gen_range(100..20_000),
+                y1: y,
+                y2: y + rng.gen_range(100..20_000),
+            }
         })
         .collect();
     let parcels = ExtVec::from_slice(device.clone(), &qs).unwrap();
@@ -57,13 +67,23 @@ fn main() {
     let mains: Vec<HSeg> = (0..n_lines)
         .map(|id| {
             let x = rng.gen_range(-span..span);
-            HSeg { id, y: rng.gen_range(-span..span), x1: x, x2: x + rng.gen_range(1000..100_000) }
+            HSeg {
+                id,
+                y: rng.gen_range(-span..span),
+                x1: x,
+                x2: x + rng.gen_range(1000..100_000),
+            }
         })
         .collect();
     let lines: Vec<VSeg> = (0..n_lines)
         .map(|id| {
             let y = rng.gen_range(-span..span);
-            VSeg { id, x: rng.gen_range(-span..span), y1: y, y2: y + rng.gen_range(1000..100_000) }
+            VSeg {
+                id,
+                x: rng.gen_range(-span..span),
+                y1: y,
+                y2: y + rng.gen_range(1000..100_000),
+            }
         })
         .collect();
     let hv = ExtVec::from_slice(device.clone(), &mains).unwrap();

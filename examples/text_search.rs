@@ -21,8 +21,21 @@ fn main() {
 
     // A synthetic English-ish corpus: random sentences over a word list.
     let words = [
-        "external", "memory", "algorithm", "block", "disk", "sort", "merge", "tree", "buffer",
-        "scan", "query", "index", "suffix", "array", "model",
+        "external",
+        "memory",
+        "algorithm",
+        "block",
+        "disk",
+        "sort",
+        "merge",
+        "tree",
+        "buffer",
+        "scan",
+        "query",
+        "index",
+        "suffix",
+        "array",
+        "model",
     ];
     let mut rng = StdRng::seed_from_u64(2718);
     let mut corpus = String::new();
@@ -32,7 +45,12 @@ fn main() {
     }
     let bytes = corpus.as_bytes();
     let text = ExtVec::from_slice(device.clone(), bytes).unwrap();
-    println!("corpus: {} bytes ({}× the {}-record memory budget)", text.len(), text.len() as usize / m, m);
+    println!(
+        "corpus: {} bytes ({}× the {}-record memory budget)",
+        text.len(),
+        text.len() as usize / m,
+        m
+    );
 
     // Build the suffix array.
     let t0 = std::time::Instant::now();

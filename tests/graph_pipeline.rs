@@ -33,8 +33,9 @@ fn list_ranking_orders_a_bfs_level_chain() {
     let g = ExtVec::from_slice(device.clone(), &edges).unwrap();
     let dists = bfs_mr(&g, n, 0, &sc).unwrap().to_vec().unwrap();
 
-    let succ: Vec<(u64, u64)> =
-        (0..n).map(|i| (i, if i + 1 < n { i + 1 } else { u64::MAX })).collect();
+    let succ: Vec<(u64, u64)> = (0..n)
+        .map(|i| (i, if i + 1 < n { i + 1 } else { u64::MAX }))
+        .collect();
     let sv = ExtVec::from_slice(device, &succ).unwrap();
     let ranks = list_rank(&sv, 0, &sc).unwrap().to_vec().unwrap();
     assert_eq!(dists, ranks);
@@ -50,7 +51,10 @@ fn components_count_matches_forest_structure() {
     let k = 7u64;
     let n_each = 500u64;
     let g = gen::planted_components(device.clone(), k, n_each, 11).unwrap();
-    let labels = connected_components(&g, k * n_each, &sc).unwrap().to_vec().unwrap();
+    let labels = connected_components(&g, k * n_each, &sc)
+        .unwrap()
+        .to_vec()
+        .unwrap();
     let mut distinct: Vec<u64> = labels.iter().map(|&(_, l)| l).collect();
     distinct.sort_unstable();
     distinct.dedup();
@@ -71,10 +75,12 @@ fn time_forward_computes_bfs_layers_on_a_dag() {
     let dag = ExtVec::from_slice(device.clone(), &edges).unwrap();
     let labels: Vec<(u64, u64)> = (0..n).map(|v| (v, 0)).collect();
     let lv = ExtVec::from_slice(device.clone(), &labels).unwrap();
-    let values = time_forward(&lv, &dag, &sc, |_, _, inc| inc.iter().max().map_or(0, |m| m + 1))
-        .unwrap()
-        .to_vec()
-        .unwrap();
+    let values = time_forward(&lv, &dag, &sc, |_, _, inc| {
+        inc.iter().max().map_or(0, |m| m + 1)
+    })
+    .unwrap()
+    .to_vec()
+    .unwrap();
     let dists = bfs_mr(&dag, n, 0, &sc).unwrap().to_vec().unwrap();
     assert_eq!(values, dists);
 }

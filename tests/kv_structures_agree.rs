@@ -72,7 +72,11 @@ fn all_three_dictionaries_converge() {
             Op::Delete(k) => bft.delete(k).unwrap(),
         }
     }
-    assert_eq!(bft.to_sorted_ext_vec().unwrap().to_vec().unwrap(), expect, "buffer tree state");
+    assert_eq!(
+        bft.to_sorted_ext_vec().unwrap().to_vec().unwrap(),
+        expect,
+        "buffer tree state"
+    );
 
     // Extendible hash.
     let pool = BufferPool::new(cfg.ram_disk(), 16, EvictionPolicy::Lru);

@@ -1,0 +1,115 @@
+//! Cross-crate equivalence tests for the merge kernels: random run sets
+//! merged through both the binary-heap and loser-tree kernels (with
+//! forecasting on and off) must produce identical output AND identical
+//! block-transfer counts.  The kernel is pure compute and forecasting is
+//! pure scheduling — neither may move a single I/O.
+
+use em_core::{ExtVec, MemBudget};
+use emsort::{
+    merge_runs_with, merge_sort_by, MergeKernel, OverlapConfig, RunFormation, SortConfig,
+};
+use pdm::{DiskArray, IoMode, Placement, SharedDevice};
+use proptest::prelude::*;
+
+/// Write each (sorted) run to `device`, merge with `cfg`, and return the
+/// merged contents plus the (reads, writes) the merge itself performed.
+fn merge_on(
+    device: &SharedDevice,
+    runs_data: &[Vec<u64>],
+    cfg: &SortConfig,
+) -> (Vec<u64>, u64, u64) {
+    let runs: Vec<ExtVec<u64>> = runs_data
+        .iter()
+        .map(|r| ExtVec::from_slice(device.clone(), r).unwrap())
+        .collect();
+    let b = device.block_size() / 8;
+    let reserve = (runs.len() * cfg.overlap.read_ahead + cfg.overlap.write_behind) * b;
+    let budget = MemBudget::new(cfg.mem_records + reserve);
+    let before = device.stats().snapshot();
+    let out = merge_runs_with(&runs, &budget, cfg, |a, b| a < b).unwrap();
+    let d = device.stats().snapshot().since(&before);
+    (out.to_vec().unwrap(), d.reads(), d.writes())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn kernels_merge_identically_with_identical_counts(
+        runs_data in prop::collection::vec(prop::collection::vec(any::<u64>(), 0..300), 1..8),
+        depth in 0usize..=3,
+        forecast in any::<bool>(),
+    ) {
+        let mut runs_data = runs_data;
+        for r in &mut runs_data {
+            r.sort_unstable();
+        }
+        let mut expect: Vec<u64> = runs_data.iter().flatten().copied().collect();
+        expect.sort_unstable();
+
+        let k = runs_data.len();
+        let m = (k + 1) * 8 + 16;
+        let base = SortConfig::new(m)
+            .with_overlap(OverlapConfig::symmetric(depth))
+            .with_forecast(forecast);
+
+        let mut baseline: Option<(Vec<u64>, u64, u64)> = None;
+        for kernel in [MergeKernel::Heap, MergeKernel::LoserTree, MergeKernel::Auto] {
+            let device = DiskArray::new_ram(2, 64, Placement::Independent) as SharedDevice;
+            let got = merge_on(&device, &runs_data, &base.with_merge_kernel(kernel));
+            prop_assert_eq!(&got.0, &expect, "{:?} output wrong", kernel);
+            match &baseline {
+                None => baseline = Some(got),
+                Some(b) => {
+                    prop_assert_eq!(got.1, b.1, "{:?} read count differs", kernel);
+                    prop_assert_eq!(got.2, b.2, "{:?} write count differs", kernel);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_sorts_agree_across_kernels_and_forecasting(
+        data in prop::collection::vec(any::<u64>(), 0..2500),
+        d in 1usize..=4,
+        depth in 1usize..=2,
+        replacement in any::<bool>(),
+    ) {
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let rf = if replacement {
+            RunFormation::ReplacementSelection
+        } else {
+            RunFormation::LoadSort
+        };
+        let m = 64 * d.max(2);
+        let base = SortConfig::new(m)
+            .with_run_formation(rf)
+            .with_overlap(OverlapConfig::symmetric(depth));
+        let variants = [
+            base.with_merge_kernel(MergeKernel::Heap).with_forecast(false),
+            base.with_merge_kernel(MergeKernel::Heap).with_forecast(true),
+            base.with_merge_kernel(MergeKernel::LoserTree).with_forecast(false),
+            base.with_merge_kernel(MergeKernel::LoserTree).with_forecast(true),
+        ];
+        let mut baseline: Option<Vec<u64>> = None;
+        for (vi, cfg) in variants.iter().enumerate() {
+            let device =
+                DiskArray::new_ram_with(d, 64, Placement::Independent, IoMode::Overlapped)
+                    as SharedDevice;
+            let input = ExtVec::from_slice(device.clone(), &data).unwrap();
+            let before = device.stats().snapshot();
+            let out = merge_sort_by(&input, cfg, |a, b| a < b).unwrap().to_vec().unwrap();
+            let snap = device.stats().snapshot().since(&before);
+            prop_assert_eq!(&out, &expect, "variant {} output wrong", vi);
+            prop_assert_eq!(snap.prefetch_wasted(), 0, "variant {} wasted prefetch", vi);
+            match &baseline {
+                None => baseline = Some(vec![snap.reads(), snap.writes()]),
+                Some(b) => {
+                    prop_assert_eq!(snap.reads(), b[0], "variant {} reads differ", vi);
+                    prop_assert_eq!(snap.writes(), b[1], "variant {} writes differ", vi);
+                }
+            }
+        }
+    }
+}

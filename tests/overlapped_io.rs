@@ -14,7 +14,9 @@ use proptest::prelude::*;
 
 /// Deterministic per-(block, round) fill pattern.
 fn pattern(block_size: usize, id: u64, round: u64) -> Vec<u8> {
-    (0..block_size).map(|i| (id as usize ^ round as usize ^ (i * 31)) as u8).collect()
+    (0..block_size)
+        .map(|i| (id as usize ^ round as usize ^ (i * 31)) as u8)
+        .collect()
 }
 
 /// Hammer `array` from `threads` threads over disjoint block sets (allocated
@@ -22,8 +24,9 @@ fn pattern(block_size: usize, id: u64, round: u64) -> Vec<u8> {
 /// every read returns the last pattern written to that block.
 fn stress(array: &Arc<DiskArray>, threads: usize, blocks_per_thread: usize, rounds: u64) {
     let bs = array.block_size();
-    let all_ids: Vec<u64> =
-        (0..threads * blocks_per_thread).map(|_| array.allocate().unwrap()).collect();
+    let all_ids: Vec<u64> = (0..threads * blocks_per_thread)
+        .map(|_| array.allocate().unwrap())
+        .collect();
     let handles: Vec<_> = all_ids
         .chunks(blocks_per_thread)
         .map(|chunk| {
@@ -62,8 +65,16 @@ fn multithreaded_stress_matches_sync_counts_in_both_placements() {
         // Threads interleave differently between runs, but the per-disk
         // totals are workload-determined and must agree exactly.
         for lane in 0..3 {
-            assert_eq!(s.reads_on(lane), o.reads_on(lane), "{placement:?} lane {lane} reads");
-            assert_eq!(s.writes_on(lane), o.writes_on(lane), "{placement:?} lane {lane} writes");
+            assert_eq!(
+                s.reads_on(lane),
+                o.reads_on(lane),
+                "{placement:?} lane {lane} reads"
+            );
+            assert_eq!(
+                s.writes_on(lane),
+                o.writes_on(lane),
+                "{placement:?} lane {lane} writes"
+            );
         }
         assert_eq!(s.parallel_time(), o.parallel_time(), "{placement:?}");
     }

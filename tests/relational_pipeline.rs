@@ -26,8 +26,9 @@ fn star_join_group_by_index() {
     let orders: Vec<(u64, u64, u64)> = (0..n_orders)
         .map(|id| (id, rng.gen_range(0..n_customers), rng.gen_range(1..1000)))
         .collect();
-    let customers: Vec<(u64, u64)> =
-        (0..n_customers).map(|id| (id, rng.gen_range(0..n_regions))).collect();
+    let customers: Vec<(u64, u64)> = (0..n_customers)
+        .map(|id| (id, rng.gen_range(0..n_regions)))
+        .collect();
 
     let orders_v = ExtVec::from_slice(device.clone(), &orders).unwrap();
     let customers_v = ExtVec::from_slice(device.clone(), &customers).unwrap();
@@ -42,7 +43,11 @@ fn star_join_group_by_index() {
         |o, c| (c.1, o.2),
     )
     .unwrap();
-    assert_eq!(joined.len(), n_orders, "every order has exactly one customer");
+    assert_eq!(
+        joined.len(),
+        n_orders,
+        "every order has exactly one customer"
+    );
 
     // Group by region: total revenue.
     let revenue = group_aggregate(
@@ -68,8 +73,11 @@ fn star_join_group_by_index() {
     let pool = BufferPool::new(device, 8, EvictionPolicy::Lru);
     let tree: BTree<u64, u64> = BTree::bulk_load(pool, revenue.reader()).unwrap();
     let band = tree.range(&10, &19).unwrap();
-    let expect_band: Vec<(u64, u64)> =
-        expect.iter().copied().filter(|&(r, _)| (10..=19).contains(&r)).collect();
+    let expect_band: Vec<(u64, u64)> = expect
+        .iter()
+        .copied()
+        .filter(|&(r, _)| (10..=19).contains(&r))
+        .collect();
     assert_eq!(band, expect_band);
 }
 
@@ -81,7 +89,9 @@ fn semi_anti_distinct_pipeline() {
     let mut rng = StdRng::seed_from_u64(4002);
 
     // Events with user ids; a blocklist of users.
-    let events: Vec<(u64, u64)> = (0..15_000).map(|i| (rng.gen_range(0..2_000u64), i)).collect();
+    let events: Vec<(u64, u64)> = (0..15_000)
+        .map(|i| (rng.gen_range(0..2_000u64), i))
+        .collect();
     let blocked: Vec<u64> = (0..300).map(|_| rng.gen_range(0..2_000)).collect();
     let ev = ExtVec::from_slice(device.clone(), &events).unwrap();
     let bl = ExtVec::from_slice(device.clone(), &blocked).unwrap();

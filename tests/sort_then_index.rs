@@ -29,13 +29,20 @@ fn sort_index_scan_pipeline() {
 
     // Index the sorted keys (key → rank).
     let pool = BufferPool::new(device.clone(), 16, EvictionPolicy::Lru);
-    let tree: BTree<u64, u64> =
-        BTree::bulk_load(pool, sorted.reader().enumerate().map(|(i, k)| (k, i as u64))).unwrap();
+    let tree: BTree<u64, u64> = BTree::bulk_load(
+        pool,
+        sorted.reader().enumerate().map(|(i, k)| (k, i as u64)),
+    )
+    .unwrap();
     tree.check_invariants().unwrap();
     assert_eq!(tree.len(), n);
 
     // Range scans agree with the reference map.
-    let model: BTreeMap<u64, u64> = expect.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let model: BTreeMap<u64, u64> = expect
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect();
     let mut rng = StdRng::seed_from_u64(1002);
     for _ in 0..20 {
         let lo = rng.gen_range(0..n * 7);
@@ -55,7 +62,10 @@ fn both_sorts_and_all_run_formations_agree() {
     let data: Vec<u64> = (0..20_000).map(|_| rng.gen_range(0..1000)).collect();
     let input = ExtVec::from_slice(device, &data).unwrap();
 
-    let a = merge_sort(&input, &SortConfig::new(m)).unwrap().to_vec().unwrap();
+    let a = merge_sort(&input, &SortConfig::new(m))
+        .unwrap()
+        .to_vec()
+        .unwrap();
     let b = merge_sort(
         &input,
         &SortConfig::new(m).with_run_formation(RunFormation::ReplacementSelection),
@@ -63,8 +73,14 @@ fn both_sorts_and_all_run_formations_agree() {
     .unwrap()
     .to_vec()
     .unwrap();
-    let c = distribution_sort(&input, &SortConfig::new(m)).unwrap().to_vec().unwrap();
-    let d = merge_sort(&input, &SortConfig::new(m).with_fan_in(2)).unwrap().to_vec().unwrap();
+    let c = distribution_sort(&input, &SortConfig::new(m))
+        .unwrap()
+        .to_vec()
+        .unwrap();
+    let d = merge_sort(&input, &SortConfig::new(m).with_fan_in(2))
+        .unwrap()
+        .to_vec()
+        .unwrap();
     assert_eq!(a, b);
     assert_eq!(a, c);
     assert_eq!(a, d);
@@ -79,7 +95,9 @@ fn sorted_data_feeds_buffer_tree_and_btree_identically() {
     let device = cfg.ram_disk();
     let n = 10_000u64;
     let mut rng = StdRng::seed_from_u64(1004);
-    let pairs: Vec<(u64, u64)> = (0..n).map(|_| (rng.gen_range(0..5000), rng.gen())).collect();
+    let pairs: Vec<(u64, u64)> = (0..n)
+        .map(|_| (rng.gen_range(0..5000), rng.gen()))
+        .collect();
 
     // Through a B-tree.
     let pool = BufferPool::new(cfg.ram_disk(), 16, EvictionPolicy::Lru);
