@@ -9,7 +9,7 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: experiments <id>…   (ids: t1 f1 f2 f3 f4 f5 t2 f6 f7 f8 f9 f10 f11 f12 f13 f14 f15 | all)");
+        eprintln!("usage: experiments <id>…   (ids: t1 f1 f2 f3 f4 f5 t2 f6 f7 f8 f9 f10 f11 f12 f13 f14 f15 f16 | all)");
         std::process::exit(2);
     }
     println!("# External Memory Algorithms — experiment results");

@@ -1,5 +1,6 @@
 //! One module per experiment family; ids match DESIGN.md's index.
 
+pub mod faults;
 pub mod fundamentals;
 pub mod geometry;
 pub mod graphs;
@@ -30,10 +31,11 @@ pub fn run(id: &str) -> bool {
         "f13" => hashing::f13_extendible_hashing(),
         "f14" => graphs::f14_time_forward(),
         "f15" => text::f15_suffix_array(),
+        "f16" => faults::f16_fault_sweep(),
         "all" => {
             for id in [
                 "t1", "f1", "f2", "f3", "f4", "f5", "t2", "f6", "f7", "f8", "f9", "f10", "f11",
-                "f12", "f13", "f14", "f15",
+                "f12", "f13", "f14", "f15", "f16",
             ] {
                 run(id);
             }

@@ -182,7 +182,7 @@ pub fn f8_stack_queue() {
     let mut rows = Vec::new();
 
     let device = cfg.ram_disk();
-    let mut st: ExtStack<u64> = ExtStack::new(device.clone());
+    let mut st: ExtStack<u64> = ExtStack::new(device.clone()).expect("u64 fits a 1 KiB block");
     let (_, d) = measure(&device, || {
         for i in 0..n {
             st.push(i).unwrap();
@@ -199,7 +199,7 @@ pub fn f8_stack_queue() {
     ]);
 
     let device = cfg.ram_disk();
-    let mut q: ExtQueue<u64> = ExtQueue::new(device.clone());
+    let mut q: ExtQueue<u64> = ExtQueue::new(device.clone()).expect("u64 fits a 1 KiB block");
     let (_, d) = measure(&device, || {
         for i in 0..n {
             q.push(i).unwrap();

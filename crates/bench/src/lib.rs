@@ -11,7 +11,7 @@
 //! cargo run --release -p bench --bin experiments -- all
 //! ```
 //!
-//! or a single experiment by id (`t1`, `f1` … `f15`, `t2`).  The ids map to
+//! or a single experiment by id (`t1`, `f1` … `f16`, `t2`).  The ids map to
 //! the per-experiment index in DESIGN.md.
 
 #![forbid(unsafe_code)]

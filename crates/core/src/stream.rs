@@ -203,15 +203,16 @@ impl<R: Record> ExtVecWriter<R> {
         } else {
             // Reuse a completed buffer, grow up to `depth` in-flight blocks,
             // or wait for the oldest write to retire its buffer.
-            let mut out = match self.spare.pop() {
-                Some(buf) => buf,
-                None if self.inflight.len() < self.depth => {
-                    vec![0u8; self.device.block_size()].into_boxed_slice()
-                }
-                None => {
-                    let ticket = self.inflight.pop_front().expect("inflight nonempty");
-                    timed(&self.wait_sink, || ticket.wait())?
-                }
+            let mut out = if let Some(buf) = self.spare.pop() {
+                buf
+            } else if self.inflight.len() < self.depth {
+                vec![0u8; self.device.block_size()].into_boxed_slice()
+            } else if let Some(ticket) = self.inflight.pop_front() {
+                timed(&self.wait_sink, || ticket.wait())?
+            } else {
+                // Unreachable (depth > 0 implies a full pipeline is
+                // nonempty), but a fresh buffer is always a safe fallback.
+                vec![0u8; self.device.block_size()].into_boxed_slice()
             };
             encode_block(&self.buf, &mut out);
             self.inflight.push_back(self.device.submit_write(id, out));
@@ -425,9 +426,8 @@ impl<'a, R: Record> ExtVecReader<'a, R> {
         let bi = (self.consumed / per) as usize;
         self.pos = (self.consumed % per) as usize;
         if self.depth > 0 {
-            if let Some(&(front_bi, _)) = self.pending.front() {
-                if front_bi == bi {
-                    let (_, ticket) = self.pending.pop_front().expect("front present");
+            if matches!(self.pending.front(), Some(&(front_bi, _)) if front_bi == bi) {
+                if let Some((_, ticket)) = self.pending.pop_front() {
                     let bytes = timed(&self.wait_sink, || ticket.wait())?;
                     self.vec.decode_block(bi, &bytes, &mut self.buf);
                     let stats = self.vec.device().stats();

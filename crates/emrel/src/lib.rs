@@ -95,7 +95,7 @@ pub fn sort_by_key<R, K, KF>(input: &ExtVec<R>, cfg: &SortConfig, key: KF) -> Re
 where
     R: Record,
     K: Ord,
-    KF: Fn(&R) -> K + Copy,
+    KF: Fn(&R) -> K + Copy + Send,
 {
     merge_sort_by(input, cfg, move |a, b| key(a) < key(b))
 }
@@ -165,7 +165,7 @@ where
     R: Record,
     O: Record,
     K: Ord + Clone,
-    KF: Fn(&R) -> K + Copy,
+    KF: Fn(&R) -> K + Copy + Send,
     Acc: Clone,
     FoldF: FnMut(&mut Acc, &R),
     FinF: FnMut(K, Acc, u64) -> O,
@@ -219,8 +219,8 @@ where
     R: Record,
     O: Record,
     K: Ord + Clone,
-    KL: Fn(&L) -> K + Copy,
-    KR: Fn(&R) -> K + Copy,
+    KL: Fn(&L) -> K + Copy + Send,
+    KR: Fn(&R) -> K + Copy + Send,
     MK: FnMut(&L, &R) -> O,
 {
     let budget = MemBudget::new(cfg.mem_records);
@@ -275,8 +275,8 @@ where
     L: Record,
     R: Record,
     K: Ord,
-    KL: Fn(&L) -> K + Copy,
-    KR: Fn(&R) -> K + Copy,
+    KL: Fn(&L) -> K + Copy + Send,
+    KR: Fn(&R) -> K + Copy + Send,
 {
     filtering_join(left, right, cfg, key_l, key_r, true)
 }
@@ -294,8 +294,8 @@ where
     L: Record,
     R: Record,
     K: Ord,
-    KL: Fn(&L) -> K + Copy,
-    KR: Fn(&R) -> K + Copy,
+    KL: Fn(&L) -> K + Copy + Send,
+    KR: Fn(&R) -> K + Copy + Send,
 {
     filtering_join(left, right, cfg, key_l, key_r, false)
 }
@@ -312,8 +312,8 @@ where
     L: Record,
     R: Record,
     K: Ord,
-    KL: Fn(&L) -> K + Copy,
-    KR: Fn(&R) -> K + Copy,
+    KL: Fn(&L) -> K + Copy + Send,
+    KR: Fn(&R) -> K + Copy + Send,
 {
     let ls = sort_by_key(left, cfg, key_l)?;
     let rs = sort_by_key(right, cfg, key_r)?;

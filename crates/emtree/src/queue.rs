@@ -8,7 +8,7 @@
 use std::collections::VecDeque;
 
 use em_core::Record;
-use pdm::{BlockId, Result, SharedDevice};
+use pdm::{BlockId, PdmError, Result, SharedDevice};
 
 /// An unbounded FIFO queue of records on a block device, holding at most
 /// two blocks of records in memory.
@@ -27,14 +27,19 @@ pub struct ExtQueue<R: Record> {
 
 impl<R: Record> ExtQueue<R> {
     /// Create an empty queue on `device`.
-    pub fn new(device: SharedDevice) -> Self {
-        let per_block = (device.block_size() / R::BYTES).max(1);
-        assert!(
-            device.block_size() / R::BYTES >= 1,
-            "record larger than block"
-        );
+    ///
+    /// Fails with [`PdmError::RecordTooLarge`] if a record does not fit in
+    /// one device block (the queue spills whole blocks of records).
+    pub fn new(device: SharedDevice) -> Result<Self> {
+        let per_block = device.block_size() / R::BYTES;
+        if per_block == 0 {
+            return Err(PdmError::RecordTooLarge {
+                record: R::BYTES,
+                block: device.block_size(),
+            });
+        }
         let byte_buf = vec![0u8; device.block_size()].into_boxed_slice();
-        ExtQueue {
+        Ok(ExtQueue {
             device,
             blocks: VecDeque::new(),
             head: VecDeque::new(),
@@ -42,7 +47,7 @@ impl<R: Record> ExtQueue<R> {
             per_block,
             len: 0,
             byte_buf,
-        }
+        })
     }
 
     /// Number of records in the queue.
@@ -137,7 +142,7 @@ mod tests {
 
     #[test]
     fn fifo_order() {
-        let mut q = ExtQueue::new(device());
+        let mut q = ExtQueue::new(device()).unwrap();
         for i in 0..100u64 {
             q.push(i).unwrap();
         }
@@ -150,7 +155,7 @@ mod tests {
     #[test]
     fn randomized_against_vecdeque() {
         let mut rng = StdRng::seed_from_u64(31);
-        let mut q = ExtQueue::new(device());
+        let mut q = ExtQueue::new(device()).unwrap();
         let mut model: VecDeque<u64> = VecDeque::new();
         let mut next = 0u64;
         for _ in 0..5000 {
@@ -171,7 +176,7 @@ mod tests {
     #[test]
     fn amortized_io_is_one_over_b() {
         let device = device();
-        let mut q = ExtQueue::new(device.clone());
+        let mut q = ExtQueue::new(device.clone()).unwrap();
         let n = 8000u64;
         let before = device.stats().snapshot();
         for i in 0..n {
@@ -186,7 +191,7 @@ mod tests {
 
     #[test]
     fn peek_does_not_consume() {
-        let mut q = ExtQueue::new(device());
+        let mut q = ExtQueue::new(device()).unwrap();
         assert_eq!(q.peek().unwrap(), None);
         q.push(1u64).unwrap();
         q.push(2u64).unwrap();
@@ -197,10 +202,24 @@ mod tests {
     }
 
     #[test]
+    fn oversized_record_is_a_typed_error() {
+        // Block of 4 bytes cannot hold a u64 record.
+        let tiny = EmConfig::new(4, 8).ram_disk();
+        match ExtQueue::<u64>::new(tiny) {
+            Err(PdmError::RecordTooLarge { record, block }) => {
+                assert_eq!(record, 8);
+                assert_eq!(block, 4);
+            }
+            Err(e) => panic!("expected RecordTooLarge, got {e}"),
+            Ok(_) => panic!("expected RecordTooLarge, got Ok"),
+        }
+    }
+
+    #[test]
     fn drop_releases_blocks() {
         let device = device();
         {
-            let mut q = ExtQueue::new(device.clone());
+            let mut q = ExtQueue::new(device.clone()).unwrap();
             for i in 0..1000u64 {
                 q.push(i).unwrap();
             }

@@ -7,7 +7,7 @@
 //! costs `O(S/B)` I/Os — measured by experiment F8.
 
 use em_core::Record;
-use pdm::{BlockId, Result, SharedDevice};
+use pdm::{BlockId, PdmError, Result, SharedDevice};
 
 /// An unbounded LIFO stack of records on a block device, holding at most
 /// two blocks of records in memory.
@@ -24,21 +24,26 @@ pub struct ExtStack<R: Record> {
 
 impl<R: Record> ExtStack<R> {
     /// Create an empty stack on `device`.
-    pub fn new(device: SharedDevice) -> Self {
-        let per_block = (device.block_size() / R::BYTES).max(1);
-        assert!(
-            device.block_size() / R::BYTES >= 1,
-            "record larger than block"
-        );
+    ///
+    /// Fails with [`PdmError::RecordTooLarge`] if a record does not fit in
+    /// one device block (the stack spills whole blocks of records).
+    pub fn new(device: SharedDevice) -> Result<Self> {
+        let per_block = device.block_size() / R::BYTES;
+        if per_block == 0 {
+            return Err(PdmError::RecordTooLarge {
+                record: R::BYTES,
+                block: device.block_size(),
+            });
+        }
         let byte_buf = vec![0u8; device.block_size()].into_boxed_slice();
-        ExtStack {
+        Ok(ExtStack {
             device,
             blocks: Vec::new(),
             buf: Vec::with_capacity(2 * per_block),
             per_block,
             len: 0,
             byte_buf,
-        }
+        })
     }
 
     /// Number of records on the stack.
@@ -136,7 +141,7 @@ mod tests {
 
     #[test]
     fn lifo_order() {
-        let mut s = ExtStack::new(device());
+        let mut s = ExtStack::new(device()).unwrap();
         for i in 0..100u64 {
             s.push(i).unwrap();
         }
@@ -150,7 +155,7 @@ mod tests {
 
     #[test]
     fn interleaved_push_pop() {
-        let mut s = ExtStack::new(device());
+        let mut s = ExtStack::new(device()).unwrap();
         let mut model = Vec::new();
         let ops: Vec<i32> = vec![5, -2, 9, -4, 17, -10, 3, -8];
         let mut next = 0u64;
@@ -173,7 +178,7 @@ mod tests {
     #[test]
     fn amortized_io_is_one_over_b() {
         let device = device();
-        let mut s = ExtStack::new(device.clone());
+        let mut s = ExtStack::new(device.clone()).unwrap();
         let n = 8000u64;
         let before = device.stats().snapshot();
         for i in 0..n {
@@ -197,7 +202,7 @@ mod tests {
         // Alternating push/pop right at a spill boundary must not incur an
         // I/O per operation (the 2B buffer gives hysteresis).
         let device = device();
-        let mut s = ExtStack::new(device.clone());
+        let mut s = ExtStack::new(device.clone()).unwrap();
         for i in 0..16u64 {
             s.push(i).unwrap(); // buffer exactly full (2B = 16)
         }
@@ -212,7 +217,7 @@ mod tests {
 
     #[test]
     fn peek_matches_top() {
-        let mut s = ExtStack::new(device());
+        let mut s = ExtStack::new(device()).unwrap();
         assert_eq!(s.peek().unwrap(), None);
         for i in 0..50u64 {
             s.push(i).unwrap();
@@ -223,10 +228,24 @@ mod tests {
     }
 
     #[test]
+    fn oversized_record_is_a_typed_error() {
+        // Block of 4 bytes cannot hold a u64 record.
+        let tiny = EmConfig::new(4, 8).ram_disk();
+        match ExtStack::<u64>::new(tiny) {
+            Err(PdmError::RecordTooLarge { record, block }) => {
+                assert_eq!(record, 8);
+                assert_eq!(block, 4);
+            }
+            Err(e) => panic!("expected RecordTooLarge, got {e}"),
+            Ok(_) => panic!("expected RecordTooLarge, got Ok"),
+        }
+    }
+
+    #[test]
     fn drop_releases_blocks() {
         let device = device();
         {
-            let mut s = ExtStack::new(device.clone());
+            let mut s = ExtStack::new(device.clone()).unwrap();
             for i in 0..1000u64 {
                 s.push(i).unwrap();
             }

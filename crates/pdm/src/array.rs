@@ -30,9 +30,10 @@ use std::sync::Arc;
 
 use crate::device::{BlockDevice, BlockId};
 use crate::error::{PdmError, Result};
+use crate::fault::{FaultDisk, FaultPlan};
 use crate::file_disk::FileDisk;
 use crate::ram_disk::RamDisk;
-use crate::sched::{IoMode, IoScheduler, IoTicket};
+use crate::sched::{run_with_retry, IoMode, IoScheduler, IoTicket, RetryPolicy};
 use crate::stats::IoStats;
 
 /// How logical blocks map onto the member disks.
@@ -60,6 +61,11 @@ pub struct DiskArray {
     /// through the per-lane worker queues, so one lane's transfers always
     /// complete in submission order regardless of how they were issued.
     sched: Option<IoScheduler>,
+    /// Retry policy for transient member-disk errors.  The default
+    /// ([`RetryPolicy::none`]) performs no retries, leaving every
+    /// model-count invariant untouched; see
+    /// [`new_ram_faulty`](Self::new_ram_faulty).
+    retry: RetryPolicy,
 }
 
 impl DiskArray {
@@ -94,6 +100,47 @@ impl DiskArray {
             physical_block,
             stats,
             mode,
+            RetryPolicy::none(),
+        ))
+    }
+
+    /// Create an array of `d` RAM disks, each wrapped in a
+    /// [`FaultDisk`] executing `plans[lane]`, with transient errors retried
+    /// under `retry`.
+    ///
+    /// This is the fault-injection entry point: the returned array behaves
+    /// exactly like [`new_ram_with`](Self::new_ram_with) wherever the plans
+    /// are benign, and with `retry` set to [`RetryPolicy::none`] the
+    /// fault-free transfer counts are byte-for-byte unchanged.
+    pub fn new_ram_faulty(
+        d: usize,
+        physical_block: usize,
+        placement: Placement,
+        mode: IoMode,
+        plans: &[FaultPlan],
+        retry: RetryPolicy,
+    ) -> Arc<Self> {
+        assert!(d >= 1, "need at least one disk");
+        assert!(physical_block > 0);
+        assert_eq!(plans.len(), d, "one fault plan per member disk");
+        let stats = IoStats::new(d, physical_block);
+        let disks: Vec<Arc<dyn BlockDevice>> = (0..d)
+            .map(|lane| {
+                let ram = Arc::new(RamDisk::with_stats(
+                    physical_block,
+                    Arc::clone(&stats),
+                    lane,
+                )) as Arc<dyn BlockDevice>;
+                FaultDisk::wrap(ram, plans[lane].clone()) as Arc<dyn BlockDevice>
+            })
+            .collect();
+        Arc::new(Self::assemble(
+            disks,
+            placement,
+            physical_block,
+            stats,
+            mode,
+            retry,
         ))
     }
 
@@ -166,6 +213,47 @@ impl DiskArray {
             physical_block,
             stats,
             mode,
+            RetryPolicy::none(),
+        )))
+    }
+
+    /// Create an array of `d` file-backed disks under `dir`, each wrapped in
+    /// a [`FaultDisk`] executing `plans[lane]`, with transient errors
+    /// retried under `retry`.  The file-backed twin of
+    /// [`new_ram_faulty`](Self::new_ram_faulty).
+    pub fn new_file_faulty(
+        dir: &std::path::Path,
+        d: usize,
+        physical_block: usize,
+        placement: Placement,
+        mode: IoMode,
+        plans: &[FaultPlan],
+        retry: RetryPolicy,
+    ) -> Result<Arc<Self>> {
+        assert!(d >= 1, "need at least one disk");
+        assert!(physical_block > 0);
+        assert_eq!(plans.len(), d, "one fault plan per member disk");
+        std::fs::create_dir_all(dir)?;
+        let stats = IoStats::new(d, physical_block);
+        let mut disks: Vec<Arc<dyn BlockDevice>> = Vec::with_capacity(d);
+        for (lane, plan) in plans.iter().enumerate() {
+            let path = dir.join(format!("disk{lane}.bin"));
+            let file = Arc::new(FileDisk::create_with_stats(
+                path,
+                physical_block,
+                Arc::clone(&stats),
+                lane,
+                std::time::Duration::ZERO,
+            )?) as Arc<dyn BlockDevice>;
+            disks.push(FaultDisk::wrap(file, plan.clone()) as Arc<dyn BlockDevice>);
+        }
+        Ok(Arc::new(Self::assemble(
+            disks,
+            placement,
+            physical_block,
+            stats,
+            mode,
+            retry,
         )))
     }
 
@@ -175,10 +263,11 @@ impl DiskArray {
         physical_block: usize,
         stats: Arc<IoStats>,
         mode: IoMode,
+        retry: RetryPolicy,
     ) -> Self {
         let sched = match mode {
             IoMode::Synchronous => None,
-            IoMode::Overlapped => Some(IoScheduler::new(&disks, Arc::clone(&stats))),
+            IoMode::Overlapped => Some(IoScheduler::with_retry(&disks, Arc::clone(&stats), retry)),
         };
         DiskArray {
             disks,
@@ -187,6 +276,7 @@ impl DiskArray {
             stats,
             next_disk: AtomicUsize::new(0),
             sched,
+            retry,
         }
     }
 
@@ -207,6 +297,18 @@ impl DiskArray {
         } else {
             IoMode::Synchronous
         }
+    }
+
+    /// The retry policy applied to transient member-disk errors.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Take the first error (if any) of a write-behind transfer whose ticket
+    /// was dropped before completion (overlapped mode only).  See
+    /// [`IoScheduler::take_dropped_error`].
+    pub fn take_dropped_write_error(&self) -> Option<PdmError> {
+        self.sched.as_ref().and_then(|s| s.take_dropped_error())
     }
 
     /// Which disk an independent-mode logical block lives on.
@@ -303,13 +405,17 @@ impl BlockDevice for DiskArray {
         match (&self.sched, self.placement) {
             (None, Placement::Striped) => {
                 for (d, chunk) in buf.chunks_mut(self.physical_block).enumerate() {
-                    self.disks[d].read_block(id, chunk)?;
+                    run_with_retry(&self.retry, &self.stats, d, id, || {
+                        self.disks[d].read_block(id, chunk)
+                    })?;
                 }
                 Ok(())
             }
             (None, Placement::Independent) => {
                 let (disk, phys) = self.split_independent(id);
-                self.disks[disk].read_block(phys, buf)
+                run_with_retry(&self.retry, &self.stats, disk, phys, || {
+                    self.disks[disk].read_block(phys, buf)
+                })
             }
             (Some(sched), Placement::Striped) => {
                 // Fan the logical read out to all D lanes, then gather: the
@@ -339,13 +445,17 @@ impl BlockDevice for DiskArray {
         match (&self.sched, self.placement) {
             (None, Placement::Striped) => {
                 for (d, chunk) in buf.chunks(self.physical_block).enumerate() {
-                    self.disks[d].write_block(id, chunk)?;
+                    run_with_retry(&self.retry, &self.stats, d, id, || {
+                        self.disks[d].write_block(id, chunk)
+                    })?;
                 }
                 Ok(())
             }
             (None, Placement::Independent) => {
                 let (disk, phys) = self.split_independent(id);
-                self.disks[disk].write_block(phys, buf)
+                run_with_retry(&self.retry, &self.stats, disk, phys, || {
+                    self.disks[disk].write_block(phys, buf)
+                })
             }
             (Some(sched), Placement::Striped) => {
                 let parts: Vec<_> = buf
@@ -583,6 +693,156 @@ mod overlapped_tests {
         let id = arr.allocate().unwrap();
         let res = arr.submit_write(id, vec![0u8; 7].into_boxed_slice()).wait();
         assert!(matches!(res, Err(PdmError::SizeMismatch { .. })));
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+
+    /// Allocate, write, and read back `n` blocks; return the contents read.
+    fn workload(arr: &Arc<DiskArray>, n: usize) -> Result<Vec<Vec<u8>>> {
+        let bs = arr.block_size();
+        let mut ids = Vec::new();
+        for _ in 0..n {
+            ids.push(arr.allocate()?);
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            arr.write_block(id, &vec![i as u8 + 1; bs])?;
+        }
+        let mut out = Vec::new();
+        for &id in &ids {
+            let mut buf = vec![0u8; bs];
+            arr.read_block(id, &mut buf)?;
+            out.push(buf);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn benign_plans_with_no_retry_leave_counts_untouched() {
+        for placement in [Placement::Striped, Placement::Independent] {
+            for mode in [IoMode::Synchronous, IoMode::Overlapped] {
+                let plain = DiskArray::new_ram_with(3, 16, placement, mode);
+                let plans: Vec<FaultPlan> = (0..3).map(|i| FaultPlan::new(i as u64)).collect();
+                let faulty =
+                    DiskArray::new_ram_faulty(3, 16, placement, mode, &plans, RetryPolicy::none());
+                let a = workload(&plain, 8).unwrap();
+                let b = workload(&faulty, 8).unwrap();
+                assert_eq!(a, b, "contents ({placement:?}, {mode:?})");
+                let s = plain.stats().snapshot();
+                let f = faulty.stats().snapshot();
+                for d in 0..3 {
+                    assert_eq!(s.reads_on(d), f.reads_on(d), "{placement:?} {mode:?}");
+                    assert_eq!(s.writes_on(d), f.writes_on(d), "{placement:?} {mode:?}");
+                }
+                assert_eq!(f.retries(), 0);
+                assert_eq!(f.faults_injected(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn transient_faults_cured_by_retry_keep_counts_identical() {
+        for placement in [Placement::Striped, Placement::Independent] {
+            for mode in [IoMode::Synchronous, IoMode::Overlapped] {
+                let plain = DiskArray::new_ram_with(2, 16, placement, mode);
+                let plans: Vec<FaultPlan> = (0..2)
+                    .map(|i| FaultPlan::new(100 + i as u64).with_transient(400, 1))
+                    .collect();
+                let faulty = DiskArray::new_ram_faulty(
+                    2,
+                    16,
+                    placement,
+                    mode,
+                    &plans,
+                    RetryPolicy::new(3, std::time::Duration::ZERO),
+                );
+                let a = workload(&plain, 12).unwrap();
+                let b = workload(&faulty, 12).unwrap();
+                assert_eq!(a, b, "retry must reproduce fault-free contents");
+                let s = plain.stats().snapshot();
+                let f = faulty.stats().snapshot();
+                assert_eq!(s.reads(), f.reads(), "{placement:?} {mode:?}");
+                assert_eq!(s.writes(), f.writes(), "{placement:?} {mode:?}");
+                assert_eq!(
+                    f.retries(),
+                    f.faults_injected(),
+                    "every transient fault cost exactly one retry"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transient_faults_without_retry_surface_cleanly() {
+        let plans = vec![FaultPlan::new(77).with_transient(1000, 1)];
+        let arr = DiskArray::new_ram_faulty(
+            1,
+            16,
+            Placement::Independent,
+            IoMode::Synchronous,
+            &plans,
+            RetryPolicy::none(),
+        );
+        let id = arr.allocate().unwrap();
+        let err = arr.write_block(id, &[1u8; 16]).unwrap_err();
+        assert!(err.is_transient(), "raw error, not RetriesExhausted");
+        // The block recovers on the next attempt (issued by the caller).
+        arr.write_block(id, &[1u8; 16]).unwrap();
+    }
+
+    #[test]
+    fn dead_lane_with_retry_reports_retries_exhausted() {
+        let plans = vec![
+            FaultPlan::new(0),
+            FaultPlan::new(1).fail_lane(),
+            FaultPlan::new(2),
+        ];
+        let arr = DiskArray::new_ram_faulty(
+            3,
+            16,
+            Placement::Independent,
+            IoMode::Synchronous,
+            &plans,
+            RetryPolicy::new(2, std::time::Duration::ZERO),
+        );
+        let id = arr.allocate_on(1).unwrap();
+        match arr.write_block(id, &[5u8; 16]) {
+            Err(PdmError::RetriesExhausted { disk, attempts, .. }) => {
+                assert_eq!(disk, 1);
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        // The healthy lanes still work.
+        let ok = arr.allocate_on(0).unwrap();
+        arr.write_block(ok, &[5u8; 16]).unwrap();
+    }
+
+    #[test]
+    fn file_backed_faulty_array_round_trips() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("pdm-faulty-{}", std::process::id()));
+        let plans: Vec<FaultPlan> = (0..2)
+            .map(|i| FaultPlan::new(50 + i as u64).with_transient(500, 1))
+            .collect();
+        let arr = DiskArray::new_file_faulty(
+            &dir,
+            2,
+            16,
+            Placement::Independent,
+            IoMode::Synchronous,
+            &plans,
+            RetryPolicy::new(3, std::time::Duration::ZERO),
+        )
+        .unwrap();
+        let out = workload(&arr, 10).unwrap();
+        assert_eq!(out.len(), 10);
+        for (i, block) in out.iter().enumerate() {
+            assert_eq!(block, &vec![i as u8 + 1; 16]);
+        }
+        std::fs::remove_dir_all(dir).ok();
     }
 }
 

@@ -19,8 +19,38 @@ pub enum PdmError {
     OutOfSpace,
     /// Every frame in the buffer pool is pinned, so nothing can be evicted.
     PoolExhausted,
-    /// An underlying file operation failed (file-backed devices only).
+    /// An underlying file operation failed (file-backed devices only), or a
+    /// fault-injecting device reported a simulated device failure.
     Io(std::io::Error),
+    /// A record type does not fit in one device block, so a block-granular
+    /// structure cannot be built on this device.
+    RecordTooLarge {
+        /// Size of one record, in bytes.
+        record: usize,
+        /// Block size of the device, in bytes.
+        block: usize,
+    },
+    /// A transient device error persisted through every attempt a
+    /// [`RetryPolicy`](crate::RetryPolicy) allowed.
+    RetriesExhausted {
+        /// Lane (member-disk index) the failing transfer targeted.
+        disk: usize,
+        /// Physical block id of the failing transfer.
+        block: super::BlockId,
+        /// Attempts made, including the first (non-retry) one.
+        attempts: u32,
+        /// The error returned by the final attempt.
+        last: Box<PdmError>,
+    },
+}
+
+impl PdmError {
+    /// True for errors that a bounded retry may cure: device-level I/O
+    /// failures.  Contract violations (`InvalidBlock`, `SizeMismatch`, …)
+    /// are never transient — retrying them would only repeat the bug.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, PdmError::Io(_))
+    }
 }
 
 impl fmt::Display for PdmError {
@@ -38,6 +68,20 @@ impl fmt::Display for PdmError {
                 write!(f, "buffer pool exhausted: all frames pinned")
             }
             PdmError::Io(e) => write!(f, "I/O error: {e}"),
+            PdmError::RecordTooLarge { record, block } => {
+                write!(f, "record size {record} exceeds device block size {block}")
+            }
+            PdmError::RetriesExhausted {
+                disk,
+                block,
+                attempts,
+                last,
+            } => {
+                write!(
+                    f,
+                    "disk {disk} block {block}: giving up after {attempts} attempts: {last}"
+                )
+            }
         }
     }
 }
@@ -46,6 +90,7 @@ impl std::error::Error for PdmError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PdmError::Io(e) => Some(e),
+            PdmError::RetriesExhausted { last, .. } => Some(last),
             _ => None,
         }
     }
@@ -59,3 +104,80 @@ impl From<std::io::Error> for PdmError {
 
 /// Convenient result alias used throughout the workspace.
 pub type Result<T> = std::result::Result<T, PdmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<(PdmError, &str)> = vec![
+            (PdmError::InvalidBlock(7), "invalid block id 7"),
+            (
+                PdmError::SizeMismatch {
+                    expected: 64,
+                    actual: 32,
+                },
+                "buffer size 32 does not match block size 64",
+            ),
+            (PdmError::OutOfSpace, "device out of space"),
+            (
+                PdmError::PoolExhausted,
+                "buffer pool exhausted: all frames pinned",
+            ),
+            (
+                PdmError::RecordTooLarge {
+                    record: 128,
+                    block: 64,
+                },
+                "record size 128 exceeds device block size 64",
+            ),
+        ];
+        for (err, expect) in cases {
+            assert_eq!(err.to_string(), expect);
+        }
+        let io = PdmError::from(std::io::Error::other("boom"));
+        assert_eq!(io.to_string(), "I/O error: boom");
+    }
+
+    #[test]
+    fn retries_exhausted_displays_and_chains_source() {
+        let last = PdmError::Io(std::io::Error::other("injected transient fault"));
+        let err = PdmError::RetriesExhausted {
+            disk: 2,
+            block: 41,
+            attempts: 3,
+            last: Box::new(last),
+        };
+        assert_eq!(
+            err.to_string(),
+            "disk 2 block 41: giving up after 3 attempts: \
+             I/O error: injected transient fault"
+        );
+        // The source chain reaches through the wrapper to the io::Error.
+        let src = err.source().expect("wrapper has a source");
+        assert!(src.to_string().contains("injected transient fault"));
+        assert!(src.source().is_some(), "inner Io chains to the io::Error");
+    }
+
+    #[test]
+    fn transience_is_io_only() {
+        assert!(PdmError::Io(std::io::Error::other("x")).is_transient());
+        assert!(!PdmError::InvalidBlock(0).is_transient());
+        assert!(!PdmError::OutOfSpace.is_transient());
+        assert!(!PdmError::RecordTooLarge {
+            record: 9,
+            block: 8
+        }
+        .is_transient());
+        // An exhausted retry is final: retrying the wrapper would be a bug.
+        assert!(!PdmError::RetriesExhausted {
+            disk: 0,
+            block: 0,
+            attempts: 2,
+            last: Box::new(PdmError::Io(std::io::Error::other("x"))),
+        }
+        .is_transient());
+    }
+}

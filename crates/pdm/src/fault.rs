@@ -1,0 +1,423 @@
+//! Deterministic fault injection for block devices.
+//!
+//! Vitter's parallel-disk model earns its keep at *many* physical disks —
+//! exactly the regime where transient device failure is routine.  This
+//! module makes failure a first-class, reproducible input: a [`FaultDisk`]
+//! wraps any [`BlockDevice`] and executes a seed-driven [`FaultPlan`], so a
+//! test can drive a whole sort/tree/queue workload through a flaky disk and
+//! assert the only two legal outcomes — byte-identical output (with retries
+//! counted) or a clean `Err` — without ever seeing a panic, a deadlock, or
+//! silent corruption.
+//!
+//! Every fault decision is a pure hash of `(seed, block id, operation)`, so
+//! a plan is reproducible across runs and across retry attempts: a permanent
+//! fault stays permanent no matter how often it is retried, while a
+//! transient fault fails a fixed number of attempts and then succeeds.  The
+//! fault kinds compose per block:
+//!
+//! * **Transient errors** — the first `k` attempts on an afflicted block
+//!   return `PdmError::Io` *without touching the device*: no block moved, so
+//!   nothing is counted.  A [`RetryPolicy`](crate::RetryPolicy) cures these;
+//!   each cure costs exactly the retries recorded in
+//!   [`IoStats::retries`](crate::IoStats).
+//! * **Permanent block failures** — every attempt on an afflicted block
+//!   fails.  Retries cannot cure these; with retries enabled they surface as
+//!   [`PdmError::RetriesExhausted`](crate::PdmError::RetriesExhausted).
+//! * **Torn writes** — the first write attempt on an afflicted block
+//!   *persists a corrupted prefix* (the transfer happens and is counted) and
+//!   returns an error; a retry overwrites the torn block with the correct
+//!   bytes.  This is the classic partial-sector failure mode: the danger is
+//!   a caller that ignores the error and later reads garbage.
+//! * **Latency spikes** — afflicted transfers sleep before executing.  No
+//!   error is produced and no fault is counted; these exist to shake out
+//!   ordering assumptions in overlapped pipelines.
+//!
+//! A whole lane can also be declared dead ([`FaultPlan::fail_lane`]),
+//! modelling the loss of one member disk of a [`DiskArray`](crate::DiskArray).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::device::{BlockDevice, BlockId};
+use crate::error::{PdmError, Result};
+use crate::stats::IoStats;
+
+/// Per-mille denominator for fault rates: a rate of 1000 afflicts every
+/// block, 0 afflicts none.
+const SCALE: u64 = 1000;
+
+// Hash salts, one per independent fault decision.
+const SALT_TRANSIENT_READ: u64 = 0x5EED_0001;
+const SALT_TRANSIENT_WRITE: u64 = 0x5EED_0002;
+const SALT_PERMANENT: u64 = 0x5EED_0003;
+const SALT_TORN: u64 = 0x5EED_0004;
+const SALT_LATENCY: u64 = 0x5EED_0005;
+
+// Attempt-counter namespaces (one counter per afflicted block and kind).
+const CTR_TRANSIENT_READ: u8 = 0;
+const CTR_TRANSIENT_WRITE: u8 = 1;
+const CTR_TORN: u8 = 2;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A deterministic, seed-driven description of which transfers fail and how.
+///
+/// Built with the `with_*` methods; the default plan injects nothing, so a
+/// `FaultDisk` carrying it is a transparent wrapper.  Rates are per-mille
+/// (out of 1000) over *blocks*: an afflicted block misbehaves on every run
+/// with the same seed.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    transient_permille: u64,
+    /// How many attempts fail before a transient block recovers.
+    transient_attempts: u32,
+    permanent_permille: u64,
+    torn_permille: u64,
+    latency_permille: u64,
+    latency: Duration,
+    lane_failed: bool,
+}
+
+impl FaultPlan {
+    /// A plan (initially injecting nothing) whose fault decisions derive
+    /// from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Afflict `permille`/1000 of blocks with transient errors: the first
+    /// `attempts` transfers (per direction) on such a block fail without
+    /// touching the device, then it recovers.
+    pub fn with_transient(mut self, permille: u64, attempts: u32) -> Self {
+        assert!(permille <= SCALE, "rate is per-mille");
+        self.transient_permille = permille;
+        self.transient_attempts = attempts;
+        self
+    }
+
+    /// Afflict `permille`/1000 of blocks with permanent failure: every
+    /// transfer on such a block fails, forever.
+    pub fn with_permanent_blocks(mut self, permille: u64) -> Self {
+        assert!(permille <= SCALE, "rate is per-mille");
+        self.permanent_permille = permille;
+        self
+    }
+
+    /// Afflict `permille`/1000 of blocks with a torn first write: corrupted
+    /// bytes are persisted (and the transfer counted) before the error
+    /// returns; a retry writes the block correctly.
+    pub fn with_torn_writes(mut self, permille: u64) -> Self {
+        assert!(permille <= SCALE, "rate is per-mille");
+        self.torn_permille = permille;
+        self
+    }
+
+    /// Delay `permille`/1000 of transfers by `latency` before executing
+    /// them.  No error is produced.
+    pub fn with_latency(mut self, permille: u64, latency: Duration) -> Self {
+        assert!(permille <= SCALE, "rate is per-mille");
+        self.latency_permille = permille;
+        self.latency = latency;
+        self
+    }
+
+    /// Declare the whole device dead: every transfer fails.
+    pub fn fail_lane(mut self) -> Self {
+        self.lane_failed = true;
+        self
+    }
+
+    /// True if this plan can never inject anything.
+    pub fn is_benign(&self) -> bool {
+        !self.lane_failed
+            && self.transient_permille == 0
+            && self.permanent_permille == 0
+            && self.torn_permille == 0
+            && self.latency_permille == 0
+    }
+
+    /// Deterministic per-block decision: does the fault kind under `salt`
+    /// afflict `block` at `permille` rate?
+    fn afflicts(&self, salt: u64, block: BlockId, permille: u64) -> bool {
+        permille > 0
+            && splitmix64(self.seed ^ salt.wrapping_mul(0x9E6C_63D0) ^ block) % SCALE < permille
+    }
+}
+
+/// A [`BlockDevice`] wrapper executing a [`FaultPlan`] against an inner
+/// device.
+///
+/// Transfers that fault are reported through the inner device's
+/// [`IoStats::faults_injected`](crate::IoStats) counter; transfers the plan
+/// leaves alone pass straight through.  Allocation, freeing and statistics
+/// are never faulted — the plan models the *medium* failing, not the
+/// in-memory bookkeeping above it.
+pub struct FaultDisk {
+    inner: Arc<dyn BlockDevice>,
+    plan: FaultPlan,
+    stats: Arc<IoStats>,
+    /// Attempt counters per (block, fault-kind); transient and torn faults
+    /// clear after their budgeted number of failures.
+    attempts: Mutex<HashMap<(BlockId, u8), u32>>,
+}
+
+impl FaultDisk {
+    /// Wrap `inner` so that its transfers execute `plan`.
+    pub fn wrap(inner: Arc<dyn BlockDevice>, plan: FaultPlan) -> Arc<Self> {
+        let stats = inner.stats();
+        Arc::new(FaultDisk {
+            inner,
+            plan,
+            stats,
+            attempts: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The plan this disk executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn injected(&self, what: &str, id: BlockId) -> PdmError {
+        self.stats.record_fault_injected();
+        PdmError::Io(std::io::Error::other(format!(
+            "injected {what} fault on block {id}"
+        )))
+    }
+
+    /// Faults common to both directions; returns an error if the transfer
+    /// must fail before reaching the device.
+    fn gate_common(&self, id: BlockId) -> Result<()> {
+        if self.plan.lane_failed {
+            return Err(self.injected("dead-lane", id));
+        }
+        if self
+            .plan
+            .afflicts(SALT_PERMANENT, id, self.plan.permanent_permille)
+        {
+            return Err(self.injected("permanent", id));
+        }
+        if self
+            .plan
+            .afflicts(SALT_LATENCY, id, self.plan.latency_permille)
+            && !self.plan.latency.is_zero()
+        {
+            std::thread::sleep(self.plan.latency);
+        }
+        Ok(())
+    }
+
+    /// True while the transient-failure budget for `(id, ctr)` has not been
+    /// spent; each call consumes one failing attempt.
+    fn transient_fires(&self, id: BlockId, ctr: u8) -> bool {
+        let mut attempts = self.attempts.lock();
+        let n = attempts.entry((id, ctr)).or_insert(0);
+        if *n < self.plan.transient_attempts {
+            *n += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True exactly once per block: the first write tears, retries don't.
+    fn torn_fires(&self, id: BlockId) -> bool {
+        let mut attempts = self.attempts.lock();
+        let n = attempts.entry((id, CTR_TORN)).or_insert(0);
+        if *n == 0 {
+            *n = 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl BlockDevice for FaultDisk {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn allocated_blocks(&self) -> u64 {
+        self.inner.allocated_blocks()
+    }
+
+    fn allocate(&self) -> Result<BlockId> {
+        self.inner.allocate()
+    }
+
+    fn free(&self, id: BlockId) -> Result<()> {
+        self.inner.free(id)
+    }
+
+    fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<()> {
+        self.gate_common(id)?;
+        if self
+            .plan
+            .afflicts(SALT_TRANSIENT_READ, id, self.plan.transient_permille)
+            && self.transient_fires(id, CTR_TRANSIENT_READ)
+        {
+            return Err(self.injected("transient read", id));
+        }
+        self.inner.read_block(id, buf)
+    }
+
+    fn write_block(&self, id: BlockId, buf: &[u8]) -> Result<()> {
+        self.gate_common(id)?;
+        if self.plan.afflicts(SALT_TORN, id, self.plan.torn_permille) && self.torn_fires(id) {
+            // Persist a corrupted prefix: the first half of the block is
+            // bit-flipped, the tail never lands.  The transfer really
+            // happened (and is counted); only then does the error surface.
+            let mut torn = buf.to_vec();
+            let half = torn.len() / 2;
+            for b in &mut torn[..half] {
+                *b = !*b;
+            }
+            for b in &mut torn[half..] {
+                *b = 0xEE;
+            }
+            self.inner.write_block(id, &torn)?;
+            return Err(self.injected("torn write", id));
+        }
+        if self
+            .plan
+            .afflicts(SALT_TRANSIENT_WRITE, id, self.plan.transient_permille)
+            && self.transient_fires(id, CTR_TRANSIENT_WRITE)
+        {
+            return Err(self.injected("transient write", id));
+        }
+        self.inner.write_block(id, buf)
+    }
+
+    fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ram_disk::RamDisk;
+
+    fn faulty(plan: FaultPlan) -> Arc<FaultDisk> {
+        FaultDisk::wrap(RamDisk::new(16), plan)
+    }
+
+    #[test]
+    fn benign_plan_is_transparent() {
+        let disk = faulty(FaultPlan::new(1));
+        assert!(disk.plan().is_benign());
+        let id = disk.allocate().unwrap();
+        disk.write_block(id, &[7u8; 16]).unwrap();
+        let mut out = [0u8; 16];
+        disk.read_block(id, &mut out).unwrap();
+        assert_eq!(out, [7u8; 16]);
+        let snap = disk.stats().snapshot();
+        assert_eq!(snap.faults_injected(), 0);
+        assert_eq!(snap.total(), 2);
+    }
+
+    #[test]
+    fn transient_fails_first_k_attempts_without_counting_transfers() {
+        // Rate 1000 afflicts every block.
+        let disk = faulty(FaultPlan::new(42).with_transient(1000, 2));
+        let id = disk.allocate().unwrap();
+        let mut out = [0u8; 16];
+        assert!(disk.read_block(id, &mut out).is_err());
+        assert!(disk.read_block(id, &mut out).is_err());
+        disk.read_block(id, &mut out).unwrap();
+        let snap = disk.stats().snapshot();
+        assert_eq!(snap.reads(), 1, "failed attempts move no block");
+        assert_eq!(snap.faults_injected(), 2);
+        // Recovered: further reads succeed.
+        disk.read_block(id, &mut out).unwrap();
+    }
+
+    #[test]
+    fn fault_decisions_are_deterministic_per_seed() {
+        let plan = FaultPlan::new(7).with_permanent_blocks(500);
+        let a = faulty(plan.clone());
+        let b = faulty(plan);
+        let mut out = [0u8; 16];
+        for _ in 0..32 {
+            let ia = a.allocate().unwrap();
+            let ib = b.allocate().unwrap();
+            assert_eq!(ia, ib);
+            assert_eq!(
+                a.read_block(ia, &mut out).is_err(),
+                b.read_block(ib, &mut out).is_err(),
+                "same seed, same verdict on block {ia}"
+            );
+        }
+        // A 500-permille plan over 32 blocks afflicts some but not all.
+        let faults = a.stats().snapshot().faults_injected();
+        assert!(faults > 0 && faults < 32, "got {faults} faults");
+    }
+
+    #[test]
+    fn permanent_faults_survive_retries() {
+        let disk = faulty(FaultPlan::new(3).with_permanent_blocks(1000));
+        let id = disk.allocate().unwrap();
+        let mut out = [0u8; 16];
+        for _ in 0..4 {
+            assert!(disk.read_block(id, &mut out).is_err());
+            assert!(disk.write_block(id, &[1u8; 16]).is_err());
+        }
+        assert_eq!(disk.stats().snapshot().total(), 0);
+    }
+
+    #[test]
+    fn torn_write_persists_corruption_then_retry_repairs() {
+        let disk = faulty(FaultPlan::new(9).with_torn_writes(1000));
+        let id = disk.allocate().unwrap();
+        let data = [0x11u8; 16];
+        assert!(disk.write_block(id, &data).is_err(), "first write tears");
+        let mut out = [0u8; 16];
+        disk.read_block(id, &mut out).unwrap();
+        assert_ne!(out, data, "torn bytes really landed");
+        assert_ne!(out, [0u8; 16], "block is not untouched either");
+        // The retry goes through and repairs the block.
+        disk.write_block(id, &data).unwrap();
+        disk.read_block(id, &mut out).unwrap();
+        assert_eq!(out, data);
+        let snap = disk.stats().snapshot();
+        assert_eq!(snap.writes(), 2, "torn write still moved a block");
+        assert_eq!(snap.faults_injected(), 1);
+    }
+
+    #[test]
+    fn dead_lane_fails_everything_but_metadata() {
+        let disk = faulty(FaultPlan::new(0).fail_lane());
+        let id = disk.allocate().unwrap();
+        assert!(disk.write_block(id, &[0u8; 16]).is_err());
+        let mut out = [0u8; 16];
+        assert!(disk.read_block(id, &mut out).is_err());
+        disk.free(id).unwrap();
+        assert_eq!(disk.stats().snapshot().faults_injected(), 2);
+    }
+
+    #[test]
+    fn latency_spikes_produce_no_errors_or_fault_counts() {
+        let disk = faulty(FaultPlan::new(5).with_latency(1000, Duration::from_micros(50)));
+        let id = disk.allocate().unwrap();
+        disk.write_block(id, &[9u8; 16]).unwrap();
+        let mut out = [0u8; 16];
+        disk.read_block(id, &mut out).unwrap();
+        assert_eq!(out, [9u8; 16]);
+        let snap = disk.stats().snapshot();
+        assert_eq!(snap.faults_injected(), 0);
+        assert_eq!(snap.total(), 2);
+    }
+}

@@ -23,6 +23,11 @@
 //!   pluggable eviction ([`EvictionPolicy`]); online structures (B-trees,
 //!   hash directories) run on top of it, and it *enforces* the memory budget
 //!   instead of trusting the algorithm.
+//! * [`FaultDisk`] / [`FaultPlan`] — deterministic fault injection: any
+//!   device can be wrapped to fail transiently or permanently, tear writes,
+//!   or spike latency on a seed-driven schedule, and a [`RetryPolicy`]
+//!   (default off) recovers the transient cases with exact accounting in
+//!   [`IoStats`] (`retries`, `faults_injected`, `dropped_write_errors`).
 //!
 //! The crate is deliberately free of any algorithmic content; everything
 //! above it (sorting, trees, graphs, geometry, hashing) lives in the other
@@ -62,6 +67,7 @@
 mod array;
 mod device;
 mod error;
+mod fault;
 mod file_disk;
 mod pool;
 mod ram_disk;
@@ -71,8 +77,9 @@ mod stats;
 pub use array::{DiskArray, Placement};
 pub use device::{BlockDevice, BlockId, SharedDevice};
 pub use error::{PdmError, Result};
+pub use fault::{FaultDisk, FaultPlan};
 pub use file_disk::FileDisk;
 pub use pool::{BufferPool, EvictionPolicy, FrameGuard, FrameGuardMut, PoolStats};
 pub use ram_disk::RamDisk;
-pub use sched::{IoMode, IoScheduler, IoTicket};
+pub use sched::{IoMode, IoScheduler, IoTicket, RetryPolicy};
 pub use stats::{IoSnapshot, IoStats};

@@ -29,13 +29,104 @@
 //! which reaches this module as nothing more than a different FIFO sequence
 //! per lane, so the count invariants above hold for any submission policy.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, SendError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
 
 use crate::device::{BlockDevice, BlockId};
 use crate::error::{PdmError, Result};
 use crate::stats::IoStats;
+
+/// Bounded retry with deterministic backoff for transient device errors.
+///
+/// The default policy ([`none`](Self::none)) performs no retries, so every
+/// model-count invariant of the substrate is untouched unless a caller
+/// explicitly opts in.  When enabled, only errors for which
+/// [`PdmError::is_transient`] holds are retried; contract violations
+/// (`InvalidBlock`, `SizeMismatch`, …) fail immediately.  Each re-attempt is
+/// recorded in [`IoStats::retries`](crate::IoStats); if every attempt fails
+/// the last error is wrapped in [`PdmError::RetriesExhausted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed, including the first; `1` disables retries.
+    pub max_attempts: u32,
+    /// Base backoff slept before re-attempt `n` is `backoff · n`
+    /// (deterministic linear backoff; `ZERO` retries immediately).
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: every device error surfaces on the first attempt.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Retry transient errors up to `max_attempts` total attempts with
+    /// linear `backoff` between them.
+    pub fn new(max_attempts: u32, backoff: Duration) -> Self {
+        assert!(max_attempts >= 1, "at least the first attempt");
+        RetryPolicy {
+            max_attempts,
+            backoff,
+        }
+    }
+
+    /// True if this policy can ever re-attempt a transfer.
+    pub fn is_enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Run `op` under `policy`, retrying transient errors with linear backoff.
+///
+/// `disk`/`block` only label the [`PdmError::RetriesExhausted`] wrapper
+/// produced when an enabled policy runs out of attempts; with retries
+/// disabled the original error passes through untouched.
+pub(crate) fn run_with_retry<T>(
+    policy: &RetryPolicy,
+    stats: &IoStats,
+    disk: usize,
+    block: BlockId,
+    mut op: impl FnMut() -> Result<T>,
+) -> Result<T> {
+    let mut attempt = 1u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt < policy.max_attempts => {
+                stats.record_retry();
+                if !policy.backoff.is_zero() {
+                    std::thread::sleep(policy.backoff * attempt);
+                }
+                attempt += 1;
+            }
+            Err(e) => {
+                return Err(if e.is_transient() && policy.is_enabled() {
+                    PdmError::RetriesExhausted {
+                        disk,
+                        block,
+                        attempts: attempt,
+                        last: Box::new(e),
+                    }
+                } else {
+                    e
+                });
+            }
+        }
+    }
+}
 
 /// Whether a device executes transfers inline or hands them to per-disk
 /// worker threads.
@@ -160,18 +251,36 @@ pub struct IoScheduler {
     lanes: Vec<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<IoStats>,
+    /// First error of a write whose ticket was already dropped — a failed
+    /// write-behind flush nobody was waiting on.  Surfaced by
+    /// [`take_dropped_error`](Self::take_dropped_error) or logged at drop.
+    dropped_error: Arc<Mutex<Option<PdmError>>>,
 }
 
 impl IoScheduler {
     /// Spawn one worker thread per device in `devices`; lane indices follow
     /// the slice order.  Queue-depth changes are recorded into `stats`.
+    /// Transfers are not retried; see [`with_retry`](Self::with_retry).
     pub fn new(devices: &[Arc<dyn BlockDevice>], stats: Arc<IoStats>) -> Self {
+        Self::with_retry(devices, stats, RetryPolicy::none())
+    }
+
+    /// Like [`new`](Self::new), but each worker runs its transfers under
+    /// `retry`: transient device errors are re-attempted in-lane (FIFO order
+    /// is preserved — the job simply executes again before the next one).
+    pub fn with_retry(
+        devices: &[Arc<dyn BlockDevice>],
+        stats: Arc<IoStats>,
+        retry: RetryPolicy,
+    ) -> Self {
+        let dropped_error: Arc<Mutex<Option<PdmError>>> = Arc::new(Mutex::new(None));
         let mut lanes = Vec::with_capacity(devices.len());
         let mut workers = Vec::with_capacity(devices.len());
         for (lane, device) in devices.iter().enumerate() {
             let (tx, rx) = channel::<Job>();
             let device = Arc::clone(device);
             let lane_stats = Arc::clone(&stats);
+            let dropped = Arc::clone(&dropped_error);
             let handle = std::thread::Builder::new()
                 .name(format!("pdm-io-{lane}"))
                 .spawn(move || {
@@ -182,15 +291,29 @@ impl IoScheduler {
                         reply,
                     }) = rx.recv()
                     {
-                        let res = if write {
-                            device.write_block(id, &buf).map(|()| buf)
-                        } else {
-                            device.read_block(id, &mut buf).map(|()| buf)
-                        };
+                        let res = run_with_retry(&retry, &lane_stats, lane, id, || {
+                            if write {
+                                device.write_block(id, &buf)
+                            } else {
+                                device.read_block(id, &mut buf)
+                            }
+                        })
+                        .map(|()| buf);
                         lane_stats.record_complete(lane);
-                        // The submitter may have dropped its ticket; that is
-                        // not an error (the transfer still happened).
-                        let _ = reply.send(res);
+                        if let Err(SendError(Err(e))) = reply.send(res) {
+                            // The submitter dropped its ticket.  For a
+                            // successful transfer that is fine (it still
+                            // happened); a *failed* write would vanish
+                            // silently, so record it and keep the first such
+                            // error for shutdown reporting.
+                            if write {
+                                lane_stats.record_dropped_write_error();
+                                let mut slot = dropped.lock();
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                            }
+                        }
                     }
                 })
                 .expect("spawn I/O worker thread");
@@ -201,7 +324,16 @@ impl IoScheduler {
             lanes,
             workers,
             stats,
+            dropped_error,
         }
+    }
+
+    /// Take the first error (if any) of a write whose completion ticket had
+    /// already been dropped.  Callers that fire-and-forget write-behind
+    /// should poll this before declaring data durable; anything left at drop
+    /// time is logged to stderr.
+    pub fn take_dropped_error(&self) -> Option<PdmError> {
+        self.dropped_error.lock().take()
     }
 
     /// Number of lanes (member disks).
@@ -237,14 +369,19 @@ impl IoScheduler {
     ) -> Receiver<Result<Box<[u8]>>> {
         self.stats.record_submit(lane);
         let (reply, rx) = channel();
-        self.lanes[lane]
-            .send(Job {
-                write,
-                id,
-                buf,
-                reply,
-            })
-            .expect("I/O worker thread alive");
+        let sent = self.lanes[lane].send(Job {
+            write,
+            id,
+            buf,
+            reply,
+        });
+        if sent.is_err() {
+            // The worker is gone (it panicked or was torn down).  Dropping
+            // the job closed its reply channel, so the caller's `wait` gets
+            // a worker-died error instead of this thread panicking; undo the
+            // submit so the lane's queue depth stays balanced.
+            self.stats.record_complete(lane);
+        }
         rx
     }
 }
@@ -256,6 +393,12 @@ impl Drop for IoScheduler {
         self.lanes.clear();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        // A failed write-behind flush whose ticket was dropped must not
+        // vanish: it is in `IoStats::dropped_write_errors`, and the first
+        // one is reported here for anyone not watching the counter.
+        if let Some(e) = self.dropped_error.lock().take() {
+            eprintln!("pdm: IoScheduler dropped at least one failed write whose ticket was never awaited: {e}");
         }
     }
 }
@@ -380,5 +523,132 @@ mod tests {
         let mut out = [0u8; 8];
         devices[0].read_block(id, &mut out).unwrap();
         assert_eq!(out, [0x5A; 8]);
+    }
+
+    #[test]
+    fn retry_policy_cures_transient_faults_in_lane() {
+        use crate::fault::{FaultDisk, FaultPlan};
+        let stats = IoStats::new(1, 16);
+        let ram = Arc::new(RamDisk::with_stats(16, Arc::clone(&stats), 0));
+        let id = ram.allocate().unwrap();
+        ram.write_block(id, &[0xABu8; 16]).unwrap();
+        let faulty = FaultDisk::wrap(ram, FaultPlan::new(11).with_transient(1000, 2));
+        let devices = vec![faulty as Arc<dyn BlockDevice>];
+        let sched = IoScheduler::with_retry(
+            &devices,
+            Arc::clone(&stats),
+            RetryPolicy::new(3, Duration::ZERO),
+        );
+        let out = sched
+            .submit_read(0, id, vec![0u8; 16].into_boxed_slice())
+            .wait()
+            .unwrap();
+        assert_eq!(&*out, &[0xABu8; 16]);
+        let snap = stats.snapshot();
+        assert_eq!(snap.retries(), 2, "two failed attempts were retried");
+        assert_eq!(snap.faults_injected(), 2);
+        assert_eq!(snap.reads(), 1, "failed attempts count no transfers");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_wrapped_error() {
+        use crate::fault::{FaultDisk, FaultPlan};
+        let stats = IoStats::new(1, 16);
+        let ram = Arc::new(RamDisk::with_stats(16, Arc::clone(&stats), 0));
+        let id = ram.allocate().unwrap();
+        let faulty = FaultDisk::wrap(ram, FaultPlan::new(13).with_transient(1000, 10));
+        let devices = vec![faulty as Arc<dyn BlockDevice>];
+        let sched = IoScheduler::with_retry(
+            &devices,
+            Arc::clone(&stats),
+            RetryPolicy::new(2, Duration::ZERO),
+        );
+        let res = sched
+            .submit_read(0, id, vec![0u8; 16].into_boxed_slice())
+            .wait();
+        match res {
+            Err(PdmError::RetriesExhausted {
+                disk,
+                block,
+                attempts,
+                last,
+            }) => {
+                assert_eq!(disk, 0);
+                assert_eq!(block, id);
+                assert_eq!(attempts, 2);
+                assert!(last.is_transient());
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        assert_eq!(stats.snapshot().retries(), 1);
+    }
+
+    #[test]
+    fn dropped_failed_write_is_recorded_and_reported() {
+        // A device whose writes block on a gate and then fail, so the ticket
+        // is provably dropped before the worker completes the job.
+        struct FailWrites {
+            inner: Arc<RamDisk>,
+            gate: std::sync::Mutex<Receiver<()>>,
+        }
+        impl BlockDevice for FailWrites {
+            fn block_size(&self) -> usize {
+                self.inner.block_size()
+            }
+            fn allocated_blocks(&self) -> u64 {
+                self.inner.allocated_blocks()
+            }
+            fn allocate(&self) -> Result<BlockId> {
+                self.inner.allocate()
+            }
+            fn free(&self, id: BlockId) -> Result<()> {
+                self.inner.free(id)
+            }
+            fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<()> {
+                self.inner.read_block(id, buf)
+            }
+            fn write_block(&self, _id: BlockId, _buf: &[u8]) -> Result<()> {
+                self.gate.lock().unwrap().recv().expect("gate open");
+                Err(PdmError::Io(std::io::Error::other("flush failed")))
+            }
+            fn stats(&self) -> Arc<IoStats> {
+                self.inner.stats()
+            }
+        }
+
+        let stats = IoStats::new(1, 8);
+        let ram = Arc::new(RamDisk::with_stats(8, Arc::clone(&stats), 0));
+        let id = ram.allocate().unwrap();
+        ram.write_block(id, &[3u8; 8]).unwrap();
+        let (open, gate) = channel();
+        let devices = vec![Arc::new(FailWrites {
+            inner: ram,
+            gate: std::sync::Mutex::new(gate),
+        }) as Arc<dyn BlockDevice>];
+        let sched = IoScheduler::new(&devices, Arc::clone(&stats));
+
+        let ticket = sched.submit_write(0, id, vec![9u8; 8].into_boxed_slice());
+        drop(ticket); // nobody will hear about the failure...
+        open.send(()).unwrap();
+        // A read queued behind the write proves the lane drained it.
+        let out = sched
+            .submit_read(0, id, vec![0u8; 8].into_boxed_slice())
+            .wait()
+            .unwrap();
+        assert_eq!(&*out, &[3u8; 8]);
+        assert_eq!(stats.snapshot().dropped_write_errors(), 1);
+        let e = sched.take_dropped_error().expect("error was kept");
+        assert!(e.to_string().contains("flush failed"));
+        assert!(sched.take_dropped_error().is_none(), "taken exactly once");
+    }
+
+    #[test]
+    fn dropped_successful_write_records_nothing() {
+        let (devices, stats) = lanes(1, 8);
+        let id = devices[0].allocate().unwrap();
+        let sched = IoScheduler::new(&devices, Arc::clone(&stats));
+        drop(sched.submit_write(0, id, vec![1u8; 8].into_boxed_slice()));
+        drop(sched); // drains the lane
+        assert_eq!(stats.snapshot().dropped_write_errors(), 0);
     }
 }

@@ -35,6 +35,19 @@ pub struct IoStats {
     forecast_issued: AtomicU64,
     /// Demand fills satisfied by a block the forecaster had put in flight.
     forecast_hits: AtomicU64,
+    /// Transfers re-executed by a [`RetryPolicy`](crate::RetryPolicy) after a
+    /// transient device error.  Failed attempts are not counted as block
+    /// transfers (the block never moved), so with retries *off* this counter
+    /// stays 0 and every read/write count is identical to a fault-free run.
+    retries: AtomicU64,
+    /// Faults injected by a [`FaultDisk`](crate::FaultDisk) wrapping one of
+    /// the member devices (transient, permanent, torn, or latency faults that
+    /// produced an error).
+    faults_injected: AtomicU64,
+    /// Write errors whose completion ticket had already been dropped — the
+    /// failure of a write-behind flush nobody was waiting on.  Surfaced again
+    /// by [`IoScheduler`](crate::IoScheduler) at shutdown.
+    dropped_write_errors: AtomicU64,
     block_bytes: usize,
 }
 
@@ -53,6 +66,9 @@ impl IoStats {
             prefetch_wasted: AtomicU64::new(0),
             forecast_issued: AtomicU64::new(0),
             forecast_hits: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+            dropped_write_errors: AtomicU64::new(0),
             block_bytes,
         })
     }
@@ -117,6 +133,26 @@ impl IoStats {
         self.forecast_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one retried transfer (a [`RetryPolicy`](crate::RetryPolicy)
+    /// re-attempt after a transient error).
+    #[inline]
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one injected fault (a [`FaultDisk`](crate::FaultDisk) made a
+    /// transfer fail or corrupted a write).
+    #[inline]
+    pub fn record_fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one write error whose ticket had already been dropped.
+    #[inline]
+    pub fn record_dropped_write_error(&self) {
+        self.dropped_write_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Capture the current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -140,6 +176,9 @@ impl IoStats {
             prefetch_wasted: self.prefetch_wasted.load(Ordering::Relaxed),
             forecast_issued: self.forecast_issued.load(Ordering::Relaxed),
             forecast_hits: self.forecast_hits.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            dropped_write_errors: self.dropped_write_errors.load(Ordering::Relaxed),
             block_bytes: self.block_bytes,
         }
     }
@@ -161,6 +200,9 @@ impl IoStats {
         self.prefetch_wasted.store(0, Ordering::Relaxed);
         self.forecast_issued.store(0, Ordering::Relaxed);
         self.forecast_hits.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.faults_injected.store(0, Ordering::Relaxed);
+        self.dropped_write_errors.store(0, Ordering::Relaxed);
     }
 }
 
@@ -175,6 +217,9 @@ pub struct IoSnapshot {
     prefetch_wasted: u64,
     forecast_issued: u64,
     forecast_hits: u64,
+    retries: u64,
+    faults_injected: u64,
+    dropped_write_errors: u64,
     block_bytes: usize,
 }
 
@@ -262,6 +307,25 @@ impl IoSnapshot {
         self.forecast_hits
     }
 
+    /// Transfers re-executed after a transient device error.  Always 0 with
+    /// retries disabled; under faults with a [`RetryPolicy`](crate::RetryPolicy)
+    /// enabled this is exactly the count deviation a cured fault costs
+    /// (failed attempts themselves move no block and are not counted).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Faults injected by [`FaultDisk`](crate::FaultDisk) wrappers.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// Write errors whose completion ticket was already dropped (failed
+    /// write-behind flushes nobody waited on).
+    pub fn dropped_write_errors(&self) -> u64 {
+        self.dropped_write_errors
+    }
+
     /// Element-wise difference `self - earlier`; panics if `earlier` has a
     /// different disk count or any counter exceeds `self`'s.
     ///
@@ -288,6 +352,11 @@ impl IoSnapshot {
             prefetch_wasted: self.prefetch_wasted.saturating_sub(earlier.prefetch_wasted),
             forecast_issued: self.forecast_issued.saturating_sub(earlier.forecast_issued),
             forecast_hits: self.forecast_hits.saturating_sub(earlier.forecast_hits),
+            retries: self.retries.saturating_sub(earlier.retries),
+            faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
+            dropped_write_errors: self
+                .dropped_write_errors
+                .saturating_sub(earlier.dropped_write_errors),
             block_bytes: self.block_bytes,
         }
     }
@@ -377,6 +446,34 @@ mod tests {
         assert_eq!(zero.prefetched(), 0);
         assert_eq!(zero.forecast_issued(), 0);
         assert_eq!(zero.forecast_hits(), 0);
+    }
+
+    #[test]
+    fn fault_and_retry_counters_snapshot_subtract_and_reset() {
+        let stats = IoStats::new(2, 64);
+        let before = stats.snapshot();
+        assert_eq!(before.retries(), 0);
+        assert_eq!(before.faults_injected(), 0);
+        assert_eq!(before.dropped_write_errors(), 0);
+
+        stats.record_fault_injected();
+        stats.record_fault_injected();
+        stats.record_fault_injected();
+        stats.record_retry();
+        stats.record_retry();
+        stats.record_dropped_write_error();
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.faults_injected(), 3);
+        assert_eq!(delta.retries(), 2);
+        assert_eq!(delta.dropped_write_errors(), 1);
+        // The fault counters are global, not per-lane: reads/writes untouched.
+        assert_eq!(delta.total(), 0);
+
+        stats.reset();
+        let zero = stats.snapshot();
+        assert_eq!(zero.retries(), 0);
+        assert_eq!(zero.faults_injected(), 0);
+        assert_eq!(zero.dropped_write_errors(), 0);
     }
 
     #[test]
