@@ -1,12 +1,18 @@
-//! Wall-clock benchmark: synchronous vs. overlapped I/O for external merge
-//! sort on file-backed disk arrays.
+//! Wall-clock benchmark: synchronous vs. overlapped I/O, striped vs.
+//! independent placement, for external merge sort on file-backed disk
+//! arrays.
 //!
-//! For each `D ∈ {1, 2, 4}` this sorts the same data on a striped `D`-disk
-//! file array — once with the default synchronous transfers, once with
-//! `IoMode::Overlapped` workers plus a read-ahead/write-behind depth of 2 —
-//! asserting that both executions perform **identical per-disk block
-//! transfers** (the model counts are mode-invariant) and reporting how much
-//! wall-clock time the real parallelism recovers.
+//! For each `D ∈ {1, 2, 4}` this sorts the same data on a `D`-disk file
+//! array four ways — {striped, independent} placement × {synchronous,
+//! overlapped} I/O — asserting that I/O mode never changes the per-disk
+//! block transfers (the model counts are mode-invariant) and measuring what
+//! placement does to them.  Striping merges with logical blocks of `D·B`,
+//! so the fan-in drops from `Θ(M/B)` to `Θ(M/(DB))` and extra merge passes
+//! appear; independent placement keeps the physical block, recovering the
+//! full `log_{M/B}` base of the sorting bound (experiment F17).  The
+//! regression guard below pins the recovery: independent-placement sorts at
+//! D ∈ {2, 4} must finish in a single merge pass with exactly the D=1
+//! transfer counts.
 //!
 //! Each member disk carries a simulated per-transfer **service time**
 //! ([`DiskArray::new_file_with_service`]): benchmark files this small live
@@ -22,15 +28,17 @@
 //! must move exactly the blocks the loser tree does), then the median wall
 //! time of `TRIALS` measured passes is reported, along with the per-phase
 //! breakdown (run formation vs. merge, CPU vs. I/O wait) and the forecast
-//! counters of the median trial.  Results go to stdout as a markdown table
-//! and to `BENCH_sort.json`.
+//! counters — split per lane — of the median trial.  Results go to stdout
+//! as a markdown table and to `BENCH_sort.json`.
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_sort [-- N] [-- --smoke]
 //! ```
 //!
 //! `--smoke` runs a small-N, fewer-trial variant that checks every
-//! invariant but writes no JSON — the CI configuration.
+//! invariant (including the single-pass regression guard) — the CI
+//! configuration.  It writes BENCH_sort.json too, so CI can archive the
+//! bench trajectory as a workflow artifact.
 
 use std::time::Instant;
 
@@ -46,8 +54,11 @@ const MEM_RECORDS: usize = 128 * 1024;
 /// Read-ahead / write-behind depth for the overlapped runs.
 const DEPTH: usize = 2;
 /// Simulated device service time per block transfer, in microseconds.
-/// 32 KiB / 200 µs ≈ 160 MB/s per disk — a fast HDD / modest SSD.
-const SERVICE_US: u64 = 200;
+/// 32 KiB / 400 µs ≈ 80 MB/s per disk — a commodity HDD.  Chosen so the
+/// device side binds: at 200 µs the single-threaded merge's CPU time
+/// (~0.3 s at N = 2M) is on par with striped D=4's entire per-disk I/O
+/// floor, and the placement comparison measures the CPU, not the disks.
+const SERVICE_US: u64 = 400;
 /// Measured passes per configuration (after one warmup).
 const TRIALS: usize = 5;
 const SMOKE_TRIALS: usize = 3;
@@ -55,17 +66,23 @@ const SMOKE_N: u64 = 300_000;
 
 struct RunResult {
     d: usize,
+    placement: &'static str,
     mode: &'static str,
+    /// Fan-in of the merge at this placement's logical block size.
+    fan_in: usize,
     /// Median wall time over the measured trials.
     secs: f64,
     reads: u64,
     writes: u64,
     parallel_time: u64,
     max_queue_depth: u64,
+    queue_depth_hwm_by_lane: Vec<u64>,
     prefetched: u64,
     prefetch_hits: u64,
     forecast_issued: u64,
     forecast_hits: u64,
+    forecast_issued_by_lane: Vec<u64>,
+    forecast_hits_by_lane: Vec<u64>,
     run_formation_secs: f64,
     run_formation_io_wait_secs: f64,
     merge_secs: f64,
@@ -80,23 +97,33 @@ fn tmpdir(tag: &str) -> std::path::PathBuf {
     p
 }
 
-fn run_one(d: usize, mode: IoMode, n: u64, trials: usize) -> RunResult {
+fn placement_label(placement: Placement) -> &'static str {
+    match placement {
+        Placement::Striped => "striped",
+        Placement::Independent => "independent",
+    }
+}
+
+fn run_one(d: usize, placement: Placement, mode: IoMode, n: u64, trials: usize) -> RunResult {
     let label = match mode {
         IoMode::Synchronous => "sync",
         IoMode::Overlapped => "overlapped",
     };
-    let dir = tmpdir(&format!("{label}-d{d}"));
+    let pl_label = placement_label(placement);
+    let dir = tmpdir(&format!("{pl_label}-{label}-d{d}"));
     let arr = DiskArray::new_file_with_service(
         &dir,
         d,
         PHYS_BLOCK,
-        Placement::Striped,
+        placement,
         mode,
         std::time::Duration::from_micros(SERVICE_US),
     )
     .expect("create disk array");
     let device = arr.clone() as SharedDevice;
 
+    // Same seed per D regardless of placement/mode: all four configurations
+    // of one D sort identical data.
     let mut rng = StdRng::seed_from_u64(n ^ d as u64);
     let data: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
     let input = ExtVec::from_slice(device.clone(), &data).expect("write input");
@@ -106,6 +133,7 @@ fn run_one(d: usize, mode: IoMode, n: u64, trials: usize) -> RunResult {
         IoMode::Overlapped => OverlapConfig::symmetric(DEPTH),
     };
     let cfg = SortConfig::new(MEM_RECORDS).with_overlap(overlap);
+    let fan_in = cfg.effective_fan_in(input.per_block());
 
     // Warmup pass (cold caches; discarded from timing).  It runs the
     // binary-heap kernel so the timed loser-tree trials below can be checked
@@ -138,7 +166,7 @@ fn run_one(d: usize, mode: IoMode, n: u64, trials: usize) -> RunResult {
         assert_eq!(
             (heap_delta.reads(), heap_delta.writes()),
             (delta.reads(), delta.writes()),
-            "D={d} {label} trial {trial}: kernel or trial changed the transfer counts"
+            "D={d} {pl_label} {label} trial {trial}: kernel or trial changed the transfer counts"
         );
         assert_eq!(heap_delta.parallel_time(), delta.parallel_time());
         measured.push((secs, metrics, delta));
@@ -155,16 +183,21 @@ fn run_one(d: usize, mode: IoMode, n: u64, trials: usize) -> RunResult {
 
     RunResult {
         d,
+        placement: pl_label,
         mode: label,
+        fan_in,
         secs: *secs,
         reads: delta.reads(),
         writes: delta.writes(),
         parallel_time: delta.parallel_time(),
         max_queue_depth: snap.max_queue_depth(),
+        queue_depth_hwm_by_lane: (0..d).map(|i| snap.queue_depth_hwm(i)).collect(),
         prefetched: delta.prefetched(),
         prefetch_hits: delta.prefetch_hits(),
         forecast_issued: delta.forecast_issued(),
         forecast_hits: delta.forecast_hits(),
+        forecast_issued_by_lane: (0..d).map(|i| delta.forecast_issued_on(i)).collect(),
+        forecast_hits_by_lane: (0..d).map(|i| delta.forecast_hits_on(i)).collect(),
         run_formation_secs: metrics.run_formation_secs,
         run_formation_io_wait_secs: metrics.run_formation_io_wait_secs,
         merge_secs: metrics.merge_secs,
@@ -172,6 +205,23 @@ fn run_one(d: usize, mode: IoMode, n: u64, trials: usize) -> RunResult {
         merge_passes: metrics.merge_passes,
         trials,
     }
+}
+
+fn join_u64(v: &[u64]) -> String {
+    v.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn json_u64_array(v: &[u64]) -> String {
+    format!(
+        "[{}]",
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
 }
 
 fn main() {
@@ -187,7 +237,7 @@ fn main() {
     let n = n_arg.unwrap_or(if smoke { SMOKE_N } else { 2_000_000 });
     let trials = if smoke { SMOKE_TRIALS } else { TRIALS };
 
-    println!("# Overlapped vs. synchronous external sort (striped FileDisk array)");
+    println!("# External sort: striped vs. independent placement, sync vs. overlapped I/O");
     println!(
         "\nN = {n} u64 records, M = {MEM_RECORDS} records, physical block = {PHYS_BLOCK} B, \
          overlap depth = {DEPTH}, device service time = {SERVICE_US} µs/transfer, \
@@ -196,38 +246,91 @@ fn main() {
 
     let mut results: Vec<RunResult> = Vec::new();
     for d in [1usize, 2, 4] {
-        let sync = run_one(d, IoMode::Synchronous, n, trials);
-        let over = run_one(d, IoMode::Overlapped, n, trials);
-        // The hard invariant of the scheduler: mode never changes the model
-        // counts, only when the transfers run.
-        assert_eq!(
-            (sync.reads, sync.writes),
-            (over.reads, over.writes),
-            "I/O counts diverged between modes at D={d}"
-        );
-        assert_eq!(
-            sync.parallel_time, over.parallel_time,
-            "parallel time diverged at D={d}"
-        );
-        assert!(
-            over.forecast_hits > 0,
-            "forecasting inactive in overlapped run at D={d}"
-        );
-        results.push(sync);
-        results.push(over);
+        for placement in [Placement::Striped, Placement::Independent] {
+            let sync = run_one(d, placement, IoMode::Synchronous, n, trials);
+            let over = run_one(d, placement, IoMode::Overlapped, n, trials);
+            // The hard invariant of the scheduler: mode never changes the
+            // model counts, only when the transfers run.
+            assert_eq!(
+                (sync.reads, sync.writes),
+                (over.reads, over.writes),
+                "I/O counts diverged between modes at D={d} {}",
+                sync.placement
+            );
+            assert_eq!(
+                sync.parallel_time, over.parallel_time,
+                "parallel time diverged at D={d} {}",
+                sync.placement
+            );
+            assert!(
+                over.forecast_hits > 0,
+                "forecasting inactive in overlapped run at D={d} {}",
+                sync.placement
+            );
+            results.push(sync);
+            results.push(over);
+        }
     }
 
-    println!("| D | mode | wall (s) | runform (s) | merge (s) | io-wait (s) | passes | reads | writes | prefetched | hits | fc issued | fc hits | speedup |");
-    println!("|---|------|----------|-------------|-----------|-------------|--------|-------|--------|------------|------|-----------|---------|---------|");
+    // Regression guard — the tentpole's bound-level claim.  Independent
+    // placement keeps the logical block at B, so the merge fan-in stays
+    // Θ(M/B) at any D: the sort must finish in ONE merge pass with exactly
+    // the transfer counts of the single-disk run.  Striping, with its D·B
+    // logical block, cannot do this once D·B shrinks the fan-in enough.
+    let indep_d1 = results
+        .iter()
+        .find(|r| r.d == 1 && r.placement == "independent" && r.mode == "overlapped")
+        .expect("D=1 independent overlapped run");
+    for d in [2usize, 4] {
+        for mode in ["sync", "overlapped"] {
+            let r = results
+                .iter()
+                .find(|r| r.d == d && r.placement == "independent" && r.mode == mode)
+                .expect("independent run present");
+            assert_eq!(
+                r.merge_passes, 1,
+                "independent D={d} {mode}: expected a single merge pass, got {}",
+                r.merge_passes
+            );
+            assert_eq!(
+                (r.reads, r.writes),
+                (indep_d1.reads, indep_d1.writes),
+                "independent D={d} {mode}: transfer counts differ from the D=1 run"
+            );
+        }
+    }
+    // Per-lane forecast accounting must be live on every multi-disk
+    // independent overlapped run: each lane issues and hits.
+    for r in results
+        .iter()
+        .filter(|r| r.d > 1 && r.placement == "independent" && r.mode == "overlapped")
+    {
+        assert!(
+            r.forecast_issued_by_lane.iter().all(|&c| c > 0),
+            "D={} independent: a lane saw no forecast-issued prefetches: {:?}",
+            r.d,
+            r.forecast_issued_by_lane
+        );
+        assert!(
+            r.forecast_hits_by_lane.iter().all(|&c| c > 0),
+            "D={} independent: a lane saw no forecast hits: {:?}",
+            r.d,
+            r.forecast_hits_by_lane
+        );
+    }
+    println!("| D | placement | mode | fan-in | wall (s) | runform (s) | merge (s) | io-wait (s) | passes | reads | writes | prefetched | hits | fc issued | fc hits | fc issued/lane | depth hwm/lane | speedup |");
+    println!("|---|-----------|------|--------|----------|-------------|-----------|-------------|--------|-------|--------|------------|------|-----------|---------|----------------|----------------|---------|");
     let mut json_rows = Vec::new();
     for pair in results.chunks(2) {
         let sync = &pair[0];
         for r in pair {
             let speedup = sync.secs / r.secs;
             println!(
-                "| {} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {} | {} | {} | {} | {} | {} | {} | {:.2}x |",
+                "| {} | {} | {} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.2}x |",
                 r.d,
+                r.placement,
                 r.mode,
+                r.fan_in,
                 r.secs,
                 r.run_formation_secs,
                 r.merge_secs,
@@ -239,27 +342,37 @@ fn main() {
                 r.prefetch_hits,
                 r.forecast_issued,
                 r.forecast_hits,
+                join_u64(&r.forecast_issued_by_lane),
+                join_u64(&r.queue_depth_hwm_by_lane),
                 speedup
             );
             json_rows.push(format!(
-                "    {{\"d\": {}, \"mode\": \"{}\", \"wall_seconds\": {:.6}, \"reads\": {}, \
+                "    {{\"d\": {}, \"placement\": \"{}\", \"mode\": \"{}\", \"fan_in\": {}, \
+                 \"wall_seconds\": {:.6}, \"reads\": {}, \
                  \"writes\": {}, \"parallel_time\": {}, \"max_queue_depth\": {}, \
+                 \"queue_depth_hwm_by_lane\": {}, \
                  \"prefetched\": {}, \"prefetch_hits\": {}, \"forecast_issued\": {}, \
-                 \"forecast_hits\": {}, \"run_formation_seconds\": {:.6}, \
+                 \"forecast_hits\": {}, \"forecast_issued_by_lane\": {}, \
+                 \"forecast_hits_by_lane\": {}, \"run_formation_seconds\": {:.6}, \
                  \"run_formation_io_wait_seconds\": {:.6}, \"merge_seconds\": {:.6}, \
                  \"merge_io_wait_seconds\": {:.6}, \"merge_passes\": {}, \"trials\": {}, \
                  \"speedup_vs_sync\": {:.4}}}",
                 r.d,
+                r.placement,
                 r.mode,
+                r.fan_in,
                 r.secs,
                 r.reads,
                 r.writes,
                 r.parallel_time,
                 r.max_queue_depth,
+                json_u64_array(&r.queue_depth_hwm_by_lane),
                 r.prefetched,
                 r.prefetch_hits,
                 r.forecast_issued,
                 r.forecast_hits,
+                json_u64_array(&r.forecast_issued_by_lane),
+                json_u64_array(&r.forecast_hits_by_lane),
                 r.run_formation_secs,
                 r.run_formation_io_wait_secs,
                 r.merge_secs,
@@ -271,35 +384,65 @@ fn main() {
         }
     }
 
-    if smoke {
-        println!("\nsmoke mode: invariants checked, no BENCH_sort.json written");
-    } else {
-        let json = format!(
-            "{{\n  \"benchmark\": \"overlapped_vs_sync_sort\",\n  \"n\": {n},\n  \
-             \"mem_records\": {MEM_RECORDS},\n  \"physical_block_bytes\": {PHYS_BLOCK},\n  \
-             \"overlap_depth\": {DEPTH},\n  \"placement\": \"striped\",\n  \
-             \"service_time_us\": {SERVICE_US},\n  \
-             \"warmup\": true,\n  \"trials\": {trials},\n  \"results\": [\n{}\n  ]\n}}\n",
-            json_rows.join(",\n")
-        );
-        std::fs::write("BENCH_sort.json", &json).expect("write BENCH_sort.json");
-        println!("\nwrote BENCH_sort.json");
-    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"sort_placement_x_io_mode\",\n  \"n\": {n},\n  \
+         \"mem_records\": {MEM_RECORDS},\n  \"physical_block_bytes\": {PHYS_BLOCK},\n  \
+         \"overlap_depth\": {DEPTH},\n  \
+         \"service_time_us\": {SERVICE_US},\n  \"smoke\": {smoke},\n  \
+         \"warmup\": true,\n  \"trials\": {trials},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_sort.json", &json).expect("write BENCH_sort.json");
+    println!("\nwrote BENCH_sort.json");
 
-    // The headline acceptance check: with 4 disks the overlapped pipeline
-    // must beat the synchronous one.
-    let sync4 = results
+    // The headline comparison: at D=4, independent placement vs. the
+    // striped baseline, both overlapped.
+    let striped4 = results
         .iter()
-        .find(|r| r.d == 4 && r.mode == "sync")
+        .find(|r| r.d == 4 && r.placement == "striped" && r.mode == "overlapped")
         .unwrap();
-    let over4 = results
+    let indep4 = results
         .iter()
-        .find(|r| r.d == 4 && r.mode == "overlapped")
+        .find(|r| r.d == 4 && r.placement == "independent" && r.mode == "overlapped")
         .unwrap();
     println!(
-        "\nD=4: sync {:.3}s vs overlapped {:.3}s ({:.2}x)",
-        sync4.secs,
-        over4.secs,
-        sync4.secs / over4.secs
+        "\nD=4 overlapped: striped {:.3}s ({} passes, {} reads) vs independent {:.3}s ({} pass, {} reads) — {:.2}x",
+        striped4.secs,
+        striped4.merge_passes,
+        striped4.reads,
+        indep4.secs,
+        indep4.merge_passes,
+        indep4.reads,
+        striped4.secs / indep4.secs
     );
+
+    if !smoke {
+        // Wall-clock payoff (full runs only; at smoke N even striping fits
+        // in one pass, so there is no penalty to erase and the comparison
+        // is pure noise): erasing the extra striped merge pass must show up
+        // as real time at D > 1.  Only asserted where striping actually
+        // pays that pass — at a caller-chosen N small enough that striped's
+        // reduced fan-in still covers the runs, the placements do the same
+        // work and noise decides the sign.  Checked last, after the table
+        // and BENCH_sort.json are out, so a failure still leaves the full
+        // breakdown for diagnosis.
+        for d in [2usize, 4] {
+            let striped = results
+                .iter()
+                .find(|r| r.d == d && r.placement == "striped" && r.mode == "overlapped")
+                .unwrap();
+            let indep = results
+                .iter()
+                .find(|r| r.d == d && r.placement == "independent" && r.mode == "overlapped")
+                .unwrap();
+            if striped.merge_passes > indep.merge_passes {
+                assert!(
+                    indep.secs < striped.secs,
+                    "independent D={d} ({:.3}s) did not beat striped ({:.3}s)",
+                    indep.secs,
+                    striped.secs
+                );
+            }
+        }
+    }
 }

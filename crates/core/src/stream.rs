@@ -343,6 +343,39 @@ impl<'a, R: Record> ExtVecReader<'a, R> {
         }
     }
 
+    /// The I/O lane that would serve the next prefetched block, or `None`
+    /// when every block has been submitted *or* the block spans all lanes
+    /// (striped placement).  Pairs with [`next_fetch_head`] so a forecaster
+    /// can cap outstanding reads per disk, not just per array.
+    ///
+    /// [`next_fetch_head`]: Self::next_fetch_head
+    pub fn next_fetch_lane(&self) -> Option<usize> {
+        if self.next_fetch < self.vec.num_blocks() {
+            self.vec
+                .device()
+                .lane_of(self.vec.block_id(self.next_fetch))
+        } else {
+            None
+        }
+    }
+
+    /// Add this reader's in-flight prefetches to a per-lane tally.  Striped
+    /// blocks (no owning lane) count against lane 0; lane indexes are taken
+    /// modulo `counts.len()` so a short tally slice cannot panic.
+    pub fn add_in_flight_per_lane(&self, counts: &mut [usize]) {
+        if counts.is_empty() {
+            return;
+        }
+        for (bi, _) in &self.pending {
+            let lane = self
+                .vec
+                .device()
+                .lane_of(self.vec.block_id(*bi))
+                .unwrap_or(0);
+            counts[lane % counts.len()] += 1;
+        }
+    }
+
     /// (Forecast mode) Submit the single next sequential block, if capacity
     /// allows and unfetched blocks remain.  Returns whether a read was
     /// submitted.  Only meaningful on a reader built by
@@ -360,13 +393,12 @@ impl<'a, R: Record> ExtVecReader<'a, R> {
             .spare
             .pop()
             .unwrap_or_else(|| vec![0u8; self.vec.device().block_size()].into_boxed_slice());
-        let ticket = self
-            .vec
-            .device()
-            .submit_read(self.vec.block_id(self.next_fetch), buf);
-        let stats = self.vec.device().stats();
+        let id = self.vec.block_id(self.next_fetch);
+        let device = self.vec.device();
+        let ticket = device.submit_read(id, buf);
+        let stats = device.stats();
         stats.record_prefetch();
-        stats.record_forecast_issued();
+        stats.record_forecast_issued(device.lane_of(id).unwrap_or(0));
         self.pending.push_back((self.next_fetch, ticket));
         self.next_fetch += 1;
         true
@@ -437,7 +469,12 @@ impl<'a, R: Record> ExtVecReader<'a, R> {
                         // flight when demanded.  Its buffer returns to the
                         // shared pool by being dropped (per-reader spare
                         // hoards would let total buffers exceed the pool).
-                        stats.record_forecast_hit();
+                        let lane = self
+                            .vec
+                            .device()
+                            .lane_of(self.vec.block_id(bi))
+                            .unwrap_or(0);
+                        stats.record_forecast_hit(lane);
                     } else {
                         self.spare.push(bytes);
                     }

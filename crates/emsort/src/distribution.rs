@@ -38,17 +38,45 @@ pub fn distribution_sort<R: Record + Ord>(
 /// are reproducible.  Intermediate buckets are freed as soon as they have
 /// been partitioned, so peak disk usage stays `O(N/B)` blocks beyond the
 /// input.
+///
+/// The [`OverlapConfig`](crate::OverlapConfig) on `cfg` applies here exactly
+/// as it does to merge sort: the partition reader prefetches ahead and the
+/// zone writers retire blocks behind, charged as budget *headroom* beyond
+/// `M` so pivot counts, recursion structure, and transfer counts are
+/// byte-identical to the synchronous pipeline.  On an independent-placement
+/// [`DiskArray`](pdm::DiskArray), bucket blocks round-robin across lanes as
+/// they are allocated, so zone writes stay D-parallel.
 pub fn distribution_sort_by<R, F>(input: &ExtVec<R>, cfg: &SortConfig, less: F) -> Result<ExtVec<R>>
 where
     R: Record,
     F: Fn(&R, &R) -> bool + Copy,
 {
+    let b = input.per_block();
+    // Overlap depths are per disk: streams on an independent-placement
+    // array deepen their queues by the lane count (see
+    // [`OverlapConfig::for_lanes`](crate::OverlapConfig::for_lanes)) so the
+    // partition reader and zone writers keep every member disk busy.
+    let ov = cfg.overlap.for_lanes(input.device().stream_lanes());
+    let cfg = &cfg.with_overlap(ov);
+    // Overlap headroom beyond M: read-ahead for the one partition reader
+    // plus write-behind for every zone writer a level can hold (2P+1 zones
+    // and the output stream).  Partition math below is computed from
+    // `mem_records` alone, never from the inflated budget capacity, so the
+    // bucket tree — and with it every transfer — is identical with overlap
+    // on or off.
+    let p_bound = cfg
+        .fan_in
+        .map(|k| k.saturating_sub(1) / 2)
+        .unwrap_or((cfg.mem_records / b).saturating_sub(2) / 2)
+        .max(1);
+    let reserve = (ov.read_ahead + (2 * p_bound + 2) * ov.write_behind) * b;
     let ctx = Ctx {
-        budget: MemBudget::new(cfg.mem_records),
+        budget: MemBudget::new(cfg.mem_records + reserve),
         cfg: *cfg,
         rng: std::cell::RefCell::new(StdRng::seed_from_u64(0xD157_0507)),
     };
-    let mut out = ExtVecWriter::new(input.device().clone());
+    let mut out =
+        ExtVecWriter::with_write_behind(input.device().clone(), ov.write_behind, &ctx.budget);
     if input.len() as usize <= cfg.mem_records {
         emit_sorted_in_memory(input, &mut out, &ctx, less)?;
     } else {
@@ -94,7 +122,11 @@ where
     R: Record,
     F: Fn(&R, &R) -> bool + Copy,
 {
-    let m = ctx.budget.capacity();
+    // All sizing decisions come from the configured M, not the budget's
+    // capacity (which includes overlap headroom): P and the sample size
+    // determine the bucket tree, and that tree must not depend on whether
+    // I/O overlap is enabled.
+    let m = ctx.cfg.mem_records;
     let b = bucket.per_block();
     let m_blocks = m / b;
     assert!(
@@ -110,13 +142,14 @@ where
         .max(1);
 
     // Pass 1: reservoir-sample pivot candidates.
+    let ov = ctx.cfg.overlap;
     let sample_target = (p * 4).min(m / 2).max(p.min(m / 2)).max(1);
     let mut sample: Vec<R> = Vec::with_capacity(sample_target);
     {
         let _charge = ctx.budget.charge(sample_target + b);
         let mut rng = ctx.rng.borrow_mut();
         let mut seen = 0u64;
-        let mut reader = bucket.reader();
+        let mut reader = bucket.reader_at_prefetch(0, ov.read_ahead, &ctx.budget);
         while let Some(r) = reader.try_next()? {
             seen += 1;
             if sample.len() < sample_target {
@@ -141,16 +174,22 @@ where
     }
     let np = pivots.len();
 
-    // Pass 2: distribute.
+    // Pass 2: distribute.  On independent-placement arrays each zone
+    // writer's blocks round-robin across the member disks as they are
+    // allocated, so the bucket writes of one level keep all D lanes busy.
     let mut open: Vec<ExtVecWriter<R>> = (0..=np)
-        .map(|_| ExtVecWriter::new(bucket.device().clone()))
+        .map(|_| {
+            ExtVecWriter::with_write_behind(bucket.device().clone(), ov.write_behind, &ctx.budget)
+        })
         .collect();
     let mut equal: Vec<ExtVecWriter<R>> = (0..np)
-        .map(|_| ExtVecWriter::new(bucket.device().clone()))
+        .map(|_| {
+            ExtVecWriter::with_write_behind(bucket.device().clone(), ov.write_behind, &ctx.budget)
+        })
         .collect();
     {
         let _charge = ctx.budget.charge((2 * np + 2) * b);
-        let mut reader = bucket.reader();
+        let mut reader = bucket.reader_at_prefetch(0, ov.read_ahead, &ctx.budget);
         while let Some(r) = reader.try_next()? {
             let lo = pivots.partition_point(|pv| less(pv, &r));
             if lo < np && !less(&r, &pivots[lo]) {
@@ -191,7 +230,7 @@ where
         if let Some(eq) = equal_iter.next() {
             // Records equivalent to the pivot need no further sorting.
             let _charge = ctx.budget.charge(2 * eq.per_block());
-            let mut reader = eq.reader();
+            let mut reader = eq.reader_at_prefetch(0, ctx.cfg.overlap.read_ahead, &ctx.budget);
             while let Some(r) = reader.try_next()? {
                 out.push(r)?;
             }
@@ -215,7 +254,9 @@ where
     R: Record,
     F: Fn(&R, &R) -> bool + Copy,
 {
-    if bucket.len() as usize <= ctx.budget.capacity() {
+    // In-memory threshold uses the configured M, not the overlap-inflated
+    // budget capacity, so the recursion bottoms out identically either way.
+    if bucket.len() as usize <= ctx.cfg.mem_records {
         emit_sorted_in_memory(&bucket, out, ctx, less)?;
         return bucket.free();
     }
@@ -315,6 +356,37 @@ mod tests {
         let before = device.allocated_blocks();
         let out = distribution_sort(&input, &SortConfig::new(64)).unwrap();
         assert_eq!(device.allocated_blocks() - before, out.num_blocks() as u64);
+    }
+
+    /// Overlap is pure scheduling for distribution sort too: with read-ahead
+    /// and write-behind enabled the output AND the exact transfer counts
+    /// must match the synchronous run (the bucket tree may not shift).
+    #[test]
+    fn overlap_preserves_output_and_transfer_counts() {
+        use crate::OverlapConfig;
+
+        let mut rng = StdRng::seed_from_u64(17);
+        let data: Vec<u64> = (0..6000).map(|_| rng.gen()).collect();
+
+        let run = |ov: OverlapConfig| {
+            let device = device_b8();
+            let input = ExtVec::from_slice(device.clone(), &data).unwrap();
+            let before = device.stats().snapshot();
+            let out =
+                distribution_sort_by(&input, &SortConfig::new(64).with_overlap(ov), |a, b| a < b)
+                    .unwrap();
+            let delta = device.stats().snapshot().since(&before);
+            (out.to_vec().unwrap(), delta.reads(), delta.writes())
+        };
+
+        let (sync_out, sync_r, sync_w) = run(OverlapConfig::off());
+        let (ov_out, ov_r, ov_w) = run(OverlapConfig::symmetric(2));
+        assert_eq!(sync_out, ov_out, "overlap changed distribution output");
+        assert_eq!(sync_r, ov_r, "overlap changed distribution read count");
+        assert_eq!(sync_w, ov_w, "overlap changed distribution write count");
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        assert_eq!(sync_out, expect);
     }
 
     #[test]

@@ -94,6 +94,27 @@ impl OverlapConfig {
     pub fn enabled(&self) -> bool {
         self.read_ahead > 0 || self.write_behind > 0
     }
+
+    /// Interpret the configured depths as **per-disk** and return the
+    /// per-array depths for a device whose sequential block stream spreads
+    /// over `lanes` independent disks
+    /// ([`BlockDevice::stream_lanes`](pdm::BlockDevice::stream_lanes)).
+    ///
+    /// A sequential stream on an independent-placement array lands
+    /// consecutive blocks on consecutive disks, so keeping `read_ahead`
+    /// transfers outstanding *per disk* requires `read_ahead · D` outstanding
+    /// per array — otherwise D−depth lanes idle and the striping penalty
+    /// reappears as serialization.  On a single disk or a striped array
+    /// (`lanes == 1`, every logical transfer occupies all D disks) this is
+    /// the identity.  Depth is pure scheduling either way: it never changes
+    /// which transfers happen.
+    pub fn for_lanes(self, lanes: usize) -> OverlapConfig {
+        let l = lanes.max(1);
+        OverlapConfig {
+            read_ahead: self.read_ahead * l,
+            write_behind: self.write_behind * l,
+        }
+    }
 }
 
 /// The process-wide default overlap, read once from the `EMSORT_OVERLAP`

@@ -119,9 +119,17 @@ where
     let k = cfg.effective_fan_in(input.per_block());
     let ov = cfg.overlap;
     // Overlap headroom beyond M: read-ahead for each of the k input runs
-    // plus write-behind for the one output stream.  Fan-in and run sizes are
-    // computed from `mem_records` alone, so counts match the sync pipeline.
-    let reserve = (k * ov.read_ahead + ov.write_behind) * input.per_block();
+    // plus write-behind for the one output stream — the writer's depth is
+    // per disk, so on an independent array it scales by the lane count to
+    // keep every disk's queue fed.  Fan-in and run sizes are computed from
+    // `mem_records` alone, so counts match the sync pipeline.
+    let lanes = input.device().stream_lanes();
+    let wb = (ov.write_behind * lanes).max(if ov.read_ahead > 0 && cfg.forecast {
+        k * ov.read_ahead
+    } else {
+        0
+    });
+    let reserve = (k * ov.read_ahead + wb) * input.per_block();
     let budget = MemBudget::new(cfg.mem_records + reserve);
 
     let nanos_of = |sink: &Option<IoWaitSink>| {
@@ -145,9 +153,16 @@ where
 
     let merge_wait: Option<IoWaitSink> = timed.then(IoWaitSink::default);
     let t1 = Instant::now();
+    let mut merged_streams = 0usize;
     while queue.len() > 1 {
         let take = k.min(queue.len());
         let group: Vec<ExtVec<R>> = queue.drain(..take).collect();
+        // Stagger each merge output's start lane the way run formation
+        // staggers runs: in a multi-pass merge these streams are next-pass
+        // runs, and unstaggered equal-length runs all place block j on the
+        // same disk (see `BlockDevice::direct_next_stream`).
+        group[0].device().direct_next_stream(merged_streams);
+        merged_streams += 1;
         let merged = merge_runs_inner(
             &group,
             &budget,
@@ -255,7 +270,7 @@ where
 
     let use_forecast =
         forecast && ov.read_ahead > 0 && k >= 2 && runs.iter().all(|r| r.has_block_heads());
-    let fc = use_forecast.then(|| Forecaster::new(budget, k, ov.read_ahead, b));
+    let fc = use_forecast.then(|| Forecaster::new(budget, k, ov.read_ahead, b, device.lanes()));
 
     let mut readers: Vec<ExtVecReader<R>> = match &fc {
         Some(fc) => runs
@@ -276,7 +291,17 @@ where
         fc.pump(&mut readers, less);
     }
 
-    let mut w = ExtVecWriter::with_write_behind(device, ov.write_behind, budget);
+    // Write-behind depth is per disk: the output stream round-robins its
+    // blocks across an independent array's lanes, so its queue deepens by
+    // the lane count to keep all D output queues nonempty.  Under
+    // forecasting it deepens further, to the read pool's size: each output
+    // write retires behind the ~pool-deep prefetch queue in its lane, so a
+    // shallow writer would stall on every block flush waiting out that
+    // latency — mirroring the pool gives the writer exactly enough slack to
+    // ride it out.  Like the pool itself this is budget headroom via
+    // `try_charge`; it degrades gracefully and never changes a transfer.
+    let wb = (ov.write_behind * device.stream_lanes()).max(fc.as_ref().map_or(0, |f| f.pool()));
+    let mut w = ExtVecWriter::with_write_behind(device, wb, budget);
     if let Some(sink) = io_wait {
         w.set_io_wait_sink(sink.clone());
     }

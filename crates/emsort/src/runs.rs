@@ -70,7 +70,11 @@ where
     R: Record,
     F: Fn(&R, &R) -> bool + Copy + Send,
 {
-    let ov = cfg.overlap;
+    // Overlap depths are per disk: on an independent-placement array the
+    // one input stream and one output stream each deepen their queues by the
+    // lane count, so every member disk keeps `read_ahead`/`write_behind`
+    // transfers in flight rather than the array sharing that depth.
+    let ov = cfg.overlap.for_lanes(input.device().stream_lanes());
     // The overlap buffers (one input stream, one output stream) live in
     // budget headroom beyond the algorithm's M working records; they shrink
     // to fit whatever is actually available.
@@ -122,6 +126,9 @@ where
         if chunk.is_empty() {
             break;
         }
+        // Stagger each run's start lane so runs of exactly M/B blocks don't
+        // all place block j on the same disk (see BlockDevice docs).
+        input.device().direct_next_stream(runs.len());
         let mut w =
             ExtVecWriter::with_write_behind(input.device().clone(), ov.write_behind, budget);
         if let Some(sink) = io_wait {
@@ -230,6 +237,7 @@ where
     }
 
     let mut current_run = 0u64;
+    input.device().direct_next_stream(runs.len());
     let mut writer =
         ExtVecWriter::with_write_behind(input.device().clone(), ov.write_behind, budget);
     if let Some(sink) = io_wait {
@@ -244,6 +252,7 @@ where
             // (the interim plain writer is a free placeholder).
             let old = std::mem::replace(&mut writer, ExtVecWriter::new(input.device().clone()));
             runs.push(old.finish()?);
+            input.device().direct_next_stream(runs.len());
             writer =
                 ExtVecWriter::with_write_behind(input.device().clone(), ov.write_behind, budget);
             if let Some(sink) = io_wait {

@@ -533,6 +533,39 @@ impl BlockDevice for DiskArray {
     fn stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.stats)
     }
+
+    fn lanes(&self) -> usize {
+        self.disks.len()
+    }
+
+    fn lane_of(&self, id: BlockId) -> Option<usize> {
+        match self.placement {
+            // A striped logical block spans every member disk; no one lane
+            // owns it.
+            Placement::Striped => None,
+            Placement::Independent => Some(self.split_independent(id).0),
+        }
+    }
+
+    fn stream_lanes(&self) -> usize {
+        match self.placement {
+            // A striped transfer already keeps every disk busy; deepening a
+            // stream's queue buys no extra lane-parallelism.
+            Placement::Striped => 1,
+            // Consecutive allocations round-robin the disks: a sequential
+            // stream reaches full D-parallelism at queue depth ≥ D.
+            Placement::Independent => self.disks.len(),
+        }
+    }
+
+    fn direct_next_stream(&self, lane: usize) {
+        // Striped placement has no per-lane cursor to direct — every
+        // logical block spans all D disks.
+        if self.placement == Placement::Independent {
+            self.next_disk
+                .store(lane % self.disks.len(), Ordering::Relaxed);
+        }
+    }
 }
 
 #[cfg(test)]

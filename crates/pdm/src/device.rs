@@ -44,6 +44,55 @@ pub trait BlockDevice: Send + Sync {
     /// The statistics handle transfers are recorded into.
     fn stats(&self) -> Arc<IoStats>;
 
+    /// Number of independent I/O lanes (physical disks) behind this device.
+    ///
+    /// A plain disk is one lane; a [`DiskArray`](crate::DiskArray) reports
+    /// its member count.  Schedulers use this to cap outstanding transfers
+    /// *per lane* rather than per device.
+    fn lanes(&self) -> usize {
+        1
+    }
+
+    /// The lane that serves block `id`, or `None` if the block spans every
+    /// lane (striped placement, where one logical transfer touches all D
+    /// disks at once and no single lane owns it).
+    ///
+    /// A single disk trivially owns all its blocks, hence the default.
+    fn lane_of(&self, _id: BlockId) -> Option<usize> {
+        Some(0)
+    }
+
+    /// How many lanes a *sequential stream* of logical blocks spreads over —
+    /// the lane-parallelism one reader or writer can exploit by deepening its
+    /// queue.
+    ///
+    /// Independent-placement arrays round-robin consecutive allocations
+    /// across their D member disks, so a stream that wants `d` transfers
+    /// outstanding on every disk must keep `d·D` outstanding per array.
+    /// Striped arrays return 1: each logical transfer already occupies all D
+    /// disks, so per-array depth *is* per-disk depth.  Plain disks return 1.
+    fn stream_lanes(&self) -> usize {
+        1
+    }
+
+    /// Point the allocation cursor at `lane` (mod the lane count) so the
+    /// *next* sequential allocation stream starts on a caller-chosen disk.
+    ///
+    /// Writers that emit equal-length streams (external sort runs of exactly
+    /// M/B blocks) otherwise start every stream on the same lane whenever the
+    /// stream length divides D: block `j` of *every* run then lives on the
+    /// same disk, and a merge that drains the runs in lockstep hammers one
+    /// disk per wave while the rest idle.  Directing run `r` to start on lane
+    /// `r mod D` — the deterministic cousin of the randomized striping in
+    /// Barve, Grove & Vitter's Simple Randomized Mergesort — spreads those
+    /// waves across all D disks.  Pure placement: total transfer counts are
+    /// unchanged, and because the target lane is absolute (not a bump of
+    /// shared cursor state) a sort's block layout is a function of the sort
+    /// alone, identical across repeated executions.  No-op on single disks
+    /// and striped arrays (one logical block already spans all D disks
+    /// there).
+    fn direct_next_stream(&self, _lane: usize) {}
+
     /// Submit an asynchronous read of block `id` into the owned buffer; the
     /// filled buffer comes back through the returned [`IoTicket`].
     ///

@@ -304,6 +304,22 @@ impl BlockDevice for FaultDisk {
     fn stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.stats)
     }
+
+    fn lanes(&self) -> usize {
+        self.inner.lanes()
+    }
+
+    fn lane_of(&self, id: BlockId) -> Option<usize> {
+        self.inner.lane_of(id)
+    }
+
+    fn stream_lanes(&self) -> usize {
+        self.inner.stream_lanes()
+    }
+
+    fn direct_next_stream(&self, lane: usize) {
+        self.inner.direct_next_stream(lane)
+    }
 }
 
 #[cfg(test)]

@@ -222,6 +222,10 @@ impl BlockDevice for FileDisk {
     fn stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.stats)
     }
+
+    fn lane_of(&self, _id: BlockId) -> Option<usize> {
+        Some(self.lane)
+    }
 }
 
 #[cfg(test)]

@@ -131,6 +131,10 @@ impl BlockDevice for RamDisk {
     fn stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.stats)
     }
+
+    fn lane_of(&self, _id: BlockId) -> Option<usize> {
+        Some(self.lane)
+    }
 }
 
 #[cfg(test)]

@@ -31,10 +31,14 @@ pub struct IoStats {
     prefetch_wasted: AtomicU64,
     /// Prefetches whose submission order was chosen by a forecaster (the
     /// smallest-leading-key-first policy of Vitter's merge sort) rather than
-    /// uniform per-stream round-robin.
-    forecast_issued: AtomicU64,
-    /// Demand fills satisfied by a block the forecaster had put in flight.
-    forecast_hits: AtomicU64,
+    /// uniform per-stream round-robin.  Tracked per lane so independent-disk
+    /// merges can show that forecasting keeps every disk's queue busy, not
+    /// just the array as a whole.  Blocks that span all lanes (striped
+    /// placement) are recorded on lane 0.
+    forecast_issued: Vec<AtomicU64>,
+    /// Demand fills satisfied by a block the forecaster had put in flight,
+    /// per lane (same lane convention as `forecast_issued`).
+    forecast_hits: Vec<AtomicU64>,
     /// Transfers re-executed by a [`RetryPolicy`](crate::RetryPolicy) after a
     /// transient device error.  Failed attempts are not counted as block
     /// transfers (the block never moved), so with retries *off* this counter
@@ -64,8 +68,8 @@ impl IoStats {
             prefetched: AtomicU64::new(0),
             prefetch_hits: AtomicU64::new(0),
             prefetch_wasted: AtomicU64::new(0),
-            forecast_issued: AtomicU64::new(0),
-            forecast_hits: AtomicU64::new(0),
+            forecast_issued: (0..disks).map(|_| AtomicU64::new(0)).collect(),
+            forecast_hits: (0..disks).map(|_| AtomicU64::new(0)).collect(),
             retries: AtomicU64::new(0),
             faults_injected: AtomicU64::new(0),
             dropped_write_errors: AtomicU64::new(0),
@@ -121,16 +125,22 @@ impl IoStats {
         self.prefetch_wasted.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Record one prefetch whose submission was ordered by a forecaster.
+    /// Record one prefetch whose submission was ordered by a forecaster,
+    /// queued on lane `disk`.  Lane indexes beyond the tracked disk count are
+    /// clamped (a striped block spanning every lane records on lane 0).
     #[inline]
-    pub fn record_forecast_issued(&self) {
-        self.forecast_issued.fetch_add(1, Ordering::Relaxed);
+    pub fn record_forecast_issued(&self, disk: usize) {
+        self.forecast_issued[disk.min(self.forecast_issued.len() - 1)]
+            .fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Record one demand fill served by a forecaster-issued block.
+    /// Record one demand fill served by a forecaster-issued block that lane
+    /// `disk` delivered (same clamping as [`record_forecast_issued`]).
+    ///
+    /// [`record_forecast_issued`]: Self::record_forecast_issued
     #[inline]
-    pub fn record_forecast_hit(&self) {
-        self.forecast_hits.fetch_add(1, Ordering::Relaxed);
+    pub fn record_forecast_hit(&self, disk: usize) {
+        self.forecast_hits[disk.min(self.forecast_hits.len() - 1)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one retried transfer (a [`RetryPolicy`](crate::RetryPolicy)
@@ -174,8 +184,16 @@ impl IoStats {
             prefetched: self.prefetched.load(Ordering::Relaxed),
             prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
             prefetch_wasted: self.prefetch_wasted.load(Ordering::Relaxed),
-            forecast_issued: self.forecast_issued.load(Ordering::Relaxed),
-            forecast_hits: self.forecast_hits.load(Ordering::Relaxed),
+            forecast_issued: self
+                .forecast_issued
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            forecast_hits: self
+                .forecast_hits
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
             retries: self.retries.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             dropped_write_errors: self.dropped_write_errors.load(Ordering::Relaxed),
@@ -192,14 +210,14 @@ impl IoStats {
             .chain(self.writes.iter())
             .chain(self.depth.iter())
             .chain(self.depth_hwm.iter())
+            .chain(self.forecast_issued.iter())
+            .chain(self.forecast_hits.iter())
         {
             c.store(0, Ordering::Relaxed);
         }
         self.prefetched.store(0, Ordering::Relaxed);
         self.prefetch_hits.store(0, Ordering::Relaxed);
         self.prefetch_wasted.store(0, Ordering::Relaxed);
-        self.forecast_issued.store(0, Ordering::Relaxed);
-        self.forecast_hits.store(0, Ordering::Relaxed);
         self.retries.store(0, Ordering::Relaxed);
         self.faults_injected.store(0, Ordering::Relaxed);
         self.dropped_write_errors.store(0, Ordering::Relaxed);
@@ -215,8 +233,8 @@ pub struct IoSnapshot {
     prefetched: u64,
     prefetch_hits: u64,
     prefetch_wasted: u64,
-    forecast_issued: u64,
-    forecast_hits: u64,
+    forecast_issued: Vec<u64>,
+    forecast_hits: Vec<u64>,
     retries: u64,
     faults_injected: u64,
     dropped_write_errors: u64,
@@ -295,16 +313,29 @@ impl IoSnapshot {
     }
 
     /// Prefetches whose submission order was chosen by a forecaster (subset
-    /// of [`prefetched`](Self::prefetched)).
+    /// of [`prefetched`](Self::prefetched)), summed over lanes.
     pub fn forecast_issued(&self) -> u64 {
-        self.forecast_issued
+        self.forecast_issued.iter().sum()
+    }
+
+    /// Forecaster-issued prefetches queued on one specific lane.  On an
+    /// independent-placement array a balanced spread here is the evidence
+    /// that per-lane forecasting keeps every disk busy; striped blocks all
+    /// land on lane 0.
+    pub fn forecast_issued_on(&self, disk: usize) -> u64 {
+        self.forecast_issued[disk]
     }
 
     /// Demand fills served by a forecaster-issued block: the forecaster
     /// predicted the block would be needed and it was in flight (or already
-    /// complete) when the merge asked for it.
+    /// complete) when the merge asked for it.  Summed over lanes.
     pub fn forecast_hits(&self) -> u64 {
-        self.forecast_hits
+        self.forecast_hits.iter().sum()
+    }
+
+    /// Forecaster hits delivered by one specific lane.
+    pub fn forecast_hits_on(&self, disk: usize) -> u64 {
+        self.forecast_hits[disk]
     }
 
     /// Transfers re-executed after a transient device error.  Always 0 with
@@ -350,8 +381,18 @@ impl IoSnapshot {
             prefetched: self.prefetched.saturating_sub(earlier.prefetched),
             prefetch_hits: self.prefetch_hits.saturating_sub(earlier.prefetch_hits),
             prefetch_wasted: self.prefetch_wasted.saturating_sub(earlier.prefetch_wasted),
-            forecast_issued: self.forecast_issued.saturating_sub(earlier.forecast_issued),
-            forecast_hits: self.forecast_hits.saturating_sub(earlier.forecast_hits),
+            forecast_issued: self
+                .forecast_issued
+                .iter()
+                .zip(&earlier.forecast_issued)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            forecast_hits: self
+                .forecast_hits
+                .iter()
+                .zip(&earlier.forecast_hits)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
             retries: self.retries.saturating_sub(earlier.retries),
             faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
             dropped_write_errors: self
@@ -430,15 +471,21 @@ mod tests {
         stats.record_prefetch();
         stats.record_prefetch_hit();
         stats.record_prefetch_wasted(1);
-        stats.record_forecast_issued();
-        stats.record_forecast_hit();
+        stats.record_forecast_issued(0);
+        stats.record_forecast_issued(1);
+        stats.record_forecast_issued(7); // clamps to the last lane
+        stats.record_forecast_hit(1);
         let before = snap;
         let delta = stats.snapshot().since(&before);
         assert_eq!(delta.prefetched(), 2);
         assert_eq!(delta.prefetch_hits(), 1);
         assert_eq!(delta.prefetch_wasted(), 1);
-        assert_eq!(delta.forecast_issued(), 1);
+        assert_eq!(delta.forecast_issued(), 3);
+        assert_eq!(delta.forecast_issued_on(0), 1);
+        assert_eq!(delta.forecast_issued_on(1), 2);
         assert_eq!(delta.forecast_hits(), 1);
+        assert_eq!(delta.forecast_hits_on(0), 0);
+        assert_eq!(delta.forecast_hits_on(1), 1);
 
         stats.reset();
         let zero = stats.snapshot();

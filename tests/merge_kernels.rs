@@ -3,10 +3,17 @@
 //! forecasting on and off) must produce identical output AND identical
 //! block-transfer counts.  The kernel is pure compute and forecasting is
 //! pure scheduling — neither may move a single I/O.
+//!
+//! Placement is a layout choice with the same contract on *contents*:
+//! `Placement::Striped` and `Placement::Independent` arrays must produce
+//! byte-identical merged output with identical logical record counts (their
+//! block-transfer counts legitimately differ — striping moves `D·B`-sized
+//! logical blocks), for both merge kernels and for distribution sort.
 
 use em_core::{ExtVec, MemBudget};
 use emsort::{
-    merge_runs_with, merge_sort_by, MergeKernel, OverlapConfig, RunFormation, SortConfig,
+    distribution_sort_by, merge_runs_with, merge_sort_by, MergeKernel, OverlapConfig, RunFormation,
+    SortConfig,
 };
 use pdm::{DiskArray, IoMode, Placement, SharedDevice};
 use proptest::prelude::*;
@@ -48,28 +55,44 @@ proptest! {
         expect.sort_unstable();
 
         let k = runs_data.len();
-        let m = (k + 1) * 8 + 16;
-        let base = SortConfig::new(m)
-            .with_overlap(OverlapConfig::symmetric(depth))
-            .with_forecast(forecast);
+        // One result row per placement: (output, reads, writes).
+        let mut per_placement: Vec<(Vec<u64>, u64, u64)> = Vec::new();
+        for placement in [Placement::Striped, Placement::Independent] {
+            // The logical block is D·B records under striping, B under
+            // independent placement; size M so (k+1) logical blocks fit.
+            let b = match placement {
+                Placement::Striped => 16,
+                Placement::Independent => 8,
+            };
+            let m = (k + 1) * b + 2 * b;
+            let base = SortConfig::new(m)
+                .with_overlap(OverlapConfig::symmetric(depth))
+                .with_forecast(forecast);
 
-        let mut baseline: Option<(Vec<u64>, u64, u64)> = None;
-        for kernel in [MergeKernel::Heap, MergeKernel::LoserTree, MergeKernel::Auto] {
-            let device = DiskArray::new_ram(2, 64, Placement::Independent) as SharedDevice;
-            let got = merge_on(&device, &runs_data, &base.with_merge_kernel(kernel));
-            prop_assert_eq!(&got.0, &expect, "{:?} output wrong", kernel);
-            match &baseline {
-                None => baseline = Some(got),
-                Some(b) => {
-                    prop_assert_eq!(got.1, b.1, "{:?} read count differs", kernel);
-                    prop_assert_eq!(got.2, b.2, "{:?} write count differs", kernel);
+            let mut baseline: Option<(Vec<u64>, u64, u64)> = None;
+            for kernel in [MergeKernel::Heap, MergeKernel::LoserTree, MergeKernel::Auto] {
+                let device = DiskArray::new_ram(2, 64, placement) as SharedDevice;
+                let got = merge_on(&device, &runs_data, &base.with_merge_kernel(kernel));
+                prop_assert_eq!(&got.0, &expect, "{:?} {:?} output wrong", placement, kernel);
+                match &baseline {
+                    None => baseline = Some(got),
+                    Some(b) => {
+                        prop_assert_eq!(got.1, b.1, "{:?} {:?} read count differs", placement, kernel);
+                        prop_assert_eq!(got.2, b.2, "{:?} {:?} write count differs", placement, kernel);
+                    }
                 }
             }
+            per_placement.push(baseline.expect("at least one kernel ran"));
         }
+        // Striped and independent arrays must agree byte-for-byte on the
+        // merged contents, and on the logical record count.
+        let (striped, indep) = (&per_placement[0], &per_placement[1]);
+        prop_assert_eq!(striped.0.len(), indep.0.len(), "record counts differ across placements");
+        prop_assert_eq!(&striped.0, &indep.0, "merged output differs across placements");
     }
 
     #[test]
-    fn full_sorts_agree_across_kernels_and_forecasting(
+    fn full_sorts_agree_across_kernels_forecasting_and_placement(
         data in prop::collection::vec(any::<u64>(), 0..2500),
         d in 1usize..=4,
         depth in 1usize..=2,
@@ -82,6 +105,8 @@ proptest! {
         } else {
             RunFormation::LoadSort
         };
+        // Sized for the striped logical block (8·d records at 64-byte
+        // physical blocks), which also comfortably fits independent mode.
         let m = 64 * d.max(2);
         let base = SortConfig::new(m)
             .with_run_formation(rf)
@@ -92,24 +117,63 @@ proptest! {
             base.with_merge_kernel(MergeKernel::LoserTree).with_forecast(false),
             base.with_merge_kernel(MergeKernel::LoserTree).with_forecast(true),
         ];
-        let mut baseline: Option<Vec<u64>> = None;
-        for (vi, cfg) in variants.iter().enumerate() {
-            let device =
-                DiskArray::new_ram_with(d, 64, Placement::Independent, IoMode::Overlapped)
-                    as SharedDevice;
-            let input = ExtVec::from_slice(device.clone(), &data).unwrap();
-            let before = device.stats().snapshot();
-            let out = merge_sort_by(&input, cfg, |a, b| a < b).unwrap().to_vec().unwrap();
-            let snap = device.stats().snapshot().since(&before);
-            prop_assert_eq!(&out, &expect, "variant {} output wrong", vi);
-            prop_assert_eq!(snap.prefetch_wasted(), 0, "variant {} wasted prefetch", vi);
-            match &baseline {
-                None => baseline = Some(vec![snap.reads(), snap.writes()]),
-                Some(b) => {
-                    prop_assert_eq!(snap.reads(), b[0], "variant {} reads differ", vi);
-                    prop_assert_eq!(snap.writes(), b[1], "variant {} writes differ", vi);
+        for placement in [Placement::Striped, Placement::Independent] {
+            // (reads, writes) must agree across variants *within* one
+            // placement; output must agree across everything.
+            let mut baseline: Option<Vec<u64>> = None;
+            for (vi, cfg) in variants.iter().enumerate() {
+                let device =
+                    DiskArray::new_ram_with(d, 64, placement, IoMode::Overlapped)
+                        as SharedDevice;
+                let input = ExtVec::from_slice(device.clone(), &data).unwrap();
+                let before = device.stats().snapshot();
+                let out = merge_sort_by(&input, cfg, |a, b| a < b).unwrap().to_vec().unwrap();
+                let snap = device.stats().snapshot().since(&before);
+                prop_assert_eq!(out.len(), expect.len(),
+                    "{:?} variant {} record count wrong", placement, vi);
+                prop_assert_eq!(&out, &expect, "{:?} variant {} output wrong", placement, vi);
+                prop_assert_eq!(snap.prefetch_wasted(), 0,
+                    "{:?} variant {} wasted prefetch", placement, vi);
+                match &baseline {
+                    None => baseline = Some(vec![snap.reads(), snap.writes()]),
+                    Some(b) => {
+                        prop_assert_eq!(snap.reads(), b[0],
+                            "{:?} variant {} reads differ", placement, vi);
+                        prop_assert_eq!(snap.writes(), b[1],
+                            "{:?} variant {} writes differ", placement, vi);
+                    }
                 }
             }
         }
+    }
+
+    /// Distribution sort must be placement-agnostic on contents too, with
+    /// overlap (bucket writes round-robin across lanes on independent
+    /// arrays) changing neither the output bytes nor the record count.
+    #[test]
+    fn distribution_sort_agrees_across_placements(
+        data in prop::collection::vec(any::<u64>(), 0..2500),
+        d in 1usize..=4,
+        depth in 0usize..=2,
+    ) {
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        // Large enough that ⌊M/B⌋ ≥ 6 even at the striped D=4 logical
+        // block (32 records): distribution sort's partition minimum.
+        let m = 256;
+        let cfg = SortConfig::new(m).with_overlap(OverlapConfig::symmetric(depth));
+        let mut outputs: Vec<Vec<u64>> = Vec::new();
+        for placement in [Placement::Striped, Placement::Independent] {
+            let device =
+                DiskArray::new_ram_with(d, 64, placement, IoMode::Overlapped) as SharedDevice;
+            let input = ExtVec::from_slice(device.clone(), &data).unwrap();
+            let out = distribution_sort_by(&input, &cfg, |a, b| a < b).unwrap();
+            prop_assert_eq!(out.len(), expect.len() as u64,
+                "{:?} record count wrong", placement);
+            outputs.push(out.to_vec().unwrap());
+        }
+        prop_assert_eq!(&outputs[0], &expect, "striped distribution output wrong");
+        prop_assert_eq!(&outputs[0], &outputs[1],
+            "distribution output differs across placements");
     }
 }
