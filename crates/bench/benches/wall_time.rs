@@ -150,7 +150,7 @@ fn bench_priority_queue(c: &mut Criterion) {
         b.iter(|| {
             let device = cfg.ram_disk();
             let mut pq: ExtPriorityQueue<u64> =
-                ExtPriorityQueue::new(device, cfg.mem_records::<u64>());
+                ExtPriorityQueue::new(device, cfg.mem_records::<u64>()).expect("pq");
             let mut rng = StdRng::seed_from_u64(9);
             for _ in 0..n {
                 pq.push(rng.gen()).unwrap();

@@ -149,7 +149,7 @@ pub fn f7_priority_queue() {
     let mut rows = Vec::new();
     for &n in &[50_000u64, 200_000, 800_000] {
         let device = cfg.ram_disk();
-        let mut pq: ExtPriorityQueue<u64> = ExtPriorityQueue::new(device.clone(), m);
+        let mut pq: ExtPriorityQueue<u64> = ExtPriorityQueue::new(device.clone(), m).expect("pq");
         let mut rng = StdRng::seed_from_u64(71);
         let (_, d) = measure(&device, || {
             for _ in 0..n {

@@ -15,7 +15,7 @@
 //! `Θ(1)` I/Os per *edge* (experiment F10).
 
 use em_core::{ExtVec, ExtVecWriter};
-use emsort::{merge_sort_by, SortConfig};
+use emsort::{merge_sort_by, SortConfig, SortingWriter};
 use pdm::Result;
 
 /// Munagala–Ranade BFS over the undirected graph `edges` (vertex ids dense
@@ -31,19 +31,18 @@ pub fn bfs_mr(
     let device = edges.device().clone();
 
     // Preprocess: clustered adjacency (arcs sorted by (src, dst)) plus a
-    // dense offset table (start, degree) indexed by vertex.
+    // dense offset table (start, degree) indexed by vertex.  The symmetrized
+    // arcs feed the sort directly — no unsorted materialization.
     let adj = {
-        let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+        let mut w: SortingWriter<(u64, u64), _> =
+            SortingWriter::new(device.clone(), cfg, |a, b| a < b);
         let mut r = edges.reader();
         while let Some((u, v)) = r.try_next()? {
             assert!(u < n && v < n, "vertex id out of range");
             w.push((u, v))?;
             w.push((v, u))?;
         }
-        let unsorted = w.finish()?;
-        let sorted = merge_sort_by(&unsorted, cfg, |a, b| a < b)?;
-        unsorted.free()?;
-        sorted
+        w.finish_sorted()?
     };
     let offsets: ExtVec<(u64, u64)> = {
         // (start, degree) for vertex v at index v.
@@ -84,7 +83,10 @@ pub fn bfs_mr(
         w.finish()?
     };
 
-    let mut out: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+    // Levels append in discovery order; the sink sorts them by vertex id
+    // without ever materializing the unsorted sequence.
+    let mut out: SortingWriter<(u64, u64), _> =
+        SortingWriter::new(device.clone(), cfg, |a: &(u64, u64), b| a.0 < b.0);
     out.push((source, 0))?;
 
     let mut prev: ExtVec<u64> = ExtVec::new(device.clone()); // L(t−1)
@@ -93,8 +95,11 @@ pub fn bfs_mr(
     let mut nbr_buf: Vec<(u64, u64)> = Vec::new();
 
     while !cur.is_empty() {
-        // Gather neighbours of the frontier.
-        let mut nbrs_w: ExtVecWriter<u64> = ExtVecWriter::new(device.clone());
+        // Gather neighbours of the frontier straight into a sorting sink:
+        // runs form as the gather produces, so the unsorted neighbour list
+        // is never written out or re-read.
+        let mut nbrs_w: SortingWriter<u64, _> =
+            SortingWriter::new(device.clone(), cfg, |a, b| a < b);
         {
             let mut rc = cur.reader();
             while let Some(v) = rc.try_next()? {
@@ -107,14 +112,12 @@ pub fn bfs_mr(
                 }
             }
         }
-        let nbrs = nbrs_w.finish()?;
-        let sorted_nbrs = merge_sort_by(&nbrs, cfg, |a, b| a < b)?;
-        nbrs.free()?;
 
-        // next = dedup(sorted_nbrs) − cur − prev  (all three sorted).
+        // next = dedup(sort(nbrs)) − cur − prev (all three sorted).  The
+        // sorted neighbour list is consumed in exactly one pass, so the
+        // final merge streams straight into the set subtraction.
         let mut next_w: ExtVecWriter<u64> = ExtVecWriter::new(device.clone());
-        {
-            let mut rn = sorted_nbrs.reader();
+        nbrs_w.finish_streaming(|rn| {
             let mut rc = cur.reader();
             let mut rp = prev.reader();
             let mut cur_c: Option<u64> = rc.try_next()?;
@@ -135,9 +138,9 @@ pub fn bfs_mr(
                     next_w.push(x)?;
                 }
             }
-        }
+            Ok(())
+        })?;
         let next = next_w.finish()?;
-        sorted_nbrs.free()?;
 
         dist += 1;
         {
@@ -155,10 +158,7 @@ pub fn bfs_mr(
     adj.free()?;
     offsets.free()?;
 
-    let unsorted = out.finish()?;
-    let sorted = merge_sort_by(&unsorted, cfg, |a, b| a.0 < b.0)?;
-    unsorted.free()?;
-    Ok(sorted)
+    out.finish_sorted()
 }
 
 /// Baseline: internal-memory BFS over *unclustered* external adjacency — the

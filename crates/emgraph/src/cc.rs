@@ -15,10 +15,10 @@
 //! implementation does exactly that as its base case).
 
 use em_core::{ExtVec, ExtVecWriter};
-use emsort::{merge_sort_by, SortConfig};
+use emsort::{merge_sort_streaming, SortConfig, SortingWriter};
 use pdm::Result;
 
-use crate::util::join_left;
+use crate::util::join_left_stream;
 
 /// Component label of every vertex of the undirected graph `edges` (dense
 /// vertex ids `0..n`): `(vertex, label)` sorted by vertex, where the label
@@ -66,22 +66,21 @@ pub fn connected_components(
             break;
         }
 
-        // Hook: each label points to its minimum neighbour if smaller.
-        let arcs = {
-            let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+        // Hook: each label points to its minimum neighbour if smaller.  The
+        // doubled arcs feed the sort as they are produced, and the sorted
+        // arc list is consumed once by the grouping scan — both ends of the
+        // sort fused.
+        let mut arcs_w: SortingWriter<(u64, u64), _> =
+            SortingWriter::new(device.clone(), cfg, |x, y| x < y);
+        {
             let mut r = cur_edges.reader();
             while let Some((a, b)) = r.try_next()? {
-                w.push((a, b))?;
-                w.push((b, a))?;
+                arcs_w.push((a, b))?;
+                arcs_w.push((b, a))?;
             }
-            let unsorted = w.finish()?;
-            let sorted = merge_sort_by(&unsorted, cfg, |x, y| x < y)?;
-            unsorted.free()?;
-            sorted
-        };
+        }
         let mut hooks_w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
-        {
-            let mut r = arcs.reader();
+        arcs_w.finish_streaming(|r| {
             let mut group: Option<(u64, u64)> = None; // (src, min_dst)
             while let Some((src, dst)) = r.try_next()? {
                 match &mut group {
@@ -103,8 +102,8 @@ pub fn connected_components(
                     hooks_w.push((gsrc, min_dst))?;
                 }
             }
-        }
-        arcs.free()?;
+            Ok(())
+        })?;
         let hooks = hooks_w.finish()?; // sorted by src, src strictly decreases to parent
 
         // Compress the parent forest by pointer doubling.
@@ -124,24 +123,25 @@ pub fn connected_components(
 fn compress(mut parents: ExtVec<(u64, u64)>, cfg: &SortConfig) -> Result<ExtVec<(u64, u64)>> {
     loop {
         // new_p(x) = p(p(x)), where unmapped values are roots.
-        // Build (p, x) sorted by p, join with parents (keyed by x).
+        // Build (p, x) sorted by p, join with parents (keyed by x); the
+        // swapped pairs flow straight into the sort, and its final merge
+        // streams straight into the join.
         let device = parents.device().clone();
-        let swapped = {
-            let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+        let mut swapped_w: SortingWriter<(u64, u64), _> =
+            SortingWriter::new(device.clone(), cfg, |a: &(u64, u64), b| a.0 < b.0);
+        {
             let mut r = parents.reader();
             while let Some((x, p)) = r.try_next()? {
-                w.push((p, x))?;
+                swapped_w.push((p, x))?;
             }
-            let unsorted = w.finish()?;
-            let sorted = merge_sort_by(&unsorted, cfg, |a, b| a.0 < b.0)?;
-            unsorted.free()?;
-            sorted
-        };
-        let joined = join_left(&swapped, &parents, u64::MAX)?; // (p, x, pp | MAX)
-        swapped.free()?;
+        }
+        let joined = swapped_w.finish_streaming(|s| {
+            join_left_stream(s, &parents, u64::MAX) // (p, x, pp | MAX)
+        })?;
         let mut changed = false;
         let next = {
-            let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+            let mut w: SortingWriter<(u64, u64), _> =
+                SortingWriter::new(device.clone(), cfg, |a: &(u64, u64), b| a.0 < b.0);
             let mut r = joined.reader();
             while let Some((p, x, pp)) = r.try_next()? {
                 if pp == u64::MAX {
@@ -151,10 +151,7 @@ fn compress(mut parents: ExtVec<(u64, u64)>, cfg: &SortConfig) -> Result<ExtVec<
                     w.push((x, pp))?;
                 }
             }
-            let unsorted = w.finish()?;
-            let sorted = merge_sort_by(&unsorted, cfg, |a, b| a.0 < b.0)?;
-            unsorted.free()?;
-            sorted
+            w.finish_sorted()?
         };
         joined.free()?;
         parents.free()?;
@@ -173,31 +170,28 @@ fn apply_map(
     cfg: &SortConfig,
 ) -> Result<ExtVec<(u64, u64)>> {
     let device = labels.device().clone();
-    // Key by label: (label, vertex).
-    let by_label = {
-        let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+    // Key by label: (label, vertex) pairs flow straight into the sort, and
+    // the sorted sequence is consumed once by the join — both ends fused.
+    let mut by_label_w: SortingWriter<(u64, u64), _> =
+        SortingWriter::new(device.clone(), cfg, |a: &(u64, u64), b| a.0 < b.0);
+    {
         let mut r = labels.reader();
         while let Some((v, l)) = r.try_next()? {
-            w.push((l, v))?;
+            by_label_w.push((l, v))?;
         }
-        let unsorted = w.finish()?;
-        let sorted = merge_sort_by(&unsorted, cfg, |a, b| a.0 < b.0)?;
-        unsorted.free()?;
-        sorted
-    };
+    }
     labels.free()?;
-    let joined = join_left(&by_label, parents, u64::MAX)?; // (label, vertex, parent | MAX)
-    by_label.free()?;
+    let joined = by_label_w.finish_streaming(|s| {
+        join_left_stream(s, parents, u64::MAX) // (label, vertex, parent | MAX)
+    })?;
     let remapped = {
-        let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+        let mut w: SortingWriter<(u64, u64), _> =
+            SortingWriter::new(device.clone(), cfg, |a: &(u64, u64), b| a.0 < b.0);
         let mut r = joined.reader();
         while let Some((l, v, p)) = r.try_next()? {
             w.push((v, if p == u64::MAX { l } else { p }))?;
         }
-        let unsorted = w.finish()?;
-        let sorted = merge_sort_by(&unsorted, cfg, |a, b| a.0 < b.0)?;
-        unsorted.free()?;
-        sorted
+        w.finish_sorted()?
     };
     joined.free()?;
     Ok(remapped)
@@ -211,45 +205,47 @@ fn relabel_edges(
     cfg: &SortConfig,
 ) -> Result<ExtVec<(u64, u64)>> {
     let device = edges.device().clone();
-    // Map the first endpoint.
-    let by_a = merge_sort_by(&edges, cfg, |x, y| x.0 < y.0)?;
+    // Map the first endpoint: the sort by `a` streams into the join.
+    let ja = merge_sort_streaming(
+        &edges,
+        cfg,
+        |x, y| x.0 < y.0,
+        |s| {
+            join_left_stream(s, parents, u64::MAX) // (a, b, pa | MAX)
+        },
+    )?;
     edges.free()?;
-    let ja = join_left(&by_a, parents, u64::MAX)?; // (a, b, pa | MAX)
-    by_a.free()?;
-    let half = {
-        let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+    // Map the second endpoint: rewritten pairs feed the sort directly and
+    // the sorted sequence streams straight into the join.
+    let mut half_w: SortingWriter<(u64, u64), _> =
+        SortingWriter::new(device.clone(), cfg, |x: &(u64, u64), y| x.0 < y.0);
+    {
         let mut r = ja.reader();
         while let Some((a, b, pa)) = r.try_next()? {
             let a2 = if pa == u64::MAX { a } else { pa };
-            w.push((b, a2))?; // keyed by b for the second join
+            half_w.push((b, a2))?; // keyed by b for the second join
         }
-        let unsorted = w.finish()?;
-        let sorted = merge_sort_by(&unsorted, cfg, |x, y| x.0 < y.0)?;
-        unsorted.free()?;
-        sorted
-    };
+    }
     ja.free()?;
-    let jb = join_left(&half, parents, u64::MAX)?; // (b, a2, pb | MAX)
-    half.free()?;
-    let full = {
-        let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+    let jb = half_w.finish_streaming(|s| {
+        join_left_stream(s, parents, u64::MAX) // (b, a2, pb | MAX)
+    })?;
+    // Sort + dedup with both ends fused: normalized edges feed the sort as
+    // they are produced, and the final merge streams into the dedup scan.
+    let mut full_w: SortingWriter<(u64, u64), _> =
+        SortingWriter::new(device.clone(), cfg, |x, y| x < y);
+    {
         let mut r = jb.reader();
         while let Some((b, a2, pb)) = r.try_next()? {
             let b2 = if pb == u64::MAX { b } else { pb };
             if a2 != b2 {
-                w.push((a2.min(b2), a2.max(b2)))?;
+                full_w.push((a2.min(b2), a2.max(b2)))?;
             }
         }
-        let unsorted = w.finish()?;
-        let sorted = merge_sort_by(&unsorted, cfg, |x, y| x < y)?;
-        unsorted.free()?;
-        sorted
-    };
+    }
     jb.free()?;
-    // Dedup.
-    let deduped = {
+    let deduped = full_w.finish_streaming(|r| {
         let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
-        let mut r = full.reader();
         let mut last: Option<(u64, u64)> = None;
         while let Some(e) = r.try_next()? {
             if last != Some(e) {
@@ -257,9 +253,8 @@ fn relabel_edges(
                 last = Some(e);
             }
         }
-        w.finish()?
-    };
-    full.free()?;
+        w.finish()
+    })?;
     Ok(deduped)
 }
 

@@ -13,7 +13,7 @@
 //! which is the whole point: no per-edge pointer chasing.
 
 use em_core::{ExtVec, ExtVecWriter};
-use emsort::{merge_sort_by, SortConfig};
+use emsort::{merge_sort_by, merge_sort_streaming, SortConfig};
 use pdm::Result;
 
 use crate::list_ranking::{list_rank, list_rank_weighted, NIL};
@@ -93,29 +93,31 @@ pub fn euler_tour(edges: &ExtVec<(u64, u64)>, root: u64, cfg: &SortConfig) -> Re
         if let Some((gsrc, first_id, prev_dst)) = group {
             w.push((prev_dst, gsrc, first_id))?;
         }
-        let unsorted = w.finish()?;
-        let sorted = merge_sort_by(&unsorted, cfg, |a, b| (a.0, a.1) < (b.0, b.1))?;
-        unsorted.free()?;
-        sorted
+        w.finish()?
     };
     let head = head.expect("root has no incident edge");
 
     // 3. Zip: `rel` sorted by (x, v) runs parallel to `arcs` sorted by
     //    (src, dst); position i in `arcs` is arc id i.  Break the cycle at
-    //    the arc whose successor is the head.
-    let succ = {
-        let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
-        let mut ra = arcs.reader();
-        let mut rr = rel.reader();
-        let mut idx = 0u64;
-        while let Some((src, dst)) = ra.try_next()? {
-            let (x, v, next) = rr.try_next()?.expect("one relation record per arc");
-            debug_assert_eq!((x, v), (src, dst), "relation misaligned with arcs");
-            w.push((idx, if next == head { NIL } else { next }))?;
-            idx += 1;
-        }
-        w.finish()?
-    };
+    //    the arc whose successor is the head.  The sorted relation is
+    //    consumed once, so the sort's final merge streams into the zip.
+    let succ = merge_sort_streaming(
+        &rel,
+        cfg,
+        |a, b| (a.0, a.1) < (b.0, b.1),
+        |rr| {
+            let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
+            let mut ra = arcs.reader();
+            let mut idx = 0u64;
+            while let Some((src, dst)) = ra.try_next()? {
+                let (x, v, next) = rr.try_next()?.expect("one relation record per arc");
+                debug_assert_eq!((x, v), (src, dst), "relation misaligned with arcs");
+                w.push((idx, if next == head { NIL } else { next }))?;
+                idx += 1;
+            }
+            w.finish()
+        },
+    )?;
     rel.free()?;
 
     Ok(EulerTour { arcs, succ, head })
@@ -153,20 +155,19 @@ pub fn tree_depths(
             w.push((lo, hi, pos, idx))?;
             idx += 1;
         }
-        let unsorted = w.finish()?;
-        let sorted = merge_sort_by(&unsorted, cfg, |a, b| (a.0, a.1, a.2) < (b.0, b.1, b.2))?;
-        unsorted.free()?;
-        sorted
+        w.finish()?
     };
     unit_ranks.free()?;
 
-    // Each consecutive pair in `tagged` shares (lo, hi): the arc with the
-    // smaller position is the forward (descending) arc.  Emit per-arc
-    // weights and remember the forward arc's destination vertex.
+    // Each consecutive pair in sorted `tagged` shares (lo, hi): the arc with
+    // the smaller position is the forward (descending) arc.  Emit per-arc
+    // weights and remember the forward arc's destination vertex.  The sorted
+    // pairs are consumed once, so the final merge streams into the scan.
     let mut weights_w: ExtVecWriter<(u64, i64)> = ExtVecWriter::new(device.clone()); // (arc_id, ±1)
     let mut fwd_w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone()); // (forward_arc_id, child vertex)
-    {
-        let mut rt = tagged.reader();
+    let tagged_less =
+        |a: &(u64, u64, u64, u64), b: &(u64, u64, u64, u64)| (a.0, a.1, a.2) < (b.0, b.1, b.2);
+    merge_sort_streaming(&tagged, cfg, tagged_less, |rt| {
         while let Some(first) = rt.try_next()? {
             let second = rt.try_next()?.expect("arcs come in twin pairs");
             debug_assert_eq!(
@@ -187,57 +188,59 @@ pub fn tree_depths(
             // so we can join against `arcs` afterwards instead.
             fwd_w.push((fwd_arc, 0))?;
         }
-    }
+        Ok(())
+    })?;
     tagged.free()?;
-    let weights = {
-        let unsorted = weights_w.finish()?;
-        let sorted = merge_sort_by(&unsorted, cfg, |a, b| a.0 < b.0)?;
-        unsorted.free()?;
-        sorted
-    };
-    let fwd = {
-        let unsorted = fwd_w.finish()?;
-        let sorted = merge_sort_by(&unsorted, cfg, |a, b| a.0 < b.0)?;
-        unsorted.free()?;
-        sorted
-    };
+    let weights = weights_w.finish()?;
+    let fwd = fwd_w.finish()?;
 
-    // Weighted list over arcs: (arc_id, succ, weight).
-    let nodes = {
-        let mut w: ExtVecWriter<(u64, u64, i64)> = ExtVecWriter::new(device.clone());
-        let mut rs = tour.succ.reader();
-        let mut rw = weights.reader();
-        while let Some((aid, s)) = rs.try_next()? {
-            let (wid, weight) = rw.try_next()?.expect("weight for every arc");
-            debug_assert_eq!(wid, aid);
-            w.push((aid, s, weight))?;
-        }
-        w.finish()?
-    };
+    // Weighted list over arcs: (arc_id, succ, weight).  Sorted weights are
+    // consumed once by the zip, so the final merge streams into it.
+    let nodes = merge_sort_streaming(
+        &weights,
+        cfg,
+        |a, b| a.0 < b.0,
+        |rw| {
+            let mut w: ExtVecWriter<(u64, u64, i64)> = ExtVecWriter::new(device.clone());
+            let mut rs = tour.succ.reader();
+            while let Some((aid, s)) = rs.try_next()? {
+                let (wid, weight) = rw.try_next()?.expect("weight for every arc");
+                debug_assert_eq!(wid, aid);
+                w.push((aid, s, weight))?;
+            }
+            w.finish()
+        },
+    )?;
     weights.free()?;
     let wranks = list_rank_weighted(&nodes, tour.head, cfg)?; // (arc_id, weighted rank)
     nodes.free()?;
 
     // depth(child of forward arc a) = wrank(a) + 1.  Join forward arcs with
-    // their dst (via `arcs`, arc-id order) and with wranks (arc-id order).
+    // their dst (via `arcs`, arc-id order) and with wranks (arc-id order);
+    // the sorted forward-arc list is consumed once, so it streams too.
     let mut depths_w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
     depths_w.push((root, 0))?;
-    {
-        let mut ra = tour.arcs.reader();
-        let mut rr = wranks.reader();
-        let mut rf = fwd.reader();
-        let mut cur_fwd: Option<(u64, u64)> = rf.try_next()?;
-        let mut idx = 0u64;
-        while let Some((_src, dst)) = ra.try_next()? {
-            let (aid, wrank) = rr.try_next()?.expect("rank for every arc");
-            debug_assert_eq!(aid, idx);
-            if cur_fwd.is_some_and(|(f, _)| f == idx) {
-                depths_w.push((dst, (wrank + 1) as u64))?;
-                cur_fwd = rf.try_next()?;
+    merge_sort_streaming(
+        &fwd,
+        cfg,
+        |a, b| a.0 < b.0,
+        |rf| {
+            let mut ra = tour.arcs.reader();
+            let mut rr = wranks.reader();
+            let mut cur_fwd: Option<(u64, u64)> = rf.try_next()?;
+            let mut idx = 0u64;
+            while let Some((_src, dst)) = ra.try_next()? {
+                let (aid, wrank) = rr.try_next()?.expect("rank for every arc");
+                debug_assert_eq!(aid, idx);
+                if cur_fwd.is_some_and(|(f, _)| f == idx) {
+                    depths_w.push((dst, (wrank + 1) as u64))?;
+                    cur_fwd = rf.try_next()?;
+                }
+                idx += 1;
             }
-            idx += 1;
-        }
-    }
+            Ok(())
+        },
+    )?;
     wranks.free()?;
     fwd.free()?;
     tour.free()?;

@@ -19,7 +19,7 @@
 use std::collections::HashMap;
 
 use em_core::{ExtVec, ExtVecWriter};
-use emsort::{merge_sort_by, SortConfig};
+use emsort::{merge_sort_by, merge_sort_streaming, SortConfig};
 use pdm::Result;
 
 /// "No successor" sentinel for list tails.
@@ -96,7 +96,8 @@ fn rank_rec(
         return ExtVec::from_slice(device, &ranks);
     }
 
-    // Predecessor pairs (succ, node), sorted by target.
+    // Predecessor pairs (succ, node): sorted by target and consumed once by
+    // the removal scan, so the sort's final merge streams straight into it.
     let preds = {
         let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
         let mut r = nodes.reader();
@@ -105,10 +106,7 @@ fn rank_rec(
                 w.push((s, id))?;
             }
         }
-        let unsorted = w.finish()?;
-        let sorted = merge_sort_by(&unsorted, cfg, |a, b| a.0 < b.0)?;
-        unsorted.free()?;
-        sorted
+        w.finish()?
     };
 
     // Decide removals and emit splices / saves / survivors.
@@ -116,29 +114,35 @@ fn rank_rec(
     let mut saved: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone()); // (pred, removed)
     let mut survivors: ExtVecWriter<(u64, u64, i64)> = ExtVecWriter::new(device.clone());
     let mut removed_count = 0u64;
-    {
-        let mut rn = nodes.reader();
-        let mut rp = preds.reader();
-        let mut cur_pred: Option<(u64, u64)> = rp.try_next()?;
-        while let Some((id, s, w)) = rn.try_next()? {
-            while cur_pred.is_some_and(|(t, _)| t < id) {
-                cur_pred = rp.try_next()?;
+    merge_sort_streaming(
+        &preds,
+        cfg,
+        |a, b| a.0 < b.0,
+        |rp| {
+            let mut rn = nodes.reader();
+            let mut cur_pred: Option<(u64, u64)> = rp.try_next()?;
+            while let Some((id, s, w)) = rn.try_next()? {
+                while cur_pred.is_some_and(|(t, _)| t < id) {
+                    cur_pred = rp.try_next()?;
+                }
+                let pred = match cur_pred {
+                    Some((t, p)) if t == id => Some(p),
+                    _ => None,
+                };
+                let removable =
+                    id != head && coin(level, id) && pred.is_some_and(|p| !coin(level, p));
+                if removable {
+                    let p = pred.expect("removable implies pred");
+                    splices.push((p, s, w))?;
+                    saved.push((p, id))?;
+                    removed_count += 1;
+                } else {
+                    survivors.push((id, s, w))?;
+                }
             }
-            let pred = match cur_pred {
-                Some((t, p)) if t == id => Some(p),
-                _ => None,
-            };
-            let removable = id != head && coin(level, id) && pred.is_some_and(|p| !coin(level, p));
-            if removable {
-                let p = pred.expect("removable implies pred");
-                splices.push((p, s, w))?;
-                saved.push((p, id))?;
-                removed_count += 1;
-            } else {
-                survivors.push((id, s, w))?;
-            }
-        }
-    }
+            Ok(())
+        },
+    )?;
     preds.free()?;
     let splices = splices.finish()?;
     let saved = saved.finish()?;
@@ -153,29 +157,33 @@ fn rank_rec(
     }
 
     // Apply splices to survivors, remembering each spliced predecessor's
-    // *old* weight (needed to reintegrate its removed successor).
-    let splices_sorted = merge_sort_by(&splices, cfg, |a, b| a.0 < b.0)?;
-    splices.free()?;
+    // *old* weight (needed to reintegrate its removed successor).  The
+    // sorted splices are consumed once, so the final merge streams in.
     let mut contracted: ExtVecWriter<(u64, u64, i64)> = ExtVecWriter::new(device.clone());
     let mut old_weights: ExtVecWriter<(u64, i64)> = ExtVecWriter::new(device.clone()); // (pred, w_old)
-    {
-        let mut rs = survivors.reader();
-        let mut rx = splices_sorted.reader();
-        let mut cur: Option<(u64, u64, i64)> = rx.try_next()?;
-        while let Some((id, s, w)) = rs.try_next()? {
-            match cur {
-                Some((p, new_s, w_removed)) if p == id => {
-                    old_weights.push((id, w))?;
-                    contracted.push((id, new_s, w + w_removed))?;
-                    cur = rx.try_next()?;
+    merge_sort_streaming(
+        &splices,
+        cfg,
+        |a, b| a.0 < b.0,
+        |rx| {
+            let mut rs = survivors.reader();
+            let mut cur: Option<(u64, u64, i64)> = rx.try_next()?;
+            while let Some((id, s, w)) = rs.try_next()? {
+                match cur {
+                    Some((p, new_s, w_removed)) if p == id => {
+                        old_weights.push((id, w))?;
+                        contracted.push((id, new_s, w + w_removed))?;
+                        cur = rx.try_next()?;
+                    }
+                    _ => contracted.push((id, s, w))?,
                 }
-                _ => contracted.push((id, s, w))?,
             }
-        }
-        debug_assert!(cur.is_none(), "splice targeted a non-survivor");
-    }
+            debug_assert!(cur.is_none(), "splice targeted a non-survivor");
+            Ok(())
+        },
+    )?;
     survivors.free()?;
-    splices_sorted.free()?;
+    splices.free()?;
     let contracted = contracted.finish()?;
     let old_weights = old_weights.finish()?; // sorted by pred (survivor order)
 
@@ -183,30 +191,34 @@ fn rank_rec(
     let sub_ranks = rank_rec(&contracted, head, cfg, level + 1)?;
     contracted.free()?;
 
-    // Reintegrate: rank(removed) = rank(pred) + old_weight(pred).
-    let saved_sorted = merge_sort_by(&saved, cfg, |a, b| a.0 < b.0)?;
-    saved.free()?;
+    // Reintegrate: rank(removed) = rank(pred) + old_weight(pred).  The
+    // sorted saved pairs are consumed once, so the final merge streams in.
     let mut all_ranks: ExtVecWriter<(u64, i64)> = ExtVecWriter::new(device.clone());
-    {
-        let mut rr = sub_ranks.reader();
-        let mut rs = saved_sorted.reader();
-        let mut rw = old_weights.reader();
-        let mut cur_saved: Option<(u64, u64)> = rs.try_next()?;
-        let mut cur_w: Option<(u64, i64)> = rw.try_next()?;
-        while let Some((id, rank)) = rr.try_next()? {
-            all_ranks.push((id, rank))?;
-            if cur_saved.is_some_and(|(p, _)| p == id) {
-                let (_, removed) = cur_saved.expect("checked");
-                let (_, w_old) = cur_w.expect("old weight recorded for every spliced pred");
-                debug_assert_eq!(cur_w.expect("checked").0, id);
-                all_ranks.push((removed, rank + w_old))?;
-                cur_saved = rs.try_next()?;
-                cur_w = rw.try_next()?;
+    merge_sort_streaming(
+        &saved,
+        cfg,
+        |a, b| a.0 < b.0,
+        |rs| {
+            let mut rr = sub_ranks.reader();
+            let mut rw = old_weights.reader();
+            let mut cur_saved: Option<(u64, u64)> = rs.try_next()?;
+            let mut cur_w: Option<(u64, i64)> = rw.try_next()?;
+            while let Some((id, rank)) = rr.try_next()? {
+                all_ranks.push((id, rank))?;
+                if cur_saved.is_some_and(|(p, _)| p == id) {
+                    let (_, removed) = cur_saved.expect("checked");
+                    let (_, w_old) = cur_w.expect("old weight recorded for every spliced pred");
+                    debug_assert_eq!(cur_w.expect("checked").0, id);
+                    all_ranks.push((removed, rank + w_old))?;
+                    cur_saved = rs.try_next()?;
+                    cur_w = rw.try_next()?;
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    )?;
     sub_ranks.free()?;
-    saved_sorted.free()?;
+    saved.free()?;
     old_weights.free()?;
     let all_ranks = all_ranks.finish()?;
     let result = merge_sort_by(&all_ranks, cfg, |a, b| a.0 < b.0)?;

@@ -20,10 +20,10 @@
 //! the root.
 
 use em_core::{ExtVec, ExtVecWriter};
-use emsort::{merge_sort_by, SortConfig};
+use emsort::{merge_sort_by, merge_sort_streaming, SortConfig};
 use pdm::Result;
 
-use crate::util::join_left;
+use crate::util::join_left_stream;
 
 /// Compute a minimum spanning forest of the undirected weighted graph
 /// `edges` (`(u, v, w)`, dense vertex ids `0..n`).  Returns the forest's
@@ -68,6 +68,8 @@ pub fn minimum_spanning_forest(
         }
 
         // Minimum incident edge per label: arcs sorted by (label, w, id).
+        // The sorted arcs are consumed once by the grouped scan, so the
+        // sort's final merge streams straight into it.
         let arcs = {
             let mut w: ExtVecWriter<(u64, u64, u64, u64)> = ExtVecWriter::new(device.clone());
             let mut r = work.reader();
@@ -75,15 +77,13 @@ pub fn minimum_spanning_forest(
                 w.push((a, b, wt, id))?;
                 w.push((b, a, wt, id))?;
             }
-            let unsorted = w.finish()?;
-            let sorted = merge_sort_by(&unsorted, cfg, |x, y| (x.0, x.2, x.3) < (y.0, y.2, y.3))?;
-            unsorted.free()?;
-            sorted
+            w.finish()?
         };
         // First arc of each source group is its minimum edge: hook + choose.
         let mut hooks_w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone()); // (label, parent)
-        {
-            let mut r = arcs.reader();
+        let arc_less =
+            |x: &(u64, u64, u64, u64), y: &(u64, u64, u64, u64)| (x.0, x.2, x.3) < (y.0, y.2, y.3);
+        merge_sort_streaming(&arcs, cfg, arc_less, |r| {
             let mut cur_src = u64::MAX;
             while let Some((src, dst, _wt, id)) = r.try_next()? {
                 if src != cur_src {
@@ -92,7 +92,8 @@ pub fn minimum_spanning_forest(
                     chosen.push(id)?;
                 }
             }
-        }
+            Ok(())
+        })?;
         arcs.free()?;
         let hooks = hooks_w.finish()?; // sorted by label (group order)
 
@@ -110,30 +111,34 @@ pub fn minimum_spanning_forest(
     work.free()?;
 
     // Map chosen ids back to original edges: sort + dedupe + merge with an
-    // id-indexed pass over the input.
+    // id-indexed pass over the input; the sorted ids are consumed once, so
+    // the sort's final merge streams into the pass.
     let chosen = chosen.finish()?;
-    let sorted_ids = merge_sort_by(&chosen, cfg, |a, b| a < b)?;
-    chosen.free()?;
     let mut out: ExtVecWriter<(u64, u64, u64)> = ExtVecWriter::new(device);
-    {
-        let mut ids = sorted_ids.reader();
-        let mut cur = ids.try_next()?;
-        let mut r = edges.reader();
-        let mut idx = 0u64;
-        while let Some(e) = r.try_next()? {
-            let mut take = false;
-            while cur == Some(idx) {
-                take = true;
-                cur = ids.try_next()?; // skip duplicates of the same id
+    merge_sort_streaming(
+        &chosen,
+        cfg,
+        |a, b| a < b,
+        |ids| {
+            let mut cur = ids.try_next()?;
+            let mut r = edges.reader();
+            let mut idx = 0u64;
+            while let Some(e) = r.try_next()? {
+                let mut take = false;
+                while cur == Some(idx) {
+                    take = true;
+                    cur = ids.try_next()?; // skip duplicates of the same id
+                }
+                if take {
+                    out.push(e)?;
+                }
+                idx += 1;
             }
-            if take {
-                out.push(e)?;
-            }
-            idx += 1;
-        }
-        debug_assert!(cur.is_none(), "chosen id beyond input range");
-    }
-    sorted_ids.free()?;
+            debug_assert!(cur.is_none(), "chosen id beyond input range");
+            Ok(())
+        },
+    )?;
+    chosen.free()?;
     out.finish()
 }
 
@@ -141,19 +146,22 @@ pub fn minimum_spanning_forest(
 /// label as a root.
 fn break_two_cycles(hooks: ExtVec<(u64, u64)>, cfg: &SortConfig) -> Result<ExtVec<(u64, u64)>> {
     let device = hooks.device().clone();
-    // joined: (p, x, pp|MAX) with pp = parent(p).
+    // joined: (p, x, pp|MAX) with pp = parent(p); the sorted probe side
+    // streams straight off the final merge pass into the join.
     let swapped = {
         let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
         let mut r = hooks.reader();
         while let Some((x, p)) = r.try_next()? {
             w.push((p, x))?;
         }
-        let unsorted = w.finish()?;
-        let sorted = merge_sort_by(&unsorted, cfg, |a, b| a.0 < b.0)?;
-        unsorted.free()?;
-        sorted
+        w.finish()?
     };
-    let joined = join_left(&swapped, &hooks, u64::MAX)?;
+    let joined = merge_sort_streaming(
+        &swapped,
+        cfg,
+        |a, b| a.0 < b.0,
+        |s| join_left_stream(s, &hooks, u64::MAX),
+    )?;
     swapped.free()?;
     let filtered = {
         let mut w: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device);
@@ -186,12 +194,15 @@ fn compress(mut parents: ExtVec<(u64, u64)>, cfg: &SortConfig) -> Result<ExtVec<
             while let Some((x, p)) = r.try_next()? {
                 w.push((p, x))?;
             }
-            let unsorted = w.finish()?;
-            let sorted = merge_sort_by(&unsorted, cfg, |a, b| a.0 < b.0)?;
-            unsorted.free()?;
-            sorted
+            w.finish()?
         };
-        let joined = join_left(&swapped, &parents, u64::MAX)?;
+        // The sorted probe side streams straight into the join.
+        let joined = merge_sort_streaming(
+            &swapped,
+            cfg,
+            |a, b| a.0 < b.0,
+            |s| join_left_stream(s, &parents, u64::MAX),
+        )?;
         swapped.free()?;
         let mut changed = false;
         let next = {
@@ -227,20 +238,25 @@ fn relabel(
     cfg: &SortConfig,
 ) -> Result<ExtVec<(u64, u64, u64, u64)>> {
     let device = work.device().clone();
-    // Join on endpoint a: records keyed (a, (b, w, id)).
+    // Join on endpoint a: records keyed (a, (b, w, id)); the sorted probe
+    // side streams straight into the join.
     let keyed_a = {
         let mut w: ExtVecWriter<(u64, (u64, u64, u64))> = ExtVecWriter::new(device.clone());
         let mut r = work.reader();
         while let Some((a, b, wt, id)) = r.try_next()? {
             w.push((a, (b, wt, id)))?;
         }
-        let unsorted = w.finish()?;
-        let sorted = merge_sort_by(&unsorted, cfg, |x, y| x.0 < y.0)?;
-        unsorted.free()?;
-        sorted
+        w.finish()?
     };
     work.free()?;
-    let ja = join_left(&keyed_a, parents, u64::MAX)?; // (a, (b,w,id), pa|MAX)
+    let ja = merge_sort_streaming(
+        &keyed_a,
+        cfg,
+        |x, y| x.0 < y.0,
+        |s| {
+            join_left_stream(s, parents, u64::MAX) // (a, (b,w,id), pa|MAX)
+        },
+    )?;
     keyed_a.free()?;
     let keyed_b = {
         let mut w: ExtVecWriter<(u64, (u64, u64, u64))> = ExtVecWriter::new(device.clone());
@@ -249,13 +265,15 @@ fn relabel(
             let a2 = if pa == u64::MAX { a } else { pa };
             w.push((b, (a2, wt, id)))?;
         }
-        let unsorted = w.finish()?;
-        let sorted = merge_sort_by(&unsorted, cfg, |x, y| x.0 < y.0)?;
-        unsorted.free()?;
-        sorted
+        w.finish()?
     };
     ja.free()?;
-    let jb = join_left(&keyed_b, parents, u64::MAX)?;
+    let jb = merge_sort_streaming(
+        &keyed_b,
+        cfg,
+        |x, y| x.0 < y.0,
+        |s| join_left_stream(s, parents, u64::MAX),
+    )?;
     keyed_b.free()?;
     let relabeled = {
         let mut w: ExtVecWriter<(u64, u64, u64, u64)> = ExtVecWriter::new(device.clone());
@@ -266,27 +284,28 @@ fn relabel(
                 w.push((a2.min(b2), a2.max(b2), wt, id))?;
             }
         }
-        let unsorted = w.finish()?;
-        let sorted = merge_sort_by(&unsorted, cfg, |x, y| {
-            (x.0, x.1, x.2, x.3) < (y.0, y.1, y.2, y.3)
-        })?;
-        unsorted.free()?;
-        sorted
-    };
-    jb.free()?;
-    // Keep only the lightest edge per label pair.
-    let pruned = {
-        let mut w: ExtVecWriter<(u64, u64, u64, u64)> = ExtVecWriter::new(device);
-        let mut r = relabeled.reader();
-        let mut cur: Option<(u64, u64)> = None;
-        while let Some(e) = r.try_next()? {
-            if cur != Some((e.0, e.1)) {
-                cur = Some((e.0, e.1));
-                w.push(e)?;
-            }
-        }
         w.finish()?
     };
+    jb.free()?;
+    // Keep only the lightest edge per label pair: sort + prune fused.
+    let pruned = merge_sort_streaming(
+        &relabeled,
+        cfg,
+        |x: &(u64, u64, u64, u64), y: &(u64, u64, u64, u64)| {
+            (x.0, x.1, x.2, x.3) < (y.0, y.1, y.2, y.3)
+        },
+        |r| {
+            let mut w: ExtVecWriter<(u64, u64, u64, u64)> = ExtVecWriter::new(device);
+            let mut cur: Option<(u64, u64)> = None;
+            while let Some(e) = r.try_next()? {
+                if cur != Some((e.0, e.1)) {
+                    cur = Some((e.0, e.1));
+                    w.push(e)?;
+                }
+            }
+            w.finish()
+        },
+    )?;
     relabeled.free()?;
     Ok(pruned)
 }

@@ -90,7 +90,7 @@ pub fn sssp(
     // Dijkstra with lazy deletion.
     let mut settled = vec![false; n as usize]; // the semi-external bitmap
     let mut pq: ExtPriorityQueue<(u64, u64)> =
-        ExtPriorityQueue::new(device.clone(), cfg.mem_records.max(8 * adj.per_block()));
+        ExtPriorityQueue::new(device.clone(), cfg.mem_records)?;
     pq.push((0, source))?;
     let mut out: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device.clone());
     let mut nbr: Vec<(u64, u64, u64)> = Vec::new();

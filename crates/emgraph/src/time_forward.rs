@@ -14,7 +14,7 @@
 //! maximal-independent-set, expression-DAG evaluation, and more.
 
 use em_core::{ExtVec, ExtVecWriter};
-use emsort::{merge_sort_by, SortConfig};
+use emsort::{merge_sort_streaming, SortConfig};
 use emtree::ExtPriorityQueue;
 use pdm::Result;
 
@@ -36,47 +36,53 @@ where
     F: FnMut(u64, u64, &[u64]) -> u64,
 {
     let device = labels.device().clone();
-    let sorted_edges = merge_sort_by(edges, cfg, |a, b| a < b)?;
 
     // Messages travel through the EPQ as (dst, src, value).
     let mut pq: ExtPriorityQueue<(u64, u64, u64)> =
-        ExtPriorityQueue::new(device.clone(), cfg.mem_records.max(8 * labels.per_block()));
+        ExtPriorityQueue::new(device.clone(), cfg.mem_records)?;
 
     let mut out: ExtVecWriter<(u64, u64)> = ExtVecWriter::new(device);
-    let mut edge_reader = sorted_edges.reader();
-    let mut pending_edge: Option<(u64, u64)> = edge_reader.try_next()?;
-    let mut incoming: Vec<u64> = Vec::new();
+    // The sorted edge list is consumed in exactly one forward pass, so the
+    // final merge is fused into the sweep instead of materializing it.
+    merge_sort_streaming(
+        edges,
+        cfg,
+        |a, b| a < b,
+        |stream| {
+            let mut pending_edge: Option<(u64, u64)> = stream.try_next()?;
+            let mut incoming: Vec<u64> = Vec::new();
 
-    let mut lr = labels.reader();
-    while let Some((v, label)) = lr.try_next()? {
-        // Collect incoming values (sorted by src because the EPQ orders by
-        // (dst, src, value)).
-        incoming.clear();
-        while pq.peek()?.is_some_and(|(d, _, _)| d == v) {
-            let (_, _, value) = pq.pop()?.expect("peeked");
-            incoming.push(value);
-        }
-        let value = f(v, label, &incoming);
-        out.push((v, value))?;
-        // Forward the value along out-edges.
-        while pending_edge.is_some_and(|(s, _)| s == v) {
-            let (s, d) = pending_edge.expect("checked");
-            assert!(d > s, "edge does not respect topological numbering");
-            pq.push((d, s, value))?;
-            pending_edge = edge_reader.try_next()?;
-        }
-        // Edges from vertices we already passed would be a malformed input.
-        assert!(
-            pending_edge.is_none_or(|(s, _)| s >= v),
-            "edge source out of topological order"
-        );
-    }
-    assert!(
-        pending_edge.is_none(),
-        "edge references vertex beyond the label array"
-    );
-    drop(edge_reader);
-    sorted_edges.free()?;
+            let mut lr = labels.reader();
+            while let Some((v, label)) = lr.try_next()? {
+                // Collect incoming values (sorted by src because the EPQ orders
+                // by (dst, src, value)).
+                incoming.clear();
+                while pq.peek()?.is_some_and(|(d, _, _)| d == v) {
+                    let (_, _, value) = pq.pop()?.expect("peeked");
+                    incoming.push(value);
+                }
+                let value = f(v, label, &incoming);
+                out.push((v, value))?;
+                // Forward the value along out-edges.
+                while pending_edge.is_some_and(|(s, _)| s == v) {
+                    let (s, d) = pending_edge.expect("checked");
+                    assert!(d > s, "edge does not respect topological numbering");
+                    pq.push((d, s, value))?;
+                    pending_edge = stream.try_next()?;
+                }
+                // Edges from vertices we already passed would be malformed input.
+                assert!(
+                    pending_edge.is_none_or(|(s, _)| s >= v),
+                    "edge source out of topological order"
+                );
+            }
+            assert!(
+                pending_edge.is_none(),
+                "edge references vertex beyond the label array"
+            );
+            Ok(())
+        },
+    )?;
     out.finish()
 }
 

@@ -6,6 +6,7 @@
 //! `O(scan)` I/Os.
 
 use em_core::{ExtVec, ExtVecWriter, Record};
+use emsort::SortedStream;
 use pdm::Result;
 
 /// Inner-join two arrays sorted by their `u64` key (`.0`): for every pair of
@@ -37,6 +38,7 @@ pub(crate) fn join_unique<X: Record, Y: Record>(
 
 /// Left-outer variant of [`join_unique`]: keys of `a` with no match in `b`
 /// emit `(k, x, default)`.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn join_left<X: Record, Y: Record>(
     a: &ExtVec<(u64, X)>,
     b: &ExtVec<(u64, Y)>,
@@ -47,6 +49,32 @@ pub(crate) fn join_left<X: Record, Y: Record>(
     let mut rb = b.reader();
     let mut cur_b: Option<(u64, Y)> = rb.try_next()?;
     while let Some((k, x)) = ra.try_next()? {
+        while cur_b.as_ref().is_some_and(|(bk, _)| *bk < k) {
+            cur_b = rb.try_next()?;
+        }
+        match &cur_b {
+            Some((bk, y)) if *bk == k => out.push((k, x, y.clone()))?,
+            _ => out.push((k, x, default.clone()))?,
+        }
+    }
+    out.finish()
+}
+
+/// [`join_left`] with the probe side delivered as a [`SortedStream`]: `a`
+/// arrives straight off a sort's final merge pass instead of being
+/// materialized first, saving the probe side's write + re-read scans.
+pub(crate) fn join_left_stream<X: Record, Y: Record, F>(
+    a: &mut SortedStream<'_, (u64, X), F>,
+    b: &ExtVec<(u64, Y)>,
+    default: Y,
+) -> Result<ExtVec<(u64, X, Y)>>
+where
+    F: Fn(&(u64, X), &(u64, X)) -> bool + Copy,
+{
+    let mut out: ExtVecWriter<(u64, X, Y)> = ExtVecWriter::new(b.device().clone());
+    let mut rb = b.reader();
+    let mut cur_b: Option<(u64, Y)> = rb.try_next()?;
+    while let Some((k, x)) = a.try_next()? {
         while cur_b.as_ref().is_some_and(|(bk, _)| *bk < k) {
             cur_b = rb.try_next()?;
         }

@@ -23,7 +23,7 @@
 #![warn(missing_docs)]
 
 use em_core::{ExtVec, ExtVecWriter, MemBudget, Record};
-use emsort::{merge_sort_by, SortConfig};
+use emsort::{merge_sort_by, merge_sort_streaming, SortConfig};
 use pdm::Result;
 
 /// The `k` smallest records by an extracted key, in key order — a selection
@@ -131,22 +131,26 @@ pub fn concat<R: Record>(inputs: &[&ExtVec<R>]) -> Result<ExtVec<R>> {
     out.finish()
 }
 
-/// Duplicate elimination by natural order (`O(Sort(N))`).
+/// Duplicate elimination by natural order (`O(Sort(N))`).  The sort's final
+/// merge streams straight into the dedup scan, so the sorted intermediate
+/// is never written out.
 pub fn distinct<R: Record + Ord>(input: &ExtVec<R>, cfg: &SortConfig) -> Result<ExtVec<R>> {
-    let sorted = merge_sort_by(input, cfg, |a, b| a < b)?;
-    let mut out: ExtVecWriter<R> = ExtVecWriter::new(input.device().clone());
-    {
-        let mut r = sorted.reader();
-        let mut last: Option<R> = None;
-        while let Some(rec) = r.try_next()? {
-            if last.as_ref() != Some(&rec) {
-                out.push(rec.clone())?;
-                last = Some(rec);
+    merge_sort_streaming(
+        input,
+        cfg,
+        |a, b| a < b,
+        |s| {
+            let mut out: ExtVecWriter<R> = ExtVecWriter::new(input.device().clone());
+            let mut last: Option<R> = None;
+            while let Some(rec) = s.try_next()? {
+                if last.as_ref() != Some(&rec) {
+                    out.push(rec.clone())?;
+                    last = Some(rec);
+                }
             }
-        }
-    }
-    sorted.free()?;
-    out.finish()
+            out.finish()
+        },
+    )
 }
 
 /// Sort-based group-by with a streaming fold: records are grouped by `key`;
@@ -170,34 +174,38 @@ where
     FoldF: FnMut(&mut Acc, &R),
     FinF: FnMut(K, Acc, u64) -> O,
 {
-    let sorted = sort_by_key(input, cfg, key)?;
-    let mut out: ExtVecWriter<O> = ExtVecWriter::new(input.device().clone());
-    {
-        let mut r = sorted.reader();
-        let mut cur: Option<(K, Acc, u64)> = None;
-        while let Some(rec) = r.try_next()? {
-            let k = key(&rec);
-            match &mut cur {
-                Some((ck, acc, count)) if *ck == k => {
-                    fold(acc, &rec);
-                    *count += 1;
-                }
-                _ => {
-                    if let Some((ck, acc, count)) = cur.take() {
-                        out.push(finish(ck, acc, count))?;
+    // The sorted relation is consumed once by the fold, so the sort's final
+    // merge streams straight into it.
+    merge_sort_streaming(
+        input,
+        cfg,
+        move |a, b| key(a) < key(b),
+        |r| {
+            let mut out: ExtVecWriter<O> = ExtVecWriter::new(input.device().clone());
+            let mut cur: Option<(K, Acc, u64)> = None;
+            while let Some(rec) = r.try_next()? {
+                let k = key(&rec);
+                match &mut cur {
+                    Some((ck, acc, count)) if *ck == k => {
+                        fold(acc, &rec);
+                        *count += 1;
                     }
-                    let mut acc = init.clone();
-                    fold(&mut acc, &rec);
-                    cur = Some((k, acc, 1));
+                    _ => {
+                        if let Some((ck, acc, count)) = cur.take() {
+                            out.push(finish(ck, acc, count))?;
+                        }
+                        let mut acc = init.clone();
+                        fold(&mut acc, &rec);
+                        cur = Some((k, acc, 1));
+                    }
                 }
             }
-        }
-        if let Some((ck, acc, count)) = cur {
-            out.push(finish(ck, acc, count))?;
-        }
-    }
-    sorted.free()?;
-    out.finish()
+            if let Some((ck, acc, count)) = cur {
+                out.push(finish(ck, acc, count))?;
+            }
+            out.finish()
+        },
+    )
 }
 
 /// Sort-merge equi-join: emit `make(l, r)` for every pair with equal keys.
@@ -224,42 +232,48 @@ where
     MK: FnMut(&L, &R) -> O,
 {
     let budget = MemBudget::new(cfg.mem_records);
-    let ls = sort_by_key(left, cfg, key_l)?;
     let rs = sort_by_key(right, cfg, key_r)?;
-    let mut out: ExtVecWriter<O> = ExtVecWriter::new(left.device().clone());
-    {
-        let mut lr = ls.reader();
-        let mut rr = rs.reader();
-        let mut group: Vec<R> = Vec::new();
-        let mut group_key: Option<K> = None;
-        let mut group_charge = None;
-        let mut cur_r: Option<R> = rr.try_next()?;
-        while let Some(l) = lr.try_next()? {
-            let kl = key_l(&l);
-            // Advance the right side to the first record with key ≥ kl,
-            // loading the matching group when we reach it.
-            if group_key.as_ref() != Some(&kl) {
-                // Skip right records below kl.
-                while cur_r.as_ref().is_some_and(|r| key_r(r) < kl) {
-                    cur_r = rr.try_next()?;
+    // The sorted left (probe) side is consumed once by the merge, so it
+    // streams straight off the sort's final pass; the right side is
+    // materialized because its current key group is held in memory.
+    let out = merge_sort_streaming(
+        left,
+        cfg,
+        move |a, b| key_l(a) < key_l(b),
+        |lr| {
+            let mut out: ExtVecWriter<O> = ExtVecWriter::new(left.device().clone());
+            let mut rr = rs.reader();
+            let mut group: Vec<R> = Vec::new();
+            let mut group_key: Option<K> = None;
+            let mut group_charge = None;
+            let mut cur_r: Option<R> = rr.try_next()?;
+            while let Some(l) = lr.try_next()? {
+                let kl = key_l(&l);
+                // Advance the right side to the first record with key ≥ kl,
+                // loading the matching group when we reach it.
+                if group_key.as_ref() != Some(&kl) {
+                    // Skip right records below kl.
+                    while cur_r.as_ref().is_some_and(|r| key_r(r) < kl) {
+                        cur_r = rr.try_next()?;
+                    }
+                    group.clear();
+                    drop(group_charge.take());
+                    while cur_r.as_ref().is_some_and(|r| key_r(r) == kl) {
+                        group.push(cur_r.take().expect("checked"));
+                        cur_r = rr.try_next()?;
+                    }
+                    group_charge = Some(budget.charge(group.len()));
+                    group_key = Some(kl.clone());
                 }
-                group.clear();
-                drop(group_charge.take());
-                while cur_r.as_ref().is_some_and(|r| key_r(r) == kl) {
-                    group.push(cur_r.take().expect("checked"));
-                    cur_r = rr.try_next()?;
+                for r in &group {
+                    out.push(make(&l, r))?;
                 }
-                group_charge = Some(budget.charge(group.len()));
-                group_key = Some(kl.clone());
             }
-            for r in &group {
-                out.push(make(&l, r))?;
-            }
-        }
-    }
-    ls.free()?;
+            out.finish()
+        },
+    )?;
     rs.free()?;
-    out.finish()
+    Ok(out)
 }
 
 /// Semi-join: keep the left records whose key appears in `right_keys`
@@ -315,27 +329,31 @@ where
     KL: Fn(&L) -> K + Copy + Send,
     KR: Fn(&R) -> K + Copy + Send,
 {
-    let ls = sort_by_key(left, cfg, key_l)?;
     let rs = sort_by_key(right, cfg, key_r)?;
-    let mut out: ExtVecWriter<L> = ExtVecWriter::new(left.device().clone());
-    {
-        let mut lr = ls.reader();
-        let mut rr = rs.reader();
-        let mut cur_r: Option<R> = rr.try_next()?;
-        while let Some(l) = lr.try_next()? {
-            let kl = key_l(&l);
-            while cur_r.as_ref().is_some_and(|r| key_r(r) < kl) {
-                cur_r = rr.try_next()?;
+    // The sorted left side streams straight off the sort's final merge.
+    let out = merge_sort_streaming(
+        left,
+        cfg,
+        move |a, b| key_l(a) < key_l(b),
+        |lr| {
+            let mut out: ExtVecWriter<L> = ExtVecWriter::new(left.device().clone());
+            let mut rr = rs.reader();
+            let mut cur_r: Option<R> = rr.try_next()?;
+            while let Some(l) = lr.try_next()? {
+                let kl = key_l(&l);
+                while cur_r.as_ref().is_some_and(|r| key_r(r) < kl) {
+                    cur_r = rr.try_next()?;
+                }
+                let matches = cur_r.as_ref().is_some_and(|r| key_r(r) == kl);
+                if matches == keep_matches {
+                    out.push(l)?;
+                }
             }
-            let matches = cur_r.as_ref().is_some_and(|r| key_r(r) == kl);
-            if matches == keep_matches {
-                out.push(l)?;
-            }
-        }
-    }
-    ls.free()?;
+            out.finish()
+        },
+    )?;
     rs.free()?;
-    out.finish()
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -50,7 +50,9 @@ mod transpose;
 pub use bmmc::{bit_reversal, bmmc_permute, perfect_shuffle, BmmcMatrix};
 pub use distribution::{distribution_sort, distribution_sort_by};
 pub use merge::{
-    merge_runs_by, merge_runs_with, merge_sort, merge_sort_by, merge_sort_with_metrics, SortMetrics,
+    merge_runs_by, merge_runs_streaming, merge_runs_with, merge_sort, merge_sort_by,
+    merge_sort_streaming, merge_sort_with_metrics, sort_into, SortMetrics, SortedStream,
+    SortingWriter,
 };
 pub use permute::{invert_permutation, permute_by_sort, permute_naive};
 pub use runs::{form_runs, RunFormation};
@@ -177,6 +179,14 @@ pub struct SortConfig {
     /// when `overlap.read_ahead > 0`; transfer counts are identical either
     /// way.
     pub forecast: bool,
+    /// Fuse the final merge pass into the consumer in
+    /// [`merge_sort_streaming`](crate::merge_sort_streaming) /
+    /// [`sort_into`](crate::sort_into) (the default).  When disabled those
+    /// entry points materialize the sorted output and stream it back as a
+    /// plain scan — the pre-fusion "sort, write, re-read" cost, kept as an
+    /// A/B baseline for benchmarks.  Record sequences are identical either
+    /// way; only the transfer counts differ.
+    pub fusion: bool,
 }
 
 impl SortConfig {
@@ -191,6 +201,7 @@ impl SortConfig {
             kernel: MergeKernel::Auto,
             run_threads: 0,
             forecast: true,
+            fusion: true,
         }
     }
 
@@ -227,6 +238,13 @@ impl SortConfig {
     /// Builder: enable or disable forecasting-driven merge prefetch.
     pub fn with_forecast(mut self, forecast: bool) -> Self {
         self.forecast = forecast;
+        self
+    }
+
+    /// Builder: enable or disable pipeline fusion in the streaming sort
+    /// entry points (see [`SortConfig::fusion`]).
+    pub fn with_fusion(mut self, fusion: bool) -> Self {
+        self.fusion = fusion;
         self
     }
 

@@ -25,13 +25,13 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
-use em_core::{ExtVec, ExtVecReader, ExtVecWriter, IoWaitSink, MemBudget, Record};
-use pdm::Result;
+use em_core::{BudgetGuard, ExtVec, ExtVecReader, ExtVecWriter, IoWaitSink, MemBudget, Record};
+use pdm::{Result, SharedDevice};
 
 use crate::forecast::Forecaster;
 use crate::heap::MinHeap;
 use crate::losertree::LoserTree;
-use crate::runs::form_runs_impl;
+use crate::runs::{form_runs_impl, write_sorted_chunk};
 use crate::{MergeKernel, OverlapConfig, SortConfig};
 
 /// Sort `input` into a new external array on the same device, using natural
@@ -401,6 +401,683 @@ where
     w.finish()
 }
 
+/// Pull-mode view of one k-way merge: the final pass of
+/// [`merge_sort_streaming`] (or an explicit [`merge_runs_streaming`]) handed
+/// to the consumer closure.
+///
+/// [`try_next`](Self::try_next) yields the merged records in sorted order,
+/// one at a time, without ever writing them to disk — the fusion that saves
+/// the materialized output's write pass and the consumer's re-read pass
+/// (`2·⌈N/B⌉` transfers per sort whose output is scanned once).  The merge
+/// kernel (loser tree or heap), forecasting-driven read-ahead, and per-disk
+/// overlap all work exactly as in the materialized merge, so the record
+/// *sequence* is identical to [`merge_sort_by`]'s output and the input-side
+/// transfers are unchanged.
+///
+/// The stream borrows the final-stage runs, which live in the sorting
+/// function's frame; that is why the consumer is a closure rather than the
+/// stream being returned.
+pub struct SortedStream<'a, R: Record, F> {
+    readers: Vec<ExtVecReader<'a, R>>,
+    fc: Option<Forecaster>,
+    kernel: StreamKernel<R, F>,
+    less: F,
+    /// Records since the last forecaster pump (cadence: once per block).
+    since_pump: usize,
+    per_block: usize,
+    peeked: Option<R>,
+    _charge: BudgetGuard,
+}
+
+enum StreamKernel<R, F> {
+    Tree {
+        lt: LoserTree<R, F>,
+        /// Cached challenger for the current winner: `swap_winner` keeps it
+        /// valid (the tree is untouched); any `replace_winner` invalidates.
+        cached: Option<(usize, R)>,
+        cache_valid: bool,
+    },
+    /// `(record, run index)` min-heap, ties toward the lower run index —
+    /// stored as a raw sift vector so no comparator closure needs boxing.
+    Heap(Vec<(R, usize)>),
+}
+
+/// Heap order for the streaming heap kernel: by record under `less`, ties
+/// broken by run index — the same stable-across-runs order the loser tree
+/// produces.
+fn hless<R, F: Fn(&R, &R) -> bool>(less: F, a: &(R, usize), b: &(R, usize)) -> bool {
+    less(&a.0, &b.0) || (!less(&b.0, &a.0) && a.1 < b.1)
+}
+
+fn hsift_up<R, F: Fn(&R, &R) -> bool + Copy>(items: &mut [(R, usize)], mut i: usize, less: F) {
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if hless(less, &items[i], &items[parent]) {
+            items.swap(i, parent);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+fn hsift_down<R, F: Fn(&R, &R) -> bool + Copy>(items: &mut [(R, usize)], less: F) {
+    let n = items.len();
+    let mut i = 0;
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut smallest = i;
+        if l < n && hless(less, &items[l], &items[smallest]) {
+            smallest = l;
+        }
+        if r < n && hless(less, &items[r], &items[smallest]) {
+            smallest = r;
+        }
+        if smallest == i {
+            break;
+        }
+        items.swap(i, smallest);
+        i = smallest;
+    }
+}
+
+impl<'a, R, F> SortedStream<'a, R, F>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy,
+{
+    /// Build a stream over `(run, start offset)` pairs — the same reader,
+    /// forecaster, and kernel setup as [`merge_runs_inner`], minus the
+    /// output writer.  Charges `(k+1)·B` records against `budget` (the +1
+    /// stands in for the consumer's working block, mirroring the
+    /// materialized merge's accounting).
+    fn build(
+        parts: &[(&'a ExtVec<R>, u64)],
+        budget: &Arc<MemBudget>,
+        ov: OverlapConfig,
+        kernel: MergeKernel,
+        forecast: bool,
+        less: F,
+    ) -> Result<Self> {
+        let k = parts.len();
+        let b = parts.first().map_or(1, |(r, _)| r.per_block());
+        let charge = budget.charge((k + 1) * b);
+        let use_forecast = forecast
+            && ov.read_ahead > 0
+            && k >= 2
+            && parts.iter().all(|(r, _)| r.has_block_heads());
+        let fc = use_forecast.then(|| {
+            let device = parts[0].0.device();
+            Forecaster::new(budget, k, ov.read_ahead, b, device.lanes())
+        });
+        let mut readers: Vec<ExtVecReader<'a, R>> = match &fc {
+            Some(fc) => parts
+                .iter()
+                .map(|(r, s)| r.reader_forecast(*s, fc.pool()))
+                .collect(),
+            None => parts
+                .iter()
+                .map(|(r, s)| r.reader_at_prefetch(*s, ov.read_ahead, budget))
+                .collect(),
+        };
+        if let Some(fc) = &fc {
+            fc.pump(&mut readers, less);
+        }
+        // Same kernel choice as the materialized merge; k = 0 (empty input)
+        // degenerates to an empty heap, which the loser tree cannot model.
+        let use_tree = k >= 1
+            && match kernel {
+                MergeKernel::LoserTree => true,
+                MergeKernel::Heap => false,
+                MergeKernel::Auto => k >= 3,
+            };
+        let kernel = if use_tree {
+            let keys: Vec<Option<R>> = readers
+                .iter_mut()
+                .map(|rd| rd.try_next())
+                .collect::<Result<_>>()?;
+            StreamKernel::Tree {
+                lt: LoserTree::new(keys, less),
+                cached: None,
+                cache_valid: false,
+            }
+        } else {
+            let mut items: Vec<(R, usize)> = Vec::with_capacity(k);
+            for (i, rd) in readers.iter_mut().enumerate() {
+                if let Some(r) = rd.try_next()? {
+                    items.push((r, i));
+                    let at = items.len() - 1;
+                    hsift_up(&mut items, at, less);
+                }
+            }
+            StreamKernel::Heap(items)
+        };
+        Ok(SortedStream {
+            readers,
+            fc,
+            kernel,
+            less,
+            since_pump: 0,
+            per_block: b.max(1),
+            peeked: None,
+            _charge: charge,
+        })
+    }
+
+    /// The next record in sorted order, or `None` once the merge is drained.
+    /// Any device error (e.g. [`pdm::PdmError::RetriesExhausted`]) from the
+    /// underlying run readers propagates here.
+    pub fn try_next(&mut self) -> Result<Option<R>> {
+        if let Some(r) = self.peeked.take() {
+            return Ok(Some(r));
+        }
+        self.next_inner()
+    }
+
+    /// Peek at the next record without consuming it.
+    pub fn peek(&mut self) -> Result<Option<&R>> {
+        if self.peeked.is_none() {
+            self.peeked = self.next_inner()?;
+        }
+        Ok(self.peeked.as_ref())
+    }
+
+    fn next_inner(&mut self) -> Result<Option<R>> {
+        let less = self.less;
+        let rec = match &mut self.kernel {
+            StreamKernel::Tree {
+                lt,
+                cached,
+                cache_valid,
+            } => {
+                let Some(wi) = lt.winner() else {
+                    return Ok(None);
+                };
+                if !*cache_valid {
+                    *cached = lt.challenger().map(|(ci, ck)| (ci, ck.clone()));
+                    *cache_valid = true;
+                }
+                match self.readers[wi].try_next()? {
+                    Some(n) => match cached {
+                        // Same drain rule as the materialized loop: while the
+                        // refill still beats the cached challenger the winner
+                        // leaf is swapped in place, no tree pass needed.
+                        Some((ci, ck)) => {
+                            let still_wins = if wi < *ci {
+                                !less(ck, &n)
+                            } else {
+                                less(&n, ck)
+                            };
+                            if still_wins {
+                                lt.swap_winner(n)
+                            } else {
+                                *cache_valid = false;
+                                lt.replace_winner(Some(n))
+                            }
+                        }
+                        None => lt.swap_winner(n),
+                    },
+                    None => {
+                        *cache_valid = false;
+                        lt.replace_winner(None)
+                    }
+                }
+            }
+            StreamKernel::Heap(items) => {
+                let Some(top) = items.first() else {
+                    return Ok(None);
+                };
+                let i = top.1;
+                match self.readers[i].try_next()? {
+                    Some(next) => {
+                        let old = std::mem::replace(&mut items[0], (next, i));
+                        hsift_down(items, less);
+                        old.0
+                    }
+                    None => {
+                        let last = items.len() - 1;
+                        items.swap(0, last);
+                        let old = items.pop().expect("nonempty");
+                        if !items.is_empty() {
+                            hsift_down(items, less);
+                        }
+                        old.0
+                    }
+                }
+            }
+        };
+        self.since_pump += 1;
+        if self.since_pump >= self.per_block {
+            self.since_pump = 0;
+            if let Some(fc) = &self.fc {
+                fc.pump(&mut self.readers, less);
+            }
+        }
+        Ok(Some(rec))
+    }
+}
+
+/// Sort `input` and hand the *final merge pass* to `consume` as a pull
+/// stream instead of writing an output array — pipeline fusion in the PODS
+/// 1998 cost model.
+///
+/// Versus [`merge_sort_by`] followed by a scan of the result, this saves
+/// exactly one output-write pass plus one re-read pass (`2·⌈N/B⌉` transfers)
+/// whenever the final stage actually merges (two or more runs reach it).
+/// When run formation already yields a single run the savings are zero — the
+/// stream then re-reads that run, costing the same scan the consumer would
+/// have paid — but never negative.  Intermediate merge passes (when the run
+/// count exceeds the fan-in `k`) still materialize, exactly as in
+/// [`merge_sort_by`]; only the last pass fuses.
+///
+/// Kernel choice, forecasting, and per-disk overlap apply to the streamed
+/// pass unchanged, so the record sequence is identical to the materialized
+/// sort's output for every configuration.  Setting
+/// [`SortConfig::fusion`] to `false` turns fusion off: the sort
+/// materializes and the stream degrades to a plain scan of the output —
+/// the exact pre-fusion cost, kept as an A/B baseline for benchmarks.
+///
+/// ```
+/// use em_core::{EmConfig, ExtVec};
+/// use emsort::{merge_sort_streaming, SortConfig};
+///
+/// let cfg = EmConfig::new(512, 8);
+/// let device = cfg.ram_disk();
+/// let input = ExtVec::from_slice(device, &[5u64, 1, 4, 2, 3])?;
+/// let collected = merge_sort_streaming(
+///     &input,
+///     &SortConfig::new(cfg.mem_records::<u64>()),
+///     |a, b| a < b,
+///     |stream| {
+///         let mut out = Vec::new();
+///         while let Some(r) = stream.try_next()? {
+///             out.push(r);
+///         }
+///         Ok(out)
+///     },
+/// )?;
+/// assert_eq!(collected, vec![1, 2, 3, 4, 5]);
+/// # Ok::<(), pdm::PdmError>(())
+/// ```
+pub fn merge_sort_streaming<R, F, T, C>(
+    input: &ExtVec<R>,
+    cfg: &SortConfig,
+    less: F,
+    consume: C,
+) -> Result<T>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy + Send,
+    C: FnOnce(&mut SortedStream<'_, R, F>) -> Result<T>,
+{
+    let k = cfg.effective_fan_in(input.per_block());
+    let ov = cfg.overlap;
+    if input.is_empty() {
+        let budget = MemBudget::new(cfg.mem_records);
+        let parts: Vec<(&ExtVec<R>, u64)> = Vec::new();
+        let mut stream = SortedStream::build(&parts, &budget, ov, cfg.kernel, cfg.forecast, less)?;
+        return consume(&mut stream);
+    }
+    if !cfg.fusion {
+        // A/B baseline (`SortConfig::fusion = false`): materialize the sort
+        // and stream the output back as a plain scan — the pre-fusion
+        // "write the result, re-read it" cost through the same call site.
+        let sorted = merge_sort_by(input, cfg, less)?;
+        let budget = MemBudget::new(cfg.mem_records);
+        let parts: Vec<(&ExtVec<R>, u64)> = vec![(&sorted, 0)];
+        let mut stream = SortedStream::build(&parts, &budget, ov, cfg.kernel, cfg.forecast, less)?;
+        let out = consume(&mut stream)?;
+        drop(stream);
+        sorted.free()?;
+        return Ok(out);
+    }
+    // Identical budget/reserve arithmetic to `merge_sort_impl`: fan-in and
+    // run sizes come from `mem_records` alone, so every transfer before the
+    // final pass matches the materialized sort block for block.
+    let lanes = input.device().stream_lanes();
+    let wb = (ov.write_behind * lanes).max(if ov.read_ahead > 0 && cfg.forecast {
+        k * ov.read_ahead
+    } else {
+        0
+    });
+    let reserve = (k * ov.read_ahead + wb) * input.per_block();
+    let budget = MemBudget::new(cfg.mem_records + reserve);
+
+    let mut queue: VecDeque<ExtVec<R>> = form_runs_impl(input, cfg, less, None)?.into();
+
+    // Materialize intermediate passes until one final ≤ k-way merge remains:
+    // those outputs are re-merged later (scanned more than once in spirit),
+    // so streaming them would buy nothing — fusion only ever applies to the
+    // last pass.  Grouping matches `merge_sort_impl`, which drains the same
+    // queue front-to-back in groups of k, so the transfers agree exactly.
+    let mut merged_streams = 0usize;
+    while queue.len() > k {
+        let group: Vec<ExtVec<R>> = queue.drain(..k).collect();
+        group[0].device().direct_next_stream(merged_streams);
+        merged_streams += 1;
+        let merged = merge_runs_inner(&group, &budget, ov, cfg.kernel, cfg.forecast, None, less)?;
+        for run in group {
+            run.free()?;
+        }
+        queue.push_back(merged);
+    }
+
+    let final_runs: Vec<ExtVec<R>> = queue.into();
+    let parts: Vec<(&ExtVec<R>, u64)> = final_runs.iter().map(|r| (r, 0)).collect();
+    let mut stream = SortedStream::build(&parts, &budget, ov, cfg.kernel, cfg.forecast, less)?;
+    let out = consume(&mut stream)?;
+    drop(stream);
+    for run in final_runs {
+        run.free()?;
+    }
+    Ok(out)
+}
+
+/// Push-style wrapper over [`merge_sort_streaming`]: calls `each` once per
+/// record in sorted order.  Same cost model — one output-write plus one
+/// re-read pass saved versus sort-then-scan whenever the final stage merges.
+pub fn sort_into<R, F, E>(input: &ExtVec<R>, cfg: &SortConfig, less: F, mut each: E) -> Result<()>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy + Send,
+    E: FnMut(R) -> Result<()>,
+{
+    merge_sort_streaming(input, cfg, less, |stream| {
+        while let Some(r) = stream.try_next()? {
+            each(r)?;
+        }
+        Ok(())
+    })
+}
+
+/// Producer-side pipeline fusion: a sink that forms sorted runs *directly*
+/// from pushed records, then merges them — skipping the unsorted
+/// materialization that a "write it out, then sort it" pipeline pays.
+///
+/// A conventional pipeline stage costs, per `⌈N/B⌉`-block payload: write
+/// the unsorted array (1 scan), run formation (2 scans), final merge
+/// (2 scans), and the consumer's re-read (1 scan).  `SortingWriter` keeps
+/// the current chunk of `M` records in memory, sorts and writes each chunk
+/// as a run the moment it fills, and hands the final merge to the consumer
+/// as a pull stream ([`SortingWriter::finish_streaming`]) — 2 scans total
+/// when run formation's output fits one merge stage.  Both ends of the sort
+/// are fused: the unsorted write + re-read *and* the sorted write + re-read
+/// disappear.
+///
+/// [`SortingWriter::finish_sorted`] materializes the result instead, for
+/// callers that keep the sorted array; only the producer side fuses then.
+///
+/// Chunk boundaries, in-memory sorting, merge grouping, and kernel all
+/// match [`merge_sort_by`] with [`RunFormation::LoadSort`](crate::RunFormation)
+/// over the same push sequence, so the record sequence — including the
+/// order of ties under a partial key — is identical to the unfused
+/// pipeline's.  With [`SortConfig::fusion`] disabled the writer *becomes*
+/// that pipeline (materialize, sort, scan), as an A/B baseline.
+///
+/// ```
+/// use em_core::EmConfig;
+/// use emsort::{SortConfig, SortingWriter};
+///
+/// let cfg = EmConfig::new(512, 8);
+/// let device = cfg.ram_disk();
+/// let sort_cfg = SortConfig::new(cfg.mem_records::<u64>());
+/// let mut w = SortingWriter::new(device, &sort_cfg, |a: &u64, b: &u64| a < b);
+/// for x in [5u64, 1, 4, 2, 3] {
+///     w.push(x)?;
+/// }
+/// let collected = w.finish_streaming(|stream| {
+///     let mut out = Vec::new();
+///     while let Some(r) = stream.try_next()? {
+///         out.push(r);
+///     }
+///     Ok(out)
+/// })?;
+/// assert_eq!(collected, vec![1, 2, 3, 4, 5]);
+/// # Ok::<(), pdm::PdmError>(())
+/// ```
+pub struct SortingWriter<R: Record, F> {
+    device: SharedDevice,
+    cfg: SortConfig,
+    less: F,
+    buf: Vec<R>,
+    runs: Vec<ExtVec<R>>,
+    /// Fusion-off baseline: records pass through unsorted, exactly as the
+    /// pre-fusion pipeline wrote them.
+    unsorted: Option<ExtVecWriter<R>>,
+    budget: Arc<MemBudget>,
+    /// Holds the chunk's `M` records against `budget` for the writer's
+    /// lifetime, mirroring run formation's charge.
+    _charge: BudgetGuard,
+}
+
+impl<R, F> SortingWriter<R, F>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy + Send,
+{
+    /// A sink sorting into `device` under `cfg`'s budget, overlap, kernel,
+    /// and forecasting.  `cfg.run_formation` is ignored: records arrive by
+    /// push, so runs are load-sorted chunks by construction.
+    pub fn new(device: SharedDevice, cfg: &SortConfig, less: F) -> Self {
+        let cfg = SortConfig {
+            run_formation: crate::RunFormation::LoadSort,
+            ..*cfg
+        };
+        let per_block = (device.block_size() / R::BYTES).max(1);
+        let ov = cfg.overlap.for_lanes(device.stream_lanes());
+        let reserve = (ov.read_ahead + ov.write_behind) * per_block;
+        let budget = MemBudget::new(cfg.mem_records + reserve);
+        let charge = budget.charge(cfg.mem_records);
+        SortingWriter {
+            device,
+            cfg,
+            less,
+            buf: Vec::new(),
+            runs: Vec::new(),
+            unsorted: None,
+            budget,
+            _charge: charge,
+        }
+    }
+
+    /// Add a record; sorts and spills the in-memory chunk as a run when it
+    /// reaches `M` records.
+    pub fn push(&mut self, r: R) -> Result<()> {
+        if !self.cfg.fusion {
+            return self
+                .unsorted
+                .get_or_insert_with(|| ExtVecWriter::new(self.device.clone()))
+                .push(r);
+        }
+        self.buf.push(r);
+        if self.buf.len() >= self.cfg.mem_records {
+            self.flush_run()?;
+        }
+        Ok(())
+    }
+
+    fn flush_run(&mut self) -> Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let ov = self.cfg.overlap.for_lanes(self.device.stream_lanes());
+        // Stagger run start lanes exactly as load-sort run formation does.
+        self.device.direct_next_stream(self.runs.len());
+        let mut w =
+            ExtVecWriter::with_write_behind(self.device.clone(), ov.write_behind, &self.budget);
+        write_sorted_chunk(
+            &mut self.buf,
+            self.cfg.effective_run_threads(),
+            self.less,
+            &mut w,
+        )?;
+        self.runs.push(w.finish()?);
+        Ok(())
+    }
+
+    /// Fusion-off baseline: finish the unsorted array and sort it the
+    /// pre-fusion way.  Returns the materialized sorted array.
+    fn finish_baseline(&mut self) -> Result<ExtVec<R>> {
+        let unsorted = match self.unsorted.take() {
+            Some(w) => w.finish()?,
+            None => ExtVec::new(self.device.clone()),
+        };
+        let sorted = merge_sort_by(&unsorted, &self.cfg, self.less)?;
+        unsorted.free()?;
+        Ok(sorted)
+    }
+
+    /// Merge-phase budget: identical reserve arithmetic to
+    /// [`merge_sort_by`], so transfers agree block for block.
+    fn merge_budget(&self, k: usize) -> Arc<MemBudget> {
+        let per_block = (self.device.block_size() / R::BYTES).max(1);
+        let ov = self.cfg.overlap;
+        let lanes = self.device.stream_lanes();
+        let wb = (ov.write_behind * lanes).max(if ov.read_ahead > 0 && self.cfg.forecast {
+            k * ov.read_ahead
+        } else {
+            0
+        });
+        MemBudget::new(self.cfg.mem_records + (k * ov.read_ahead + wb) * per_block)
+    }
+
+    /// Merge the spilled runs down and hand the final `≤ k`-way merge to
+    /// `consume` as a pull stream — both ends of the sort fused.
+    pub fn finish_streaming<T, C>(mut self, consume: C) -> Result<T>
+    where
+        C: FnOnce(&mut SortedStream<'_, R, F>) -> Result<T>,
+    {
+        if !self.cfg.fusion {
+            let sorted = self.finish_baseline()?;
+            let budget = MemBudget::new(self.cfg.mem_records);
+            let parts: Vec<(&ExtVec<R>, u64)> = vec![(&sorted, 0)];
+            let mut stream = SortedStream::build(
+                &parts,
+                &budget,
+                self.cfg.overlap,
+                self.cfg.kernel,
+                self.cfg.forecast,
+                self.less,
+            )?;
+            let out = consume(&mut stream)?;
+            drop(stream);
+            sorted.free()?;
+            return Ok(out);
+        }
+        self.flush_run()?;
+        let per_block = (self.device.block_size() / R::BYTES).max(1);
+        let k = self.cfg.effective_fan_in(per_block);
+        let ov = self.cfg.overlap;
+        let budget = self.merge_budget(k);
+        // Intermediate passes materialize with the same front-to-back
+        // grouping as `merge_sort_streaming`; only the last pass fuses.
+        let mut queue: VecDeque<ExtVec<R>> = std::mem::take(&mut self.runs).into();
+        let mut merged_streams = 0usize;
+        while queue.len() > k {
+            let group: Vec<ExtVec<R>> = queue.drain(..k).collect();
+            group[0].device().direct_next_stream(merged_streams);
+            merged_streams += 1;
+            let merged = merge_runs_inner(
+                &group,
+                &budget,
+                ov,
+                self.cfg.kernel,
+                self.cfg.forecast,
+                None,
+                self.less,
+            )?;
+            for run in group {
+                run.free()?;
+            }
+            queue.push_back(merged);
+        }
+        let final_runs: Vec<ExtVec<R>> = queue.into();
+        let parts: Vec<(&ExtVec<R>, u64)> = final_runs.iter().map(|r| (r, 0)).collect();
+        let mut stream = SortedStream::build(
+            &parts,
+            &budget,
+            ov,
+            self.cfg.kernel,
+            self.cfg.forecast,
+            self.less,
+        )?;
+        let out = consume(&mut stream)?;
+        drop(stream);
+        for run in final_runs {
+            run.free()?;
+        }
+        Ok(out)
+    }
+
+    /// Merge the spilled runs into one materialized sorted array — producer
+    /// fusion only, for callers that keep the result.
+    pub fn finish_sorted(mut self) -> Result<ExtVec<R>> {
+        if !self.cfg.fusion {
+            return self.finish_baseline();
+        }
+        self.flush_run()?;
+        let per_block = (self.device.block_size() / R::BYTES).max(1);
+        let k = self.cfg.effective_fan_in(per_block);
+        let ov = self.cfg.overlap;
+        let budget = self.merge_budget(k);
+        // Same pass structure as `merge_sort_by`: merge groups of k until
+        // one array remains.
+        let mut queue: VecDeque<ExtVec<R>> = std::mem::take(&mut self.runs).into();
+        let mut merged_streams = 0usize;
+        while queue.len() > 1 {
+            let take = k.min(queue.len());
+            let group: Vec<ExtVec<R>> = queue.drain(..take).collect();
+            group[0].device().direct_next_stream(merged_streams);
+            merged_streams += 1;
+            let merged = merge_runs_inner(
+                &group,
+                &budget,
+                ov,
+                self.cfg.kernel,
+                self.cfg.forecast,
+                None,
+                self.less,
+            )?;
+            for run in group {
+                run.free()?;
+            }
+            queue.push_back(merged);
+        }
+        match queue.pop_front() {
+            Some(sorted) => Ok(sorted),
+            None => Ok(ExtVec::new(self.device.clone())),
+        }
+    }
+}
+
+/// Stream one k-way merge of already-sorted runs to `consume` instead of
+/// writing it out — the run-merge counterpart of [`merge_sort_streaming`],
+/// for callers that keep their own runs (e.g. an external priority queue
+/// refilling from its spilled runs).
+///
+/// `parts` pairs each run with the record offset to start merging from, so a
+/// partially-consumed run joins the merge at its current position.  Charges
+/// `(k+1)·B` records against `budget`; kernel, forecasting, and overlap
+/// follow `cfg` exactly as in [`merge_runs_with`], and reading the streamed
+/// records costs one read of every remaining input block and **zero**
+/// writes.
+pub fn merge_runs_streaming<R, F, T, C>(
+    parts: &[(&ExtVec<R>, u64)],
+    budget: &Arc<MemBudget>,
+    cfg: &SortConfig,
+    less: F,
+    consume: C,
+) -> Result<T>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy,
+    C: FnOnce(&mut SortedStream<'_, R, F>) -> Result<T>,
+{
+    let mut stream =
+        SortedStream::build(parts, budget, cfg.overlap, cfg.kernel, cfg.forecast, less)?;
+    consume(&mut stream)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -659,6 +1336,313 @@ mod tests {
         assert!(m.run_formation_io_wait_secs >= 0.0 && m.merge_io_wait_secs >= 0.0);
         assert!(m.run_formation_io_wait_secs <= m.run_formation_secs);
         assert!(m.merge_io_wait_secs <= m.merge_secs);
+    }
+
+    fn drain<R: Record, F: Fn(&R, &R) -> bool + Copy>(
+        s: &mut super::SortedStream<'_, R, F>,
+    ) -> Result<Vec<R>> {
+        let mut out = Vec::new();
+        while let Some(r) = s.try_next()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn streaming_matches_materialized_sequence() {
+        let device = device_b8();
+        let (input, mut data) = random_input(&device, 6000, 41);
+        data.sort_unstable();
+        for kernel in [MergeKernel::Heap, MergeKernel::LoserTree, MergeKernel::Auto] {
+            let cfg = SortConfig::new(64).with_merge_kernel(kernel);
+            let got = merge_sort_streaming(&input, &cfg, |a, b| a < b, drain).unwrap();
+            assert_eq!(got, data, "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_saves_exactly_the_final_pass() {
+        let device = device_b8();
+        let (input, _) = random_input(&device, 6000, 42);
+        let cfg = SortConfig::new(64);
+        // Materialized sort + one consumer scan of the output.
+        let before = device.stats().snapshot();
+        let sorted = merge_sort(&input, &cfg).unwrap();
+        let materialized: Vec<u64> = {
+            let mut out = Vec::new();
+            let mut r = sorted.reader();
+            while let Some(x) = r.try_next().unwrap() {
+                out.push(x);
+            }
+            out
+        };
+        let d_mat = device.stats().snapshot().since(&before);
+        let out_blocks = sorted.num_blocks() as u64;
+        sorted.free().unwrap();
+        // Fused sort: the consumer reads the final merge directly.
+        let before = device.stats().snapshot();
+        let streamed = merge_sort_streaming(&input, &cfg, |a, b| a < b, drain).unwrap();
+        let d_str = device.stats().snapshot().since(&before);
+        assert_eq!(streamed, materialized);
+        assert_eq!(
+            d_str.total() + 2 * out_blocks,
+            d_mat.total(),
+            "streaming must save exactly the output write + re-read"
+        );
+        assert_eq!(d_str.writes() + out_blocks, d_mat.writes());
+        assert_eq!(d_str.reads() + out_blocks, d_mat.reads());
+    }
+
+    #[test]
+    fn fusion_off_costs_exactly_sort_then_scan() {
+        let device = device_b8();
+        let (input, mut expect) = random_input(&device, 6000, 45);
+        expect.sort_unstable();
+        let cfg = SortConfig::new(64);
+        // Materialized sort + consumer scan, by hand.
+        let before = device.stats().snapshot();
+        let sorted = merge_sort(&input, &cfg).unwrap();
+        {
+            let mut r = sorted.reader();
+            while r.try_next().unwrap().is_some() {}
+        }
+        let d_mat = device.stats().snapshot().since(&before);
+        sorted.free().unwrap();
+        // The same call site with fusion disabled must pay the same bill.
+        let before = device.stats().snapshot();
+        let got =
+            merge_sort_streaming(&input, &cfg.with_fusion(false), |a, b| a < b, drain).unwrap();
+        let d_off = device.stats().snapshot().since(&before);
+        assert_eq!(got, expect);
+        assert_eq!(d_off.reads(), d_mat.reads(), "fusion-off reads must match");
+        assert_eq!(
+            d_off.writes(),
+            d_mat.writes(),
+            "fusion-off writes must match"
+        );
+    }
+
+    #[test]
+    fn sorting_writer_matches_unfused_pipeline_tie_order() {
+        // Key-only comparator over (key, seq) pairs: the fused writer must
+        // order ties exactly as the materialize-then-sort pipeline does.
+        let device = device_b8();
+        let mut rng = StdRng::seed_from_u64(46);
+        let data: Vec<(u64, u64)> = (0..3000u64).map(|i| (rng.gen_range(0..8u64), i)).collect();
+        let less = |a: &(u64, u64), b: &(u64, u64)| a.0 < b.0;
+        let cfg = SortConfig::new(64);
+        let mut fused = SortingWriter::new(device.clone(), &cfg, less);
+        let mut unfused = SortingWriter::new(device.clone(), &cfg.with_fusion(false), less);
+        for &r in &data {
+            fused.push(r).unwrap();
+            unfused.push(r).unwrap();
+        }
+        let a = fused.finish_sorted().unwrap();
+        let b = unfused.finish_sorted().unwrap();
+        assert_eq!(a.to_vec().unwrap(), b.to_vec().unwrap());
+        a.free().unwrap();
+        b.free().unwrap();
+    }
+
+    #[test]
+    fn sorting_writer_fuses_both_ends_of_the_sort() {
+        let device = device_b8();
+        let mut rng = StdRng::seed_from_u64(47);
+        let data: Vec<u64> = (0..6000u64).map(|_| rng.gen()).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let cfg = SortConfig::new(64);
+        // The unfused pipeline by hand, metered per phase: write the
+        // unsorted array, sort it, scan the sorted output.
+        let before = device.stats().snapshot();
+        let mut w = ExtVecWriter::new(device.clone());
+        for &r in &data {
+            w.push(r).unwrap();
+        }
+        let unsorted = w.finish().unwrap();
+        let mid_write = device.stats().snapshot();
+        let sorted = merge_sort(&unsorted, &cfg).unwrap();
+        let mid_sort = device.stats().snapshot();
+        {
+            let mut r = sorted.reader();
+            while r.try_next().unwrap().is_some() {}
+        }
+        let d_unsorted = mid_write.since(&before);
+        let d_sort = mid_sort.since(&mid_write);
+        let d_scan = device.stats().snapshot().since(&mid_sort);
+        sorted.free().unwrap();
+        unsorted.free().unwrap();
+        // Fused: same records through a SortingWriter, consumer pulls the
+        // final merge.
+        let before = device.stats().snapshot();
+        let mut sw = SortingWriter::new(device.clone(), &cfg, |a: &u64, b: &u64| a < b);
+        for &r in &data {
+            sw.push(r).unwrap();
+        }
+        let got = sw.finish_streaming(drain).unwrap();
+        let d_fused = device.stats().snapshot().since(&before);
+        assert_eq!(got, expect);
+        // Producer fusion drops the unsorted write and its re-read; consumer
+        // fusion drops the sorted write and its re-read.  Everything else is
+        // transfer-identical.
+        assert_eq!(
+            d_fused.writes() + d_scan.reads(),
+            d_sort.writes(),
+            "fused writes must be the sort's minus the final output write"
+        );
+        assert_eq!(
+            d_fused.reads() + d_unsorted.writes(),
+            d_sort.reads(),
+            "fused reads must be the sort's minus the unsorted re-read"
+        );
+    }
+
+    #[test]
+    fn sorting_writer_fusion_off_is_the_exact_baseline() {
+        let device = device_b8();
+        let mut rng = StdRng::seed_from_u64(48);
+        let data: Vec<u64> = (0..6000u64).map(|_| rng.gen()).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let cfg = SortConfig::new(64);
+        // Hand-rolled pre-fusion pipeline cost.
+        let before = device.stats().snapshot();
+        let mut w = ExtVecWriter::new(device.clone());
+        for &r in &data {
+            w.push(r).unwrap();
+        }
+        let unsorted = w.finish().unwrap();
+        let sorted = merge_sort(&unsorted, &cfg).unwrap();
+        {
+            let mut r = sorted.reader();
+            while r.try_next().unwrap().is_some() {}
+        }
+        let d_hand = device.stats().snapshot().since(&before);
+        sorted.free().unwrap();
+        unsorted.free().unwrap();
+        // SortingWriter with fusion off must pay the same bill.
+        let before = device.stats().snapshot();
+        let mut sw = SortingWriter::new(
+            device.clone(),
+            &cfg.with_fusion(false),
+            |a: &u64, b: &u64| a < b,
+        );
+        for &r in &data {
+            sw.push(r).unwrap();
+        }
+        let got = sw.finish_streaming(drain).unwrap();
+        let d_off = device.stats().snapshot().since(&before);
+        assert_eq!(got, expect);
+        assert_eq!(d_off.reads(), d_hand.reads());
+        assert_eq!(d_off.writes(), d_hand.writes());
+    }
+
+    #[test]
+    fn sorting_writer_empty_and_in_memory_inputs() {
+        let device = device_b8();
+        let sw = SortingWriter::new(device.clone(), &SortConfig::new(64), |a: &u64, b| a < b);
+        let got = sw.finish_streaming(drain).unwrap();
+        assert!(got.is_empty());
+        let sw = SortingWriter::new(device.clone(), &SortConfig::new(64), |a: &u64, b| a < b);
+        let out = sw.finish_sorted().unwrap();
+        assert!(out.to_vec().unwrap().is_empty());
+        // A single partial chunk: one run, streamed straight back.
+        let mut sw = SortingWriter::new(device, &SortConfig::new(64), |a: &u64, b| a < b);
+        for x in (0..40u64).rev() {
+            sw.push(x).unwrap();
+        }
+        let got = sw.finish_streaming(drain).unwrap();
+        assert_eq!(got, (0..40).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn streaming_single_run_and_empty_inputs() {
+        let device = device_b8();
+        // Fits in memory: one run, streamed back as a plain scan.
+        let data: Vec<u64> = (0..40u64).rev().collect();
+        let input = ExtVec::from_slice(device.clone(), &data).unwrap();
+        let got = merge_sort_streaming(&input, &SortConfig::new(64), |a, b| a < b, drain).unwrap();
+        assert_eq!(got, (0..40).collect::<Vec<u64>>());
+        let empty: ExtVec<u64> = ExtVec::new(device);
+        let got = merge_sort_streaming(&empty, &SortConfig::new(64), |a, b| a < b, drain).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn streaming_frees_every_run() {
+        let device = device_b8();
+        let (input, _) = random_input(&device, 4096, 43);
+        let blocks_before = device.allocated_blocks();
+        merge_sort_streaming(
+            &input,
+            &SortConfig::new(64).with_fan_in(2),
+            |a, b| a < b,
+            |s| {
+                while s.try_next()?.is_some() {}
+                Ok(())
+            },
+        )
+        .unwrap();
+        // Nothing is materialized, so nothing beyond the input remains.
+        assert_eq!(device.allocated_blocks(), blocks_before);
+    }
+
+    #[test]
+    fn streaming_peek_does_not_consume() {
+        let device = device_b8();
+        let (input, mut data) = random_input(&device, 1000, 44);
+        data.sort_unstable();
+        let got = merge_sort_streaming(
+            &input,
+            &SortConfig::new(64),
+            |a, b| a < b,
+            |s| {
+                let mut out = Vec::new();
+                while let Some(&next) = s.peek()? {
+                    assert_eq!(s.peek()?.copied(), Some(next), "peek is idempotent");
+                    assert_eq!(s.try_next()?, Some(next));
+                    out.push(next);
+                }
+                assert!(s.try_next()?.is_none());
+                Ok(out)
+            },
+        )
+        .unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn sort_into_pushes_sorted_order() {
+        let device = device_b8();
+        let (input, mut data) = random_input(&device, 3000, 45);
+        data.sort_unstable();
+        let mut out = Vec::new();
+        sort_into(
+            &input,
+            &SortConfig::new(64),
+            |a, b| a < b,
+            |r| {
+                out.push(r);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn merge_runs_streaming_with_offsets() {
+        let device = device_b8();
+        let a = ExtVec::from_slice(device.clone(), &(0u64..50).collect::<Vec<_>>()).unwrap();
+        let b = ExtVec::from_slice(device.clone(), &(25u64..75).collect::<Vec<_>>()).unwrap();
+        let budget = MemBudget::new(256);
+        // Start run `a` at offset 30: only 30..50 takes part.
+        let parts = [(&a, 30u64), (&b, 0u64)];
+        let got = merge_runs_streaming(&parts, &budget, &SortConfig::new(64), |x, y| x < y, drain)
+            .unwrap();
+        let mut expect: Vec<u64> = (30u64..50).chain(25..75).collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
     }
 
     #[test]

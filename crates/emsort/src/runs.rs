@@ -147,7 +147,7 @@ where
 /// a [`LoserTree`] whose ties resolve toward the lower piece index.  Equal
 /// records therefore leave in original-position order — exactly the
 /// sequential stable `sort_by` output.
-fn write_sorted_chunk<R, F>(
+pub(crate) fn write_sorted_chunk<R, F>(
     chunk: &mut Vec<R>,
     threads: usize,
     less: F,

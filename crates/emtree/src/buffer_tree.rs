@@ -438,6 +438,13 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
     }
 
     /// Merge sorted events into the leaf blocks of bottom node `id`.
+    ///
+    /// The rebuild is fully streamed: old leaf records are read through a
+    /// chained block reader and merged against the sorted event list record
+    /// by record, with new leaves emitted as each ~3/4-full chunk completes.
+    /// Working memory is `O(events + one leaf chunk)` rather than the whole
+    /// subtree, and the old leaves are freed only after the merge (disk peak
+    /// is one node's leaves, the same shape as the sort pipeline's runs).
     fn apply_to_leaves(&mut self, id: NodeId, events: Vec<Event<K, V>>) -> Result<()> {
         if events.is_empty() {
             return Ok(());
@@ -449,57 +456,69 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
             };
             std::mem::take(leaves)
         };
-        let total_old: usize = old_leaves.iter().map(|l| l.len() as usize).sum();
-        let _charge = self.budget.charge(total_old + events.len());
-        let mut existing: Vec<(K, V)> = Vec::with_capacity(total_old);
-        for leaf in old_leaves {
-            existing.extend(leaf.to_vec()?);
-            leaf.free()?;
-        }
-        let mut merged: Vec<(K, V)> = Vec::with_capacity(existing.len() + events.len());
-        let mut ei = existing.into_iter().peekable();
+        let fill = (self.leaf_cap * 3 / 4).max(1);
+        let _charge = self.budget.charge(events.len() + self.leaf_cap + fill);
+        let mut ex_iter = LeafChain {
+            leaves: &old_leaves,
+            idx: 0,
+            cur: None,
+        };
+        let mut cur_ex: Option<(K, V)> = ex_iter.next()?;
         let mut vi = events.into_iter().peekable();
+        let mut new_leaves = Vec::new();
+        let mut new_keys: Vec<K> = Vec::new();
+        let mut chunk: Vec<(K, V)> = Vec::with_capacity(fill);
         loop {
-            let next_is_event = match (ei.peek(), vi.peek()) {
+            let next_is_event = match (cur_ex.as_ref(), vi.peek()) {
                 (None, None) => break,
                 (Some(_), None) => false,
                 (None, Some(_)) => true,
                 (Some((ek, _)), Some(ev)) => ev.1 <= *ek,
             };
+            let emit: Option<(K, V)>;
             if !next_is_event {
-                merged.push(ei.next().expect("peeked"));
-                continue;
+                emit = cur_ex.take();
+                cur_ex = ex_iter.next()?;
+            } else {
+                // Resolve all events for one key: highest timestamp wins.
+                let key = vi.peek().expect("peeked").1.clone();
+                let mut last: Option<Event<K, V>> = None;
+                while vi.peek().is_some_and(|e| e.1 == key) {
+                    last = vi.next();
+                }
+                let last = last.expect("at least one event");
+                let had_existing = cur_ex.as_ref().is_some_and(|(ek, _)| *ek == key);
+                if had_existing {
+                    cur_ex = ex_iter.next()?;
+                }
+                let inserted = !is_delete(&last);
+                emit = inserted.then_some((last.1, last.2));
+                match (had_existing, inserted) {
+                    (false, true) => self.len += 1,
+                    (true, false) => self.len -= 1,
+                    _ => {}
+                }
             }
-            // Resolve all events for one key: highest timestamp wins.
-            let key = vi.peek().expect("peeked").1.clone();
-            let mut last: Option<Event<K, V>> = None;
-            while vi.peek().is_some_and(|e| e.1 == key) {
-                last = vi.next();
-            }
-            let last = last.expect("at least one event");
-            let had_existing = ei.peek().is_some_and(|(ek, _)| *ek == key);
-            if had_existing {
-                ei.next();
-            }
-            let inserted = !is_delete(&last);
-            if inserted {
-                merged.push((last.1, last.2));
-            }
-            match (had_existing, inserted) {
-                (false, true) => self.len += 1,
-                (true, false) => self.len -= 1,
-                _ => {}
+            if let Some(rec) = emit {
+                chunk.push(rec);
+                if chunk.len() == fill {
+                    if !new_leaves.is_empty() {
+                        new_keys.push(chunk[0].0.clone());
+                    }
+                    new_leaves.push(ExtVec::from_slice(self.device.clone(), &chunk)?);
+                    chunk.clear();
+                }
             }
         }
-        // Rebuild leaves at ~3/4 occupancy.
-        let fill = (self.leaf_cap * 3 / 4).max(1);
-        let mut new_leaves = Vec::new();
-        let mut new_keys = Vec::new();
-        for chunk in merged.chunks(fill) {
+        if !chunk.is_empty() {
             if !new_leaves.is_empty() {
                 new_keys.push(chunk[0].0.clone());
             }
-            new_leaves.push(ExtVec::from_slice(self.device.clone(), chunk)?);
+            new_leaves.push(ExtVec::from_slice(self.device.clone(), &chunk)?);
+        }
+        drop(ex_iter);
+        for leaf in old_leaves {
+            leaf.free()?;
         }
         let node = self.node_mut(id);
         node.keys = new_keys;
@@ -655,6 +674,32 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
 impl<K: Record + Ord, V: Record> Drop for BufferTree<K, V> {
     fn drop(&mut self) {
         let _ = self.clear();
+    }
+}
+
+/// Sequential record stream over a run of leaves, one block buffered at a
+/// time — the read side of the streaming leaf rebuild.
+struct LeafChain<'a, K: Record + Ord, V: Record> {
+    leaves: &'a [ExtVec<(K, V)>],
+    idx: usize,
+    cur: Option<em_core::ExtVecReader<'a, (K, V)>>,
+}
+
+impl<'a, K: Record + Ord, V: Record> LeafChain<'a, K, V> {
+    fn next(&mut self) -> Result<Option<(K, V)>> {
+        loop {
+            if let Some(rd) = self.cur.as_mut() {
+                if let Some(r) = rd.try_next()? {
+                    return Ok(Some(r));
+                }
+                self.cur = None;
+            }
+            if self.idx >= self.leaves.len() {
+                return Ok(None);
+            }
+            self.cur = Some(self.leaves[self.idx].reader());
+            self.idx += 1;
+        }
     }
 }
 

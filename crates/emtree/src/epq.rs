@@ -21,7 +21,8 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use em_core::{ExtVec, ExtVecWriter, MemBudget, Record};
-use pdm::{Result, SharedDevice};
+use emsort::{merge_runs_streaming, SortConfig};
+use pdm::{PdmError, Result, SharedDevice};
 
 /// One external sorted run with a one-block read buffer.
 struct Run<R: Record> {
@@ -73,7 +74,7 @@ impl<R: Record + Ord> Run<R> {
 /// use emtree::ExtPriorityQueue;
 ///
 /// let cfg = EmConfig::new(512, 16);
-/// let mut pq: ExtPriorityQueue<u64> = ExtPriorityQueue::new(cfg.ram_disk(), 512);
+/// let mut pq: ExtPriorityQueue<u64> = ExtPriorityQueue::new(cfg.ram_disk(), 512)?;
 /// for x in [9u64, 1, 5] {
 ///     pq.push(x)?;
 /// }
@@ -92,21 +93,28 @@ pub struct ExtPriorityQueue<R: Record + Ord> {
     /// Maximum live runs before a full merge: `M/(2B) − 1`.
     max_runs: usize,
     len: u64,
-    per_block: usize,
 }
 
 impl<R: Record + Ord> ExtPriorityQueue<R> {
     /// Create a priority queue with an internal-memory budget of
-    /// `mem_records` records (at least 8 blocks' worth).
-    pub fn new(device: SharedDevice, mem_records: usize) -> Self {
+    /// `mem_records` records.  Budgets below the queue's working minimum of
+    /// 8 blocks' worth of records are raised to that floor (callers no
+    /// longer need to hand-roll `mem_records.max(8 * per_block)`).
+    ///
+    /// Fails with [`PdmError::RecordTooLarge`] if one record does not fit in
+    /// a device block.
+    pub fn new(device: SharedDevice, mem_records: usize) -> Result<Self> {
+        if R::BYTES > device.block_size() {
+            return Err(PdmError::RecordTooLarge {
+                record: R::BYTES,
+                block: device.block_size(),
+            });
+        }
         let per_block = (device.block_size() / R::BYTES).max(1);
-        assert!(
-            mem_records >= 8 * per_block,
-            "priority queue needs at least 8 blocks of memory"
-        );
+        let mem_records = mem_records.max(8 * per_block);
         let insertion_cap = mem_records / 2;
         let max_runs = (mem_records / (2 * per_block)).saturating_sub(1).max(2);
-        ExtPriorityQueue {
+        Ok(ExtPriorityQueue {
             device,
             budget: MemBudget::new(mem_records),
             insertion: BinaryHeap::with_capacity(insertion_cap),
@@ -114,8 +122,7 @@ impl<R: Record + Ord> ExtPriorityQueue<R> {
             runs: Vec::new(),
             max_runs,
             len: 0,
-            per_block,
-        }
+        })
     }
 
     /// Number of queued records.
@@ -209,34 +216,33 @@ impl<R: Record + Ord> ExtPriorityQueue<R> {
         Ok(())
     }
 
-    /// Merge every run (from its current position) into a single fresh run.
+    /// Merge every run (from its current position) into a single fresh run,
+    /// via `emsort`'s streaming run merge: the loser-tree/heap kernel with
+    /// forecasting and overlap replaces the old best-of-k front scan, and
+    /// the merged records stream straight into the new run's writer.  The
+    /// `(k+1)·B`-record working memory is charged inside the streaming
+    /// merge.
     fn merge_all_runs(&mut self) -> Result<()> {
-        let _charge = self.budget.charge((self.runs.len() + 1) * self.per_block);
         let old = std::mem::take(&mut self.runs);
-        let mut heads: Vec<Run<R>> = old;
-        let mut w = ExtVecWriter::new(self.device.clone());
-        // Simple k-way merge over the run fronts.
-        loop {
-            let mut best: Option<(R, usize)> = None;
-            for (i, run) in heads.iter_mut().enumerate() {
-                if let Some(front) = run.front()? {
-                    if best.as_ref().is_none_or(|(b, _)| front < b) {
-                        best = Some((front.clone(), i));
-                    }
-                }
-            }
-            match best {
-                Some((r, i)) => {
-                    heads[i].advance();
+        let parts: Vec<(&ExtVec<R>, u64)> = old.iter().map(|run| (&run.data, run.pos)).collect();
+        let cfg = SortConfig::new(self.budget.capacity());
+        let device = self.device.clone();
+        let merged = merge_runs_streaming(
+            &parts,
+            &self.budget,
+            &cfg,
+            |a, b| a < b,
+            |stream| {
+                let mut w = ExtVecWriter::new(device);
+                while let Some(r) = stream.try_next()? {
                     w.push(r)?;
                 }
-                None => break,
-            }
-        }
-        for run in heads {
+                w.finish()
+            },
+        )?;
+        for run in old {
             run.data.free()?;
         }
-        let merged = w.finish()?;
         if !merged.is_empty() {
             self.runs.push(Run::new(merged));
         } else {
@@ -279,7 +285,7 @@ mod tests {
 
     #[test]
     fn drains_in_sorted_order() {
-        let mut pq = ExtPriorityQueue::new(device(), 64);
+        let mut pq = ExtPriorityQueue::new(device(), 64).unwrap();
         let mut rng = StdRng::seed_from_u64(51);
         let mut data: Vec<u64> = (0..5000).map(|_| rng.gen_range(0..10_000)).collect();
         for &x in &data {
@@ -294,7 +300,7 @@ mod tests {
 
     #[test]
     fn interleaved_against_binary_heap() {
-        let mut pq = ExtPriorityQueue::new(device(), 64);
+        let mut pq = ExtPriorityQueue::new(device(), 64).unwrap();
         let mut model: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
         let mut rng = StdRng::seed_from_u64(52);
         for _ in 0..10_000 {
@@ -311,7 +317,7 @@ mod tests {
 
     #[test]
     fn peek_is_nondestructive() {
-        let mut pq = ExtPriorityQueue::new(device(), 64);
+        let mut pq = ExtPriorityQueue::new(device(), 64).unwrap();
         assert_eq!(pq.peek().unwrap(), None);
         pq.push(9u64).unwrap();
         pq.push(3u64).unwrap();
@@ -325,7 +331,7 @@ mod tests {
     fn monotone_workload_like_dijkstra() {
         // Priorities pop in nondecreasing order while new ones arrive
         // slightly above the current minimum — the graph-algorithm pattern.
-        let mut pq = ExtPriorityQueue::new(device(), 64);
+        let mut pq = ExtPriorityQueue::new(device(), 64).unwrap();
         let mut rng = StdRng::seed_from_u64(53);
         for seed in 0..100u64 {
             pq.push(seed).unwrap();
@@ -347,7 +353,7 @@ mod tests {
 
     #[test]
     fn run_count_stays_bounded() {
-        let mut pq: ExtPriorityQueue<u64> = ExtPriorityQueue::new(device(), 64); // max_runs = 3
+        let mut pq: ExtPriorityQueue<u64> = ExtPriorityQueue::new(device(), 64).unwrap(); // max_runs = 3
         let mut rng = StdRng::seed_from_u64(54);
         for _ in 0..20_000u64 {
             pq.push(rng.gen()).unwrap();
@@ -361,7 +367,7 @@ mod tests {
         let n = 20_000u64;
         let m = 256usize;
         let b = 8usize;
-        let mut pq = ExtPriorityQueue::new(device.clone(), m);
+        let mut pq = ExtPriorityQueue::new(device.clone(), m).unwrap();
         let mut rng = StdRng::seed_from_u64(55);
         let before = device.stats().snapshot();
         for _ in 0..n {
@@ -382,7 +388,7 @@ mod tests {
 
     #[test]
     fn duplicates_all_surface() {
-        let mut pq = ExtPriorityQueue::new(device(), 64);
+        let mut pq = ExtPriorityQueue::new(device(), 64).unwrap();
         for _ in 0..1000 {
             pq.push(7u64).unwrap();
         }
@@ -398,7 +404,7 @@ mod tests {
 
     #[test]
     fn tuple_records_order_lexicographically() {
-        let mut pq: ExtPriorityQueue<(u64, u64)> = ExtPriorityQueue::new(device(), 64);
+        let mut pq: ExtPriorityQueue<(u64, u64)> = ExtPriorityQueue::new(device(), 64).unwrap();
         pq.push((2, 1)).unwrap();
         pq.push((1, 9)).unwrap();
         pq.push((1, 2)).unwrap();
@@ -408,10 +414,39 @@ mod tests {
     }
 
     #[test]
+    fn tiny_budget_is_raised_to_the_floor() {
+        // B = 8 u64s → floor is 64 records; a budget of 1 must still work.
+        let mut pq: ExtPriorityQueue<u64> = ExtPriorityQueue::new(device(), 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(56);
+        let mut data: Vec<u64> = (0..3000).map(|_| rng.gen()).collect();
+        for &x in &data {
+            pq.push(x).unwrap();
+        }
+        data.sort_unstable();
+        for expect in data {
+            assert_eq!(pq.pop().unwrap(), Some(expect));
+        }
+    }
+
+    #[test]
+    fn oversized_record_is_a_typed_error() {
+        // 16-byte blocks cannot hold a 24-byte (u64, u64, u64) record.
+        let small = EmConfig::new(16, 16).ram_disk();
+        match ExtPriorityQueue::<(u64, u64, u64)>::new(small, 1024) {
+            Err(pdm::PdmError::RecordTooLarge { record, block }) => {
+                assert_eq!(record, 24);
+                assert_eq!(block, 16);
+            }
+            Err(e) => panic!("expected RecordTooLarge, got {e}"),
+            Ok(_) => panic!("expected RecordTooLarge, got Ok"),
+        }
+    }
+
+    #[test]
     fn drop_releases_blocks() {
         let device = device();
         {
-            let mut pq = ExtPriorityQueue::new(device.clone(), 64);
+            let mut pq = ExtPriorityQueue::new(device.clone(), 64).unwrap();
             for i in 0..5000u64 {
                 pq.push(i).unwrap();
             }

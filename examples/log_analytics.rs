@@ -120,7 +120,7 @@ fn main() {
     // negated key).
     let before = device.stats().snapshot();
     let mut pq: ExtPriorityQueue<(u64, u64)> =
-        ExtPriorityQueue::new(device.clone(), m_records.min(1 << 16));
+        ExtPriorityQueue::new(device.clone(), m_records.min(1 << 16)).unwrap();
     {
         let mut reader = per_user.reader();
         while let Some((user, _reqs, total)) = reader.try_next().unwrap() {

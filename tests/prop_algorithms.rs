@@ -140,7 +140,7 @@ mod structures {
             let cfg = EmConfig::new(256, 16);
             let device = cfg.ram_disk();
             let mut pq: ExtPriorityQueue<u64> =
-                ExtPriorityQueue::new(device, cfg.mem_records::<u64>());
+                ExtPriorityQueue::new(device, cfg.mem_records::<u64>()).unwrap();
             for &x in &data {
                 pq.push(x).unwrap();
             }
