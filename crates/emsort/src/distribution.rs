@@ -74,6 +74,7 @@ where
         budget: MemBudget::new(cfg.mem_records + reserve),
         cfg: *cfg,
         rng: std::cell::RefCell::new(StdRng::seed_from_u64(0xD157_0507)),
+        levels: std::cell::Cell::new(0),
     };
     let mut out =
         ExtVecWriter::with_write_behind(input.device().clone(), ov.write_behind, &ctx.budget);
@@ -90,6 +91,10 @@ struct Ctx {
     budget: Arc<MemBudget>,
     cfg: SortConfig,
     rng: std::cell::RefCell<StdRng>,
+    /// Partition calls so far — the stream token announced to the device's
+    /// lane policy before each level's zone writers allocate (see
+    /// [`BlockDevice::direct_next_stream`](pdm::BlockDevice::direct_next_stream)).
+    levels: std::cell::Cell<usize>,
 }
 
 /// Base case: the bucket fits in memory — load, sort, append to `out`.
@@ -174,9 +179,17 @@ where
     }
     let np = pivots.len();
 
-    // Pass 2: distribute.  On independent-placement arrays each zone
-    // writer's blocks round-robin across the member disks as they are
-    // allocated, so the bucket writes of one level keep all D lanes busy.
+    // Pass 2: distribute.  On independent-geometry arrays the level's zone
+    // writers interleave their allocations through the device's one lane
+    // cursor, so the bucket writes of one level keep all D lanes busy.
+    // Announcing the level as a stream lets the seeded lane policies (SRM /
+    // randomized cycling) decorrelate where each level's allocation
+    // sequence starts and in what order it cycles — the recursion is
+    // deterministic, so the token sequence (and hence the block layout) is
+    // reproducible run to run.
+    let level = ctx.levels.get();
+    ctx.levels.set(level + 1);
+    bucket.device().direct_next_stream(level);
     let mut open: Vec<ExtVecWriter<R>> = (0..=np)
         .map(|_| {
             ExtVecWriter::with_write_behind(bucket.device().clone(), ov.write_behind, &ctx.budget)

@@ -1,0 +1,222 @@
+//! Guided merging: a static prefetch schedule in place of forecasting.
+//!
+//! Hagerup's *Guidesort* observes that the entire block-fetch order of a
+//! k-way merge is determined **before the merge starts**: a run's block is
+//! first demanded when its leading record becomes the merge winner, and the
+//! leading records of every block are already resident (the forecast
+//! metadata recorded when each run was written, see
+//! [`em_core::ExtVec::block_head`]).  Sorting all `(leading key, run)` pairs
+//! once therefore yields a *guide sequence* — the exact order in which the
+//! merge will open blocks — and prefetching can simply walk that sequence,
+//! with no per-pump key comparisons at all.
+//!
+//! Contrast with the [`Forecaster`](crate::forecast::Forecaster): the
+//! forecaster re-derives the next most urgent block dynamically on every
+//! pump (`O(k)` comparisons each), which lets it react to per-lane queue
+//! pressure; the guide pays `O(total blocks · log)` once up front and then
+//! issues prefetches by table lookup.  Both are pure *scheduling*: every
+//! block either submits is one the demand-paged merge would read anyway,
+//! merely issued earlier, so transfer counts — and of course the merged
+//! record sequence — are identical across forecasting, guiding, and plain
+//! demand paging.  The A/B race between the two is experiment F19.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use em_core::{BudgetGuard, ExtVec, ExtVecReader, MemBudget, Record};
+
+use crate::runs::cmp_from_less;
+
+/// The guide sequence of one k-way merge plus the shared prefetch pool it
+/// feeds, built once from the runs' resident block-head metadata.
+///
+/// [`pump`](Self::pump) keeps up to `pool` blocks in flight across all
+/// readers by submitting `prefetch_one` calls in guide order.  A guide entry
+/// whose block was already demand-read simply advances that run's reader to
+/// its next unfetched block — still a block the merge needs, just fetched
+/// slightly ahead of the guide — so the schedule degrades gracefully and
+/// never fetches a block the merge would not read.
+pub(crate) struct GuideScheduler {
+    pool: usize,
+    /// Run index of each block in guide order (smallest leading key first,
+    /// ties toward the lower run index — the merge's own tie rule).
+    plan: Vec<u32>,
+    /// Next unconsumed guide entry.
+    next: Cell<usize>,
+    _reserve: Option<BudgetGuard>,
+}
+
+impl GuideScheduler {
+    /// Build the guide over `parts` (each a run and the record offset the
+    /// merge enters it at) and charge up to `k·depth` blocks of prefetch
+    /// pool from `budget` headroom, exactly like the forecaster — degrading
+    /// to zero pool (pure demand paging) when the budget is short.
+    ///
+    /// Callers must ensure every part [`has_block_heads`]
+    /// (em_core::ExtVec::has_block_heads); blocks wholly before a part's
+    /// start offset are excluded from the guide (the merge never opens
+    /// them).
+    pub fn new<R, F>(
+        budget: &Arc<MemBudget>,
+        parts: &[(&ExtVec<R>, u64)],
+        depth: usize,
+        less: F,
+    ) -> Self
+    where
+        R: Record,
+        F: Fn(&R, &R) -> bool + Copy,
+    {
+        let k = parts.len();
+        let per_block = parts.first().map_or(1, |(r, _)| r.per_block()).max(1);
+        let reserve = budget.try_charge_units(k * depth, per_block);
+        let pool = reserve.as_ref().map_or(0, |g| g.records() / per_block);
+
+        // One guide entry per block the merge will open, seeded run-major so
+        // the stable sort below keeps a run's equal-head blocks in file
+        // order and resolves cross-run ties toward the lower run index.
+        let mut entries: Vec<(u32, u32)> = Vec::new(); // (run, block)
+        for (run, (part, start)) in parts.iter().enumerate() {
+            let first = (*start as usize) / part.per_block().max(1);
+            for bi in first..part.num_blocks() {
+                entries.push((run as u32, bi as u32));
+            }
+        }
+        entries.sort_by(|a, b| {
+            let ha = parts[a.0 as usize].0.block_head(a.1 as usize);
+            let hb = parts[b.0 as usize].0.block_head(b.1 as usize);
+            match (ha, hb) {
+                (Some(x), Some(y)) => cmp_from_less(less, x, y),
+                // Unreachable under the `has_block_heads` precondition, but
+                // degrade deterministically rather than panic.
+                _ => std::cmp::Ordering::Equal,
+            }
+        });
+        GuideScheduler {
+            pool,
+            plan: entries.into_iter().map(|(run, _)| run).collect(),
+            next: Cell::new(0),
+            _reserve: reserve,
+        }
+    }
+
+    /// Blocks the pool may keep in flight.
+    pub fn pool(&self) -> usize {
+        self.pool
+    }
+
+    /// Top the pool up by submitting prefetches in guide order.  Entries
+    /// whose run has no unfetched block left (fully submitted, or drained by
+    /// demand reads) are consumed without effect.
+    pub fn pump<R: Record>(&self, readers: &mut [ExtVecReader<'_, R>]) {
+        if self.pool == 0 {
+            return;
+        }
+        let mut in_flight: usize = readers.iter().map(|r| r.in_flight()).sum();
+        let mut next = self.next.get();
+        while in_flight < self.pool && next < self.plan.len() {
+            let run = self.plan[next] as usize;
+            next += 1;
+            if readers[run].prefetch_one() {
+                in_flight += 1;
+            }
+        }
+        self.next.set(next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::EmConfig;
+
+    /// Two runs, B = 8: run 0 holds small keys, run 1 large ones.  The guide
+    /// must order all of run 0's blocks before run 1's, so the whole pool
+    /// goes to run 0 first — the same behaviour the forecaster converges to
+    /// dynamically.
+    #[test]
+    fn guide_orders_blocks_by_leading_key() {
+        let cfg = EmConfig::new(64, 16);
+        let device = cfg.ram_disk();
+        let small: Vec<u64> = (0..32).collect();
+        let large: Vec<u64> = (1000..1032).collect();
+        let a = ExtVec::from_slice(device.clone(), &small).unwrap();
+        let b = ExtVec::from_slice(device.clone(), &large).unwrap();
+        let budget = MemBudget::new(64);
+        let parts = [(&a, 0u64), (&b, 0u64)];
+        let g = GuideScheduler::new(&budget, &parts, 2, |x: &u64, y: &u64| x < y);
+        assert_eq!(g.pool(), 4);
+        assert_eq!(g.plan, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+
+        let mut readers = vec![
+            a.reader_forecast(0, g.pool()),
+            b.reader_forecast(0, g.pool()),
+        ];
+        g.pump(&mut readers);
+        assert_eq!(readers[0].in_flight(), 4);
+        assert_eq!(readers[1].in_flight(), 0);
+        while readers[0].try_next().unwrap().is_some() {
+            g.pump(&mut readers);
+        }
+        assert_eq!(readers[1].in_flight(), 4);
+        while readers[1].try_next().unwrap().is_some() {}
+        let snap = device.stats().snapshot();
+        assert_eq!(snap.prefetch_wasted(), 0, "the guide never over-fetches");
+        assert_eq!(snap.forecast_issued(), 8);
+        assert_eq!(snap.forecast_hits(), 8);
+    }
+
+    #[test]
+    fn interleaved_heads_interleave_the_guide() {
+        let cfg = EmConfig::new(64, 16);
+        let device = cfg.ram_disk();
+        // Block heads: run 0 → 0, 20, 40, 60; run 1 → 10, 30, 50, 70.
+        let r0: Vec<u64> = (0..32).map(|i| (i / 8) * 20 + i % 8).collect();
+        let r1: Vec<u64> = (0..32).map(|i| 10 + (i / 8) * 20 + i % 8).collect();
+        let a = ExtVec::from_slice(device.clone(), &r0).unwrap();
+        let b = ExtVec::from_slice(device.clone(), &r1).unwrap();
+        let budget = MemBudget::new(1000);
+        let parts = [(&a, 0u64), (&b, 0u64)];
+        let g = GuideScheduler::new(&budget, &parts, 4, |x: &u64, y: &u64| x < y);
+        assert_eq!(g.plan, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn equal_heads_resolve_toward_lower_run() {
+        let cfg = EmConfig::new(64, 16);
+        let device = cfg.ram_disk();
+        let same: Vec<u64> = vec![5; 16]; // two blocks, both heads 5
+        let a = ExtVec::from_slice(device.clone(), &same).unwrap();
+        let b = ExtVec::from_slice(device.clone(), &same).unwrap();
+        let budget = MemBudget::new(1000);
+        let parts = [(&a, 0u64), (&b, 0u64)];
+        let g = GuideScheduler::new(&budget, &parts, 2, |x: &u64, y: &u64| x < y);
+        assert_eq!(g.plan, vec![0, 0, 1, 1], "stable: run 0 wins every tie");
+    }
+
+    #[test]
+    fn mid_run_offsets_skip_consumed_blocks() {
+        let cfg = EmConfig::new(64, 16);
+        let device = cfg.ram_disk();
+        let a = ExtVec::from_slice(device.clone(), &(0u64..32).collect::<Vec<_>>()).unwrap();
+        let budget = MemBudget::new(1000);
+        // Entering at record 17 (block 2 of 4): blocks 0 and 1 are excluded.
+        let parts = [(&a, 17u64)];
+        let g = GuideScheduler::new(&budget, &parts, 2, |x: &u64, y: &u64| x < y);
+        assert_eq!(g.plan.len(), 2);
+    }
+
+    #[test]
+    fn zero_pool_is_a_noop() {
+        let cfg = EmConfig::new(64, 16);
+        let device = cfg.ram_disk();
+        let a = ExtVec::from_slice(device.clone(), &(0u64..16).collect::<Vec<_>>()).unwrap();
+        let budget = MemBudget::new(4); // less than one block of headroom
+        let parts = [(&a, 0u64)];
+        let g = GuideScheduler::new(&budget, &parts, 2, |x: &u64, y: &u64| x < y);
+        assert_eq!(g.pool(), 0);
+        let mut readers = vec![a.reader_forecast(0, 0)];
+        g.pump(&mut readers);
+        assert_eq!(readers[0].in_flight(), 0);
+        assert_eq!(readers[0].by_ref().count(), 16);
+    }
+}

@@ -39,6 +39,7 @@
 mod bmmc;
 mod distribution;
 mod forecast;
+mod guidesort;
 mod heap;
 mod losertree;
 mod merge;
@@ -137,13 +138,18 @@ fn env_overlap() -> OverlapConfig {
     })
 }
 
-/// Which comparison kernel drives the k-way merge.
+/// Which kernel drives the k-way merge.
 ///
-/// Both kernels produce *identical* output (ties always resolve toward the
-/// lower run index) and perform identical I/O; they differ only in
-/// comparisons per record: the binary heap pays up to `2·log₂ k`, the loser
-/// tree exactly `⌈log₂ k⌉` — less on duplicate-heavy data thanks to its
-/// block-drain fast path.  The enum exists so experiments can A/B them.
+/// Every kernel produces *identical* output (ties always resolve toward the
+/// lower run index) and performs identical I/O.  The comparison kernels
+/// differ in comparisons per record: the binary heap pays up to `2·log₂ k`,
+/// the loser tree exactly `⌈log₂ k⌉` — less on duplicate-heavy data thanks
+/// to its block-drain fast path.  [`Guided`](MergeKernel::Guided)
+/// additionally swaps the merge's prefetch *scheduler*: instead of
+/// forecasting (re-deriving the most urgent block dynamically each pump) it
+/// walks a guide sequence computed once from the runs' block heads, à la
+/// Hagerup's Guidesort — see the `guidesort` module documentation.  The
+/// enum exists so experiments can A/B them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MergeKernel {
     /// Loser tree for `k ≥ 3`, binary heap below (where a tree has no edge).
@@ -153,6 +159,12 @@ pub enum MergeKernel {
     Heap,
     /// Always the loser tree.
     LoserTree,
+    /// The [`Auto`](MergeKernel::Auto) comparison kernel, with block
+    /// prefetches planned by a static guide sequence instead of dynamic
+    /// forecasting.  Takes effect when read-ahead is on and the runs carry
+    /// block-head metadata (the same preconditions as forecasting);
+    /// otherwise identical to `Auto`.  Overrides [`SortConfig::forecast`].
+    Guided,
 }
 
 /// Parameters of one external sort.

@@ -29,6 +29,7 @@ use em_core::{BudgetGuard, ExtVec, ExtVecReader, ExtVecWriter, IoWaitSink, MemBu
 use pdm::{Result, SharedDevice};
 
 use crate::forecast::Forecaster;
+use crate::guidesort::GuideScheduler;
 use crate::heap::MinHeap;
 use crate::losertree::LoserTree;
 use crate::runs::{form_runs_impl, write_sorted_chunk};
@@ -179,10 +180,12 @@ where
     }
     metrics.merge_secs = t1.elapsed().as_secs_f64();
     metrics.merge_io_wait_secs = nanos_of(&merge_wait);
-    Ok((
-        queue.pop_front().expect("nonempty input yields a run"),
-        metrics,
-    ))
+    // Nonempty input always leaves exactly one run; degrade to an empty
+    // result rather than panic if that invariant ever breaks.
+    match queue.pop_front() {
+        Some(out) => Ok((out, metrics)),
+        None => Ok((ExtVec::new(input.device().clone()), metrics)),
+    }
 }
 
 /// Merge already-sorted `runs` into one sorted array, charging
@@ -240,6 +243,68 @@ where
     )
 }
 
+/// The merge's prefetch scheduler: dynamic forecasting or a static guide
+/// sequence ([`MergeKernel::Guided`]).  Both drive the same shared pool of
+/// externally managed readers; they differ only in how the next block to
+/// submit is chosen, never in which blocks are read.
+enum Prefetcher {
+    Forecast(Forecaster),
+    Guide(GuideScheduler),
+}
+
+impl Prefetcher {
+    /// Build the scheduler `kernel` and `forecast` call for, or `None` when
+    /// prefetch scheduling cannot apply (no read-ahead, fewer than two runs,
+    /// or missing block-head metadata).
+    fn build<R, F>(
+        parts: &[(&ExtVec<R>, u64)],
+        budget: &Arc<MemBudget>,
+        ov: OverlapConfig,
+        kernel: MergeKernel,
+        forecast: bool,
+        less: F,
+    ) -> Option<Self>
+    where
+        R: Record,
+        F: Fn(&R, &R) -> bool + Copy,
+    {
+        let k = parts.len();
+        let guided = kernel == MergeKernel::Guided;
+        let eligible =
+            ov.read_ahead > 0 && k >= 2 && parts.iter().all(|(r, _)| r.has_block_heads());
+        if !eligible || (!forecast && !guided) {
+            return None;
+        }
+        let b = parts.first().map_or(1, |(r, _)| r.per_block());
+        Some(if guided {
+            Prefetcher::Guide(GuideScheduler::new(budget, parts, ov.read_ahead, less))
+        } else {
+            let device = parts[0].0.device();
+            Prefetcher::Forecast(Forecaster::new(budget, k, ov.read_ahead, b, device.lanes()))
+        })
+    }
+
+    /// Blocks the scheduler's pool may keep in flight.
+    fn pool(&self) -> usize {
+        match self {
+            Prefetcher::Forecast(fc) => fc.pool(),
+            Prefetcher::Guide(g) => g.pool(),
+        }
+    }
+
+    /// Top the pool up (scheduler-specific submission order).
+    fn pump<R, F>(&self, readers: &mut [ExtVecReader<'_, R>], less: F)
+    where
+        R: Record,
+        F: Fn(&R, &R) -> bool + Copy,
+    {
+        match self {
+            Prefetcher::Forecast(fc) => fc.pump(readers, less),
+            Prefetcher::Guide(g) => g.pump(readers),
+        }
+    }
+}
+
 /// One k-way merge with optional read-ahead on each run and write-behind on
 /// the output.  The overlap buffers come from `budget` headroom via
 /// `try_charge`, so a tight budget silently degrades to the synchronous
@@ -248,7 +313,9 @@ where
 /// With `forecast` on (and read-ahead requested, and block-head metadata
 /// present on every run), the per-run read-ahead buffers become one shared
 /// pool scheduled by a [`Forecaster`]: the run whose next block has the
-/// smallest leading key gets the next buffer.
+/// smallest leading key gets the next buffer.  With the
+/// [`Guided`](MergeKernel::Guided) kernel the pool is instead scheduled by a
+/// precomputed [`GuideScheduler`] sequence.
 fn merge_runs_inner<R, F>(
     runs: &[ExtVec<R>],
     budget: &Arc<MemBudget>,
@@ -268,9 +335,8 @@ where
     let k = runs.len();
     let _charge = budget.charge((k + 1) * b);
 
-    let use_forecast =
-        forecast && ov.read_ahead > 0 && k >= 2 && runs.iter().all(|r| r.has_block_heads());
-    let fc = use_forecast.then(|| Forecaster::new(budget, k, ov.read_ahead, b, device.lanes()));
+    let parts: Vec<(&ExtVec<R>, u64)> = runs.iter().map(|r| (r, 0)).collect();
+    let fc = Prefetcher::build(&parts, budget, ov, kernel, forecast, less);
 
     let mut readers: Vec<ExtVecReader<R>> = match &fc {
         Some(fc) => runs
@@ -310,7 +376,7 @@ where
     let use_tree = match kernel {
         MergeKernel::LoserTree => true,
         MergeKernel::Heap => false,
-        MergeKernel::Auto => k >= 3,
+        MergeKernel::Auto | MergeKernel::Guided => k >= 3,
     };
 
     // Re-pump the forecaster roughly once per emitted block; exact cadence
@@ -392,7 +458,12 @@ where
             let i = e.1;
             let rec = match readers[i].try_next()? {
                 Some(next) => heap.replace_min((next, i)).0,
-                None => heap.pop().expect("nonempty").0,
+                // `peek` just succeeded, so `pop` cannot miss; stop cleanly
+                // rather than panic if it ever does.
+                None => match heap.pop() {
+                    Some(e) => e.0,
+                    None => break,
+                },
             };
             w.push(rec)?;
             tick!();
@@ -419,7 +490,7 @@ where
 /// stream being returned.
 pub struct SortedStream<'a, R: Record, F> {
     readers: Vec<ExtVecReader<'a, R>>,
-    fc: Option<Forecaster>,
+    fc: Option<Prefetcher>,
     kernel: StreamKernel<R, F>,
     less: F,
     /// Records since the last forecaster pump (cadence: once per block).
@@ -502,14 +573,7 @@ where
         let k = parts.len();
         let b = parts.first().map_or(1, |(r, _)| r.per_block());
         let charge = budget.charge((k + 1) * b);
-        let use_forecast = forecast
-            && ov.read_ahead > 0
-            && k >= 2
-            && parts.iter().all(|(r, _)| r.has_block_heads());
-        let fc = use_forecast.then(|| {
-            let device = parts[0].0.device();
-            Forecaster::new(budget, k, ov.read_ahead, b, device.lanes())
-        });
+        let fc = Prefetcher::build(parts, budget, ov, kernel, forecast, less);
         let mut readers: Vec<ExtVecReader<'a, R>> = match &fc {
             Some(fc) => parts
                 .iter()
@@ -529,7 +593,7 @@ where
             && match kernel {
                 MergeKernel::LoserTree => true,
                 MergeKernel::Heap => false,
-                MergeKernel::Auto => k >= 3,
+                MergeKernel::Auto | MergeKernel::Guided => k >= 3,
             };
         let kernel = if use_tree {
             let keys: Vec<Option<R>> = readers
@@ -637,7 +701,11 @@ where
                     None => {
                         let last = items.len() - 1;
                         items.swap(0, last);
-                        let old = items.pop().expect("nonempty");
+                        // `first` just succeeded, so `pop` cannot miss; end
+                        // the stream cleanly rather than panic if it does.
+                        let Some(old) = items.pop() else {
+                            return Ok(None);
+                        };
                         if !items.is_empty() {
                             hsift_down(items, less);
                         }
@@ -1242,7 +1310,12 @@ mod tests {
         let (input, mut data) = random_input(&device, 6000, 9);
         data.sort_unstable();
         let mut baseline: Option<(Vec<u64>, u64, u64)> = None;
-        for kernel in [MergeKernel::Heap, MergeKernel::LoserTree, MergeKernel::Auto] {
+        for kernel in [
+            MergeKernel::Heap,
+            MergeKernel::LoserTree,
+            MergeKernel::Auto,
+            MergeKernel::Guided,
+        ] {
             let before = device.stats().snapshot();
             let out = merge_sort(&input, &SortConfig::new(64).with_merge_kernel(kernel)).unwrap();
             let d = device.stats().snapshot().since(&before);
@@ -1324,6 +1397,95 @@ mod tests {
     }
 
     #[test]
+    fn guided_kernel_matches_forecasting_with_identical_counts() {
+        // With overlap on, Guided swaps the forecaster for the static guide
+        // sequence: same records, same transfer counts, prefetch counters
+        // light up, and the guide never over-fetches.
+        let device = device_b8();
+        let (input, mut data) = random_input(&device, 6000, 14);
+        data.sort_unstable();
+        let base = SortConfig::new(64).with_overlap(OverlapConfig::symmetric(2));
+        let before = device.stats().snapshot();
+        let auto = merge_sort(&input, &base).unwrap();
+        let mid = device.stats().snapshot();
+        let guided = merge_sort(&input, &base.with_merge_kernel(MergeKernel::Guided)).unwrap();
+        let after = device.stats().snapshot();
+        assert_eq!(auto.to_vec().unwrap(), data);
+        assert_eq!(guided.to_vec().unwrap(), data);
+        let (d_auto, d_guided) = (mid.since(&before), after.since(&mid));
+        assert_eq!(d_auto.reads(), d_guided.reads(), "guided reads");
+        assert_eq!(d_auto.writes(), d_guided.writes(), "guided writes");
+        assert!(
+            d_guided.forecast_issued() > 0,
+            "the guide should drive the merge prefetches"
+        );
+        assert_eq!(
+            d_guided.prefetch_wasted(),
+            0,
+            "the guide never over-fetches"
+        );
+    }
+
+    #[test]
+    fn guided_overrides_forecast_flag() {
+        // forecast=false normally disables scheduled prefetch; Guided plans
+        // from the guide regardless, with identical transfer counts.
+        let device = device_b8();
+        let (input, mut data) = random_input(&device, 4000, 15);
+        data.sort_unstable();
+        let cfg = SortConfig::new(64)
+            .with_overlap(OverlapConfig::symmetric(2))
+            .with_forecast(false)
+            .with_merge_kernel(MergeKernel::Guided);
+        let before = device.stats().snapshot();
+        let out = merge_sort(&input, &cfg).unwrap();
+        let d = device.stats().snapshot().since(&before);
+        assert_eq!(out.to_vec().unwrap(), data);
+        assert!(
+            d.forecast_issued() > 0,
+            "guide plans despite forecast=false"
+        );
+        assert_eq!(d.prefetch_wasted(), 0);
+    }
+
+    #[test]
+    fn guided_stability_matches_other_kernels() {
+        // Key-only comparator on (key, payload) pairs: the guided merge must
+        // resolve ties exactly as the forecasting kernels do.
+        let device = EmConfig::new(64, 8).ram_disk();
+        let mut rng = StdRng::seed_from_u64(16);
+        let data: Vec<(u64, u64)> = (0..2000u64).map(|i| (rng.gen_range(0..8u64), i)).collect();
+        let input = ExtVec::from_slice(device, &data).unwrap();
+        let base = SortConfig::new(64).with_overlap(OverlapConfig::symmetric(2));
+        let auto = merge_sort_by(&input, &base, |a, b| a.0 < b.0).unwrap();
+        let guided = merge_sort_by(
+            &input,
+            &base.with_merge_kernel(MergeKernel::Guided),
+            |a, b| a.0 < b.0,
+        )
+        .unwrap();
+        assert_eq!(auto.to_vec().unwrap(), guided.to_vec().unwrap());
+    }
+
+    #[test]
+    fn ram_efficient_full_sort_matches_load_sort() {
+        let device = device_b8();
+        let (input, mut data) = random_input(&device, 6000, 17);
+        data.sort_unstable();
+        let base = SortConfig::new(64).with_run_threads(1);
+        let before = device.stats().snapshot();
+        let ls = merge_sort(&input, &base).unwrap();
+        let mid = device.stats().snapshot();
+        let re = merge_sort(&input, &base.with_run_formation(RunFormation::RamEfficient)).unwrap();
+        let after = device.stats().snapshot();
+        assert_eq!(ls.to_vec().unwrap(), data);
+        assert_eq!(re.to_vec().unwrap(), data);
+        let (d_ls, d_re) = (mid.since(&before), after.since(&mid));
+        assert_eq!(d_ls.reads(), d_re.reads(), "RamEfficient reads");
+        assert_eq!(d_ls.writes(), d_re.writes(), "RamEfficient writes");
+    }
+
+    #[test]
     fn metrics_report_phases() {
         let device = device_b8();
         let (input, mut data) = random_input(&device, 5000, 13);
@@ -1353,7 +1515,12 @@ mod tests {
         let device = device_b8();
         let (input, mut data) = random_input(&device, 6000, 41);
         data.sort_unstable();
-        for kernel in [MergeKernel::Heap, MergeKernel::LoserTree, MergeKernel::Auto] {
+        for kernel in [
+            MergeKernel::Heap,
+            MergeKernel::LoserTree,
+            MergeKernel::Auto,
+            MergeKernel::Guided,
+        ] {
             let cfg = SortConfig::new(64).with_merge_kernel(kernel);
             let got = merge_sort_streaming(&input, &cfg, |a, b| a < b, drain).unwrap();
             assert_eq!(got, data, "{kernel:?}");

@@ -22,7 +22,7 @@
 //! `sort_by` — thread count changes wall-clock time only, never run contents
 //! or I/O counts (the equivalence tests below assert exactly this).
 
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Mutex};
 
 use em_core::{ExtVec, ExtVecWriter, IoWaitSink, MemBudget, Record};
 use pdm::Result;
@@ -43,6 +43,19 @@ pub enum RunFormation {
     LoadSort,
     /// Selection heap with run tagging: runs average `2M` on random input.
     ReplacementSelection,
+    /// RAM-efficient load–sort–store in the spirit of Arge & Thorup: each
+    /// `B`-record block is handed to a [`SortConfig::run_threads`]-wide
+    /// sorter pool the moment its reads land (so sort CPU hides under the
+    /// input stream's read-ahead *and* spreads across cores), then the
+    /// `M/B` sorted blocks are loser-tree-merged *streaming* into the run
+    /// writer — the
+    /// first output block is in flight after `O(B log(M/B))` comparisons
+    /// instead of after the full `O(M log M)` monolithic sort, so
+    /// write-behind overlaps the remaining merge CPU.  Runs are
+    /// byte-identical to [`LoadSort`] (stable block sorts + stable
+    /// block-index tie-break = the stable full sort) and I/O counts are
+    /// unchanged; only the CPU/I/O overlap profile differs.
+    RamEfficient,
 }
 
 /// Produce sorted runs from `input` under `cfg`'s memory budget.
@@ -87,6 +100,10 @@ where
         }
         RunFormation::ReplacementSelection => {
             replacement_selection_runs(input, &budget, cfg.mem_records, ov, io_wait, less)
+        }
+        RunFormation::RamEfficient => {
+            let threads = cfg.effective_run_threads();
+            ram_efficient_runs(input, &budget, cfg.mem_records, ov, threads, io_wait, less)
         }
     }
 }
@@ -171,8 +188,25 @@ where
             s.spawn(move || piece.sort_by(|a, b| cmp_from_less(less, a, b)));
         }
     });
-    // Merge the sorted pieces straight into the writer — no scratch buffer,
-    // so memory stays at the chunk's M records (plus t in-tree keys).
+    merge_sorted_pieces(chunk, piece_len, less, w)
+}
+
+/// Loser-tree-merge the contiguous sorted `piece_len`-record pieces of
+/// `chunk` straight into the writer — no scratch buffer, so memory stays at
+/// the chunk's records (plus one in-tree key per piece).  Ties resolve
+/// toward the lower piece index, so stably-sorted contiguous pieces merge
+/// into exactly the stable full sort of `chunk`.
+fn merge_sorted_pieces<R, F>(
+    chunk: &mut Vec<R>,
+    piece_len: usize,
+    less: F,
+    w: &mut ExtVecWriter<R>,
+) -> Result<()>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy,
+{
+    let t = chunk.len().div_ceil(piece_len);
     let starts: Vec<usize> = (0..t).map(|i| i * piece_len).collect();
     let ends: Vec<usize> = (0..t)
         .map(|i| ((i + 1) * piece_len).min(chunk.len()))
@@ -188,6 +222,132 @@ where
         w.push(lt.replace_winner(next))?;
     }
     chunk.clear();
+    Ok(())
+}
+
+/// [`RunFormation::RamEfficient`]: hand each block to a sorter pool as its
+/// reads land, then stream an `M/B`-way loser-tree merge of the sorted
+/// blocks into the run writer.  See the enum variant's documentation for why
+/// the runs come out byte-identical to [`RunFormation::LoadSort`].
+fn ram_efficient_runs<R, F>(
+    input: &ExtVec<R>,
+    budget: &Arc<MemBudget>,
+    m: usize,
+    ov: OverlapConfig,
+    threads: usize,
+    io_wait: Option<&IoWaitSink>,
+    less: F,
+) -> Result<Vec<ExtVec<R>>>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy + Send,
+{
+    let b = input.per_block();
+    assert!(m >= 2 * b, "memory must hold at least two blocks");
+    let _charge = budget.charge(m);
+    // More sorters than blocks per chunk would just idle.
+    let t = threads.clamp(1, m.div_ceil(b));
+    let mut runs = Vec::new();
+    let mut reader = input.reader_at_prefetch(0, ov.read_ahead, budget);
+    if let Some(sink) = io_wait {
+        reader.set_io_wait_sink(sink.clone());
+    }
+    loop {
+        // Read the chunk as B-record blocks and farm each completed block to
+        // a sorter worker the moment its reads land: the reader's prefetch
+        // keeps the next block's transfer in flight while the pool keeps the
+        // sort CPU off the read path entirely.  The blocks in flight always
+        // belong to the current chunk, so resident records stay within M.
+        let (work_tx, work_rx) = mpsc::channel::<(usize, Vec<R>)>();
+        let (done_tx, done_rx) = mpsc::channel::<(usize, Vec<R>)>();
+        let work_rx = Mutex::new(work_rx);
+        let n_blocks = std::thread::scope(|s| {
+            for _ in 0..t {
+                let done = done_tx.clone();
+                let work = &work_rx;
+                s.spawn(move || loop {
+                    // The lock is held only across `recv` — the sort itself
+                    // runs unlocked, so workers sort concurrently.
+                    let job = match work.lock() {
+                        Ok(rx) => rx.recv(),
+                        Err(_) => return,
+                    };
+                    let Ok((idx, mut block)) = job else { return };
+                    block.sort_by(|x, y| cmp_from_less(less, x, y));
+                    if done.send((idx, block)).is_err() {
+                        return;
+                    }
+                });
+            }
+            drop(done_tx);
+            let mut sent = 0usize;
+            let mut block: Vec<R> = Vec::with_capacity(b);
+            let mut total = 0usize;
+            while total < m {
+                match reader.try_next() {
+                    Ok(Some(r)) => {
+                        block.push(r);
+                        total += 1;
+                        if block.len() == b {
+                            let full = std::mem::replace(&mut block, Vec::with_capacity(b));
+                            let _ = work_tx.send((sent, full));
+                            sent += 1;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        drop(work_tx);
+                        return Err(e);
+                    }
+                }
+            }
+            if !block.is_empty() {
+                let _ = work_tx.send((sent, block));
+                sent += 1;
+            }
+            drop(work_tx);
+            Ok(sent)
+        })?;
+        if n_blocks == 0 {
+            break;
+        }
+        // Every sender is gone once the scope joins, so the done channel
+        // holds exactly this chunk's sorted blocks (in completion order).
+        let mut sorted: Vec<(usize, Vec<R>)> = done_rx.try_iter().collect();
+        sorted.sort_unstable_by_key(|&(idx, _)| idx);
+        let mut blocks: Vec<Vec<R>> = sorted.into_iter().map(|(_, blk)| blk).collect();
+        input.device().direct_next_stream(runs.len());
+        let mut w =
+            ExtVecWriter::with_write_behind(input.device().clone(), ov.write_behind, budget);
+        if let Some(sink) = io_wait {
+            w.set_io_wait_sink(sink.clone());
+        }
+        merge_sorted_blocks(&mut blocks, less, &mut w)?;
+        runs.push(w.finish()?);
+    }
+    Ok(runs)
+}
+
+/// Loser-tree-merge independently sorted blocks straight into the writer,
+/// ties resolving toward the lower block index — the same stability argument
+/// as [`merge_sorted_pieces`], so the output is exactly the stable full sort
+/// of the chunk the blocks were read from.
+fn merge_sorted_blocks<R, F>(blocks: &mut [Vec<R>], less: F, w: &mut ExtVecWriter<R>) -> Result<()>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy,
+{
+    let mut cursors = vec![1usize; blocks.len()];
+    let keys: Vec<Option<R>> = blocks.iter().map(|blk| blk.first().cloned()).collect();
+    let mut lt = LoserTree::new(keys, less);
+    while let Some(wi) = lt.winner() {
+        let next = blocks[wi].get(cursors[wi]).cloned();
+        cursors[wi] += 1;
+        w.push(lt.replace_winner(next))?;
+    }
+    for blk in blocks.iter_mut() {
+        blk.clear();
+    }
     Ok(())
 }
 
@@ -244,7 +404,7 @@ where
         writer.set_io_wait_sink(sink.clone());
     }
     let mut last_emitted: Option<R> = None;
-    while let Some(run_id) = heap.peek().map(|e| e.0) {
+    while let Some((run_id, out)) = heap.peek().map(|e| (e.0, e.1.clone())) {
         if run_id != current_run {
             // Current run is exhausted inside the heap; seal it.  Finish the
             // old writer *before* building the next one so its write-behind
@@ -265,8 +425,7 @@ where
             Some(next) => {
                 // Decide which run the replacement joins: it can extend the
                 // current run only if it is not smaller than the record we
-                // are about to emit.
-                let out = heap.peek().expect("nonempty").1.clone();
+                // are about to emit (`out`, the heap head cloned above).
                 let next_run = if less(&next, &out) {
                     current_run + 1
                 } else {
@@ -274,7 +433,12 @@ where
                 };
                 heap.replace_min((next_run, next))
             }
-            None => heap.pop().expect("nonempty"),
+            // `peek` above just succeeded, so `pop` cannot miss; stop
+            // cleanly rather than panic if it ever does.
+            None => match heap.pop() {
+                Some(e) => e,
+                None => break,
+            },
         };
         debug_assert!(
             last_emitted.as_ref().is_none_or(|p| !less(&rec, p)),
@@ -411,7 +575,11 @@ mod tests {
     fn empty_input_no_runs() {
         let cfg = EmConfig::new(64, 8);
         let input: ExtVec<u64> = ExtVec::new(cfg.ram_disk());
-        for rf in [RunFormation::LoadSort, RunFormation::ReplacementSelection] {
+        for rf in [
+            RunFormation::LoadSort,
+            RunFormation::ReplacementSelection,
+            RunFormation::RamEfficient,
+        ] {
             let runs = form_runs(
                 &input,
                 &SortConfig::new(64).with_run_formation(rf),
@@ -423,10 +591,52 @@ mod tests {
     }
 
     #[test]
+    fn ram_efficient_runs_byte_identical_to_load_sort() {
+        let cfg = EmConfig::new(64, 8);
+        let device = cfg.ram_disk();
+        let mut rng = StdRng::seed_from_u64(99);
+        // Heavy duplication: any instability in the block merge would
+        // reorder the (key, position) pairs and fail the equality.
+        let data: Vec<(u64, u64)> = (0..5_000u64)
+            .map(|i| (rng.gen_range(0..32u64), i))
+            .collect();
+        let input = ExtVec::from_slice(device.clone(), &data).unwrap();
+        let base = SortConfig::new(256).with_run_threads(1);
+        let before = device.stats().snapshot();
+        let ls = form_runs(&input, &base, |a: &(u64, u64), b| a.0 < b.0).unwrap();
+        let mid = device.stats().snapshot();
+        let re = form_runs(
+            &input,
+            &base.with_run_formation(RunFormation::RamEfficient),
+            |a: &(u64, u64), b| a.0 < b.0,
+        )
+        .unwrap();
+        let after = device.stats().snapshot();
+        let (d_ls, d_re) = (mid.since(&before), after.since(&mid));
+        assert_eq!(d_ls.reads(), d_re.reads());
+        assert_eq!(d_ls.writes(), d_re.writes());
+        assert_eq!(ls.len(), re.len());
+        for (a, b) in ls.iter().zip(&re) {
+            assert_eq!(
+                a.to_vec().unwrap(),
+                b.to_vec().unwrap(),
+                "RAM-efficient run differs from load-sort"
+            );
+        }
+        for r in ls.into_iter().chain(re) {
+            r.free().unwrap();
+        }
+    }
+
+    #[test]
     fn run_formation_io_is_two_scans() {
         let (input, _) = setup(512);
         let device = input.device().clone();
-        for rf in [RunFormation::LoadSort, RunFormation::ReplacementSelection] {
+        for rf in [
+            RunFormation::LoadSort,
+            RunFormation::ReplacementSelection,
+            RunFormation::RamEfficient,
+        ] {
             let before = device.stats().snapshot();
             let runs = form_runs(
                 &input,
@@ -447,7 +657,11 @@ mod tests {
     fn overlap_changes_neither_runs_nor_io_counts() {
         let (input, _) = setup(512);
         let device = input.device().clone();
-        for rf in [RunFormation::LoadSort, RunFormation::ReplacementSelection] {
+        for rf in [
+            RunFormation::LoadSort,
+            RunFormation::ReplacementSelection,
+            RunFormation::RamEfficient,
+        ] {
             let base = SortConfig::new(64).with_run_formation(rf);
             let sync_cfg = base.with_overlap(OverlapConfig::off());
             let ov_cfg = base.with_overlap(OverlapConfig::symmetric(2));

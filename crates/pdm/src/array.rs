@@ -25,8 +25,9 @@
 //! callers queue depth > 1 per disk.  Transfer *counts* are identical in both
 //! modes — only wall-clock time and the queue-depth statistics differ.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::device::{BlockDevice, BlockId};
 use crate::error::{PdmError, Result};
@@ -37,6 +38,30 @@ use crate::sched::{run_with_retry, IoMode, IoScheduler, IoTicket, RetryPolicy};
 use crate::stats::IoStats;
 
 /// How logical blocks map onto the member disks.
+///
+/// [`Striped`](Placement::Striped) is the one placement with a different
+/// *geometry* (logical block size `D·B`).  The other three share the
+/// independent-disk geometry — block size `B`, one block on one disk — and
+/// differ only in the *lane policy* the allocation cursor follows when a
+/// writer announces a new sequential stream via
+/// [`BlockDevice::direct_next_stream`]:
+///
+/// * [`Independent`](Placement::Independent): stream `r` starts on lane
+///   `r mod D` and advances round-robin — PR 4's deterministic stagger.
+/// * [`Srm`](Placement::Srm): stream `r` starts on lane `hash(seed, r) mod D`
+///   and advances round-robin — the randomized striping of Barve, Grove &
+///   Vitter's Simple Randomized Mergesort, made reproducible by deriving the
+///   start lane from a caller-chosen seed.
+/// * [`RandomizedCycling`](Placement::RandomizedCycling): stream `r` follows
+///   its own pseudorandom *permutation* of the lanes, cycled — randomized
+///   cycling à la Vitter–Hutchinson, where consecutive blocks of one stream
+///   visit the disks in a per-stream random order rather than a rotation of
+///   the same global order.
+///
+/// All three lane policies are pure placement: the transfer counts of any
+/// algorithm are identical across them, and because the lane choice is a
+/// deterministic function of `(seed, stream index)`, a sort's block layout
+/// reproduces exactly across repeated executions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
     /// One logical block = `D` physical blocks, one per disk (block size
@@ -46,6 +71,90 @@ pub enum Placement {
     /// blocks are spread round-robin unless placed explicitly with
     /// [`DiskArray::allocate_on`].
     Independent,
+    /// Independent-disk geometry with SRM stream placement: each sequential
+    /// stream starts on a lane derived from `(seed, stream index)`, then
+    /// advances round-robin.
+    Srm {
+        /// Seed decorrelating the per-stream start lanes.
+        seed: u64,
+    },
+    /// Independent-disk geometry with randomized-cycling stream placement:
+    /// each sequential stream cycles its own seeded pseudorandom permutation
+    /// of the lanes.
+    RandomizedCycling {
+        /// Seed decorrelating the per-stream lane permutations.
+        seed: u64,
+    },
+}
+
+impl Placement {
+    /// Whether this placement stripes each logical block across all disks.
+    pub fn is_striped(self) -> bool {
+        matches!(self, Placement::Striped)
+    }
+
+    /// Stable lowercase label for benchmark tables and JSON rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Placement::Striped => "striped",
+            Placement::Independent => "independent",
+            Placement::Srm { .. } => "srm",
+            Placement::RandomizedCycling { .. } => "randomized_cycling",
+        }
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates `(seed, stream)` pairs into lane
+/// choices and permutation seeds.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The allocation cursor of an independent-geometry array: the lane sequence
+/// consecutive allocations follow.  `pattern` is the identity rotation for
+/// round-robin placements and a per-stream permutation under randomized
+/// cycling; `pos` indexes into it (mod `D`).
+struct AllocCursor {
+    pattern: Vec<usize>,
+    pos: usize,
+}
+
+impl AllocCursor {
+    fn identity(d: usize) -> Self {
+        AllocCursor {
+            pattern: (0..d).collect(),
+            pos: 0,
+        }
+    }
+
+    fn next(&mut self) -> usize {
+        let lane = self.pattern[self.pos % self.pattern.len()];
+        self.pos += 1;
+        lane
+    }
+
+    fn reset_identity(&mut self) {
+        let d = self.pattern.len();
+        if self.pattern.iter().enumerate().any(|(i, &l)| i != l) {
+            self.pattern = (0..d).collect();
+        }
+    }
+
+    /// Install the seeded Fisher–Yates permutation for one stream.
+    fn install_permutation(&mut self, stream_seed: u64) {
+        let d = self.pattern.len();
+        self.pattern = (0..d).collect();
+        let mut state = stream_seed;
+        for i in (1..d).rev() {
+            state = mix64(state);
+            let j = (state % (i as u64 + 1)) as usize;
+            self.pattern.swap(i, j);
+        }
+        self.pos = 0;
+    }
 }
 
 /// An array of `D` disks (RAM- or file-backed) sharing one [`IoStats`]
@@ -55,7 +164,8 @@ pub struct DiskArray {
     placement: Placement,
     physical_block: usize,
     stats: Arc<IoStats>,
-    next_disk: AtomicUsize,
+    /// Lane policy state for the independent geometries; see [`Placement`].
+    cursor: Mutex<AllocCursor>,
     /// Present in overlapped mode.  When set, *every* transfer — including
     /// the synchronous `read_block`/`write_block` entry points — is routed
     /// through the per-lane worker queues, so one lane's transfers always
@@ -269,12 +379,13 @@ impl DiskArray {
             IoMode::Synchronous => None,
             IoMode::Overlapped => Some(IoScheduler::with_retry(&disks, Arc::clone(&stats), retry)),
         };
+        let d = disks.len();
         DiskArray {
             disks,
             placement,
             physical_block,
             stats,
-            next_disk: AtomicUsize::new(0),
+            cursor: Mutex::new(AllocCursor::identity(d)),
             sched,
             retry,
         }
@@ -315,7 +426,7 @@ impl DiskArray {
     ///
     /// Panics if the array is striped (striped blocks live on every disk).
     pub fn disk_of(&self, id: BlockId) -> usize {
-        assert_eq!(self.placement, Placement::Independent);
+        assert!(!self.placement.is_striped());
         (id % self.disks.len() as u64) as usize
     }
 
@@ -324,7 +435,7 @@ impl DiskArray {
     /// Independent-disk algorithms (e.g. randomized striped merging) use this
     /// to control data placement.  Panics if the array is striped.
     pub fn allocate_on(&self, disk: usize) -> Result<BlockId> {
-        assert_eq!(self.placement, Placement::Independent);
+        assert!(!self.placement.is_striped());
         let d = self.disks.len() as u64;
         let phys = self.disks[disk].allocate()?;
         Ok(phys * d + disk as u64)
@@ -353,57 +464,53 @@ impl DiskArray {
 
 impl BlockDevice for DiskArray {
     fn block_size(&self) -> usize {
-        match self.placement {
-            Placement::Striped => self.physical_block * self.disks.len(),
-            Placement::Independent => self.physical_block,
+        if self.placement.is_striped() {
+            self.physical_block * self.disks.len()
+        } else {
+            self.physical_block
         }
     }
 
     fn allocated_blocks(&self) -> u64 {
-        match self.placement {
-            Placement::Striped => self.disks[0].allocated_blocks(),
-            Placement::Independent => self.disks.iter().map(|d| d.allocated_blocks()).sum(),
+        if self.placement.is_striped() {
+            self.disks[0].allocated_blocks()
+        } else {
+            self.disks.iter().map(|d| d.allocated_blocks()).sum()
         }
     }
 
     fn allocate(&self) -> Result<BlockId> {
-        match self.placement {
-            Placement::Striped => {
-                // Keep member disks in lockstep: the logical id is the common
-                // physical id on every disk.
-                let first = self.disks[0].allocate()?;
-                for disk in &self.disks[1..] {
-                    let id = disk.allocate()?;
-                    debug_assert_eq!(id, first, "striped disks out of lockstep");
-                }
-                Ok(first)
+        if self.placement.is_striped() {
+            // Keep member disks in lockstep: the logical id is the common
+            // physical id on every disk.
+            let first = self.disks[0].allocate()?;
+            for disk in &self.disks[1..] {
+                let id = disk.allocate()?;
+                debug_assert_eq!(id, first, "striped disks out of lockstep");
             }
-            Placement::Independent => {
-                let disk = self.next_disk.fetch_add(1, Ordering::Relaxed) % self.disks.len();
-                self.allocate_on(disk)
-            }
+            Ok(first)
+        } else {
+            let disk = self.cursor.lock().next();
+            self.allocate_on(disk)
         }
     }
 
     fn free(&self, id: BlockId) -> Result<()> {
-        match self.placement {
-            Placement::Striped => {
-                for disk in &self.disks {
-                    disk.free(id)?;
-                }
-                Ok(())
+        if self.placement.is_striped() {
+            for disk in &self.disks {
+                disk.free(id)?;
             }
-            Placement::Independent => {
-                let (disk, phys) = self.split_independent(id);
-                self.disks[disk].free(phys)
-            }
+            Ok(())
+        } else {
+            let (disk, phys) = self.split_independent(id);
+            self.disks[disk].free(phys)
         }
     }
 
     fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<()> {
         self.size_check(buf.len())?;
-        match (&self.sched, self.placement) {
-            (None, Placement::Striped) => {
+        match (&self.sched, self.placement.is_striped()) {
+            (None, true) => {
                 for (d, chunk) in buf.chunks_mut(self.physical_block).enumerate() {
                     run_with_retry(&self.retry, &self.stats, d, id, || {
                         self.disks[d].read_block(id, chunk)
@@ -411,13 +518,13 @@ impl BlockDevice for DiskArray {
                 }
                 Ok(())
             }
-            (None, Placement::Independent) => {
+            (None, false) => {
                 let (disk, phys) = self.split_independent(id);
                 run_with_retry(&self.retry, &self.stats, disk, phys, || {
                     self.disks[disk].read_block(phys, buf)
                 })
             }
-            (Some(sched), Placement::Striped) => {
+            (Some(sched), true) => {
                 // Fan the logical read out to all D lanes, then gather: the
                 // member transfers proceed concurrently.
                 let parts: Vec<_> = (0..self.disks.len())
@@ -431,7 +538,7 @@ impl BlockDevice for DiskArray {
                 }
                 Ok(())
             }
-            (Some(sched), Placement::Independent) => {
+            (Some(sched), false) => {
                 let (disk, phys) = self.split_independent(id);
                 let out = sched.submit_read(disk, phys, self.phys_buf()).wait()?;
                 buf.copy_from_slice(&out);
@@ -442,8 +549,8 @@ impl BlockDevice for DiskArray {
 
     fn write_block(&self, id: BlockId, buf: &[u8]) -> Result<()> {
         self.size_check(buf.len())?;
-        match (&self.sched, self.placement) {
-            (None, Placement::Striped) => {
+        match (&self.sched, self.placement.is_striped()) {
+            (None, true) => {
                 for (d, chunk) in buf.chunks(self.physical_block).enumerate() {
                     run_with_retry(&self.retry, &self.stats, d, id, || {
                         self.disks[d].write_block(id, chunk)
@@ -451,13 +558,13 @@ impl BlockDevice for DiskArray {
                 }
                 Ok(())
             }
-            (None, Placement::Independent) => {
+            (None, false) => {
                 let (disk, phys) = self.split_independent(id);
                 run_with_retry(&self.retry, &self.stats, disk, phys, || {
                     self.disks[disk].write_block(phys, buf)
                 })
             }
-            (Some(sched), Placement::Striped) => {
+            (Some(sched), true) => {
                 let parts: Vec<_> = buf
                     .chunks(self.physical_block)
                     .enumerate()
@@ -472,7 +579,7 @@ impl BlockDevice for DiskArray {
                 }
                 Ok(())
             }
-            (Some(sched), Placement::Independent) => {
+            (Some(sched), false) => {
                 let (disk, phys) = self.split_independent(id);
                 sched
                     .submit_write(disk, phys, buf.to_vec().into_boxed_slice())
@@ -486,18 +593,18 @@ impl BlockDevice for DiskArray {
         if let Err(e) = self.size_check(buf.len()) {
             return IoTicket::ready(Err(e));
         }
-        match (&self.sched, self.placement) {
+        match (&self.sched, self.placement.is_striped()) {
             (None, _) => {
                 let res = self.read_block(id, &mut buf).map(|()| buf);
                 IoTicket::ready(res)
             }
-            (Some(sched), Placement::Striped) => {
+            (Some(sched), true) => {
                 let parts: Vec<_> = (0..self.disks.len())
                     .map(|d| sched.submit_raw(d, false, id, self.phys_buf()))
                     .collect();
                 IoTicket::gather(parts, buf, self.physical_block)
             }
-            (Some(sched), Placement::Independent) => {
+            (Some(sched), false) => {
                 let (disk, phys) = self.split_independent(id);
                 sched.submit_read(disk, phys, buf)
             }
@@ -508,12 +615,12 @@ impl BlockDevice for DiskArray {
         if let Err(e) = self.size_check(buf.len()) {
             return IoTicket::ready(Err(e));
         }
-        match (&self.sched, self.placement) {
+        match (&self.sched, self.placement.is_striped()) {
             (None, _) => {
                 let res = self.write_block(id, &buf).map(|()| buf);
                 IoTicket::ready(res)
             }
-            (Some(sched), Placement::Striped) => {
+            (Some(sched), true) => {
                 let parts: Vec<_> = buf
                     .chunks(self.physical_block)
                     .enumerate()
@@ -523,7 +630,7 @@ impl BlockDevice for DiskArray {
                     .collect();
                 IoTicket::join(parts, buf)
             }
-            (Some(sched), Placement::Independent) => {
+            (Some(sched), false) => {
                 let (disk, phys) = self.split_independent(id);
                 sched.submit_write(disk, phys, buf)
             }
@@ -539,31 +646,50 @@ impl BlockDevice for DiskArray {
     }
 
     fn lane_of(&self, id: BlockId) -> Option<usize> {
-        match self.placement {
+        if self.placement.is_striped() {
             // A striped logical block spans every member disk; no one lane
             // owns it.
-            Placement::Striped => None,
-            Placement::Independent => Some(self.split_independent(id).0),
+            None
+        } else {
+            Some(self.split_independent(id).0)
         }
     }
 
     fn stream_lanes(&self) -> usize {
-        match self.placement {
+        if self.placement.is_striped() {
             // A striped transfer already keeps every disk busy; deepening a
             // stream's queue buys no extra lane-parallelism.
-            Placement::Striped => 1,
-            // Consecutive allocations round-robin the disks: a sequential
-            // stream reaches full D-parallelism at queue depth ≥ D.
-            Placement::Independent => self.disks.len(),
+            1
+        } else {
+            // Consecutive allocations visit every disk once per D blocks
+            // under all three lane policies: a sequential stream reaches
+            // full D-parallelism at queue depth ≥ D.
+            self.disks.len()
         }
     }
 
-    fn direct_next_stream(&self, lane: usize) {
-        // Striped placement has no per-lane cursor to direct — every
-        // logical block spans all D disks.
-        if self.placement == Placement::Independent {
-            self.next_disk
-                .store(lane % self.disks.len(), Ordering::Relaxed);
+    fn direct_next_stream(&self, stream: usize) {
+        let d = self.disks.len();
+        match self.placement {
+            // Striped placement has no per-lane cursor to direct — every
+            // logical block spans all D disks.
+            Placement::Striped => {}
+            Placement::Independent => {
+                let mut cur = self.cursor.lock();
+                cur.reset_identity();
+                cur.pos = stream % d;
+            }
+            Placement::Srm { seed } => {
+                let mut cur = self.cursor.lock();
+                cur.reset_identity();
+                cur.pos = (mix64(seed ^ (stream as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    % d as u64) as usize;
+            }
+            Placement::RandomizedCycling { seed } => {
+                self.cursor.lock().install_permutation(mix64(
+                    seed ^ (stream as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+                ));
+            }
         }
     }
 }
@@ -638,6 +764,114 @@ mod tests {
         arr.free(a).unwrap();
         let b = arr.allocate_on(1).unwrap();
         assert_eq!(a, b);
+    }
+
+    /// Allocate `streams` sequential streams of `len` blocks each, announcing
+    /// every stream via `direct_next_stream`, and return the lane sequence of
+    /// each stream.
+    fn stream_lanes_trace(arr: &Arc<DiskArray>, streams: usize, len: usize) -> Vec<Vec<usize>> {
+        (0..streams)
+            .map(|s| {
+                arr.direct_next_stream(s);
+                (0..len)
+                    .map(|_| arr.disk_of(arr.allocate().unwrap()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lane_policies_share_independent_geometry() {
+        for placement in [
+            Placement::Srm { seed: 7 },
+            Placement::RandomizedCycling { seed: 7 },
+        ] {
+            let arr = DiskArray::new_ram(4, 8, placement);
+            assert_eq!(arr.block_size(), 8, "{placement:?}");
+            assert_eq!(arr.stream_lanes(), 4, "{placement:?}");
+            let id = arr.allocate_on(2).unwrap();
+            assert_eq!(arr.disk_of(id), 2, "{placement:?}");
+        }
+    }
+
+    #[test]
+    fn lane_policies_are_deterministic_per_stream() {
+        for placement in [
+            Placement::Independent,
+            Placement::Srm { seed: 42 },
+            Placement::RandomizedCycling { seed: 42 },
+        ] {
+            let a = stream_lanes_trace(&DiskArray::new_ram(4, 8, placement), 8, 8);
+            let b = stream_lanes_trace(&DiskArray::new_ram(4, 8, placement), 8, 8);
+            assert_eq!(
+                a, b,
+                "layout must reproduce across executions ({placement:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn every_stream_visits_each_lane_once_per_d_blocks() {
+        // All three lane policies are rotations or permutations of the lanes:
+        // any window of D consecutive blocks of one stream covers all D disks,
+        // which is what keeps sequential streams perfectly balanced.
+        for placement in [
+            Placement::Independent,
+            Placement::Srm { seed: 3 },
+            Placement::RandomizedCycling { seed: 3 },
+        ] {
+            let d = 4;
+            for lanes in stream_lanes_trace(&DiskArray::new_ram(d, 8, placement), 6, 2 * d) {
+                for window in lanes.chunks(d) {
+                    let mut seen = vec![false; d];
+                    for &l in window {
+                        seen[l] = true;
+                    }
+                    assert!(seen.iter().all(|&s| s), "{placement:?}: window {window:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn srm_decorrelates_stream_start_lanes() {
+        // The deterministic stagger starts stream r on lane r mod D; SRM must
+        // pick start lanes that are *not* that rotation (for this seed) and
+        // must differ between seeds.
+        let starts = |placement| -> Vec<usize> {
+            stream_lanes_trace(&DiskArray::new_ram(4, 8, placement), 16, 1)
+                .into_iter()
+                .map(|lanes| lanes[0])
+                .collect()
+        };
+        let stagger = starts(Placement::Independent);
+        assert_eq!(stagger, (0..16).map(|r| r % 4).collect::<Vec<_>>());
+        let srm_a = starts(Placement::Srm { seed: 1 });
+        let srm_b = starts(Placement::Srm { seed: 2 });
+        assert_ne!(srm_a, stagger, "seed 1 should not reproduce the stagger");
+        assert_ne!(srm_a, srm_b, "different seeds give different placements");
+        // Still spread out: with 16 streams on 4 lanes every lane is used.
+        for lane in 0..4 {
+            assert!(srm_a.contains(&lane), "lane {lane} never a start lane");
+        }
+    }
+
+    #[test]
+    fn randomized_cycling_uses_distinct_per_stream_orders() {
+        // Unlike Independent/Srm (all streams share one rotation, shifted),
+        // randomized cycling gives streams genuinely different lane *orders*.
+        let traces = stream_lanes_trace(
+            &DiskArray::new_ram(4, 8, Placement::RandomizedCycling { seed: 9 }),
+            8,
+            4,
+        );
+        let rotations: Vec<Vec<usize>> = (0..4)
+            .map(|s| (0..4).map(|i| (s + i) % 4).collect())
+            .collect();
+        assert!(
+            traces.iter().any(|t| !rotations.contains(t)),
+            "all 8 stream orders were rotations of the identity: {traces:?}"
+        );
     }
 }
 

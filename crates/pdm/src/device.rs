@@ -75,23 +75,28 @@ pub trait BlockDevice: Send + Sync {
         1
     }
 
-    /// Point the allocation cursor at `lane` (mod the lane count) so the
-    /// *next* sequential allocation stream starts on a caller-chosen disk.
+    /// Announce that the *next* sequential allocation stream is stream
+    /// number `stream` (a run index, bucket index, or output-stream token),
+    /// letting the device pick that stream's lane placement.
     ///
     /// Writers that emit equal-length streams (external sort runs of exactly
     /// M/B blocks) otherwise start every stream on the same lane whenever the
     /// stream length divides D: block `j` of *every* run then lives on the
     /// same disk, and a merge that drains the runs in lockstep hammers one
-    /// disk per wave while the rest idle.  Directing run `r` to start on lane
-    /// `r mod D` — the deterministic cousin of the randomized striping in
-    /// Barve, Grove & Vitter's Simple Randomized Mergesort — spreads those
-    /// waves across all D disks.  Pure placement: total transfer counts are
-    /// unchanged, and because the target lane is absolute (not a bump of
-    /// shared cursor state) a sort's block layout is a function of the sort
-    /// alone, identical across repeated executions.  No-op on single disks
-    /// and striped arrays (one logical block already spans all D disks
-    /// there).
-    fn direct_next_stream(&self, _lane: usize) {}
+    /// disk per wave while the rest idle.  How the device maps the stream
+    /// token to lanes is its placement policy — an independent-placement
+    /// [`DiskArray`](crate::DiskArray) starts stream `r` on lane `r mod D`
+    /// (PR 4's deterministic stagger), the SRM placement starts it on
+    /// `hash(seed, r) mod D` per Barve, Grove & Vitter's Simple Randomized
+    /// Mergesort, and randomized cycling gives stream `r` its own seeded
+    /// permutation of the lanes per Vitter–Hutchinson.  All are pure
+    /// placement: total transfer counts are unchanged, and because the lane
+    /// choice is a deterministic function of `(placement, stream)` — never a
+    /// bump of shared cursor state — a sort's block layout is a function of
+    /// the sort alone, identical across repeated executions.  No-op on
+    /// single disks and striped arrays (one logical block already spans all
+    /// D disks there).
+    fn direct_next_stream(&self, _stream: usize) {}
 
     /// Submit an asynchronous read of block `id` into the owned buffer; the
     /// filled buffer comes back through the returned [`IoTicket`].

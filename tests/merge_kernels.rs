@@ -5,10 +5,12 @@
 //! pure scheduling — neither may move a single I/O.
 //!
 //! Placement is a layout choice with the same contract on *contents*:
-//! `Placement::Striped` and `Placement::Independent` arrays must produce
-//! byte-identical merged output with identical logical record counts (their
-//! block-transfer counts legitimately differ — striping moves `D·B`-sized
-//! logical blocks), for both merge kernels and for distribution sort.
+//! `Placement::Striped`, `Placement::Independent`, `Placement::Srm`, and
+//! `Placement::RandomizedCycling` arrays must produce byte-identical merged
+//! output with identical logical record counts (striping's block-transfer
+//! counts legitimately differ — it moves `D·B`-sized logical blocks — while
+//! the three B-block placements must agree exactly: lane choice is pure
+//! placement), for every merge kernel and for distribution sort.
 
 use em_core::{ExtVec, MemBudget};
 use emsort::{
@@ -57,20 +59,27 @@ proptest! {
         let k = runs_data.len();
         // One result row per placement: (output, reads, writes).
         let mut per_placement: Vec<(Vec<u64>, u64, u64)> = Vec::new();
-        for placement in [Placement::Striped, Placement::Independent] {
+        for placement in [
+            Placement::Striped,
+            Placement::Independent,
+            Placement::Srm { seed: 11 },
+            Placement::RandomizedCycling { seed: 12 },
+        ] {
             // The logical block is D·B records under striping, B under
             // independent placement; size M so (k+1) logical blocks fit.
-            let b = match placement {
-                Placement::Striped => 16,
-                Placement::Independent => 8,
-            };
+            let b = if placement.is_striped() { 16 } else { 8 };
             let m = (k + 1) * b + 2 * b;
             let base = SortConfig::new(m)
                 .with_overlap(OverlapConfig::symmetric(depth))
                 .with_forecast(forecast);
 
             let mut baseline: Option<(Vec<u64>, u64, u64)> = None;
-            for kernel in [MergeKernel::Heap, MergeKernel::LoserTree, MergeKernel::Auto] {
+            for kernel in [
+                MergeKernel::Heap,
+                MergeKernel::LoserTree,
+                MergeKernel::Auto,
+                MergeKernel::Guided,
+            ] {
                 let device = DiskArray::new_ram(2, 64, placement) as SharedDevice;
                 let got = merge_on(&device, &runs_data, &base.with_merge_kernel(kernel));
                 prop_assert_eq!(&got.0, &expect, "{:?} {:?} output wrong", placement, kernel);
@@ -84,11 +93,20 @@ proptest! {
             }
             per_placement.push(baseline.expect("at least one kernel ran"));
         }
-        // Striped and independent arrays must agree byte-for-byte on the
-        // merged contents, and on the logical record count.
-        let (striped, indep) = (&per_placement[0], &per_placement[1]);
-        prop_assert_eq!(striped.0.len(), indep.0.len(), "record counts differ across placements");
-        prop_assert_eq!(&striped.0, &indep.0, "merged output differs across placements");
+        // All placements must agree byte-for-byte on the merged contents and
+        // on the logical record count; the three B-block placements (rows
+        // 1..4) must additionally agree on exact transfer counts — which lane
+        // serves a block is pure placement, never an extra transfer.
+        for (pi, row) in per_placement.iter().enumerate().skip(1) {
+            prop_assert_eq!(&row.0, &per_placement[0].0,
+                "merged output differs across placements (row {})", pi);
+            if pi >= 2 {
+                prop_assert_eq!(row.1, per_placement[1].1,
+                    "B-block placement row {} reads differ from independent", pi);
+                prop_assert_eq!(row.2, per_placement[1].2,
+                    "B-block placement row {} writes differ from independent", pi);
+            }
+        }
     }
 
     #[test]
@@ -96,14 +114,14 @@ proptest! {
         data in prop::collection::vec(any::<u64>(), 0..2500),
         d in 1usize..=4,
         depth in 1usize..=2,
-        replacement in any::<bool>(),
+        rf_sel in 0usize..3,
     ) {
         let mut expect = data.clone();
         expect.sort_unstable();
-        let rf = if replacement {
-            RunFormation::ReplacementSelection
-        } else {
-            RunFormation::LoadSort
+        let rf = match rf_sel {
+            0 => RunFormation::LoadSort,
+            1 => RunFormation::ReplacementSelection,
+            _ => RunFormation::RamEfficient,
         };
         // Sized for the striped logical block (8·d records at 64-byte
         // physical blocks), which also comfortably fits independent mode.
@@ -116,8 +134,15 @@ proptest! {
             base.with_merge_kernel(MergeKernel::Heap).with_forecast(true),
             base.with_merge_kernel(MergeKernel::LoserTree).with_forecast(false),
             base.with_merge_kernel(MergeKernel::LoserTree).with_forecast(true),
+            // Guided plans from the guide sequence even with forecast off.
+            base.with_merge_kernel(MergeKernel::Guided).with_forecast(false),
         ];
-        for placement in [Placement::Striped, Placement::Independent] {
+        for placement in [
+            Placement::Striped,
+            Placement::Independent,
+            Placement::Srm { seed: 21 },
+            Placement::RandomizedCycling { seed: 22 },
+        ] {
             // (reads, writes) must agree across variants *within* one
             // placement; output must agree across everything.
             let mut baseline: Option<Vec<u64>> = None;
@@ -163,7 +188,12 @@ proptest! {
         let m = 256;
         let cfg = SortConfig::new(m).with_overlap(OverlapConfig::symmetric(depth));
         let mut outputs: Vec<Vec<u64>> = Vec::new();
-        for placement in [Placement::Striped, Placement::Independent] {
+        for placement in [
+            Placement::Striped,
+            Placement::Independent,
+            Placement::Srm { seed: 31 },
+            Placement::RandomizedCycling { seed: 32 },
+        ] {
             let device =
                 DiskArray::new_ram_with(d, 64, placement, IoMode::Overlapped) as SharedDevice;
             let input = ExtVec::from_slice(device.clone(), &data).unwrap();
@@ -173,7 +203,9 @@ proptest! {
             outputs.push(out.to_vec().unwrap());
         }
         prop_assert_eq!(&outputs[0], &expect, "striped distribution output wrong");
-        prop_assert_eq!(&outputs[0], &outputs[1],
-            "distribution output differs across placements");
+        for (pi, out) in outputs.iter().enumerate().skip(1) {
+            prop_assert_eq!(&outputs[0], out,
+                "distribution output differs across placements (row {})", pi);
+        }
     }
 }

@@ -63,17 +63,24 @@ proptest! {
         let mut expect = data.clone();
         expect.sort_unstable();
 
-        for placement in [Placement::Striped, Placement::Independent] {
+        for placement in [
+            Placement::Striped,
+            Placement::Independent,
+            Placement::Srm { seed: 41 },
+            Placement::RandomizedCycling { seed: 42 },
+        ] {
             // The logical block is D·B records under striping, B under
             // independent placement (64-byte physical blocks of u64s).
-            let b = match placement {
-                Placement::Striped => 16,
-                Placement::Independent => 8,
-            };
+            let b = if placement.is_striped() { 16 } else { 8 };
             // LoadSort chunks exactly `m` records per run, so the run count
             // — and with it the predicted savings — is ⌈N/m⌉ by design.
             let m = 8 * b;
-            for kernel in [MergeKernel::Heap, MergeKernel::LoserTree, MergeKernel::Auto] {
+            for kernel in [
+                MergeKernel::Heap,
+                MergeKernel::LoserTree,
+                MergeKernel::Auto,
+                MergeKernel::Guided,
+            ] {
                 let cfg = SortConfig::new(m)
                     .with_run_formation(RunFormation::LoadSort)
                     .with_overlap(OverlapConfig::symmetric(depth))
@@ -148,10 +155,17 @@ proptest! {
         seed in any::<u64>(),
         permille in 0usize..=120,
         attempts in 0usize..=3,
+        pl_sel in 0usize..3,
+        variant in 0usize..3,
     ) {
         let mut expect = data.clone();
         expect.sort_unstable();
 
+        let placement = match pl_sel {
+            0 => Placement::Independent,
+            1 => Placement::Srm { seed: 51 },
+            _ => Placement::RandomizedCycling { seed: 52 },
+        };
         let plans = mk_plans(2, seed, permille as u64, 2);
         let retry = if attempts > 0 {
             RetryPolicy::new(attempts as u32, Duration::ZERO)
@@ -159,9 +173,14 @@ proptest! {
             RetryPolicy::none()
         };
         let device = DiskArray::new_ram_faulty(
-            2, 64, Placement::Independent, IoMode::Synchronous, &plans, retry,
+            2, 64, placement, IoMode::Synchronous, &plans, retry,
         ) as SharedDevice;
-        let cfg = SortConfig::new(128);
+        // The new engine variants must fail just as cleanly as the incumbent.
+        let cfg = match variant {
+            0 => SortConfig::new(128),
+            1 => SortConfig::new(128).with_merge_kernel(MergeKernel::Guided),
+            _ => SortConfig::new(128).with_run_formation(RunFormation::RamEfficient),
+        };
         let run = ExtVec::from_slice(device.clone(), &data)
             .and_then(|input| merge_sort_streaming(&input, &cfg, |a, b| a < b, drain));
         // A clean failure is acceptable under uncured faults; only an `Ok`
