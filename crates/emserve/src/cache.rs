@@ -1,0 +1,206 @@
+//! Hot-key read cache with per-tenant memory admission.
+//!
+//! One [`HotCache`] sits in front of each (shard, tenant) pair.  Entries are
+//! charged against a *shared per-tenant* [`MemBudget`], so the sum of a
+//! tenant's cached records across every shard never exceeds that tenant's
+//! grant — one tenant's hot set cannot squeeze out another's, which is the
+//! serving-layer analogue of the allocation discipline the PDM structures
+//! already follow internally.  Within a cache, eviction is LRU by a logical
+//! tick; ties (impossible by construction, ticks are unique) would fall to
+//! key order, keeping the structure deterministic for a fixed access tape.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use em_core::{BudgetGuard, MemBudget};
+
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+    /// Holds the tenant budget charge for this record; released on eviction.
+    _guard: BudgetGuard,
+}
+
+/// A record-budgeted LRU cache of positive lookups for one (shard, tenant).
+///
+/// Admission can fail (returning `false` from [`HotCache::insert`]) when the
+/// tenant's shared budget is exhausted *and* this cache holds nothing
+/// evictable — the entry is simply not cached, never silently over-admitted.
+pub struct HotCache<K, V> {
+    map: HashMap<K, Entry<V>>,
+    budget: Arc<MemBudget>,
+    /// Local record cap for this cache, independent of the shared budget.
+    capacity: usize,
+    tick: u64,
+}
+
+impl<K: Clone + Eq + Hash + Ord, V: Clone> HotCache<K, V> {
+    /// A cache holding at most `capacity` records locally, each admitted
+    /// record charging one record on the tenant-wide `budget`.
+    pub fn new(budget: Arc<MemBudget>, capacity: usize) -> Self {
+        HotCache {
+            map: HashMap::new(),
+            budget,
+            capacity,
+            tick: 0,
+        }
+    }
+
+    /// Cached value for `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self.map.get_mut(key)?;
+        e.last_used = tick;
+        Some(e.value.clone())
+    }
+
+    /// Admit (or refresh) `key -> value`.  Returns `false` when the tenant
+    /// budget denied admission and nothing local could be evicted.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        self.tick += 1;
+        if let Some(e) = self.map.get_mut(&key) {
+            e.value = value;
+            e.last_used = self.tick;
+            return true;
+        }
+        if self.capacity == 0 {
+            return false;
+        }
+        if self.map.len() >= self.capacity {
+            self.evict_lru();
+        }
+        let guard = match self.budget.try_charge(1) {
+            Some(g) => g,
+            None => {
+                // The tenant's budget is held elsewhere (other shards, or a
+                // scan); make room locally once, then give up gracefully.
+                if !self.evict_lru() {
+                    return false;
+                }
+                match self.budget.try_charge(1) {
+                    Some(g) => g,
+                    None => return false,
+                }
+            }
+        };
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: self.tick,
+                _guard: guard,
+            },
+        );
+        true
+    }
+
+    /// Drop `key` if cached (called before every write to the key).
+    pub fn invalidate(&mut self, key: &K) {
+        self.map.remove(key);
+    }
+
+    /// Drop everything, releasing all budget charges.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Number of cached records.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Evict the least-recently-used entry; `false` if the cache was empty.
+    /// Deterministic: unique ticks order entries totally, and the key order
+    /// tiebreak is unreachable but keeps the scan order-insensitive.
+    fn evict_lru(&mut self) -> bool {
+        let victim = self
+            .map
+            .iter()
+            .min_by(|a, b| a.1.last_used.cmp(&b.1.last_used).then(a.0.cmp(b.0)))
+            .map(|(k, _)| k.clone());
+        match victim {
+            Some(k) => {
+                self.map.remove(&k);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_eviction_within_local_capacity() {
+        let budget = MemBudget::new(100);
+        let mut c: HotCache<u64, u64> = HotCache::new(budget.clone(), 2);
+        assert!(c.insert(1, 10));
+        assert!(c.insert(2, 20));
+        assert_eq!(c.get(&1), Some(10)); // refresh 1; 2 is now LRU
+        assert!(c.insert(3, 30));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(budget.used(), 2);
+    }
+
+    #[test]
+    fn shared_budget_gates_admission_across_caches() {
+        let budget = MemBudget::new(2);
+        let mut a: HotCache<u64, u64> = HotCache::new(budget.clone(), 8);
+        let mut b: HotCache<u64, u64> = HotCache::new(budget.clone(), 8);
+        assert!(a.insert(1, 1));
+        assert!(a.insert(2, 2));
+        // Tenant budget is fully held by cache `a`; `b` may evict locally,
+        // finds nothing, and must refuse.
+        assert!(!b.insert(9, 9));
+        assert_eq!(b.len(), 0);
+        // Releasing from `a` lets `b` admit.
+        a.invalidate(&1);
+        assert!(b.insert(9, 9));
+        assert_eq!(budget.used(), 2);
+    }
+
+    #[test]
+    fn local_pressure_evicts_before_refusing() {
+        let budget = MemBudget::new(1);
+        let mut c: HotCache<u64, u64> = HotCache::new(budget.clone(), 8);
+        assert!(c.insert(1, 1));
+        // Budget exhausted by our own entry: evict it, admit the new one.
+        assert!(c.insert(2, 2));
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&2), Some(2));
+        assert_eq!(budget.used(), 1);
+    }
+
+    #[test]
+    fn invalidate_and_overwrite() {
+        let budget = MemBudget::new(4);
+        let mut c: HotCache<u64, u64> = HotCache::new(budget.clone(), 4);
+        assert!(c.insert(1, 1));
+        assert!(c.insert(1, 100)); // refresh does not double-charge
+        assert_eq!(budget.used(), 1);
+        assert_eq!(c.get(&1), Some(100));
+        c.invalidate(&1);
+        assert!(c.is_empty());
+        assert_eq!(budget.used(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_cache_never_admits() {
+        let budget = MemBudget::new(4);
+        let mut c: HotCache<u64, u64> = HotCache::new(budget, 0);
+        assert!(!c.insert(1, 1));
+        assert!(c.is_empty());
+    }
+}

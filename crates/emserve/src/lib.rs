@@ -1,0 +1,50 @@
+//! # `emserve` — a sharded multi-tenant KV serving layer
+//!
+//! The survey's headline amortized bound — buffer-tree updates at
+//! `O((1/B)·log_{M/B}(N/B))` I/Os per operation versus `Θ(log_B N)` for a
+//! naive B-tree — only pays off if a serving layer actually *absorbs* point
+//! operations into batches.  This crate is that layer: it turns the
+//! workspace's algorithmic structures into an online system.
+//!
+//! Three pieces:
+//!
+//! * [`Shard`] — one partition of the dictionary: an [`emtree::BTree`]
+//!   (authoritative, point-read path through a [`pdm::BufferPool`]) paired
+//!   with an [`emtree::BufferTree`] write absorber and an in-memory delta
+//!   map mirroring every op absorbed since the last compaction.  Writes cost
+//!   the buffer tree's amortized `O((1/B)·log_{M/B})`; a periodic compaction
+//!   drains the absorber in key order into
+//!   [`BTree::apply_sorted_batch`](emtree::BTree::apply_sorted_batch) — one
+//!   streaming `O((N+Δ)/B)` rebuild — so reads never pay a flush.
+//! * [`Server`] — the concurrent request batcher: one bounded MPSC ingest
+//!   queue and drain thread per shard.  The drain thread coalesces
+//!   puts/deletes into batches flushed on *size or deadline* (throughput
+//!   batching never unbounded-delays an ack), serves gets read-your-writes
+//!   consistently by consulting the in-flight delta before the tree, and
+//!   acknowledges a write only after the absorber holds it.  Shards are
+//!   pinned to distinct lanes of an independent-disk array via
+//!   [`pdm::LaneView`], so one shard's flush never serializes a neighbour's
+//!   reads, and per-shard transfers are attributable per lane through
+//!   [`pdm::IoStats::snapshot_delta`].
+//! * [`HotCache`] — the per-tenant hot-key read path: a record-budgeted LRU
+//!   in front of each shard whose admission control is a shared per-tenant
+//!   [`em_core::MemBudget`], so one tenant's scan cannot evict another
+//!   tenant's working set.
+//!
+//! Determinism: shard routing is a seeded FNV-1a over the encoded
+//! `(tenant, key)` record, every queue drain is FIFO per shard, and all
+//! storage sits on the deterministic `pdm` substrate — a fixed request tape
+//! produces a fixed final state (asserted by `tests/serve_consistency.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod server;
+mod shard;
+mod stats;
+
+pub use cache::HotCache;
+pub use server::{CompletionSink, NullSink, ReqKind, Request, ServeConfig, Server};
+pub use shard::{shard_of_key, Shard};
+pub use stats::ServeStats;

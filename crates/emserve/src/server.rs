@@ -1,0 +1,737 @@
+//! The concurrent request batcher.
+//!
+//! One bounded MPSC ingest queue and one drain thread per shard.  Producers
+//! route requests by deterministic hash ([`shard_of_key`]) and block when a
+//! shard's queue is full (bounded memory, natural backpressure).  Each drain
+//! thread coalesces puts/deletes into absorber batches flushed on *size or
+//! deadline* — so a saturated shard amortizes absorber I/O over
+//! `batch_max` ops, while a trickle still acks within `batch_deadline` —
+//! and serves gets with read-your-writes consistency by consulting the
+//! shard's delta overlay (which includes the open batch) before the tree.
+//!
+//! Durability contract: a write is acknowledged through the
+//! [`CompletionSink`] only after the absorber holds it.  On a device error
+//! the worker *fail-stops*: it records the first error, stops accepting
+//! data operations (never acking anything it could not absorb), but keeps
+//! answering control messages so producers and `barrier()` callers cannot
+//! deadlock.  The error surfaces from the next control call.
+//!
+//! Shards are pinned to distinct lanes of an independent-placement
+//! [`DiskArray`] via [`LaneView`], so per-shard transfer counts fall out of
+//! [`IoStats::snapshot_delta`](pdm::IoStats::snapshot_delta) per lane, and
+//! one shard's compaction never queues behind a neighbour's reads.
+
+use std::hash::Hash;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use em_core::{MemBudget, Record};
+use pdm::{BufferPool, DiskArray, LaneView, PdmError, Result};
+
+use crate::cache::HotCache;
+use crate::shard::{shard_of_key, Shard};
+use crate::stats::ServeStats;
+
+/// What a request asks of the dictionary.
+#[derive(Debug, Clone)]
+pub enum ReqKind<K, V> {
+    /// Upsert `key -> value`.
+    Put(K, V),
+    /// Remove `key` if present.
+    Delete(K),
+    /// Point lookup.
+    Get(K),
+}
+
+/// One client request, tagged with the tenant it belongs to and a caller
+/// chosen `op_id` echoed back through the [`CompletionSink`].
+#[derive(Debug, Clone)]
+pub struct Request<K, V> {
+    /// Tenant namespace (must be `< ServeConfig::tenants`).
+    pub tenant: u32,
+    /// Caller-chosen correlation id, echoed in completions.
+    pub op_id: u64,
+    /// The operation itself.
+    pub kind: ReqKind<K, V>,
+}
+
+/// Where completions go.  Implementations must be cheap and non-blocking —
+/// they run on shard drain threads.
+pub trait CompletionSink<V>: Send + Sync + 'static {
+    /// `op_id`'s write is durable in its shard's absorber.
+    fn acked_write(&self, tenant: u32, op_id: u64);
+    /// `op_id`'s get resolved to `value`.
+    fn got(&self, tenant: u32, op_id: u64, value: Option<V>);
+}
+
+/// A sink that drops every completion (fire-and-forget workloads, tests
+/// that only inspect final state).
+pub struct NullSink;
+
+impl<V> CompletionSink<V> for NullSink {
+    fn acked_write(&self, _tenant: u32, _op_id: u64) {}
+    fn got(&self, _tenant: u32, _op_id: u64, _value: Option<V>) {}
+}
+
+/// Serving-layer tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of shards (drain threads, lanes when the array is independent).
+    pub shards: usize,
+    /// Number of tenant namespaces.
+    pub tenants: usize,
+    /// Bound of each shard's ingest queue (requests).
+    pub queue_depth: usize,
+    /// Flush the open batch once it holds this many writes.
+    pub batch_max: usize,
+    /// Flush the open batch once its first op has waited this long.
+    pub batch_deadline: Duration,
+    /// Compact a shard once its delta holds this many distinct keys.
+    pub compact_threshold: usize,
+    /// Frames in each shard's read buffer pool.
+    pub pool_frames: usize,
+    /// In-memory record budget of each shard's buffer-tree absorber.
+    pub absorber_mem: usize,
+    /// Per-tenant hot-cache budget (records, shared across shards).
+    pub cache_records: usize,
+    /// `true` = absorber batching; `false` = write-through to the B+-tree.
+    pub batched: bool,
+}
+
+impl ServeConfig {
+    /// Defaults sized for tests and small benches.
+    pub fn new(shards: usize, tenants: usize) -> Self {
+        ServeConfig {
+            shards,
+            tenants,
+            queue_depth: 1024,
+            batch_max: 256,
+            batch_deadline: Duration::from_millis(2),
+            compact_threshold: 8192,
+            pool_frames: 64,
+            absorber_mem: 4096,
+            cache_records: 1024,
+            batched: true,
+        }
+    }
+}
+
+enum Msg<K, V> {
+    Req(Request<K, V>),
+    /// Flush the open batch, then reply.  An error string is reported if the
+    /// worker has fail-stopped.
+    Barrier(SyncSender<Option<String>>),
+    /// Flush and compact unconditionally, then reply.
+    Compact(SyncSender<Option<String>>),
+    /// Tenant-scoped range scan over this shard's keyspace slice.
+    Range {
+        tenant: u32,
+        lo: K,
+        hi: K,
+        reply: SyncSender<std::result::Result<Vec<(K, V)>, String>>,
+    },
+    Shutdown,
+}
+
+/// The sharded, batched, multi-tenant serving front end.
+pub struct Server<K: Record + Ord + Eq + Hash, V: Record> {
+    cfg: ServeConfig,
+    stats: Arc<ServeStats>,
+    senders: Vec<SyncSender<Msg<K, V>>>,
+    workers: Vec<JoinHandle<()>>,
+    pools: Vec<Arc<BufferPool>>,
+    first_error: Arc<Mutex<Option<String>>>,
+}
+
+impl<K, V> Server<K, V>
+where
+    K: Record + Ord + Eq + Hash,
+    V: Record,
+{
+    /// Spin up `cfg.shards` drain threads over `array`.
+    ///
+    /// When the array uses independent placement, shard `s` is pinned to
+    /// lane `s % D` through [`LaneView`]; striped arrays pass through
+    /// unchanged (every shard shares the stripe).
+    pub fn new(
+        array: Arc<DiskArray>,
+        cfg: ServeConfig,
+        sink: Arc<dyn CompletionSink<V>>,
+    ) -> Result<Self> {
+        assert!(cfg.shards > 0, "need at least one shard");
+        assert!(cfg.tenants > 0, "need at least one tenant");
+        let stats = Arc::new(ServeStats::new());
+        let first_error = Arc::new(Mutex::new(None));
+        let budgets: Vec<Arc<MemBudget>> = (0..cfg.tenants)
+            .map(|_| MemBudget::new(cfg.cache_records.max(1)))
+            .collect();
+        let mut senders = Vec::with_capacity(cfg.shards);
+        let mut workers = Vec::with_capacity(cfg.shards);
+        let mut pools = Vec::with_capacity(cfg.shards);
+        for s in 0..cfg.shards {
+            let device = LaneView::pin(array.clone(), s);
+            let shard: Shard<K, V> = Shard::new(
+                device,
+                cfg.pool_frames,
+                cfg.absorber_mem,
+                cfg.compact_threshold,
+            )?;
+            pools.push(shard.pool().clone());
+            let (tx, rx) = mpsc::sync_channel(cfg.queue_depth.max(1));
+            senders.push(tx);
+            let worker = ShardWorker {
+                shard,
+                rx,
+                sink: sink.clone(),
+                stats: stats.clone(),
+                caches: budgets
+                    .iter()
+                    .map(|b| HotCache::new(b.clone(), cfg.cache_records))
+                    .collect(),
+                cfg: cfg.clone(),
+                first_error: first_error.clone(),
+                failed: None,
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("emserve-shard-{s}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn shard worker"),
+            );
+        }
+        Ok(Server {
+            cfg,
+            stats,
+            senders,
+            workers,
+            pools,
+            first_error,
+        })
+    }
+
+    /// The shard (and queue) a key routes to — exposed so tests and benches
+    /// can reason about placement.
+    pub fn shard_of(&self, tenant: u32, key: &K) -> usize {
+        shard_of_key(tenant, key, self.cfg.shards)
+    }
+
+    /// Enqueue a request, blocking while the target shard's queue is full.
+    pub fn submit(&self, req: Request<K, V>) -> Result<()> {
+        assert!(
+            (req.tenant as usize) < self.cfg.tenants,
+            "tenant {} out of range (tenants = {})",
+            req.tenant,
+            self.cfg.tenants
+        );
+        let key = match &req.kind {
+            ReqKind::Put(k, _) | ReqKind::Delete(k) | ReqKind::Get(k) => k,
+        };
+        let s = shard_of_key(req.tenant, key, self.cfg.shards);
+        self.senders[s]
+            .send(Msg::Req(req))
+            .map_err(|_| self.current_error("shard worker gone"))
+    }
+
+    /// Flush every shard's open batch and wait until all queued work
+    /// submitted before this call has been processed.
+    pub fn barrier(&self) -> Result<()> {
+        self.control(|reply| Msg::Barrier(reply))
+    }
+
+    /// Barrier, then force an absorber→tree compaction on every shard.
+    pub fn compact_all(&self) -> Result<()> {
+        self.control(|reply| Msg::Compact(reply))
+    }
+
+    fn control(&self, mk: impl Fn(SyncSender<Option<String>>) -> Msg<K, V>) -> Result<()> {
+        let mut replies = Vec::with_capacity(self.senders.len());
+        for tx in &self.senders {
+            let (rtx, rrx) = mpsc::sync_channel(1);
+            tx.send(mk(rtx))
+                .map_err(|_| self.current_error("shard worker gone"))?;
+            replies.push(rrx);
+        }
+        let mut err = None;
+        for rrx in replies {
+            match rrx.recv() {
+                Ok(None) => {}
+                Ok(Some(e)) => err = Some(e),
+                Err(_) => err = Some("shard worker gone".to_string()),
+            }
+        }
+        match err {
+            Some(e) => Err(PdmError::Io(std::io::Error::other(e))),
+            None => Ok(()),
+        }
+    }
+
+    /// Tenant-scoped range scan `[lo, hi]`, merged across every shard
+    /// (hash routing scatters a key range over all of them).  Consistent
+    /// with all previously submitted writes: each shard answers from its
+    /// queue, behind any queued puts/deletes.
+    pub fn range(&self, tenant: u32, lo: K, hi: K) -> Result<Vec<(K, V)>> {
+        let mut replies = Vec::with_capacity(self.senders.len());
+        for tx in &self.senders {
+            let (rtx, rrx) = mpsc::sync_channel(1);
+            tx.send(Msg::Range {
+                tenant,
+                lo: lo.clone(),
+                hi: hi.clone(),
+                reply: rtx,
+            })
+            .map_err(|_| self.current_error("shard worker gone"))?;
+            replies.push(rrx);
+        }
+        let mut merged: std::collections::BTreeMap<K, V> = std::collections::BTreeMap::new();
+        for rrx in replies {
+            match rrx.recv() {
+                Ok(Ok(part)) => merged.extend(part),
+                Ok(Err(e)) => return Err(PdmError::Io(std::io::Error::other(e))),
+                Err(_) => {
+                    return Err(self.current_error("shard worker gone"));
+                }
+            }
+        }
+        Ok(merged.into_iter().collect())
+    }
+
+    /// Serving counters (shared with every worker).
+    pub fn stats(&self) -> &Arc<ServeStats> {
+        &self.stats
+    }
+
+    /// Aggregate (hits, misses) across every shard's read buffer pool.
+    pub fn pool_hit_stats(&self) -> (u64, u64) {
+        let mut h = 0;
+        let mut m = 0;
+        for p in &self.pools {
+            h += p.stats().hits();
+            m += p.stats().misses();
+        }
+        (h, m)
+    }
+
+    /// The configuration this server was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Drain queues, flush every open batch (acking), stop all workers, and
+    /// surface the first device error any worker hit.
+    pub fn shutdown(mut self) -> Result<()> {
+        for tx in &self.senders {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        match self.first_error.lock().expect("error slot").take() {
+            Some(e) => Err(PdmError::Io(std::io::Error::other(e))),
+            None => Ok(()),
+        }
+    }
+
+    fn current_error(&self, fallback: &str) -> PdmError {
+        let msg = self
+            .first_error
+            .lock()
+            .expect("error slot")
+            .clone()
+            .unwrap_or_else(|| fallback.to_string());
+        PdmError::Io(std::io::Error::other(msg))
+    }
+}
+
+impl<K: Record + Ord + Eq + Hash, V: Record> Drop for Server<K, V> {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+struct ShardWorker<K: Record + Ord + Eq + Hash, V: Record> {
+    shard: Shard<K, V>,
+    rx: Receiver<Msg<K, V>>,
+    sink: Arc<dyn CompletionSink<V>>,
+    stats: Arc<ServeStats>,
+    /// Per-tenant hot caches, budgeted against the shared tenant budgets.
+    caches: Vec<HotCache<K, V>>,
+    cfg: ServeConfig,
+    first_error: Arc<Mutex<Option<String>>>,
+    /// Once set, the worker fail-stops: no more data ops, no more acks.
+    failed: Option<String>,
+}
+
+impl<K, V> ShardWorker<K, V>
+where
+    K: Record + Ord + Eq + Hash,
+    V: Record,
+{
+    fn run(mut self) {
+        // Idle poll period when no batch is open; a deadline-bearing batch
+        // shortens the wait to exactly its remaining time.
+        const IDLE: Duration = Duration::from_millis(25);
+        loop {
+            let wait = match self.shard.batch_opened_at() {
+                Some(t0) if self.shard.batch_len() > 0 => {
+                    let deadline = t0 + self.cfg.batch_deadline;
+                    deadline.saturating_duration_since(Instant::now())
+                }
+                _ => IDLE,
+            };
+            match self.rx.recv_timeout(wait) {
+                Ok(Msg::Req(req)) => self.handle_req(req),
+                Ok(Msg::Barrier(reply)) => {
+                    self.flush_open_batch();
+                    let _ = reply.send(self.failed.clone());
+                }
+                Ok(Msg::Compact(reply)) => {
+                    self.flush_open_batch();
+                    if self.failed.is_none() {
+                        if let Err(e) = self.shard.compact() {
+                            self.fail(e);
+                        } else {
+                            self.stats.record_compaction();
+                        }
+                    }
+                    let _ = reply.send(self.failed.clone());
+                }
+                Ok(Msg::Range {
+                    tenant,
+                    lo,
+                    hi,
+                    reply,
+                }) => {
+                    let res = if let Some(e) = &self.failed {
+                        Err(e.clone())
+                    } else {
+                        self.shard.range(tenant, &lo, &hi).map_err(|e| {
+                            let msg = e.to_string();
+                            self.fail(e);
+                            msg
+                        })
+                    };
+                    let _ = reply.send(res);
+                }
+                Ok(Msg::Shutdown) => {
+                    self.flush_open_batch();
+                    return;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Deadline trigger: a trickle of writes still acks
+                    // within batch_deadline of arriving.
+                    if let Some(t0) = self.shard.batch_opened_at() {
+                        if t0.elapsed() >= self.cfg.batch_deadline {
+                            self.flush_open_batch();
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.flush_open_batch();
+                    return;
+                }
+            }
+        }
+    }
+
+    fn handle_req(&mut self, req: Request<K, V>) {
+        if self.failed.is_some() {
+            // Fail-stop: never ack what we cannot absorb.  Producers keep
+            // their queue slots; the error surfaces via barrier/shutdown.
+            return;
+        }
+        let Request {
+            tenant,
+            op_id,
+            kind,
+        } = req;
+        match kind {
+            ReqKind::Put(k, v) => {
+                self.stats.record_put();
+                self.write(tenant, op_id, k, Some(v));
+            }
+            ReqKind::Delete(k) => {
+                self.stats.record_delete();
+                self.write(tenant, op_id, k, None);
+            }
+            ReqKind::Get(k) => {
+                self.stats.record_get();
+                if let Some(v) = self.caches[tenant as usize].get(&k) {
+                    self.stats.record_cache_hit();
+                    self.sink.got(tenant, op_id, Some(v));
+                    return;
+                }
+                self.stats.record_cache_miss();
+                match self.shard.get(tenant, &k) {
+                    Ok(found) => {
+                        if let Some(v) = &found {
+                            if !self.caches[tenant as usize].insert(k, v.clone()) {
+                                self.stats.record_cache_rejected();
+                            }
+                        }
+                        self.sink.got(tenant, op_id, found);
+                    }
+                    Err(e) => self.fail(e),
+                }
+            }
+        }
+    }
+
+    fn write(&mut self, tenant: u32, op_id: u64, k: K, op: Option<V>) {
+        // A stale cached value must never outlive the write that changed it.
+        self.caches[tenant as usize].invalidate(&k);
+        if self.cfg.batched {
+            self.shard.enqueue(tenant, op_id, k, op);
+            if self.shard.batch_len() >= self.cfg.batch_max {
+                self.flush_open_batch();
+            }
+        } else {
+            let res = match op {
+                Some(v) => self.shard.put_direct(tenant, k, v),
+                None => self.shard.delete_direct(tenant, k),
+            };
+            match res {
+                Ok(()) => {
+                    self.sink.acked_write(tenant, op_id);
+                    self.stats.record_acked_write();
+                }
+                Err(e) => self.fail(e),
+            }
+        }
+    }
+
+    /// Flush the open batch (size, deadline, barrier, or shutdown trigger),
+    /// acking each op, then compact if the delta crossed its threshold.
+    fn flush_open_batch(&mut self) {
+        if self.failed.is_some() || self.shard.batch_len() == 0 {
+            return;
+        }
+        let sink = &self.sink;
+        let stats = &self.stats;
+        match self.shard.flush_batch(|tenant, op_id| {
+            sink.acked_write(tenant, op_id);
+            stats.record_acked_write();
+            stats.record_batched_op();
+        }) {
+            Ok(n) => {
+                if n > 0 {
+                    self.stats.record_batch();
+                }
+            }
+            Err(e) => {
+                self.fail(e);
+                return;
+            }
+        }
+        match self.shard.maybe_compact() {
+            Ok(true) => self.stats.record_compaction(),
+            Ok(false) => {}
+            Err(e) => self.fail(e),
+        }
+    }
+
+    fn fail(&mut self, e: PdmError) {
+        let msg = e.to_string();
+        if self.failed.is_none() {
+            self.failed = Some(msg.clone());
+        }
+        let mut slot = self.first_error.lock().expect("error slot");
+        if slot.is_none() {
+            *slot = Some(msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm::Placement;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct CountingSink {
+        acks: AtomicU64,
+        hits: AtomicU64,
+        misses: AtomicU64,
+    }
+
+    impl CountingSink {
+        fn new() -> Arc<Self> {
+            Arc::new(CountingSink {
+                acks: AtomicU64::new(0),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            })
+        }
+    }
+
+    impl CompletionSink<u64> for CountingSink {
+        fn acked_write(&self, _tenant: u32, _op_id: u64) {
+            self.acks.fetch_add(1, Ordering::Relaxed);
+        }
+        fn got(&self, _tenant: u32, _op_id: u64, value: Option<u64>) {
+            match value {
+                Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+                None => self.misses.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+    }
+
+    fn ram_array(disks: usize) -> Arc<DiskArray> {
+        DiskArray::new_ram(disks, 512, Placement::Independent)
+    }
+
+    #[test]
+    fn batched_writes_ack_and_read_back() {
+        let sink = CountingSink::new();
+        let mut cfg = ServeConfig::new(4, 2);
+        cfg.batch_max = 8;
+        cfg.compact_threshold = 16;
+        cfg.absorber_mem = 256;
+        cfg.pool_frames = 16;
+        let srv: Server<u64, u64> = Server::new(ram_array(4), cfg, sink.clone()).unwrap();
+        for i in 0..200u64 {
+            srv.submit(Request {
+                tenant: (i % 2) as u32,
+                op_id: i,
+                kind: ReqKind::Put(i / 2, i * 10),
+            })
+            .unwrap();
+        }
+        srv.barrier().unwrap();
+        assert_eq!(sink.acks.load(Ordering::Relaxed), 200);
+        for i in 0..200u64 {
+            srv.submit(Request {
+                tenant: (i % 2) as u32,
+                op_id: 1000 + i,
+                kind: ReqKind::Get(i / 2),
+            })
+            .unwrap();
+        }
+        srv.barrier().unwrap();
+        assert_eq!(sink.hits.load(Ordering::Relaxed), 200);
+        assert_eq!(sink.misses.load(Ordering::Relaxed), 0);
+        assert!(srv.stats().batches() > 0);
+        assert!(srv.stats().compactions() > 0, "threshold crossed");
+        srv.shutdown().unwrap();
+    }
+
+    #[test]
+    fn deadline_flush_acks_a_trickle() {
+        let sink = CountingSink::new();
+        let mut cfg = ServeConfig::new(1, 1);
+        cfg.batch_max = 1_000_000; // size trigger unreachable
+        cfg.batch_deadline = Duration::from_millis(5);
+        let srv: Server<u64, u64> = Server::new(ram_array(1), cfg, sink.clone()).unwrap();
+        srv.submit(Request {
+            tenant: 0,
+            op_id: 7,
+            kind: ReqKind::Put(1, 2),
+        })
+        .unwrap();
+        let t0 = Instant::now();
+        while sink.acks.load(Ordering::Relaxed) == 0 {
+            assert!(t0.elapsed() < Duration::from_secs(5), "deadline flush hung");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        srv.shutdown().unwrap();
+    }
+
+    #[test]
+    fn range_merges_across_shards_and_modes_agree() {
+        for batched in [false, true] {
+            let mut cfg = ServeConfig::new(3, 1);
+            cfg.batched = batched;
+            cfg.batch_max = 4;
+            let srv: Server<u64, u64> = Server::new(ram_array(3), cfg, Arc::new(NullSink)).unwrap();
+            for k in 0..50u64 {
+                srv.submit(Request {
+                    tenant: 0,
+                    op_id: k,
+                    kind: ReqKind::Put(k, k + 1),
+                })
+                .unwrap();
+            }
+            for k in (0..50u64).step_by(3) {
+                srv.submit(Request {
+                    tenant: 0,
+                    op_id: 100 + k,
+                    kind: ReqKind::Delete(k),
+                })
+                .unwrap();
+            }
+            let got = srv.range(0, 10, 20).unwrap();
+            let want: Vec<(u64, u64)> = (10..=20)
+                .filter(|k| k % 3 != 0)
+                .map(|k| (k, k + 1))
+                .collect();
+            assert_eq!(got, want, "batched={batched}");
+            srv.compact_all().unwrap();
+            assert_eq!(srv.range(0, 10, 20).unwrap(), want, "post-compact");
+            srv.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn cache_serves_repeated_hot_gets() {
+        let sink = CountingSink::new();
+        let mut cfg = ServeConfig::new(2, 1);
+        cfg.cache_records = 64;
+        let srv: Server<u64, u64> = Server::new(ram_array(2), cfg, sink.clone()).unwrap();
+        for k in 0..8u64 {
+            srv.submit(Request {
+                tenant: 0,
+                op_id: k,
+                kind: ReqKind::Put(k, k),
+            })
+            .unwrap();
+        }
+        srv.barrier().unwrap();
+        for round in 0..20u64 {
+            for k in 0..8u64 {
+                srv.submit(Request {
+                    tenant: 0,
+                    op_id: 100 + round * 8 + k,
+                    kind: ReqKind::Get(k),
+                })
+                .unwrap();
+            }
+        }
+        srv.barrier().unwrap();
+        // First touch of each key misses; the other 19 rounds hit.
+        assert!(srv.stats().cache_hit_rate() > 0.9);
+        // A write invalidates, so the next get misses then re-admits.
+        let hits_before = srv.stats().cache_hits();
+        srv.submit(Request {
+            tenant: 0,
+            op_id: 900,
+            kind: ReqKind::Put(3, 999),
+        })
+        .unwrap();
+        srv.barrier().unwrap();
+        srv.submit(Request {
+            tenant: 0,
+            op_id: 901,
+            kind: ReqKind::Get(3),
+        })
+        .unwrap();
+        srv.barrier().unwrap();
+        assert_eq!(srv.stats().cache_hits(), hits_before, "stale entry gone");
+        srv.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shard_of_matches_routing_fn() {
+        let cfg = ServeConfig::new(5, 1);
+        let srv: Server<u64, u64> = Server::new(ram_array(1), cfg, Arc::new(NullSink)).unwrap();
+        for k in 0..32u64 {
+            assert_eq!(srv.shard_of(0, &k), shard_of_key(0, &k, 5));
+        }
+        srv.shutdown().unwrap();
+    }
+}

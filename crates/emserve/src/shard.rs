@@ -1,0 +1,376 @@
+//! One partition of the serving dictionary.
+//!
+//! A [`Shard`] pairs the authoritative B+-tree (point reads in
+//! `O(log_B N)` through a [`BufferPool`]) with a buffer-tree *write
+//! absorber* (amortized `O((1/B)·log_{M/B}(N/B))` per update) and an
+//! in-memory *delta map* that mirrors every operation accepted since the
+//! last compaction.  The delta map is what makes reads-your-writes cheap:
+//! a get consults it before the tree, so neither reads nor writes ever
+//! force the absorber to flush (the `BufferTree::get` path would).
+//!
+//! Multi-tenancy is by key prefix: the stored key is `(tenant, key)`, so
+//! one physical tree serves every tenant of the shard and per-tenant range
+//! scans are contiguous.  Deletes are stored in the absorber as *marked
+//! records* `(value, TOMBSTONE)` rather than buffer-tree deletes — the
+//! buffer tree's leaf-apply discards a delete whose key is absent from its
+//! own leaves, which is correct for a self-contained dictionary but would
+//! lose deletions destined for the B+-tree.  Compaction streams the
+//! absorber's sorted state into [`BTree::apply_sorted_batch`], translating
+//! marks back into upserts/erases, then resets absorber and delta.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+use std::sync::Arc;
+use std::time::Instant;
+
+use em_core::Record;
+use emtree::{BTree, BufferTree};
+use pdm::{BufferPool, EvictionPolicy, Result, SharedDevice};
+
+/// Marked-record tombstone flag (0 = live, 1 = deleted).
+const TOMBSTONE: u8 = 1;
+
+/// Internal key: tenant id then user key, so tenant ranges are contiguous.
+type Ik<K> = (u32, K);
+
+/// Deterministic FNV-1a routing of `(tenant, key)` onto `shards` partitions.
+///
+/// `std`'s default hasher is seeded per process, which would make shard
+/// placement — and therefore lane placement and every I/O trace — differ
+/// between runs.  FNV-1a over the *encoded record bytes* gives the same
+/// routing on every run and every platform.
+pub fn shard_of_key<K: Record>(tenant: u32, key: &K, shards: usize) -> usize {
+    assert!(shards > 0, "need at least one shard");
+    let mut buf = vec![0u8; 4 + K::BYTES];
+    buf[..4].copy_from_slice(&tenant.to_le_bytes());
+    key.write_to(&mut buf[4..]);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in &buf {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// A pending write destined for the absorber: who to ack, and what to apply.
+struct PendingOp<K, V> {
+    tenant: u32,
+    op_id: u64,
+    key: Ik<K>,
+    /// `Some(v)` = put, `None` = delete.
+    op: Option<V>,
+}
+
+/// One partition of the dictionary: B+-tree + buffer-tree absorber + delta.
+///
+/// Single-threaded by design — the [`Server`](crate::Server) gives each
+/// shard its own drain thread and lane-pinned device, so shards never
+/// contend on locks or on each other's disk queues.
+pub struct Shard<K: Record + Ord + Eq + Hash, V: Record> {
+    pool: Arc<BufferPool>,
+    tree: BTree<Ik<K>, V>,
+    absorber: BufferTree<Ik<K>, (V, u8)>,
+    /// Every op since the last compaction (absorbed *or* still in-flight in
+    /// `batch`): `Some(v)` put, `None` delete.  Read-your-writes overlay.
+    delta: HashMap<Ik<K>, Option<V>>,
+    /// Ops accepted but not yet absorbed (the open batch).
+    batch: Vec<PendingOp<K, V>>,
+    batch_opened: Option<Instant>,
+    compact_threshold: usize,
+}
+
+impl<K, V> Shard<K, V>
+where
+    K: Record + Ord + Eq + Hash,
+    V: Record,
+{
+    /// Build a shard on `device` with a `pool_frames`-frame read pool, an
+    /// `absorber_mem`-record buffer-tree budget, and compaction once the
+    /// delta holds `compact_threshold` distinct keys.
+    pub fn new(
+        device: SharedDevice,
+        pool_frames: usize,
+        absorber_mem: usize,
+        compact_threshold: usize,
+    ) -> Result<Self> {
+        let pool = BufferPool::new(device.clone(), pool_frames, EvictionPolicy::Lru);
+        let tree = BTree::new(pool.clone())?;
+        // The absorber needs at least 32 blocks' worth of event records
+        // ((ts, (tenant, key), (value, mark)) tuples); round the budget up
+        // rather than aborting on small configs.
+        let ev_bytes = 8 + (4 + K::BYTES) + (V::BYTES + 1);
+        let ev_per_block = (device.block_size() / ev_bytes).max(1);
+        let absorber = BufferTree::new(device, absorber_mem.max(32 * ev_per_block));
+        Ok(Shard {
+            pool,
+            tree,
+            absorber,
+            delta: HashMap::new(),
+            batch: Vec::new(),
+            batch_opened: None,
+            compact_threshold: compact_threshold.max(1),
+        })
+    }
+
+    /// The read pool (hit/miss counters feed the serving hit-rate metric).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Distinct keys touched since the last compaction.
+    pub fn pending(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Ops waiting in the open (unflushed) batch.
+    pub fn batch_len(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// When the open batch received its first op, if one is open.
+    pub fn batch_opened_at(&self) -> Option<Instant> {
+        self.batch_opened
+    }
+
+    /// Queue a write into the open batch (batched path).  Visible to reads
+    /// immediately via the delta; acknowledged only once flushed.
+    pub fn enqueue(&mut self, tenant: u32, op_id: u64, key: K, op: Option<V>) {
+        let ik = (tenant, key);
+        self.delta.insert(ik.clone(), op.clone());
+        if self.batch.is_empty() {
+            self.batch_opened = Some(Instant::now());
+        }
+        self.batch.push(PendingOp {
+            tenant,
+            op_id,
+            key: ik,
+            op,
+        });
+    }
+
+    /// Flush the open batch into the absorber, acknowledging each op through
+    /// `ack(tenant, op_id)` *after* the absorber holds it.  Returns the
+    /// number of ops flushed.  Does not compact — see [`Shard::maybe_compact`].
+    pub fn flush_batch(&mut self, mut ack: impl FnMut(u32, u64)) -> Result<usize> {
+        let batch = std::mem::take(&mut self.batch);
+        self.batch_opened = None;
+        let n = batch.len();
+        for p in batch {
+            match p.op {
+                Some(v) => self.absorber.insert(p.key, (v, 0))?,
+                None => self
+                    .absorber
+                    .insert(p.key, (Self::zero_value(), TOMBSTONE))?,
+            }
+            ack(p.tenant, p.op_id);
+        }
+        Ok(n)
+    }
+
+    /// Write-through put (unbatched path): straight into the B+-tree.
+    pub fn put_direct(&mut self, tenant: u32, key: K, value: V) -> Result<()> {
+        self.tree.insert((tenant, key), value)?;
+        Ok(())
+    }
+
+    /// Write-through delete (unbatched path).
+    pub fn delete_direct(&mut self, tenant: u32, key: K) -> Result<()> {
+        self.tree.remove(&(tenant, key))?;
+        Ok(())
+    }
+
+    /// Point lookup: delta overlay first (read-your-writes, including the
+    /// open batch), then the B+-tree through the pool.
+    pub fn get(&self, tenant: u32, key: &K) -> Result<Option<V>> {
+        let ik = (tenant, key.clone());
+        match self.delta.get(&ik) {
+            Some(Some(v)) => Ok(Some(v.clone())),
+            Some(None) => Ok(None),
+            None => self.tree.get(&ik),
+        }
+    }
+
+    /// Tenant-scoped range scan over `[lo, hi]`, merging the tree's view
+    /// with the delta overlay (deletes hide tree records, puts override).
+    pub fn range(&self, tenant: u32, lo: &K, hi: &K) -> Result<Vec<(K, V)>> {
+        if lo > hi {
+            return Ok(Vec::new());
+        }
+        let lo_ik = (tenant, lo.clone());
+        let hi_ik = (tenant, hi.clone());
+        let mut merged: BTreeMap<Ik<K>, V> = self.tree.range(&lo_ik, &hi_ik)?.into_iter().collect();
+        for (ik, op) in &self.delta {
+            if *ik < lo_ik || *ik > hi_ik {
+                continue;
+            }
+            match op {
+                Some(v) => {
+                    merged.insert(ik.clone(), v.clone());
+                }
+                None => {
+                    merged.remove(ik);
+                }
+            }
+        }
+        Ok(merged.into_iter().map(|((_, k), v)| (k, v)).collect())
+    }
+
+    /// True when the delta has grown past the compaction threshold.
+    /// Only meaningful between batches (the open batch must be flushed
+    /// first so the absorber and delta agree).
+    pub fn wants_compact(&self) -> bool {
+        self.batch.is_empty() && self.delta.len() >= self.compact_threshold
+    }
+
+    /// Compact if [`Shard::wants_compact`]; returns whether it ran.
+    pub fn maybe_compact(&mut self) -> Result<bool> {
+        if self.wants_compact() {
+            self.compact()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Drain the absorber into the B+-tree in one streaming pass.
+    ///
+    /// The absorber's sorted dump is strictly increasing in key (it resolves
+    /// duplicates internally), so it feeds `apply_sorted_batch` directly:
+    /// marked live records become upserts, tombstones become erases, and the
+    /// tree's leaf level is rebuilt in `O((N+Δ)/B)` transfers instead of
+    /// `Δ·O(log_B N)` point updates.
+    pub fn compact(&mut self) -> Result<()> {
+        assert!(
+            self.batch.is_empty(),
+            "flush the open batch before compacting"
+        );
+        if self.delta.is_empty() {
+            return Ok(());
+        }
+        let ext = self.absorber.to_sorted_ext_vec()?;
+        let ops = ext.to_vec()?;
+        ext.free()?;
+        self.tree.apply_sorted_batch(
+            ops.into_iter()
+                .map(|(ik, (v, dead))| (ik, (dead == 0).then_some(v))),
+        )?;
+        self.absorber.clear()?;
+        self.delta.clear();
+        Ok(())
+    }
+
+    /// Records in the authoritative tree (excludes pending delta ops).
+    pub fn tree_len(&self) -> u64 {
+        self.tree.len()
+    }
+
+    /// Structural self-check of the underlying B+-tree.
+    pub fn check_invariants(&self) -> Result<()> {
+        self.tree.check_invariants()
+    }
+
+    /// The all-zero-bytes value used to pad tombstone marks.
+    fn zero_value() -> V {
+        V::read_from(&vec![0u8; V::BYTES])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm::{DiskArray, Placement};
+
+    fn ram_shard(compact_threshold: usize) -> Shard<u64, u64> {
+        let dev: SharedDevice = DiskArray::new_ram(1, 512, Placement::Independent);
+        Shard::new(dev, 16, 256, compact_threshold).unwrap()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_spread() {
+        let a = shard_of_key(0, &42u64, 8);
+        let b = shard_of_key(0, &42u64, 8);
+        assert_eq!(a, b);
+        let mut seen = [0usize; 8];
+        for k in 0..800u64 {
+            seen[shard_of_key(k as u32 % 3, &k, 8)] += 1;
+        }
+        assert!(seen.iter().all(|&c| c > 0), "all shards used: {seen:?}");
+    }
+
+    #[test]
+    fn read_your_writes_across_batch_and_compaction() {
+        let mut s = ram_shard(3);
+        // In-flight batch is visible before any flush.
+        s.enqueue(1, 0, 10, Some(100));
+        s.enqueue(1, 1, 11, Some(110));
+        assert_eq!(s.get(1, &10).unwrap(), Some(100));
+        assert_eq!(s.batch_len(), 2);
+        let mut acks = Vec::new();
+        s.flush_batch(|t, id| acks.push((t, id))).unwrap();
+        assert_eq!(acks, vec![(1, 0), (1, 1)]);
+        assert_eq!(s.get(1, &10).unwrap(), Some(100));
+        // Delete of an absorbed key, then compaction: stays gone.
+        s.enqueue(1, 2, 10, None);
+        s.enqueue(1, 3, 12, Some(120));
+        assert_eq!(s.get(1, &10).unwrap(), None);
+        s.flush_batch(|_, _| {}).unwrap();
+        assert!(s.wants_compact());
+        assert!(s.maybe_compact().unwrap());
+        assert_eq!(s.pending(), 0);
+        assert_eq!(s.get(1, &10).unwrap(), None);
+        assert_eq!(s.get(1, &11).unwrap(), Some(110));
+        assert_eq!(s.get(1, &12).unwrap(), Some(120));
+        assert_eq!(s.tree_len(), 2);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn tombstones_survive_compaction_into_the_tree() {
+        let mut s = ram_shard(1);
+        // Land a key in the tree via a first compaction.
+        s.enqueue(7, 0, 5, Some(50));
+        s.flush_batch(|_, _| {}).unwrap();
+        s.maybe_compact().unwrap();
+        assert_eq!(s.tree_len(), 1);
+        // Delete it through the absorber path; the marked record must reach
+        // apply_sorted_batch as an erase (a raw BufferTree delete would be
+        // dropped because the absorber's own leaves never held the key).
+        s.enqueue(7, 1, 5, None);
+        s.flush_batch(|_, _| {}).unwrap();
+        s.maybe_compact().unwrap();
+        assert_eq!(s.get(7, &5).unwrap(), None);
+        assert_eq!(s.tree_len(), 0);
+    }
+
+    #[test]
+    fn tenants_are_isolated_in_ranges() {
+        let mut s = ram_shard(100);
+        for k in 0..10u64 {
+            s.enqueue(1, k, k, Some(k * 10));
+            s.enqueue(2, 100 + k, k, Some(k * 1000));
+        }
+        s.flush_batch(|_, _| {}).unwrap();
+        let t1 = s.range(1, &2, &4).unwrap();
+        assert_eq!(t1, vec![(2, 20), (3, 30), (4, 40)]);
+        let t2 = s.range(2, &2, &4).unwrap();
+        assert_eq!(t2, vec![(2, 2000), (3, 3000), (4, 4000)]);
+        // Overlay semantics: delete one, overwrite another, still unflushed.
+        s.enqueue(1, 200, 3, None);
+        s.enqueue(1, 201, 4, Some(999));
+        let t1 = s.range(1, &2, &4).unwrap();
+        assert_eq!(t1, vec![(2, 20), (4, 999)]);
+        assert_eq!(s.range(1, &9, &3).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn direct_path_bypasses_the_absorber() {
+        let mut s = ram_shard(1_000_000);
+        s.put_direct(3, 1, 11).unwrap();
+        s.put_direct(3, 2, 22).unwrap();
+        s.delete_direct(3, 1).unwrap();
+        assert_eq!(s.pending(), 0);
+        assert_eq!(s.get(3, &1).unwrap(), None);
+        assert_eq!(s.get(3, &2).unwrap(), Some(22));
+        assert_eq!(s.tree_len(), 1);
+    }
+}

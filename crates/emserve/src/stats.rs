@@ -1,0 +1,161 @@
+//! Serving-layer counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared serving counters, aggregated across every shard worker of a
+/// [`Server`](crate::Server).
+///
+/// All counters are monotone; capture before/after values and subtract to
+/// attribute activity to a measurement window (the same discipline as
+/// [`pdm::IoStats::snapshot_delta`]).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    puts: AtomicU64,
+    deletes: AtomicU64,
+    gets: AtomicU64,
+    /// Writes acknowledged to their [`CompletionSink`](crate::CompletionSink).
+    acked_writes: AtomicU64,
+    /// Write batches flushed into the absorbers (size- or deadline-trigger).
+    batches: AtomicU64,
+    /// Individual ops carried by those batches.
+    batched_ops: AtomicU64,
+    /// Absorber → B+-tree compactions.
+    compactions: AtomicU64,
+    /// Gets answered by a [`HotCache`](crate::HotCache).
+    cache_hits: AtomicU64,
+    /// Gets that had to consult the delta map or the tree.
+    cache_misses: AtomicU64,
+    /// Cache admissions denied because the tenant's budget was exhausted
+    /// and the local shard held nothing evictable.
+    cache_rejected: AtomicU64,
+}
+
+macro_rules! counter {
+    ($(#[$doc:meta])* $record:ident, $get:ident) => {
+        $(#[$doc])*
+        #[inline]
+        pub fn $record(&self) {
+            self.$get.fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// Current value of the counter of the same name.
+        pub fn $get(&self) -> u64 {
+            self.$get.load(Ordering::Relaxed)
+        }
+    };
+}
+
+impl ServeStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    counter!(
+        /// Record one put accepted by a shard worker.
+        record_put,
+        puts
+    );
+    counter!(
+        /// Record one delete accepted by a shard worker.
+        record_delete,
+        deletes
+    );
+    counter!(
+        /// Record one get accepted by a shard worker.
+        record_get,
+        gets
+    );
+    counter!(
+        /// Record one write acknowledgement.
+        record_acked_write,
+        acked_writes
+    );
+    counter!(
+        /// Record one batch flush.
+        record_batch,
+        batches
+    );
+    counter!(
+        /// Record one op absorbed as part of a batch.
+        record_batched_op,
+        batched_ops
+    );
+    counter!(
+        /// Record one absorber→tree compaction.
+        record_compaction,
+        compactions
+    );
+    counter!(
+        /// Record one hot-cache hit.
+        record_cache_hit,
+        cache_hits
+    );
+    counter!(
+        /// Record one hot-cache miss.
+        record_cache_miss,
+        cache_misses
+    );
+    counter!(
+        /// Record one denied cache admission.
+        record_cache_rejected,
+        cache_rejected
+    );
+
+    /// Hot-cache hit rate over all gets so far (0.0 when no gets).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let h = self.cache_hits();
+        let m = self.cache_misses();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Mean ops per flushed batch (0.0 when no batches).
+    pub fn mean_batch_size(&self) -> f64 {
+        let b = self.batches();
+        if b == 0 {
+            0.0
+        } else {
+            self.batched_ops() as f64 / b as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_derived_rates() {
+        let s = ServeStats::new();
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(s.mean_batch_size(), 0.0);
+        s.record_put();
+        s.record_put();
+        s.record_delete();
+        s.record_get();
+        s.record_cache_hit();
+        s.record_get();
+        s.record_cache_miss();
+        s.record_get();
+        s.record_cache_miss();
+        s.record_batch();
+        s.record_batched_op();
+        s.record_batched_op();
+        s.record_batched_op();
+        s.record_acked_write();
+        s.record_compaction();
+        s.record_cache_rejected();
+        assert_eq!(s.puts(), 2);
+        assert_eq!(s.deletes(), 1);
+        assert_eq!(s.gets(), 3);
+        assert_eq!(s.acked_writes(), 1);
+        assert_eq!(s.compactions(), 1);
+        assert_eq!(s.cache_rejected(), 1);
+        assert!((s.cache_hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+        assert!((s.mean_batch_size() - 3.0).abs() < 1e-9);
+    }
+}

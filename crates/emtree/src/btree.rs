@@ -349,8 +349,13 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
                         },
                     )?;
                 } else if re.len() < min {
-                    // Borrow from left.
-                    re.insert(0, le.pop().expect("left nonempty"));
+                    // Borrow from left.  An empty left sibling here is
+                    // impossible (the merge branch above would have taken
+                    // it); degrade to "no rebalance" rather than panic.
+                    let Some(moved) = le.pop() else {
+                        return Ok(false);
+                    };
+                    re.insert(0, moved);
                     keys[i] = re[0].0.clone();
                     self.write_node(
                         lid,
@@ -417,10 +422,14 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
                         },
                     )?;
                 } else if rk.len() < min {
-                    // Rotate right.
+                    // Rotate right.  As above: an un-mergeable pair implies a
+                    // nonempty left; degrade instead of panicking if not.
+                    let (Some(key_up), Some(child_over)) = (lk.pop(), lc.pop()) else {
+                        return Ok(false);
+                    };
                     rk.insert(0, keys[i].clone());
-                    keys[i] = lk.pop().expect("left nonempty");
-                    rc.insert(0, lc.pop().expect("left nonempty"));
+                    keys[i] = key_up;
+                    rc.insert(0, child_over);
                     self.write_node(
                         lid,
                         &Node::Internal {
@@ -440,7 +449,10 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
                 }
                 Ok(true)
             }
-            _ => unreachable!("siblings at different levels"),
+            // Siblings at different levels would mean a corrupt parent; skip
+            // the rebalance (the tree stays searchable, merely underfull)
+            // rather than panicking.
+            _ => Ok(false),
         }
     }
 
@@ -460,7 +472,12 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
         let mut id = self.root;
         loop {
             match self.read_node(id)? {
-                Node::Internal { children, .. } => id = *children.last().expect("children"),
+                Node::Internal { children, .. } => match children.last() {
+                    Some(&c) => id = c,
+                    // A childless internal node is impossible; treat it as an
+                    // empty subtree instead of panicking.
+                    None => return Ok(None),
+                },
                 Node::Leaf { entries, .. } => return Ok(entries.last().cloned()),
             }
         }
@@ -480,7 +497,9 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
         }
         loop {
             let Node::Leaf { next, entries } = self.read_node(id)? else {
-                unreachable!("leaf chain contains internal node")
+                // An internal node on the leaf chain is impossible; end the
+                // scan deterministically rather than panic.
+                return Ok(());
             };
             for (k, v) in &entries {
                 if k > hi {
@@ -513,7 +532,9 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
         // Walk the chain.
         loop {
             let Node::Leaf { next, entries } = self.read_node(id)? else {
-                unreachable!("leaf chain contains internal node")
+                // Impossible-invariant degrade: end the scan with what was
+                // collected so far instead of panicking.
+                return Ok(out);
             };
             for (k, v) in entries {
                 if &k > hi {
@@ -545,22 +566,7 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
         let mut current: Vec<(K, V)> = Vec::new();
         let mut last_key: Option<K> = None;
         let mut count = 0u64;
-        let fill = tree.leaf_cap.max(2) - tree.leaf_cap / 4; // ~3/4 full
-        let flush = |tree: &mut Self,
-                     current: &mut Vec<(K, V)>,
-                     leaves: &mut Vec<(K, BlockId)>|
-         -> Result<()> {
-            if current.is_empty() {
-                return Ok(());
-            }
-            let first = current[0].0.clone();
-            let id = tree.alloc_node(&Node::Leaf {
-                next: None,
-                entries: std::mem::take(current),
-            })?;
-            leaves.push((first, id));
-            Ok(())
-        };
+        let fill = tree.leaf_fill();
         for (k, v) in sorted {
             if let Some(prev) = &last_key {
                 assert!(prev < &k, "bulk_load input must be strictly increasing");
@@ -569,44 +575,235 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
             current.push((k, v));
             count += 1;
             if current.len() == fill {
-                flush(&mut tree, &mut current, &mut leaves)?;
+                tree.flush_leaf(&mut current, &mut leaves)?;
             }
         }
-        // Avoid an underfull final leaf by stealing from the previous one.
-        if !current.is_empty() && !leaves.is_empty() && current.len() < fill.div_ceil(2) {
-            let (_, prev_id) = leaves.pop().expect("nonempty");
-            let Node::Leaf {
-                entries: mut prev_entries,
-                ..
-            } = tree.read_node(prev_id)?
-            else {
-                unreachable!()
-            };
-            prev_entries.append(&mut current);
-            let half = prev_entries.len() / 2;
-            current = prev_entries.split_off(half);
-            let first = prev_entries[0].0.clone();
-            tree.write_node(
-                prev_id,
-                &Node::Leaf {
-                    next: None,
-                    entries: prev_entries,
-                },
-            )?;
-            leaves.push((first, prev_id));
-        }
-        flush(&mut tree, &mut current, &mut leaves)?;
+        let placeholder = tree.root;
+        tree.finish_leaf_fill(current, &mut leaves)?;
+        tree.free_node(placeholder)?; // drop the fresh empty root
+        tree.install_built_leaves(leaves, count)?;
+        Ok(tree)
+    }
 
+    /// Apply a key-sorted batch of upserts (`Some(value)`) and deletes
+    /// (`None`) in one streaming rebuild: the old leaf chain is merged with
+    /// the batch into freshly bulk-built leaves and internal levels, and the
+    /// old nodes are freed — `O((N + Δ)/B)` I/Os for a batch of Δ ops
+    /// regardless of their key spread, versus `Θ(Δ·log_B N)` for per-key
+    /// inserts.  This is the ingestion path a buffer-tree write absorber
+    /// drains into: the absorber makes a batch cheap to *collect*, this
+    /// makes it cheap to *apply*.
+    ///
+    /// A delete of an absent key is a no-op.  Returns the number of live
+    /// pairs after the merge (also the new [`len`](Self::len)).
+    ///
+    /// # Panics
+    /// If the batch is not strictly increasing by key.
+    pub fn apply_sorted_batch<I>(&mut self, ops: I) -> Result<u64>
+    where
+        I: IntoIterator<Item = (K, Option<V>)>,
+    {
+        let mut ops = ops.into_iter();
+        let mut last_op_key: Option<K> = None;
+        let mut pull_op = move || {
+            let n = ops.next();
+            if let Some((k, _)) = &n {
+                if let Some(prev) = &last_op_key {
+                    assert!(
+                        prev < k,
+                        "apply_sorted_batch input must be strictly increasing"
+                    );
+                }
+                last_op_key = Some(k.clone());
+            }
+            n
+        };
+
+        // Descend to the leftmost old leaf; from there the chain is the
+        // sorted old content.
+        let old_root = self.root;
+        let mut id = old_root;
+        let (mut cur, mut next_leaf) = loop {
+            match self.read_node(id)? {
+                Node::Internal { children, .. } => match children.first() {
+                    Some(&c) => id = c,
+                    // Childless internal root: impossible; treat as empty.
+                    None => break (Vec::new().into_iter(), None),
+                },
+                Node::Leaf { next, entries } => break (entries.into_iter(), next),
+            }
+        };
+
+        let fill = self.leaf_fill();
+        let mut leaves: Vec<(K, BlockId)> = Vec::new();
+        let mut current: Vec<(K, V)> = Vec::new();
+        let mut count = 0u64;
+        let mut old_pending = self.next_old_pair(&mut cur, &mut next_leaf)?;
+        let mut op_pending = pull_op();
+        loop {
+            let emit = match (old_pending.take(), op_pending.take()) {
+                (None, None) => break,
+                (Some(o), None) => {
+                    old_pending = self.next_old_pair(&mut cur, &mut next_leaf)?;
+                    Some(o)
+                }
+                (None, Some((k, mv))) => {
+                    op_pending = pull_op();
+                    mv.map(|v| (k, v))
+                }
+                (Some((ok, ov)), Some((pk, pv))) => match ok.cmp(&pk) {
+                    std::cmp::Ordering::Less => {
+                        op_pending = Some((pk, pv));
+                        old_pending = self.next_old_pair(&mut cur, &mut next_leaf)?;
+                        Some((ok, ov))
+                    }
+                    std::cmp::Ordering::Greater => {
+                        old_pending = Some((ok, ov));
+                        op_pending = pull_op();
+                        pv.map(|v| (pk, v))
+                    }
+                    std::cmp::Ordering::Equal => {
+                        // The op overrides (upsert) or erases (delete) the
+                        // old pair.
+                        old_pending = self.next_old_pair(&mut cur, &mut next_leaf)?;
+                        op_pending = pull_op();
+                        pv.map(|v| (pk, v))
+                    }
+                },
+            };
+            if let Some((k, v)) = emit {
+                current.push((k, v));
+                count += 1;
+                if current.len() == fill {
+                    self.flush_leaf(&mut current, &mut leaves)?;
+                }
+            }
+        }
+        self.finish_leaf_fill(current, &mut leaves)?;
+        self.free_subtree(old_root)?;
+        self.install_built_leaves(leaves, count)?;
+        Ok(count)
+    }
+
+    /// Pull the next pair of the old leaf chain, advancing across leaf
+    /// boundaries.
+    fn next_old_pair(
+        &self,
+        cur: &mut std::vec::IntoIter<(K, V)>,
+        next_leaf: &mut Option<BlockId>,
+    ) -> Result<Option<(K, V)>> {
+        loop {
+            if let Some(pair) = cur.next() {
+                return Ok(Some(pair));
+            }
+            match next_leaf.take() {
+                None => return Ok(None),
+                Some(id) => match self.read_node(id)? {
+                    Node::Leaf { next, entries } => {
+                        *cur = entries.into_iter();
+                        *next_leaf = next;
+                    }
+                    // Internal node on the leaf chain: impossible; end the
+                    // old-pair stream deterministically.
+                    Node::Internal { .. } => return Ok(None),
+                },
+            }
+        }
+    }
+
+    /// Free every node of the subtree rooted at `id` (post-order; recursion
+    /// depth is the tree height).
+    fn free_subtree(&mut self, id: BlockId) -> Result<()> {
+        if let Node::Internal { children, .. } = self.read_node(id)? {
+            for c in children {
+                self.free_subtree(c)?;
+            }
+        }
+        self.free_node(id)
+    }
+
+    /// Target leaf occupancy for bulk construction (~3/4 full, so post-build
+    /// inserts don't split immediately).
+    fn leaf_fill(&self) -> usize {
+        self.leaf_cap.max(2) - self.leaf_cap / 4
+    }
+
+    /// Write `current` out as one new (not yet chained) leaf and record its
+    /// first key.
+    fn flush_leaf(
+        &mut self,
+        current: &mut Vec<(K, V)>,
+        leaves: &mut Vec<(K, BlockId)>,
+    ) -> Result<()> {
+        if current.is_empty() {
+            return Ok(());
+        }
+        let first = current[0].0.clone();
+        let id = self.alloc_node(&Node::Leaf {
+            next: None,
+            entries: std::mem::take(current),
+        })?;
+        leaves.push((first, id));
+        Ok(())
+    }
+
+    /// Flush the final partial leaf, first stealing from its predecessor
+    /// when it would otherwise be underfull.
+    fn finish_leaf_fill(
+        &mut self,
+        mut current: Vec<(K, V)>,
+        leaves: &mut Vec<(K, BlockId)>,
+    ) -> Result<()> {
+        let fill = self.leaf_fill();
+        if !current.is_empty() && current.len() < fill.div_ceil(2) {
+            if let Some((prev_first, prev_id)) = leaves.pop() {
+                if let Node::Leaf {
+                    entries: mut prev_entries,
+                    ..
+                } = self.read_node(prev_id)?
+                {
+                    prev_entries.append(&mut current);
+                    let half = prev_entries.len() / 2;
+                    current = prev_entries.split_off(half);
+                    let first = prev_entries[0].0.clone();
+                    self.write_node(
+                        prev_id,
+                        &Node::Leaf {
+                            next: None,
+                            entries: prev_entries,
+                        },
+                    )?;
+                    leaves.push((first, prev_id));
+                } else {
+                    // Impossible (this node was just written as a leaf);
+                    // keep the short tail leaf rather than panic.
+                    leaves.push((prev_first, prev_id));
+                }
+            }
+        }
+        self.flush_leaf(&mut current, leaves)
+    }
+
+    /// Chain `leaves` left to right, build the internal levels above them,
+    /// and install the result as this tree's contents.
+    fn install_built_leaves(&mut self, leaves: Vec<(K, BlockId)>, count: u64) -> Result<()> {
         if leaves.is_empty() {
-            return Ok(tree); // empty input: keep the fresh empty root
+            self.root = self.alloc_node(&Node::Leaf {
+                next: None,
+                entries: Vec::new(),
+            })?;
+            self.height = 1;
+            self.len = 0;
+            return Ok(());
         }
         // Chain the leaves.
         for w in leaves.windows(2) {
             let (_, id) = &w[0];
-            let Node::Leaf { entries, .. } = tree.read_node(*id)? else {
-                unreachable!()
+            let Node::Leaf { entries, .. } = self.read_node(*id)? else {
+                // Impossible; skip this link rather than panic.
+                continue;
             };
-            tree.write_node(
+            self.write_node(
                 *id,
                 &Node::Leaf {
                     next: Some(w[1].1),
@@ -614,11 +811,10 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
                 },
             )?;
         }
-        // Phase 2: build internal levels.
-        tree.free_node(tree.root)?; // drop the placeholder empty root
+        // Build internal levels.
         let mut level: Vec<(K, BlockId)> = leaves;
         let mut height = 1;
-        let group = tree.internal_cap / 2 + 1; // children per internal node (~half full)
+        let group = self.internal_cap / 2 + 1; // children per internal node (~half full)
         while level.len() > 1 {
             let mut next_level = Vec::with_capacity(level.len() / group + 1);
             let mut i = 0;
@@ -632,17 +828,17 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
                 let keys: Vec<K> = slice[1..].iter().map(|(k, _)| k.clone()).collect();
                 let children: Vec<BlockId> = slice.iter().map(|(_, id)| *id).collect();
                 let first = slice[0].0.clone();
-                let id = tree.alloc_node(&Node::Internal { keys, children })?;
+                let id = self.alloc_node(&Node::Internal { keys, children })?;
                 next_level.push((first, id));
                 i += take;
             }
             level = next_level;
             height += 1;
         }
-        tree.root = level[0].1;
-        tree.height = height;
-        tree.len = count;
-        Ok(tree)
+        self.root = level[0].1;
+        self.height = height;
+        self.len = count;
+        Ok(())
     }
 
     /// Verify structural invariants (sorted keys, occupancy, leaf chain,
@@ -933,6 +1129,104 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn bulk_load_rejects_unsorted() {
         let _ = BTree::<u64, u64>::bulk_load(pool(128, 8), vec![(2, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn apply_sorted_batch_matches_model() {
+        let mut model: BTreeMap<u64, u64> = (0..2000u64).map(|k| (k * 2, k)).collect();
+        let mut t = BTree::bulk_load(pool(128, 16), model.iter().map(|(&k, &v)| (k, v))).unwrap();
+        // A batch mixing overwrites, fresh inserts, real deletes, and
+        // deletes of absent keys.
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut batch: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+        for _ in 0..800 {
+            let k = rng.gen_range(0..5000u64);
+            if rng.gen_bool(0.6) {
+                batch.insert(k, Some(rng.gen()));
+            } else {
+                batch.insert(k, None);
+            }
+        }
+        for (&k, v) in &batch {
+            match v {
+                Some(v) => {
+                    model.insert(k, *v);
+                }
+                None => {
+                    model.remove(&k);
+                }
+            }
+        }
+        let n = t
+            .apply_sorted_batch(batch.iter().map(|(&k, &v)| (k, v)))
+            .unwrap();
+        assert_eq!(n as usize, model.len());
+        assert_eq!(t.len() as usize, model.len());
+        t.check_invariants().unwrap();
+        let expect: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(t.range(&0, &u64::MAX).unwrap(), expect);
+        // The tree stays fully usable for point ops afterwards.
+        t.insert(1, 11).unwrap();
+        assert_eq!(t.get(&1).unwrap(), Some(11));
+    }
+
+    #[test]
+    fn apply_sorted_batch_edge_cases() {
+        // Empty tree, empty batch.
+        let mut t: BTree<u64, u64> = BTree::new(pool(128, 8)).unwrap();
+        assert_eq!(t.apply_sorted_batch(std::iter::empty()).unwrap(), 0);
+        assert!(t.is_empty());
+        // Batch into an empty tree behaves like a bulk load.
+        assert_eq!(
+            t.apply_sorted_batch((0..100u64).map(|k| (k, Some(k))))
+                .unwrap(),
+            100
+        );
+        t.check_invariants().unwrap();
+        assert_eq!(t.get(&42).unwrap(), Some(42));
+        // Deleting everything collapses back to an empty, usable tree.
+        assert_eq!(
+            t.apply_sorted_batch((0..100u64).map(|k| (k, None)))
+                .unwrap(),
+            0
+        );
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        t.insert(5, 50).unwrap();
+        assert_eq!(t.get(&5).unwrap(), Some(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn apply_sorted_batch_rejects_unsorted() {
+        let mut t: BTree<u64, u64> = BTree::new(pool(128, 8)).unwrap();
+        let _ = t.apply_sorted_batch(vec![(2, Some(0)), (1, Some(0))]);
+    }
+
+    #[test]
+    fn apply_sorted_batch_io_is_linear_not_per_key() {
+        let p = pool(128, 8);
+        let device = p.device().clone();
+        let n = 4000u64;
+        let mut t = BTree::bulk_load(p, (0..n).map(|k| (k * 2, k))).unwrap();
+        t.pool().flush().unwrap();
+        let height = t.height() as u64;
+        let batch: Vec<(u64, Option<u64>)> = (0..n).map(|k| (k * 2 + 1, Some(k))).collect();
+        let delta = batch.len() as u64;
+        let before = device.stats().snapshot();
+        t.apply_sorted_batch(batch).unwrap();
+        t.pool().flush().unwrap();
+        let d = device.stats().snapshot_delta(&before);
+        // Streaming rebuild: ~2N/fill reads + writes, far below Δ·height.
+        let leaf_fill = (t.leaf_capacity().max(2) - t.leaf_capacity() / 4) as u64;
+        let linear_budget = 6 * (n + delta) / leaf_fill + 20;
+        assert!(
+            d.total() < linear_budget,
+            "batch apply cost {} transfers, linear budget {}, per-key would be ~{}",
+            d.total(),
+            linear_budget,
+            delta * height
+        );
     }
 
     #[test]

@@ -73,15 +73,18 @@ impl<E: Record> DiskBuffer<E> {
         let mut i = 0;
         let tail_used = self.len % self.per_block;
         if tail_used != 0 {
-            let id = *self.blocks.last().expect("partial tail implies a block");
-            self.device.read_block(id, &mut buf)?;
-            let take = (self.per_block - tail_used).min(events.len());
-            for (j, e) in events[..take].iter().enumerate() {
-                let off = (tail_used + j) * E::BYTES;
-                e.write_to(&mut buf[off..off + E::BYTES]);
+            // A partial tail implies at least one block; if the invariant is
+            // broken, degrade to whole-block appends instead of panicking.
+            if let Some(&id) = self.blocks.last() {
+                self.device.read_block(id, &mut buf)?;
+                let take = (self.per_block - tail_used).min(events.len());
+                for (j, e) in events[..take].iter().enumerate() {
+                    let off = (tail_used + j) * E::BYTES;
+                    e.write_to(&mut buf[off..off + E::BYTES]);
+                }
+                self.device.write_block(id, &buf)?;
+                i = take;
             }
-            self.device.write_block(id, &buf)?;
-            i = take;
         }
         while i < events.len() {
             let take = self.per_block.min(events.len() - i);
@@ -146,7 +149,7 @@ struct Node<K: Record + Ord, V: Record> {
 pub struct BufferTree<K: Record + Ord, V: Record> {
     device: SharedDevice,
     budget: Arc<MemBudget>,
-    nodes: Vec<Option<Node<K, V>>>,
+    nodes: Vec<Node<K, V>>,
     root: NodeId,
     /// Maximum children (or leaf blocks) per node, `Θ(M/B)`.
     fanout: usize,
@@ -181,7 +184,7 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
         BufferTree {
             device,
             budget: MemBudget::new(mem_records),
-            nodes: vec![Some(root_node)],
+            nodes: vec![root_node],
             root: 0,
             fanout,
             threshold,
@@ -393,7 +396,9 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
         let (keys, children) = {
             let node = self.node(id);
             let NodeKind::Internal { children } = &node.kind else {
-                unreachable!()
+                // Impossible: the bottom case returned above.  Degrade to a
+                // no-op flush rather than panic.
+                return Ok(Vec::new());
             };
             (node.keys.clone(), children.clone())
         };
@@ -417,19 +422,18 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
                 if extras.is_empty() {
                     continue;
                 }
+                // The node is internal and `child` is one of its children by
+                // construction; if either invariant is broken, skip the
+                // splice deterministically instead of panicking.
                 let node = self.node_mut(id);
                 let NodeKind::Internal { children } = &mut node.kind else {
-                    unreachable!()
+                    continue;
                 };
-                let pos = children
-                    .iter()
-                    .position(|&c| c == child)
-                    .expect("child present");
+                let Some(pos) = children.iter().position(|&c| c == child) else {
+                    continue;
+                };
                 for (off, (k, nid)) in extras.into_iter().enumerate() {
                     node.keys.insert(pos + off, k);
-                    let NodeKind::Internal { children } = &mut node.kind else {
-                        unreachable!()
-                    };
                     children.insert(pos + 1 + off, nid);
                 }
             }
@@ -452,7 +456,8 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
         let old_leaves = {
             let node = self.node_mut(id);
             let NodeKind::Bottom { leaves } = &mut node.kind else {
-                unreachable!()
+                // Impossible: the caller checked this node is bottom.
+                return Ok(());
             };
             std::mem::take(leaves)
         };
@@ -481,12 +486,18 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
                 cur_ex = ex_iter.next()?;
             } else {
                 // Resolve all events for one key: highest timestamp wins.
-                let key = vi.peek().expect("peeked").1.clone();
+                // `next_is_event` guarantees a peeked event; degrade by
+                // ending the merge rather than panicking if not.
+                let Some(key) = vi.peek().map(|e| e.1.clone()) else {
+                    break;
+                };
                 let mut last: Option<Event<K, V>> = None;
                 while vi.peek().is_some_and(|e| e.1 == key) {
                     last = vi.next();
                 }
-                let last = last.expect("at least one event");
+                let Some(last) = last else {
+                    break;
+                };
                 let had_existing = cur_ex.as_ref().is_some_and(|(ek, _)| *ek == key);
                 if had_existing {
                     cur_ex = ex_iter.next()?;
@@ -528,9 +539,10 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
 
     /// Split a bottom node whose leaf count exceeds the fan-out.
     fn split_bottom_if_needed(&mut self, id: NodeId) -> Result<Vec<(K, NodeId)>> {
+        // Only ever called on a bottom node; degrade to "no split" if not.
         let leaf_count = match &self.node(id).kind {
             NodeKind::Bottom { leaves } => leaves.len(),
-            _ => unreachable!(),
+            NodeKind::Internal { .. } => return Ok(Vec::new()),
         };
         if leaf_count <= self.fanout {
             return Ok(Vec::new());
@@ -538,7 +550,7 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
         let (keys, leaves) = {
             let node = self.node_mut(id);
             let NodeKind::Bottom { leaves } = &mut node.kind else {
-                unreachable!()
+                return Ok(Vec::new());
             };
             (std::mem::take(&mut node.keys), std::mem::take(leaves))
         };
@@ -580,9 +592,10 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
     /// buffer is empty (we only split on the flush path), so no buffer
     /// redistribution is needed.
     fn split_internal_if_needed(&mut self, id: NodeId) -> Result<Vec<(K, NodeId)>> {
+        // Only ever called on an internal node; degrade to "no split" if not.
         let child_count = match &self.node(id).kind {
             NodeKind::Internal { children } => children.len(),
-            _ => unreachable!(),
+            NodeKind::Bottom { .. } => return Ok(Vec::new()),
         };
         if child_count <= self.fanout {
             return Ok(Vec::new());
@@ -595,7 +608,7 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
         let (keys, children) = {
             let node = self.node_mut(id);
             let NodeKind::Internal { children } = &mut node.kind else {
-                unreachable!()
+                return Ok(Vec::new());
             };
             (std::mem::take(&mut node.keys), std::mem::take(children))
         };
@@ -631,30 +644,27 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
     }
 
     fn node(&self, id: NodeId) -> &Node<K, V> {
-        self.nodes[id].as_ref().expect("live node")
+        &self.nodes[id]
     }
 
     fn node_mut(&mut self, id: NodeId) -> &mut Node<K, V> {
-        self.nodes[id].as_mut().expect("live node")
+        &mut self.nodes[id]
     }
 
     fn alloc_node(&mut self, node: Node<K, V>) -> NodeId {
-        self.nodes.push(Some(node));
+        self.nodes.push(node);
         self.nodes.len() - 1
     }
 
     /// Release all external storage.
     pub fn clear(&mut self) -> Result<()> {
-        for slot in self.nodes.iter_mut() {
-            if let Some(node) = slot.as_mut() {
-                node.buffer.free()?;
-                if let NodeKind::Bottom { leaves } = &mut node.kind {
-                    for leaf in leaves.drain(..) {
-                        leaf.free()?;
-                    }
+        for node in self.nodes.iter_mut() {
+            node.buffer.free()?;
+            if let NodeKind::Bottom { leaves } = &mut node.kind {
+                for leaf in leaves.drain(..) {
+                    leaf.free()?;
                 }
             }
-            *slot = None;
         }
         self.nodes.clear();
         let root = Node {
@@ -662,7 +672,7 @@ impl<K: Record + Ord, V: Record> BufferTree<K, V> {
             kind: NodeKind::Bottom { leaves: Vec::new() },
             buffer: DiskBuffer::new(self.device.clone()),
         };
-        self.nodes.push(Some(root));
+        self.nodes.push(root);
         self.root = 0;
         self.height = 1;
         self.len = 0;

@@ -59,7 +59,10 @@ impl<R: Record + Ord> Run<R> {
             self.data.read_block_into(bi, &mut self.buf)?;
             self.buf_start = bi as u64 * per;
         }
-        Ok(Some(&self.buf[(self.pos - self.buf_start) as usize]))
+        // The refill above puts `pos` inside `buf` whenever records remain;
+        // a short block (impossible-invariant) degrades to run-exhausted
+        // instead of an index panic.
+        Ok(self.buf.get((self.pos - self.buf_start) as usize))
     }
 
     fn advance(&mut self) {

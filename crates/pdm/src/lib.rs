@@ -69,6 +69,7 @@ mod device;
 mod error;
 mod fault;
 mod file_disk;
+mod lane;
 mod pool;
 mod ram_disk;
 mod sched;
@@ -79,6 +80,7 @@ pub use device::{BlockDevice, BlockId, SharedDevice};
 pub use error::{PdmError, Result};
 pub use fault::{FaultDisk, FaultPlan};
 pub use file_disk::FileDisk;
+pub use lane::LaneView;
 pub use pool::{BufferPool, EvictionPolicy, FrameGuard, FrameGuardMut, PoolStats};
 pub use ram_disk::RamDisk;
 pub use sched::{IoMode, IoScheduler, IoTicket, RetryPolicy};

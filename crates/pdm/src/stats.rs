@@ -201,6 +201,18 @@ impl IoStats {
         }
     }
 
+    /// Capture the current counters and subtract `earlier` in one step —
+    /// the delta of everything that happened since `earlier` was taken.
+    ///
+    /// This is the intended way to attribute transfers to one phase of a
+    /// concurrent workload (e.g. one serving shard's measure window):
+    /// both per-lane vectors come from a single [`snapshot`](Self::snapshot)
+    /// call, so the caller never mixes manually subtracted totals taken at
+    /// different instants while other threads keep the counters moving.
+    pub fn snapshot_delta(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        self.snapshot().since(earlier)
+    }
+
     /// Reset all counters to zero.  Prefer snapshot subtraction in
     /// measurement code; reset exists for test hygiene.
     pub fn reset(&self) {
@@ -265,6 +277,22 @@ impl IoSnapshot {
     /// Writes on one specific disk.
     pub fn writes_on(&self, disk: usize) -> u64 {
         self.writes[disk]
+    }
+
+    /// Total transfers (reads + writes) on one specific disk — one lane's
+    /// contribution to [`parallel_time`](Self::parallel_time).
+    pub fn transfers_on(&self, disk: usize) -> u64 {
+        self.reads[disk] + self.writes[disk]
+    }
+
+    /// Block reads per lane, indexed by disk.
+    pub fn reads_per_lane(&self) -> &[u64] {
+        &self.reads
+    }
+
+    /// Block writes per lane, indexed by disk.
+    pub fn writes_per_lane(&self) -> &[u64] {
+        &self.writes
     }
 
     /// Parallel I/O time: the maximum, over disks, of that disk's total
@@ -521,6 +549,24 @@ mod tests {
         assert_eq!(zero.retries(), 0);
         assert_eq!(zero.faults_injected(), 0);
         assert_eq!(zero.dropped_write_errors(), 0);
+    }
+
+    #[test]
+    fn snapshot_delta_and_per_lane_accessors() {
+        let stats = IoStats::new(3, 64);
+        stats.record_read(0);
+        stats.record_write(2);
+        let before = stats.snapshot();
+        stats.record_read(1);
+        stats.record_read(1);
+        stats.record_write(1);
+        stats.record_write(2);
+        let delta = stats.snapshot_delta(&before);
+        assert_eq!(delta.reads_per_lane(), &[0, 2, 0]);
+        assert_eq!(delta.writes_per_lane(), &[0, 1, 1]);
+        assert_eq!(delta.transfers_on(1), 3);
+        assert_eq!(delta.transfers_on(0), 0);
+        assert_eq!(delta.total(), 4);
     }
 
     #[test]

@@ -1,11 +1,15 @@
-//! Differential test: the three external dictionaries (B-tree, buffer tree,
-//! extendible hash) replay the same randomized operation tape and must end
-//! in identical states — and match `std::collections` models.
+//! Differential test: the four external dictionaries (B-tree, buffer tree,
+//! extendible hash, and the emserve serving shard that composes the first
+//! two) replay the same randomized operation tape and must end in identical
+//! states — and match `std::collections` models.
 
 use em_core::EmConfig;
 use emhash::ExtendibleHash;
+use emserve::Shard;
 use emtree::{BTree, BufferTree};
-use pdm::{BufferPool, EvictionPolicy};
+use pdm::{
+    BlockDevice, BufferPool, DiskArray, EvictionPolicy, FaultPlan, IoMode, Placement, RetryPolicy,
+};
 use rand::prelude::*;
 use std::collections::BTreeMap;
 
@@ -29,8 +33,27 @@ fn random_tape(len: usize, key_space: u64, seed: u64) -> Vec<Op> {
         .collect()
 }
 
+/// Replay `tape` through an emserve `Shard` the way its drain thread would:
+/// enqueue into batches of `batch_max`, flush (collecting acks), compact when
+/// the delta crosses the shard's threshold.  Returns the acked op count.
+fn replay_on_shard(s: &mut Shard<u64, u64>, tape: &[Op], batch_max: usize) -> usize {
+    let mut acked = 0usize;
+    for (i, op) in tape.iter().enumerate() {
+        match *op {
+            Op::Insert(k, v) => s.enqueue(0, i as u64, k, Some(v)),
+            Op::Delete(k) => s.enqueue(0, i as u64, k, None),
+        }
+        if s.batch_len() >= batch_max {
+            acked += s.flush_batch(|_, _| {}).unwrap();
+            s.maybe_compact().unwrap();
+        }
+    }
+    acked += s.flush_batch(|_, _| {}).unwrap();
+    acked
+}
+
 #[test]
-fn all_three_dictionaries_converge() {
+fn all_four_dictionaries_converge() {
     let tape = random_tape(25_000, 3_000, 3001);
     let cfg = EmConfig::new(512, 64);
 
@@ -95,7 +118,49 @@ fn all_three_dictionaries_converge() {
     hashed.sort_unstable();
     assert_eq!(hashed, expect, "hash state");
 
-    // Spot point lookups across all three.
+    // Serving shard (B-tree + buffer-tree absorber + delta overlay),
+    // driven the way the emserve drain thread drives it: batched enqueues,
+    // periodic flushes, threshold compactions.  Mid-tape, range scans must
+    // already agree with a prefix model — that is the delta overlay
+    // answering for ops the tree has not yet seen.
+    let mut shard: Shard<u64, u64> = Shard::new(cfg.ram_disk(), 16, 4096, 1024).unwrap();
+    let mid = tape.len() / 2;
+    let acked_first = replay_on_shard(&mut shard, &tape[..mid], 64);
+    let mut prefix: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in &tape[..mid] {
+        match *op {
+            Op::Insert(k, v) => {
+                prefix.insert(k, v);
+            }
+            Op::Delete(k) => {
+                prefix.remove(&k);
+            }
+        }
+    }
+    let want_mid: Vec<(u64, u64)> = prefix.range(750..=2_250).map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(
+        shard.range(0, &750, &2_250).unwrap(),
+        want_mid,
+        "shard mid-tape range (delta overlay)"
+    );
+    let acked = acked_first + replay_on_shard(&mut shard, &tape[mid..], 64);
+    assert_eq!(acked, tape.len(), "every batched op acked exactly once");
+    assert_eq!(
+        shard.range(0, &0, &u64::MAX).unwrap(),
+        expect,
+        "shard state pre-compaction"
+    );
+    shard.compact().unwrap();
+    shard.check_invariants().unwrap();
+    assert_eq!(shard.pending(), 0);
+    assert_eq!(shard.tree_len() as usize, expect.len());
+    assert_eq!(
+        shard.range(0, &0, &u64::MAX).unwrap(),
+        expect,
+        "shard state post-compaction"
+    );
+
+    // Spot point lookups across all four.
     let mut rng = StdRng::seed_from_u64(3002);
     for _ in 0..200 {
         let k = rng.gen_range(0..3_000u64);
@@ -103,5 +168,52 @@ fn all_three_dictionaries_converge() {
         assert_eq!(bt.get(&k).unwrap(), want);
         assert_eq!(bft.get(&k).unwrap(), want);
         assert_eq!(eh.get(&k).unwrap(), want);
+        assert_eq!(shard.get(0, &k).unwrap(), want);
     }
+}
+
+/// The serving shard must reach the same final state when every device in
+/// its array injects transient faults that the retry layer cures — and the
+/// plan must actually have fired, or the test proves nothing.
+#[test]
+fn serving_shard_agrees_under_cured_faults() {
+    let tape = random_tape(8_000, 1_000, 3003);
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in &tape {
+        match *op {
+            Op::Insert(k, v) => {
+                model.insert(k, v);
+            }
+            Op::Delete(k) => {
+                model.remove(&k);
+            }
+        }
+    }
+    let expect: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+
+    let plans: Vec<FaultPlan> = (0..2u64)
+        .map(|d| FaultPlan::new(0x0DD5 + d).with_transient(80, 2))
+        .collect();
+    let array = DiskArray::new_ram_faulty(
+        2,
+        512,
+        Placement::Independent,
+        IoMode::Synchronous,
+        &plans,
+        RetryPolicy::new(4, std::time::Duration::from_micros(50)),
+    );
+    let mut shard: Shard<u64, u64> = Shard::new(array.clone(), 16, 2048, 512).unwrap();
+    let acked = replay_on_shard(&mut shard, &tape, 64);
+    assert_eq!(acked, tape.len());
+    shard.compact().unwrap();
+    shard.check_invariants().unwrap();
+    assert_eq!(
+        shard.range(0, &0, &u64::MAX).unwrap(),
+        expect,
+        "cured-fault shard state"
+    );
+
+    let snap = array.stats().snapshot();
+    assert!(snap.faults_injected() > 0, "fault plan never fired");
+    assert!(snap.retries() > 0, "faults were injected but never retried");
 }

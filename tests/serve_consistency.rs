@@ -1,0 +1,257 @@
+//! Property tests for the emserve serving layer's consistency contract.
+//!
+//! The server promises that concurrent batched ingest is *equivalent to a
+//! sequential replay*: ops on one key are FIFO through that key's shard
+//! queue, so every get observes exactly the value a sequential reference
+//! map would hold at that point — including gets that land while the write
+//! is still in an open (unflushed) batch, which is the read-your-writes
+//! delta overlay doing its job.  The properties below check that claim
+//! across shard counts × disk counts × placement × batched/unbatched mode,
+//! and that every acknowledged write survives into the final state both
+//! before and after forced compaction.
+
+use emserve::{CompletionSink, ReqKind, Request, ServeConfig, Server};
+use pdm::{DiskArray, Placement};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Records every completion: acks are counted, gets keep `(op_id, value)`.
+struct RecordingSink {
+    acks: AtomicU64,
+    gots: Mutex<Vec<(u64, Option<u64>)>>,
+}
+
+impl RecordingSink {
+    fn new() -> Arc<Self> {
+        Arc::new(RecordingSink {
+            acks: AtomicU64::new(0),
+            gots: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn acks(&self) -> u64 {
+        self.acks.load(Ordering::SeqCst)
+    }
+
+    /// Get completions sorted back into submission (`op_id`) order.
+    fn gots_in_order(&self) -> Vec<(u64, Option<u64>)> {
+        let mut g = self.gots.lock().unwrap().clone();
+        g.sort_by_key(|&(id, _)| id);
+        g
+    }
+}
+
+impl CompletionSink<u64> for RecordingSink {
+    fn acked_write(&self, _tenant: u32, _op_id: u64) {
+        self.acks.fetch_add(1, Ordering::SeqCst);
+    }
+    fn got(&self, _tenant: u32, op_id: u64, value: Option<u64>) {
+        self.gots.lock().unwrap().push((op_id, value));
+    }
+}
+
+/// One generated request: `(tenant, key, selector, value)`; the selector
+/// picks put (0..4), delete (4..6) or get (6..10) — a 40/20/40 mix.
+type TapeOp = (u32, u64, u8, u64);
+
+/// What a sequential replay of a tape predicts: the final map and the value
+/// every get must observe, as `(op_id, value)`.
+type Reference = (BTreeMap<(u32, u64), u64>, Vec<(u64, Option<u64>)>, u64);
+
+/// Drive `tape` through a server, mirroring it into a sequential reference.
+/// Returns `(reference_map, expected_get_results, write_count)`.
+fn drive(srv: &Server<u64, u64>, tape: &[TapeOp]) -> Reference {
+    let mut reference: BTreeMap<(u32, u64), u64> = BTreeMap::new();
+    let mut expect_gots: Vec<(u64, Option<u64>)> = Vec::new();
+    let mut writes = 0u64;
+    for (i, &(tenant, key, sel, val)) in tape.iter().enumerate() {
+        let op_id = i as u64;
+        let kind = if sel < 4 {
+            writes += 1;
+            reference.insert((tenant, key), val);
+            ReqKind::Put(key, val)
+        } else if sel < 6 {
+            writes += 1;
+            reference.remove(&(tenant, key));
+            ReqKind::Delete(key)
+        } else {
+            expect_gots.push((op_id, reference.get(&(tenant, key)).copied()));
+            ReqKind::Get(key)
+        };
+        srv.submit(Request {
+            tenant,
+            op_id,
+            kind,
+        })
+        .unwrap();
+    }
+    (reference, expect_gots, writes)
+}
+
+/// The reference map's view of one tenant, in `Server::range` shape.
+fn tenant_slice(reference: &BTreeMap<(u32, u64), u64>, tenant: u32) -> Vec<(u64, u64)> {
+    reference
+        .range((tenant, 0)..=(tenant, u64::MAX))
+        .map(|(&(_, k), &v)| (k, v))
+        .collect()
+}
+
+fn small_config(shards: usize, batched: bool, batch_max: usize) -> ServeConfig {
+    let mut cfg = ServeConfig::new(shards, 2);
+    cfg.batched = batched;
+    cfg.batch_max = batch_max;
+    // Long deadline: flushes happen on size (or barrier), so small batches
+    // genuinely sit open and gets must be answered from the delta overlay.
+    cfg.batch_deadline = Duration::from_millis(250);
+    cfg.compact_threshold = 64;
+    cfg.pool_frames = 16;
+    cfg.absorber_mem = 512;
+    cfg.cache_records = 32;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Concurrent ingest ≡ sequential reference, across shard counts ×
+    /// disk counts × placement × batched/unbatched, with compaction forced
+    /// at the end to prove acked writes survive the absorber→tree move.
+    #[test]
+    fn ingest_matches_sequential_reference(
+        shards in 1usize..=4,
+        disks in 1usize..=4,
+        striped in any::<bool>(),
+        batched in any::<bool>(),
+        batch_max in 1usize..=16,
+        tape in prop::collection::vec(
+            (0u32..2, 0u64..48, 0u8..10, 1u64..1_000_000),
+            1..250,
+        ),
+    ) {
+        let placement = if striped {
+            Placement::Striped
+        } else {
+            Placement::Independent
+        };
+        let array = DiskArray::new_ram(disks, 512, placement);
+        let sink = RecordingSink::new();
+        let srv: Server<u64, u64> =
+            Server::new(array, small_config(shards, batched, batch_max), sink.clone()).unwrap();
+
+        let (reference, expect_gots, writes) = drive(&srv, &tape);
+        srv.barrier().unwrap();
+
+        // Every write acked exactly once, no get lost, every get saw the
+        // sequential-reference value (read-your-writes included: with a
+        // 250 ms deadline, most answered from an open batch's overlay).
+        prop_assert_eq!(sink.acks(), writes);
+        prop_assert_eq!(sink.gots_in_order(), expect_gots);
+
+        for tenant in 0..2u32 {
+            let want = tenant_slice(&reference, tenant);
+            prop_assert_eq!(
+                srv.range(tenant, 0, u64::MAX).unwrap(),
+                want.clone(),
+                "tenant {} pre-compaction",
+                tenant
+            );
+        }
+        srv.compact_all().unwrap();
+        for tenant in 0..2u32 {
+            let want = tenant_slice(&reference, tenant);
+            prop_assert_eq!(
+                srv.range(tenant, 0, u64::MAX).unwrap(),
+                want,
+                "tenant {} post-compaction",
+                tenant
+            );
+        }
+        srv.shutdown().unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Put → get → delete → get → put → get per key, with a batch size
+    /// small enough that the sequence straddles flush boundaries: each get
+    /// must see the write just before it whether that write is still in
+    /// the open batch, absorbed, or already compacted into the tree.
+    #[test]
+    fn read_your_writes_across_the_batch_boundary(
+        shards in 1usize..=3,
+        batch_max in 1usize..=8,
+        keys in prop::collection::vec(0u64..1_000, 1..32),
+        v1 in 1u64..1_000_000,
+        v2 in 1u64..1_000_000,
+    ) {
+        let array = DiskArray::new_ram(2, 512, Placement::Independent);
+        let sink = RecordingSink::new();
+        let mut cfg = small_config(shards, true, batch_max);
+        cfg.compact_threshold = 8; // compact aggressively mid-stream too
+        let srv: Server<u64, u64> = Server::new(array, cfg, sink.clone()).unwrap();
+
+        let mut op_id = 0u64;
+        let mut expect: Vec<(u64, Option<u64>)> = Vec::new();
+        let mut submit = |kind: ReqKind<u64, u64>, want: Option<Option<u64>>| {
+            if let Some(w) = want {
+                expect.push((op_id, w));
+            }
+            srv.submit(Request { tenant: 0, op_id, kind }).unwrap();
+            op_id += 1;
+        };
+        for &k in &keys {
+            submit(ReqKind::Put(k, v1), None);
+            submit(ReqKind::Get(k), Some(Some(v1)));
+            submit(ReqKind::Delete(k), None);
+            submit(ReqKind::Get(k), Some(None));
+            submit(ReqKind::Put(k, v2), None);
+            submit(ReqKind::Get(k), Some(Some(v2)));
+        }
+        srv.barrier().unwrap();
+        prop_assert_eq!(sink.acks(), 3 * keys.len() as u64);
+        prop_assert_eq!(sink.gots_in_order(), expect);
+
+        // Final state: each distinct key holds v2 exactly once.
+        let mut want_final: Vec<(u64, u64)> = {
+            let mut ks = keys.clone();
+            ks.sort_unstable();
+            ks.dedup();
+            ks.into_iter().map(|k| (k, v2)).collect()
+        };
+        want_final.sort_unstable();
+        prop_assert_eq!(srv.range(0, 0, u64::MAX).unwrap(), want_final);
+        srv.shutdown().unwrap();
+    }
+}
+
+/// The same tape through two independently built servers produces
+/// bit-identical completions and final state — routing is seeded FNV, queue
+/// drains are FIFO, and the storage substrate is deterministic.
+#[test]
+fn replay_is_deterministic() {
+    let tape: Vec<TapeOp> = (0..600u64)
+        .map(|i| {
+            // Cheap LCG keeps the tape fixed without pulling in a RNG.
+            let r = i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            ((i % 2) as u32, r >> 40 & 0x3f, (r >> 33 & 0x7) as u8, r | 1)
+        })
+        .collect();
+    let run = || {
+        let array = DiskArray::new_ram(2, 512, Placement::Independent);
+        let sink = RecordingSink::new();
+        let srv: Server<u64, u64> =
+            Server::new(array, small_config(3, true, 16), sink.clone()).unwrap();
+        drive(&srv, &tape);
+        srv.barrier().unwrap();
+        let state = srv.range(0, 0, u64::MAX).unwrap();
+        srv.shutdown().unwrap();
+        (sink.acks(), sink.gots_in_order(), state)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "two replays of one tape diverged");
+}
