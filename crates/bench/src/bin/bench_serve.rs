@@ -42,9 +42,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use emserve::{CompletionSink, ReqKind, Request, ServeConfig, Server};
+use emserve::{CompletionSink, ReqKind, Request, ServeConfig, Server, Shard};
 use emtree::BufferTree;
-use pdm::{BlockDevice, DiskArray, FaultPlan, IoMode, Placement, RetryPolicy, SharedDevice};
+use pdm::{
+    BlockDevice, BlockId, CrashSwitch, DiskArray, FaultDisk, FaultPlan, IoMode, IoStats, Journal,
+    Placement, RamDisk, RetryPolicy, SharedDevice, WalOverhead,
+};
 use rand::{Rng, SeedableRng, StdRng};
 
 /// Bytes per physical block.
@@ -654,6 +657,252 @@ fn run_fault_pair(s: &Sizing) -> (FaultRun, FaultRun) {
     (mk("clean", &clean_out), mk("cured-faults", &fault_out))
 }
 
+// ----------------------------------------------------- crash recovery cell
+
+/// Rounds × ops of the deterministic journaled-shard crash workload.
+const CRASH_ROUNDS: u64 = 8;
+const CRASH_OPS_PER_ROUND: u64 = 8;
+const CRASH_KEYS: u64 = 48;
+/// Shard sizing for the crash cells (small threshold forces compactions
+/// into the sweep).
+const CRASH_POOL_FRAMES: usize = 16;
+const CRASH_ABSORBER_MEM: usize = 2_048;
+const CRASH_COMPACT_THRESHOLD: usize = 16;
+
+/// The surviving physical medium of one crash cell.
+struct CrashMedium {
+    rams: Vec<Arc<RamDisk>>,
+    placement: Placement,
+    stats: Arc<IoStats>,
+}
+
+impl CrashMedium {
+    fn new(d: usize, placement: Placement) -> Self {
+        let stats = IoStats::new(d, PHYS_BLOCK);
+        let rams = (0..d)
+            .map(|i| Arc::new(RamDisk::with_stats(PHYS_BLOCK, Arc::clone(&stats), i)))
+            .collect();
+        CrashMedium {
+            rams,
+            placement,
+            stats,
+        }
+    }
+
+    fn bare(&self) -> SharedDevice {
+        DiskArray::from_devices(
+            self.rams
+                .iter()
+                .map(|r| Arc::clone(r) as Arc<dyn BlockDevice>)
+                .collect(),
+            self.placement,
+            IoMode::Synchronous,
+            RetryPolicy::none(),
+        )
+    }
+
+    fn crashy(&self, k: u64) -> SharedDevice {
+        let switch = CrashSwitch::after(k);
+        let disks = self
+            .rams
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                FaultDisk::wrap(
+                    Arc::clone(r) as SharedDevice,
+                    FaultPlan::new(i as u64).with_crash(switch.clone()),
+                ) as Arc<dyn BlockDevice>
+            })
+            .collect();
+        DiskArray::from_devices(
+            disks,
+            self.placement,
+            IoMode::Synchronous,
+            RetryPolicy::none(),
+        )
+    }
+
+    fn format(&self) -> [BlockId; 2] {
+        let j = Journal::format(self.bare()).expect("format journal");
+        j.header_blocks().expect("fresh journal has headers")
+    }
+}
+
+/// Drive the scripted workload on `shard`, tracking the acked and
+/// acked-plus-in-flight models; returns Err on crash.
+fn crash_script(
+    shard: &mut Shard<u64, u64>,
+    acked: &mut BTreeMap<u64, Option<u64>>,
+    pending: &mut BTreeMap<u64, Option<u64>>,
+    acks_delivered: &mut u64,
+) -> pdm::Result<()> {
+    let mut op_id = 0u64;
+    for round in 0..CRASH_ROUNDS {
+        for i in 0..CRASH_OPS_PER_ROUND {
+            let x = 0x5EED_u64.wrapping_add(round * 131 + i * 17);
+            let key = x % CRASH_KEYS;
+            let op = (!x.is_multiple_of(5)).then_some(x);
+            shard.enqueue(1, op_id, key, op);
+            pending.insert(key, op);
+            op_id += 1;
+        }
+        let mut n = 0u64;
+        shard.flush_batch(|_, _| n += 1)?;
+        *acks_delivered += n;
+        *acked = pending.clone();
+        shard.maybe_compact()?;
+    }
+    Ok(())
+}
+
+/// One crash point: run the workload on a device that dies after `k`
+/// transfers, reboot on the surviving medium, and audit.  Returns
+/// `(crashed, acked_writes)`; panics if any acked write was lost or the
+/// recovered state is not exactly one checkpoint.
+fn crash_point(d: usize, placement: Placement, k: u64) -> (bool, u64, u64) {
+    let m = CrashMedium::new(d, placement);
+    let headers = m.format();
+    let mut acked: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+    let mut pending: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+    let mut acks = 0u64;
+    let mut crashed = true;
+    if let Ok(j) = Journal::recover(m.crashy(k), headers) {
+        if let Ok(mut s) = Shard::<u64, u64>::recover(
+            j,
+            CRASH_POOL_FRAMES,
+            CRASH_ABSORBER_MEM,
+            CRASH_COMPACT_THRESHOLD,
+        ) {
+            crashed = crash_script(&mut s, &mut acked, &mut pending, &mut acks).is_err();
+            // The crashed instance's destructor would free blocks the
+            // recovered shard owns; leak it like the process it models.
+            std::mem::forget(s);
+        }
+    }
+    let j = Journal::recover(m.bare(), headers).expect("recovery on the surviving medium");
+    let s = Shard::<u64, u64>::recover(
+        j,
+        CRASH_POOL_FRAMES,
+        CRASH_ABSORBER_MEM,
+        CRASH_COMPACT_THRESHOLD,
+    )
+    .expect("shard recovery");
+    s.check_invariants().expect("recovered shard consistent");
+    let recovered: BTreeMap<u64, u64> = (0..CRASH_KEYS)
+        .filter_map(|key| s.get(1, &key).expect("recovered get").map(|v| (key, v)))
+        .collect();
+    let live = |mdl: &BTreeMap<u64, Option<u64>>| -> BTreeMap<u64, u64> {
+        mdl.iter().filter_map(|(&k, v)| v.map(|v| (k, v))).collect()
+    };
+    assert!(
+        recovered == live(&acked) || recovered == live(&pending),
+        "crash at {k} (d={d}): recovered state matches neither the acked \
+         checkpoint nor the commit-but-unacked one — acked writes lost"
+    );
+    (crashed, acks, m.stats.snapshot().total())
+}
+
+struct CrashSweep {
+    d: usize,
+    placement: &'static str,
+    points: usize,
+    mid_run_crashes: usize,
+    total_transfers: u64,
+}
+
+/// Sweep crash points across the whole transfer range of the workload.
+fn crash_sweep(d: usize, placement: Placement, label: &'static str, points: usize) -> CrashSweep {
+    let (crashed, _, total) = crash_point(d, placement, u64::MAX);
+    assert!(!crashed, "fault-free crash-cell run must complete");
+    let step = (total / points as u64).max(1);
+    let mut mid_run_crashes = 0;
+    let mut swept = 0;
+    for k in (0..total).step_by(step as usize) {
+        let (crashed, acks, _) = crash_point(d, placement, k);
+        swept += 1;
+        if crashed && acks > 0 {
+            mid_run_crashes += 1;
+        }
+    }
+    assert!(
+        mid_run_crashes > 0,
+        "crash sweep (d={d}, {label}) never crashed after an acked batch"
+    );
+    CrashSweep {
+        d,
+        placement: label,
+        points: swept,
+        mid_run_crashes,
+        total_transfers: total,
+    }
+}
+
+struct OverheadCell {
+    unjournaled_reads: u64,
+    unjournaled_writes: u64,
+    journaled_reads: u64,
+    journaled_writes: u64,
+    wal: WalOverhead,
+}
+
+/// Run the crash workload unjournaled and journaled on identical D = 1 RAM
+/// media and report the exact transfer counts.  Both runs are repeated to
+/// assert the counts are deterministic — the journal's cost is an exact
+/// number, not a distribution.
+fn journal_overhead_cell() -> OverheadCell {
+    let unjournaled = || -> (u64, u64) {
+        let m = CrashMedium::new(1, Placement::Independent);
+        let dev = m.bare();
+        let mut s: Shard<u64, u64> = Shard::new(
+            dev,
+            CRASH_POOL_FRAMES,
+            CRASH_ABSORBER_MEM,
+            CRASH_COMPACT_THRESHOLD,
+        )
+        .expect("unjournaled shard");
+        let (mut a, mut p, mut n) = (BTreeMap::new(), BTreeMap::new(), 0);
+        crash_script(&mut s, &mut a, &mut p, &mut n).expect("unjournaled run");
+        let snap = m.stats.snapshot();
+        (snap.reads(), snap.writes())
+    };
+    let journaled = || -> (u64, u64, WalOverhead) {
+        let m = CrashMedium::new(1, Placement::Independent);
+        let j = Journal::format(m.bare()).expect("format journal");
+        let mut s: Shard<u64, u64> = Shard::with_journal(
+            j.clone(),
+            CRASH_POOL_FRAMES,
+            CRASH_ABSORBER_MEM,
+            CRASH_COMPACT_THRESHOLD,
+        )
+        .expect("journaled shard");
+        let (mut a, mut p, mut n) = (BTreeMap::new(), BTreeMap::new(), 0);
+        crash_script(&mut s, &mut a, &mut p, &mut n).expect("journaled run");
+        let snap = m.stats.snapshot();
+        (snap.reads(), snap.writes(), j.overhead())
+    };
+
+    let (ur, uw) = unjournaled();
+    assert_eq!(
+        (ur, uw),
+        unjournaled(),
+        "unjournaled transfer counts must be deterministic"
+    );
+    let (jr, jw, wal) = journaled();
+    let (jr2, jw2, wal2) = journaled();
+    assert_eq!(
+        (jr, jw, &wal),
+        (jr2, jw2, &wal2),
+        "journaled transfer counts must be deterministic"
+    );
+    OverheadCell {
+        unjournaled_reads: ur,
+        unjournaled_writes: uw,
+        journaled_reads: jr,
+        journaled_writes: jw,
+        wal,
+    }
+}
+
 // ------------------------------------------------------------------- main
 
 fn json_matrix_rows(results: &[CellResult]) -> Vec<String> {
@@ -689,7 +938,9 @@ fn json_matrix_rows(results: &[CellResult]) -> Vec<String> {
 }
 
 fn main() {
-    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let crash = args.iter().any(|a| a == "--crash");
     let s = sizing(smoke);
 
     println!("# emserve: sharded multi-tenant KV serving under Zipfian load");
@@ -812,6 +1063,63 @@ fn main() {
         );
     }
 
+    // ---- crash recovery --------------------------------------------------
+    let mut crash_sweeps: Vec<CrashSweep> = Vec::new();
+    let mut overhead: Option<OverheadCell> = None;
+    if crash {
+        let points = if smoke { 24 } else { 48 };
+        crash_sweeps.push(crash_sweep(
+            1,
+            Placement::Independent,
+            "independent",
+            points,
+        ));
+        crash_sweeps.push(crash_sweep(
+            4,
+            Placement::Independent,
+            "independent",
+            points,
+        ));
+        crash_sweeps.push(crash_sweep(4, Placement::Striped, "striped", points));
+
+        println!(
+            "\n| crash sweep | D | placement | points | mid-run crashes | transfers | lost acks |"
+        );
+        println!(
+            "|-------------|---|-----------|--------|-----------------|-----------|-----------|"
+        );
+        for c in &crash_sweeps {
+            println!(
+                "| shard | {} | {} | {} | {} | {} | 0 |",
+                c.d, c.placement, c.points, c.mid_run_crashes, c.total_transfers
+            );
+        }
+
+        let oc = journal_overhead_cell();
+        println!("\n| journal overhead (same workload, D=1) | reads | writes |");
+        println!("|---------------------------------------|-------|--------|");
+        println!(
+            "| unjournaled | {} | {} |",
+            oc.unjournaled_reads, oc.unjournaled_writes
+        );
+        println!(
+            "| journaled | {} | {} |",
+            oc.journaled_reads, oc.journaled_writes
+        );
+        println!(
+            "\njournal breakdown: {} shadow writes (replace bare writes), \
+             {} chain + {} header + {} apply-read + {} apply-write transfers \
+             over {} checkpoints",
+            oc.wal.shadow_writes,
+            oc.wal.chain_writes,
+            oc.wal.header_writes,
+            oc.wal.apply_reads,
+            oc.wal.apply_writes,
+            oc.wal.checkpoints
+        );
+        overhead = Some(oc);
+    }
+
     // ---- JSON ------------------------------------------------------------
     let cal_rows: Vec<String> = cals
         .iter()
@@ -841,6 +1149,41 @@ fn main() {
             )
         })
         .collect();
+    let crash_rows: Vec<String> = crash_sweeps
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"structure\": \"shard\", \"d\": {}, \"placement\": \"{}\", \
+                 \"sweep_points\": {}, \"mid_run_crashes\": {}, \
+                 \"workload_transfers\": {}, \"lost_acked_writes\": 0, \
+                 \"recovered_to_a_checkpoint\": true}}",
+                c.d, c.placement, c.points, c.mid_run_crashes, c.total_transfers
+            )
+        })
+        .collect();
+    let overhead_json = match &overhead {
+        None => "null".to_string(),
+        Some(oc) => format!(
+            "{{\"unjournaled_reads\": {}, \"unjournaled_writes\": {}, \
+             \"journaled_reads\": {}, \"journaled_writes\": {}, \
+             \"shadow_writes\": {}, \"chain_writes\": {}, \"chain_reads\": {}, \
+             \"header_writes\": {}, \"header_reads\": {}, \"apply_reads\": {}, \
+             \"apply_writes\": {}, \"checkpoints\": {}, \"added_transfers\": {}}}",
+            oc.unjournaled_reads,
+            oc.unjournaled_writes,
+            oc.journaled_reads,
+            oc.journaled_writes,
+            oc.wal.shadow_writes,
+            oc.wal.chain_writes,
+            oc.wal.chain_reads,
+            oc.wal.header_writes,
+            oc.wal.header_reads,
+            oc.wal.apply_reads,
+            oc.wal.apply_writes,
+            oc.wal.checkpoints,
+            oc.wal.total()
+        ),
+    };
     let json = format!(
         "{{\n  \"benchmark\": \"serve_batched_vs_unbatched\",\n  \"tenants\": {TENANTS},\n  \
          \"keys_per_tenant\": {},\n  \"shards\": {SHARDS},\n  \"zipf_theta\": {ZIPF_THETA},\n  \
@@ -849,7 +1192,8 @@ fn main() {
          \"pool_frames\": {},\n  \"cache_records_per_tenant\": {},\n  \
          \"ops_per_cell\": {},\n  \"smoke\": {smoke},\n  \
          \"buffer_tree_baseline_transfers_per_op\": {baseline_per_op:.4},\n  \
-         \"matrix\": [\n{}\n  ],\n  \"ingest\": [\n{}\n  ],\n  \"fault\": [\n{}\n  ]\n}}\n",
+         \"matrix\": [\n{}\n  ],\n  \"ingest\": [\n{}\n  ],\n  \"fault\": [\n{}\n  ],\n  \
+         \"crash\": [\n{}\n  ],\n  \"journal_overhead\": {}\n}}\n",
         s.keys_per_tenant,
         BATCH_DEADLINE.as_millis(),
         s.pool_frames,
@@ -857,7 +1201,9 @@ fn main() {
         s.ops,
         json_matrix_rows(&results).join(",\n"),
         cal_rows.join(",\n"),
-        fault_rows.join(",\n")
+        fault_rows.join(",\n"),
+        crash_rows.join(",\n"),
+        overhead_json
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("\nwrote BENCH_serve.json");

@@ -355,6 +355,77 @@ impl<R: Record> ExtVec<R> {
         Ok(())
     }
 
+    /// Serialize the array's *metadata* — length, block-id table, and
+    /// forecast heads — into a self-describing byte string.  Costs no I/O:
+    /// the record data stays on the device.  Pairs with
+    /// [`from_manifest`](Self::from_manifest) to reattach the array after a
+    /// crash; layers store these bytes in a journal checkpoint manifest
+    /// (see `pdm::Journal::set_manifest`).
+    pub fn manifest_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.blocks.len() * 8 + self.heads.len() * R::BYTES);
+        out.extend_from_slice(&self.len.to_le_bytes());
+        out.extend_from_slice(&(self.blocks.len() as u64).to_le_bytes());
+        for id in &self.blocks {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.heads.len() as u64).to_le_bytes());
+        let mut rec = vec![0u8; R::BYTES];
+        for h in &self.heads {
+            h.write_to(&mut rec);
+            out.extend_from_slice(&rec);
+        }
+        out
+    }
+
+    /// Reattach an array on `device` from metadata produced by
+    /// [`manifest_bytes`](Self::manifest_bytes).  Costs no I/O.  Returns an
+    /// error if the bytes are malformed (truncated or with inconsistent
+    /// counts) rather than panicking, so recovery can reject a corrupt
+    /// manifest.
+    pub fn from_manifest(device: SharedDevice, bytes: &[u8]) -> Result<Self> {
+        fn corrupt() -> pdm::PdmError {
+            pdm::PdmError::Io(std::io::Error::other("malformed ExtVec manifest"))
+        }
+        fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+            let end = pos.checked_add(8).ok_or_else(corrupt)?;
+            let chunk = bytes.get(*pos..end).ok_or_else(corrupt)?;
+            *pos = end;
+            Ok(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
+        }
+        let mut pos = 0;
+        let len = take_u64(bytes, &mut pos)?;
+        let n_blocks = take_u64(bytes, &mut pos)? as usize;
+        let per = Self::per_block_on(&device) as u64;
+        if n_blocks as u64 != len.div_ceil(per) && !(len == 0 && n_blocks == 0) {
+            return Err(corrupt());
+        }
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            blocks.push(take_u64(bytes, &mut pos)?);
+        }
+        let n_heads = take_u64(bytes, &mut pos)? as usize;
+        if n_heads != 0 && n_heads != n_blocks {
+            return Err(corrupt());
+        }
+        let mut heads = Vec::with_capacity(n_heads);
+        for _ in 0..n_heads {
+            let end = pos.checked_add(R::BYTES).ok_or_else(corrupt)?;
+            let chunk = bytes.get(pos..end).ok_or_else(corrupt)?;
+            heads.push(R::read_from(chunk));
+            pos = end;
+        }
+        if pos != bytes.len() {
+            return Err(corrupt());
+        }
+        Ok(ExtVec {
+            device,
+            blocks,
+            len,
+            heads,
+            _marker: PhantomData,
+        })
+    }
+
     fn block_buf(&self) -> Box<[u8]> {
         vec![0u8; self.device.block_size()].into_boxed_slice()
     }
@@ -459,6 +530,33 @@ mod tests {
         assert!(v.is_empty());
         assert_eq!(v.num_blocks(), 0);
         assert_eq!(v.to_vec().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn manifest_round_trips_without_io() {
+        let device = dev();
+        let v = ExtVec::from_slice(device.clone(), &(0u64..20).collect::<Vec<_>>()).unwrap();
+        let before = device.stats().snapshot();
+        let bytes = v.manifest_bytes();
+        let r = ExtVec::<u64>::from_manifest(device.clone(), &bytes).unwrap();
+        assert_eq!(device.stats().snapshot().since(&before).total(), 0);
+        assert_eq!(r.len(), 20);
+        assert!(r.has_block_heads());
+        assert_eq!(r.block_head(2), Some(&16));
+        assert_eq!(r.to_vec().unwrap(), (0..20).collect::<Vec<_>>());
+
+        // Empty arrays and arrays without heads also round-trip.
+        let e: ExtVec<u64> = ExtVec::new(device.clone());
+        let e2 = ExtVec::<u64>::from_manifest(device.clone(), &e.manifest_bytes()).unwrap();
+        assert!(e2.is_empty());
+        let z: ExtVec<u64> = ExtVec::with_len(device.clone(), 10).unwrap();
+        let z2 = ExtVec::<u64>::from_manifest(device.clone(), &z.manifest_bytes()).unwrap();
+        assert_eq!(z2.len(), 10);
+        assert!(!z2.has_block_heads());
+
+        // Corruption is an error, not a panic.
+        assert!(ExtVec::<u64>::from_manifest(device.clone(), &bytes[..bytes.len() - 1]).is_err());
+        assert!(ExtVec::<u64>::from_manifest(device, &[1, 2, 3]).is_err());
     }
 }
 

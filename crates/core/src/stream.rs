@@ -81,6 +81,15 @@ fn charge_overlap(
 ///
 /// Costs `⌈N/B⌉` write I/Os to emit `N` records, whether or not write-behind
 /// is enabled.
+///
+/// **Metadata follows data.**  A block's id and head record are appended to
+/// the array's metadata only once the device has confirmed the block written
+/// (synchronously, or when its write-behind ticket completes) — never
+/// before.  A failed flush therefore leaves the writer *consistent*: the
+/// buffered records are retained, and the next [`push`](Self::push) or
+/// [`finish`](Self::finish) retries the flush, rewriting the identical bytes
+/// to the same already-allocated block (which is exactly the repair a torn
+/// write needs).
 pub struct ExtVecWriter<R: Record> {
     device: SharedDevice,
     blocks: Vec<BlockId>,
@@ -90,12 +99,17 @@ pub struct ExtVecWriter<R: Record> {
     len: u64,
     /// Maximum write-behind depth; 0 = synchronous flush.
     depth: usize,
-    /// Full blocks handed to the device but not yet confirmed written.
-    inflight: VecDeque<IoTicket>,
+    /// Full blocks handed to the device but not yet confirmed written, with
+    /// the metadata (block id, head record) that is appended to
+    /// `blocks`/`heads` — in FIFO order — only when each write completes.
+    inflight: VecDeque<(BlockId, R, IoTicket)>,
     /// Completed write buffers ready for reuse.
     spare: Vec<Box<[u8]>>,
     /// Leading record of each flushed block (forecast metadata).
     heads: Vec<R>,
+    /// Block allocated for a synchronous flush that failed; reused by the
+    /// retry so the rewrite repairs the torn block in place.
+    retry_block: Option<BlockId>,
     /// Accumulates time spent blocked on device transfers.
     wait_sink: Option<IoWaitSink>,
     /// Budget charge covering the write-behind buffers.
@@ -118,6 +132,7 @@ impl<R: Record> ExtVecWriter<R> {
             inflight: VecDeque::new(),
             spare: Vec::new(),
             heads: Vec::new(),
+            retry_block: None,
             wait_sink: None,
             _reserve: None,
         }
@@ -165,7 +180,15 @@ impl<R: Record> ExtVecWriter<R> {
     }
 
     /// Append one record, flushing a full buffer to a fresh block.
+    ///
+    /// An `Err` means a block flush failed; the record itself was accepted
+    /// and the buffered block is retained, so the next `push` (or
+    /// [`finish`](Self::finish)) retries the flush in place.
     pub fn push(&mut self, r: R) -> Result<()> {
+        if self.buf.len() >= self.per_block {
+            // A previous flush failed; retry it before accepting more.
+            self.flush_buf()?;
+        }
         self.buf.push(r);
         self.len += 1;
         if self.buf.len() == self.per_block {
@@ -180,8 +203,8 @@ impl<R: Record> ExtVecWriter<R> {
         if !self.buf.is_empty() {
             self.flush_buf()?;
         }
-        while let Some(ticket) = self.inflight.pop_front() {
-            timed(&self.wait_sink, || ticket.wait())?;
+        while !self.inflight.is_empty() {
+            self.retire_oldest()?;
         }
         let heads = std::mem::take(&mut self.heads);
         Ok(ExtVec::from_parts(
@@ -192,32 +215,56 @@ impl<R: Record> ExtVecWriter<R> {
         ))
     }
 
-    fn flush_buf(&mut self) -> Result<()> {
-        let id = self.device.allocate()?;
-        self.heads.push(self.buf[0].clone());
-        if self.depth == 0 {
-            encode_block(&self.buf, &mut self.byte_buf);
-            timed(&self.wait_sink, || {
-                self.device.write_block(id, &self.byte_buf)
-            })?;
-        } else {
-            // Reuse a completed buffer, grow up to `depth` in-flight blocks,
-            // or wait for the oldest write to retire its buffer.
-            let mut out = if let Some(buf) = self.spare.pop() {
-                buf
-            } else if self.inflight.len() < self.depth {
-                vec![0u8; self.device.block_size()].into_boxed_slice()
-            } else if let Some(ticket) = self.inflight.pop_front() {
-                timed(&self.wait_sink, || ticket.wait())?
-            } else {
-                // Unreachable (depth > 0 implies a full pipeline is
-                // nonempty), but a fresh buffer is always a safe fallback.
-                vec![0u8; self.device.block_size()].into_boxed_slice()
-            };
-            encode_block(&self.buf, &mut out);
-            self.inflight.push_back(self.device.submit_write(id, out));
-        }
+    /// Wait out the oldest in-flight write; only on success does its block
+    /// enter the array's metadata.  Returns the retired transfer buffer.
+    fn retire_oldest(&mut self) -> Result<Box<[u8]>> {
+        let (id, head, ticket) = self
+            .inflight
+            .pop_front()
+            .expect("retire_oldest on an empty pipeline");
+        let buf = timed(&self.wait_sink, || ticket.wait())?;
+        self.heads.push(head);
         self.blocks.push(id);
+        Ok(buf)
+    }
+
+    fn flush_buf(&mut self) -> Result<()> {
+        if self.depth == 0 {
+            // Reuse the block from a failed attempt so the retry rewrites
+            // (repairs) it rather than leaking a torn block.
+            let id = match self.retry_block.take() {
+                Some(id) => id,
+                None => self.device.allocate()?,
+            };
+            encode_block(&self.buf, &mut self.byte_buf);
+            if let Err(e) = timed(&self.wait_sink, || {
+                self.device.write_block(id, &self.byte_buf)
+            }) {
+                self.retry_block = Some(id);
+                return Err(e);
+            }
+            // Durable: only now does the block exist as far as the array's
+            // metadata is concerned.
+            self.heads.push(self.buf[0].clone());
+            self.blocks.push(id);
+            self.buf.clear();
+            return Ok(());
+        }
+        // Write-behind: reuse a completed buffer, grow up to `depth`
+        // in-flight blocks, or wait for the oldest write to retire its
+        // buffer (recording its metadata as it completes).
+        let mut out = if let Some(buf) = self.spare.pop() {
+            buf
+        } else if self.inflight.len() < self.depth {
+            vec![0u8; self.device.block_size()].into_boxed_slice()
+        } else {
+            self.retire_oldest()?
+        };
+        let id = self.device.allocate()?;
+        encode_block(&self.buf, &mut out);
+        let head = self.buf[0].clone();
+        self.inflight
+            .push_back((id, head, self.device.submit_write(id, out)));
         self.buf.clear();
         Ok(())
     }
@@ -792,6 +839,21 @@ mod overlap_tests {
     }
 
     #[test]
+    fn write_behind_metadata_follows_completion_in_stream_order() {
+        let device = dev();
+        let budget = MemBudget::new(64);
+        let mut w = ExtVecWriter::with_write_behind(device, 2, &budget);
+        for i in 0..20u64 {
+            w.push(i).unwrap();
+        }
+        let v = w.finish().unwrap();
+        assert_eq!(v.to_vec().unwrap(), (0..20).collect::<Vec<_>>());
+        assert_eq!(v.block_head(0), Some(&0));
+        assert_eq!(v.block_head(1), Some(&8));
+        assert_eq!(v.block_head(2), Some(&16));
+    }
+
+    #[test]
     fn overlap_depth_clamps_to_available_budget() {
         let device = dev();
         let budget = MemBudget::new(20); // room for 2 blocks of 8, not 3
@@ -801,5 +863,48 @@ mod overlap_tests {
         drop(r);
         let w = ExtVecWriter::<u64>::with_write_behind(device, 5, &budget);
         assert_eq!(w.write_behind_depth(), 2);
+    }
+}
+
+/// Regression tests for the metadata-before-data crash window: the writer
+/// must never describe a block (id + head) before the device has confirmed
+/// it written, and a failed flush must be repairable in place.
+#[cfg(test)]
+mod fault_ordering_tests {
+    use super::*;
+    use pdm::{BlockDevice, FaultDisk, FaultPlan, RamDisk};
+
+    #[test]
+    fn failed_flush_repairs_in_place_and_keeps_metadata_aligned() {
+        let ram = RamDisk::new(64); // 8 u64s per block
+                                    // Every block's *first* write tears and errors; the repair must
+                                    // rewrite the identical bytes (enforced by the verified plan), which
+                                    // only holds if the writer retained the buffered records and reused
+                                    // the allocated block.
+        let device = FaultDisk::wrap(
+            Arc::clone(&ram) as SharedDevice,
+            FaultPlan::new(3).with_torn_writes_verified(1000),
+        );
+        let stats = device.stats();
+        let mut w = ExtVecWriter::new(Arc::clone(&device) as SharedDevice);
+        let mut flush_errors = 0;
+        for i in 0..16u64 {
+            if w.push(i).is_err() {
+                flush_errors += 1; // retried by the next push/finish
+            }
+        }
+        assert_eq!(flush_errors, 2, "each block's first write tears");
+        let v = w.finish().unwrap(); // retries the second block's torn flush
+        assert_eq!(v.to_vec().unwrap(), (0..16).collect::<Vec<_>>());
+        assert_eq!(v.block_head(0), Some(&0), "heads stay aligned to blocks");
+        assert_eq!(v.block_head(1), Some(&8));
+        assert_eq!(
+            ram.allocated_blocks(),
+            2,
+            "retries reuse the torn block instead of leaking it"
+        );
+        let snap = stats.snapshot();
+        assert_eq!(snap.writes(), 4, "2 torn attempts + 2 repairs, all counted");
+        assert_eq!(snap.faults_injected(), 2);
     }
 }

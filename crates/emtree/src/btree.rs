@@ -92,6 +92,39 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
         Ok(tree)
     }
 
+    /// Reattach a tree persisted by an earlier process from its manifest
+    /// triple `(root, height, len)` — the values reported by
+    /// [`root`](Self::root), [`height`](Self::height) and [`len`](Self::len)
+    /// at checkpoint time.  Costs no I/O; nodes load through `pool` on
+    /// demand.  The caller is responsible for the triple describing a
+    /// *consistent* on-device tree (e.g. one captured in a
+    /// `pdm::Journal` checkpoint manifest).
+    pub fn reattach(pool: Arc<BufferPool>, root: BlockId, height: u32, len: u64) -> Self {
+        let bs = pool.device().block_size();
+        let leaf_cap = (bs - 11) / (K::BYTES + V::BYTES);
+        let internal_cap = (bs - 11) / (K::BYTES + 8);
+        assert!(
+            leaf_cap >= 4 && internal_cap >= 4,
+            "block too small for this key/value size"
+        );
+        BTree {
+            pool,
+            root,
+            height,
+            len,
+            leaf_cap,
+            internal_cap,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The block id of the root node; with [`height`](Self::height) and
+    /// [`len`](Self::len) this is the manifest a checkpoint must record to
+    /// [`reattach`](Self::reattach) the tree after a crash.
+    pub fn root(&self) -> BlockId {
+        self.root
+    }
+
     /// Number of key-value pairs.
     pub fn len(&self) -> u64 {
         self.len
@@ -747,15 +780,20 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
         Ok(())
     }
 
-    /// Flush the final partial leaf, first stealing from its predecessor
-    /// when it would otherwise be underfull.
+    /// Flush the final partial leaf, first merging with or stealing from its
+    /// predecessor when it would otherwise be underfull.
+    ///
+    /// The bound used here must match [`check_invariants`](Self::check_invariants)
+    /// and the `remove` rebalance threshold (`⌈cap/2⌉ − 1`): using the looser
+    /// construction-fill bound left tail leaves that a subsequent remove
+    /// would treat as already rebalanced while the checker rejects them.
     fn finish_leaf_fill(
         &mut self,
         mut current: Vec<(K, V)>,
         leaves: &mut Vec<(K, BlockId)>,
     ) -> Result<()> {
-        let fill = self.leaf_fill();
-        if !current.is_empty() && current.len() < fill.div_ceil(2) {
+        let min_leaf = self.leaf_cap.div_ceil(2).max(1) - 1;
+        if !current.is_empty() && current.len() < min_leaf {
             if let Some((prev_first, prev_id)) = leaves.pop() {
                 if let Node::Leaf {
                     entries: mut prev_entries,
@@ -763,6 +801,22 @@ impl<K: Record + Ord, V: Record> BTree<K, V> {
                 } = self.read_node(prev_id)?
                 {
                     prev_entries.append(&mut current);
+                    if prev_entries.len() <= self.leaf_cap {
+                        // The whole tail fits in the predecessor: one merged
+                        // leaf instead of an underfull pair.
+                        let first = prev_entries[0].0.clone();
+                        self.write_node(
+                            prev_id,
+                            &Node::Leaf {
+                                next: None,
+                                entries: prev_entries,
+                            },
+                        )?;
+                        leaves.push((first, prev_id));
+                        return Ok(());
+                    }
+                    // Too big for one leaf: split evenly; both halves are at
+                    // least ⌊(cap+1)/2⌋ ≥ min_leaf.
                     let half = prev_entries.len() / 2;
                     current = prev_entries.split_off(half);
                     let first = prev_entries[0].0.clone();
@@ -1194,6 +1248,34 @@ mod tests {
         assert_eq!(t.height(), 1);
         t.insert(5, 50).unwrap();
         assert_eq!(t.get(&5).unwrap(), Some(50));
+    }
+
+    /// Regression: the bulk builder used to close the leaf chain with a tail
+    /// leaf below the `⌈cap/2⌉ − 1` occupancy bound whenever a delete-heavy
+    /// batch shrank the live set to `fill + small remainder`, which
+    /// `check_invariants` (and the remove rebalancer) reject.
+    #[test]
+    fn apply_sorted_batch_never_leaves_an_underfull_tail_leaf() {
+        for live in 1..120u64 {
+            let mut t: BTree<u64, u64> = BTree::new(pool(256, 8)).unwrap();
+            // Load three leaves' worth, then delete down to `live` keys so
+            // every possible tail-leaf remainder is exercised.
+            t.apply_sorted_batch((0..120u64).map(|k| (k, Some(k))))
+                .unwrap();
+            t.apply_sorted_batch((live..120u64).map(|k| (k, None)))
+                .unwrap();
+            assert_eq!(t.len(), live);
+            t.check_invariants()
+                .unwrap_or_else(|e| panic!("live = {live}: {e}"));
+            let mut model: BTreeMap<u64, u64> = (0..live).map(|k| (k, k)).collect();
+            // The merged/stolen tail must still behave under point ops.
+            assert_eq!(t.remove(&0).unwrap(), model.remove(&0));
+            assert_eq!(t.insert(500, 5).unwrap(), model.insert(500, 5));
+            for (k, v) in &model {
+                assert_eq!(t.get(k).unwrap(), Some(*v), "live = {live}, key {k}");
+            }
+            t.check_invariants().unwrap();
+        }
     }
 
     #[test]

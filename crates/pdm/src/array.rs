@@ -367,6 +367,39 @@ impl DiskArray {
         )))
     }
 
+    /// Assemble an array over caller-supplied member devices.
+    ///
+    /// This is the *reboot* constructor of the crash-recovery story: the
+    /// member devices (typically [`RamDisk`]s, possibly re-wrapped in fresh
+    /// [`FaultDisk`]s) are the medium that survived a simulated crash, and
+    /// reassembling an array over them models power-on with the old state
+    /// intact.  All members must share one [`IoStats`] handle with one lane
+    /// per member, each member recording into its own lane — exactly what
+    /// [`RamDisk::with_stats`] builds.
+    pub fn from_devices(
+        disks: Vec<Arc<dyn BlockDevice>>,
+        placement: Placement,
+        mode: IoMode,
+        retry: RetryPolicy,
+    ) -> Arc<Self> {
+        assert!(!disks.is_empty(), "need at least one disk");
+        let physical_block = disks[0].block_size();
+        let stats = disks[0].stats();
+        assert_eq!(
+            stats.disks(),
+            disks.len(),
+            "members must share a stats handle with one lane per disk"
+        );
+        Arc::new(Self::assemble(
+            disks,
+            placement,
+            physical_block,
+            stats,
+            mode,
+            retry,
+        ))
+    }
+
     fn assemble(
         disks: Vec<Arc<dyn BlockDevice>>,
         placement: Placement,
@@ -665,6 +698,15 @@ impl BlockDevice for DiskArray {
             // under all three lane policies: a sequential stream reaches
             // full D-parallelism at queue depth ≥ D.
             self.disks.len()
+        }
+    }
+
+    fn barrier(&self) -> Result<()> {
+        match &self.sched {
+            Some(sched) => sched.barrier(),
+            // Synchronous arrays complete every transfer inline; nothing can
+            // be outstanding and no ticket is ever dropped unseen.
+            None => Ok(()),
         }
     }
 

@@ -120,6 +120,24 @@ pub trait BlockDevice: Send + Sync {
         let res = self.write_block(id, &buf).map(|()| buf);
         IoTicket::ready(res)
     }
+
+    /// Wait until every transfer submitted so far has reached the medium and
+    /// report the first failure of a write whose completion ticket was
+    /// dropped.
+    ///
+    /// This is the durability point a caller must pass before acknowledging
+    /// data as written: a fire-and-forget write-behind whose ticket was
+    /// dropped may have *failed*, and prior to this method the only trace was
+    /// an advisory counter and a log line at scheduler shutdown.  `barrier`
+    /// turns that into a hard error — if any dropped-ticket write failed
+    /// since the last barrier, the first such error is returned as `Err` and
+    /// the caller must not ack on top of it.
+    ///
+    /// Synchronous devices complete every transfer inline, so the default is
+    /// a no-op returning `Ok(())`.
+    fn barrier(&self) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// Shared handle to a block device.

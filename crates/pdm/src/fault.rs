@@ -34,8 +34,18 @@
 //!
 //! A whole lane can also be declared dead ([`FaultPlan::fail_lane`]),
 //! modelling the loss of one member disk of a [`DiskArray`](crate::DiskArray).
+//!
+//! For whole-machine failure there is the [`CrashSwitch`]: a shared fuse that
+//! burns down by one on every transfer through any plan carrying it, and when
+//! it reaches zero the *crash point* fires — an in-flight write persists a
+//! torn prefix and errors, and every later transfer on every disk sharing the
+//! switch fails.  Because the fuse is deterministic in the transfer sequence,
+//! a proptest can sweep k over every transfer of a workload and assert that
+//! recovery (see [`Journal`](crate::Journal)) reaches a consistent state from
+//! *any* crash point.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -68,6 +78,90 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// The bytes a torn write leaves on the medium: first half bit-flipped,
+/// tail never lands.
+fn torn_copy(buf: &[u8]) -> Vec<u8> {
+    let mut torn = buf.to_vec();
+    let half = torn.len() / 2;
+    for b in &mut torn[..half] {
+        *b = !*b;
+    }
+    for b in &mut torn[half..] {
+        *b = 0xEE;
+    }
+    torn
+}
+
+/// FNV-1a over a byte slice; fingerprints the intended payload of a torn
+/// write so a later repair attempt can be checked against it.
+fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A shared crash fuse: burns down by one on each transfer executed through
+/// any [`FaultPlan`] carrying a clone of the switch, and fires when it hits
+/// zero.
+///
+/// The transfer that finds the fuse already spent *is* the crash point: a
+/// write persists a torn prefix (the transfer is counted — a sector was in
+/// flight when the power died) and returns an error; a read fails without
+/// touching the device.  From then on every transfer through the switch
+/// fails, modelling a machine that is down until "reboot" (a new device
+/// stack over the surviving media).  Allocation, freeing and statistics keep
+/// working — they are in-memory bookkeeping of the simulation harness, not
+/// the medium.
+#[derive(Debug, Clone)]
+pub struct CrashSwitch {
+    inner: Arc<CrashInner>,
+}
+
+#[derive(Debug)]
+struct CrashInner {
+    /// Transfers remaining before the crash fires.
+    fuse: AtomicU64,
+    crashed: AtomicBool,
+}
+
+impl CrashSwitch {
+    /// A switch that lets `k` transfers complete and crashes on transfer
+    /// `k + 1`.  `k = 0` crashes on the very first transfer.
+    pub fn after(k: u64) -> Self {
+        CrashSwitch {
+            inner: Arc::new(CrashInner {
+                fuse: AtomicU64::new(k),
+                crashed: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// True once the crash point has fired.
+    pub fn is_crashed(&self) -> bool {
+        self.inner.crashed.load(Ordering::Acquire)
+    }
+
+    /// Burn one transfer off the fuse.  Returns `true` if this transfer is
+    /// at or past the crash point.
+    fn burn(&self) -> bool {
+        if self.inner.crashed.load(Ordering::Acquire) {
+            return true;
+        }
+        let spent = self
+            .inner
+            .fuse
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |f| f.checked_sub(1))
+            .is_err();
+        if spent {
+            self.inner.crashed.store(true, Ordering::Release);
+        }
+        spent
+    }
+}
+
 /// A deterministic, seed-driven description of which transfers fail and how.
 ///
 /// Built with the `with_*` methods; the default plan injects nothing, so a
@@ -85,6 +179,12 @@ pub struct FaultPlan {
     latency_permille: u64,
     latency: Duration,
     lane_failed: bool,
+    /// Shared whole-machine crash fuse; see [`CrashSwitch`].
+    crash: Option<CrashSwitch>,
+    /// Verify that a repair of a torn block rewrites the originally
+    /// submitted bytes; see [`with_torn_writes_verified`]
+    /// (Self::with_torn_writes_verified).
+    torn_verify: bool,
 }
 
 impl FaultPlan {
@@ -133,6 +233,33 @@ impl FaultPlan {
         self
     }
 
+    /// Like [`with_torn_writes`](Self::with_torn_writes), and additionally
+    /// *verify the repair*: when the torn block is next written, the bytes
+    /// must fingerprint-match the payload originally submitted.  A retry
+    /// that rewrites different bytes — the classic symptom of a retry loop
+    /// holding a moved-out or clobbered buffer instead of the submitted one
+    /// — fails with a distinctive error instead of silently persisting the
+    /// wrong data.
+    pub fn with_torn_writes_verified(mut self, permille: u64) -> Self {
+        assert!(permille <= SCALE, "rate is per-mille");
+        self.torn_permille = permille;
+        self.torn_verify = true;
+        self
+    }
+
+    /// Arm this plan with a whole-machine crash fuse shared with every other
+    /// plan holding a clone of `switch`; see [`CrashSwitch`].
+    pub fn with_crash(mut self, switch: CrashSwitch) -> Self {
+        self.crash = Some(switch);
+        self
+    }
+
+    /// Arm this plan with a private crash fuse firing after `k` transfers
+    /// (single-disk convenience for [`with_crash`](Self::with_crash)).
+    pub fn with_crash_after(self, k: u64) -> Self {
+        self.with_crash(CrashSwitch::after(k))
+    }
+
     /// Declare the whole device dead: every transfer fails.
     pub fn fail_lane(mut self) -> Self {
         self.lane_failed = true;
@@ -142,6 +269,7 @@ impl FaultPlan {
     /// True if this plan can never inject anything.
     pub fn is_benign(&self) -> bool {
         !self.lane_failed
+            && self.crash.is_none()
             && self.transient_permille == 0
             && self.permanent_permille == 0
             && self.torn_permille == 0
@@ -171,6 +299,9 @@ pub struct FaultDisk {
     /// Attempt counters per (block, fault-kind); transient and torn faults
     /// clear after their budgeted number of failures.
     attempts: Mutex<HashMap<(BlockId, u8), u32>>,
+    /// Fingerprints of the payload each torn block *should* have carried;
+    /// consulted by repair attempts when the plan verifies torn repairs.
+    torn_expected: Mutex<HashMap<BlockId, u64>>,
 }
 
 impl FaultDisk {
@@ -182,6 +313,7 @@ impl FaultDisk {
             plan,
             stats,
             attempts: Mutex::new(HashMap::new()),
+            torn_expected: Mutex::new(HashMap::new()),
         })
     }
 
@@ -263,6 +395,12 @@ impl BlockDevice for FaultDisk {
     }
 
     fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<()> {
+        if let Some(crash) = &self.plan.crash {
+            if crash.burn() {
+                // Down — at or past the crash point.  Reads move nothing.
+                return Err(self.injected("crash", id));
+            }
+        }
         self.gate_common(id)?;
         if self
             .plan
@@ -275,20 +413,42 @@ impl BlockDevice for FaultDisk {
     }
 
     fn write_block(&self, id: BlockId, buf: &[u8]) -> Result<()> {
+        if let Some(crash) = &self.plan.crash {
+            let was_down = crash.is_crashed();
+            if crash.burn() {
+                if !was_down {
+                    // The crash point itself: this write was in flight when
+                    // the machine died, so a torn prefix lands on the medium
+                    // (and the transfer is counted) before the error.
+                    let _ = self.inner.write_block(id, &torn_copy(buf));
+                }
+                return Err(self.injected("crash", id));
+            }
+        }
         self.gate_common(id)?;
+        if self.plan.torn_verify {
+            let mut expected = self.torn_expected.lock();
+            if let Some(&fp) = expected.get(&id) {
+                if fp != fingerprint(buf) {
+                    // Not an injected fault: the *caller* is repairing the
+                    // torn block with bytes other than the ones it originally
+                    // submitted (a moved-out or clobbered retry buffer).
+                    return Err(PdmError::Io(std::io::Error::other(format!(
+                        "torn-write repair of block {id} rewrote different bytes \
+                         than the original submission"
+                    ))));
+                }
+                expected.remove(&id);
+            }
+        }
         if self.plan.afflicts(SALT_TORN, id, self.plan.torn_permille) && self.torn_fires(id) {
             // Persist a corrupted prefix: the first half of the block is
             // bit-flipped, the tail never lands.  The transfer really
             // happened (and is counted); only then does the error surface.
-            let mut torn = buf.to_vec();
-            let half = torn.len() / 2;
-            for b in &mut torn[..half] {
-                *b = !*b;
+            if self.plan.torn_verify {
+                self.torn_expected.lock().insert(id, fingerprint(buf));
             }
-            for b in &mut torn[half..] {
-                *b = 0xEE;
-            }
-            self.inner.write_block(id, &torn)?;
+            self.inner.write_block(id, &torn_copy(buf))?;
             return Err(self.injected("torn write", id));
         }
         if self
@@ -319,6 +479,10 @@ impl BlockDevice for FaultDisk {
 
     fn direct_next_stream(&self, lane: usize) {
         self.inner.direct_next_stream(lane)
+    }
+
+    fn barrier(&self) -> Result<()> {
+        self.inner.barrier()
     }
 }
 
@@ -422,6 +586,84 @@ mod tests {
         assert!(disk.read_block(id, &mut out).is_err());
         disk.free(id).unwrap();
         assert_eq!(disk.stats().snapshot().faults_injected(), 2);
+    }
+
+    #[test]
+    fn crash_after_k_tears_the_in_flight_write_then_fails_everything() {
+        let disk = faulty(FaultPlan::new(0).with_crash_after(2));
+        let a = disk.allocate().unwrap();
+        let b = disk.allocate().unwrap();
+        disk.write_block(a, &[0x11u8; 16]).unwrap();
+        disk.write_block(b, &[0x22u8; 16]).unwrap();
+        // Transfer 3 is the crash point: the write tears and errors.
+        assert!(disk.write_block(a, &[0x33u8; 16]).is_err());
+        // The machine is down: reads and writes fail, metadata still works.
+        let mut out = [0u8; 16];
+        assert!(disk.read_block(b, &mut out).is_err());
+        assert!(disk.write_block(b, &[0x44u8; 16]).is_err());
+        disk.free(b).unwrap();
+        assert!(!disk.plan().is_benign());
+        let snap = disk.stats().snapshot();
+        assert_eq!(snap.writes(), 3, "the torn crash write was in flight");
+        assert_eq!(snap.reads(), 0);
+    }
+
+    #[test]
+    fn crash_switch_is_shared_across_disks() {
+        let switch = CrashSwitch::after(1);
+        let a = faulty(FaultPlan::new(0).with_crash(switch.clone()));
+        let b = faulty(FaultPlan::new(1).with_crash(switch.clone()));
+        let ia = a.allocate().unwrap();
+        let ib = b.allocate().unwrap();
+        a.write_block(ia, &[1u8; 16]).unwrap();
+        assert!(!switch.is_crashed());
+        // The fuse is shared: disk b's first transfer is global transfer 2.
+        assert!(b.write_block(ib, &[2u8; 16]).is_err());
+        assert!(switch.is_crashed());
+        let mut out = [0u8; 16];
+        assert!(a.read_block(ia, &mut out).is_err(), "a is down too");
+    }
+
+    #[test]
+    fn crash_point_read_moves_no_block() {
+        let disk = faulty(FaultPlan::new(0).with_crash_after(0));
+        let id = disk.allocate().unwrap();
+        let mut out = [0u8; 16];
+        assert!(disk.read_block(id, &mut out).is_err());
+        assert_eq!(disk.stats().snapshot().total(), 0);
+    }
+
+    #[test]
+    fn verified_torn_repair_accepts_the_original_bytes() {
+        let disk = faulty(FaultPlan::new(9).with_torn_writes_verified(1000));
+        let id = disk.allocate().unwrap();
+        let data = [0x5Au8; 16];
+        assert!(disk.write_block(id, &data).is_err(), "first write tears");
+        disk.write_block(id, &data).unwrap();
+        let mut out = [0u8; 16];
+        disk.read_block(id, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn verified_torn_repair_rejects_different_bytes() {
+        let disk = faulty(FaultPlan::new(9).with_torn_writes_verified(1000));
+        let id = disk.allocate().unwrap();
+        assert!(disk.write_block(id, &[0x5Au8; 16]).is_err());
+        // A retry holding the wrong buffer must not silently "repair".
+        let err = disk.write_block(id, &[0u8; 16]).unwrap_err();
+        assert!(
+            err.to_string().contains("rewrote different bytes"),
+            "got: {err}"
+        );
+        let before = disk.stats().snapshot().faults_injected();
+        // The correct bytes still go through afterwards.
+        disk.write_block(id, &[0x5Au8; 16]).unwrap();
+        assert_eq!(
+            disk.stats().snapshot().faults_injected(),
+            before,
+            "a repair mismatch is a caller bug, not an injected fault"
+        );
     }
 
     #[test]

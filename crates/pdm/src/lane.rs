@@ -115,6 +115,10 @@ impl BlockDevice for LaneView {
     fn submit_write(&self, id: BlockId, buf: Box<[u8]>) -> IoTicket {
         self.array.submit_write(id, buf)
     }
+
+    fn barrier(&self) -> Result<()> {
+        self.array.barrier()
+    }
 }
 
 #[cfg(test)]

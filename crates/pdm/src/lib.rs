@@ -74,14 +74,16 @@ mod pool;
 mod ram_disk;
 mod sched;
 mod stats;
+mod wal;
 
 pub use array::{DiskArray, Placement};
 pub use device::{BlockDevice, BlockId, SharedDevice};
 pub use error::{PdmError, Result};
-pub use fault::{FaultDisk, FaultPlan};
+pub use fault::{CrashSwitch, FaultDisk, FaultPlan};
 pub use file_disk::FileDisk;
 pub use lane::LaneView;
 pub use pool::{BufferPool, EvictionPolicy, FrameGuard, FrameGuardMut, PoolStats};
 pub use ram_disk::RamDisk;
 pub use sched::{IoMode, IoScheduler, IoTicket, RetryPolicy};
 pub use stats::{IoSnapshot, IoStats};
+pub use wal::{Journal, RecoverableDisk, WalOverhead};

@@ -40,8 +40,14 @@ impl RamDisk {
     }
 
     /// Create a RAM disk recording into lane `lane` of an existing
-    /// statistics handle (used by disk arrays).
-    pub(crate) fn with_stats(block_size: usize, stats: Arc<IoStats>, lane: usize) -> Self {
+    /// statistics handle.
+    ///
+    /// Disk arrays build their members this way; it is public so crash-
+    /// recovery harnesses can hold the member disks directly — the RAM disk
+    /// is the "surviving medium" a rebooted array
+    /// ([`DiskArray::from_devices`](crate::DiskArray::from_devices)) is
+    /// reassembled over.
+    pub fn with_stats(block_size: usize, stats: Arc<IoStats>, lane: usize) -> Self {
         RamDisk {
             block_size,
             inner: Mutex::new(Inner {

@@ -143,13 +143,19 @@ pub enum IoMode {
     Overlapped,
 }
 
-/// One queued transfer: direction, physical block, and the buffer that either
-/// supplies (write) or receives (read) the data.
-struct Job {
-    write: bool,
-    id: BlockId,
-    buf: Box<[u8]>,
-    reply: Sender<Result<Box<[u8]>>>,
+/// One queued lane job: either a transfer (direction, physical block, and
+/// the buffer that supplies or receives the data) or a barrier sentinel that
+/// simply reports when the lane has drained everything queued before it.
+enum Job {
+    Transfer {
+        write: bool,
+        id: BlockId,
+        buf: Box<[u8]>,
+        reply: Sender<Result<Box<[u8]>>>,
+    },
+    Barrier {
+        reply: Sender<()>,
+    },
 }
 
 fn worker_died() -> PdmError {
@@ -284,13 +290,21 @@ impl IoScheduler {
             let handle = std::thread::Builder::new()
                 .name(format!("pdm-io-{lane}"))
                 .spawn(move || {
-                    while let Ok(Job {
-                        write,
-                        id,
-                        mut buf,
-                        reply,
-                    }) = rx.recv()
-                    {
+                    while let Ok(job) = rx.recv() {
+                        let (write, id, mut buf, reply) = match job {
+                            Job::Barrier { reply } => {
+                                // FIFO lanes: everything queued before this
+                                // sentinel has already executed.
+                                let _ = reply.send(());
+                                continue;
+                            }
+                            Job::Transfer {
+                                write,
+                                id,
+                                buf,
+                                reply,
+                            } => (write, id, buf, reply),
+                        };
                         let res = run_with_retry(&retry, &lane_stats, lane, id, || {
                             if write {
                                 device.write_block(id, &buf)
@@ -336,6 +350,31 @@ impl IoScheduler {
         self.dropped_error.lock().take()
     }
 
+    /// Drain every lane, then surface the first dropped-ticket write error
+    /// (if any) as `Err` — the durability point behind
+    /// [`BlockDevice::barrier`].
+    ///
+    /// Sends a sentinel down each lane and waits for all of them, so every
+    /// transfer submitted before the call has executed by the time this
+    /// returns; a failed write-behind whose ticket was dropped then fails
+    /// the barrier instead of surviving only as an advisory counter.
+    pub fn barrier(&self) -> Result<()> {
+        let mut replies = Vec::with_capacity(self.lanes.len());
+        for lane in &self.lanes {
+            let (reply, rx) = channel();
+            if lane.send(Job::Barrier { reply }).is_ok() {
+                replies.push(rx);
+            }
+        }
+        for rx in replies {
+            rx.recv().map_err(|_| worker_died())?;
+        }
+        match self.take_dropped_error() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// Number of lanes (member disks).
     pub fn lanes(&self) -> usize {
         self.lanes.len()
@@ -369,7 +408,7 @@ impl IoScheduler {
     ) -> Receiver<Result<Box<[u8]>>> {
         self.stats.record_submit(lane);
         let (reply, rx) = channel();
-        let sent = self.lanes[lane].send(Job {
+        let sent = self.lanes[lane].send(Job::Transfer {
             write,
             id,
             buf,
@@ -640,6 +679,59 @@ mod tests {
         let e = sched.take_dropped_error().expect("error was kept");
         assert!(e.to_string().contains("flush failed"));
         assert!(sched.take_dropped_error().is_none(), "taken exactly once");
+    }
+
+    #[test]
+    fn barrier_surfaces_dropped_write_failure_as_err() {
+        // Writes block on a gate and then fail, so the ticket is provably
+        // dropped before the worker completes the job.
+        struct FailWrites {
+            inner: Arc<RamDisk>,
+            gate: std::sync::Mutex<Receiver<()>>,
+        }
+        impl BlockDevice for FailWrites {
+            fn block_size(&self) -> usize {
+                self.inner.block_size()
+            }
+            fn allocated_blocks(&self) -> u64 {
+                self.inner.allocated_blocks()
+            }
+            fn allocate(&self) -> Result<BlockId> {
+                self.inner.allocate()
+            }
+            fn free(&self, id: BlockId) -> Result<()> {
+                self.inner.free(id)
+            }
+            fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<()> {
+                self.inner.read_block(id, buf)
+            }
+            fn write_block(&self, _id: BlockId, _buf: &[u8]) -> Result<()> {
+                self.gate.lock().unwrap().recv().expect("gate open");
+                Err(PdmError::Io(std::io::Error::other("write-behind lost")))
+            }
+            fn stats(&self) -> Arc<IoStats> {
+                self.inner.stats()
+            }
+        }
+
+        let stats = IoStats::new(1, 8);
+        let ram = Arc::new(RamDisk::with_stats(8, Arc::clone(&stats), 0));
+        let id = ram.allocate().unwrap();
+        let (open, gate) = channel();
+        let devices = vec![Arc::new(FailWrites {
+            inner: ram,
+            gate: std::sync::Mutex::new(gate),
+        }) as Arc<dyn BlockDevice>];
+        let sched = IoScheduler::new(&devices, Arc::clone(&stats));
+
+        drop(sched.submit_write(0, id, vec![9u8; 8].into_boxed_slice()));
+        open.send(()).unwrap();
+        let err = sched
+            .barrier()
+            .expect_err("barrier must not ack a lost write");
+        assert!(err.to_string().contains("write-behind lost"), "got: {err}");
+        // The error is surfaced exactly once; a clean lane passes.
+        sched.barrier().unwrap();
     }
 
     #[test]

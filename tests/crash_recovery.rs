@@ -1,0 +1,519 @@
+//! Crash-recovery integration tests: structures journaled through
+//! [`pdm::Journal`] driven to a crash at an arbitrary transfer index, then
+//! rebooted on the surviving medium.
+//!
+//! The contract under test, for every journaled structure in the repo:
+//!
+//! * **Recovery lands on a checkpoint.**  The rebooted structure's contents
+//!   equal the model at the last acknowledged checkpoint — or, in the narrow
+//!   window where the journal's commit record became durable but the caller
+//!   never saw `Ok`, the model one checkpoint later.  Never a mix, never a
+//!   torn state.
+//! * **Recovery is idempotent.**  Running recovery twice yields the same
+//!   manifests and the same contents as running it once.
+//! * **The sweep is exhaustive in spirit.**  Crash points are drawn across
+//!   the whole run (proptest) and stepped densely (deterministic sweeps), so
+//!   every phase — epoch writes, chain writes, the commit header, redo
+//!   application — gets hit.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use emserve::Shard;
+use emsort::{SortConfig, SortingWriter};
+use emtree::{BTree, BufferTree};
+use pdm::{
+    BlockDevice, BlockId, BufferPool, CrashSwitch, DiskArray, EvictionPolicy, FaultDisk, FaultPlan,
+    IoMode, IoStats, Journal, Placement, RamDisk, Result, RetryPolicy, SharedDevice,
+};
+use proptest::prelude::*;
+
+const BS: usize = 256;
+
+/// The physical medium: `d` RAM disks that survive crashes of the devices
+/// wrapped around them, plus the placement used to reassemble the array.
+struct Medium {
+    rams: Vec<Arc<RamDisk>>,
+    placement: Placement,
+    stats: Arc<IoStats>,
+}
+
+impl Medium {
+    fn new(d: usize, placement: Placement) -> Self {
+        let stats = IoStats::new(d, BS);
+        let rams = (0..d)
+            .map(|i| Arc::new(RamDisk::with_stats(BS, Arc::clone(&stats), i)))
+            .collect();
+        Medium {
+            rams,
+            placement,
+            stats,
+        }
+    }
+
+    /// Fault-free array over the surviving disks (formatting / reboot).
+    fn bare(&self) -> SharedDevice {
+        DiskArray::from_devices(
+            self.rams
+                .iter()
+                .map(|r| Arc::clone(r) as Arc<dyn BlockDevice>)
+                .collect(),
+            self.placement,
+            IoMode::Synchronous,
+            RetryPolicy::none(),
+        )
+    }
+
+    /// Array whose members all die after `k` transfers (one shared fuse).
+    fn crashy(&self, k: u64) -> SharedDevice {
+        let switch = CrashSwitch::after(k);
+        let disks = self
+            .rams
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                FaultDisk::wrap(
+                    Arc::clone(r) as SharedDevice,
+                    FaultPlan::new(i as u64).with_crash(switch.clone()),
+                ) as Arc<dyn BlockDevice>
+            })
+            .collect();
+        DiskArray::from_devices(
+            disks,
+            self.placement,
+            IoMode::Synchronous,
+            RetryPolicy::none(),
+        )
+    }
+
+    /// First boot on the pristine medium: create the journal's header pair.
+    fn format(&self) -> [BlockId; 2] {
+        let j = Journal::format(self.bare()).expect("formatting a pristine medium cannot fail");
+        j.header_blocks()
+            .expect("freshly formatted journal has headers")
+    }
+
+    /// Reboot twice and assert both recoveries agree on `manifest_name`
+    /// (idempotence); return the second journal for content checks.
+    fn reboot_twice(&self, headers: [BlockId; 2], manifest_name: &str) -> Arc<Journal> {
+        let j1 = Journal::recover(self.bare(), headers).expect("first recovery must succeed");
+        let m1 = j1.manifest(manifest_name);
+        drop(j1);
+        let j2 = Journal::recover(self.bare(), headers).expect("second recovery must succeed");
+        assert_eq!(
+            m1,
+            j2.manifest(manifest_name),
+            "second recovery produced a different `{manifest_name}` manifest"
+        );
+        j2
+    }
+
+    fn total_transfers(&self) -> u64 {
+        self.stats.snapshot().total()
+    }
+}
+
+fn placement_from(tag: u8) -> Placement {
+    match tag % 3 {
+        0 => Placement::Independent,
+        1 => Placement::Striped,
+        _ => Placement::Srm { seed: 7 },
+    }
+}
+
+/// Flatten an op-model (`key -> last op`) into the live map it describes.
+fn live(model: &BTreeMap<u64, Option<u64>>) -> BTreeMap<u64, u64> {
+    model
+        .iter()
+        .filter_map(|(&k, v)| v.map(|v| (k, v)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1: BTree batch apply
+// ---------------------------------------------------------------------------
+
+fn open_tree(j: &Arc<Journal>) -> Result<BTree<u64, u64>> {
+    let pool = BufferPool::new(Arc::clone(j) as SharedDevice, 8, EvictionPolicy::Lru);
+    match j.manifest("btree") {
+        None => BTree::new(pool),
+        Some(m) => {
+            assert_eq!(
+                m.len(),
+                24,
+                "btree manifest is a (root, height, len) triple"
+            );
+            let root = u64::from_le_bytes(m[0..8].try_into().unwrap());
+            let height = u64::from_le_bytes(m[8..16].try_into().unwrap()) as u32;
+            let len = u64::from_le_bytes(m[16..24].try_into().unwrap());
+            Ok(BTree::reattach(pool, root, height, len))
+        }
+    }
+}
+
+fn checkpoint_tree(j: &Arc<Journal>, tree: &BTree<u64, u64>) -> Result<()> {
+    tree.pool().flush()?;
+    let mut bm = Vec::with_capacity(24);
+    bm.extend_from_slice(&tree.root().to_le_bytes());
+    bm.extend_from_slice(&u64::from(tree.height()).to_le_bytes());
+    bm.extend_from_slice(&tree.len().to_le_bytes());
+    j.set_manifest("btree", bm);
+    j.checkpoint()
+}
+
+/// Apply `batches` to a journaled B-tree with a checkpoint per batch, crash
+/// after `k` transfers, reboot, and check the recovered tree equals the model
+/// at the last checkpoint (or the commit-but-unacked one after it).
+fn btree_crash_run(m: &Medium, k: u64, batches: &[Vec<(u64, Option<u64>)>]) -> bool {
+    let headers = m.format();
+    let mut acked: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+    let mut pending: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+    let mut crashed = true;
+    let script = |j: &Arc<Journal>,
+                  acked: &mut BTreeMap<u64, Option<u64>>,
+                  pending: &mut BTreeMap<u64, Option<u64>>|
+     -> Result<()> {
+        let mut tree = open_tree(j)?;
+        for batch in batches {
+            for (key, op) in batch {
+                pending.insert(*key, *op);
+            }
+            tree.apply_sorted_batch(batch.iter().cloned())?;
+            checkpoint_tree(j, &tree)?;
+            *acked = pending.clone();
+        }
+        Ok(())
+    };
+    if let Ok(j) = Journal::recover(m.crashy(k), headers) {
+        crashed = script(&j, &mut acked, &mut pending).is_err();
+    }
+    let j = m.reboot_twice(headers, "btree");
+    let tree = open_tree(&j).expect("reattach after recovery");
+    tree.check_invariants()
+        .expect("recovered tree is well-formed");
+    let got: BTreeMap<u64, u64> = tree
+        .range(&0, &u64::MAX)
+        .expect("full scan of recovered tree")
+        .into_iter()
+        .collect();
+    assert!(
+        got == live(&acked) || got == live(&pending),
+        "crash at {k}: recovered B-tree matches neither the last acked \
+         checkpoint nor the commit-but-unacked one ({} live keys recovered)",
+        got.len()
+    );
+    crashed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn btree_batch_apply_recovers_to_a_checkpoint(
+        k in 0u64..4000,
+        d_is_4 in any::<bool>(),
+        placement_tag in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        let d = if d_is_4 { 4 } else { 1 };
+        let m = Medium::new(d, placement_from(placement_tag));
+        // 4 batches of strictly-increasing keyed ops, ~25% deletes.
+        let batches: Vec<Vec<(u64, Option<u64>)>> = (0..4u64)
+            .map(|b| {
+                (0..24u64)
+                    .map(|i| {
+                        let key = i * 3 % 71;
+                        let x = seed ^ (b * 131 + i);
+                        (key, (!x.is_multiple_of(4)).then_some(x))
+                    })
+                    .collect::<BTreeMap<u64, Option<u64>>>()
+                    .into_iter()
+                    .collect()
+            })
+            .collect();
+        btree_crash_run(&m, k, &batches);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: BufferTree flush
+// ---------------------------------------------------------------------------
+
+/// Smallest budget the buffer tree accepts: 32 blocks of `(u64, u64, u64)`
+/// event records.  Depends on the (placement-dependent) logical block size.
+fn bt_mem(dev: &SharedDevice) -> usize {
+    32 * (dev.block_size() / 24).max(1)
+}
+
+fn open_buffer_tree(j: &Arc<Journal>) -> Result<BufferTree<u64, u64>> {
+    let dev = Arc::clone(j) as SharedDevice;
+    let mem = bt_mem(&dev);
+    match j.manifest("absorber") {
+        None => Ok(BufferTree::new(dev, mem)),
+        Some(m) => BufferTree::reattach(dev, mem, &m),
+    }
+}
+
+fn buffer_tree_crash_run(m: &Medium, k: u64, rounds: &[Vec<(u64, Option<u64>)>]) -> bool {
+    let headers = m.format();
+    let mut acked: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+    let mut pending: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+    let mut crashed = true;
+    if let Ok(j) = Journal::recover(m.crashy(k), headers) {
+        if let Ok(mut bt) = open_buffer_tree(&j) {
+            let result: Result<()> = (|| {
+                for round in rounds {
+                    for (key, op) in round {
+                        pending.insert(*key, *op);
+                        match op {
+                            Some(v) => bt.insert(*key, *v)?,
+                            None => bt.delete(*key)?,
+                        }
+                    }
+                    j.set_manifest("absorber", bt.manifest_bytes());
+                    j.checkpoint()?;
+                    acked = pending.clone();
+                }
+                Ok(())
+            })();
+            crashed = result.is_err();
+            // The crashed instance must not run Drop: its destructor frees
+            // blocks the recovered instance owns.
+            std::mem::forget(bt);
+        }
+    }
+    let j = m.reboot_twice(headers, "absorber");
+    let mut bt = open_buffer_tree(&j).expect("reattach after recovery");
+    let got: BTreeMap<u64, u64> = bt
+        .to_sorted_ext_vec()
+        .expect("sorted scan of recovered buffer tree")
+        .to_vec()
+        .expect("read back sorted contents")
+        .into_iter()
+        .collect();
+    assert!(
+        got == live(&acked) || got == live(&pending),
+        "crash at {k}: recovered buffer tree matches neither checkpoint model"
+    );
+    crashed
+}
+
+fn bt_rounds(seed: u64) -> Vec<Vec<(u64, Option<u64>)>> {
+    (0..6u64)
+        .map(|r| {
+            (0..30u64)
+                .map(|i| {
+                    let x = seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(r * 1009 + i * 31);
+                    let key = x % 97;
+                    (key, (!x.is_multiple_of(5)).then_some(x >> 8))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn buffer_tree_flush_recovers_to_a_checkpoint(
+        k in 0u64..4000,
+        d_is_4 in any::<bool>(),
+        placement_tag in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        let d = if d_is_4 { 4 } else { 1 };
+        let m = Medium::new(d, placement_from(placement_tag));
+        buffer_tree_crash_run(&m, k, &bt_rounds(seed));
+    }
+}
+
+/// Deterministic dense sweep: measure a fault-free run, then step crash
+/// points across its entire transfer range so every journal phase is hit.
+#[test]
+fn buffer_tree_dense_crash_sweep() {
+    let rounds = bt_rounds(0xB7F1);
+    let clean = Medium::new(2, Placement::Independent);
+    let crashed = buffer_tree_crash_run(&clean, u64::MAX, &rounds);
+    assert!(!crashed, "fault-free run must complete");
+    let total = clean.total_transfers();
+    let step = (total / 40).max(1);
+    let mut mid_run = 0;
+    for k in (0..total).step_by(step as usize) {
+        let m = Medium::new(2, Placement::Independent);
+        if buffer_tree_crash_run(&m, k, &rounds) {
+            mid_run += 1;
+        }
+    }
+    assert!(
+        mid_run > 10,
+        "sweep of {total} transfers barely crashed — widen it"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3: SortingWriter spill
+// ---------------------------------------------------------------------------
+
+type U64Writer = SortingWriter<u64, fn(&u64, &u64) -> bool>;
+
+fn open_writer(j: &Arc<Journal>, cfg: &SortConfig) -> Result<U64Writer> {
+    let dev = Arc::clone(j) as SharedDevice;
+    let less: fn(&u64, &u64) -> bool = |a, b| a < b;
+    match j.manifest("sorter") {
+        None => Ok(SortingWriter::new(dev, cfg, less)),
+        Some(m) => SortingWriter::reattach(dev, cfg, less, &m),
+    }
+}
+
+fn sorting_writer_crash_run(m: &Medium, k: u64, data: &[u64]) -> bool {
+    // Four blocks of u64s: big enough for fan-in ≥ 3 at any placement's
+    // logical block size, small enough that the data spills several runs.
+    let cfg = SortConfig::new(4 * (m.bare().block_size() / 8));
+    let headers = m.format();
+    let mut crashed = true;
+    if let Ok(j) = Journal::recover(m.crashy(k), headers) {
+        if let Ok(mut w) = open_writer(&j, &cfg) {
+            let result: Result<()> = (|| {
+                for (i, &r) in data.iter().enumerate() {
+                    w.push(r)?;
+                    if (i + 1) % 32 == 0 {
+                        j.set_manifest("sorter", w.manifest_bytes());
+                        j.checkpoint()?;
+                    }
+                }
+                Ok(())
+            })();
+            crashed = result.is_err();
+            std::mem::forget(w); // runs belong to the medium now
+        }
+    }
+    // Reboot: the reattached writer owns exactly the spilled prefix of the
+    // last checkpoint; replaying the rest must land on the identical sorted
+    // output an uninterrupted run produces.
+    let j = m.reboot_twice(headers, "sorter");
+    let mut w = open_writer(&j, &cfg).expect("reattach after recovery");
+    let consumed = w.spilled_records() as usize;
+    assert!(
+        consumed <= data.len(),
+        "crash at {k}: recovered writer claims more input than exists"
+    );
+    for &r in &data[consumed..] {
+        w.push(r).expect("replay on the bare medium");
+    }
+    let got = w
+        .finish_sorted()
+        .expect("final merge on the bare medium")
+        .to_vec()
+        .expect("read back sorted output");
+    let mut expect = data.to_vec();
+    expect.sort_unstable();
+    assert_eq!(
+        got, expect,
+        "crash at {k}: recovered sort output is not byte-identical to an \
+         uninterrupted run"
+    );
+    crashed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn sorting_writer_spill_recovers_to_a_checkpoint(
+        k in 0u64..3000,
+        d_is_4 in any::<bool>(),
+        placement_tag in any::<u8>(),
+        data in prop::collection::vec(any::<u64>(), 200..700),
+    ) {
+        let d = if d_is_4 { 4 } else { 1 };
+        let m = Medium::new(d, placement_from(placement_tag));
+        sorting_writer_crash_run(&m, k, &data);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 4: Shard compaction (absorber journal + B-tree + delta overlay)
+// ---------------------------------------------------------------------------
+
+fn shard_crash_run(m: &Medium, k: u64, seed: u64) -> bool {
+    const KEYS: u64 = 40;
+    let headers = m.format();
+    let mut acked: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+    let mut pending: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+    let mut crashed = true;
+    if let Ok(j) = Journal::recover(m.crashy(k), headers) {
+        if let Ok(mut s) = Shard::<u64, u64>::recover(j, 16, 256, 16) {
+            let mut op_id = 0u64;
+            let result: Result<()> = (|| {
+                for round in 0..8u64 {
+                    for i in 0..8u64 {
+                        let x = seed.wrapping_add(round * 131 + i * 17);
+                        let key = x % KEYS;
+                        let op = (!x.is_multiple_of(5)).then_some(x);
+                        s.enqueue(1, op_id, key, op);
+                        pending.insert(key, op);
+                        op_id += 1;
+                    }
+                    s.flush_batch(|_, _| {})?;
+                    acked = pending.clone();
+                    // Force the compaction path into the sweep.
+                    s.maybe_compact()?;
+                }
+                Ok(())
+            })();
+            crashed = result.is_err();
+            std::mem::forget(s);
+        }
+    }
+    let j = m.reboot_twice(headers, "btree");
+    let s = Shard::<u64, u64>::recover(j, 16, 256, 16).expect("shard recovery");
+    s.check_invariants().expect("recovered shard is consistent");
+    let got: BTreeMap<u64, u64> = (0..KEYS)
+        .filter_map(|key| s.get(1, &key).expect("recovered get").map(|v| (key, v)))
+        .collect();
+    assert!(
+        got == live(&acked) || got == live(&pending),
+        "crash at {k}: recovered shard matches neither checkpoint model"
+    );
+    crashed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn shard_compaction_recovers_every_acked_write(
+        k in 0u64..6000,
+        d_is_4 in any::<bool>(),
+        placement_tag in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        let d = if d_is_4 { 4 } else { 1 };
+        let m = Medium::new(d, placement_from(placement_tag));
+        shard_crash_run(&m, k, seed);
+    }
+}
+
+/// Deterministic dense sweep over the shard, D = 4, striped placement.
+#[test]
+fn shard_dense_crash_sweep_striped() {
+    let clean = Medium::new(4, Placement::Striped);
+    let crashed = shard_crash_run(&clean, u64::MAX, 0x5EED);
+    assert!(!crashed, "fault-free run must complete");
+    let total = clean.total_transfers();
+    let step = (total / 30).max(1);
+    let mut mid_run = 0;
+    for k in (0..total).step_by(step as usize) {
+        let m = Medium::new(4, Placement::Striped);
+        if shard_crash_run(&m, k, 0x5EED) {
+            mid_run += 1;
+        }
+    }
+    assert!(
+        mid_run > 5,
+        "sweep of {total} transfers barely crashed — widen it"
+    );
+}
