@@ -1,0 +1,586 @@
+//! Transfer-count and wall-clock benchmark for the Volcano query engine:
+//! predicted vs measured cost per plan cell, fused vs materialized
+//! boundaries, and the planner's choice, under synchronous and overlapped
+//! I/O at `D ∈ {1, 4}`.
+//!
+//! Two TPC-H-flavoured queries over generated relations:
+//!
+//! * **Q1-lite** — `GroupBy(Sort(Filter(Scan lineitem)))`, the classic
+//!   aggregate over a selection.  Run at {fused, materialized} × {sync,
+//!   overlapped} × `D ∈ {1, 4}`; the fused pipeline deletes the sort
+//!   boundary's write+re-read round trips.
+//! * **Q3-lite** — `GroupBy(Join(Filter(Scan orders), Scan lineitem))`,
+//!   aggregating joined line values per qualifying order.  Three candidate
+//!   strategies are priced and executed: a merge join (orders clustered on
+//!   the key, so only lineitem pays a sort), an in-memory build of the
+//!   filtered orders with a late sort, and an in-memory build of all of
+//!   lineitem (infeasible at this scale — the planner must reject it).
+//!
+//! Every cell reports *predicted* transfers from the `emrel::plan` cost
+//! model next to the measured count.  The model replays the engine's actual
+//! merge schedule and is fed exact cardinalities, so the documented slack is
+//! **zero**: predicted must equal measured, and the run asserts exactly
+//! that.  Further guards: byte-identical outputs across every cell of a
+//! query, fusion saving exactly its predicted boundary round trips, I/O
+//! mode never changing a count, and the planner's Q3 choice being the
+//! measured-cheapest feasible plan.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_query [-- --smoke]
+//! ```
+//!
+//! Results go to stdout as markdown tables and to `BENCH_query.json`
+//! (archived as a CI artifact alongside the other `BENCH_*.json` files).
+
+use std::time::Instant;
+
+use em_core::ExtVec;
+use emrel::{
+    choose, collect, predict_with_sink, sort_pipe, sort_scan, CostEnv, ExecConfig, FilterExec,
+    GroupByExec, MergeJoinExec, Order, PlanExpr, QueryExec, ScanExec, TinyBuildJoinExec,
+};
+use emsort::OverlapConfig;
+use pdm::{DiskArray, IoMode, Placement, SharedDevice};
+
+/// Bytes per physical block (one member disk's transfer unit).
+const PHYS_BLOCK: usize = 1024;
+/// Records of internal memory (`M`) shared by sorts, join buffers, and the
+/// planner's feasibility checks — small relative to the relations so sorts
+/// actually merge and the all-of-lineitem build side is infeasible.
+const MEM_RECORDS: usize = 4096;
+/// Read-ahead / write-behind depth for the overlapped runs.
+const DEPTH: usize = 2;
+/// Simulated device service time per block transfer, in microseconds.
+const SERVICE_US: u64 = 100;
+/// Measured passes per cell; the median wall time is reported.
+const TRIALS: usize = 3;
+const SMOKE_TRIALS: usize = 1;
+
+const KEY: u32 = 1;
+const ROW_BYTES: usize = 16;
+const GRP_BYTES: usize = 24;
+/// Distinct group keys in the Q1 relation.
+const Q1_GROUPS: u64 = 1024;
+/// Order-selectivity of the Q3 filter, in percent.
+const Q3_SEL: u64 = 15;
+
+/// Full-run workload sizes.
+const FULL_ROWS: u64 = 150_000;
+const FULL_ORDERS: u64 = 20_000;
+/// `--smoke` workload: same invariants, CI-sized.
+const SMOKE_ROWS: u64 = 30_000;
+const SMOKE_ORDERS: u64 = 4_000;
+
+/// `(group key, value)` rows and `(key, wrapping sum, count)` aggregates.
+type Row = (u64, u64);
+type Grp = (u64, u64, u64);
+
+fn lcg(s: &mut u64) -> u64 {
+    *s = s
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *s >> 11
+}
+
+fn keep(r: &Row) -> bool {
+    !r.1.is_multiple_of(4)
+}
+
+fn less(a: &Row, b: &Row) -> bool {
+    a.0 < b.0
+}
+
+/// Q3's order predicate.  The highest key is kept unconditionally so the
+/// merge join drains its lineitem side completely — the cost model prices
+/// fully drained streams.
+fn keep_order(k: u64, n_orders: u64) -> bool {
+    k == n_orders - 1 || (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) % 100 < Q3_SEL
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("bench-query-{tag}-{}", std::process::id()));
+    p
+}
+
+fn device_for(tag: &str, d: usize, mode: IoMode) -> (SharedDevice, std::path::PathBuf) {
+    let dir = tmpdir(tag);
+    let arr = DiskArray::new_file_with_service(
+        &dir,
+        d,
+        PHYS_BLOCK,
+        Placement::Independent,
+        mode,
+        std::time::Duration::from_micros(SERVICE_US),
+    )
+    .expect("create disk array");
+    (arr as SharedDevice, dir)
+}
+
+fn exec_config(mode: IoMode, fusion: bool) -> ExecConfig {
+    let overlap = match mode {
+        IoMode::Synchronous => OverlapConfig::off(),
+        IoMode::Overlapped => OverlapConfig::symmetric(DEPTH),
+    };
+    let mut cfg = ExecConfig::new(MEM_RECORDS).with_fusion(fusion);
+    cfg.sort = cfg.sort.with_overlap(overlap);
+    cfg
+}
+
+fn group_collect(
+    s: &mut dyn QueryExec<Item = Row>,
+    device: &SharedDevice,
+) -> pdm::Result<ExtVec<Grp>> {
+    let mut g = GroupByExec::new(
+        s,
+        |r: &Row| r.0,
+        0u64,
+        |acc: &mut u64, r: &Row| *acc = acc.wrapping_add(r.1),
+        |k, acc, n| (k, acc, n),
+        Order::Key(KEY),
+    );
+    collect(&mut g, device)
+}
+
+/// One measured cell.
+struct Cell {
+    query: &'static str,
+    variant: String,
+    d: usize,
+    mode: &'static str,
+    predicted: u64,
+    reads: u64,
+    writes: u64,
+    secs: f64,
+    output: Vec<Grp>,
+    trials: usize,
+}
+
+impl Cell {
+    fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// One (query, plan, D, mode) cell's identity plus its predicted price.
+struct Spec {
+    query: &'static str,
+    variant: String,
+    d: usize,
+    mode: IoMode,
+    predicted: u64,
+    trials: usize,
+}
+
+/// Run `build` + `run` `trials` times on fresh devices: `build` loads the
+/// input relations (outside the measured window — the model prices query
+/// execution, not data generation), `run` executes the query.  Transfer
+/// counts and outputs must repeat exactly (the pipelines are
+/// deterministic); the median wall time is kept.
+fn run_cell<I, FB, FR>(spec: Spec, build: FB, run: FR) -> Cell
+where
+    FB: Fn(&SharedDevice) -> I,
+    FR: Fn(&I, &SharedDevice) -> ExtVec<Grp>,
+{
+    let Spec {
+        query,
+        variant,
+        d,
+        mode,
+        predicted,
+        trials,
+    } = spec;
+    let mode_label = match mode {
+        IoMode::Synchronous => "sync",
+        IoMode::Overlapped => "overlapped",
+    };
+    type Trial = (f64, u64, u64, Vec<Grp>);
+    let mut measured: Vec<Trial> = Vec::with_capacity(trials);
+    for trial in 0..trials {
+        let (device, dir) = device_for(&format!("{query}-{variant}-{mode_label}-d{d}"), d, mode);
+        let input = build(&device);
+        let before = device.stats().snapshot();
+        let start = Instant::now();
+        let out = run(&input, &device);
+        let secs = start.elapsed().as_secs_f64();
+        let delta = device.stats().snapshot().since(&before);
+        let output = out.to_vec().expect("read output");
+        drop(device);
+        std::fs::remove_dir_all(&dir).ok();
+        if let Some((_, r, w, o)) = measured.first() {
+            assert_eq!(
+                (*r, *w),
+                (delta.reads(), delta.writes()),
+                "{query} {variant} d={d} {mode_label} trial {trial}: counts not reproducible"
+            );
+            assert_eq!(
+                o, &output,
+                "{query} {variant} trial {trial}: output not reproducible"
+            );
+        }
+        measured.push((secs, delta.reads(), delta.writes(), output));
+    }
+    measured.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+    let (secs, reads, writes, output) = measured.swap_remove(trials / 2);
+    Cell {
+        query,
+        variant,
+        d,
+        mode: mode_label,
+        predicted,
+        reads,
+        writes,
+        secs,
+        output,
+        trials,
+    }
+}
+
+fn json_rows(cells: &[Cell]) -> Vec<String> {
+    cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"query\": \"{}\", \"variant\": \"{}\", \"d\": {}, \"mode\": \"{}\", \
+                 \"predicted_transfers\": {}, \"reads\": {}, \"writes\": {}, \
+                 \"measured_transfers\": {}, \"measured_over_predicted\": {:.4}, \
+                 \"wall_seconds\": {:.6}, \"trials\": {}}}",
+                c.query,
+                c.variant,
+                c.d,
+                c.mode,
+                c.predicted,
+                c.reads,
+                c.writes,
+                c.total(),
+                c.total() as f64 / c.predicted as f64,
+                c.secs,
+                c.trials
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let (rows_n, orders_n, trials) = if smoke {
+        (SMOKE_ROWS, SMOKE_ORDERS, SMOKE_TRIALS)
+    } else {
+        (FULL_ROWS, FULL_ORDERS, TRIALS)
+    };
+
+    println!("# Query engine: predicted vs measured transfers, fused vs materialized");
+    println!(
+        "\nQ1 rows = {rows_n}, Q3 orders = {orders_n}, M = {MEM_RECORDS} records, \
+         physical block = {PHYS_BLOCK} B, independent placement, overlap depth = {DEPTH}, \
+         service time = {SERVICE_US} µs/transfer, median of {trials} trials\n"
+    );
+
+    // Independent placement: one transfer per logical block regardless of D,
+    // so the cost environment is D-invariant (D moves wall time, not counts).
+    let env = CostEnv::new(PHYS_BLOCK, MEM_RECORDS);
+
+    // ---- Q1-lite: GroupBy(Sort(Filter(Scan))) -----------------------------
+    let mut seed = 0x51u64;
+    let q1_rows: Vec<Row> = (0..rows_n)
+        .map(|_| (lcg(&mut seed) % Q1_GROUPS, lcg(&mut seed)))
+        .collect();
+    let q1_f = q1_rows.iter().filter(|r| keep(r)).count() as u64;
+    let q1_g = {
+        let mut keys: Vec<u64> = q1_rows.iter().filter(|r| keep(r)).map(|r| r.0).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len() as u64
+    };
+    let q1_plan = PlanExpr::scan(rows_n, ROW_BYTES, Order::Unordered)
+        .filter(q1_f)
+        .sort(KEY)
+        .group_by(KEY, GRP_BYTES, q1_g, Order::Key(KEY));
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for d in [1usize, 4] {
+        for mode in [IoMode::Synchronous, IoMode::Overlapped] {
+            for fusion in [false, true] {
+                let predicted = predict_with_sink(&q1_plan, &env.with_fusion(fusion)) as u64;
+                let variant = if fusion { "fused" } else { "materialized" };
+                let cfg = exec_config(mode, fusion);
+                let rows = &q1_rows;
+                cells.push(run_cell(
+                    Spec {
+                        query: "q1",
+                        variant: variant.to_string(),
+                        d,
+                        mode,
+                        predicted,
+                        trials,
+                    },
+                    move |device: &SharedDevice| {
+                        ExtVec::from_slice(device.clone(), rows).expect("load")
+                    },
+                    move |input, device| {
+                        let scan = ScanExec::new(input);
+                        let mut filt = FilterExec::new(scan, keep);
+                        sort_pipe(&mut filt, device, &cfg, KEY, less, |s| {
+                            group_collect(s, device)
+                        })
+                        .expect("q1")
+                    },
+                ));
+            }
+        }
+    }
+
+    // ---- Q3-lite: GroupBy(Join(Filter(orders), lineitem)) -----------------
+    let orders: Vec<Row> = (0..orders_n).map(|k| (k, k * 7)).collect();
+    let mut lineitem: Vec<Row> = Vec::new();
+    let mut seed = 0x53u64;
+    for k in 0..orders_n {
+        for j in 0..lcg(&mut seed) % 8 {
+            lineitem.push((k, k * 1000 + j));
+        }
+    }
+    // Deterministic Fisher–Yates: lineitem arrives in no useful order.
+    for i in (1..lineitem.len()).rev() {
+        let j = lcg(&mut seed) as usize % (i + 1);
+        lineitem.swap(i, j);
+    }
+    let lines_n = lineitem.len() as u64;
+    let mut per_order = vec![0u64; orders_n as usize];
+    for r in &lineitem {
+        per_order[r.0 as usize] += 1;
+    }
+    let q3_f = (0..orders_n).filter(|&k| keep_order(k, orders_n)).count() as u64;
+    let q3_j: u64 = (0..orders_n)
+        .filter(|&k| keep_order(k, orders_n))
+        .map(|k| per_order[k as usize])
+        .sum();
+    let q3_g = (0..orders_n)
+        .filter(|&k| keep_order(k, orders_n) && per_order[k as usize] > 0)
+        .count() as u64;
+
+    let scan_o = || PlanExpr::scan(orders_n, ROW_BYTES, Order::Key(KEY));
+    let scan_l = || PlanExpr::scan(lines_n, ROW_BYTES, Order::Unordered);
+    let candidates = [
+        scan_o()
+            .filter(q3_f)
+            .sort(KEY)
+            .merge_join(scan_l().sort(KEY), KEY, ROW_BYTES, q3_j)
+            .group_by(KEY, GRP_BYTES, q3_g, Order::Key(KEY)),
+        scan_l()
+            .tiny_join(scan_o().filter(q3_f), ROW_BYTES, q3_j)
+            .sort(KEY)
+            .group_by(KEY, GRP_BYTES, q3_g, Order::Key(KEY)),
+        scan_o()
+            .filter(q3_f)
+            .tiny_join(scan_l(), ROW_BYTES, q3_j)
+            .group_by(KEY, GRP_BYTES, q3_g, Order::Key(KEY)),
+    ];
+    let plan_names = ["merge-join", "tiny-build-orders", "tiny-build-lineitem"];
+    let choice = choose(&candidates, &env);
+    let best = choice.best.expect("the merge-join plan is always feasible");
+    println!(
+        "planner: Q3 candidates predicted {:?}, chose `{}`\n",
+        choice.predicted, plan_names[best]
+    );
+    assert!(
+        !choice.predicted[2].is_finite(),
+        "the all-of-lineitem build side must be infeasible at this scale"
+    );
+
+    for d in [1usize, 4] {
+        for mode in [IoMode::Synchronous, IoMode::Overlapped] {
+            for (i, pred) in choice.predicted.iter().enumerate() {
+                if !pred.is_finite() {
+                    continue;
+                }
+                let cfg = exec_config(mode, true);
+                let (orders, lineitem) = (&orders, &lineitem);
+                cells.push(run_cell(
+                    Spec {
+                        query: "q3",
+                        variant: plan_names[i].to_string(),
+                        d,
+                        mode,
+                        predicted: *pred as u64,
+                        trials,
+                    },
+                    move |device: &SharedDevice| {
+                        let o_vec = ExtVec::from_slice(device.clone(), orders).expect("load");
+                        let l_vec = ExtVec::from_slice(device.clone(), lineitem).expect("load");
+                        (o_vec, l_vec)
+                    },
+                    move |(o_vec, l_vec), device| {
+                        let pred_o = |r: &Row| keep_order(r.0, orders_n);
+                        let out = match i {
+                            0 => sort_scan(l_vec, Order::Unordered, &cfg, KEY, less, |rs| {
+                                let left = FilterExec::new(
+                                    ScanExec::with_order(o_vec, Order::Key(KEY)),
+                                    pred_o,
+                                );
+                                let mut join = MergeJoinExec::new(
+                                    left,
+                                    rs,
+                                    |l: &Row| l.0,
+                                    |r: &Row| r.0,
+                                    |l: &Row, r: &Row| (l.0, r.1),
+                                    MEM_RECORDS,
+                                );
+                                group_collect(&mut join, device)
+                            })
+                            .expect("q3 merge join"),
+                            _ => {
+                                let mut build = FilterExec::new(
+                                    ScanExec::with_order(o_vec, Order::Key(KEY)),
+                                    pred_o,
+                                );
+                                let probe = ScanExec::new(l_vec);
+                                let mut join: TinyBuildJoinExec<_, u64, Row, _, _, Row> =
+                                    TinyBuildJoinExec::build(
+                                        &mut build,
+                                        probe,
+                                        |b: &Row| b.0,
+                                        |p: &Row| p.0,
+                                        |p: &Row, _b: &Row| (p.0, p.1),
+                                        MEM_RECORDS,
+                                    )
+                                    .expect("build side fits");
+                                sort_pipe(&mut join, device, &cfg, KEY, less, |s| {
+                                    group_collect(s, device)
+                                })
+                                .expect("q3 tiny join")
+                            }
+                        };
+                        out
+                    },
+                ));
+            }
+        }
+    }
+
+    // ---- Report -----------------------------------------------------------
+    println!("| query | plan | D | mode | predicted | measured | meas/pred | wall (s) |");
+    println!("|-------|------|---|------|-----------|----------|-----------|----------|");
+    for c in &cells {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {:.4} | {:.3} |",
+            c.query,
+            c.variant,
+            c.d,
+            c.mode,
+            c.predicted,
+            c.total(),
+            c.total() as f64 / c.predicted as f64,
+            c.secs
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"query_engine_predicted_vs_measured\",\n  \
+         \"q1_rows\": {rows_n},\n  \"q3_orders\": {orders_n},\n  \"q3_lines\": {lines_n},\n  \
+         \"mem_records\": {MEM_RECORDS},\n  \"physical_block_bytes\": {PHYS_BLOCK},\n  \
+         \"overlap_depth\": {DEPTH},\n  \"service_time_us\": {SERVICE_US},\n  \
+         \"placement\": \"independent\",\n  \"q3_planner_choice\": \"{}\",\n  \
+         \"smoke\": {smoke},\n  \"trials\": {trials},\n  \"results\": [\n{}\n  ]\n}}\n",
+        plan_names[best],
+        json_rows(&cells).join(",\n")
+    );
+    std::fs::write("BENCH_query.json", &json).expect("write BENCH_query.json");
+    println!("\nwrote BENCH_query.json");
+
+    // ---- Guards -----------------------------------------------------------
+    // Checked last so a failure still leaves the full table for diagnosis.
+    //
+    // 1. Predicted == measured, exactly, in every cell: the model replays
+    //    the engine's merge schedule and received exact cardinalities, so
+    //    its documented slack is zero.
+    for c in &cells {
+        assert_eq!(
+            c.total(),
+            c.predicted,
+            "{} {} d={} {}: measured transfers diverge from the model",
+            c.query,
+            c.variant,
+            c.d,
+            c.mode
+        );
+    }
+    // 2. Byte-identical outputs across every cell of a query.
+    for query in ["q1", "q3"] {
+        let rows: Vec<&Cell> = cells.iter().filter(|c| c.query == query).collect();
+        for c in &rows {
+            assert_eq!(
+                &c.output, &rows[0].output,
+                "{query} {} d={} {}: output differs",
+                c.variant, c.d, c.mode
+            );
+        }
+    }
+    // 3. Fusion saves exactly the predicted boundary round trips on Q1.
+    for d in [1usize, 4] {
+        for mode in ["sync", "overlapped"] {
+            let get = |variant: &str| {
+                cells
+                    .iter()
+                    .find(|c| c.query == "q1" && c.variant == variant && c.d == d && c.mode == mode)
+                    .expect("cell present")
+            };
+            let (mat, fus) = (get("materialized"), get("fused"));
+            assert!(
+                fus.total() < mat.total(),
+                "q1 d={d} {mode}: fused not cheaper than materialized"
+            );
+            assert_eq!(
+                mat.total() - fus.total(),
+                mat.predicted - fus.predicted,
+                "q1 d={d} {mode}: fusion saving diverges from the model"
+            );
+        }
+    }
+    // 4. I/O mode moves wall time only, never a transfer count.
+    for c in &cells {
+        let twin = cells
+            .iter()
+            .find(|t| {
+                t.query == c.query && t.variant == c.variant && t.d == c.d && t.mode != c.mode
+            })
+            .expect("mode twin");
+        assert_eq!(
+            (c.reads, c.writes),
+            (twin.reads, twin.writes),
+            "{} {} d={}: I/O mode changed the transfer counts",
+            c.query,
+            c.variant,
+            c.d
+        );
+    }
+    // 5. The planner's Q3 choice is the measured-cheapest feasible plan.
+    for d in [1usize, 4] {
+        for mode in ["sync", "overlapped"] {
+            let q3: Vec<&Cell> = cells
+                .iter()
+                .filter(|c| c.query == "q3" && c.d == d && c.mode == mode)
+                .collect();
+            let chosen = q3
+                .iter()
+                .find(|c| c.variant == plan_names[best])
+                .expect("chosen plan executed");
+            for c in &q3 {
+                assert!(
+                    chosen.total() <= c.total(),
+                    "q3 d={d} {mode}: planner chose `{}` ({}) but `{}` measured cheaper ({})",
+                    chosen.variant,
+                    chosen.total(),
+                    c.variant,
+                    c.total()
+                );
+            }
+        }
+    }
+    println!(
+        "guards passed: predicted == measured in all {} cells, outputs identical, \
+         fusion saves exactly the modeled boundaries, planner choice `{}` is \
+         measured-cheapest",
+        cells.len(),
+        plan_names[best]
+    );
+}

@@ -79,6 +79,91 @@ pub fn merge_sort_ios(n: u64, m: usize, b: usize, fan_in: usize) -> f64 {
     2.0 * scan(n, b) * merge_passes(n, m, fan_in) as f64
 }
 
+/// Initial runs formed by load–sort–store run formation: `⌈N/M⌉` runs of
+/// exactly `M` records each (the last possibly partial).  Zero for an empty
+/// input.
+pub fn initial_runs(n: u64, m: usize) -> u64 {
+    (n as f64 / m as f64).ceil() as u64
+}
+
+/// The load–sort–store run queue, as record counts: `⌈N/M⌉ − 1` full runs
+/// plus the remainder.
+fn run_queue(n: u64, m: usize) -> std::collections::VecDeque<u64> {
+    let m = m as u64;
+    let mut q = std::collections::VecDeque::new();
+    let mut left = n;
+    while left > 0 {
+        let take = left.min(m);
+        q.push_back(take);
+        left -= take;
+    }
+    q
+}
+
+fn blocks(records: u64, b: usize) -> u64 {
+    records.div_ceil(b as u64)
+}
+
+/// Exact transfer count of a *materialized* `k`-way external merge sort
+/// (`merge_sort_by`): read the input, write `⌈N/M⌉` runs, then merge
+/// front-to-back in groups of `k` until one run remains — the final merge's
+/// output write included.  A single initial run is returned as the output
+/// directly (no merge).  Exact for load–sort–store run formation, including
+/// partial merge passes and per-run block rounding.
+pub fn merge_sort_exact_ios(n: u64, m: usize, b: usize, fan_in: usize) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let mut q = run_queue(n, m);
+    let mut t = scan(n, b) as u64; // read input during run formation
+    t += q.iter().map(|&r| blocks(r, b)).sum::<u64>(); // write runs
+    t += simulate_full_merge(&mut q, fan_in, b, |len| len > 1);
+    t
+}
+
+/// Exact transfer count of a *fused* streaming merge sort
+/// (`merge_sort_streaming` / a drained `SortingWriter`, input read
+/// included): read the input, write the runs, merge front-to-back in groups
+/// of `k` while more than `k` runs remain, then *read* the final `≤ k` runs
+/// once as the consumer drains the fused last merge — no output write.
+/// The fused sort therefore costs exactly `⌈N/B⌉` less than
+/// [`merge_sort_exact_ios`] whenever at least one merge happens, and
+/// `⌈N/B⌉` *more* when a single run forms (the materialized sort returns
+/// the run directly; the stream must read it back).
+pub fn merge_sort_streamed_ios(n: u64, m: usize, b: usize, fan_in: usize) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let mut q = run_queue(n, m);
+    let mut t = scan(n, b) as u64;
+    t += q.iter().map(|&r| blocks(r, b)).sum::<u64>();
+    t += simulate_full_merge(&mut q, fan_in, b, |len| len > fan_in.max(2));
+    t += q.iter().map(|&r| blocks(r, b)).sum::<u64>(); // final fused read
+    t
+}
+
+/// Merge `queue` front-to-back in groups of `min(k, len)` while
+/// `more(len)`, counting one read per input block and one write per output
+/// block.
+fn simulate_full_merge(
+    queue: &mut std::collections::VecDeque<u64>,
+    fan_in: usize,
+    b: usize,
+    more: impl Fn(usize) -> bool,
+) -> u64 {
+    let k = fan_in.max(2);
+    let mut transfers = 0u64;
+    while more(queue.len()) {
+        let take = k.min(queue.len());
+        let inputs: Vec<u64> = queue.drain(..take).collect();
+        transfers += inputs.iter().map(|&r| blocks(r, b)).sum::<u64>(); // reads
+        let group: u64 = inputs.iter().sum();
+        transfers += blocks(group, b); // output write
+        queue.push_back(group);
+    }
+    transfers
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,1170 @@
+//! # Volcano-style pull operators over external streams
+//!
+//! The classical iterator ("Volcano") execution model, specialized to the
+//! PDM: every operator implements [`QueryExec`] — pull one record with
+//! [`try_next`](QueryExec::try_next) (or a block with
+//! [`next_block`](QueryExec::next_block)) and report the sort order of the
+//! stream with [`order`](QueryExec::order).  Operators compose into
+//! pipelines that never materialize an intermediate that is consumed once:
+//!
+//! * [`ScanExec`] — the leaf; streams an [`ExtVec`] (`O(Scan(N))`).
+//! * [`FilterExec`] / [`ProjectExec`] — pure pipes, zero I/O of their own.
+//! * [`LimitExec`] / [`DistinctExec`] — pipes over (sorted, for distinct)
+//!   input.
+//! * [`GroupByExec`] — streaming fold over key-sorted input, one group in
+//!   memory at a time.
+//! * [`MergeJoinExec`] / [`FilteringJoinExec`] — sort-merge equi-/semi-/
+//!   anti-join over two key-sorted streams; the current right key group is
+//!   buffered in memory and charged to a [`MemBudget`].
+//! * [`TinyBuildJoinExec`] — the planner's alternative join: when one side
+//!   fits in `M` records it is absorbed into an in-memory table and the
+//!   other side streams past *unsorted* — no sort on either side.
+//! * [`TopKExec`] — selection heap of `k` records over one pass.
+//! * Sort — not a struct but the continuation-passing drivers
+//!   [`sort_scan`] / [`sort_pipe`]: under the hood they are
+//!   [`merge_sort_streaming`] (base relations) and [`SortingWriter`]
+//!   (computed streams), so a sort inside a pipeline costs exactly
+//!   run-formation plus one final streamed merge.  Both skip the sort
+//!   entirely when the input already carries the requested [`Order`].
+//!
+//! Sort operators borrow their final-stage runs from the sorting routine's
+//! frame (see [`SortedStream`]), so pipelines containing sorts are composed
+//! in continuation-passing style: each sort driver hands the downstream
+//! plan a `&mut dyn QueryExec` rather than returning an iterator.  The
+//! [`ExecConfig::fusion`] switch routes the *same* composition through the
+//! materialize-everything baseline — every operator boundary writes an
+//! [`ExtVec`] and re-reads it — for A/B cost comparisons; record sequences
+//! are identical either way.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use em_core::{BudgetGuard, ExtVec, ExtVecReader, ExtVecWriter, MemBudget, Record};
+use emsort::{merge_sort_streaming, SortConfig, SortedStream, SortingWriter};
+use pdm::{Result, SharedDevice};
+
+/// Identifier of a sort key as declared by the query author.
+///
+/// Two streams carry the same order exactly when they report the same
+/// `KeyId`; the engine never introspects comparator closures, so assigning
+/// the same id to two different orderings is the caller's bug.
+pub type KeyId = u32;
+
+/// Sort-order metadata carried by every [`QueryExec`] stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Order {
+    /// No order is guaranteed.
+    #[default]
+    Unordered,
+    /// Records arrive non-decreasing under the comparator registered for
+    /// this [`KeyId`].
+    Key(KeyId),
+}
+
+impl Order {
+    /// True when this order satisfies a request for `key`.
+    pub fn matches(self, key: KeyId) -> bool {
+        self == Order::Key(key)
+    }
+}
+
+/// A pull-based query operator — the Volcano iterator protocol shaped like
+/// [`SortedStream`]: `try_next` pulls one record, `next_block` pulls up to
+/// a block's worth, and `order` reports the stream's sort order so
+/// downstream sorts can be elided.
+pub trait QueryExec {
+    /// The record type this operator produces.
+    type Item: Record;
+
+    /// The next record, or `None` once the stream is drained.  Device
+    /// errors from any operator below propagate here via `?`.
+    fn try_next(&mut self) -> Result<Option<Self::Item>>;
+
+    /// The sort order of the records this stream delivers.
+    fn order(&self) -> Order;
+
+    /// Pull up to `max` records into `out` (cleared first); returns how
+    /// many arrived.  Zero means the stream is drained.
+    fn next_block(&mut self, out: &mut Vec<Self::Item>, max: usize) -> Result<usize> {
+        out.clear();
+        while out.len() < max {
+            match self.try_next()? {
+                Some(r) => out.push(r),
+                None => break,
+            }
+        }
+        Ok(out.len())
+    }
+}
+
+impl<T: QueryExec + ?Sized> QueryExec for &mut T {
+    type Item = T::Item;
+
+    fn try_next(&mut self) -> Result<Option<Self::Item>> {
+        (**self).try_next()
+    }
+
+    fn order(&self) -> Order {
+        (**self).order()
+    }
+}
+
+/// Leaf operator: stream a base relation.  `O(Scan(N))` reads, no writes.
+pub struct ScanExec<'a, R: Record> {
+    reader: ExtVecReader<'a, R>,
+    order: Order,
+}
+
+impl<'a, R: Record> ScanExec<'a, R> {
+    /// Scan `input` with no order guarantee.
+    pub fn new(input: &'a ExtVec<R>) -> Self {
+        Self::with_order(input, Order::Unordered)
+    }
+
+    /// Scan `input`, declaring the order its records are known to be stored
+    /// in (e.g. a relation clustered on its key).  A wrong declaration
+    /// silently produces wrong answers downstream — it is a contract, not a
+    /// check.
+    pub fn with_order(input: &'a ExtVec<R>, order: Order) -> Self {
+        ScanExec {
+            reader: input.reader(),
+            order,
+        }
+    }
+}
+
+impl<R: Record> QueryExec for ScanExec<'_, R> {
+    type Item = R;
+
+    fn try_next(&mut self) -> Result<Option<R>> {
+        self.reader.try_next()
+    }
+
+    fn order(&self) -> Order {
+        self.order
+    }
+}
+
+/// Selection: keep the records satisfying `pred`.  Pure pipe — preserves
+/// order, performs no I/O of its own.
+pub struct FilterExec<S, P> {
+    child: S,
+    pred: P,
+}
+
+impl<S, P> FilterExec<S, P>
+where
+    S: QueryExec,
+    P: FnMut(&S::Item) -> bool,
+{
+    /// Filter `child` by `pred`.
+    pub fn new(child: S, pred: P) -> Self {
+        FilterExec { child, pred }
+    }
+}
+
+impl<S, P> QueryExec for FilterExec<S, P>
+where
+    S: QueryExec,
+    P: FnMut(&S::Item) -> bool,
+{
+    type Item = S::Item;
+
+    fn try_next(&mut self) -> Result<Option<S::Item>> {
+        while let Some(r) = self.child.try_next()? {
+            if (self.pred)(&r) {
+                return Ok(Some(r));
+            }
+        }
+        Ok(None)
+    }
+
+    fn order(&self) -> Order {
+        self.child.order()
+    }
+}
+
+/// Projection (and optional selection in one): map each record through `f`,
+/// keeping the `Some` results.  The output order must be declared by the
+/// caller — a projection that keeps the sort key keeps the order, one that
+/// drops it does not, and the engine cannot tell the difference.
+pub struct ProjectExec<S, F, O> {
+    child: S,
+    f: F,
+    order: Order,
+    _out: std::marker::PhantomData<O>,
+}
+
+impl<S, F, O> ProjectExec<S, F, O>
+where
+    S: QueryExec,
+    O: Record,
+    F: FnMut(&S::Item) -> Option<O>,
+{
+    /// Project `child` through `f`; `order` declares the output order
+    /// ([`Order::Unordered`] unless the projection preserves the key).
+    pub fn new(child: S, f: F, order: Order) -> Self {
+        ProjectExec {
+            child,
+            f,
+            order,
+            _out: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<S, F, O> QueryExec for ProjectExec<S, F, O>
+where
+    S: QueryExec,
+    O: Record,
+    F: FnMut(&S::Item) -> Option<O>,
+{
+    type Item = O;
+
+    fn try_next(&mut self) -> Result<Option<O>> {
+        while let Some(r) = self.child.try_next()? {
+            if let Some(o) = (self.f)(&r) {
+                return Ok(Some(o));
+            }
+        }
+        Ok(None)
+    }
+
+    fn order(&self) -> Order {
+        self.order
+    }
+}
+
+/// Cut the stream off after `n` records.  Preserves order.
+pub struct LimitExec<S> {
+    child: S,
+    remaining: u64,
+}
+
+impl<S: QueryExec> LimitExec<S> {
+    /// Pass through at most `n` records of `child`.
+    pub fn new(child: S, n: u64) -> Self {
+        LimitExec {
+            child,
+            remaining: n,
+        }
+    }
+}
+
+impl<S: QueryExec> QueryExec for LimitExec<S> {
+    type Item = S::Item;
+
+    fn try_next(&mut self) -> Result<Option<S::Item>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.child.try_next()? {
+            Some(r) => {
+                self.remaining -= 1;
+                Ok(Some(r))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn order(&self) -> Order {
+        self.child.order()
+    }
+}
+
+/// Duplicate elimination over a *sorted* stream: equal records are adjacent,
+/// so one record of look-back suffices.  Preserves order.
+pub struct DistinctExec<S: QueryExec> {
+    child: S,
+    last: Option<S::Item>,
+}
+
+impl<S> DistinctExec<S>
+where
+    S: QueryExec,
+    S::Item: PartialEq,
+{
+    /// Deduplicate `child`, which must deliver equal records adjacently
+    /// (i.e. be sorted by the full record).
+    pub fn new(child: S) -> Self {
+        DistinctExec { child, last: None }
+    }
+}
+
+impl<S> QueryExec for DistinctExec<S>
+where
+    S: QueryExec,
+    S::Item: PartialEq,
+{
+    type Item = S::Item;
+
+    fn try_next(&mut self) -> Result<Option<S::Item>> {
+        while let Some(r) = self.child.try_next()? {
+            if self.last.as_ref() != Some(&r) {
+                self.last = Some(r.clone());
+                return Ok(Some(r));
+            }
+        }
+        Ok(None)
+    }
+
+    fn order(&self) -> Order {
+        self.child.order()
+    }
+}
+
+/// Streaming group-by over key-sorted input: each group is folded
+/// left-to-right with one accumulator in memory, and one output record is
+/// emitted per group, in key order.
+pub struct GroupByExec<S, K, KF, Acc, FoldF, FinF, O>
+where
+    S: QueryExec,
+{
+    child: S,
+    key: KF,
+    init: Acc,
+    fold: FoldF,
+    fin: FinF,
+    pending: Option<S::Item>,
+    primed: bool,
+    out_order: Order,
+    _k: std::marker::PhantomData<K>,
+    _out: std::marker::PhantomData<O>,
+}
+
+impl<S, K, KF, Acc, FoldF, FinF, O> GroupByExec<S, K, KF, Acc, FoldF, FinF, O>
+where
+    S: QueryExec,
+    O: Record,
+    K: PartialEq,
+    KF: Fn(&S::Item) -> K,
+    Acc: Clone,
+    FoldF: FnMut(&mut Acc, &S::Item),
+    FinF: FnMut(K, Acc, u64) -> O,
+{
+    /// Group `child` (sorted by `key`) and fold each group from `init` with
+    /// `fold`; `fin` turns `(key, accumulator, group size)` into the output
+    /// record.  `out_order` declares the output's order — usually
+    /// `Order::Key(id of the group key in output space)`.
+    pub fn new(child: S, key: KF, init: Acc, fold: FoldF, fin: FinF, out_order: Order) -> Self {
+        GroupByExec {
+            child,
+            key,
+            init,
+            fold,
+            fin,
+            pending: None,
+            primed: false,
+            out_order,
+            _k: std::marker::PhantomData,
+            _out: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<S, K, KF, Acc, FoldF, FinF, O> QueryExec for GroupByExec<S, K, KF, Acc, FoldF, FinF, O>
+where
+    S: QueryExec,
+    O: Record,
+    K: PartialEq,
+    KF: Fn(&S::Item) -> K,
+    Acc: Clone,
+    FoldF: FnMut(&mut Acc, &S::Item),
+    FinF: FnMut(K, Acc, u64) -> O,
+{
+    type Item = O;
+
+    fn try_next(&mut self) -> Result<Option<O>> {
+        if !self.primed {
+            self.pending = self.child.try_next()?;
+            self.primed = true;
+        }
+        let Some(first) = self.pending.take() else {
+            return Ok(None);
+        };
+        let k = (self.key)(&first);
+        let mut acc = self.init.clone();
+        (self.fold)(&mut acc, &first);
+        let mut count = 1u64;
+        loop {
+            match self.child.try_next()? {
+                Some(r) if (self.key)(&r) == k => {
+                    (self.fold)(&mut acc, &r);
+                    count += 1;
+                }
+                other => {
+                    self.pending = other;
+                    break;
+                }
+            }
+        }
+        Ok(Some((self.fin)(k, acc, count)))
+    }
+
+    fn order(&self) -> Order {
+        self.out_order
+    }
+}
+
+/// Sort-merge equi-join over two streams sorted on the join key: the left
+/// side streams through; the current right key group is buffered in memory
+/// and charged against a [`MemBudget`] (a group larger than `M` is a model
+/// violation and panics, the standard sort-merge-join assumption).  Output
+/// follows the left stream's order.
+pub struct MergeJoinExec<LS, RS, K, KL, KR, MK, O>
+where
+    LS: QueryExec,
+    RS: QueryExec,
+{
+    left: LS,
+    right: RS,
+    key_l: KL,
+    key_r: KR,
+    make: MK,
+    group: Vec<RS::Item>,
+    group_key: Option<K>,
+    group_at: usize,
+    cur_left: Option<LS::Item>,
+    cur_right: Option<RS::Item>,
+    primed: bool,
+    budget: Arc<MemBudget>,
+    group_charge: Option<BudgetGuard>,
+    _out: std::marker::PhantomData<O>,
+}
+
+impl<LS, RS, K, KL, KR, MK, O> MergeJoinExec<LS, RS, K, KL, KR, MK, O>
+where
+    LS: QueryExec,
+    RS: QueryExec,
+    O: Record,
+    K: Ord,
+    KL: Fn(&LS::Item) -> K,
+    KR: Fn(&RS::Item) -> K,
+    MK: FnMut(&LS::Item, &RS::Item) -> O,
+{
+    /// Join `left` and `right` (both sorted on the join key), emitting
+    /// `make(l, r)` for every key-equal pair.  `mem_records` bounds the
+    /// buffered right key group.
+    pub fn new(left: LS, right: RS, key_l: KL, key_r: KR, make: MK, mem_records: usize) -> Self {
+        MergeJoinExec {
+            left,
+            right,
+            key_l,
+            key_r,
+            make,
+            group: Vec::new(),
+            group_key: None,
+            group_at: 0,
+            cur_left: None,
+            cur_right: None,
+            primed: false,
+            budget: MemBudget::new(mem_records),
+            group_charge: None,
+            _out: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<LS, RS, K, KL, KR, MK, O> QueryExec for MergeJoinExec<LS, RS, K, KL, KR, MK, O>
+where
+    LS: QueryExec,
+    RS: QueryExec,
+    O: Record,
+    K: Ord,
+    KL: Fn(&LS::Item) -> K,
+    KR: Fn(&RS::Item) -> K,
+    MK: FnMut(&LS::Item, &RS::Item) -> O,
+{
+    type Item = O;
+
+    fn try_next(&mut self) -> Result<Option<O>> {
+        if !self.primed {
+            self.cur_left = self.left.try_next()?;
+            self.cur_right = self.right.try_next()?;
+            self.primed = true;
+        }
+        loop {
+            let Some(l) = self.cur_left.as_ref() else {
+                return Ok(None);
+            };
+            let kl = (self.key_l)(l);
+            if self.group_key.as_ref() == Some(&kl) {
+                if self.group_at < self.group.len() {
+                    let o = (self.make)(l, &self.group[self.group_at]);
+                    self.group_at += 1;
+                    return Ok(Some(o));
+                }
+                self.cur_left = self.left.try_next()?;
+                self.group_at = 0;
+                continue;
+            }
+            // Advance the right side to the first record with key ≥ kl and
+            // buffer the key-equal group.
+            while self
+                .cur_right
+                .as_ref()
+                .is_some_and(|r| (self.key_r)(r) < kl)
+            {
+                self.cur_right = self.right.try_next()?;
+            }
+            self.group.clear();
+            drop(self.group_charge.take());
+            while self
+                .cur_right
+                .as_ref()
+                .is_some_and(|r| (self.key_r)(r) == kl)
+            {
+                if let Some(r) = self.cur_right.take() {
+                    self.group.push(r);
+                }
+                self.cur_right = self.right.try_next()?;
+            }
+            self.group_charge = Some(self.budget.charge(self.group.len()));
+            self.group_key = Some(kl);
+            self.group_at = 0;
+        }
+    }
+
+    fn order(&self) -> Order {
+        self.left.order()
+    }
+}
+
+/// Which records a [`FilteringJoinExec`] keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterJoinKind {
+    /// Keep left records whose key appears on the right (semi-join).
+    Semi,
+    /// Keep left records whose key does **not** appear on the right
+    /// (anti-join).
+    Anti,
+}
+
+/// Semi-/anti-join over two streams sorted on the join key: emits the left
+/// records whose key does (semi) or does not (anti) appear on the right.
+/// Needs no group buffering — one right record of look-ahead suffices.
+pub struct FilteringJoinExec<LS, RS, K, KL, KR>
+where
+    LS: QueryExec,
+    RS: QueryExec,
+{
+    left: LS,
+    right: RS,
+    key_l: KL,
+    key_r: KR,
+    kind: FilterJoinKind,
+    cur_right: Option<RS::Item>,
+    primed: bool,
+    _k: std::marker::PhantomData<K>,
+}
+
+impl<LS, RS, K, KL, KR> FilteringJoinExec<LS, RS, K, KL, KR>
+where
+    LS: QueryExec,
+    RS: QueryExec,
+    K: Ord,
+    KL: Fn(&LS::Item) -> K,
+    KR: Fn(&RS::Item) -> K,
+{
+    /// Build a semi- or anti-join of `left` against `right` (both sorted on
+    /// the join key).
+    pub fn new(left: LS, right: RS, key_l: KL, key_r: KR, kind: FilterJoinKind) -> Self {
+        FilteringJoinExec {
+            left,
+            right,
+            key_l,
+            key_r,
+            kind,
+            cur_right: None,
+            primed: false,
+            _k: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<LS, RS, K, KL, KR> QueryExec for FilteringJoinExec<LS, RS, K, KL, KR>
+where
+    LS: QueryExec,
+    RS: QueryExec,
+    K: Ord,
+    KL: Fn(&LS::Item) -> K,
+    KR: Fn(&RS::Item) -> K,
+{
+    type Item = LS::Item;
+
+    fn try_next(&mut self) -> Result<Option<LS::Item>> {
+        if !self.primed {
+            self.cur_right = self.right.try_next()?;
+            self.primed = true;
+        }
+        while let Some(l) = self.left.try_next()? {
+            let kl = (self.key_l)(&l);
+            while self
+                .cur_right
+                .as_ref()
+                .is_some_and(|r| (self.key_r)(r) < kl)
+            {
+                self.cur_right = self.right.try_next()?;
+            }
+            let matches = self
+                .cur_right
+                .as_ref()
+                .is_some_and(|r| (self.key_r)(r) == kl);
+            if matches == (self.kind == FilterJoinKind::Semi) {
+                return Ok(Some(l));
+            }
+        }
+        Ok(None)
+    }
+
+    fn order(&self) -> Order {
+        self.left.order()
+    }
+}
+
+/// The planner's small-side join: absorb the entire build stream into an
+/// in-memory table (feasible only when it fits in `M` records — the cost
+/// model checks before choosing this operator), then stream the probe side
+/// past it with **no sort on either side**.  Output follows the probe
+/// stream's order, so a probe relation clustered on the join key feeds a
+/// downstream group-by for free.
+pub struct TinyBuildJoinExec<PS, K, BR, KP, MK, O>
+where
+    PS: QueryExec,
+{
+    probe: PS,
+    table: BTreeMap<K, Vec<BR>>,
+    key_p: KP,
+    make: MK,
+    cur: Option<PS::Item>,
+    cur_at: usize,
+    primed: bool,
+    _table_charge: BudgetGuard,
+    _out: std::marker::PhantomData<O>,
+}
+
+impl<PS, K, BR, KP, MK, O> TinyBuildJoinExec<PS, K, BR, KP, MK, O>
+where
+    PS: QueryExec,
+    BR: Record,
+    O: Record,
+    K: Ord,
+    KP: Fn(&PS::Item) -> K,
+    MK: FnMut(&PS::Item, &BR) -> O,
+{
+    /// Drain `build` into an in-memory table keyed by `key_b`, charging its
+    /// record count against a fresh budget of `mem_records` (exceeding it is
+    /// a model-violation panic — the planner's feasibility check exists to
+    /// prevent ever getting there).  `probe` then streams past the table.
+    pub fn build(
+        build: &mut dyn QueryExec<Item = BR>,
+        probe: PS,
+        key_b: impl Fn(&BR) -> K,
+        key_p: KP,
+        make: MK,
+        mem_records: usize,
+    ) -> Result<Self> {
+        let budget = MemBudget::new(mem_records);
+        let mut table: BTreeMap<K, Vec<BR>> = BTreeMap::new();
+        let mut n = 0usize;
+        while let Some(b) = build.try_next()? {
+            table.entry(key_b(&b)).or_default().push(b);
+            n += 1;
+        }
+        let charge = budget.charge(n);
+        Ok(TinyBuildJoinExec {
+            probe,
+            table,
+            key_p,
+            make,
+            cur: None,
+            cur_at: 0,
+            primed: false,
+            _table_charge: charge,
+            _out: std::marker::PhantomData,
+        })
+    }
+}
+
+impl<PS, K, BR, KP, MK, O> QueryExec for TinyBuildJoinExec<PS, K, BR, KP, MK, O>
+where
+    PS: QueryExec,
+    BR: Record,
+    O: Record,
+    K: Ord,
+    KP: Fn(&PS::Item) -> K,
+    MK: FnMut(&PS::Item, &BR) -> O,
+{
+    type Item = O;
+
+    fn try_next(&mut self) -> Result<Option<O>> {
+        if !self.primed {
+            self.cur = self.probe.try_next()?;
+            self.primed = true;
+        }
+        loop {
+            let Some(p) = self.cur.as_ref() else {
+                return Ok(None);
+            };
+            let kp = (self.key_p)(p);
+            if let Some(matches) = self.table.get(&kp) {
+                if self.cur_at < matches.len() {
+                    let o = (self.make)(p, &matches[self.cur_at]);
+                    self.cur_at += 1;
+                    return Ok(Some(o));
+                }
+            }
+            self.cur = self.probe.try_next()?;
+            self.cur_at = 0;
+        }
+    }
+
+    fn order(&self) -> Order {
+        self.probe.order()
+    }
+}
+
+/// The `k` smallest records by an extracted key, emitted in key order — a
+/// selection heap over one pass of the child.  Blocking: the child is
+/// drained on the first [`try_next`](QueryExec::try_next).  Ties break
+/// toward earlier input position, so the result is deterministic.
+pub struct TopKExec<S, K, KF>
+where
+    S: QueryExec,
+{
+    child: S,
+    k: usize,
+    key: KF,
+    out_order: Order,
+    built: Option<std::vec::IntoIter<S::Item>>,
+    _heap_charge: BudgetGuard,
+    _k: std::marker::PhantomData<K>,
+}
+
+struct HeapEntry<K, R> {
+    key: K,
+    seq: u64,
+    rec: R,
+}
+
+impl<K: Ord, R> PartialEq for HeapEntry<K, R> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl<K: Ord, R> Eq for HeapEntry<K, R> {}
+impl<K: Ord, R> PartialOrd for HeapEntry<K, R> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K: Ord, R> Ord for HeapEntry<K, R> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<S, K, KF> TopKExec<S, K, KF>
+where
+    S: QueryExec,
+    K: Ord,
+    KF: Fn(&S::Item) -> K,
+{
+    /// Keep the `k` smallest records of `child` by `key`, charging the
+    /// `k`-record heap against `budget`.  `out_order` declares the output
+    /// order (the id registered for `key`).
+    pub fn with_budget(
+        child: S,
+        k: usize,
+        key: KF,
+        budget: &Arc<MemBudget>,
+        out_order: Order,
+    ) -> Self {
+        TopKExec {
+            child,
+            k,
+            key,
+            out_order,
+            built: None,
+            _heap_charge: budget.charge(k),
+            _k: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<S, K, KF> QueryExec for TopKExec<S, K, KF>
+where
+    S: QueryExec,
+    K: Ord,
+    KF: Fn(&S::Item) -> K,
+{
+    type Item = S::Item;
+
+    fn try_next(&mut self) -> Result<Option<S::Item>> {
+        if self.built.is_none() {
+            // Max-heap of the k best so far; a sequence number keeps the
+            // heap total-ordered and ties deterministic.
+            let mut heap: std::collections::BinaryHeap<HeapEntry<K, S::Item>> =
+                std::collections::BinaryHeap::with_capacity(self.k + 1);
+            let mut seq = 0u64;
+            while let Some(rec) = self.child.try_next()? {
+                heap.push(HeapEntry {
+                    key: (self.key)(&rec),
+                    seq,
+                    rec,
+                });
+                seq += 1;
+                if heap.len() > self.k {
+                    heap.pop(); // drop the current worst
+                }
+            }
+            let mut best: Vec<HeapEntry<K, S::Item>> = heap.into_vec();
+            best.sort_by(|a, b| a.key.cmp(&b.key).then(a.seq.cmp(&b.seq)));
+            self.built = Some(
+                best.into_iter()
+                    .map(|e| e.rec)
+                    .collect::<Vec<_>>()
+                    .into_iter(),
+            );
+        }
+        match self.built.as_mut() {
+            Some(it) => Ok(it.next()),
+            None => Ok(None),
+        }
+    }
+
+    fn order(&self) -> Order {
+        self.out_order
+    }
+}
+
+/// Adapter presenting a borrowed [`SortedStream`] — the fused final merge
+/// pass of a sort — as a [`QueryExec`] operator.
+pub struct SortStreamExec<'s, 'a, R: Record, F> {
+    inner: &'s mut SortedStream<'a, R, F>,
+    order: Order,
+}
+
+impl<'s, 'a, R, F> SortStreamExec<'s, 'a, R, F>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy,
+{
+    /// Wrap `inner`, declaring the key it is sorted by.
+    pub fn new(inner: &'s mut SortedStream<'a, R, F>, order: Order) -> Self {
+        SortStreamExec { inner, order }
+    }
+}
+
+impl<R, F> QueryExec for SortStreamExec<'_, '_, R, F>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy,
+{
+    type Item = R;
+
+    fn try_next(&mut self) -> Result<Option<R>> {
+        self.inner.try_next()
+    }
+
+    fn order(&self) -> Order {
+        self.order
+    }
+}
+
+/// Execution parameters of one query: the sort configuration plus the
+/// pipeline-fusion switch.
+///
+/// With `fusion` on (the default) operator boundaries stream: sorts run as
+/// run-formation plus one final streamed merge, and pipes hand records
+/// straight through.  With `fusion` off the engine becomes the
+/// materialize-everything baseline — every operator boundary writes its
+/// output to an [`ExtVec`] and the consumer re-reads it — the pre-fusion
+/// cost kept for A/B benchmarks.  Record sequences are identical either
+/// way; only transfer counts differ.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Sort parameters (memory budget `M`, kernel, overlap, …).
+    pub sort: SortConfig,
+    /// Stream operator boundaries (true) or materialize each one (false).
+    pub fusion: bool,
+}
+
+impl ExecConfig {
+    /// A fused configuration with the given sort memory budget.
+    pub fn new(mem_records: usize) -> Self {
+        ExecConfig {
+            sort: SortConfig::new(mem_records),
+            fusion: true,
+        }
+    }
+
+    /// Adopt an existing [`SortConfig`], inheriting its fusion flag.
+    pub fn from_sort(sort: SortConfig) -> Self {
+        ExecConfig {
+            fusion: sort.fusion,
+            sort,
+        }
+    }
+
+    /// Builder: set both the engine's and the sorts' fusion flag.
+    pub fn with_fusion(mut self, fusion: bool) -> Self {
+        self.fusion = fusion;
+        self.sort.fusion = fusion;
+        self
+    }
+
+    /// The sort configuration with its fusion flag aligned to the engine's.
+    pub fn sort_config(&self) -> SortConfig {
+        SortConfig {
+            fusion: self.fusion,
+            ..self.sort
+        }
+    }
+}
+
+/// Sort a base relation and hand the result to `consume` as a pull stream —
+/// [`merge_sort_streaming`] under the hood, so the cost is run formation
+/// plus one final streamed merge.  When `input_order` already matches `key`
+/// the sort is elided entirely: `consume` receives a plain scan and the
+/// operator costs zero extra transfers.
+pub fn sort_scan<R, F, T>(
+    input: &ExtVec<R>,
+    input_order: Order,
+    cfg: &ExecConfig,
+    key: KeyId,
+    less: F,
+    consume: impl FnOnce(&mut dyn QueryExec<Item = R>) -> Result<T>,
+) -> Result<T>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy + Send,
+{
+    if input_order.matches(key) {
+        let mut scan = ScanExec::with_order(input, input_order);
+        return consume(&mut scan);
+    }
+    let sc = cfg.sort_config();
+    merge_sort_streaming(input, &sc, less, |s| {
+        consume(&mut SortStreamExec::new(s, Order::Key(key)))
+    })
+}
+
+/// Sort a computed stream and hand the result to `consume` as a pull stream
+/// — [`SortingWriter`] under the hood, so the records spill directly as
+/// sorted runs (the unsorted intermediate never exists) and the final merge
+/// streams into the continuation.  When the child already carries `key`'s
+/// order the sort is elided; in the materialize-everything baseline the
+/// elided boundary still materializes (see [`pipe_boundary`]).
+pub fn sort_pipe<R, F, T>(
+    child: &mut dyn QueryExec<Item = R>,
+    device: &SharedDevice,
+    cfg: &ExecConfig,
+    key: KeyId,
+    less: F,
+    consume: impl FnOnce(&mut dyn QueryExec<Item = R>) -> Result<T>,
+) -> Result<T>
+where
+    R: Record,
+    F: Fn(&R, &R) -> bool + Copy + Send,
+{
+    if child.order().matches(key) {
+        return pipe_boundary(child, device, cfg, consume);
+    }
+    let sc = cfg.sort_config();
+    let mut w = SortingWriter::new(device.clone(), &sc, less);
+    while let Some(r) = child.try_next()? {
+        w.push(r)?;
+    }
+    w.finish_streaming(|s| consume(&mut SortStreamExec::new(s, Order::Key(key))))
+}
+
+/// An operator boundary that fuses to nothing: with [`ExecConfig::fusion`]
+/// on, `consume` receives `child` directly; with fusion off the child is
+/// materialized into an [`ExtVec`] (freed afterwards) and `consume`
+/// receives a scan of it — the 2·⌈N/B⌉ transfers the fused pipeline
+/// deletes at every once-consumed boundary.
+pub fn pipe_boundary<R, T>(
+    child: &mut dyn QueryExec<Item = R>,
+    device: &SharedDevice,
+    cfg: &ExecConfig,
+    consume: impl FnOnce(&mut dyn QueryExec<Item = R>) -> Result<T>,
+) -> Result<T>
+where
+    R: Record,
+{
+    if cfg.fusion {
+        return consume(child);
+    }
+    let order = child.order();
+    let mut w: ExtVecWriter<R> = ExtVecWriter::new(device.clone());
+    while let Some(r) = child.try_next()? {
+        w.push(r)?;
+    }
+    let v = w.finish()?;
+    let out = {
+        let mut scan = ScanExec::with_order(&v, order);
+        consume(&mut scan)?
+    };
+    v.free()?;
+    Ok(out)
+}
+
+/// Drain `exec` into a new external array on `device` — the root sink of a
+/// pipeline.  Costs one write per output block.
+pub fn collect<R: Record>(
+    exec: &mut dyn QueryExec<Item = R>,
+    device: &SharedDevice,
+) -> Result<ExtVec<R>> {
+    let mut w: ExtVecWriter<R> = ExtVecWriter::new(device.clone());
+    while let Some(r) = exec.try_next()? {
+        w.push(r)?;
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::EmConfig;
+
+    fn device() -> SharedDevice {
+        EmConfig::new(256, 16).ram_disk()
+    }
+
+    #[test]
+    fn scan_filter_project_limit() {
+        let d = device();
+        let v = ExtVec::from_slice(d.clone(), &(0u64..100).collect::<Vec<_>>()).unwrap();
+        let scan = ScanExec::with_order(&v, Order::Key(7));
+        let filt = FilterExec::new(scan, |x: &u64| x.is_multiple_of(2));
+        assert_eq!(filt.order(), Order::Key(7), "filter preserves order");
+        let proj: ProjectExec<_, _, u64> =
+            ProjectExec::new(filt, |x: &u64| Some(x * 10), Order::Key(7));
+        let mut lim = LimitExec::new(proj, 3);
+        let out = collect(&mut lim, &d).unwrap();
+        assert_eq!(out.to_vec().unwrap(), vec![0, 20, 40]);
+    }
+
+    #[test]
+    fn next_block_pulls_in_chunks() {
+        let d = device();
+        let v = ExtVec::from_slice(d, &(0u64..10).collect::<Vec<_>>()).unwrap();
+        let mut scan = ScanExec::new(&v);
+        let mut buf = Vec::new();
+        assert_eq!(scan.next_block(&mut buf, 4).unwrap(), 4);
+        assert_eq!(buf, vec![0, 1, 2, 3]);
+        assert_eq!(scan.next_block(&mut buf, 100).unwrap(), 6);
+        assert_eq!(buf, vec![4, 5, 6, 7, 8, 9]);
+        assert_eq!(scan.next_block(&mut buf, 4).unwrap(), 0);
+    }
+
+    #[test]
+    fn sort_pipe_skips_when_ordered() {
+        let d = device();
+        let v = ExtVec::from_slice(d.clone(), &(0u64..500).collect::<Vec<_>>()).unwrap();
+        let cfg = ExecConfig::new(64);
+        let before = d.stats().snapshot();
+        let mut scan = ScanExec::with_order(&v, Order::Key(1));
+        let total = sort_pipe(
+            &mut scan,
+            &d,
+            &cfg,
+            1,
+            |a, b| a < b,
+            |s| {
+                let mut sum = 0u64;
+                while let Some(x) = s.try_next()? {
+                    sum += x;
+                }
+                Ok(sum)
+            },
+        )
+        .unwrap();
+        assert_eq!(total, 499 * 500 / 2);
+        let ios = d.stats().snapshot().since(&before);
+        assert_eq!(ios.reads(), v.num_blocks() as u64, "elided sort is a scan");
+        assert_eq!(ios.writes(), 0);
+    }
+
+    #[test]
+    fn sort_pipe_sorts_unordered_streams() {
+        let d = device();
+        let v = ExtVec::from_slice(d.clone(), &(0u64..500).rev().collect::<Vec<_>>()).unwrap();
+        // 256-byte blocks hold 32 records, so M = 128 records = 4 blocks:
+        // fan-in 3 plus the merge's output block.
+        let cfg = ExecConfig::new(128);
+        let mut scan = ScanExec::new(&v);
+        let got = sort_pipe(
+            &mut scan,
+            &d,
+            &cfg,
+            1,
+            |a, b| a < b,
+            |s| {
+                assert_eq!(s.order(), Order::Key(1));
+                let mut out = Vec::new();
+                while let Some(x) = s.try_next()? {
+                    out.push(x);
+                }
+                Ok(out)
+            },
+        )
+        .unwrap();
+        assert_eq!(got, (0u64..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tiny_build_join_preserves_probe_order() {
+        let d = device();
+        let probe = ExtVec::from_slice(
+            d.clone(),
+            &(0u64..200).map(|i| (i / 2, i)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let build = ExtVec::from_slice(
+            d.clone(),
+            &(0u64..50).map(|k| (k, k * 100)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let mut bscan = ScanExec::new(&build);
+        let pscan = ScanExec::with_order(&probe, Order::Key(3));
+        let mut join: TinyBuildJoinExec<_, u64, (u64, u64), _, _, (u64, u64, u64)> =
+            TinyBuildJoinExec::build(
+                &mut bscan,
+                pscan,
+                |b| b.0,
+                |p| p.0,
+                |p, b| (p.0, p.1, b.1),
+                256,
+            )
+            .unwrap();
+        assert_eq!(join.order(), Order::Key(3));
+        let out = collect(&mut join, &d).unwrap().to_vec().unwrap();
+        // Keys ≥ 50 have no build match and drop out.
+        assert_eq!(out.len(), 100);
+        assert!(out.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(out.iter().all(|&(k, _, v)| v == k * 100));
+    }
+
+    #[test]
+    fn group_by_streams_groups() {
+        let d = device();
+        let v = ExtVec::from_slice(
+            d.clone(),
+            &[(1u64, 2u64), (1, 3), (2, 5), (4, 1), (4, 1), (4, 1)],
+        )
+        .unwrap();
+        let scan = ScanExec::with_order(&v, Order::Key(9));
+        let mut g = GroupByExec::new(
+            scan,
+            |r: &(u64, u64)| r.0,
+            0u64,
+            |acc, r| *acc += r.1,
+            |k, acc, n| (k, acc, n),
+            Order::Key(9),
+        );
+        let out = collect(&mut g, &d).unwrap().to_vec().unwrap();
+        assert_eq!(out, vec![(1, 5, 2), (2, 5, 1), (4, 3, 3)]);
+    }
+}

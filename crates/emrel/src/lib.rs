@@ -1,20 +1,32 @@
-//! # `emrel` — batched relational operators in the I/O model
+//! # `emrel` — batched relational operators and a query engine in the I/O model
 //!
 //! The survey's motivating application domain is database systems: every
 //! engine's batch query operators are external-memory algorithms.  This
 //! crate assembles the workspace's sorting machinery into the classic
-//! operator set, each costing `O(Sort(N))` (or a scan, where noted):
+//! operator set twice over:
 //!
-//! * [`sort_by_key`] — order a relation by an extracted key.
-//! * [`sort_merge_join`] — equi-join two relations (duplicates on both
-//!   sides supported; one key group of the *right* side is buffered in
-//!   memory, the standard assumption for sort-merge join).
-//! * [`semi_join`] / [`anti_join`] — filtering joins.
-//! * [`group_aggregate`] — sort-based grouping with a streaming fold.
-//! * [`distinct`] — duplicate elimination.
-//! * [`filter_map_scan`] — one-pass selection/projection (`O(Scan(N))`).
-//! * [`top_k_by`] — the k smallest records in one scan.
-//! * [`concat`] — bag union (`O(Scan)`).
+//! * **A Volcano-style pull engine** ([`exec`] module, re-exported here):
+//!   composable [`QueryExec`] operators (Scan / Filter / Project / Sort via
+//!   [`sort_scan`] / [`sort_pipe`] / SortMergeJoin / GroupBy / Distinct /
+//!   TopK / Limit) carrying sort-order metadata, fused so no operator
+//!   boundary materializes an intermediate that is consumed once.
+//! * **A PDM cost-based planner** ([`plan`] module): logical [`PlanExpr`]
+//!   trees priced in exact predicted block transfers from
+//!   [`em_core::bounds`], orderedness-aware (a Sort over already-sorted
+//!   input costs zero), with [`choose`] picking join order / strategy /
+//!   sort placement by minimum predicted transfers.
+//! * **Free functions** — the original API, now thin wrappers over the
+//!   operators (outputs byte-identical, transfer counts equal or better):
+//!   - [`sort_by_key`] — order a relation by an extracted key.
+//!   - [`sort_merge_join`] — equi-join two relations (duplicates on both
+//!     sides supported; one key group of the *right* side is buffered in
+//!     memory, the standard assumption for sort-merge join).
+//!   - [`semi_join`] / [`anti_join`] — filtering joins.
+//!   - [`group_aggregate`] — sort-based grouping with a streaming fold.
+//!   - [`distinct`] — duplicate elimination.
+//!   - [`filter_map_scan`] — one-pass selection/projection (`O(Scan(N))`).
+//!   - [`top_k_by`] — the k smallest records in one scan.
+//!   - [`concat`] — bag union (`O(Scan)`).
 //!
 //! Keys are extracted by closures and compared in memory; outputs are new
 //! external arrays on the input's device.
@@ -22,9 +34,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod exec;
+mod plan;
+
+pub use exec::{
+    collect, pipe_boundary, sort_pipe, sort_scan, DistinctExec, ExecConfig, FilterExec,
+    FilterJoinKind, FilteringJoinExec, GroupByExec, KeyId, LimitExec, MergeJoinExec, Order,
+    ProjectExec, QueryExec, ScanExec, SortStreamExec, TinyBuildJoinExec, TopKExec,
+};
+pub use plan::{choose, predict, predict_with_sink, Choice, CostEnv, PlanExpr, Prediction};
+
 use em_core::{ExtVec, ExtVecWriter, MemBudget, Record};
-use emsort::{merge_sort_by, merge_sort_streaming, SortConfig};
+use emsort::{merge_sort_by, SortConfig};
 use pdm::Result;
+
+/// The sort key id the free functions tag their single sort with; callers
+/// of the free API never observe it.
+const FN_KEY: KeyId = 0;
 
 /// The `k` smallest records by an extracted key, in key order — a selection
 /// heap of `k` records over one scan: `O(Scan(N))` I/Os, `k ≤ M` memory.
@@ -40,54 +66,10 @@ where
     KF: Fn(&R) -> K + Copy,
 {
     let budget = MemBudget::new(cfg.mem_records);
-    let _charge = budget.charge(k + input.per_block());
-    // Max-heap of the k best so far, keyed for O(log k) replacement; a
-    // sequence number breaks ties to keep the heap total-ordered.
-    let mut heap: std::collections::BinaryHeap<HeapEntry<K, R>> =
-        std::collections::BinaryHeap::with_capacity(k + 1);
-    let mut r = input.reader();
-    let mut seq = 0u64;
-    while let Some(rec) = r.try_next()? {
-        heap.push(HeapEntry {
-            key: key(&rec),
-            seq,
-            rec,
-        });
-        seq += 1;
-        if heap.len() > k {
-            heap.pop(); // drop the current worst
-        }
-    }
-    let mut best: Vec<HeapEntry<K, R>> = heap.into_vec();
-    best.sort_by(|a, b| a.key.cmp(&b.key).then(a.seq.cmp(&b.seq)));
-    let mut out: ExtVecWriter<R> = ExtVecWriter::new(input.device().clone());
-    for e in best {
-        out.push(e.rec)?;
-    }
-    out.finish()
-}
-
-struct HeapEntry<K, R> {
-    key: K,
-    seq: u64,
-    rec: R,
-}
-
-impl<K: Ord, R> PartialEq for HeapEntry<K, R> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key && self.seq == other.seq
-    }
-}
-impl<K: Ord, R> Eq for HeapEntry<K, R> {}
-impl<K: Ord, R> PartialOrd for HeapEntry<K, R> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<K: Ord, R> Ord for HeapEntry<K, R> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key.cmp(&other.key).then(self.seq.cmp(&other.seq))
-    }
+    let _io = budget.charge(input.per_block());
+    let scan = ScanExec::new(input);
+    let mut top = TopKExec::with_budget(scan, k, key, &budget, Order::Key(FN_KEY));
+    collect(&mut top, input.device())
 }
 
 /// Sort a relation by an extracted key (`O(Sort(N))`).
@@ -102,20 +84,15 @@ where
 
 /// One-pass selection + projection: apply `f` to every record, keeping the
 /// `Some` results.  `O(Scan(N))` I/Os.
-pub fn filter_map_scan<R, O, F>(input: &ExtVec<R>, mut f: F) -> Result<ExtVec<O>>
+pub fn filter_map_scan<R, O, F>(input: &ExtVec<R>, f: F) -> Result<ExtVec<O>>
 where
     R: Record,
     O: Record,
     F: FnMut(&R) -> Option<O>,
 {
-    let mut out: ExtVecWriter<O> = ExtVecWriter::new(input.device().clone());
-    let mut r = input.reader();
-    while let Some(rec) = r.try_next()? {
-        if let Some(o) = f(&rec) {
-            out.push(o)?;
-        }
-    }
-    out.finish()
+    let scan = ScanExec::new(input);
+    let mut proj = ProjectExec::new(scan, f, Order::Unordered);
+    collect(&mut proj, input.device())
 }
 
 /// Bag union: concatenate relations in order.  `O(Scan(ΣN))` I/Os.
@@ -135,20 +112,16 @@ pub fn concat<R: Record>(inputs: &[&ExtVec<R>]) -> Result<ExtVec<R>> {
 /// merge streams straight into the dedup scan, so the sorted intermediate
 /// is never written out.
 pub fn distinct<R: Record + Ord>(input: &ExtVec<R>, cfg: &SortConfig) -> Result<ExtVec<R>> {
-    merge_sort_streaming(
+    let ecfg = ExecConfig::from_sort(*cfg);
+    sort_scan(
         input,
-        cfg,
+        Order::Unordered,
+        &ecfg,
+        FN_KEY,
         |a, b| a < b,
         |s| {
-            let mut out: ExtVecWriter<R> = ExtVecWriter::new(input.device().clone());
-            let mut last: Option<R> = None;
-            while let Some(rec) = s.try_next()? {
-                if last.as_ref() != Some(&rec) {
-                    out.push(rec.clone())?;
-                    last = Some(rec);
-                }
-            }
-            out.finish()
+            let mut d = DistinctExec::new(s);
+            collect(&mut d, input.device())
         },
     )
 }
@@ -162,8 +135,8 @@ pub fn group_aggregate<R, K, O, KF, Acc, FoldF, FinF>(
     cfg: &SortConfig,
     key: KF,
     init: Acc,
-    mut fold: FoldF,
-    mut finish: FinF,
+    fold: FoldF,
+    finish: FinF,
 ) -> Result<ExtVec<O>>
 where
     R: Record,
@@ -174,36 +147,18 @@ where
     FoldF: FnMut(&mut Acc, &R),
     FinF: FnMut(K, Acc, u64) -> O,
 {
+    let ecfg = ExecConfig::from_sort(*cfg);
     // The sorted relation is consumed once by the fold, so the sort's final
     // merge streams straight into it.
-    merge_sort_streaming(
+    sort_scan(
         input,
-        cfg,
+        Order::Unordered,
+        &ecfg,
+        FN_KEY,
         move |a, b| key(a) < key(b),
-        |r| {
-            let mut out: ExtVecWriter<O> = ExtVecWriter::new(input.device().clone());
-            let mut cur: Option<(K, Acc, u64)> = None;
-            while let Some(rec) = r.try_next()? {
-                let k = key(&rec);
-                match &mut cur {
-                    Some((ck, acc, count)) if *ck == k => {
-                        fold(acc, &rec);
-                        *count += 1;
-                    }
-                    _ => {
-                        if let Some((ck, acc, count)) = cur.take() {
-                            out.push(finish(ck, acc, count))?;
-                        }
-                        let mut acc = init.clone();
-                        fold(&mut acc, &rec);
-                        cur = Some((k, acc, 1));
-                    }
-                }
-            }
-            if let Some((ck, acc, count)) = cur {
-                out.push(finish(ck, acc, count))?;
-            }
-            out.finish()
+        |s| {
+            let mut g = GroupByExec::new(s, key, init, fold, finish, Order::Key(FN_KEY));
+            collect(&mut g, input.device())
         },
     )
 }
@@ -213,14 +168,16 @@ where
 /// Duplicate keys are supported on both sides; the current *right* key
 /// group is buffered in memory and charged against the memory budget (the
 /// standard sort-merge-join assumption — a right group larger than `M`
-/// panics via the budget).  `O(Sort(L) + Sort(R) + Output)` I/Os.
+/// panics via the budget).  Both sides stream off their sorts' final merge
+/// passes — neither sorted side is ever materialized.
+/// `O(Sort(L) + Sort(R) + Output)` I/Os.
 pub fn sort_merge_join<L, R, K, O, KL, KR, MK>(
     left: &ExtVec<L>,
     right: &ExtVec<R>,
     cfg: &SortConfig,
     key_l: KL,
     key_r: KR,
-    mut make: MK,
+    make: MK,
 ) -> Result<ExtVec<O>>
 where
     L: Record,
@@ -231,52 +188,30 @@ where
     KR: Fn(&R) -> K + Copy + Send,
     MK: FnMut(&L, &R) -> O,
 {
-    let budget = MemBudget::new(cfg.mem_records);
-    let rs = sort_by_key(right, cfg, key_r)?;
-    // The sorted left (probe) side is consumed once by the merge, so it
-    // streams straight off the sort's final pass; the right side is
-    // materialized because its current key group is held in memory.
-    let out = merge_sort_streaming(
+    let ecfg = ExecConfig::from_sort(*cfg);
+    sort_scan(
         left,
-        cfg,
+        Order::Unordered,
+        &ecfg,
+        FN_KEY,
         move |a, b| key_l(a) < key_l(b),
-        |lr| {
-            let mut out: ExtVecWriter<O> = ExtVecWriter::new(left.device().clone());
-            let mut rr = rs.reader();
-            let mut group: Vec<R> = Vec::new();
-            let mut group_key: Option<K> = None;
-            let mut group_charge = None;
-            let mut cur_r: Option<R> = rr.try_next()?;
-            while let Some(l) = lr.try_next()? {
-                let kl = key_l(&l);
-                // Advance the right side to the first record with key ≥ kl,
-                // loading the matching group when we reach it.
-                if group_key.as_ref() != Some(&kl) {
-                    // Skip right records below kl.
-                    while cur_r.as_ref().is_some_and(|r| key_r(r) < kl) {
-                        cur_r = rr.try_next()?;
-                    }
-                    group.clear();
-                    drop(group_charge.take());
-                    while cur_r.as_ref().is_some_and(|r| key_r(r) == kl) {
-                        group.push(cur_r.take().expect("checked"));
-                        cur_r = rr.try_next()?;
-                    }
-                    group_charge = Some(budget.charge(group.len()));
-                    group_key = Some(kl.clone());
-                }
-                for r in &group {
-                    out.push(make(&l, r))?;
-                }
-            }
-            out.finish()
+        |ls| {
+            sort_scan(
+                right,
+                Order::Unordered,
+                &ecfg,
+                FN_KEY,
+                move |a, b| key_r(a) < key_r(b),
+                |rs| {
+                    let mut j = MergeJoinExec::new(ls, rs, key_l, key_r, make, cfg.mem_records);
+                    collect(&mut j, left.device())
+                },
+            )
         },
-    )?;
-    rs.free()?;
-    Ok(out)
+    )
 }
 
-/// Semi-join: keep the left records whose key appears in `right_keys`
+/// Semi-join: keep the left records whose key appears in `right`
 /// (`O(Sort)` both sides).
 pub fn semi_join<L, K, KL, KR, R>(
     left: &ExtVec<L>,
@@ -292,7 +227,7 @@ where
     KL: Fn(&L) -> K + Copy + Send,
     KR: Fn(&R) -> K + Copy + Send,
 {
-    filtering_join(left, right, cfg, key_l, key_r, true)
+    filtering_join(left, right, cfg, key_l, key_r, FilterJoinKind::Semi)
 }
 
 /// Anti-join: keep the left records whose key does **not** appear in
@@ -311,7 +246,7 @@ where
     KL: Fn(&L) -> K + Copy + Send,
     KR: Fn(&R) -> K + Copy + Send,
 {
-    filtering_join(left, right, cfg, key_l, key_r, false)
+    filtering_join(left, right, cfg, key_l, key_r, FilterJoinKind::Anti)
 }
 
 fn filtering_join<L, K, KL, KR, R>(
@@ -320,7 +255,7 @@ fn filtering_join<L, K, KL, KR, R>(
     cfg: &SortConfig,
     key_l: KL,
     key_r: KR,
-    keep_matches: bool,
+    kind: FilterJoinKind,
 ) -> Result<ExtVec<L>>
 where
     L: Record,
@@ -329,31 +264,27 @@ where
     KL: Fn(&L) -> K + Copy + Send,
     KR: Fn(&R) -> K + Copy + Send,
 {
-    let rs = sort_by_key(right, cfg, key_r)?;
-    // The sorted left side streams straight off the sort's final merge.
-    let out = merge_sort_streaming(
+    let ecfg = ExecConfig::from_sort(*cfg);
+    sort_scan(
         left,
-        cfg,
+        Order::Unordered,
+        &ecfg,
+        FN_KEY,
         move |a, b| key_l(a) < key_l(b),
-        |lr| {
-            let mut out: ExtVecWriter<L> = ExtVecWriter::new(left.device().clone());
-            let mut rr = rs.reader();
-            let mut cur_r: Option<R> = rr.try_next()?;
-            while let Some(l) = lr.try_next()? {
-                let kl = key_l(&l);
-                while cur_r.as_ref().is_some_and(|r| key_r(r) < kl) {
-                    cur_r = rr.try_next()?;
-                }
-                let matches = cur_r.as_ref().is_some_and(|r| key_r(r) == kl);
-                if matches == keep_matches {
-                    out.push(l)?;
-                }
-            }
-            out.finish()
+        |ls| {
+            sort_scan(
+                right,
+                Order::Unordered,
+                &ecfg,
+                FN_KEY,
+                move |a, b| key_r(a) < key_r(b),
+                |rs| {
+                    let mut j = FilteringJoinExec::new(ls, rs, key_l, key_r, kind);
+                    collect(&mut j, left.device())
+                },
+            )
         },
-    )?;
-    rs.free()?;
-    Ok(out)
+    )
 }
 
 #[cfg(test)]
@@ -375,7 +306,7 @@ mod tests {
     fn filter_map_projects() {
         let d = device();
         let rel = ExtVec::from_slice(d, &(0u64..100).collect::<Vec<_>>()).unwrap();
-        let evens = filter_map_scan(&rel, |&x| (x % 2 == 0).then_some(x * 10)).unwrap();
+        let evens = filter_map_scan(&rel, |&x| x.is_multiple_of(2).then_some(x * 10)).unwrap();
         assert_eq!(
             evens.to_vec().unwrap(),
             (0..100).step_by(2).map(|x| x * 10).collect::<Vec<_>>()

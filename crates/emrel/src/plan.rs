@@ -1,0 +1,718 @@
+//! # Logical plans and the PDM cost-based planner
+//!
+//! A [`PlanExpr`] is a logical description of an operator tree over the
+//! executors in [`exec`](crate::exec); [`predict`] prices it in *device
+//! block transfers* using the survey's closed-form bounds
+//! ([`em_core::bounds`]), and [`choose`] picks the cheapest of several
+//! candidate trees — join order, join strategy, sort placement, fused vs
+//! materialized — by minimum predicted transfers.
+//!
+//! The model is deliberately exact rather than asymptotic: sorts are priced
+//! by replaying the engine's actual merge schedule
+//! ([`em_core::bounds::merge_sort_streamed_ios`] /
+//! [`merge_sort_exact_ios`](em_core::bounds::merge_sort_exact_ios)), and
+//! orderedness propagates through the tree so a [`Sort`](PlanExpr::Sort)
+//! over input already ordered on its key prices at **zero extra transfers**
+//! (and a merge join whose inputs are clustered on the join key skips both
+//! its sorts).  Benchmarks assert predicted == measured per plan cell; the
+//! only slack the model owns is cardinality estimates the caller supplies
+//! (e.g. a filter's output count) — with exact cardinalities the
+//! predictions are exact.
+//!
+//! ## What a prediction covers
+//!
+//! Costs are end-to-end for *producing the node's output as a stream*:
+//! every base-table read, every sort pass, and — in fusion-off mode — the
+//! materialize-and-re-read of each operator boundary that the fused engine
+//! deletes.  Draining the root into an output relation adds one write pass
+//! over the result ([`predict_with_sink`]).  Two node flags drive boundary
+//! accounting:
+//!
+//! * `base` — the stream is a direct scan of a materialized relation, so a
+//!   sort above it reads the relation itself (run formation *is* the scan)
+//!   and an elided sort above it costs nothing even unfused.
+//! * `free` — the stream already ends at a materialized read in fusion-off
+//!   mode (scans, sort outputs, pipes over either), so a consumer needs no
+//!   further boundary materialization.
+//!
+//! The cardinality fields (`out_records`) are the caller's estimates;
+//! record widths (`rec_bytes`) must match the executed record types for
+//! block arithmetic to be exact.
+
+use crate::exec::{KeyId, Order};
+use em_core::bounds;
+
+/// Cost-model environment: the device and memory geometry shared by every
+/// node of a plan.
+#[derive(Debug, Clone, Copy)]
+pub struct CostEnv {
+    /// Logical block size in bytes ([`BlockDevice::block_size`](pdm::BlockDevice::block_size)).
+    pub block_bytes: usize,
+    /// Internal memory budget `M`, in records (type-independent, as in
+    /// [`SortConfig::mem_records`](emsort::SortConfig::mem_records)).
+    pub mem_records: usize,
+    /// Device transfers per logical block: 1 for a plain disk or an
+    /// independent-placement array (whose stats count logical transfers),
+    /// `D` for a striped array (whose stats count per-member transfers).
+    pub stripe: u64,
+    /// Price the fused engine (true) or the materialize-every-boundary
+    /// baseline (false) — mirrors [`ExecConfig::fusion`](crate::ExecConfig).
+    pub fusion: bool,
+}
+
+impl CostEnv {
+    /// An environment for a single-transfer-per-block device.
+    pub fn new(block_bytes: usize, mem_records: usize) -> Self {
+        CostEnv {
+            block_bytes,
+            mem_records,
+            stripe: 1,
+            fusion: true,
+        }
+    }
+
+    /// Builder: set the per-logical-block transfer multiplier.
+    pub fn with_stripe(mut self, stripe: u64) -> Self {
+        self.stripe = stripe;
+        self
+    }
+
+    /// Builder: price fused or materialized execution.
+    pub fn with_fusion(mut self, fusion: bool) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
+    /// Records of `rec_bytes` each that fit one logical block (≥ 1).
+    pub fn per_block(&self, rec_bytes: usize) -> usize {
+        (self.block_bytes / rec_bytes).max(1)
+    }
+
+    /// Device transfers to move `records` records once.
+    pub fn blocks(&self, records: u64, rec_bytes: usize) -> u64 {
+        records.div_ceil(self.per_block(rec_bytes) as u64) * self.stripe
+    }
+
+    /// The merge fan-in a sort of `rec_bytes`-byte records uses — the same
+    /// arithmetic as
+    /// [`SortConfig::effective_fan_in`](emsort::SortConfig::effective_fan_in).
+    pub fn fan_in(&self, rec_bytes: usize) -> usize {
+        (self.mem_records / self.per_block(rec_bytes))
+            .saturating_sub(1)
+            .max(2)
+    }
+}
+
+/// A logical operator tree.  Cardinalities are caller-supplied estimates;
+/// orderedness is tracked per node and consumed by [`predict`].
+#[derive(Debug, Clone)]
+pub enum PlanExpr {
+    /// Scan a base relation of `records` records, `rec_bytes` bytes each,
+    /// stored in `order`.
+    Scan {
+        /// Relation cardinality.
+        records: u64,
+        /// Record width in bytes.
+        rec_bytes: usize,
+        /// The order the relation is clustered in.
+        order: Order,
+    },
+    /// Selection keeping an estimated `out_records` records.  Pure pipe.
+    Filter {
+        /// Input plan.
+        input: Box<PlanExpr>,
+        /// Estimated surviving records.
+        out_records: u64,
+    },
+    /// Per-record projection to `rec_bytes`-byte records; `order` declares
+    /// whether the projection preserves the input's sort key.  Pure pipe.
+    Project {
+        /// Input plan.
+        input: Box<PlanExpr>,
+        /// Output record width in bytes.
+        rec_bytes: usize,
+        /// Declared output order.
+        order: Order,
+    },
+    /// Sort by `key` — priced at zero extra transfers when the input is
+    /// already ordered on `key`.
+    Sort {
+        /// Input plan.
+        input: Box<PlanExpr>,
+        /// Sort key.
+        key: KeyId,
+    },
+    /// Sort-merge equi-join; infeasible (infinite cost) unless both inputs
+    /// are ordered on `key`.  Output follows the left input's order.
+    MergeJoin {
+        /// Left (streaming) input — the side whose order the output keeps.
+        left: Box<PlanExpr>,
+        /// Right input — the side whose key groups are buffered.
+        right: Box<PlanExpr>,
+        /// Join key.
+        key: KeyId,
+        /// Output record width in bytes.
+        rec_bytes: usize,
+        /// Estimated join cardinality.
+        out_records: u64,
+    },
+    /// In-memory build-side join ([`TinyBuildJoinExec`](crate::TinyBuildJoinExec));
+    /// infeasible unless the build side fits in `M` records.  Neither side
+    /// is sorted; output follows the probe input's order.
+    TinyJoin {
+        /// Build input, absorbed into memory.
+        build: Box<PlanExpr>,
+        /// Probe input, streamed.
+        probe: Box<PlanExpr>,
+        /// Output record width in bytes.
+        rec_bytes: usize,
+        /// Estimated join cardinality.
+        out_records: u64,
+    },
+    /// Streaming group-by; infeasible unless the input is ordered on `key`.
+    GroupBy {
+        /// Input plan.
+        input: Box<PlanExpr>,
+        /// Grouping key (an order the *input* must carry).
+        key: KeyId,
+        /// Output record width in bytes.
+        rec_bytes: usize,
+        /// Estimated group count.
+        out_records: u64,
+        /// Declared output order (the group key in output record space).
+        order: Order,
+    },
+    /// Adjacent-duplicate elimination; infeasible unless the input is
+    /// ordered on `key` (a total order of the full record).
+    Distinct {
+        /// Input plan.
+        input: Box<PlanExpr>,
+        /// The full-record order the input must carry.
+        key: KeyId,
+        /// Estimated distinct count.
+        out_records: u64,
+    },
+    /// The `k` smallest by `key` via a selection heap over one pass;
+    /// infeasible unless `k ≤ M`.  Output is ordered on `key`.
+    TopK {
+        /// Input plan.
+        input: Box<PlanExpr>,
+        /// Heap key (names the *output* order; input may be unordered).
+        key: KeyId,
+        /// How many records to keep.
+        k: u64,
+    },
+    /// Cut off after `n` records.  Priced as if the input is fully drained
+    /// (exact above blocking operators, pessimistic above pure scans).
+    Limit {
+        /// Input plan.
+        input: Box<PlanExpr>,
+        /// Maximum records passed through.
+        n: u64,
+    },
+}
+
+impl PlanExpr {
+    /// A base-relation scan.
+    pub fn scan(records: u64, rec_bytes: usize, order: Order) -> Self {
+        PlanExpr::Scan {
+            records,
+            rec_bytes,
+            order,
+        }
+    }
+
+    /// Wrap in a selection with the given output-cardinality estimate.
+    pub fn filter(self, out_records: u64) -> Self {
+        PlanExpr::Filter {
+            input: Box::new(self),
+            out_records,
+        }
+    }
+
+    /// Wrap in a projection to `rec_bytes`-byte records with declared order.
+    pub fn project(self, rec_bytes: usize, order: Order) -> Self {
+        PlanExpr::Project {
+            input: Box::new(self),
+            rec_bytes,
+            order,
+        }
+    }
+
+    /// Wrap in a sort by `key`.
+    pub fn sort(self, key: KeyId) -> Self {
+        PlanExpr::Sort {
+            input: Box::new(self),
+            key,
+        }
+    }
+
+    /// Merge-join `self` (left / streaming side) with `right`.
+    pub fn merge_join(
+        self,
+        right: PlanExpr,
+        key: KeyId,
+        rec_bytes: usize,
+        out_records: u64,
+    ) -> Self {
+        PlanExpr::MergeJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            key,
+            rec_bytes,
+            out_records,
+        }
+    }
+
+    /// Join with `build` absorbed into memory and `self` as the streamed
+    /// probe side.
+    pub fn tiny_join(self, build: PlanExpr, rec_bytes: usize, out_records: u64) -> Self {
+        PlanExpr::TinyJoin {
+            build: Box::new(build),
+            probe: Box::new(self),
+            rec_bytes,
+            out_records,
+        }
+    }
+
+    /// Wrap in a streaming group-by on `key`.
+    pub fn group_by(self, key: KeyId, rec_bytes: usize, out_records: u64, order: Order) -> Self {
+        PlanExpr::GroupBy {
+            input: Box::new(self),
+            key,
+            rec_bytes,
+            out_records,
+            order,
+        }
+    }
+
+    /// Wrap in duplicate elimination over `key`-ordered input.
+    pub fn distinct(self, key: KeyId, out_records: u64) -> Self {
+        PlanExpr::Distinct {
+            input: Box::new(self),
+            key,
+            out_records,
+        }
+    }
+
+    /// Wrap in a top-`k` selection heap by `key`.
+    pub fn top_k(self, key: KeyId, k: u64) -> Self {
+        PlanExpr::TopK {
+            input: Box::new(self),
+            key,
+            k,
+        }
+    }
+
+    /// Wrap in a limit of `n` records.
+    pub fn limit(self, n: u64) -> Self {
+        PlanExpr::Limit {
+            input: Box::new(self),
+            n,
+        }
+    }
+}
+
+/// The priced output of [`predict`] for one plan node (costs are cumulative
+/// over the whole subtree).
+#[derive(Debug, Clone, Copy)]
+pub struct Prediction {
+    /// Predicted device transfers to stream this subtree's output once —
+    /// [`f64::INFINITY`] when the plan is infeasible (order contract
+    /// violated, build side over budget, heap over budget).
+    pub transfers: f64,
+    /// Estimated output cardinality.
+    pub out_records: u64,
+    /// Output record width in bytes.
+    pub rec_bytes: usize,
+    /// Output stream order.
+    pub order: Order,
+    /// Output is a direct scan of a materialized relation.
+    pub base: bool,
+    /// Output needs no boundary materialization in fusion-off mode.
+    pub free: bool,
+}
+
+impl Prediction {
+    /// True when the plan violates no operator contract.
+    pub fn feasible(&self) -> bool {
+        self.transfers.is_finite()
+    }
+
+    fn infeasible(self) -> Prediction {
+        Prediction {
+            transfers: f64::INFINITY,
+            ..self
+        }
+    }
+}
+
+/// Price a plan: predicted device transfers to stream its output once (see
+/// the module docs for exactly what is and is not included).
+pub fn predict(expr: &PlanExpr, env: &CostEnv) -> Prediction {
+    match expr {
+        PlanExpr::Scan {
+            records,
+            rec_bytes,
+            order,
+        } => Prediction {
+            transfers: env.blocks(*records, *rec_bytes) as f64,
+            out_records: *records,
+            rec_bytes: *rec_bytes,
+            order: *order,
+            base: true,
+            free: true,
+        },
+        PlanExpr::Filter { input, out_records } => {
+            let p = predict(input, env);
+            Prediction {
+                out_records: (*out_records).min(p.out_records),
+                base: false,
+                ..p
+            }
+        }
+        PlanExpr::Project {
+            input,
+            rec_bytes,
+            order,
+        } => {
+            let p = predict(input, env);
+            Prediction {
+                rec_bytes: *rec_bytes,
+                order: *order,
+                base: false,
+                ..p
+            }
+        }
+        PlanExpr::Limit { input, n } => {
+            let p = predict(input, env);
+            Prediction {
+                out_records: (*n).min(p.out_records),
+                base: false,
+                ..p
+            }
+        }
+        PlanExpr::Sort { input, key } => {
+            let p = predict(input, env);
+            let n = p.out_records;
+            let bl = env.blocks(n, p.rec_bytes) as f64;
+            let transfers = if p.order.matches(*key) {
+                // Elided sort: free when fused or when the stream already
+                // ends at a materialized read; otherwise the baseline still
+                // materializes the boundary (`pipe_boundary`).
+                if env.fusion || p.free {
+                    p.transfers
+                } else {
+                    p.transfers + 2.0 * bl
+                }
+            } else {
+                let per_block = env.per_block(p.rec_bytes);
+                let k = env.fan_in(p.rec_bytes);
+                if env.fusion {
+                    // Fused: run formation + intermediate merges + a final
+                    // read the consumer drains.  The streamed total includes
+                    // one input-read pass; a base input's scan cost *is*
+                    // that pass, and a computed input's producer replaces it
+                    // (`SortingWriter` takes records straight from memory) —
+                    // either way one `bl` of the sum is already accounted.
+                    let streamed = bounds::merge_sort_streamed_ios(n, env.mem_records, per_block, k)
+                        as f64
+                        * env.stripe as f64;
+                    p.transfers + streamed - bl
+                } else {
+                    // Baseline: `merge_sort_by` + re-read of its output.
+                    // Over a base input the sort's own first pass re-reads
+                    // the relation the scan node priced, and the output
+                    // re-read is the same `bl` — the two cancel.  Over a
+                    // computed stream add the unsorted spill + re-read.
+                    let mat = bounds::merge_sort_exact_ios(n, env.mem_records, per_block, k) as f64
+                        * env.stripe as f64;
+                    if p.base {
+                        p.transfers + mat
+                    } else {
+                        p.transfers + mat + 2.0 * bl
+                    }
+                }
+            };
+            Prediction {
+                transfers,
+                order: Order::Key(*key),
+                base: p.base && p.order.matches(*key),
+                free: true,
+                ..p
+            }
+        }
+        PlanExpr::MergeJoin {
+            left,
+            right,
+            key,
+            rec_bytes,
+            out_records,
+        } => {
+            let l = predict(left, env);
+            let r = predict(right, env);
+            let out = Prediction {
+                transfers: l.transfers + r.transfers,
+                out_records: *out_records,
+                rec_bytes: *rec_bytes,
+                order: Order::Key(*key),
+                base: false,
+                free: false,
+            };
+            if l.order.matches(*key) && r.order.matches(*key) {
+                out
+            } else {
+                out.infeasible()
+            }
+        }
+        PlanExpr::TinyJoin {
+            build,
+            probe,
+            rec_bytes,
+            out_records,
+        } => {
+            let b = predict(build, env);
+            let p = predict(probe, env);
+            let out = Prediction {
+                transfers: b.transfers + p.transfers,
+                out_records: *out_records,
+                rec_bytes: *rec_bytes,
+                order: p.order,
+                base: false,
+                free: false,
+            };
+            if b.out_records as usize <= env.mem_records {
+                out
+            } else {
+                out.infeasible()
+            }
+        }
+        PlanExpr::GroupBy {
+            input,
+            key,
+            rec_bytes,
+            out_records,
+            order,
+        } => {
+            let p = predict(input, env);
+            let boundary = if env.fusion || p.free {
+                0.0
+            } else {
+                2.0 * env.blocks(p.out_records, p.rec_bytes) as f64
+            };
+            let out = Prediction {
+                transfers: p.transfers + boundary,
+                out_records: *out_records,
+                rec_bytes: *rec_bytes,
+                order: *order,
+                base: false,
+                free: p.free,
+            };
+            if p.order.matches(*key) {
+                out
+            } else {
+                out.infeasible()
+            }
+        }
+        PlanExpr::Distinct {
+            input,
+            key,
+            out_records,
+        } => {
+            let p = predict(input, env);
+            let boundary = if env.fusion || p.free {
+                0.0
+            } else {
+                2.0 * env.blocks(p.out_records, p.rec_bytes) as f64
+            };
+            let out = Prediction {
+                transfers: p.transfers + boundary,
+                out_records: (*out_records).min(p.out_records),
+                base: false,
+                free: p.free,
+                ..p
+            };
+            if p.order.matches(*key) {
+                out
+            } else {
+                out.infeasible()
+            }
+        }
+        PlanExpr::TopK { input, key, k } => {
+            let p = predict(input, env);
+            let out = Prediction {
+                transfers: p.transfers,
+                out_records: (*k).min(p.out_records),
+                order: Order::Key(*key),
+                base: false,
+                free: false,
+                ..p
+            };
+            if *k as usize <= env.mem_records {
+                out
+            } else {
+                out.infeasible()
+            }
+        }
+    }
+}
+
+/// Price a plan *including* one write pass draining the root into an output
+/// relation ([`collect`](crate::collect)) — the number a benchmark's
+/// end-to-end transfer meter sees.
+pub fn predict_with_sink(expr: &PlanExpr, env: &CostEnv) -> f64 {
+    let p = predict(expr, env);
+    p.transfers + env.blocks(p.out_records, p.rec_bytes) as f64
+}
+
+/// The planner's verdict over a set of candidate plans.
+#[derive(Debug, Clone)]
+pub struct Choice {
+    /// Index of the cheapest feasible candidate, or `None` if every
+    /// candidate is infeasible.
+    pub best: Option<usize>,
+    /// Sink-inclusive predicted transfers per candidate, aligned with the
+    /// input slice ([`f64::INFINITY`] marks infeasible plans).
+    pub predicted: Vec<f64>,
+}
+
+/// Pick the candidate with minimum predicted sink-inclusive transfers.
+/// Ties break toward the earliest candidate, so enumeration order is a
+/// deterministic preference order.
+pub fn choose(candidates: &[PlanExpr], env: &CostEnv) -> Choice {
+    let predicted: Vec<f64> = candidates
+        .iter()
+        .map(|c| predict_with_sink(c, env))
+        .collect();
+    let best = predicted
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.is_finite())
+        .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i);
+    Choice { best, predicted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: usize = 64; // bytes per block
+    const REC: usize = 8; // u64 records
+
+    fn env() -> CostEnv {
+        CostEnv::new(B, 64) // 8 records/block, M = 64 records
+    }
+
+    #[test]
+    fn scan_prices_one_pass() {
+        let p = predict(&PlanExpr::scan(100, REC, Order::Unordered), &env());
+        assert_eq!(p.transfers, 13.0);
+        assert!(p.base && p.free);
+    }
+
+    #[test]
+    fn elided_sort_costs_zero_extra() {
+        let sorted = PlanExpr::scan(1000, REC, Order::Key(1)).sort(1);
+        let unsorted = PlanExpr::scan(1000, REC, Order::Unordered).sort(1);
+        let e = env();
+        assert_eq!(
+            predict(&sorted, &e).transfers,
+            predict(&PlanExpr::scan(1000, REC, Order::Key(1)), &e).transfers
+        );
+        assert!(predict(&unsorted, &e).transfers > predict(&sorted, &e).transfers);
+    }
+
+    #[test]
+    fn fused_sort_saves_exactly_one_round_trip_of_the_output() {
+        // p ≥ 2 passes: fused skips the final write and its re-read relative
+        // to baseline's materialize + re-read... which for a base input is
+        // `2·bl` less in total (see module docs).
+        let e = env();
+        let n = 10_000u64;
+        let bl = e.blocks(n, REC) as f64;
+        let plan = PlanExpr::scan(n, REC, Order::Unordered).sort(1);
+        let fused = predict(&plan, &e.with_fusion(true)).transfers;
+        let baseline = predict(&plan, &e.with_fusion(false)).transfers;
+        assert_eq!(baseline - fused, 2.0 * bl);
+    }
+
+    #[test]
+    fn merge_join_requires_both_sides_sorted() {
+        let e = env();
+        let l = PlanExpr::scan(500, REC, Order::Key(1));
+        let r = PlanExpr::scan(500, REC, Order::Unordered);
+        let bad = l.clone().merge_join(r.clone(), 1, 16, 500);
+        assert!(!predict(&bad, &e).feasible());
+        let good = l.merge_join(r.sort(1), 1, 16, 500);
+        assert!(predict(&good, &e).feasible());
+    }
+
+    #[test]
+    fn tiny_join_feasible_only_within_memory() {
+        let e = env(); // M = 64 records
+        let probe = PlanExpr::scan(1000, REC, Order::Unordered);
+        let small = probe
+            .clone()
+            .tiny_join(PlanExpr::scan(64, REC, Order::Unordered), 16, 1000);
+        let big = probe.tiny_join(PlanExpr::scan(65, REC, Order::Unordered), 16, 1000);
+        assert!(predict(&small, &e).feasible());
+        assert!(!predict(&big, &e).feasible());
+    }
+
+    #[test]
+    fn planner_prefers_skipping_sorts() {
+        let e = env();
+        // Both relations clustered on the join key: merge join with elided
+        // sorts must beat re-sorting either side.
+        let l = || PlanExpr::scan(5000, REC, Order::Key(1));
+        let r = || PlanExpr::scan(5000, REC, Order::Key(1));
+        let cands = vec![
+            l().sort(1).merge_join(r().sort(1), 1, 16, 5000),
+            PlanExpr::scan(5000, REC, Order::Unordered)
+                .sort(1)
+                .merge_join(r().sort(1), 1, 16, 5000),
+        ];
+        let choice = choose(&cands, &e);
+        assert_eq!(choice.best, Some(0));
+        assert!(choice.predicted[0] < choice.predicted[1]);
+    }
+
+    #[test]
+    fn infeasible_everywhere_yields_no_choice() {
+        let e = env();
+        let cands =
+            vec![PlanExpr::scan(10, REC, Order::Unordered).group_by(1, REC, 5, Order::Key(1))];
+        assert_eq!(choose(&cands, &e).best, None);
+    }
+
+    #[test]
+    fn group_by_boundary_priced_only_when_needed() {
+        let e = env();
+        // GroupBy over a sort output: free in both modes (the baseline sort
+        // already ends at a materialized read).
+        let over_sort = PlanExpr::scan(1000, REC, Order::Unordered)
+            .sort(1)
+            .group_by(1, REC, 10, Order::Key(1));
+        let f = predict(&over_sort, &e.with_fusion(true));
+        let b = predict(&over_sort, &e.with_fusion(false));
+        let sort_only = PlanExpr::scan(1000, REC, Order::Unordered).sort(1);
+        assert_eq!(
+            b.transfers - f.transfers,
+            predict(&sort_only, &e.with_fusion(false)).transfers
+                - predict(&sort_only, &e.with_fusion(true)).transfers
+        );
+        // GroupBy over a join output (not `free`): fusion-off adds exactly
+        // the 2·⌈J/B⌉ boundary.
+        let join = PlanExpr::scan(1000, REC, Order::Key(1)).merge_join(
+            PlanExpr::scan(64, REC, Order::Key(1)),
+            1,
+            REC,
+            1000,
+        );
+        let gj = join.clone().group_by(1, REC, 10, Order::Key(1));
+        let f = predict(&gj, &e.with_fusion(true));
+        let b = predict(&gj, &e.with_fusion(false));
+        assert_eq!(b.transfers - f.transfers, 2.0 * e.blocks(1000, REC) as f64);
+    }
+}

@@ -916,6 +916,8 @@ pub struct SortingWriter<R: Record, F> {
     /// Holds the chunk's `M` records against `budget` for the writer's
     /// lifetime, mirroring run formation's charge.
     _charge: BudgetGuard,
+    /// Total records accepted by [`push`](Self::push), fused or not.
+    pushed: u64,
 }
 
 impl<R, F> SortingWriter<R, F>
@@ -945,7 +947,15 @@ where
             unsorted: None,
             budget,
             _charge: charge,
+            pushed: 0,
         }
+    }
+
+    /// Total records accepted so far, spilled or still in memory — the
+    /// producer-side record count a pipeline operator reports without
+    /// keeping its own tally.  Identical in fused and baseline modes.
+    pub fn pushed_records(&self) -> u64 {
+        self.pushed
     }
 
     /// Runs spilled to the device so far.  Increases by one each time
@@ -1010,12 +1020,14 @@ where
         if pos != bytes.len() {
             return Err(corrupt());
         }
+        w.pushed = w.spilled_records();
         Ok(w)
     }
 
     /// Add a record; sorts and spills the in-memory chunk as a run when it
     /// reaches `M` records.
     pub fn push(&mut self, r: R) -> Result<()> {
+        self.pushed += 1;
         if !self.cfg.fusion {
             return self
                 .unsorted

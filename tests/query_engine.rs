@@ -1,0 +1,461 @@
+//! Cross-crate equivalence, cost-model, and planner tests for the Volcano
+//! query engine (`emrel::exec` + `emrel::plan`).
+//!
+//! The contract under test:
+//!
+//! * **Same answers.**  A fused pipeline, the materialize-every-boundary
+//!   baseline, a hand-rolled `SortingWriter` pipeline, and a naive in-memory
+//!   reference must all produce byte-identical output, across merge kernels,
+//!   disk placements, disk counts, I/O modes, and overlap depths.
+//! * **Exact costs.**  The planner's [`predict_with_sink`] must match the
+//!   measured device-transfer count *exactly* in both fusion modes — the
+//!   model replays the engine's actual merge schedule, so with exact
+//!   cardinalities there is no slack — and fusion must save exactly the
+//!   `2·⌈N/B⌉` round trips of each deleted boundary.
+//! * **Honest planning.**  Over a join query with genuinely different
+//!   strategies (merge join vs in-memory build side, sort placement), the
+//!   plan [`choose`] picks must be the measured-cheapest feasible plan, and
+//!   every feasible candidate's measured cost must equal its prediction.
+//! * **Clean failure.**  A pipeline over a faulty device either completes
+//!   with the correct answer or surfaces a clean `Err` — never a panic,
+//!   never silently wrong output.
+
+use std::time::Duration;
+
+use em_core::{bounds, EmConfig, ExtVec, ExtVecWriter};
+use emrel::{
+    choose, collect, predict_with_sink, sort_pipe, sort_scan, CostEnv, ExecConfig, FilterExec,
+    GroupByExec, MergeJoinExec, Order, PlanExpr, QueryExec, ScanExec, TinyBuildJoinExec,
+};
+use emsort::{MergeKernel, OverlapConfig, RunFormation, SortConfig, SortingWriter};
+use pdm::{DiskArray, FaultPlan, IoMode, Placement, RetryPolicy, SharedDevice};
+use proptest::prelude::*;
+
+/// `(group key, value)` — the engine-side row type (16 bytes).
+type Row = (u64, u64);
+/// `(group key, wrapping sum of values, count)` — the aggregate (24 bytes).
+type Grp = (u64, u64, u64);
+
+const KEY: u32 = 1;
+const ROW_BYTES: usize = 16;
+const GRP_BYTES: usize = 24;
+
+fn keep(r: &Row) -> bool {
+    !r.1.is_multiple_of(4)
+}
+
+fn less(a: &Row, b: &Row) -> bool {
+    a.0 < b.0
+}
+
+/// The naive in-memory reference: filter, sort by key, fold adjacent groups.
+fn q1_reference(data: &[Row]) -> Vec<Grp> {
+    let mut kept: Vec<Row> = data.iter().copied().filter(keep).collect();
+    kept.sort_by_key(|r| r.0); // stable; the wrapping sum is order-blind anyway
+    let mut out: Vec<Grp> = Vec::new();
+    for r in kept {
+        match out.last_mut() {
+            Some(g) if g.0 == r.0 => {
+                g.1 = g.1.wrapping_add(r.1);
+                g.2 += 1;
+            }
+            _ => out.push((r.0, r.1, 1)),
+        }
+    }
+    out
+}
+
+/// Q1-lite through the engine: `GroupBy(Sort(Filter(Scan)))` into a sink,
+/// fused or materialized per `cfg.fusion`.
+fn run_q1(
+    device: &SharedDevice,
+    input: &ExtVec<Row>,
+    cfg: &ExecConfig,
+) -> pdm::Result<ExtVec<Grp>> {
+    let scan = ScanExec::new(input);
+    let mut filt = FilterExec::new(scan, keep);
+    sort_pipe(&mut filt, device, cfg, KEY, less, |s| {
+        let mut g = GroupByExec::new(
+            s,
+            |r: &Row| r.0,
+            0u64,
+            |acc: &mut u64, r: &Row| *acc = acc.wrapping_add(r.1),
+            |k, acc, n| (k, acc, n),
+            Order::Key(KEY),
+        );
+        collect(&mut g, device)
+    })
+}
+
+/// The same query hand-rolled in the pre-engine style (PR 5): an explicit
+/// `SortingWriter` fed by a manual filter loop, with the group fold written
+/// inline against the drained stream.  The engine must cost *exactly* this.
+fn run_q1_handrolled(
+    device: &SharedDevice,
+    input: &ExtVec<Row>,
+    sc: &SortConfig,
+) -> pdm::Result<ExtVec<Grp>> {
+    let mut w = SortingWriter::new(device.clone(), sc, less);
+    let mut r = input.reader();
+    while let Some(x) = r.try_next()? {
+        if keep(&x) {
+            w.push(x)?;
+        }
+    }
+    w.finish_streaming(|s| {
+        let mut out: ExtVecWriter<Grp> = ExtVecWriter::new(device.clone());
+        let mut cur: Option<Grp> = None;
+        while let Some(rec) = s.try_next()? {
+            match cur.as_mut() {
+                Some(g) if g.0 == rec.0 => {
+                    g.1 = g.1.wrapping_add(rec.1);
+                    g.2 += 1;
+                }
+                _ => {
+                    if let Some(done) = cur.replace((rec.0, rec.1, 1)) {
+                        out.push(done)?;
+                    }
+                }
+            }
+        }
+        if let Some(done) = cur {
+            out.push(done)?;
+        }
+        out.finish()
+    })
+}
+
+/// One plan per disk, all derived from `seed` but decorrelated per member.
+fn mk_plans(d: usize, seed: u64, transient_permille: u64, fail_attempts: u32) -> Vec<FaultPlan> {
+    (0..d)
+        .map(|i| {
+            FaultPlan::new(seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9))
+                .with_transient(transient_permille, fail_attempts)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Q1-lite across kernel × placement × mode × D: fused engine, baseline
+    /// engine, and hand-rolled pipeline all agree with the reference, every
+    /// measured transfer count equals its prediction exactly, and fusion
+    /// saves exactly the predicted boundary round trips.
+    #[test]
+    fn q1_pipeline_matches_reference_and_cost_model(
+        data in prop::collection::vec((0u64..48, any::<u64>()), 0..1600),
+        depth in 0usize..=2,
+        sync in any::<bool>(),
+    ) {
+        let expect = q1_reference(&data);
+        let f_cnt = data.iter().filter(|r| keep(r)).count() as u64;
+        let g_cnt = expect.len() as u64;
+        let mode = if sync { IoMode::Synchronous } else { IoMode::Overlapped };
+
+        for (d, placement) in [
+            (1usize, Placement::Independent),
+            (2, Placement::Independent),
+            (2, Placement::Striped),
+            (2, Placement::RandomizedCycling { seed: 42 }),
+        ] {
+            // 64-byte physical blocks of 16-byte rows: the logical block is
+            // D·4 records under striping, 4 otherwise.  `m = 4` blocks keeps
+            // the merge at fan-in 3 with its output block exactly in budget.
+            let rows_per_block = if placement.is_striped() { d * 4 } else { 4 };
+            let m = 4 * rows_per_block;
+            // Striped stats count per-member transfers; the others count one
+            // transfer per logical block.
+            let stripe = if placement.is_striped() { d as u64 } else { 1 };
+
+            for kernel in [MergeKernel::Auto, MergeKernel::LoserTree, MergeKernel::Guided] {
+                let sc = SortConfig::new(m)
+                    .with_run_formation(RunFormation::LoadSort)
+                    .with_overlap(OverlapConfig::symmetric(depth))
+                    .with_merge_kernel(kernel);
+                let device = DiskArray::new_ram_with(d, 64, placement, mode) as SharedDevice;
+                let input = ExtVec::from_slice(device.clone(), &data).unwrap();
+
+                let env = CostEnv::new(device.block_size(), m).with_stripe(stripe);
+                let plan = PlanExpr::scan(data.len() as u64, ROW_BYTES, Order::Unordered)
+                    .filter(f_cnt)
+                    .sort(KEY)
+                    .group_by(KEY, GRP_BYTES, g_cnt, Order::Key(KEY));
+                let pred_fused = predict_with_sink(&plan, &env.with_fusion(true));
+                let pred_base = predict_with_sink(&plan, &env.with_fusion(false));
+
+                let cfg = ExecConfig::from_sort(sc);
+
+                let before = device.stats().snapshot();
+                let out = run_q1(&device, &input, &cfg.with_fusion(true)).unwrap();
+                let m_fused = device.stats().snapshot().since(&before);
+                prop_assert_eq!(&out.to_vec().unwrap(), &expect,
+                    "{:?} {:?} fused output wrong", placement, kernel);
+                out.free().unwrap();
+
+                let before = device.stats().snapshot();
+                let out = run_q1(&device, &input, &cfg.with_fusion(false)).unwrap();
+                let m_base = device.stats().snapshot().since(&before);
+                prop_assert_eq!(&out.to_vec().unwrap(), &expect,
+                    "{:?} {:?} baseline output wrong", placement, kernel);
+                out.free().unwrap();
+
+                let before = device.stats().snapshot();
+                let out = run_q1_handrolled(&device, &input, &cfg.with_fusion(true).sort_config())
+                    .unwrap();
+                let m_hand = device.stats().snapshot().since(&before);
+                prop_assert_eq!(&out.to_vec().unwrap(), &expect,
+                    "{:?} {:?} hand-rolled output wrong", placement, kernel);
+                out.free().unwrap();
+
+                // The model is exact in both modes — no slack with exact
+                // cardinalities.
+                prop_assert_eq!(m_fused.total(), pred_fused as u64,
+                    "{:?} {:?} d={} fused measured != predicted", placement, kernel, d);
+                prop_assert_eq!(m_base.total(), pred_base as u64,
+                    "{:?} {:?} d={} baseline measured != predicted", placement, kernel, d);
+
+                // The engine's fused pipeline is *exactly* the hand-rolled
+                // one — the abstraction costs zero transfers.
+                prop_assert_eq!(m_fused.total(), m_hand.total(),
+                    "{:?} {:?} engine must cost exactly the hand-rolled pipeline",
+                    placement, kernel);
+
+                // Fusion deletes one write+re-read round trip of the filter
+                // output at the sort boundary, and a second at the final
+                // merge whenever run formation leaves something to merge.
+                let bl_f = env.blocks(f_cnt, ROW_BYTES);
+                let boundaries = if bounds::initial_runs(f_cnt, m) > 1 { 2 } else { 1 };
+                prop_assert_eq!(m_base.total() - m_fused.total(), 2 * bl_f * boundaries,
+                    "{:?} {:?} fusion must save exactly the boundary round trips",
+                    placement, kernel);
+
+                input.free().unwrap();
+            }
+        }
+    }
+}
+
+/// Deterministic in-place Fisher–Yates driven by an LCG, so shuffles are
+/// reproducible from a proptest-supplied seed without an RNG dependency.
+fn shuffle(v: &mut [Row], mut s: u64) {
+    for i in (1..v.len()).rev() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (s >> 33) as usize % (i + 1);
+        v.swap(i, j);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Q3-lite (filter orders ⋈ lineitem, then aggregate per order): three
+    /// genuinely different strategies — merge join with one real sort,
+    /// in-memory build side with a late sort, and in-memory lineitem with no
+    /// sort at all.  Every feasible plan must measure exactly its prediction,
+    /// all must agree on the answer, and the planner's choice must be the
+    /// measured-cheapest.
+    #[test]
+    fn planner_choice_is_measured_cheapest(
+        line_counts in prop::collection::vec(0usize..5, 8..80),
+        sel in 0u64..=100,
+        seed in any::<u64>(),
+    ) {
+        let n_orders = line_counts.len();
+        // Keep the highest order key unconditionally: merge join stops
+        // pulling its right side once the left runs out, so a dropped fence
+        // would leave lineitem blocks unread and break cost exactness.  The
+        // model prices fully drained streams.
+        let keep_order = move |k: u64| {
+            k == n_orders as u64 - 1 || (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) % 101 < sel
+        };
+
+        let orders: Vec<Row> = (0..n_orders as u64).map(|k| (k, k * 7)).collect();
+        let mut lineitem: Vec<Row> = Vec::new();
+        for (k, &c) in line_counts.iter().enumerate() {
+            for j in 0..c as u64 {
+                lineitem.push((k as u64, k as u64 * 1000 + j));
+            }
+        }
+        shuffle(&mut lineitem, seed);
+
+        // Exact cardinalities for the model, and the reference answer.
+        let f_cnt = (0..n_orders as u64).filter(|&k| keep_order(k)).count() as u64;
+        let j_cnt: u64 = line_counts
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| keep_order(*k as u64))
+            .map(|(_, &c)| c as u64)
+            .sum();
+        let expect: Vec<Grp> = (0..n_orders as u64)
+            .filter(|&k| keep_order(k) && line_counts[k as usize] > 0)
+            .map(|k| {
+                let c = line_counts[k as usize] as u64;
+                let sum = (0..c).fold(0u64, |a, j| a.wrapping_add(k * 1000 + j));
+                (k, sum, c)
+            })
+            .collect();
+        let g_cnt = expect.len() as u64;
+
+        let device = EmConfig::new(256, 16).ram_disk();
+        let m = 64usize; // 16 rows/block ⇒ fan-in 3, merge exactly in budget
+        let env = CostEnv::new(256, m);
+        let cfg = ExecConfig::new(m);
+
+        let scan_o = || PlanExpr::scan(n_orders as u64, ROW_BYTES, Order::Key(KEY));
+        let scan_l = || PlanExpr::scan(lineitem.len() as u64, ROW_BYTES, Order::Unordered);
+        let candidates = vec![
+            // 0: merge join — orders are clustered on the key (sort elided),
+            // lineitem gets the one real sort.
+            scan_o()
+                .filter(f_cnt)
+                .sort(KEY)
+                .merge_join(scan_l().sort(KEY), KEY, ROW_BYTES, j_cnt)
+                .group_by(KEY, GRP_BYTES, g_cnt, Order::Key(KEY)),
+            // 1: absorb the filtered orders into memory, stream lineitem
+            // past unsorted, sort the join output.
+            scan_l()
+                .tiny_join(scan_o().filter(f_cnt), ROW_BYTES, j_cnt)
+                .sort(KEY)
+                .group_by(KEY, GRP_BYTES, g_cnt, Order::Key(KEY)),
+            // 2: absorb all of lineitem (feasible only when it fits in M);
+            // probing with clustered orders needs no sort anywhere.
+            scan_o()
+                .filter(f_cnt)
+                .tiny_join(scan_l(), ROW_BYTES, j_cnt)
+                .group_by(KEY, GRP_BYTES, g_cnt, Order::Key(KEY)),
+        ];
+        let choice = choose(&candidates, &env);
+        prop_assert!(choice.best.is_some(), "plan 0 is always feasible");
+
+        let o_vec = ExtVec::from_slice(device.clone(), &orders).unwrap();
+        let l_vec = ExtVec::from_slice(device.clone(), &lineitem).unwrap();
+
+        let group = |s: &mut dyn QueryExec<Item = Row>, device: &SharedDevice| {
+            let mut g = GroupByExec::new(
+                s,
+                |r: &Row| r.0,
+                0u64,
+                |acc: &mut u64, r: &Row| *acc = acc.wrapping_add(r.1),
+                |k, acc, n| (k, acc, n),
+                Order::Key(KEY),
+            );
+            collect(&mut g, device)
+        };
+
+        let mut measured: Vec<Option<u64>> = vec![None; candidates.len()];
+        for (i, pred) in choice.predicted.iter().enumerate() {
+            if !pred.is_finite() {
+                continue;
+            }
+            let before = device.stats().snapshot();
+            let out = match i {
+                0 => sort_scan(&l_vec, Order::Unordered, &cfg, KEY, less, |rs| {
+                    let left = FilterExec::new(
+                        ScanExec::with_order(&o_vec, Order::Key(KEY)),
+                        |r: &Row| keep_order(r.0),
+                    );
+                    let mut join = MergeJoinExec::new(
+                        left, rs, |l: &Row| l.0, |r: &Row| r.0,
+                        |l: &Row, r: &Row| (l.0, r.1), m,
+                    );
+                    group(&mut join, &device)
+                })
+                .unwrap(),
+                1 => {
+                    let mut build = FilterExec::new(
+                        ScanExec::with_order(&o_vec, Order::Key(KEY)),
+                        |r: &Row| keep_order(r.0),
+                    );
+                    let probe = ScanExec::new(&l_vec);
+                    let mut join: TinyBuildJoinExec<_, u64, Row, _, _, Row> =
+                        TinyBuildJoinExec::build(
+                            &mut build, probe, |b: &Row| b.0, |p: &Row| p.0,
+                            |p: &Row, _b: &Row| (p.0, p.1), m,
+                        )
+                        .unwrap();
+                    sort_pipe(&mut join, &device, &cfg, KEY, less, |s| group(s, &device))
+                        .unwrap()
+                }
+                _ => {
+                    let mut build = ScanExec::new(&l_vec);
+                    let probe = FilterExec::new(
+                        ScanExec::with_order(&o_vec, Order::Key(KEY)),
+                        |r: &Row| keep_order(r.0),
+                    );
+                    let mut join: TinyBuildJoinExec<_, u64, Row, _, _, Row> =
+                        TinyBuildJoinExec::build(
+                            &mut build, probe, |b: &Row| b.0, |p: &Row| p.0,
+                            |p: &Row, b: &Row| (p.0, b.1), m,
+                        )
+                        .unwrap();
+                    group(&mut join, &device).unwrap()
+                }
+            };
+            let ios = device.stats().snapshot().since(&before);
+            prop_assert_eq!(&out.to_vec().unwrap(), &expect, "plan {} output wrong", i);
+            out.free().unwrap();
+            prop_assert_eq!(ios.total(), *pred as u64,
+                "plan {} measured != predicted", i);
+            measured[i] = Some(ios.total());
+        }
+
+        // With exact predictions the chosen plan is by construction the
+        // measured-cheapest feasible one — assert it against the meter
+        // anyway, since this is the planner's whole value proposition.
+        let best = choice.best.unwrap();
+        let best_measured = measured[best].unwrap();
+        for m_i in measured.iter().flatten() {
+            prop_assert_eq!(best_measured.min(*m_i), best_measured,
+                "planner's choice must be measured-cheapest");
+        }
+
+        l_vec.free().unwrap();
+        o_vec.free().unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary transient fault plans, possibly beyond the retry budget:
+    /// the full engine pipeline (both fusion modes) either completes with
+    /// the correct answer or returns a clean error — never a panic, never
+    /// silently wrong output.
+    #[test]
+    fn faulty_device_pipeline_completes_or_errs_cleanly(
+        data in prop::collection::vec((0u64..48, any::<u64>()), 0..600),
+        seed in any::<u64>(),
+        permille in 0usize..=120,
+        attempts in 0usize..=3,
+        pl_sel in 0usize..3,
+        fusion in any::<bool>(),
+    ) {
+        let placement = match pl_sel {
+            0 => Placement::Independent,
+            1 => Placement::Srm { seed: 51 },
+            _ => Placement::RandomizedCycling { seed: 52 },
+        };
+        let plans = mk_plans(2, seed, permille as u64, 2);
+        let retry = if attempts > 0 {
+            RetryPolicy::new(attempts as u32, Duration::ZERO)
+        } else {
+            RetryPolicy::none()
+        };
+        let device = DiskArray::new_ram_faulty(
+            2, 64, placement, IoMode::Synchronous, &plans, retry,
+        ) as SharedDevice;
+        let cfg = ExecConfig::new(32).with_fusion(fusion);
+        let run = ExtVec::from_slice(device.clone(), &data)
+            .and_then(|input| run_q1(&device, &input, &cfg))
+            .and_then(|out| out.to_vec());
+        // A clean failure is acceptable under uncured faults; only an `Ok`
+        // carries an obligation.
+        if let Ok(got) = run {
+            prop_assert_eq!(got, q1_reference(&data),
+                "a completed pipeline must be correct");
+        }
+    }
+}
