@@ -3,27 +3,35 @@
 //! boundaries, and the planner's choice, under synchronous and overlapped
 //! I/O at `D ∈ {1, 4}`.
 //!
-//! Two TPC-H-flavoured queries over generated relations:
+//! Three TPC-H-flavoured queries over generated relations, each racing the
+//! sort-based operators against their hash duals:
 //!
-//! * **Q1-lite** — `GroupBy(Sort(Filter(Scan lineitem)))`, the classic
-//!   aggregate over a selection.  Run at {fused, materialized} × {sync,
-//!   overlapped} × `D ∈ {1, 4}`; the fused pipeline deletes the sort
-//!   boundary's write+re-read round trips.
-//! * **Q3-lite** — `GroupBy(Join(Filter(Scan orders), Scan lineitem))`,
-//!   aggregating joined line values per qualifying order.  Three candidate
-//!   strategies are priced and executed: a merge join (orders clustered on
-//!   the key, so only lineitem pays a sort), an in-memory build of the
-//!   filtered orders with a late sort, and an in-memory build of all of
-//!   lineitem (infeasible at this scale — the planner must reject it).
+//! * **Q1-lite** — the classic aggregate over a selection, as
+//!   `GroupBy(Sort(Filter(Scan)))` at {fused, materialized} and as
+//!   `HashGroupBy(Filter(Scan))` — the group keys fit the hybrid table, so
+//!   the hash aggregate never touches the disk and wins outright.
+//! * **Q3-lite** — `GroupBy(Join(Filter(Scan orders), Scan lineitem))` with
+//!   orders *clustered on the key*: a merge join with an elided orders sort,
+//!   two in-memory build variants (one infeasible — the planner must reject
+//!   it), and a grace hash join.  With clustering to exploit, the grace join
+//!   loses; the planner must pick the measured-cheapest sort-or-memory plan.
+//!   (A planning-only Q1 variant over pre-sorted input shows the sort-elision
+//!   crossover: there the elided sort beats the hash aggregate on the
+//!   tie-break.)
+//! * **Q3u** — the same join with orders *shuffled*, at a smaller memory
+//!   budget: the merge join now pays a multi-pass sort on each side while
+//!   grace partitions once, so the hash join must win by ≥ 1.5×.  A hybrid
+//!   candidate whose resident bucket cannot fit is priced at ∞.
 //!
 //! Every cell reports *predicted* transfers from the `emrel::plan` cost
 //! model next to the measured count.  The model replays the engine's actual
-//! merge schedule and is fed exact cardinalities, so the documented slack is
-//! **zero**: predicted must equal measured, and the run asserts exactly
-//! that.  Further guards: byte-identical outputs across every cell of a
-//! query, fusion saving exactly its predicted boundary round trips, I/O
-//! mode never changing a count, and the planner's Q3 choice being the
-//! measured-cheapest feasible plan.
+//! merge schedule and partition recursion (hash costs are priced from the
+//! streams' key hashes) and is fed exact cardinalities, so the documented
+//! slack is **zero**: predicted must equal measured, and the run asserts
+//! exactly that.  Further guards: identical canonicalized outputs across
+//! every cell of a query, fusion saving exactly its predicted boundary
+//! round trips, I/O mode never changing a count, and each regime's planner
+//! choice being the measured-cheapest feasible plan.
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_query [-- --smoke]
@@ -32,12 +40,14 @@
 //! Results go to stdout as markdown tables and to `BENCH_query.json`
 //! (archived as a CI artifact alongside the other `BENCH_*.json` files).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use em_core::ExtVec;
 use emrel::{
     choose, collect, predict_with_sink, sort_pipe, sort_scan, CostEnv, ExecConfig, FilterExec,
-    GroupByExec, MergeJoinExec, Order, PlanExpr, QueryExec, ScanExec, TinyBuildJoinExec,
+    GroupByExec, HashGroupByExec, HashJoinExec, KeyStats, MergeJoinExec, Order, PlanExpr,
+    ProjectExec, QueryExec, ScanExec, TinyBuildJoinExec,
 };
 use emsort::OverlapConfig;
 use pdm::{DiskArray, IoMode, Placement, SharedDevice};
@@ -63,6 +73,12 @@ const GRP_BYTES: usize = 24;
 const Q1_GROUPS: u64 = 1024;
 /// Order-selectivity of the Q3 filter, in percent.
 const Q3_SEL: u64 = 15;
+/// Partition fan-out of the Q1 hash aggregate: the hybrid table keeps
+/// `M − (F+1)·B` records, comfortably above `Q1_GROUPS` — every group is
+/// resident and the aggregate costs zero transfers of its own.
+const Q1_FAN_OUT: usize = 31;
+/// Partition fan-out of the clustered-regime grace join (`M = MEM_RECORDS`).
+const Q3_FAN_OUT: usize = 15;
 
 /// Full-run workload sizes.
 const FULL_ROWS: u64 = 150_000;
@@ -117,14 +133,20 @@ fn device_for(tag: &str, d: usize, mode: IoMode) -> (SharedDevice, std::path::Pa
     (arr as SharedDevice, dir)
 }
 
-fn exec_config(mode: IoMode, fusion: bool) -> ExecConfig {
+fn exec_config(mode: IoMode, fusion: bool, mem_records: usize) -> ExecConfig {
     let overlap = match mode {
         IoMode::Synchronous => OverlapConfig::off(),
         IoMode::Overlapped => OverlapConfig::symmetric(DEPTH),
     };
-    let mut cfg = ExecConfig::new(MEM_RECORDS).with_fusion(fusion);
+    let mut cfg = ExecConfig::new(mem_records).with_fusion(fusion);
     cfg.sort = cfg.sort.with_overlap(overlap);
     cfg
+}
+
+/// The level-0 hash the executors use for `u64` keys — the planner's
+/// [`KeyStats`] must be built with the same function.
+fn key_hash(k: u64) -> u64 {
+    em_core::hash::hash_bytes(&k.to_le_bytes())
 }
 
 fn group_collect(
@@ -146,11 +168,15 @@ fn group_collect(
 struct Cell {
     query: &'static str,
     variant: String,
+    /// Operator family the plan leans on: `"sort"`, `"hash"`, or `"memory"`.
+    strategy: &'static str,
     d: usize,
     mode: &'static str,
     predicted: u64,
     reads: u64,
     writes: u64,
+    partition_passes: u64,
+    partition_spilled_blocks: u64,
     secs: f64,
     output: Vec<Grp>,
     trials: usize,
@@ -160,12 +186,20 @@ impl Cell {
     fn total(&self) -> u64 {
         self.reads + self.writes
     }
+
+    /// Output rows in a strategy-independent order, for cross-cell equality.
+    fn canonical_output(&self) -> Vec<Grp> {
+        let mut v = self.output.clone();
+        v.sort_unstable();
+        v
+    }
 }
 
 /// One (query, plan, D, mode) cell's identity plus its predicted price.
 struct Spec {
     query: &'static str,
     variant: String,
+    strategy: &'static str,
     d: usize,
     mode: IoMode,
     predicted: u64,
@@ -185,6 +219,7 @@ where
     let Spec {
         query,
         variant,
+        strategy,
         d,
         mode,
         predicted,
@@ -194,7 +229,7 @@ where
         IoMode::Synchronous => "sync",
         IoMode::Overlapped => "overlapped",
     };
-    type Trial = (f64, u64, u64, Vec<Grp>);
+    type Trial = (f64, u64, u64, u64, u64, Vec<Grp>);
     let mut measured: Vec<Trial> = Vec::with_capacity(trials);
     for trial in 0..trials {
         let (device, dir) = device_for(&format!("{query}-{variant}-{mode_label}-d{d}"), d, mode);
@@ -207,7 +242,7 @@ where
         let output = out.to_vec().expect("read output");
         drop(device);
         std::fs::remove_dir_all(&dir).ok();
-        if let Some((_, r, w, o)) = measured.first() {
+        if let Some((_, r, w, _, _, o)) = measured.first() {
             assert_eq!(
                 (*r, *w),
                 (delta.reads(), delta.writes()),
@@ -218,18 +253,29 @@ where
                 "{query} {variant} trial {trial}: output not reproducible"
             );
         }
-        measured.push((secs, delta.reads(), delta.writes(), output));
+        measured.push((
+            secs,
+            delta.reads(),
+            delta.writes(),
+            delta.partition_passes(),
+            delta.partition_spilled_blocks(),
+            output,
+        ));
     }
     measured.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
-    let (secs, reads, writes, output) = measured.swap_remove(trials / 2);
+    let (secs, reads, writes, partition_passes, partition_spilled_blocks, output) =
+        measured.swap_remove(trials / 2);
     Cell {
         query,
         variant,
+        strategy,
         d,
         mode: mode_label,
         predicted,
         reads,
         writes,
+        partition_passes,
+        partition_spilled_blocks,
         secs,
         output,
         trials,
@@ -241,12 +287,15 @@ fn json_rows(cells: &[Cell]) -> Vec<String> {
         .iter()
         .map(|c| {
             format!(
-                "    {{\"query\": \"{}\", \"variant\": \"{}\", \"d\": {}, \"mode\": \"{}\", \
+                "    {{\"query\": \"{}\", \"variant\": \"{}\", \"strategy\": \"{}\", \
+                 \"d\": {}, \"mode\": \"{}\", \
                  \"predicted_transfers\": {}, \"reads\": {}, \"writes\": {}, \
                  \"measured_transfers\": {}, \"measured_over_predicted\": {:.4}, \
+                 \"partition_passes\": {}, \"partition_spilled_blocks\": {}, \
                  \"wall_seconds\": {:.6}, \"trials\": {}}}",
                 c.query,
                 c.variant,
+                c.strategy,
                 c.d,
                 c.mode,
                 c.predicted,
@@ -254,6 +303,8 @@ fn json_rows(cells: &[Cell]) -> Vec<String> {
                 c.writes,
                 c.total(),
                 c.total() as f64 / c.predicted as f64,
+                c.partition_passes,
+                c.partition_spilled_blocks,
                 c.secs,
                 c.trials
             )
@@ -296,6 +347,56 @@ fn main() {
         .filter(q1_f)
         .sort(KEY)
         .group_by(KEY, GRP_BYTES, q1_g, Order::Key(KEY));
+    // Arrival-ordered key hashes of the filtered stream — the statistic the
+    // hash aggregate's exact replay consumes.
+    let q1_hashes: KeyStats = Arc::new(
+        q1_rows
+            .iter()
+            .filter(|r| keep(r))
+            .map(|r| key_hash(r.0))
+            .collect(),
+    );
+    let q1_hash_plan = PlanExpr::scan(rows_n, ROW_BYTES, Order::Unordered)
+        .filter(q1_f)
+        .hash_group_by(q1_hashes.clone(), Q1_FAN_OUT, GRP_BYTES, q1_g);
+
+    // Planner, regime 1 — unsorted input: the hash aggregate (whose groups
+    // all fit the hybrid table) must beat sorting the relation.
+    let q1_choice = choose(&[q1_plan.clone(), q1_hash_plan.clone()], &env);
+    println!(
+        "planner: Q1 unsorted input predicted {:?}, chose `{}`",
+        q1_choice.predicted,
+        ["sort", "hash"][q1_choice.best.expect("q1 feasible")]
+    );
+    assert_eq!(q1_choice.best, Some(1), "unsorted Q1: hash must win");
+    // Planner, regime 2 — the same relation clustered on the group key: the
+    // elided sort is free, so sort-based grouping must win back (on a tie
+    // the earlier, simpler candidate is preferred).
+    let q1_sorted_hashes: KeyStats = {
+        let mut keys: Vec<u64> = q1_rows.iter().filter(|r| keep(r)).map(|r| r.0).collect();
+        keys.sort_unstable();
+        Arc::new(keys.into_iter().map(key_hash).collect())
+    };
+    let sorted_scan = || PlanExpr::scan(rows_n, ROW_BYTES, Order::Key(KEY)).filter(q1_f);
+    let q1_sorted_choice = choose(
+        &[
+            sorted_scan()
+                .sort(KEY)
+                .group_by(KEY, GRP_BYTES, q1_g, Order::Key(KEY)),
+            sorted_scan().hash_group_by(q1_sorted_hashes, Q1_FAN_OUT, GRP_BYTES, q1_g),
+        ],
+        &env,
+    );
+    println!(
+        "planner: Q1 pre-sorted input predicted {:?}, chose `{}`\n",
+        q1_sorted_choice.predicted,
+        ["sort-elision", "hash"][q1_sorted_choice.best.expect("q1 sorted feasible")]
+    );
+    assert_eq!(
+        q1_sorted_choice.best,
+        Some(0),
+        "pre-sorted Q1: sort-elision must win"
+    );
 
     let mut cells: Vec<Cell> = Vec::new();
     for d in [1usize, 4] {
@@ -303,12 +404,13 @@ fn main() {
             for fusion in [false, true] {
                 let predicted = predict_with_sink(&q1_plan, &env.with_fusion(fusion)) as u64;
                 let variant = if fusion { "fused" } else { "materialized" };
-                let cfg = exec_config(mode, fusion);
+                let cfg = exec_config(mode, fusion, MEM_RECORDS);
                 let rows = &q1_rows;
                 cells.push(run_cell(
                     Spec {
                         query: "q1",
                         variant: variant.to_string(),
+                        strategy: "sort",
                         d,
                         mode,
                         predicted,
@@ -327,6 +429,39 @@ fn main() {
                     },
                 ));
             }
+            let predicted = predict_with_sink(&q1_hash_plan, &env) as u64;
+            let cfg = exec_config(mode, true, MEM_RECORDS);
+            let rows = &q1_rows;
+            cells.push(run_cell(
+                Spec {
+                    query: "q1",
+                    variant: "hash".to_string(),
+                    strategy: "hash",
+                    d,
+                    mode,
+                    predicted,
+                    trials,
+                },
+                move |device: &SharedDevice| {
+                    ExtVec::from_slice(device.clone(), rows).expect("load")
+                },
+                move |input, device| {
+                    let scan = ScanExec::new(input);
+                    let mut filt = FilterExec::new(scan, keep);
+                    let mut g = HashGroupByExec::build(
+                        &mut filt,
+                        device,
+                        &cfg,
+                        Q1_FAN_OUT,
+                        |r: &Row| r.0,
+                        0u64,
+                        |acc: &mut u64, r: &Row| *acc = acc.wrapping_add(r.1),
+                        |k, acc, n| (k, acc, n),
+                    )
+                    .expect("q1 hash build");
+                    collect(&mut g, device).expect("q1 hash")
+                },
+            ));
         }
     }
 
@@ -334,8 +469,12 @@ fn main() {
     let orders: Vec<Row> = (0..orders_n).map(|k| (k, k * 7)).collect();
     let mut lineitem: Vec<Row> = Vec::new();
     let mut seed = 0x53u64;
+    // Up to 31 lines per order: lineitem is large enough relative to the
+    // Q3u budget that its sort needs three merge passes (runs > fan_in²)
+    // while the grace join still partitions it exactly once — probe buckets
+    // stream through the pair loop no matter how large they are.
     for k in 0..orders_n {
-        for j in 0..lcg(&mut seed) % 8 {
+        for j in 0..lcg(&mut seed) % 32 {
             lineitem.push((k, k * 1000 + j));
         }
     }
@@ -358,6 +497,17 @@ fn main() {
         .filter(|&k| keep_order(k, orders_n) && per_order[k as usize] > 0)
         .count() as u64;
 
+    // Key-hash statistics for the hash-join candidates, in arrival order of
+    // each stream: the filtered orders (build) and lineitem (probe).
+    let bh: KeyStats = Arc::new(
+        orders
+            .iter()
+            .filter(|r| keep_order(r.0, orders_n))
+            .map(|r| key_hash(r.0))
+            .collect(),
+    );
+    let ph: KeyStats = Arc::new(lineitem.iter().map(|r| key_hash(r.0)).collect());
+
     let scan_o = || PlanExpr::scan(orders_n, ROW_BYTES, Order::Key(KEY));
     let scan_l = || PlanExpr::scan(lines_n, ROW_BYTES, Order::Unordered);
     let candidates = [
@@ -374,8 +524,26 @@ fn main() {
             .filter(q3_f)
             .tiny_join(scan_l(), ROW_BYTES, q3_j)
             .group_by(KEY, GRP_BYTES, q3_g, Order::Key(KEY)),
+        scan_l()
+            .hash_join(
+                scan_o().filter(q3_f),
+                bh.clone(),
+                ph.clone(),
+                Q3_FAN_OUT,
+                false,
+                ROW_BYTES,
+                q3_j,
+            )
+            .sort(KEY)
+            .group_by(KEY, GRP_BYTES, q3_g, Order::Key(KEY)),
     ];
-    let plan_names = ["merge-join", "tiny-build-orders", "tiny-build-lineitem"];
+    let plan_names = [
+        "merge-join",
+        "tiny-build-orders",
+        "tiny-build-lineitem",
+        "grace-hash",
+    ];
+    let strategies = ["sort", "memory", "memory", "hash"];
     let choice = choose(&candidates, &env);
     let best = choice.best.expect("the merge-join plan is always feasible");
     println!(
@@ -386,6 +554,10 @@ fn main() {
         !choice.predicted[2].is_finite(),
         "the all-of-lineitem build side must be infeasible at this scale"
     );
+    assert!(
+        choice.predicted[3].is_finite(),
+        "the grace join must be feasible (it loses here, but runs)"
+    );
 
     for d in [1usize, 4] {
         for mode in [IoMode::Synchronous, IoMode::Overlapped] {
@@ -393,12 +565,13 @@ fn main() {
                 if !pred.is_finite() {
                     continue;
                 }
-                let cfg = exec_config(mode, true);
+                let cfg = exec_config(mode, true, MEM_RECORDS);
                 let (orders, lineitem) = (&orders, &lineitem);
                 cells.push(run_cell(
                     Spec {
                         query: "q3",
                         variant: plan_names[i].to_string(),
+                        strategy: strategies[i],
                         d,
                         mode,
                         predicted: *pred as u64,
@@ -428,6 +601,29 @@ fn main() {
                                 group_collect(&mut join, device)
                             })
                             .expect("q3 merge join"),
+                            3 => {
+                                let mut build = FilterExec::new(
+                                    ScanExec::with_order(o_vec, Order::Key(KEY)),
+                                    pred_o,
+                                );
+                                let probe = ScanExec::new(l_vec);
+                                let mut join = HashJoinExec::build(
+                                    &mut build,
+                                    probe,
+                                    device,
+                                    &cfg,
+                                    Q3_FAN_OUT,
+                                    false,
+                                    |b: &Row| b.0,
+                                    |p: &Row| p.0,
+                                    |_b: &Row, p: &Row| (p.0, p.1),
+                                )
+                                .expect("q3 grace build");
+                                sort_pipe(&mut join, device, &cfg, KEY, less, |s| {
+                                    group_collect(s, device)
+                                })
+                                .expect("q3 grace")
+                            }
                             _ => {
                                 let mut build = FilterExec::new(
                                     ScanExec::with_order(o_vec, Order::Key(KEY)),
@@ -457,31 +653,180 @@ fn main() {
         }
     }
 
+    // ---- Q3u: the same join, orders shuffled, tighter memory --------------
+    // With no clustering to exploit, the merge join pays multi-pass sorts on
+    // both sides while grace partitions each side once — the regime where
+    // hashing beats sorting.  A hybrid candidate is priced too: at this
+    // budget `M − (F+1)·(B_build + B_probe) = 0` records stay resident, so
+    // its level-0 bucket cannot fit and the model prices it at ∞.
+    let (m_q3u, q3u_fan) = if smoke { (512usize, 3usize) } else { (1024, 7) };
+    let env_u = CostEnv::new(PHYS_BLOCK, m_q3u);
+    let mut orders_u = orders.clone();
+    let mut seed = 0x54u64;
+    for i in (1..orders_u.len()).rev() {
+        let j = lcg(&mut seed) as usize % (i + 1);
+        orders_u.swap(i, j);
+    }
+    let bh_u: KeyStats = Arc::new(
+        orders_u
+            .iter()
+            .filter(|r| keep_order(r.0, orders_n))
+            .map(|r| key_hash(r.0))
+            .collect(),
+    );
+    let scan_ou = || PlanExpr::scan(orders_n, ROW_BYTES, Order::Unordered);
+    let q3u_cands = [
+        scan_ou()
+            .filter(q3_f)
+            .sort(KEY)
+            .merge_join(scan_l().sort(KEY), KEY, ROW_BYTES, q3_j)
+            .project(GRP_BYTES, Order::Unordered),
+        scan_l()
+            .hash_join(
+                scan_ou().filter(q3_f),
+                bh_u.clone(),
+                ph.clone(),
+                q3u_fan,
+                false,
+                ROW_BYTES,
+                q3_j,
+            )
+            .project(GRP_BYTES, Order::Unordered),
+        scan_l()
+            .hash_join(
+                scan_ou().filter(q3_f),
+                bh_u.clone(),
+                ph.clone(),
+                q3u_fan,
+                true,
+                ROW_BYTES,
+                q3_j,
+            )
+            .project(GRP_BYTES, Order::Unordered),
+    ];
+    let q3u_names = ["sort-merge", "grace-hash", "hybrid-hash"];
+    let q3u_strategies = ["sort", "hash", "hash"];
+    let q3u_choice = choose(&q3u_cands, &env_u);
+    let q3u_best = q3u_choice.best.expect("the grace join is always feasible");
+    println!(
+        "planner: Q3u (shuffled orders, M = {m_q3u}) candidates predicted {:?}, chose `{}`\n",
+        q3u_choice.predicted, q3u_names[q3u_best]
+    );
+    assert_eq!(q3u_best, 1, "unsorted Q3: the grace join must win");
+    assert!(
+        !q3u_choice.predicted[2].is_finite(),
+        "the hybrid's resident bucket cannot fit at M = {m_q3u}: must price at ∞"
+    );
+
+    for d in [1usize, 4] {
+        for mode in [IoMode::Synchronous, IoMode::Overlapped] {
+            for (i, pred) in q3u_choice.predicted.iter().enumerate() {
+                if !pred.is_finite() {
+                    continue;
+                }
+                let cfg = exec_config(mode, true, m_q3u);
+                let (orders_u, lineitem) = (&orders_u, &lineitem);
+                cells.push(run_cell(
+                    Spec {
+                        query: "q3u",
+                        variant: q3u_names[i].to_string(),
+                        strategy: q3u_strategies[i],
+                        d,
+                        mode,
+                        predicted: *pred as u64,
+                        trials,
+                    },
+                    move |device: &SharedDevice| {
+                        let o_vec = ExtVec::from_slice(device.clone(), orders_u).expect("load");
+                        let l_vec = ExtVec::from_slice(device.clone(), lineitem).expect("load");
+                        (o_vec, l_vec)
+                    },
+                    move |(o_vec, l_vec), device| {
+                        let pred_o = |r: &Row| keep_order(r.0, orders_n);
+                        // Join rows padded to `Grp` so every cell shares one
+                        // output type; the canonicalized-equality guard
+                        // compares them across strategies.
+                        let pad = |r: &Row| Some((r.0, r.1, 0u64));
+                        match i {
+                            0 => sort_scan(l_vec, Order::Unordered, &cfg, KEY, less, |rs| {
+                                let mut fo = FilterExec::new(ScanExec::new(o_vec), pred_o);
+                                sort_pipe(&mut fo, device, &cfg, KEY, less, |os| {
+                                    let join = MergeJoinExec::new(
+                                        os,
+                                        rs,
+                                        |l: &Row| l.0,
+                                        |r: &Row| r.0,
+                                        |l: &Row, r: &Row| (l.0, r.1),
+                                        m_q3u,
+                                    );
+                                    let mut proj: ProjectExec<_, _, Grp> =
+                                        ProjectExec::new(join, pad, Order::Unordered);
+                                    collect(&mut proj, device)
+                                })
+                            })
+                            .expect("q3u sort-merge"),
+                            _ => {
+                                let mut build = FilterExec::new(ScanExec::new(o_vec), pred_o);
+                                let probe = ScanExec::new(l_vec);
+                                let join = HashJoinExec::build(
+                                    &mut build,
+                                    probe,
+                                    device,
+                                    &cfg,
+                                    q3u_fan,
+                                    false,
+                                    |b: &Row| b.0,
+                                    |p: &Row| p.0,
+                                    |_b: &Row, p: &Row| (p.0, p.1),
+                                )
+                                .expect("q3u grace build");
+                                let mut proj: ProjectExec<_, _, Grp> =
+                                    ProjectExec::new(join, pad, Order::Unordered);
+                                collect(&mut proj, device).expect("q3u grace")
+                            }
+                        }
+                    },
+                ));
+            }
+        }
+    }
+
     // ---- Report -----------------------------------------------------------
-    println!("| query | plan | D | mode | predicted | measured | meas/pred | wall (s) |");
-    println!("|-------|------|---|------|-----------|----------|-----------|----------|");
+    println!(
+        "| query | plan | strategy | D | mode | predicted | measured | meas/pred | part passes | spilled | wall (s) |"
+    );
+    println!(
+        "|-------|------|----------|---|------|-----------|----------|-----------|-------------|---------|----------|"
+    );
     for c in &cells {
         println!(
-            "| {} | {} | {} | {} | {} | {} | {:.4} | {:.3} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {:.4} | {} | {} | {:.3} |",
             c.query,
             c.variant,
+            c.strategy,
             c.d,
             c.mode,
             c.predicted,
             c.total(),
             c.total() as f64 / c.predicted as f64,
+            c.partition_passes,
+            c.partition_spilled_blocks,
             c.secs
         );
     }
 
     let json = format!(
         "{{\n  \"benchmark\": \"query_engine_predicted_vs_measured\",\n  \
+         \"schema_version\": 2,\n  \
          \"q1_rows\": {rows_n},\n  \"q3_orders\": {orders_n},\n  \"q3_lines\": {lines_n},\n  \
-         \"mem_records\": {MEM_RECORDS},\n  \"physical_block_bytes\": {PHYS_BLOCK},\n  \
+         \"mem_records\": {MEM_RECORDS},\n  \"mem_records_q3u\": {m_q3u},\n  \
+         \"physical_block_bytes\": {PHYS_BLOCK},\n  \
          \"overlap_depth\": {DEPTH},\n  \"service_time_us\": {SERVICE_US},\n  \
          \"placement\": \"independent\",\n  \"q3_planner_choice\": \"{}\",\n  \
+         \"q3u_planner_choice\": \"{}\",\n  \
          \"smoke\": {smoke},\n  \"trials\": {trials},\n  \"results\": [\n{}\n  ]\n}}\n",
         plan_names[best],
+        q3u_names[q3u_best],
         json_rows(&cells).join(",\n")
     );
     std::fs::write("BENCH_query.json", &json).expect("write BENCH_query.json");
@@ -504,14 +849,19 @@ fn main() {
             c.mode
         );
     }
-    // 2. Byte-identical outputs across every cell of a query.
-    for query in ["q1", "q3"] {
+    // 2. Identical canonicalized outputs across every cell of a query (hash
+    //    operators emit in partition order, so rows are compared sorted).
+    for query in ["q1", "q3", "q3u"] {
         let rows: Vec<&Cell> = cells.iter().filter(|c| c.query == query).collect();
+        let reference = rows[0].canonical_output();
         for c in &rows {
             assert_eq!(
-                &c.output, &rows[0].output,
+                c.canonical_output(),
+                reference,
                 "{query} {} d={} {}: output differs",
-                c.variant, c.d, c.mode
+                c.variant,
+                c.d,
+                c.mode
             );
         }
     }
@@ -576,11 +926,71 @@ fn main() {
             }
         }
     }
+    // 6. The unsorted regime's planner choice (grace) is measured-cheapest,
+    //    and the hash join's advantage over merge-join-with-sorts is ≥ 1.5×.
+    let mut q3u_ratio = f64::INFINITY;
+    for d in [1usize, 4] {
+        for mode in ["sync", "overlapped"] {
+            let get = |variant: &str| {
+                cells
+                    .iter()
+                    .find(|c| {
+                        c.query == "q3u" && c.variant == variant && c.d == d && c.mode == mode
+                    })
+                    .expect("q3u cell present")
+            };
+            let (sm, gr) = (get("sort-merge"), get("grace-hash"));
+            assert!(
+                gr.total() <= sm.total(),
+                "q3u d={d} {mode}: planner chose grace but sort-merge measured cheaper"
+            );
+            let ratio = sm.total() as f64 / gr.total() as f64;
+            q3u_ratio = q3u_ratio.min(ratio);
+            assert!(
+                ratio >= 1.5,
+                "q3u d={d} {mode}: hash join advantage {ratio:.3}× < 1.5× \
+                 ({} vs {} transfers)",
+                sm.total(),
+                gr.total()
+            );
+        }
+    }
+    // 7. Partition counters attribute the hash work: the grace joins spill,
+    //    while Q1's fully-resident hash aggregate never touches the disk.
+    for c in &cells {
+        match (c.query, c.strategy) {
+            ("q1", "hash") => assert_eq!(
+                (c.partition_passes, c.partition_spilled_blocks),
+                (0, 0),
+                "q1 hash d={} {}: fully-resident aggregate should not partition",
+                c.d,
+                c.mode
+            ),
+            (_, "hash") => assert!(
+                c.partition_passes >= 1 && c.partition_spilled_blocks >= 1,
+                "{} {} d={} {}: grace join should record partition spills",
+                c.query,
+                c.variant,
+                c.d,
+                c.mode
+            ),
+            _ => assert_eq!(
+                (c.partition_passes, c.partition_spilled_blocks),
+                (0, 0),
+                "{} {} d={} {}: sort-based plan should not partition",
+                c.query,
+                c.variant,
+                c.d,
+                c.mode
+            ),
+        }
+    }
     println!(
         "guards passed: predicted == measured in all {} cells, outputs identical, \
-         fusion saves exactly the modeled boundaries, planner choice `{}` is \
-         measured-cheapest",
+         fusion saves exactly the modeled boundaries, planner choices `{}` (clustered) \
+         and `{}` (shuffled, {q3u_ratio:.2}x over sort-merge) are measured-cheapest",
         cells.len(),
-        plan_names[best]
+        plan_names[best],
+        q3u_names[q3u_best]
     );
 }

@@ -184,15 +184,7 @@ fn tmpdir(tag: &str) -> std::path::PathBuf {
     p
 }
 
-fn fnv1a(v: &[u64]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &x in v {
-        for byte in x.to_le_bytes() {
-            h = (h ^ byte as u64).wrapping_mul(0x100_0000_01b3);
-        }
-    }
-    h
-}
+use em_core::hash::fnv1a_words as fnv1a;
 
 fn run_one(
     d: usize,

@@ -142,6 +142,300 @@ pub fn merge_sort_streamed_ios(n: u64, m: usize, b: usize, fan_in: usize) -> u64
     t
 }
 
+/// Recursion-depth backstop shared by the hash partitioner
+/// (`emhash::partition`) and the exact replays below.  A partition still
+/// over `M` after this many levels falls back to the sort path.
+pub const HASH_MAX_LEVELS: usize = 32;
+
+/// Exact transfer count of `emhash::partition::partition_to_fit`: read the
+/// input, spill every record to its level-0 bucket, and recurse — one read
+/// plus one write per level a record passes through — until every leaf
+/// fits in `M`, stops shrinking (equal-hash skew), or hits
+/// [`HASH_MAX_LEVELS`].  Leaves are returned unread (their consumption is
+/// the consumer's cost).  `hashes` are the records' level-0 key hashes
+/// ([`hash_bytes`](pdm::hash::hash_bytes) of the key bytes) in arrival
+/// order; the replay reproduces the recursion tree exactly because deeper
+/// levels *remix* those hashes ([`level_bucket`](pdm::hash::level_bucket))
+/// rather than rehashing the keys.
+pub fn hash_partition_exact_ios(hashes: &[u64], m: usize, b: usize, fan_out: usize) -> u64 {
+    let n = hashes.len() as u64;
+    if n == 0 {
+        return 0;
+    }
+    if n as usize <= m {
+        // Degenerate copy: the input already fits, but the caller is handed
+        // an owned leaf — one read plus one write of the whole input.
+        return 2 * blocks(n, b);
+    }
+    fn rec(hs: &[u64], level: usize, m: usize, b: usize, fan_out: usize) -> u64 {
+        let fed = hs.len() as u64;
+        let mut t = blocks(fed, b); // read the partition
+        let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); fan_out];
+        for &h in hs {
+            buckets[pdm::hash::level_bucket(h, level, fan_out)].push(h);
+        }
+        for child in &buckets {
+            let len = child.len() as u64;
+            if len == 0 {
+                continue;
+            }
+            t += blocks(len, b); // spill write
+            if len as usize <= m || len == fed || level + 1 >= HASH_MAX_LEVELS {
+                continue; // leaf: resident, skewed, or depth backstop
+            }
+            t += rec(child, level + 1, m, b, fan_out);
+        }
+        t
+    }
+    rec(hashes, 0, m, b, fan_out)
+}
+
+/// Exact transfer count of `emrel`'s hybrid hash aggregation
+/// (`HashGroupByExec` / `HashDistinctExec`), *excluding* the child stream's
+/// own cost and the sink's output write — the same boundary convention as
+/// [`merge_sort_streamed_ios`]'s callers.
+///
+/// Replayed schedule, identical to the executor:
+/// * an in-memory table absorbs the first `M − (F+1)·B` *distinct* keys in
+///   arrival order (records with resident keys fold for free); every other
+///   record spills to its level-0 bucket (one write per block);
+/// * a partition of ≤ `M − B` records is read once and aggregated resident;
+/// * a larger partition is re-passed at the next level (read + re-spill),
+///   with a fresh table absorbing again;
+/// * a partition that did not shrink (equal keys — the skew tape) or that
+///   is still oversized at [`HASH_MAX_LEVELS`] is sorted instead:
+///   [`merge_sort_exact_ios`] (its scan term *is* the partition read) plus
+///   one read of the sorted result for the streaming group pass.
+///
+/// `hashes` must be the level-0 key hashes of the operator's input records
+/// in arrival order (residency is first-come); `fan_in` is the sort
+/// fallback's merge fan-in.
+pub fn hash_group_exact_ios(
+    hashes: &[u64],
+    m: usize,
+    b: usize,
+    fan_out: usize,
+    fan_in: usize,
+) -> u64 {
+    let n = hashes.len() as u64;
+    if n == 0 {
+        return 0;
+    }
+    let (t, buckets) = hash_group_pass(hashes, 0, m, b, fan_out);
+    let mut t = t;
+    for child in &buckets {
+        if child.is_empty() {
+            continue;
+        }
+        let skewed = child.len() as u64 == n;
+        t += hash_group_rec(child, 1, skewed, m, b, fan_out, fan_in);
+    }
+    t
+}
+
+/// One hybrid absorb-and-spill pass: returns (spill-write transfers,
+/// per-bucket spilled hashes).  `level` selects the bucket salt.
+fn hash_group_pass(
+    hashes: &[u64],
+    level: usize,
+    m: usize,
+    b: usize,
+    fan_out: usize,
+) -> (u64, Vec<Vec<u64>>) {
+    let cap = m.saturating_sub((fan_out + 1) * b);
+    let mut table = std::collections::HashSet::new();
+    let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); fan_out];
+    for &h in hashes {
+        if table.contains(&h) {
+            continue; // resident key: folds in memory
+        }
+        if table.len() < cap {
+            table.insert(h);
+        } else {
+            buckets[pdm::hash::level_bucket(h, level, fan_out)].push(h);
+        }
+    }
+    let t = buckets
+        .iter()
+        .filter(|c| !c.is_empty())
+        .map(|c| blocks(c.len() as u64, b))
+        .sum();
+    (t, buckets)
+}
+
+/// Consume one spilled aggregation partition starting at `level`; `skewed`
+/// records that the pass producing it made no progress (the no-shrink
+/// test), which forces the sort fallback unless the partition is resident.
+fn hash_group_rec(
+    hs: &[u64],
+    level: usize,
+    skewed: bool,
+    m: usize,
+    b: usize,
+    fan_out: usize,
+    fan_in: usize,
+) -> u64 {
+    let len = hs.len() as u64;
+    if len as usize <= m.saturating_sub(b) {
+        return blocks(len, b); // read once, aggregate resident
+    }
+    if skewed || level >= HASH_MAX_LEVELS {
+        return group_fallback(len, m, b, fan_in);
+    }
+    let mut t = blocks(len, b); // read for the re-pass
+    let (spill, buckets) = hash_group_pass(hs, level, m, b, fan_out);
+    t += spill;
+    for child in &buckets {
+        if child.is_empty() {
+            continue;
+        }
+        let child_skewed = child.len() as u64 == len;
+        t += hash_group_rec(child, level + 1, child_skewed, m, b, fan_out, fan_in);
+    }
+    t
+}
+
+/// Sort fallback for one aggregation partition: materialized merge sort
+/// (the sort's scan term is the partition read) plus one read of the
+/// sorted array for the streaming group pass.
+fn group_fallback(len: u64, m: usize, b: usize, fan_in: usize) -> u64 {
+    merge_sort_exact_ios(len, m, b, fan_in) + blocks(len, b)
+}
+
+/// Exact transfer count of `emrel`'s Grace / hybrid hash join
+/// (`HashJoinExec`), excluding the children's stream costs and the sink
+/// write.  `b_build` / `b_probe` are records-per-block of the two inputs
+/// (their record sizes may differ), `fan_in_*` the fallback sorts' fan-ins.
+///
+/// Replayed schedule, identical to the executor:
+/// * level 0 partitions the build side `F` ways; with `hybrid`, bucket 0
+///   is kept resident (never spilled) — if it exceeds the residency budget
+///   `M − (F+1)·(B_build + B_probe)` the regime is infeasible and the cost
+///   is **∞** (the planner then never picks it; the executor panics on the
+///   model violation);
+/// * the probe side partitions with the same salts; probe records whose
+///   build bucket is empty are dropped unspilled, and hybrid bucket-0
+///   probes match against the resident table in-stream;
+/// * a pair whose build partition is ≤ `M − B_build − B_probe` records is
+///   consumed directly: read the build into a table, stream the probe;
+/// * an oversized pair is re-partitioned pairwise at the next level; a
+///   build partition that did not shrink (equal keys — no hash can split
+///   it, and no sort-merge could buffer the over-`M` key group either), or
+///   one still oversized at [`HASH_MAX_LEVELS`], falls back to a
+///   block-nested-loop join of the pair: the build side is read once in
+///   `M − B_build − B_probe`-record chunks, the probe side re-scanned once
+///   per chunk.  With a single chunk this is exactly the resident-pair
+///   cost, so the fallback is never priced better than the happy path.
+#[allow(clippy::too_many_arguments)]
+pub fn hash_join_exact_ios(
+    build_hashes: &[u64],
+    probe_hashes: &[u64],
+    m: usize,
+    b_build: usize,
+    b_probe: usize,
+    fan_out: usize,
+    hybrid: bool,
+) -> f64 {
+    let bn = build_hashes.len() as u64;
+    let mut bbuckets: Vec<Vec<u64>> = vec![Vec::new(); fan_out];
+    for &h in build_hashes {
+        bbuckets[pdm::hash::level_bucket(h, 0, fan_out)].push(h);
+    }
+    if hybrid {
+        let resident = m.saturating_sub((fan_out + 1) * (b_build + b_probe));
+        if bbuckets[0].len() > resident {
+            return f64::INFINITY;
+        }
+    }
+    let mut pbuckets: Vec<Vec<u64>> = vec![Vec::new(); fan_out];
+    for &h in probe_hashes {
+        let i = pdm::hash::level_bucket(h, 0, fan_out);
+        if !bbuckets[i].is_empty() {
+            pbuckets[i].push(h); // build-empty probes are dropped unspilled
+        }
+    }
+    let mut t = 0u64;
+    let spill_from = usize::from(hybrid); // hybrid keeps pair 0 in memory
+    for i in spill_from..fan_out {
+        if !bbuckets[i].is_empty() {
+            t += blocks(bbuckets[i].len() as u64, b_build);
+        }
+        if !pbuckets[i].is_empty() {
+            t += blocks(pbuckets[i].len() as u64, b_probe);
+        }
+        t += hash_join_pair(
+            &bbuckets[i],
+            &pbuckets[i],
+            bn,
+            1,
+            m,
+            b_build,
+            b_probe,
+            fan_out,
+        );
+    }
+    t as f64
+}
+
+/// Consume one (build, probe) partition pair starting at `level`; `fed` is
+/// the build-side record count of the pass that produced the pair (the
+/// no-shrink skew test).
+#[allow(clippy::too_many_arguments)]
+fn hash_join_pair(
+    bh: &[u64],
+    ph: &[u64],
+    fed: u64,
+    level: usize,
+    m: usize,
+    b_build: usize,
+    b_probe: usize,
+    fan_out: usize,
+) -> u64 {
+    if bh.is_empty() || ph.is_empty() {
+        return 0; // no matches possible: both sides freed unread
+    }
+    let (bn, pn) = (bh.len() as u64, ph.len() as u64);
+    let chunk = m.saturating_sub(b_build + b_probe) as u64;
+    if bn <= chunk {
+        return blocks(bn, b_build) + blocks(pn, b_probe); // build table + probe stream
+    }
+    if bn == fed || level >= HASH_MAX_LEVELS {
+        // Block-nested loop: build read once in chunks, probe per chunk.
+        return blocks(bn, b_build) + bn.div_ceil(chunk.max(1)) * blocks(pn, b_probe);
+    }
+    let mut t = blocks(bn, b_build) + blocks(pn, b_probe); // read both for the re-pass
+    let mut bkids: Vec<Vec<u64>> = vec![Vec::new(); fan_out];
+    for &h in bh {
+        bkids[pdm::hash::level_bucket(h, level, fan_out)].push(h);
+    }
+    let mut pkids: Vec<Vec<u64>> = vec![Vec::new(); fan_out];
+    for &h in ph {
+        let i = pdm::hash::level_bucket(h, level, fan_out);
+        if !bkids[i].is_empty() {
+            pkids[i].push(h);
+        }
+    }
+    for i in 0..fan_out {
+        if !bkids[i].is_empty() {
+            t += blocks(bkids[i].len() as u64, b_build);
+        }
+        if !pkids[i].is_empty() {
+            t += blocks(pkids[i].len() as u64, b_probe);
+        }
+        t += hash_join_pair(
+            &bkids[i],
+            &pkids[i],
+            bn,
+            level + 1,
+            m,
+            b_build,
+            b_probe,
+            fan_out,
+        );
+    }
+    t
+}
+
 /// Merge `queue` front-to-back in groups of `min(k, len)` while
 /// `more(len)`, counting one read per input block and one write per output
 /// block.
@@ -224,6 +518,52 @@ mod tests {
         assert_eq!(merge_passes(10_000, 1000, 10), 2);
         // 100 runs, fan-in 10: run formation + 2 merge passes.
         assert_eq!(merge_passes(100_000, 1000, 10), 3);
+    }
+
+    #[test]
+    fn hash_group_one_pass_when_groups_fit() {
+        // 100 distinct keys, table cap = 64 − (4+1)·4 = 44... make cap
+        // large: m=512, b=8, F=4 → cap = 512 − 40 = 472 ≥ distinct keys →
+        // everything absorbs, zero operator transfers.
+        let hashes: Vec<u64> = (0..5000u64)
+            .map(|i| pdm::hash::hash_bytes(&(i % 100).to_le_bytes()))
+            .collect();
+        assert_eq!(hash_group_exact_ios(&hashes, 512, 8, 4, 8), 0);
+    }
+
+    #[test]
+    fn hash_group_skew_tape_costs_one_spill_plus_sort() {
+        // cap = 0 (m = (F+1)·b): every record spills to one bucket, which
+        // never shrinks → spill write + sort fallback.
+        let (m, b, f, k) = (40usize, 8usize, 4usize, 4usize);
+        let hashes = vec![pdm::hash::hash_bytes(&7u64.to_le_bytes()); 1000];
+        let spill = blocks(1000, b);
+        let expect = spill + group_fallback(1000, m, b, k);
+        assert_eq!(hash_group_exact_ios(&hashes, m, b, f, k), expect);
+    }
+
+    #[test]
+    fn hash_join_empty_sides() {
+        // Empty build: every probe record is dropped unspilled.
+        assert_eq!(
+            hash_join_exact_ios(&[], &[1, 2, 3], 64, 8, 8, 4, false),
+            0.0
+        );
+        // Empty probe: the build bucket was already spilled (one block),
+        // then the pair is freed unread.
+        assert_eq!(hash_join_exact_ios(&[1], &[], 64, 8, 8, 4, false), 1.0);
+    }
+
+    #[test]
+    fn hash_join_hybrid_overflow_is_infinite() {
+        // Everything in build bucket 0 at level 0, far over any residency.
+        let h = (0..64u64)
+            .map(|i| pdm::hash::hash_bytes(&i.to_le_bytes()))
+            .find(|&h| pdm::hash::level_bucket(h, 0, 4) == 0)
+            .unwrap();
+        let build = vec![h; 500];
+        let cost = hash_join_exact_ios(&build, &[h], 64, 8, 8, 4, true);
+        assert!(cost.is_infinite());
     }
 
     #[test]

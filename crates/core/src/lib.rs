@@ -64,3 +64,7 @@ pub use stream::{ExtVecReader, ExtVecWriter, IoWaitSink};
 
 // Re-export the substrate so dependents need only one import path.
 pub use pdm;
+/// The workspace's one hash family (FNV-1a, splitmix, seeded bucket
+/// hashing) — canonical home is `pdm::hash`, surfaced here so algorithm
+/// crates and benches need only `em_core`.
+pub use pdm::hash;

@@ -22,19 +22,12 @@ use std::sync::Arc;
 use em_core::Record;
 use pdm::{BlockId, BufferPool, Result};
 
-/// FNV-seeded splitmix mixing over the key's encoded bytes.
-fn hash_bytes(bytes: &[u8]) -> u64 {
-    let mut acc = 0xcbf2_9ce4_8422_2325u64 ^ (bytes.len() as u64);
-    for chunk in bytes.chunks(8) {
-        let mut word = [0u8; 8];
-        word[..chunk.len()].copy_from_slice(chunk);
-        acc ^= u64::from_le_bytes(word);
-        acc = (acc ^ (acc >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        acc = (acc ^ (acc >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        acc ^= acc >> 31;
-    }
-    acc
-}
+// FNV-seeded splitmix mixing over the key's encoded bytes — the canonical
+// copy lives in `em_core::hash` (directory layouts persist this hash, so it
+// must stay bit-identical across crates).
+use em_core::hash::hash_bytes;
+
+pub mod partition;
 
 /// An extendible hash table mapping fixed-size keys to fixed-size values.
 ///

@@ -1,0 +1,1168 @@
+//! # Hash-partitioned aggregation and join operators
+//!
+//! The hash duals of the engine's sort-based operators, built on
+//! [`emhash::partition`]: instead of ordering the input so equal keys
+//! become adjacent, they *co-locate* equal keys by recursive hash
+//! partitioning and finish each resident partition in memory.  Neither
+//! operator guarantees an output order ([`Order::Unordered`]), which is
+//! exactly the trade the planner prices: a hash operator wins when nothing
+//! downstream wants the sort it skipped.
+//!
+//! * [`HashGroupByExec`] / [`HashDistinctExec`] — *hybrid* hash
+//!   aggregation: an in-memory table absorbs the first `M − (F+1)·B`
+//!   distinct keys in arrival order (records with resident keys fold for
+//!   free, the classic hybrid trick), everything else spills to its
+//!   level-0 bucket and is aggregated per partition.
+//! * [`HashJoinExec`] — Grace hash join with an optional hybrid bucket 0
+//!   kept resident on the build side.  Oversized partition pairs
+//!   re-partition pairwise; a build partition that stops shrinking (equal
+//!   keys — no hash *or* sort-merge could handle it within `M`) falls back
+//!   to a block-nested-loop round over just that pair.
+//!
+//! Every schedule decision (absorb, spill, recurse, fall back) is a pure
+//! function of the records' level-0 key hashes and arrival order, so
+//! `em_core::bounds::{hash_group_exact_ios, hash_join_exact_ios}` replay
+//! the exact transfer counts — zero-slack, like the sort operators.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use em_core::bounds::HASH_MAX_LEVELS;
+use em_core::hash::level_bucket;
+use em_core::{BudgetGuard, ExtVec, MemBudget, Record};
+use emhash::partition::{KeyHasher, PartitionPass};
+use emsort::{merge_sort_by, OverlapConfig};
+use pdm::{Result, SharedDevice};
+
+use crate::exec::{ExecConfig, Order, QueryExec};
+
+/// Sequential block-at-a-time cursor over an owned [`ExtVec`] — the
+/// restartable read path the pair-at-a-time join states need (a borrowed
+/// reader cannot live across `try_next` calls).  One block of records is
+/// buffered; [`rewind`](Self::rewind) restarts the scan, paying the reads
+/// again (that re-read *is* the block-nested-loop cost).
+struct VecCursor<R: Record> {
+    vec: ExtVec<R>,
+    bi: usize,
+    buf: Vec<R>,
+    at: usize,
+}
+
+impl<R: Record> VecCursor<R> {
+    fn new(vec: ExtVec<R>) -> Self {
+        VecCursor {
+            vec,
+            bi: 0,
+            buf: Vec::new(),
+            at: 0,
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<R>> {
+        loop {
+            if self.at < self.buf.len() {
+                let r = self.buf[self.at].clone();
+                self.at += 1;
+                return Ok(Some(r));
+            }
+            if self.bi >= self.vec.num_blocks() {
+                return Ok(None);
+            }
+            self.vec.read_block_into(self.bi, &mut self.buf)?;
+            self.bi += 1;
+            self.at = 0;
+        }
+    }
+
+    fn rewind(&mut self) {
+        self.bi = 0;
+        self.at = 0;
+        self.buf.clear();
+    }
+
+    fn free(self) -> Result<()> {
+        self.vec.free()
+    }
+}
+
+/// Hybrid hash aggregation: group `child` by an extracted key with a
+/// streaming fold, *without* sorting.  Blocking: the child is drained by
+/// [`build`](Self::build).  Output carries no order — resident-table
+/// groups come out in key order, spilled partitions in recursion order.
+///
+/// Schedule (mirrored exactly by `hash_group_exact_ios`):
+/// * level 0: a table of up to `M − (F+1)·B` distinct keys absorbs in
+///   arrival order; records with resident keys fold in memory, the rest
+///   spill to `F` hash buckets through per-lane write-behind writers;
+/// * a partition of ≤ `M − B` records is read once and aggregated with a
+///   full in-memory table;
+/// * a larger partition re-passes at the next remix level (fresh absorb
+///   table, fresh buckets);
+/// * a partition that did not shrink — one bucket got every record its
+///   parent spilled, i.e. equal keys — or that is still oversized at
+///   [`HASH_MAX_LEVELS`] is sorted ([`merge_sort_by`] with the fallback
+///   [`SortConfig`](emsort::SortConfig)) and grouped by one streaming
+///   pass, which handles any number of distinct keys in `O(1)` memory.
+pub struct HashGroupByExec<R, K, KF, Acc, FoldF, FinF, O>
+where
+    R: Record,
+    K: Ord,
+{
+    device: SharedDevice,
+    cfg: ExecConfig,
+    m: usize,
+    b: usize,
+    fan_out: usize,
+    key: KF,
+    init: Acc,
+    fold: FoldF,
+    fin: FinF,
+    hasher: KeyHasher,
+    budget: Arc<MemBudget>,
+    /// Finished output records awaiting emission.
+    ready: VecDeque<O>,
+    /// Spilled partitions still to consume: `(records, level, skewed)`,
+    /// popped LIFO (children are pushed reversed, so consumption is
+    /// bucket-DFS order — the order the cost replay walks).
+    queue: Vec<(ExtVec<R>, usize, bool)>,
+    /// Active sort-fallback stream: the sorted partition plus one record
+    /// of look-ahead for the group boundary.
+    fb: Option<VecCursor<R>>,
+    fb_pending: Option<R>,
+    _k: PhantomData<K>,
+}
+
+impl<R, K, KF, Acc, FoldF, FinF, O> HashGroupByExec<R, K, KF, Acc, FoldF, FinF, O>
+where
+    R: Record,
+    O: Record,
+    K: Record + Ord,
+    KF: Fn(&R) -> K + Sync,
+    Acc: Clone,
+    FoldF: FnMut(&mut Acc, &R),
+    FinF: FnMut(K, Acc, u64) -> O,
+{
+    /// Drain `child` through the hybrid level-0 pass (absorbing what fits,
+    /// spilling the rest `fan_out` ways on `device`), ready to emit.
+    /// `cfg.sort` supplies the memory budget `M`, the overlap depths, and
+    /// the skew fallback's sort parameters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        child: &mut dyn QueryExec<Item = R>,
+        device: &SharedDevice,
+        cfg: &ExecConfig,
+        fan_out: usize,
+        key: KF,
+        init: Acc,
+        fold: FoldF,
+        fin: FinF,
+    ) -> Result<Self> {
+        let b = ExtVec::<R>::per_block_on(device);
+        let m = cfg.sort.mem_records;
+        assert!(
+            fan_out >= 2 && (fan_out + 1) * b <= m,
+            "fan-out {fan_out} needs {} records of memory, have {m}",
+            (fan_out + 1) * b
+        );
+        let ov = cfg.sort.overlap.for_lanes(device.stream_lanes());
+        // Overlap queues are headroom beyond M: sizing decisions above came
+        // from the configured M alone, so the partition tree — and with it
+        // every transfer count — is identical with overlap on or off.
+        let reserve = (ov.read_ahead + fan_out * ov.write_behind) * b;
+        let budget = MemBudget::new(m + reserve);
+        let mut this = HashGroupByExec {
+            device: device.clone(),
+            cfg: *cfg,
+            m,
+            b,
+            fan_out,
+            key,
+            init,
+            fold,
+            fin,
+            hasher: KeyHasher::new(),
+            budget,
+            ready: VecDeque::new(),
+            queue: Vec::new(),
+            fb: None,
+            fb_pending: None,
+            _k: PhantomData,
+        };
+        let cap = m - (fan_out + 1) * b;
+        let mut table: BTreeMap<K, (Acc, u64)> = BTreeMap::new();
+        let mut fed = 0u64;
+        let children = {
+            let mut pass = PartitionPass::new(
+                &this.device,
+                fan_out,
+                0,
+                this.cfg.sort.overlap,
+                &this.budget,
+            );
+            let _charge = this.budget.charge(cap + (fan_out + 1) * b);
+            while let Some(r) = child.try_next()? {
+                fed += 1;
+                this.absorb_or_spill(&mut table, &mut pass, cap, r)?;
+            }
+            pass.finish()?
+        };
+        this.enqueue_children(children, 1, fed)?;
+        this.emit_table(table);
+        Ok(this)
+    }
+
+    /// The hybrid routing step shared by every pass level: fold if the key
+    /// is resident, admit it if the table still has room, spill otherwise.
+    fn absorb_or_spill(
+        &mut self,
+        table: &mut BTreeMap<K, (Acc, u64)>,
+        pass: &mut PartitionPass<R>,
+        cap: usize,
+        r: R,
+    ) -> Result<()> {
+        let k = (self.key)(&r);
+        if let Some((acc, n)) = table.get_mut(&k) {
+            (self.fold)(acc, &r);
+            *n += 1;
+            return Ok(());
+        }
+        if table.len() < cap {
+            let mut acc = self.init.clone();
+            (self.fold)(&mut acc, &r);
+            table.insert(k, (acc, 1));
+        } else {
+            let h0 = self.hasher.hash(&k);
+            pass.push(h0, r)?;
+        }
+        Ok(())
+    }
+
+    /// Queue a pass's spill partitions for consumption at `level` (pushed
+    /// reversed so the LIFO queue pops them in bucket order); `fed` is the
+    /// record count of the pass that produced them — the no-shrink test.
+    fn enqueue_children(&mut self, children: Vec<ExtVec<R>>, level: usize, fed: u64) -> Result<()> {
+        for child in children.into_iter().rev() {
+            if child.is_empty() {
+                child.free()?;
+                continue;
+            }
+            let skewed = child.len() == fed;
+            self.queue.push((child, level, skewed));
+        }
+        Ok(())
+    }
+
+    fn emit_table(&mut self, table: BTreeMap<K, (Acc, u64)>) {
+        for (k, (acc, n)) in table {
+            self.ready.push_back((self.fin)(k, acc, n));
+        }
+    }
+
+    /// Consume one spilled partition: resident aggregate, sort fallback, or
+    /// re-partition — resident is checked first (a skewed partition that
+    /// fits needs no sort), exactly as the cost replay does.
+    fn consume_partition(&mut self, part: ExtVec<R>, level: usize, skewed: bool) -> Result<()> {
+        let len = part.len();
+        let ov = self.cfg.sort.overlap.for_lanes(self.device.stream_lanes());
+        if len as usize <= self.m - self.b {
+            let budget = self.budget.clone();
+            let _charge = budget.charge(len as usize + self.b);
+            let mut table: BTreeMap<K, (Acc, u64)> = BTreeMap::new();
+            let mut reader = part.reader_at_prefetch(0, ov.read_ahead, &budget);
+            while let Some(r) = reader.try_next()? {
+                let k = (self.key)(&r);
+                let (acc, n) = table.entry(k).or_insert_with(|| (self.init.clone(), 0));
+                (self.fold)(acc, &r);
+                *n += 1;
+            }
+            drop(reader);
+            part.free()?;
+            self.emit_table(table);
+            return Ok(());
+        }
+        if skewed || level >= HASH_MAX_LEVELS {
+            // Equal hashes (or adversarial shrinkage): remixing cannot
+            // split this partition, so sort it and group by one streaming
+            // pass — the unbounded-distinct-safe path.
+            let kf = &self.key;
+            let sorted = merge_sort_by(&part, &self.cfg.sort, move |a, b| kf(a) < kf(b))?;
+            part.free()?;
+            self.fb = Some(VecCursor::new(sorted));
+            self.fb_pending = None;
+            return Ok(());
+        }
+        let cap = self.m - (self.fan_out + 1) * self.b;
+        let mut table: BTreeMap<K, (Acc, u64)> = BTreeMap::new();
+        let children = {
+            let budget = self.budget.clone();
+            let mut pass = PartitionPass::new(
+                &self.device,
+                self.fan_out,
+                level,
+                self.cfg.sort.overlap,
+                &budget,
+            );
+            let _charge = budget.charge(cap + (self.fan_out + 1) * self.b);
+            let mut reader = part.reader_at_prefetch(0, ov.read_ahead, &budget);
+            while let Some(r) = reader.try_next()? {
+                self.absorb_or_spill(&mut table, &mut pass, cap, r)?;
+            }
+            drop(reader);
+            pass.finish()?
+        };
+        part.free()?;
+        self.enqueue_children(children, level + 1, len)?;
+        self.emit_table(table);
+        Ok(())
+    }
+
+    /// Emit the next group of the active sort-fallback stream, or `None`
+    /// once it is drained (the sorted partition is freed).
+    fn next_fallback_group(&mut self) -> Result<Option<O>> {
+        let Some(cur) = self.fb.as_mut() else {
+            return Ok(None);
+        };
+        let first = match self.fb_pending.take() {
+            Some(r) => r,
+            None => match cur.next()? {
+                Some(r) => r,
+                None => {
+                    self.fb.take().unwrap().free()?;
+                    return Ok(None);
+                }
+            },
+        };
+        let k = (self.key)(&first);
+        let mut acc = self.init.clone();
+        (self.fold)(&mut acc, &first);
+        let mut n = 1u64;
+        loop {
+            let cur = self.fb.as_mut().unwrap();
+            match cur.next()? {
+                Some(r) if (self.key)(&r) == k => {
+                    (self.fold)(&mut acc, &r);
+                    n += 1;
+                }
+                other => {
+                    self.fb_pending = other;
+                    break;
+                }
+            }
+        }
+        Ok(Some((self.fin)(k, acc, n)))
+    }
+}
+
+impl<R, K, KF, Acc, FoldF, FinF, O> QueryExec for HashGroupByExec<R, K, KF, Acc, FoldF, FinF, O>
+where
+    R: Record,
+    O: Record,
+    K: Record + Ord,
+    KF: Fn(&R) -> K + Sync,
+    Acc: Clone,
+    FoldF: FnMut(&mut Acc, &R),
+    FinF: FnMut(K, Acc, u64) -> O,
+{
+    type Item = O;
+
+    fn try_next(&mut self) -> Result<Option<O>> {
+        loop {
+            if let Some(o) = self.ready.pop_front() {
+                return Ok(Some(o));
+            }
+            if self.fb.is_some() {
+                match self.next_fallback_group()? {
+                    Some(o) => return Ok(Some(o)),
+                    None => continue, // fallback drained; back to the queue
+                }
+            }
+            let Some((part, level, skewed)) = self.queue.pop() else {
+                return Ok(None);
+            };
+            self.consume_partition(part, level, skewed)?;
+        }
+    }
+
+    fn order(&self) -> Order {
+        Order::Unordered
+    }
+}
+
+/// Whole-record deduplication by hash partitioning — no sort, no output
+/// order: [`HashGroupByExec`] with the record itself as the key and a
+/// fold that drops duplicates.  The sort-elision trade-off is the same as
+/// the group-by's; the cost replay is `hash_group_exact_ios` over the
+/// records' own hashes.
+pub struct HashDistinctExec<R>
+where
+    R: Record + Ord,
+{
+    #[allow(clippy::type_complexity)]
+    inner: HashGroupByExec<R, R, fn(&R) -> R, (), fn(&mut (), &R), fn(R, (), u64) -> R, R>,
+}
+
+impl<R> HashDistinctExec<R>
+where
+    R: Record + Ord,
+{
+    /// Deduplicate `child` by hash partitioning on `device`.
+    pub fn build(
+        child: &mut dyn QueryExec<Item = R>,
+        device: &SharedDevice,
+        cfg: &ExecConfig,
+        fan_out: usize,
+    ) -> Result<Self> {
+        fn id<R: Clone>(r: &R) -> R {
+            r.clone()
+        }
+        fn no_fold<R>(_: &mut (), _: &R) {}
+        fn emit<R>(k: R, _: (), _: u64) -> R {
+            k
+        }
+        Ok(HashDistinctExec {
+            inner: HashGroupByExec::build(
+                child,
+                device,
+                cfg,
+                fan_out,
+                id::<R> as fn(&R) -> R,
+                (),
+                no_fold::<R> as fn(&mut (), &R),
+                emit::<R> as fn(R, (), u64) -> R,
+            )?,
+        })
+    }
+}
+
+impl<R> QueryExec for HashDistinctExec<R>
+where
+    R: Record + Ord,
+{
+    type Item = R;
+
+    fn try_next(&mut self) -> Result<Option<R>> {
+        self.inner.try_next()
+    }
+
+    fn order(&self) -> Order {
+        Order::Unordered
+    }
+}
+
+/// One `(build, probe)` partition pair being consumed by chunked
+/// block-nested loop: build records load into an in-memory table
+/// `chunk = M − B_build − B_probe` at a time, the probe side re-scans once
+/// per chunk.  A pair whose build side fits is one chunk — the plain
+/// "read the build into a table, stream the probe" resident case.
+struct PairLoop<K, BR: Record, PR: Record> {
+    bcur: VecCursor<BR>,
+    pcur: VecCursor<PR>,
+    table: BTreeMap<K, Vec<BR>>,
+    chunk: usize,
+    loaded: bool,
+    _charge: BudgetGuard,
+}
+
+/// Grace / hybrid hash join: equi-join an unsorted build stream against an
+/// unsorted probe stream by co-partitioning both sides on the join key's
+/// hash.  Blocking on the build side ([`build`](Self::build) drains it);
+/// the probe side streams.  Output is [`Order::Unordered`].
+///
+/// With `hybrid`, build bucket 0 skips the spill entirely and lives in an
+/// in-memory table charged to the budget; bucket-0 probe records match
+/// against it in-stream.  The planner prices a hybrid whose bucket 0
+/// exceeds `M − (F+1)·(B_build + B_probe)` at **∞**; executing one anyway
+/// is a model violation and panics.
+///
+/// Probe records whose build bucket is empty are dropped before spilling
+/// (they can match nothing).  Oversized pairs re-partition pairwise at the
+/// next remix level; a build partition that stopped shrinking (equal keys)
+/// or hit [`HASH_MAX_LEVELS`] is consumed by [`PairLoop`]'s block-nested
+/// rounds — never priced better than the resident case, and immune to the
+/// over-`M` key group that would panic the sort-merge path.
+pub struct HashJoinExec<PS, K, BR, KB, KP, MK, O>
+where
+    PS: QueryExec,
+    BR: Record,
+    K: Ord,
+{
+    probe: PS,
+    key_b: KB,
+    key_p: KP,
+    make: MK,
+    device: SharedDevice,
+    overlap: OverlapConfig,
+    m: usize,
+    b_build: usize,
+    b_probe: usize,
+    fan_out: usize,
+    hybrid: bool,
+    hasher: KeyHasher,
+    budget: Arc<MemBudget>,
+    /// Hybrid bucket-0 build records (empty when not hybrid).
+    resident: BTreeMap<K, Vec<BR>>,
+    resident_charge: Option<BudgetGuard>,
+    build_parts: Option<Vec<ExtVec<BR>>>,
+    build_counts: Vec<u64>,
+    build_total: u64,
+    probe_pass: Option<PartitionPass<PS::Item>>,
+    probe_charge: Option<BudgetGuard>,
+    probing: bool,
+    /// Pending `(build, probe, level, fed)` pairs, popped LIFO in
+    /// bucket-DFS order; `fed` is the build-record count of the pass that
+    /// produced the pair (the no-shrink skew test).
+    #[allow(clippy::type_complexity)]
+    pairs: Vec<(ExtVec<BR>, ExtVec<PS::Item>, usize, u64)>,
+    pair: Option<PairLoop<K, BR, PS::Item>>,
+    out: VecDeque<O>,
+}
+
+impl<PS, K, BR, KB, KP, MK, O> HashJoinExec<PS, K, BR, KB, KP, MK, O>
+where
+    PS: QueryExec,
+    BR: Record,
+    O: Record,
+    K: Record + Ord,
+    KB: Fn(&BR) -> K,
+    KP: Fn(&PS::Item) -> K,
+    MK: FnMut(&BR, &PS::Item) -> O,
+{
+    /// Drain `build` into `fan_out` level-0 partitions on `device` (bucket
+    /// 0 resident when `hybrid`), ready to stream `probe` past them.
+    /// `make(b, p)` is emitted for every key-equal pair; `cfg.sort`
+    /// supplies `M` and the overlap depths.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        build: &mut dyn QueryExec<Item = BR>,
+        probe: PS,
+        device: &SharedDevice,
+        cfg: &ExecConfig,
+        fan_out: usize,
+        hybrid: bool,
+        key_b: KB,
+        key_p: KP,
+        make: MK,
+    ) -> Result<Self> {
+        let b_build = ExtVec::<BR>::per_block_on(device);
+        let b_probe = ExtVec::<PS::Item>::per_block_on(device);
+        let m = cfg.sort.mem_records;
+        let both = b_build + b_probe;
+        assert!(
+            fan_out >= 2 && (fan_out + 1) * both <= m,
+            "fan-out {fan_out} needs {} records of memory, have {m}",
+            (fan_out + 1) * both
+        );
+        let overlap = cfg.sort.overlap;
+        let ov = overlap.for_lanes(device.stream_lanes());
+        let reserve = (ov.read_ahead + fan_out * ov.write_behind) * both;
+        let budget = MemBudget::new(m + reserve);
+        let resident_cap = m - (fan_out + 1) * both;
+        let mut hasher = KeyHasher::new();
+        let mut resident_recs: Vec<BR> = Vec::new();
+        let mut total = 0u64;
+        let parts = {
+            let mut pass = PartitionPass::new(device, fan_out, 0, overlap, &budget);
+            let _charge = budget.charge((fan_out + 1) * b_build);
+            while let Some(r) = build.try_next()? {
+                total += 1;
+                let h0 = hasher.hash(&key_b(&r));
+                if hybrid && level_bucket(h0, 0, fan_out) == 0 {
+                    resident_recs.push(r);
+                    assert!(
+                        resident_recs.len() <= resident_cap,
+                        "hybrid hash join build residue exceeds memory \
+                         ({} > {resident_cap} records) — the planner prices this regime at ∞",
+                        resident_recs.len()
+                    );
+                } else {
+                    pass.push(h0, r)?;
+                }
+            }
+            pass.finish()?
+        };
+        let resident_charge = hybrid.then(|| budget.charge(resident_recs.len()));
+        let mut resident: BTreeMap<K, Vec<BR>> = BTreeMap::new();
+        for r in resident_recs {
+            resident.entry(key_b(&r)).or_default().push(r);
+        }
+        let build_counts: Vec<u64> = parts.iter().map(|p| p.len()).collect();
+        let probe_pass = PartitionPass::new(device, fan_out, 0, overlap, &budget);
+        let probe_charge = budget.charge((fan_out + 1) * b_probe);
+        Ok(HashJoinExec {
+            probe,
+            key_b,
+            key_p,
+            make,
+            device: device.clone(),
+            overlap,
+            m,
+            b_build,
+            b_probe,
+            fan_out,
+            hybrid,
+            hasher,
+            budget,
+            resident,
+            resident_charge,
+            build_parts: Some(parts),
+            build_counts,
+            build_total: total,
+            probe_pass: Some(probe_pass),
+            probe_charge: Some(probe_charge),
+            probing: true,
+            pairs: Vec::new(),
+            pair: None,
+            out: VecDeque::new(),
+        })
+    }
+
+    /// Route one probe record, or — on exhaustion — close the probe pass
+    /// and stage the spilled pairs.
+    fn step_probe(&mut self) -> Result<()> {
+        match self.probe.try_next()? {
+            Some(r) => {
+                let k = (self.key_p)(&r);
+                let h0 = self.hasher.hash(&k);
+                let i = level_bucket(h0, 0, self.fan_out);
+                if self.hybrid && i == 0 {
+                    if let Some(ms) = self.resident.get(&k) {
+                        for b in ms {
+                            self.out.push_back((self.make)(b, &r));
+                        }
+                    }
+                } else if self.build_counts[i] > 0 {
+                    self.probe_pass.as_mut().unwrap().push(h0, r)?;
+                }
+                // A probe record with an empty build bucket matches nothing
+                // and is dropped before it costs a spill write.
+                Ok(())
+            }
+            None => {
+                let probe_parts = self.probe_pass.take().unwrap().finish()?;
+                drop(self.probe_charge.take());
+                self.resident = BTreeMap::new();
+                drop(self.resident_charge.take());
+                let build_parts = self.build_parts.take().unwrap();
+                let spill_from = usize::from(self.hybrid);
+                let mut staged = Vec::new();
+                for (i, (bv, pv)) in build_parts.into_iter().zip(probe_parts).enumerate() {
+                    if i < spill_from || bv.is_empty() {
+                        bv.free()?;
+                        pv.free()?; // nothing was spilled for it either
+                    } else {
+                        staged.push((bv, pv, 1, self.build_total));
+                    }
+                }
+                staged.reverse(); // LIFO queue → bucket order
+                self.pairs = staged;
+                self.probing = false;
+                Ok(())
+            }
+        }
+    }
+
+    /// Start consuming one pair: free it if either side is empty, open a
+    /// [`PairLoop`] if the build side fits (one chunk) or stopped
+    /// shrinking / hit the depth backstop (block-nested rounds), otherwise
+    /// re-partition both sides at `level` and stage the children.
+    fn open_pair(
+        &mut self,
+        bv: ExtVec<BR>,
+        pv: ExtVec<PS::Item>,
+        level: usize,
+        fed: u64,
+    ) -> Result<()> {
+        let (bn, pn) = (bv.len(), pv.len());
+        if bn == 0 || pn == 0 {
+            bv.free()?;
+            pv.free()?;
+            return Ok(());
+        }
+        let chunk = self.m - self.b_build - self.b_probe;
+        if bn as usize <= chunk || bn == fed || level >= HASH_MAX_LEVELS {
+            let charge = self
+                .budget
+                .charge(chunk.min(bn as usize) + self.b_build + self.b_probe);
+            self.pair = Some(PairLoop {
+                bcur: VecCursor::new(bv),
+                pcur: VecCursor::new(pv),
+                table: BTreeMap::new(),
+                chunk,
+                loaded: false,
+                _charge: charge,
+            });
+            return Ok(());
+        }
+        let ov = self.overlap.for_lanes(self.device.stream_lanes());
+        let budget = self.budget.clone();
+        let bkids = {
+            let mut pass =
+                PartitionPass::new(&self.device, self.fan_out, level, self.overlap, &budget);
+            let _g = budget.charge((self.fan_out + 1) * self.b_build);
+            let mut reader = bv.reader_at_prefetch(0, ov.read_ahead, &budget);
+            while let Some(r) = reader.try_next()? {
+                let h0 = self.hasher.hash(&(self.key_b)(&r));
+                pass.push(h0, r)?;
+            }
+            drop(reader);
+            pass.finish()?
+        };
+        let pkids = {
+            let mut pass =
+                PartitionPass::new(&self.device, self.fan_out, level, self.overlap, &budget);
+            let _g = budget.charge((self.fan_out + 1) * self.b_probe);
+            let mut reader = pv.reader_at_prefetch(0, ov.read_ahead, &budget);
+            while let Some(r) = reader.try_next()? {
+                let h0 = self.hasher.hash(&(self.key_p)(&r));
+                if !bkids[level_bucket(h0, level, self.fan_out)].is_empty() {
+                    pass.push(h0, r)?;
+                }
+            }
+            drop(reader);
+            pass.finish()?
+        };
+        bv.free()?;
+        pv.free()?;
+        let mut staged: Vec<_> = bkids.into_iter().zip(pkids).collect();
+        staged.reverse();
+        for (bk, pk) in staged {
+            if bk.is_empty() && pk.is_empty() {
+                bk.free()?;
+                pk.free()?;
+            } else {
+                self.pairs.push((bk, pk, level + 1, bn));
+            }
+        }
+        Ok(())
+    }
+
+    /// Advance the active [`PairLoop`] until it emits at least one match
+    /// or finishes (freeing both sides and clearing `self.pair`).
+    fn drive_pair(&mut self) -> Result<()> {
+        loop {
+            let Some(pair) = self.pair.as_mut() else {
+                return Ok(());
+            };
+            if !pair.loaded {
+                pair.table.clear();
+                let mut n = 0usize;
+                while n < pair.chunk {
+                    match pair.bcur.next()? {
+                        Some(r) => {
+                            let k = (self.key_b)(&r);
+                            pair.table.entry(k).or_default().push(r);
+                            n += 1;
+                        }
+                        None => break,
+                    }
+                }
+                if n == 0 {
+                    let done = self.pair.take().unwrap();
+                    done.bcur.free()?;
+                    done.pcur.free()?;
+                    return Ok(());
+                }
+                pair.pcur.rewind();
+                pair.loaded = true;
+            }
+            loop {
+                match pair.pcur.next()? {
+                    Some(p) => {
+                        let k = (self.key_p)(&p);
+                        if let Some(ms) = pair.table.get(&k) {
+                            for b in ms {
+                                self.out.push_back((self.make)(b, &p));
+                            }
+                            return Ok(());
+                        }
+                    }
+                    None => {
+                        pair.loaded = false; // next build chunk
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<PS, K, BR, KB, KP, MK, O> QueryExec for HashJoinExec<PS, K, BR, KB, KP, MK, O>
+where
+    PS: QueryExec,
+    BR: Record,
+    O: Record,
+    K: Record + Ord,
+    KB: Fn(&BR) -> K,
+    KP: Fn(&PS::Item) -> K,
+    MK: FnMut(&BR, &PS::Item) -> O,
+{
+    type Item = O;
+
+    fn try_next(&mut self) -> Result<Option<O>> {
+        loop {
+            if let Some(o) = self.out.pop_front() {
+                return Ok(Some(o));
+            }
+            if self.probing {
+                self.step_probe()?;
+                continue;
+            }
+            if self.pair.is_some() {
+                self.drive_pair()?;
+                if self.out.is_empty() && self.pair.is_some() {
+                    // drive_pair only returns with output or completion
+                    continue;
+                }
+                continue;
+            }
+            let Some((bv, pv, level, fed)) = self.pairs.pop() else {
+                return Ok(None);
+            };
+            self.open_pair(bv, pv, level, fed)?;
+        }
+    }
+
+    fn order(&self) -> Order {
+        Order::Unordered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{collect, ScanExec};
+    use em_core::bounds::{hash_group_exact_ios, hash_join_exact_ios};
+    use em_core::EmConfig;
+
+    fn key_hash(k: u64) -> u64 {
+        em_core::hash::hash_bytes(&k.to_le_bytes())
+    }
+
+    /// 256-byte blocks (16 `(u64, u64)` records), `mem_blocks` blocks.
+    fn device(mem_blocks: usize) -> (SharedDevice, usize) {
+        let cfg = EmConfig::new(256, mem_blocks);
+        (cfg.ram_disk(), cfg.mem_records::<(u64, u64)>())
+    }
+
+    fn pairs(n: u64, keys: u64, seed: u64) -> Vec<(u64, u64)> {
+        (0..n)
+            .map(|i| ((i.wrapping_mul(seed) ^ i >> 3) % keys, i))
+            .collect()
+    }
+
+    #[test]
+    fn hash_group_matches_in_memory_reference() {
+        let (d, m) = device(16);
+        let data = pairs(6000, 300, 0x9E37_79B9);
+        let v = ExtVec::from_slice(d.clone(), &data).unwrap();
+        let cfg = ExecConfig::new(m);
+        let mut scan = ScanExec::new(&v);
+        let mut g = HashGroupByExec::build(
+            &mut scan,
+            &d,
+            &cfg,
+            4,
+            |r: &(u64, u64)| r.0,
+            0u64,
+            |acc, r| *acc += r.1,
+            |k, acc, n| (k, acc, n),
+        )
+        .unwrap();
+        assert_eq!(g.order(), Order::Unordered);
+        let mut got = collect(&mut g, &d).unwrap().to_vec().unwrap();
+        got.sort_unstable();
+        let mut expect: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for (k, x) in data {
+            let e = expect.entry(k).or_insert((0, 0));
+            e.0 += x;
+            e.1 += 1;
+        }
+        let expect: Vec<(u64, u64, u64)> =
+            expect.into_iter().map(|(k, (s, n))| (k, s, n)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn hash_group_transfers_match_replay_exactly() {
+        for (n, keys, fan) in [(6000u64, 3000u64, 4usize), (9000, 900, 6)] {
+            let (d, m) = device(16);
+            let data = pairs(n, keys, 0x1234_5679);
+            let v = ExtVec::from_slice(d.clone(), &data).unwrap();
+            let hashes: Vec<u64> = data.iter().map(|r| key_hash(r.0)).collect();
+            let cfg = ExecConfig::new(m);
+            let b = v.per_block();
+            let fan_in = cfg.sort.effective_fan_in(b);
+            let before = d.stats().snapshot();
+            let mut scan = ScanExec::new(&v);
+            let mut g = HashGroupByExec::build(
+                &mut scan,
+                &d,
+                &cfg,
+                fan,
+                |r: &(u64, u64)| r.0,
+                0u64,
+                |acc, r| *acc += r.1,
+                |k, acc, nn| (k, acc, nn),
+            )
+            .unwrap();
+            let out = collect(&mut g, &d).unwrap();
+            let delta = d.stats().snapshot().since(&before);
+            let predicted = v.num_blocks() as u64
+                + hash_group_exact_ios(&hashes, m, b, fan, fan_in)
+                + out.num_blocks() as u64;
+            assert_eq!(delta.total(), predicted, "n={n} keys={keys} fan={fan}");
+        }
+    }
+
+    #[test]
+    fn hash_group_skew_tape_takes_the_sort_fallback() {
+        // M = 4 blocks and fan-out 3 leave a zero-key absorb table, so the
+        // all-equal tape spills whole, stops shrinking after one pass, and
+        // is consumed by the sort fallback — still one output record.
+        let cfg = EmConfig::new(256, 4);
+        let d = cfg.ram_disk();
+        let m = cfg.mem_records::<(u64, u64)>();
+        let data: Vec<(u64, u64)> = (0..3000).map(|i| (7u64, i)).collect();
+        let v = ExtVec::from_slice(d.clone(), &data).unwrap();
+        let ecfg = ExecConfig::new(m);
+        let b = v.per_block();
+        let fan_in = ecfg.sort.effective_fan_in(b);
+        let hashes: Vec<u64> = data.iter().map(|r| key_hash(r.0)).collect();
+        let before = d.stats().snapshot();
+        let mut scan = ScanExec::new(&v);
+        let mut g = HashGroupByExec::build(
+            &mut scan,
+            &d,
+            &ecfg,
+            3,
+            |r: &(u64, u64)| r.0,
+            0u64,
+            |acc, r| *acc += r.1,
+            |k, acc, n| (k, acc, n),
+        )
+        .unwrap();
+        let out = collect(&mut g, &d).unwrap();
+        let delta = d.stats().snapshot().since(&before);
+        assert_eq!(
+            out.to_vec().unwrap(),
+            vec![(7, (0..3000u64).sum::<u64>(), 3000)]
+        );
+        assert_eq!(delta.partition_passes(), 1, "skew detected after one pass");
+        let predicted = v.num_blocks() as u64 + hash_group_exact_ios(&hashes, m, b, 3, fan_in) + 1; // one output block for the single group
+        assert_eq!(delta.total(), predicted);
+    }
+
+    #[test]
+    fn hash_distinct_matches_sorted_dedup() {
+        let (d, m) = device(16);
+        let data: Vec<(u64, u64)> = pairs(5000, 40, 0xDEAD_BEF1)
+            .into_iter()
+            .map(|(k, x)| (k, x % 5))
+            .collect();
+        let v = ExtVec::from_slice(d.clone(), &data).unwrap();
+        let cfg = ExecConfig::new(m);
+        let mut scan = ScanExec::new(&v);
+        let mut dx = HashDistinctExec::build(&mut scan, &d, &cfg, 4).unwrap();
+        let mut got = collect(&mut dx, &d).unwrap().to_vec().unwrap();
+        got.sort_unstable();
+        let mut expect = data;
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn grace_join_matches_nested_loop_reference() {
+        // Hybrid keeps build bucket 0 resident, so it needs the larger M.
+        for (hybrid, mem_blocks) in [(false, 16), (true, 64)] {
+            let (d, m) = device(mem_blocks);
+            let build = pairs(1500, 400, 0xABCD_EF12);
+            let probe = pairs(4000, 400, 0x1357_9BDF);
+            let bv = ExtVec::from_slice(d.clone(), &build).unwrap();
+            let pv = ExtVec::from_slice(d.clone(), &probe).unwrap();
+            let cfg = ExecConfig::new(m);
+            let mut bscan = ScanExec::new(&bv);
+            let pscan = ScanExec::new(&pv);
+            let mut j: HashJoinExec<_, u64, (u64, u64), _, _, _, (u64, u64, u64)> =
+                HashJoinExec::build(
+                    &mut bscan,
+                    pscan,
+                    &d,
+                    &cfg,
+                    4,
+                    hybrid,
+                    |b: &(u64, u64)| b.0,
+                    |p: &(u64, u64)| p.0,
+                    |b, p| (b.0, b.1, p.1),
+                )
+                .unwrap();
+            assert_eq!(j.order(), Order::Unordered);
+            let mut got = collect(&mut j, &d).unwrap().to_vec().unwrap();
+            got.sort_unstable();
+            let mut expect = Vec::new();
+            for b in &build {
+                for p in &probe {
+                    if b.0 == p.0 {
+                        expect.push((b.0, b.1, p.1));
+                    }
+                }
+            }
+            expect.sort_unstable();
+            assert_eq!(got, expect, "hybrid={hybrid}");
+        }
+    }
+
+    #[test]
+    fn grace_join_transfers_match_replay_exactly() {
+        // Non-hybrid at M=256 records forces level-1 re-partitioning;
+        // hybrid at M=1024 keeps its bucket 0 within the residency budget.
+        for (hybrid, mem_blocks) in [(false, 16), (true, 64)] {
+            let (d, m) = device(mem_blocks);
+            let build = pairs(2000, 5000, 0xABCD_EF13);
+            let probe = pairs(6000, 5000, 0x1357_9BD1);
+            let bv = ExtVec::from_slice(d.clone(), &build).unwrap();
+            let pv = ExtVec::from_slice(d.clone(), &probe).unwrap();
+            let bh: Vec<u64> = build.iter().map(|r| key_hash(r.0)).collect();
+            let ph: Vec<u64> = probe.iter().map(|r| key_hash(r.0)).collect();
+            let cfg = ExecConfig::new(m);
+            let b = bv.per_block();
+            let replay = hash_join_exact_ios(&bh, &ph, m, b, b, 4, hybrid);
+            assert!(replay.is_finite(), "hybrid={hybrid} must be feasible here");
+            let before = d.stats().snapshot();
+            let mut bscan = ScanExec::new(&bv);
+            let pscan = ScanExec::new(&pv);
+            let mut j: HashJoinExec<_, u64, (u64, u64), _, _, _, (u64, u64, u64)> =
+                HashJoinExec::build(
+                    &mut bscan,
+                    pscan,
+                    &d,
+                    &cfg,
+                    4,
+                    hybrid,
+                    |r: &(u64, u64)| r.0,
+                    |r: &(u64, u64)| r.0,
+                    |b, p| (b.0, b.1, p.1),
+                )
+                .unwrap();
+            let out = collect(&mut j, &d).unwrap();
+            let delta = d.stats().snapshot().since(&before);
+            let predicted = bv.num_blocks() as u64
+                + pv.num_blocks() as u64
+                + replay as u64
+                + out.num_blocks() as u64;
+            assert_eq!(delta.total(), predicted, "hybrid={hybrid}");
+            assert!(delta.partition_passes() >= 2, "both sides spilled");
+        }
+    }
+
+    #[test]
+    fn skewed_join_pair_takes_block_nested_rounds() {
+        // Every build key equal: level 0 puts all records in one bucket,
+        // which can never shrink — the pair must fall back to block-nested
+        // rounds and still produce the full cross product of matches.
+        let cfg = EmConfig::new(256, 8);
+        let d = cfg.ram_disk();
+        let m = cfg.mem_records::<(u64, u64)>();
+        let build: Vec<(u64, u64)> = (0..500).map(|i| (3u64, i)).collect();
+        let probe: Vec<(u64, u64)> = (0..300).map(|i| (3u64, i + 1000)).collect();
+        let bv = ExtVec::from_slice(d.clone(), &build).unwrap();
+        let pv = ExtVec::from_slice(d.clone(), &probe).unwrap();
+        let bh: Vec<u64> = build.iter().map(|r| key_hash(r.0)).collect();
+        let ph: Vec<u64> = probe.iter().map(|r| key_hash(r.0)).collect();
+        let ecfg = ExecConfig::new(m);
+        let b = bv.per_block();
+        let before = d.stats().snapshot();
+        let mut bscan = ScanExec::new(&bv);
+        let pscan = ScanExec::new(&pv);
+        let mut j: HashJoinExec<_, u64, (u64, u64), _, _, _, (u64, u64, u64)> =
+            HashJoinExec::build(
+                &mut bscan,
+                pscan,
+                &d,
+                &ecfg,
+                3,
+                false,
+                |r: &(u64, u64)| r.0,
+                |r: &(u64, u64)| r.0,
+                |bb, p| (bb.0, bb.1, p.1),
+            )
+            .unwrap();
+        let out = collect(&mut j, &d).unwrap();
+        let delta = d.stats().snapshot().since(&before);
+        assert_eq!(out.len(), 500 * 300);
+        let predicted = bv.num_blocks() as u64
+            + pv.num_blocks() as u64
+            + hash_join_exact_ios(&bh, &ph, m, b, b, 3, false) as u64
+            + out.num_blocks() as u64;
+        assert_eq!(delta.total(), predicted);
+    }
+
+    #[test]
+    #[should_panic(expected = "build residue exceeds memory")]
+    fn infeasible_hybrid_panics_as_model_violation() {
+        // M = 8 blocks leaves a zero-record hybrid residency budget, so the
+        // first bucket-0 build record is already a model violation.
+        let cfg = EmConfig::new(256, 8);
+        let d = cfg.ram_disk();
+        let m = cfg.mem_records::<(u64, u64)>();
+        // All-equal build keys land every record in hybrid bucket 0 only if
+        // the shared key routes there; force it by trying keys until one
+        // does (level_bucket(·, 0, F) is deterministic).
+        let key = (0..u64::MAX)
+            .find(|&k| level_bucket(key_hash(k), 0, 3) == 0)
+            .unwrap();
+        let build: Vec<(u64, u64)> = (0..2000).map(|i| (key, i)).collect();
+        let bv = ExtVec::from_slice(d.clone(), &build).unwrap();
+        let pv = ExtVec::from_slice(d.clone(), &[(key, 1u64)]).unwrap();
+        let ecfg = ExecConfig::new(m);
+        let mut bscan = ScanExec::new(&bv);
+        let pscan = ScanExec::new(&pv);
+        #[allow(clippy::type_complexity)]
+        let _j: Result<HashJoinExec<_, u64, (u64, u64), _, _, _, (u64, u64, u64)>> =
+            HashJoinExec::build(
+                &mut bscan,
+                pscan,
+                &d,
+                &ecfg,
+                3,
+                true,
+                |r: &(u64, u64)| r.0,
+                |r: &(u64, u64)| r.0,
+                |b, p| (b.0, b.1, p.1),
+            );
+    }
+
+    #[test]
+    fn overlap_leaves_hash_join_transfers_unchanged() {
+        let mut totals = Vec::new();
+        for depth in [0usize, 4] {
+            let (d, m) = device(16);
+            let build = pairs(2000, 5000, 0xABCD_EF13);
+            let probe = pairs(6000, 5000, 0x1357_9BD1);
+            let bv = ExtVec::from_slice(d.clone(), &build).unwrap();
+            let pv = ExtVec::from_slice(d.clone(), &probe).unwrap();
+            let mut cfg = ExecConfig::new(m);
+            cfg.sort.overlap = emsort::OverlapConfig::symmetric(depth);
+            let before = d.stats().snapshot();
+            let mut bscan = ScanExec::new(&bv);
+            let pscan = ScanExec::new(&pv);
+            let mut j: HashJoinExec<_, u64, (u64, u64), _, _, _, (u64, u64, u64)> =
+                HashJoinExec::build(
+                    &mut bscan,
+                    pscan,
+                    &d,
+                    &cfg,
+                    4,
+                    false,
+                    |r: &(u64, u64)| r.0,
+                    |r: &(u64, u64)| r.0,
+                    |b, p| (b.0, b.1, p.1),
+                )
+                .unwrap();
+            collect(&mut j, &d).unwrap();
+            totals.push(d.stats().snapshot().since(&before).total());
+        }
+        assert_eq!(totals[0], totals[1]);
+    }
+}

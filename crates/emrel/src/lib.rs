@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod exec;
+mod hash_exec;
 mod plan;
 
 pub use exec::{
@@ -42,7 +43,10 @@ pub use exec::{
     FilterJoinKind, FilteringJoinExec, GroupByExec, KeyId, LimitExec, MergeJoinExec, Order,
     ProjectExec, QueryExec, ScanExec, SortStreamExec, TinyBuildJoinExec, TopKExec,
 };
-pub use plan::{choose, predict, predict_with_sink, Choice, CostEnv, PlanExpr, Prediction};
+pub use hash_exec::{HashDistinctExec, HashGroupByExec, HashJoinExec};
+pub use plan::{
+    choose, predict, predict_with_sink, Choice, CostEnv, KeyStats, PlanExpr, Prediction,
+};
 
 use em_core::{ExtVec, ExtVecWriter, MemBudget, Record};
 use emsort::{merge_sort_by, SortConfig};

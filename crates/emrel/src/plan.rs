@@ -42,6 +42,15 @@
 use crate::exec::{KeyId, Order};
 use em_core::bounds;
 
+/// Arrival-ordered level-0 key hashes of a stream — the statistic the hash
+/// operators' exact cost replays consume (`hash_group_exact_ios` /
+/// `hash_join_exact_ios`).  Unlike cardinality estimates these are exact:
+/// the replay reproduces the executor's entire partition recursion from
+/// them, because deeper levels remix the level-0 hash
+/// ([`em_core::hash::level_bucket`]) instead of rehashing the key.  Shared
+/// by `Arc` so a plan tree can be cloned into many candidates cheaply.
+pub type KeyStats = std::sync::Arc<Vec<u64>>;
+
 /// Cost-model environment: the device and memory geometry shared by every
 /// node of a plan.
 #[derive(Debug, Clone, Copy)]
@@ -192,6 +201,61 @@ pub enum PlanExpr {
         /// Estimated distinct count.
         out_records: u64,
     },
+    /// Hybrid hash aggregation ([`HashGroupByExec`](crate::HashGroupByExec))
+    /// — no input order required, output unordered.  Priced by replaying the
+    /// executor's partition recursion over the supplied key hashes
+    /// ([`em_core::bounds::hash_group_exact_ios`]); infeasible unless
+    /// `(fan_out + 1)` blocks fit in memory.
+    HashGroupBy {
+        /// Input plan.
+        input: Box<PlanExpr>,
+        /// Arrival-ordered level-0 hashes of the input's grouping keys.
+        hashes: KeyStats,
+        /// Partition fan-out `F`.
+        fan_out: usize,
+        /// Output record width in bytes.
+        rec_bytes: usize,
+        /// Estimated group count.
+        out_records: u64,
+    },
+    /// Duplicate elimination by hash partitioning
+    /// ([`HashDistinctExec`](crate::HashDistinctExec)) — the unordered dual
+    /// of [`Distinct`](PlanExpr::Distinct).  Same pricing as
+    /// [`HashGroupBy`](PlanExpr::HashGroupBy).
+    HashDistinct {
+        /// Input plan.
+        input: Box<PlanExpr>,
+        /// Arrival-ordered level-0 hashes of the input records.
+        hashes: KeyStats,
+        /// Partition fan-out `F`.
+        fan_out: usize,
+        /// Estimated distinct count.
+        out_records: u64,
+    },
+    /// Grace / hybrid hash equi-join ([`HashJoinExec`](crate::HashJoinExec))
+    /// — neither side need be sorted, output unordered.  Priced by
+    /// [`em_core::bounds::hash_join_exact_ios`], which already returns ∞
+    /// when `hybrid` and bucket 0 of the build side overflows the resident
+    /// table; additionally infeasible unless `(fan_out + 1)` block pairs fit
+    /// in memory.
+    HashJoin {
+        /// Build input, partitioned first.
+        build: Box<PlanExpr>,
+        /// Probe input, streamed against each build partition.
+        probe: Box<PlanExpr>,
+        /// Arrival-ordered level-0 hashes of the build side's join keys.
+        build_hashes: KeyStats,
+        /// Arrival-ordered level-0 hashes of the probe side's join keys.
+        probe_hashes: KeyStats,
+        /// Partition fan-out `F`.
+        fan_out: usize,
+        /// Keep build bucket 0 resident instead of spilling it.
+        hybrid: bool,
+        /// Output record width in bytes.
+        rec_bytes: usize,
+        /// Estimated join cardinality.
+        out_records: u64,
+    },
     /// The `k` smallest by `key` via a selection heap over one pass;
     /// infeasible unless `k ≤ M`.  Output is ordered on `key`.
     TopK {
@@ -291,6 +355,58 @@ impl PlanExpr {
         PlanExpr::Distinct {
             input: Box::new(self),
             key,
+            out_records,
+        }
+    }
+
+    /// Wrap in a hybrid hash aggregation with the given key-hash statistics.
+    pub fn hash_group_by(
+        self,
+        hashes: KeyStats,
+        fan_out: usize,
+        rec_bytes: usize,
+        out_records: u64,
+    ) -> Self {
+        PlanExpr::HashGroupBy {
+            input: Box::new(self),
+            hashes,
+            fan_out,
+            rec_bytes,
+            out_records,
+        }
+    }
+
+    /// Wrap in hash-partitioned duplicate elimination.
+    pub fn hash_distinct(self, hashes: KeyStats, fan_out: usize, out_records: u64) -> Self {
+        PlanExpr::HashDistinct {
+            input: Box::new(self),
+            hashes,
+            fan_out,
+            out_records,
+        }
+    }
+
+    /// Grace/hybrid hash join with `build` partitioned first and `self` as
+    /// the probe side (mirroring [`tiny_join`](PlanExpr::tiny_join)).
+    #[allow(clippy::too_many_arguments)]
+    pub fn hash_join(
+        self,
+        build: PlanExpr,
+        build_hashes: KeyStats,
+        probe_hashes: KeyStats,
+        fan_out: usize,
+        hybrid: bool,
+        rec_bytes: usize,
+        out_records: u64,
+    ) -> Self {
+        PlanExpr::HashJoin {
+            build: Box::new(build),
+            probe: Box::new(self),
+            build_hashes,
+            probe_hashes,
+            fan_out,
+            hybrid,
+            rec_bytes,
             out_records,
         }
     }
@@ -538,6 +654,98 @@ pub fn predict(expr: &PlanExpr, env: &CostEnv) -> Prediction {
                 out.infeasible()
             }
         }
+        PlanExpr::HashGroupBy {
+            input,
+            hashes,
+            fan_out,
+            out_records,
+            ..
+        }
+        | PlanExpr::HashDistinct {
+            input,
+            hashes,
+            fan_out,
+            out_records,
+        } => {
+            let p = predict(input, env);
+            let out_bytes = match expr {
+                PlanExpr::HashGroupBy { rec_bytes, .. } => *rec_bytes,
+                _ => p.rec_bytes,
+            };
+            let boundary = if env.fusion || p.free {
+                0.0
+            } else {
+                2.0 * env.blocks(p.out_records, p.rec_bytes) as f64
+            };
+            let per_block = env.per_block(p.rec_bytes);
+            let own = bounds::hash_group_exact_ios(
+                hashes,
+                env.mem_records,
+                per_block,
+                *fan_out,
+                env.fan_in(p.rec_bytes),
+            ) as f64
+                * env.stripe as f64;
+            let out = Prediction {
+                transfers: p.transfers + boundary + own,
+                out_records: (*out_records).min(p.out_records),
+                rec_bytes: out_bytes,
+                order: Order::Unordered,
+                base: false,
+                free: false,
+            };
+            if *fan_out >= 2 && (*fan_out + 1) * per_block <= env.mem_records {
+                out
+            } else {
+                out.infeasible()
+            }
+        }
+        PlanExpr::HashJoin {
+            build,
+            probe,
+            build_hashes,
+            probe_hashes,
+            fan_out,
+            hybrid,
+            rec_bytes,
+            out_records,
+        } => {
+            let b = predict(build, env);
+            let p = predict(probe, env);
+            let boundary = |c: &Prediction| {
+                if env.fusion || c.free {
+                    0.0
+                } else {
+                    2.0 * env.blocks(c.out_records, c.rec_bytes) as f64
+                }
+            };
+            let bpb = env.per_block(b.rec_bytes);
+            let ppb = env.per_block(p.rec_bytes);
+            // `hash_join_exact_ios` is already ∞ when the hybrid resident
+            // bucket overflows memory — the planner inherits that verdict.
+            let own = bounds::hash_join_exact_ios(
+                build_hashes,
+                probe_hashes,
+                env.mem_records,
+                bpb,
+                ppb,
+                *fan_out,
+                *hybrid,
+            ) * env.stripe as f64;
+            let out = Prediction {
+                transfers: b.transfers + p.transfers + boundary(&b) + boundary(&p) + own,
+                out_records: *out_records,
+                rec_bytes: *rec_bytes,
+                order: Order::Unordered,
+                base: false,
+                free: false,
+            };
+            if *fan_out >= 2 && (*fan_out + 1) * (bpb + ppb) <= env.mem_records {
+                out
+            } else {
+                out.infeasible()
+            }
+        }
         PlanExpr::TopK { input, key, k } => {
             let p = predict(input, env);
             let out = Prediction {
@@ -684,6 +892,187 @@ mod tests {
         let cands =
             vec![PlanExpr::scan(10, REC, Order::Unordered).group_by(1, REC, 5, Order::Key(1))];
         assert_eq!(choose(&cands, &e).best, None);
+    }
+
+    /// Level-0 key hashes for `n` records cycling over `keys` distinct keys,
+    /// hashed the way the executors hash `u64` keys.
+    fn cycle_hashes(n: u64, keys: u64) -> KeyStats {
+        std::sync::Arc::new(
+            (0..n)
+                .map(|i| em_core::hash::hash_bytes(&(i % keys).to_le_bytes()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn hash_group_beats_sort_group_on_unsorted_input() {
+        let e = env(); // M = 64 records, 8 per block
+        let n = 10_000u64;
+        let keys = 1000; // too many groups for the resident table → both spill
+        let hashes = cycle_hashes(n, keys);
+        let scan = || PlanExpr::scan(n, REC, Order::Unordered);
+        let cands = vec![
+            scan().sort(1).group_by(1, REC, keys, Order::Key(1)),
+            scan().hash_group_by(hashes, 4, REC, keys),
+        ];
+        for e in [e.with_fusion(true), e.with_fusion(false)] {
+            let choice = choose(&cands, &e);
+            assert_eq!(
+                choice.best,
+                Some(1),
+                "hash should win: {:?}",
+                choice.predicted
+            );
+        }
+    }
+
+    #[test]
+    fn sorted_input_elides_the_sort_and_beats_hash() {
+        let e = env();
+        let n = 10_000u64;
+        let keys = 1000;
+        let hashes = cycle_hashes(n, keys);
+        let sorted = || PlanExpr::scan(n, REC, Order::Key(1));
+        let cands = vec![
+            sorted().sort(1).group_by(1, REC, keys, Order::Key(1)),
+            sorted().hash_group_by(hashes, 4, REC, keys),
+        ];
+        let choice = choose(&cands, &e);
+        assert_eq!(
+            choice.best,
+            Some(0),
+            "elision should win: {:?}",
+            choice.predicted
+        );
+        assert!(choice.predicted[0] < choice.predicted[1]);
+    }
+
+    #[test]
+    fn hash_group_matches_replay_arithmetic() {
+        let e = env();
+        let n = 5_000u64;
+        let hashes = cycle_hashes(n, 700);
+        let plan =
+            PlanExpr::scan(n, REC, Order::Unordered).hash_group_by(hashes.clone(), 4, REC, 700);
+        let p = predict(&plan, &e);
+        let own = bounds::hash_group_exact_ios(&hashes, 64, 8, 4, e.fan_in(REC)) as f64;
+        assert_eq!(p.transfers, e.blocks(n, REC) as f64 + own);
+        assert_eq!(p.order, Order::Unordered);
+        // Striped device multiplies every transfer.
+        let p4 = predict(&plan, &e.with_stripe(4));
+        assert_eq!(p4.transfers, 4.0 * p.transfers);
+    }
+
+    #[test]
+    fn hash_distinct_prices_like_group_at_input_width() {
+        let e = env();
+        let hashes = cycle_hashes(3_000, 400);
+        let g =
+            PlanExpr::scan(3_000, REC, Order::Unordered).hash_group_by(hashes.clone(), 4, REC, 400);
+        let d = PlanExpr::scan(3_000, REC, Order::Unordered).hash_distinct(hashes, 4, 400);
+        assert_eq!(predict(&g, &e).transfers, predict(&d, &e).transfers);
+        assert_eq!(predict(&d, &e).rec_bytes, REC);
+    }
+
+    #[test]
+    fn hash_join_beats_merge_join_with_sorts_on_unsorted_inputs() {
+        // M = 512 records: sorting the 40k-record probe needs an extra merge
+        // pass (79 runs > fan-in 63), while grace partitions once — every
+        // build bucket fits a block-nested chunk after one level.
+        let e = CostEnv::new(B, 512);
+        let bn = 2_000u64;
+        let pn = 40_000u64;
+        let bh = cycle_hashes(bn, 500);
+        let ph = cycle_hashes(pn, 500);
+        let build = || PlanExpr::scan(bn, REC, Order::Unordered);
+        let probe = || PlanExpr::scan(pn, REC, Order::Unordered);
+        let out = 24_000u64;
+        let cands = vec![
+            probe().sort(1).merge_join(build().sort(1), 1, 16, out),
+            probe().hash_join(build(), bh, ph, 15, false, 16, out),
+        ];
+        for e in [e.with_fusion(true), e.with_fusion(false)] {
+            let choice = choose(&cands, &e);
+            assert_eq!(
+                choice.best,
+                Some(1),
+                "grace should win: {:?}",
+                choice.predicted
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_inputs_make_merge_join_the_winner() {
+        let e = env();
+        let bn = 2_000u64;
+        let pn = 6_000u64;
+        let bh = cycle_hashes(bn, 500);
+        let ph = cycle_hashes(pn, 500);
+        let out = 24_000u64;
+        let cands = vec![
+            PlanExpr::scan(pn, REC, Order::Key(1)).sort(1).merge_join(
+                PlanExpr::scan(bn, REC, Order::Key(1)).sort(1),
+                1,
+                16,
+                out,
+            ),
+            PlanExpr::scan(pn, REC, Order::Key(1)).hash_join(
+                PlanExpr::scan(bn, REC, Order::Key(1)),
+                bh,
+                ph,
+                3,
+                false,
+                16,
+                out,
+            ),
+        ];
+        let choice = choose(&cands, &e);
+        assert_eq!(
+            choice.best,
+            Some(0),
+            "merge join should win: {:?}",
+            choice.predicted
+        );
+        assert!(choice.predicted[0] < choice.predicted[1]);
+    }
+
+    #[test]
+    fn infeasible_hybrid_prices_at_infinity_but_grace_stays_finite() {
+        let e = env(); // M = 64 records → hybrid resident cap 64 − 4·16 = 0
+        let bn = 500u64;
+        let bh = cycle_hashes(bn, 50);
+        let ph = cycle_hashes(2_000, 50);
+        let mk = |hybrid| {
+            PlanExpr::scan(2_000, REC, Order::Unordered).hash_join(
+                PlanExpr::scan(bn, REC, Order::Unordered),
+                bh.clone(),
+                ph.clone(),
+                3,
+                hybrid,
+                16,
+                20_000,
+            )
+        };
+        assert!(!predict(&mk(true), &e).feasible());
+        assert!(predict(&mk(false), &e).feasible());
+        // With plenty of memory the hybrid's resident bucket folds free and
+        // it can only be cheaper than spilling every bucket.
+        let big = CostEnv::new(B, 4096);
+        let hy = predict(&mk(true), &big);
+        assert!(hy.feasible());
+        assert!(hy.transfers <= predict(&mk(false), &big).transfers);
+    }
+
+    #[test]
+    fn hash_operators_need_fan_out_plus_one_blocks_of_memory() {
+        let e = env(); // 8 blocks of memory
+        let hashes = cycle_hashes(1_000, 100);
+        let ok =
+            PlanExpr::scan(1_000, REC, Order::Unordered).hash_group_by(hashes.clone(), 7, REC, 100);
+        let over = PlanExpr::scan(1_000, REC, Order::Unordered).hash_group_by(hashes, 8, REC, 100);
+        assert!(predict(&ok, &e).feasible());
+        assert!(!predict(&over, &e).feasible());
     }
 
     #[test]

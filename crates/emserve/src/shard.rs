@@ -37,19 +37,16 @@ type Ik<K> = (u32, K);
 ///
 /// `std`'s default hasher is seeded per process, which would make shard
 /// placement — and therefore lane placement and every I/O trace — differ
-/// between runs.  FNV-1a over the *encoded record bytes* gives the same
-/// routing on every run and every platform.
+/// between runs.  FNV-1a over the *encoded record bytes*
+/// ([`em_core::hash::fnv1a`]) gives the same routing on every run and every
+/// platform; routing is persisted-state-affecting, so the golden test below
+/// pins the exact placements.
 pub fn shard_of_key<K: Record>(tenant: u32, key: &K, shards: usize) -> usize {
     assert!(shards > 0, "need at least one shard");
     let mut buf = vec![0u8; 4 + K::BYTES];
     buf[..4].copy_from_slice(&tenant.to_le_bytes());
     key.write_to(&mut buf[4..]);
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in &buf {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    (h % shards as u64) as usize
+    (em_core::hash::fnv1a(&buf) % shards as u64) as usize
 }
 
 /// A pending write destined for the absorber: who to ack, and what to apply.
@@ -460,6 +457,26 @@ mod tests {
     fn ram_shard(compact_threshold: usize) -> Shard<u64, u64> {
         let dev: SharedDevice = DiskArray::new_ram(1, 512, Placement::Independent);
         Shard::new(dev, 16, 256, compact_threshold).unwrap()
+    }
+
+    #[test]
+    fn routing_matches_golden_placements() {
+        // Shard routing decides which lane-pinned device owns a key, so a
+        // change here silently orphans every record a prior run persisted.
+        // These placements were produced by the original in-crate FNV-1a
+        // and must survive the move to `em_core::hash` bit-for-bit.
+        let got: Vec<usize> = [0u32, 1, 2]
+            .iter()
+            .flat_map(|&t| {
+                [0u64, 1, 42, 1 << 40, 0xDEAD_BEEF]
+                    .iter()
+                    .map(move |&k| shard_of_key(t, &k, 8))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert_eq!(got, [5, 4, 7, 2, 3, 4, 5, 6, 7, 2, 7, 6, 5, 4, 1]);
+        let five: Vec<usize> = (0u64..10).map(|k| shard_of_key(0, &k, 5)).collect();
+        assert_eq!(five, [0, 1, 3, 4, 0, 1, 2, 4, 1, 2]);
     }
 
     #[test]

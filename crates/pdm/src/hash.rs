@@ -1,0 +1,139 @@
+//! The workspace's one hash family.
+//!
+//! Four independent FNV-1a/splitmix implementations grew up across the
+//! crates — the journal checksum, emserve's shard router, emhash's bucket
+//! hash, and the benchmark checksums.  They are consolidated here so a
+//! constant typo can't silently fork a persisted format.  Every function is
+//! **bit-stable**: journal checksums, shard routing, and extendible-hash
+//! directories are all persisted-state-affecting, so the outputs must never
+//! change.  (`em_core::hash` re-exports this module; depend on it from
+//! there unless you are inside `pdm` itself.)
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Plain FNV-1a over a byte slice (journal checksums, shard routing).
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a over the little-endian bytes of each word (benchmark checksums).
+#[inline]
+pub fn fnv1a_words(words: &[u64]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &x in words {
+        for byte in x.to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// splitmix64's finalizer: a cheap full-avalanche mix of one word.
+#[inline]
+pub fn splitmix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The bucket hash of `emhash`: FNV offset xor length as the seed, then one
+/// splitmix round per 8-byte (or trailing partial) chunk.  Stronger
+/// avalanche than plain FNV-1a for the price of one multiply per word.
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    hash_bytes_seeded(bytes, FNV_OFFSET ^ bytes.len() as u64)
+}
+
+/// [`hash_bytes`] with an explicit seed, for families of independent hash
+/// functions (recursive partitioning re-seeds per level).
+#[inline]
+pub fn hash_bytes_seeded(bytes: &[u8], seed: u64) -> u64 {
+    let mut acc = seed;
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        acc ^= u64::from_le_bytes(word);
+        acc = splitmix(acc);
+    }
+    acc
+}
+
+/// The bucket a record with level-0 hash `h0` lands in at recursion level
+/// `level` of a `fan_out`-way hash partitioning.
+///
+/// Deeper levels *remix* the one hash computed from the key bytes instead
+/// of rehashing the key with a new seed: the partitioner and the cost
+/// model's exact replay (`em_core::bounds::hash_*_exact_ios`) can then both
+/// derive the full recursion tree from the level-0 hashes alone.  Levels
+/// are independent modulo 64-bit collisions of `h0` itself.
+#[inline]
+pub fn level_bucket(h0: u64, level: usize, fan_out: usize) -> usize {
+    debug_assert!(fan_out > 0);
+    let mixed = if level == 0 {
+        h0
+    } else {
+        splitmix(h0 ^ (level as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    };
+    (mixed % fan_out as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_F739_67E8);
+    }
+
+    #[test]
+    fn fnv1a_words_is_fnv1a_of_le_bytes() {
+        let words = [0u64, 1, u64::MAX, 0xDEAD_BEEF];
+        let mut bytes = Vec::new();
+        for w in &words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        assert_eq!(fnv1a_words(&words), fnv1a(&bytes));
+    }
+
+    #[test]
+    fn hash_bytes_seeded_default_seed_is_hash_bytes() {
+        for input in [&b""[..], b"k", b"12345678", b"123456789abcdef01"] {
+            assert_eq!(
+                hash_bytes(input),
+                hash_bytes_seeded(input, FNV_OFFSET ^ input.len() as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn level_buckets_are_decorrelated() {
+        // Records sharing a level-0 bucket must spread at level 1.
+        let fan = 8;
+        let mut seen = vec![0usize; fan];
+        for k in 0u64..10_000 {
+            let h0 = hash_bytes(&k.to_le_bytes());
+            if level_bucket(h0, 0, fan) == 3 {
+                seen[level_bucket(h0, 1, fan)] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c > 0), "level 1 spread: {seen:?}");
+    }
+
+    #[test]
+    fn level_zero_is_plain_modulo() {
+        assert_eq!(level_bucket(17, 0, 5), 2);
+    }
+}

@@ -69,6 +69,7 @@ mod device;
 mod error;
 mod fault;
 mod file_disk;
+pub mod hash;
 mod lane;
 mod pool;
 mod ram_disk;

@@ -52,6 +52,13 @@ pub struct IoStats {
     /// failure of a write-behind flush nobody was waiting on.  Surfaced again
     /// by [`IoScheduler`](crate::IoScheduler) at shutdown.
     dropped_write_errors: AtomicU64,
+    /// Hash-partitioning passes run over this device (one per call that fans
+    /// a record stream into spill partitions, including recursive re-passes
+    /// over an oversized partition).
+    partition_passes: AtomicU64,
+    /// Blocks written to spill partitions by hash partitioning.  Spills are
+    /// ordinary block writes (counted in `writes` too); this attributes them.
+    partition_spilled_blocks: AtomicU64,
     block_bytes: usize,
 }
 
@@ -73,6 +80,8 @@ impl IoStats {
             retries: AtomicU64::new(0),
             faults_injected: AtomicU64::new(0),
             dropped_write_errors: AtomicU64::new(0),
+            partition_passes: AtomicU64::new(0),
+            partition_spilled_blocks: AtomicU64::new(0),
             block_bytes,
         })
     }
@@ -163,6 +172,19 @@ impl IoStats {
         self.dropped_write_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one hash-partitioning pass over this device.
+    #[inline]
+    pub fn record_partition_pass(&self) {
+        self.partition_passes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `blocks` blocks written to spill partitions.
+    #[inline]
+    pub fn record_partition_spill(&self, blocks: u64) {
+        self.partition_spilled_blocks
+            .fetch_add(blocks, Ordering::Relaxed);
+    }
+
     /// Capture the current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -197,6 +219,8 @@ impl IoStats {
             retries: self.retries.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             dropped_write_errors: self.dropped_write_errors.load(Ordering::Relaxed),
+            partition_passes: self.partition_passes.load(Ordering::Relaxed),
+            partition_spilled_blocks: self.partition_spilled_blocks.load(Ordering::Relaxed),
             block_bytes: self.block_bytes,
         }
     }
@@ -233,6 +257,8 @@ impl IoStats {
         self.retries.store(0, Ordering::Relaxed);
         self.faults_injected.store(0, Ordering::Relaxed);
         self.dropped_write_errors.store(0, Ordering::Relaxed);
+        self.partition_passes.store(0, Ordering::Relaxed);
+        self.partition_spilled_blocks.store(0, Ordering::Relaxed);
     }
 }
 
@@ -250,6 +276,8 @@ pub struct IoSnapshot {
     retries: u64,
     faults_injected: u64,
     dropped_write_errors: u64,
+    partition_passes: u64,
+    partition_spilled_blocks: u64,
     block_bytes: usize,
 }
 
@@ -385,6 +413,18 @@ impl IoSnapshot {
         self.dropped_write_errors
     }
 
+    /// Hash-partitioning passes run over this device (including recursive
+    /// re-passes over oversized partitions).
+    pub fn partition_passes(&self) -> u64 {
+        self.partition_passes
+    }
+
+    /// Blocks written to spill partitions by hash partitioning (a subset of
+    /// [`writes`](Self::writes), attributed).
+    pub fn partition_spilled_blocks(&self) -> u64 {
+        self.partition_spilled_blocks
+    }
+
     /// Element-wise difference `self - earlier`; panics if `earlier` has a
     /// different disk count or any counter exceeds `self`'s.
     ///
@@ -426,6 +466,12 @@ impl IoSnapshot {
             dropped_write_errors: self
                 .dropped_write_errors
                 .saturating_sub(earlier.dropped_write_errors),
+            partition_passes: self
+                .partition_passes
+                .saturating_sub(earlier.partition_passes),
+            partition_spilled_blocks: self
+                .partition_spilled_blocks
+                .saturating_sub(earlier.partition_spilled_blocks),
             block_bytes: self.block_bytes,
         }
     }
@@ -549,6 +595,29 @@ mod tests {
         assert_eq!(zero.retries(), 0);
         assert_eq!(zero.faults_injected(), 0);
         assert_eq!(zero.dropped_write_errors(), 0);
+    }
+
+    #[test]
+    fn partition_counters_snapshot_subtract_and_reset() {
+        let stats = IoStats::new(2, 64);
+        let before = stats.snapshot();
+        assert_eq!(before.partition_passes(), 0);
+        assert_eq!(before.partition_spilled_blocks(), 0);
+
+        stats.record_partition_pass();
+        stats.record_partition_spill(7);
+        stats.record_partition_pass();
+        stats.record_partition_spill(3);
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.partition_passes(), 2);
+        assert_eq!(delta.partition_spilled_blocks(), 10);
+        // Attribution counters, not transfers: reads/writes untouched.
+        assert_eq!(delta.total(), 0);
+
+        stats.reset();
+        let zero = stats.snapshot();
+        assert_eq!(zero.partition_passes(), 0);
+        assert_eq!(zero.partition_spilled_blocks(), 0);
     }
 
     #[test]

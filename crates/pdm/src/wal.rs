@@ -80,6 +80,8 @@ use parking_lot::Mutex;
 
 use crate::device::{BlockDevice, BlockId, SharedDevice};
 use crate::error::{PdmError, Result};
+// FNV-1a is the payload and record checksum of the journal.
+use crate::hash::fnv1a;
 use crate::sched::IoTicket;
 use crate::stats::IoStats;
 
@@ -93,16 +95,6 @@ const STATE_COMMITTED: u64 = 1;
 const HEADER_BYTES: usize = 40;
 /// Per-chain-block overhead: next pointer + chunk length.
 const CHAIN_OVERHEAD: usize = 16;
-
-/// FNV-1a, the payload and record checksum of the journal.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());

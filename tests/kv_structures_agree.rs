@@ -7,9 +7,11 @@ use em_core::EmConfig;
 use emhash::ExtendibleHash;
 use emserve::Shard;
 use emtree::{BTree, BufferTree};
+use pdm::SharedDevice;
 use pdm::{
     BlockDevice, BufferPool, DiskArray, EvictionPolicy, FaultPlan, IoMode, Placement, RetryPolicy,
 };
+use proptest::prelude::*;
 use rand::prelude::*;
 use std::collections::BTreeMap;
 
@@ -216,4 +218,75 @@ fn serving_shard_agrees_under_cured_faults() {
     let snap = array.stats().snapshot();
     assert!(snap.faults_injected() > 0, "fault plan never fired");
     assert!(snap.retries() > 0, "faults were injected but never retried");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Extendible hashing driven past two directory doublings on a faulty
+    /// array whose transient faults always cure within the retry budget:
+    /// every operation must succeed, and after the directory has doubled
+    /// (and doubled again) around them, every inserted pair must read back
+    /// byte-identical, misses must still miss, and the full contents must
+    /// match a `BTreeMap` model.
+    #[test]
+    fn extendible_hash_doubles_twice_under_cured_faults(
+        seed in any::<u64>(),
+        permille in 0u64..=80,
+        key_stride in 1u64..=257,
+    ) {
+        let plans: Vec<FaultPlan> = (0..2u64)
+            .map(|d| {
+                FaultPlan::new(seed.wrapping_add(d).wrapping_mul(0x9E37_79B9))
+                    .with_transient(permille, 2)
+            })
+            .collect();
+        // Two failing attempts per faulted block, three retries: every
+        // injected fault cures before the budget runs out.
+        let array = DiskArray::new_ram_faulty(
+            2,
+            256,
+            Placement::Independent,
+            IoMode::Synchronous,
+            &plans,
+            RetryPolicy::new(3, std::time::Duration::ZERO),
+        );
+        let pool = BufferPool::new(array.clone() as SharedDevice, 16, EvictionPolicy::Lru);
+        let mut eh: ExtendibleHash<u64, u64> = ExtendibleHash::new(pool).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+
+        let mut k = seed % 1024;
+        while eh.doublings() < 2 {
+            let v = k.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed;
+            eh.insert(k, v).unwrap();
+            model.insert(k, v);
+            k = k.wrapping_add(key_stride);
+            prop_assert!(model.len() < 4096, "directory refused to double");
+        }
+        prop_assert!(eh.doublings() >= 2);
+        prop_assert!(eh.directory_size() >= 4);
+        prop_assert_eq!(eh.len() as usize, model.len());
+
+        // Lookup-after-cure: byte-identity for every key the table has ever
+        // absorbed, across however many splits and doublings moved it.
+        for (&k, &v) in &model {
+            prop_assert_eq!(eh.get(&k).unwrap(), Some(v));
+        }
+        let mut miss = seed % 1024;
+        while model.contains_key(&miss) {
+            miss = miss.wrapping_add(1);
+        }
+        prop_assert_eq!(eh.get(&miss).unwrap(), None);
+
+        let mut all = eh.to_vec().unwrap();
+        all.sort_unstable();
+        let expect: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(all, expect);
+
+        if permille > 0 {
+            let snap = array.stats().snapshot();
+            prop_assert!(snap.faults_injected() == 0 || snap.retries() > 0,
+                "injected faults must have been retried, not surfaced");
+        }
+    }
 }

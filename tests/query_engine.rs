@@ -20,12 +20,14 @@
 //!   with the correct answer or surfaces a clean `Err` — never a panic,
 //!   never silently wrong output.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use em_core::{bounds, EmConfig, ExtVec, ExtVecWriter};
 use emrel::{
     choose, collect, predict_with_sink, sort_pipe, sort_scan, CostEnv, ExecConfig, FilterExec,
-    GroupByExec, MergeJoinExec, Order, PlanExpr, QueryExec, ScanExec, TinyBuildJoinExec,
+    GroupByExec, HashDistinctExec, HashGroupByExec, HashJoinExec, KeyStats, MergeJoinExec, Order,
+    PlanExpr, ProjectExec, QueryExec, ScanExec, TinyBuildJoinExec,
 };
 use emsort::{MergeKernel, OverlapConfig, RunFormation, SortConfig, SortingWriter};
 use pdm::{DiskArray, FaultPlan, IoMode, Placement, RetryPolicy, SharedDevice};
@@ -123,6 +125,13 @@ fn run_q1_handrolled(
         }
         out.finish()
     })
+}
+
+/// The level-0 hash the hash operators apply to a `u64` key — the planner's
+/// [`KeyStats`] must be built with the same function for the replay to be
+/// exact.
+fn key_hash(k: u64) -> u64 {
+    em_core::hash::hash_bytes(&k.to_le_bytes())
 }
 
 /// One plan per disk, all derived from `seed` but decorrelated per member.
@@ -456,6 +465,330 @@ proptest! {
         if let Ok(got) = run {
             prop_assert_eq!(got, q1_reference(&data),
                 "a completed pipeline must be correct");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Hash aggregation and hash distinct across placement × mode × D ×
+    /// overlap depth, at a budget tiny enough to force the partitioner to
+    /// recurse several levels: the output must match the sort-based
+    /// reference (modulo the declared lack of order), and every measured
+    /// transfer count must equal the planner's replay exactly.  With `skew`
+    /// every key collapses to one value and the memory budget shrinks to
+    /// `M = (F+1)·B`, zeroing the hybrid table — nothing can shrink a
+    /// single-key bucket, so the partitioner must take the sort fallback.
+    #[test]
+    fn hash_group_and_distinct_match_reference_and_cost_model(
+        data in prop::collection::vec((0u64..24, any::<u64>()), 0..1200),
+        depth in 0usize..=2,
+        sync in any::<bool>(),
+        skew in any::<bool>(),
+    ) {
+        let data: Vec<Row> = if skew {
+            data.iter().map(|r| (7, r.1)).collect()
+        } else {
+            data
+        };
+        let expect = q1_reference(&data);
+        let f_cnt = data.iter().filter(|r| keep(r)).count() as u64;
+        let g_cnt = expect.len() as u64;
+        let keys_sorted: Vec<u64> = expect.iter().map(|g| g.0).collect();
+        let mode = if sync { IoMode::Synchronous } else { IoMode::Overlapped };
+        let fan_out = 2usize;
+
+        for (d, placement) in [
+            (1usize, Placement::Independent),
+            (2, Placement::Striped),
+            (2, Placement::RandomizedCycling { seed: 42 }),
+        ] {
+            let rows_per_block = if placement.is_striped() { d * 4 } else { 4 };
+            // Skew runs with the hybrid table capacity exactly zero
+            // (`M = (F+1)·B`) so every record spills; otherwise one block of
+            // table headroom.
+            let m = if skew { 3 * rows_per_block } else { 4 * rows_per_block };
+            let stripe = if placement.is_striped() { d as u64 } else { 1 };
+            let sc = SortConfig::new(m).with_overlap(OverlapConfig::symmetric(depth));
+            let cfg = ExecConfig::from_sort(sc);
+            let device = DiskArray::new_ram_with(d, 64, placement, mode) as SharedDevice;
+            let input = ExtVec::from_slice(device.clone(), &data).unwrap();
+            let env = CostEnv::new(device.block_size(), m).with_stripe(stripe);
+
+            let hashes: KeyStats = Arc::new(
+                data.iter().filter(|r| keep(r)).map(|r| key_hash(r.0)).collect(),
+            );
+            let plan = PlanExpr::scan(data.len() as u64, ROW_BYTES, Order::Unordered)
+                .filter(f_cnt)
+                .hash_group_by(hashes.clone(), fan_out, GRP_BYTES, g_cnt);
+            let pred = predict_with_sink(&plan, &env);
+
+            let (ios, mut got) = {
+                let before = device.stats().snapshot();
+                let scan = ScanExec::new(&input);
+                let mut filt = FilterExec::new(scan, keep);
+                let mut g = HashGroupByExec::build(
+                    &mut filt,
+                    &device,
+                    &cfg,
+                    fan_out,
+                    |r: &Row| r.0,
+                    0u64,
+                    |acc: &mut u64, r: &Row| *acc = acc.wrapping_add(r.1),
+                    |k, acc, n| (k, acc, n),
+                )
+                .unwrap();
+                let out = collect(&mut g, &device).unwrap();
+                let ios = device.stats().snapshot().since(&before);
+                let got = out.to_vec().unwrap();
+                out.free().unwrap();
+                (ios, got)
+            };
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expect, "{:?} d={} hash group output wrong", placement, d);
+            prop_assert_eq!(ios.total(), pred as u64,
+                "{:?} d={} skew={} hash group measured != predicted", placement, d, skew);
+            if skew && f_cnt > 0 {
+                prop_assert!(ios.partition_passes() >= 1,
+                    "the skew tape must spill (and then fall back) rather than stay resident");
+            }
+
+            // Distinct over the projected keys, at its own geometry: the
+            // projected record is 8 bytes, so a block holds twice as many.
+            let b8 = device.block_size() / 8;
+            let m_d = 4 * b8;
+            let sc_d = SortConfig::new(m_d).with_overlap(OverlapConfig::symmetric(depth));
+            let cfg_d = ExecConfig::from_sort(sc_d);
+            let env_d = CostEnv::new(device.block_size(), m_d).with_stripe(stripe);
+            let plan_d = PlanExpr::scan(data.len() as u64, ROW_BYTES, Order::Unordered)
+                .filter(f_cnt)
+                .project(8, Order::Unordered)
+                .hash_distinct(hashes.clone(), fan_out, g_cnt);
+            let pred_d = predict_with_sink(&plan_d, &env_d);
+
+            let (ios, mut got) = {
+                let before = device.stats().snapshot();
+                let scan = ScanExec::new(&input);
+                let filt = FilterExec::new(scan, keep);
+                let mut proj: ProjectExec<_, _, u64> =
+                    ProjectExec::new(filt, |r: &Row| Some(r.0), Order::Unordered);
+                let mut dist =
+                    HashDistinctExec::build(&mut proj, &device, &cfg_d, fan_out).unwrap();
+                let out = collect(&mut dist, &device).unwrap();
+                let ios = device.stats().snapshot().since(&before);
+                let got = out.to_vec().unwrap();
+                out.free().unwrap();
+                (ios, got)
+            };
+            got.sort_unstable();
+            prop_assert_eq!(&got, &keys_sorted, "{:?} d={} distinct output wrong", placement, d);
+            prop_assert_eq!(ios.total(), pred_d as u64,
+                "{:?} d={} skew={} distinct measured != predicted", placement, d, skew);
+
+            input.free().unwrap();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Grace/hybrid hash join over shuffled inputs across placement × mode ×
+    /// D, at a budget small enough that level-0 build buckets overflow the
+    /// pair loop and must re-partition: the output must match the
+    /// nested-loop reference as a multiset, measured must equal predicted
+    /// exactly, and a hybrid whose resident bucket cannot fit must be
+    /// *priced* infeasible — the executor treats running such a plan as a
+    /// model violation, so an ∞ prediction is the planner refusing to go
+    /// there.
+    #[test]
+    fn hash_join_matches_reference_and_cost_model(
+        line_counts in prop::collection::vec(0usize..5, 8..120),
+        sel in 0u64..=100,
+        seed in any::<u64>(),
+        sync in any::<bool>(),
+        depth in 0usize..=2,
+        hybrid in any::<bool>(),
+    ) {
+        let n_orders = line_counts.len() as u64;
+        let keep_order = move |k: u64| {
+            (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) % 101 < sel
+        };
+        let mut orders: Vec<Row> = (0..n_orders).map(|k| (k, k.wrapping_mul(7))).collect();
+        shuffle(&mut orders, seed ^ 0xA5);
+        let mut lineitem: Vec<Row> = Vec::new();
+        for (k, &c) in line_counts.iter().enumerate() {
+            for j in 0..c as u64 {
+                lineitem.push((k as u64, k as u64 * 1000 + j));
+            }
+        }
+        shuffle(&mut lineitem, seed);
+        let f_cnt = (0..n_orders).filter(|&k| keep_order(k)).count() as u64;
+        let j_cnt: u64 = line_counts
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| keep_order(*k as u64))
+            .map(|(_, &c)| c as u64)
+            .sum();
+        let mut expect: Vec<Row> =
+            lineitem.iter().filter(|r| keep_order(r.0)).copied().collect();
+        expect.sort_unstable();
+        let mode = if sync { IoMode::Synchronous } else { IoMode::Overlapped };
+        let fan_out = 2usize;
+
+        for (d, placement) in [(1usize, Placement::Independent), (2, Placement::Striped)] {
+            let rows_per_block = if placement.is_striped() { d * 4 } else { 4 };
+            // Eight blocks of memory: the grace pair loop gets a six-block
+            // chunk, so builds past ~24·D records recurse at least once.
+            let m = 8 * rows_per_block;
+            let stripe = if placement.is_striped() { d as u64 } else { 1 };
+            let sc = SortConfig::new(m).with_overlap(OverlapConfig::symmetric(depth));
+            let cfg = ExecConfig::from_sort(sc);
+            let device = DiskArray::new_ram_with(d, 64, placement, mode) as SharedDevice;
+            let o_vec = ExtVec::from_slice(device.clone(), &orders).unwrap();
+            let l_vec = ExtVec::from_slice(device.clone(), &lineitem).unwrap();
+            let env = CostEnv::new(device.block_size(), m).with_stripe(stripe);
+
+            let bh: KeyStats = Arc::new(
+                orders
+                    .iter()
+                    .filter(|r| keep_order(r.0))
+                    .map(|r| key_hash(r.0))
+                    .collect(),
+            );
+            let ph: KeyStats = Arc::new(lineitem.iter().map(|r| key_hash(r.0)).collect());
+            let plan = PlanExpr::scan(lineitem.len() as u64, ROW_BYTES, Order::Unordered)
+                .hash_join(
+                    PlanExpr::scan(n_orders, ROW_BYTES, Order::Unordered).filter(f_cnt),
+                    bh,
+                    ph,
+                    fan_out,
+                    hybrid,
+                    ROW_BYTES,
+                    j_cnt,
+                );
+            let pred = predict_with_sink(&plan, &env);
+            if !pred.is_finite() {
+                // Only a hybrid whose level-0 resident bucket overflows its
+                // table is ever priced out at this geometry.
+                prop_assert!(hybrid, "{:?} d={} grace must always be feasible", placement, d);
+                o_vec.free().unwrap();
+                l_vec.free().unwrap();
+                continue;
+            }
+
+            let (ios, mut got) = {
+                let before = device.stats().snapshot();
+                let scan_o = ScanExec::new(&o_vec);
+                let mut build = FilterExec::new(scan_o, move |r: &Row| keep_order(r.0));
+                let probe = ScanExec::new(&l_vec);
+                let mut join = HashJoinExec::build(
+                    &mut build,
+                    probe,
+                    &device,
+                    &cfg,
+                    fan_out,
+                    hybrid,
+                    |b: &Row| b.0,
+                    |p: &Row| p.0,
+                    |_b: &Row, p: &Row| (p.0, p.1),
+                )
+                .unwrap();
+                let out = collect(&mut join, &device).unwrap();
+                let ios = device.stats().snapshot().since(&before);
+                let got = out.to_vec().unwrap();
+                out.free().unwrap();
+                (ios, got)
+            };
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expect, "{:?} d={} hybrid={} join output wrong",
+                placement, d, hybrid);
+            prop_assert_eq!(ios.total(), pred as u64,
+                "{:?} d={} hybrid={} join measured != predicted", placement, d, hybrid);
+            prop_assert!(j_cnt == 0 || ios.partition_passes() >= 1 || hybrid,
+                "{:?} d={} a non-hybrid grace join over live input must partition",
+                placement, d);
+
+            o_vec.free().unwrap();
+            l_vec.free().unwrap();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary transient fault plans over the *hash* path: the hash
+    /// aggregate and the grace join either complete with the correct answer
+    /// or return a clean error — never a panic, never silently wrong output.
+    #[test]
+    fn faulty_device_hash_path_completes_or_errs_cleanly(
+        data in prop::collection::vec((0u64..24, any::<u64>()), 0..400),
+        seed in any::<u64>(),
+        permille in 0usize..=120,
+        attempts in 0usize..=3,
+    ) {
+        let plans = mk_plans(2, seed, permille as u64, 2);
+        let retry = if attempts > 0 {
+            RetryPolicy::new(attempts as u32, Duration::ZERO)
+        } else {
+            RetryPolicy::none()
+        };
+        let device = DiskArray::new_ram_faulty(
+            2, 64, Placement::Independent, IoMode::Synchronous, &plans, retry,
+        ) as SharedDevice;
+
+        let cfg = ExecConfig::new(16);
+        let run = ExtVec::from_slice(device.clone(), &data).and_then(|input| {
+            let scan = ScanExec::new(&input);
+            let mut filt = FilterExec::new(scan, keep);
+            let mut g = HashGroupByExec::build(
+                &mut filt,
+                &device,
+                &cfg,
+                2,
+                |r: &Row| r.0,
+                0u64,
+                |acc: &mut u64, r: &Row| *acc = acc.wrapping_add(r.1),
+                |k, acc, n| (k, acc, n),
+            )?;
+            collect(&mut g, &device)?.to_vec()
+        });
+        if let Ok(mut got) = run {
+            got.sort_unstable();
+            prop_assert_eq!(got, q1_reference(&data),
+                "a completed hash aggregate must be correct");
+        }
+
+        // Grace join against a small dimension table: every probe key hits.
+        let build_rows: Vec<Row> = (0..24u64).map(|k| (k, k.wrapping_mul(3))).collect();
+        let cfg_j = ExecConfig::new(32);
+        let run = ExtVec::from_slice(device.clone(), &data).and_then(|l_vec| {
+            let b_vec = ExtVec::from_slice(device.clone(), &build_rows)?;
+            let mut build = ScanExec::new(&b_vec);
+            let probe = ScanExec::new(&l_vec);
+            let mut join = HashJoinExec::build(
+                &mut build,
+                probe,
+                &device,
+                &cfg_j,
+                2,
+                false,
+                |b: &Row| b.0,
+                |p: &Row| p.0,
+                |b: &Row, p: &Row| (p.0, p.1.wrapping_add(b.1)),
+            )?;
+            collect(&mut join, &device)?.to_vec()
+        });
+        if let Ok(mut got) = run {
+            got.sort_unstable();
+            let mut expect: Vec<Row> = data
+                .iter()
+                .map(|r| (r.0, r.1.wrapping_add(r.0.wrapping_mul(3))))
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect, "a completed hash join must be correct");
         }
     }
 }
